@@ -1,0 +1,35 @@
+//! Fig. 3 microbenchmark: locality of a selective one-month scan on
+//! ParseOrder CS tables vs the Clustered store (subject clustering +
+//! shipdate sub-ordering turns it into a contiguous range scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf_bench::build_rig;
+
+fn bench_clustering(c: &mut Criterion) {
+    let rig = build_rig(0.005);
+    let q = r#"
+PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT ?li ?price WHERE {
+  ?li rdfh:lineitem_shipdate ?d .
+  ?li rdfh:lineitem_extendedprice ?price .
+  FILTER(?d >= "1995-06-01"^^xsd:date && ?d < "1995-07-01"^^xsd:date)
+}"#;
+    let mut group = c.benchmark_group("fig3/selective_scan");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (label, generation) in
+        [("parse_order", Generation::CsParseOrder), ("clustered", Generation::Clustered)]
+    {
+        let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
+        let db = rig.db(generation);
+        group.bench_with_input(BenchmarkId::from_parameter(label), q, |b, q| {
+            b.iter(|| db.query_with(q, generation, exec).expect("query"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

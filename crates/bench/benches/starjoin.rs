@@ -1,0 +1,42 @@
+//! Fig. 4 microbenchmark: star-pattern evaluation, Default self-join plans
+//! vs RDFscan/RDFjoin, as star width grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf_bench::build_rig;
+
+fn bench_starjoin(c: &mut Criterion) {
+    let rig = build_rig(0.005);
+    let props = [
+        "lineitem_quantity",
+        "lineitem_extendedprice",
+        "lineitem_discount",
+        "lineitem_tax",
+        "lineitem_shipmode",
+        "lineitem_returnflag",
+    ];
+    let mut group = c.benchmark_group("fig4/star_width");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for width in [2usize, 3, 4, 6] {
+        let mut body = String::new();
+        for p in &props[..width] {
+            body.push_str(&format!("?s <http://lod2.eu/schemas/rdfh#{p}> ?o_{p} .\n"));
+        }
+        let q = format!("SELECT ?s WHERE {{ {body} }}");
+        for (label, scheme) in
+            [("default", PlanScheme::Default), ("rdfscan", PlanScheme::RdfScanJoin)]
+        {
+            let exec = ExecConfig { scheme, zonemaps: true };
+            let db = rig.db(Generation::Clustered);
+            group.bench_with_input(BenchmarkId::new(label, width), &q, |b, q| {
+                b.iter(|| db.query_with(q, Generation::Clustered, exec).expect("query"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_starjoin);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion version of Table I: hot-run timings of Q3 and Q6 under the six
+//! plan/storage/zone-map configurations (the `table1` binary adds cold runs
+//! and page counts; Criterion gives statistically robust hot numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sordf_bench::{build_rig, Rig, TABLE1_CONFIGS};
+use sordf_rdfh::{query, QueryId};
+
+fn bench_table1(c: &mut Criterion) {
+    let sf = std::env::var("SORDF_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let rig: Rig = build_rig(sf);
+    for qid in [QueryId::Q3, QueryId::Q6] {
+        let mut group = c.benchmark_group(format!("table1/{}", qid.name()));
+        group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+        for cfg in TABLE1_CONFIGS {
+            let db = rig.db(cfg.generation);
+            let exec = sordf::ExecConfig { scheme: cfg.scheme, zonemaps: cfg.zonemaps };
+            group.bench_with_input(
+                BenchmarkId::from_parameter(cfg.label.trim()),
+                &exec,
+                |b, exec| {
+                    b.iter(|| db.query_with(query(qid), cfg.generation, *exec).expect("query"))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

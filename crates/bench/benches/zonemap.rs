@@ -1,0 +1,39 @@
+//! Ext-2: zone-map pruning power vs. predicate selectivity (a Q6-style date
+//! range of growing width on the clustered lineitem segment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf_bench::build_rig;
+
+fn bench_zonemap(c: &mut Criterion) {
+    let rig = build_rig(0.005);
+    let mut group = c.benchmark_group("zonemap/selectivity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    // Date windows of growing width starting 1994-01-01.
+    for months in [1u32, 3, 12, 36] {
+        let end_year = 1994 + months / 12;
+        let end_month = months % 12 + 1;
+        let q = format!(
+            r#"PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
+  ?li rdfh:lineitem_shipdate ?d .
+  ?li rdfh:lineitem_extendedprice ?price .
+  ?li rdfh:lineitem_discount ?disc .
+  FILTER(?d >= "1994-01-01"^^xsd:date && ?d < "{end_year}-{end_month:02}-01"^^xsd:date)
+}}"#
+        );
+        for (label, zm) in [("zm-off", false), ("zm-on", true)] {
+            let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: zm };
+            let db = rig.db(Generation::Clustered);
+            group.bench_with_input(BenchmarkId::new(label, months), &q, |b, q| {
+                b.iter(|| db.query_with(q, Generation::Clustered, exec).expect("query"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zonemap);
+criterion_main!(benches);

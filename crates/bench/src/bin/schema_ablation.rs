@@ -1,0 +1,45 @@
+//! **Ext-1** — CS generalization ablation.
+//!
+//! §II-A motivates merging: "In contrast to the original CS algorithm which
+//! created a different CS for each unique combination of attributes, we
+//! allow attributes of kind 0..n (NULLABLE attributes)… This reduces the
+//! number of CS's." This harness sweeps the dirty-data irregularity knob and
+//! reports, for the exact Neumann-Moerkotte CSs vs. the generalized schema:
+//! number of classes, coverage, and discovery time.
+
+use sordf_datagen::{dirty, DirtyConfig};
+use sordf_schema::SchemaConfig;
+use sordf_storage::TripleSet;
+use std::time::Instant;
+
+fn main() {
+    println!("== Ext-1: exact CSs vs generalized emergent schema ==");
+    println!(
+        "{:<14} {:>9} | {:>8} {:>9} | {:>8} {:>9} {:>9}",
+        "irregularity", "triples", "exact-CS", "coverage", "merged", "coverage", "disc-ms"
+    );
+    for irregularity in [0.0, 0.1, 0.2, 0.3, 0.4, 0.6] {
+        let triples = dirty(&DirtyConfig::with_irregularity(irregularity, 2_000));
+        let mut ts = TripleSet::new();
+        ts.extend_terms(&triples).unwrap();
+        let spo = ts.sorted_spo();
+
+        let exact = sordf_schema::discover(&spo, &ts.dict, &SchemaConfig::exact_cs());
+        let t0 = Instant::now();
+        let merged = sordf_schema::discover(&spo, &ts.dict, &SchemaConfig::default());
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "{:<14.2} {:>9} | {:>8} {:>8.1}% | {:>8} {:>8.1}% {:>9.1}",
+            irregularity,
+            spo.len(),
+            exact.classes.len(),
+            exact.coverage * 100.0,
+            merged.classes.len(),
+            merged.coverage * 100.0,
+            ms
+        );
+    }
+    println!("\n(The paper expects high coverage — ~85% on real dirty data — with");
+    println!(" far fewer classes after generalization; exact CSs explode with noise.)");
+}

@@ -1,0 +1,39 @@
+//! **Table I** — MonetDB+HSP performance on RDF-H, reproduced.
+//!
+//! Runs Q3 and Q6 under the six configurations of the paper (plan scheme ×
+//! OID scheme × zone maps), cold and hot. Absolute times differ from the
+//! paper (their testbed ran SF=10 on 2012 hardware inside MonetDB); the
+//! *shape* — Clustered beats ParseOrder, RDFscan/RDFjoin beats Default by
+//! about an order of magnitude, zone maps add another large factor on Q3 —
+//! is the reproduction target.
+//!
+//! Environment: `SORDF_SF` scale factor (default 0.01),
+//! `SORDF_PAGE_NS` synthetic cold-read latency per page (default 20000).
+
+use sordf_bench::{build_rig, fmt_row, measure, page_latency_from_env, sf_from_env, TABLE1_CONFIGS};
+use sordf_rdfh::{query, QueryId};
+
+fn main() {
+    let sf = sf_from_env();
+    let page_ns = page_latency_from_env();
+    let rig = build_rig(sf);
+    println!("== Table I reproduction (RDF-H sf={sf}, {} triples) ==", rig.n_triples);
+    println!("paper reference (SF=10, seconds):");
+    println!("  Q3: Default/ParseOrder 37.50 cold / 19.66 hot ... RDFscan/Clustered+ZM 0.89 / 0.78");
+    println!("  Q6: Default/ParseOrder 28.25 cold /  6.52 hot ... RDFscan/Clustered    1.47 / 0.44");
+    println!();
+
+    for qid in [QueryId::Q3, QueryId::Q6] {
+        println!("-- {} --", qid.name());
+        let mut reference_rows: Option<usize> = None;
+        for cfg in TABLE1_CONFIGS {
+            let m = measure(&rig, &cfg, query(qid), page_ns);
+            println!("{}", fmt_row(cfg.label, &m));
+            match reference_rows {
+                None => reference_rows = Some(m.n_rows),
+                Some(r) => assert_eq!(r, m.n_rows, "configs disagree on result size!"),
+            }
+        }
+        println!();
+    }
+}

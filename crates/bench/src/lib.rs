@@ -1,0 +1,166 @@
+//! # sordf-bench
+//!
+//! Shared harness for the paper-reproduction experiments. Each binary in
+//! `src/bin/` regenerates one table or figure; the Criterion benches in
+//! `benches/` provide statistically sound timings of the same comparisons.
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Table I (Q3/Q6, 6 configs, cold+hot) | `table1` |
+//! | Fig. 2 (discovered schema) | example `schema_explore` (repo root) |
+//! | Fig. 3 (subject clustering locality) | `fig3_clustering` |
+//! | Fig. 4 (plan shapes / join effort) | `fig4_plans` |
+//! | Ext-1 (CS merge ablation) | `schema_ablation` |
+//! | Ext-3 (cardinality estimation) | `cardest` |
+//! | Ext-4 (dirty-data sweep) | `dirty_sweep` |
+
+use sordf::{Database, ExecConfig, Generation, PlanScheme};
+use sordf_rdfh::{generate, RdfhConfig};
+use std::time::Instant;
+
+/// One Table-I configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    pub label: &'static str,
+    pub scheme: PlanScheme,
+    pub generation: Generation,
+    pub zonemaps: bool,
+}
+
+/// The six rows of Table I (plan scheme × OID scheme × zone maps).
+pub const TABLE1_CONFIGS: [Config; 6] = [
+    Config {
+        label: "Default    ParseOrder  ZM=No ",
+        scheme: PlanScheme::Default,
+        generation: Generation::Baseline,
+        zonemaps: false,
+    },
+    Config {
+        label: "Default    Clustered   ZM=No ",
+        scheme: PlanScheme::Default,
+        generation: Generation::Clustered,
+        zonemaps: false,
+    },
+    Config {
+        label: "Default    Clustered   ZM=Yes",
+        scheme: PlanScheme::Default,
+        generation: Generation::Clustered,
+        zonemaps: true,
+    },
+    Config {
+        label: "RDFscan    ParseOrder  ZM=No ",
+        scheme: PlanScheme::RdfScanJoin,
+        generation: Generation::CsParseOrder,
+        zonemaps: false,
+    },
+    Config {
+        label: "RDFscan    Clustered   ZM=No ",
+        scheme: PlanScheme::RdfScanJoin,
+        generation: Generation::Clustered,
+        zonemaps: false,
+    },
+    Config {
+        label: "RDFscan    Clustered   ZM=Yes",
+        scheme: PlanScheme::RdfScanJoin,
+        generation: Generation::Clustered,
+        zonemaps: true,
+    },
+];
+
+/// The two databases of the experiment: one keeping parse-order OIDs (for
+/// the Baseline and CsParseOrder generations), one self-organized.
+pub struct Rig {
+    pub parse_order: Database,
+    pub clustered: Database,
+    pub n_triples: usize,
+}
+
+/// Scale factor from `SORDF_SF` (default 0.01).
+pub fn sf_from_env() -> f64 {
+    std::env::var("SORDF_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01)
+}
+
+/// Synthetic cold-read latency per 64 KiB page, from `SORDF_PAGE_NS`
+/// (default 20µs ≈ a fast HDD / slow SSD; 0 disables).
+pub fn page_latency_from_env() -> u64 {
+    std::env::var("SORDF_PAGE_NS").ok().and_then(|s| s.parse().ok()).unwrap_or(20_000)
+}
+
+/// Build both databases from one RDF-H generation run.
+pub fn build_rig(sf: f64) -> Rig {
+    let data = generate(&RdfhConfig::new(sf));
+    eprintln!(
+        "rdfh sf={sf}: {} triples ({} lineitems, {} orders, {} customers)",
+        data.triples.len(),
+        data.n_lineitem,
+        data.n_orders,
+        data.n_customer
+    );
+    let mut parse_order = Database::in_temp_dir().expect("temp db");
+    parse_order.load_terms(&data.triples).expect("load");
+    parse_order.build_baseline().expect("baseline");
+    parse_order.build_cs_tables().expect("cs tables");
+
+    let mut clustered = Database::in_temp_dir().expect("temp db");
+    clustered.load_terms(&data.triples).expect("load");
+    clustered.self_organize().expect("self organize");
+
+    Rig { parse_order, clustered, n_triples: data.triples.len() }
+}
+
+impl Rig {
+    /// The database holding a given generation.
+    pub fn db(&self, generation: Generation) -> &Database {
+        match generation {
+            Generation::Baseline | Generation::CsParseOrder => &self.parse_order,
+            Generation::Clustered => &self.clustered,
+        }
+    }
+}
+
+/// Timing + trace of one query under one configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    pub cold_ms: f64,
+    pub hot_ms: f64,
+    pub cold_page_reads: u64,
+    pub joins: u64,
+    pub n_rows: usize,
+}
+
+/// Run a query cold (cache dropped, synthetic page latency on) then hot.
+pub fn measure(rig: &Rig, cfg: &Config, sparql: &str, page_ns: u64) -> Measurement {
+    let db = rig.db(cfg.generation);
+    let exec = ExecConfig { scheme: cfg.scheme, zonemaps: cfg.zonemaps };
+
+    // Warm up process-level state (code paths, allocator) so the cold
+    // measurement reflects page reads, not first-run artifacts.
+    let _ = db.query_traced(sparql, cfg.generation, exec).expect("warmup");
+
+    db.drop_cache();
+    db.set_read_latency_ns(page_ns);
+    let t0 = Instant::now();
+    let cold = db.query_traced(sparql, cfg.generation, exec).expect("query");
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    db.set_read_latency_ns(0);
+
+    let t1 = Instant::now();
+    let hot = db.query_traced(sparql, cfg.generation, exec).expect("query");
+    let hot_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    Measurement {
+        cold_ms,
+        hot_ms,
+        cold_page_reads: cold.pool.misses,
+        joins: hot.stats.total_joins(),
+        n_rows: hot.results.len(),
+    }
+}
+
+/// Format one Table-I style row.
+pub fn fmt_row(label: &str, m: &Measurement) -> String {
+    format!(
+        "{label}  cold {:>9.2} ms  hot {:>9.2} ms  pages {:>7}  joins {:>4}  rows {:>6}",
+        m.cold_ms, m.hot_ms, m.cold_page_reads, m.joins, m.n_rows
+    )
+}

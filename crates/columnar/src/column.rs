@@ -1,0 +1,417 @@
+//! Immutable paged u64 columns.
+//!
+//! A [`Column`] is built once (bulk load / reorganization) and then only
+//! read. Values are raw u64s — in sordf these are tagged OIDs, with
+//! `u64::MAX` as the NULL sentinel. Zone maps are collected during the build
+//! at zero extra cost.
+
+use crate::disk::{DiskManager, PageId, VALS_PER_PAGE};
+use crate::pool::BufferPool;
+use crate::zonemap::{PageStats, ZoneMap};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// The NULL sentinel stored in columns for missing values
+/// (`sordf_model::Oid::NULL` has the same representation).
+pub const NULL_SENTINEL: u64 = u64::MAX;
+
+/// Append-only builder; call [`ColumnBuilder::finish`] to seal the column.
+pub struct ColumnBuilder<'a> {
+    disk: &'a DiskManager,
+    buf: Vec<u64>,
+    pages: Vec<PageId>,
+    stats: Vec<PageStats>,
+    cur: PageStats,
+    len: usize,
+    n_nulls: usize,
+}
+
+impl<'a> ColumnBuilder<'a> {
+    pub fn new(disk: &'a DiskManager) -> ColumnBuilder<'a> {
+        ColumnBuilder {
+            disk,
+            buf: Vec::with_capacity(VALS_PER_PAGE),
+            pages: Vec::new(),
+            stats: Vec::new(),
+            cur: PageStats::empty(),
+            len: 0,
+            n_nulls: 0,
+        }
+    }
+
+    /// Append one value (`NULL_SENTINEL` for NULL).
+    #[inline]
+    pub fn push(&mut self, v: u64) {
+        if v == NULL_SENTINEL {
+            self.n_nulls += 1;
+        } else {
+            self.cur.add(v);
+        }
+        self.buf.push(v);
+        self.len += 1;
+        if self.buf.len() == VALS_PER_PAGE {
+            self.flush_page();
+        }
+    }
+
+    /// Append many values.
+    pub fn extend_from_slice(&mut self, vs: &[u64]) {
+        for &v in vs {
+            self.push(v);
+        }
+    }
+
+    fn flush_page(&mut self) {
+        let id = self.disk.alloc_page();
+        self.disk.write_page(id, &self.buf).expect("column page write failed");
+        self.pages.push(id);
+        self.stats.push(self.cur);
+        self.cur = PageStats::empty();
+        self.buf.clear();
+    }
+
+    /// Seal the column.
+    pub fn finish(mut self) -> Column {
+        if !self.buf.is_empty() {
+            self.flush_page();
+        }
+        Column {
+            pages: Arc::new(self.pages),
+            len: self.len,
+            n_nulls: self.n_nulls,
+            zonemap: Arc::new(ZoneMap::new(self.stats)),
+        }
+    }
+}
+
+/// An immutable on-disk column of u64 values. Cheap to clone (all internals
+/// shared); reads go through a [`BufferPool`].
+#[derive(Debug, Clone)]
+pub struct Column {
+    pages: Arc<Vec<PageId>>,
+    len: usize,
+    n_nulls: usize,
+    zonemap: Arc<ZoneMap>,
+}
+
+/// One page worth of column values, with its global position.
+pub struct Chunk {
+    /// Global index of `values()[0]`.
+    pub start: usize,
+    data: Arc<Vec<u64>>,
+    local: Range<usize>,
+}
+
+impl Chunk {
+    /// The values of this chunk.
+    #[inline]
+    pub fn values(&self) -> &[u64] {
+        &self.data[self.local.clone()]
+    }
+}
+
+impl Column {
+    /// Build a column directly from a slice (convenience for loading).
+    pub fn from_slice(disk: &DiskManager, vals: &[u64]) -> Column {
+        let mut b = ColumnBuilder::new(disk);
+        b.extend_from_slice(vals);
+        b.finish()
+    }
+
+    /// An empty column (no pages).
+    pub fn empty() -> Column {
+        Column {
+            pages: Arc::new(Vec::new()),
+            len: 0,
+            n_nulls: 0,
+            zonemap: Arc::new(ZoneMap::default()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of NULL sentinels stored.
+    pub fn n_nulls(&self) -> usize {
+        self.n_nulls
+    }
+
+    /// Number of pages the column spans.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The column's zone map (one entry per page).
+    pub fn zonemap(&self) -> &ZoneMap {
+        &self.zonemap
+    }
+
+    /// Random access to one value. Prefer [`Column::chunks`] in hot paths.
+    #[inline]
+    pub fn value(&self, pool: &BufferPool, idx: usize) -> u64 {
+        assert!(idx < self.len, "column index {idx} out of bounds (len {})", self.len);
+        let page = pool.get(self.pages[idx / VALS_PER_PAGE]);
+        page[idx % VALS_PER_PAGE]
+    }
+
+    /// Iterate page-aligned chunks covering `range`.
+    pub fn chunks<'c>(
+        &'c self,
+        pool: &'c BufferPool,
+        range: Range<usize>,
+    ) -> impl Iterator<Item = Chunk> + 'c {
+        let range = range.start.min(self.len)..range.end.min(self.len);
+        ChunkIter { col: self, pool, next: range.start, end: range.end }
+    }
+
+    /// Fetch the values at `rows` (ascending row indices), reusing each page
+    /// fetch across consecutive rows. The workhorse of RDFscan.
+    pub fn gather(&self, pool: &BufferPool, rows: &[usize]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(rows.len());
+        let mut cur_page = usize::MAX;
+        let mut page: Option<Arc<Vec<u64>>> = None;
+        for &r in rows {
+            debug_assert!(r < self.len);
+            let p = r / VALS_PER_PAGE;
+            if p != cur_page {
+                page = Some(pool.get(self.pages[p]));
+                cur_page = p;
+            }
+            out.push(page.as_ref().unwrap()[r % VALS_PER_PAGE]);
+        }
+        out
+    }
+
+    /// Materialize a range into a Vec (tests / small results).
+    pub fn to_vec(&self, pool: &BufferPool, range: Range<usize>) -> Vec<u64> {
+        let mut out = Vec::with_capacity(range.len());
+        for chunk in self.chunks(pool, range) {
+            out.extend_from_slice(chunk.values());
+        }
+        out
+    }
+
+    /// For an ascending-sorted column: first index with `value >= v`.
+    /// Uses the zone map to locate the page, then searches within it.
+    pub fn lower_bound(&self, pool: &BufferPool, v: u64) -> usize {
+        self.search(pool, |x| x < v)
+    }
+
+    /// For an ascending-sorted column: first index with `value > v`.
+    pub fn upper_bound(&self, pool: &BufferPool, v: u64) -> usize {
+        self.search(pool, |x| x <= v)
+    }
+
+    /// Partition point within `range` of a column whose values are sorted
+    /// *within that range*: first index where `pred(value)` is false.
+    /// Used by permutation indexes where the secondary column is sorted only
+    /// inside runs of equal primary values.
+    pub fn partition_point_in(
+        &self,
+        pool: &BufferPool,
+        range: Range<usize>,
+        pred: impl Fn(u64) -> bool,
+    ) -> usize {
+        let (mut lo, mut hi) = (range.start, range.end.min(self.len));
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if pred(self.value(pool, mid)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// First index in `range` with `value >= v` (range-sorted column).
+    pub fn lower_bound_in(&self, pool: &BufferPool, range: Range<usize>, v: u64) -> usize {
+        self.partition_point_in(pool, range, |x| x < v)
+    }
+
+    /// First index in `range` with `value > v` (range-sorted column).
+    pub fn upper_bound_in(&self, pool: &BufferPool, range: Range<usize>, v: u64) -> usize {
+        self.partition_point_in(pool, range, |x| x <= v)
+    }
+
+    /// Generic partition point: first index where `pred(value)` is false,
+    /// given that `pred` is monotone (true-prefix) over the sorted column.
+    fn search(&self, pool: &BufferPool, pred: impl Fn(u64) -> bool) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        // Find the first page whose max fails the predicate.
+        let zm = &self.zonemap;
+        let mut lo_page = 0usize;
+        let mut hi_page = self.pages.len();
+        while lo_page < hi_page {
+            let mid = (lo_page + hi_page) / 2;
+            let st = zm.page(mid);
+            // A page with only NULLs cannot appear in sorted index columns;
+            // treat its max conservatively.
+            let page_max = if st.n_nonnull > 0 { st.max } else { NULL_SENTINEL };
+            if pred(page_max) {
+                lo_page = mid + 1;
+            } else {
+                hi_page = mid;
+            }
+        }
+        if lo_page == self.pages.len() {
+            return self.len;
+        }
+        let page = pool.get(self.pages[lo_page]);
+        let page_start = lo_page * VALS_PER_PAGE;
+        let page_len = (self.len - page_start).min(VALS_PER_PAGE);
+        let within = page[..page_len].partition_point(|&x| pred(x));
+        page_start + within
+    }
+}
+
+struct ChunkIter<'c> {
+    col: &'c Column,
+    pool: &'c BufferPool,
+    next: usize,
+    end: usize,
+}
+
+impl Iterator for ChunkIter<'_> {
+    type Item = Chunk;
+
+    fn next(&mut self) -> Option<Chunk> {
+        if self.next >= self.end {
+            return None;
+        }
+        let page_idx = self.next / VALS_PER_PAGE;
+        let page_start = page_idx * VALS_PER_PAGE;
+        let local_start = self.next - page_start;
+        let local_end = (self.end - page_start).min(VALS_PER_PAGE);
+        let data = self.pool.get(self.col.pages[page_idx]);
+        let chunk = Chunk { start: self.next, data, local: local_start..local_end };
+        self.next = page_start + local_end;
+        Some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(vals: &[u64]) -> (Arc<DiskManager>, BufferPool, Column) {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let col = Column::from_slice(&dm, vals);
+        let pool = BufferPool::new(Arc::clone(&dm), 64);
+        (dm, pool, col)
+    }
+
+    #[test]
+    fn roundtrip_multi_page() {
+        let vals: Vec<u64> = (0..3 * VALS_PER_PAGE as u64 + 17).collect();
+        let (_dm, pool, col) = setup(&vals);
+        assert_eq!(col.len(), vals.len());
+        assert_eq!(col.n_pages(), 4);
+        assert_eq!(col.to_vec(&pool, 0..vals.len()), vals);
+        assert_eq!(col.value(&pool, 0), 0);
+        assert_eq!(col.value(&pool, vals.len() - 1), vals.len() as u64 - 1);
+    }
+
+    #[test]
+    fn chunk_boundaries() {
+        let vals: Vec<u64> = (0..2 * VALS_PER_PAGE as u64).collect();
+        let (_dm, pool, col) = setup(&vals);
+        let lo = VALS_PER_PAGE - 5;
+        let hi = VALS_PER_PAGE + 5;
+        let chunks: Vec<(usize, Vec<u64>)> = col
+            .chunks(&pool, lo..hi)
+            .map(|c| (c.start, c.values().to_vec()))
+            .collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].0, lo);
+        assert_eq!(chunks[0].1, (lo as u64..VALS_PER_PAGE as u64).collect::<Vec<_>>());
+        assert_eq!(chunks[1].0, VALS_PER_PAGE);
+        assert_eq!(chunks[1].1, (VALS_PER_PAGE as u64..hi as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounds_on_sorted_column() {
+        let vals: Vec<u64> = (0..20_000u64).map(|i| i * 2).collect(); // evens
+        let (_dm, pool, col) = setup(&vals);
+        assert_eq!(col.lower_bound(&pool, 0), 0);
+        assert_eq!(col.lower_bound(&pool, 9), 5); // first value >= 9 is 10 at idx 5
+        assert_eq!(col.lower_bound(&pool, 10), 5);
+        assert_eq!(col.upper_bound(&pool, 10), 6);
+        assert_eq!(col.lower_bound(&pool, 40_000), 20_000);
+        assert_eq!(col.upper_bound(&pool, 39_998), 20_000);
+    }
+
+    #[test]
+    fn bounds_with_duplicates() {
+        let mut vals = vec![5u64; 10_000];
+        vals.extend(vec![7u64; 10_000]);
+        let (_dm, pool, col) = setup(&vals);
+        assert_eq!(col.lower_bound(&pool, 5), 0);
+        assert_eq!(col.upper_bound(&pool, 5), 10_000);
+        assert_eq!(col.lower_bound(&pool, 6), 10_000);
+        assert_eq!(col.lower_bound(&pool, 7), 10_000);
+        assert_eq!(col.upper_bound(&pool, 7), 20_000);
+    }
+
+    #[test]
+    fn gather_across_pages() {
+        let vals: Vec<u64> = (0..2 * VALS_PER_PAGE as u64 + 100).map(|i| i * 3).collect();
+        let (_dm, pool, col) = setup(&vals);
+        let rows = vec![0, 5, VALS_PER_PAGE - 1, VALS_PER_PAGE, 2 * VALS_PER_PAGE + 50];
+        let got = col.gather(&pool, &rows);
+        let expect: Vec<u64> = rows.iter().map(|&r| vals[r]).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_restricted_bounds() {
+        // Two runs: [10,20,30,...] then [5,15,25,...]; each run sorted.
+        let mut vals: Vec<u64> = (0..1000).map(|i| 10 + i * 10).collect();
+        vals.extend((0..1000).map(|i| 5 + i * 10));
+        let (_dm, pool, col) = setup(&vals);
+        assert_eq!(col.lower_bound_in(&pool, 0..1000, 25), 2); // 30 at idx 2
+        assert_eq!(col.upper_bound_in(&pool, 0..1000, 30), 3);
+        assert_eq!(col.lower_bound_in(&pool, 1000..2000, 25), 1002);
+        assert_eq!(col.lower_bound_in(&pool, 1000..2000, 0), 1000);
+        assert_eq!(col.upper_bound_in(&pool, 1000..2000, 99_999), 2000);
+    }
+
+    #[test]
+    fn null_tracking_and_zonemap() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let mut b = ColumnBuilder::new(&dm);
+        b.push(10);
+        b.push(NULL_SENTINEL);
+        b.push(30);
+        let col = b.finish();
+        assert_eq!(col.n_nulls(), 1);
+        let st = col.zonemap().page(0);
+        assert_eq!((st.min, st.max, st.n_nonnull), (10, 30, 2));
+    }
+
+    #[test]
+    fn empty_column() {
+        let (_dm, pool, col) = setup(&[]);
+        assert!(col.is_empty());
+        assert_eq!(col.lower_bound(&pool, 5), 0);
+        assert_eq!(col.chunks(&pool, 0..0).count(), 0);
+    }
+
+    #[test]
+    fn zonemap_matches_contents() {
+        let vals: Vec<u64> = (0..VALS_PER_PAGE as u64 * 2).collect();
+        let (_dm, _pool, col) = setup(&vals);
+        let zm = col.zonemap();
+        assert_eq!(zm.page(0).min, 0);
+        assert_eq!(zm.page(0).max, VALS_PER_PAGE as u64 - 1);
+        assert_eq!(zm.page(1).min, VALS_PER_PAGE as u64);
+        assert_eq!(zm.candidate_pages(3, 5), vec![0]);
+    }
+}

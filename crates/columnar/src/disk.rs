@@ -1,0 +1,184 @@
+//! Page-granular file storage.
+//!
+//! A [`DiskManager`] owns one database file and hands out fixed-size pages.
+//! Pages hold 8192 little-endian u64 values (64 KiB) — all sordf columns are
+//! u64-typed (tagged OIDs), so one page type suffices.
+
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// u64 values per page.
+pub const VALS_PER_PAGE: usize = 8192;
+/// Bytes per page.
+pub const PAGE_BYTES: usize = VALS_PER_PAGE * 8;
+
+/// Identifier of a page within a database file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+/// Owns the database file; allocates, writes and reads pages.
+///
+/// Writing happens only during bulk load / reorganization (columns are
+/// immutable once built), so there is no write-ahead logging — crash
+/// consistency is out of scope for this reproduction, as it is for the
+/// paper's experiments.
+pub struct DiskManager {
+    file: File,
+    path: PathBuf,
+    next_page: AtomicU64,
+    /// Guards against interleaved allocation+write races during parallel load.
+    write_lock: Mutex<()>,
+    delete_on_drop: bool,
+}
+
+impl DiskManager {
+    /// Create (truncate) a database file at `path`.
+    pub fn create(path: &Path) -> io::Result<DiskManager> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(DiskManager {
+            file,
+            path: path.to_path_buf(),
+            next_page: AtomicU64::new(0),
+            write_lock: Mutex::new(()),
+            delete_on_drop: false,
+        })
+    }
+
+    /// Create a database file in the system temp directory that is deleted
+    /// when the manager drops. Used by tests, examples and benches.
+    pub fn temp() -> io::Result<DiskManager> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "sordf-{}-{}.db",
+            std::process::id(),
+            n
+        ));
+        let mut dm = DiskManager::create(&path)?;
+        dm.delete_on_drop = true;
+        Ok(dm)
+    }
+
+    /// The file path backing this manager.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of pages allocated so far.
+    pub fn n_pages(&self) -> u64 {
+        self.next_page.load(Ordering::Relaxed)
+    }
+
+    /// Allocate a fresh page id.
+    pub fn alloc_page(&self) -> PageId {
+        PageId(self.next_page.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Write a full page of values. `vals` may be shorter than a page
+    /// (the final page of a column); the remainder is zero-filled.
+    pub fn write_page(&self, id: PageId, vals: &[u64]) -> io::Result<()> {
+        assert!(vals.len() <= VALS_PER_PAGE, "page overflow");
+        let mut buf = vec![0u8; PAGE_BYTES];
+        for (i, v) in vals.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        let _guard = self.write_lock.lock();
+        self.write_at(&buf, id.0 * PAGE_BYTES as u64)
+    }
+
+    /// Read a page into a freshly allocated value buffer.
+    pub fn read_page(&self, id: PageId) -> io::Result<Vec<u64>> {
+        let mut buf = vec![0u8; PAGE_BYTES];
+        self.read_at(&mut buf, id.0 * PAGE_BYTES as u64)?;
+        let mut vals = vec![0u64; VALS_PER_PAGE];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        Ok(vals)
+    }
+
+    #[cfg(unix)]
+    fn write_at(&self, buf: &[u8], off: u64) -> io::Result<()> {
+        self.file.write_all_at(buf, off)
+    }
+
+    #[cfg(unix)]
+    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<()> {
+        // The file is created by us with whole-page writes, so short reads
+        // only happen on corruption; surface them as errors.
+        self.file.read_exact_at(buf, off)
+    }
+
+    #[cfg(not(unix))]
+    fn write_at(&self, _buf: &[u8], _off: u64) -> io::Result<()> {
+        unimplemented!("sordf-columnar currently supports unix targets only")
+    }
+
+    #[cfg(not(unix))]
+    fn read_at(&self, _buf: &mut [u8], _off: u64) -> io::Result<()> {
+        unimplemented!("sordf-columnar currently supports unix targets only")
+    }
+}
+
+impl Drop for DiskManager {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_roundtrip() {
+        let dm = DiskManager::temp().unwrap();
+        let p0 = dm.alloc_page();
+        let p1 = dm.alloc_page();
+        let a: Vec<u64> = (0..VALS_PER_PAGE as u64).collect();
+        let b: Vec<u64> = (0..100).map(|i| i * 7).collect();
+        dm.write_page(p0, &a).unwrap();
+        dm.write_page(p1, &b).unwrap();
+        assert_eq!(dm.read_page(p0).unwrap(), a);
+        let rb = dm.read_page(p1).unwrap();
+        assert_eq!(&rb[..100], &b[..]);
+        assert!(rb[100..].iter().all(|&v| v == 0), "tail zero-filled");
+        assert_eq!(dm.n_pages(), 2);
+    }
+
+    #[test]
+    fn temp_file_removed_on_drop() {
+        let path;
+        {
+            let dm = DiskManager::temp().unwrap();
+            path = dm.path().to_path_buf();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn out_of_order_page_writes() {
+        let dm = DiskManager::temp().unwrap();
+        let ids: Vec<PageId> = (0..4).map(|_| dm.alloc_page()).collect();
+        for (i, &id) in ids.iter().enumerate().rev() {
+            dm.write_page(id, &[i as u64; 10]).unwrap();
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(dm.read_page(id).unwrap()[0], i as u64);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # sordf-columnar
+//!
+//! The paged columnar storage substrate underneath the `sordf` RDF store —
+//! the stand-in for the MonetDB kernel's BAT storage in this reproduction.
+//!
+//! * [`DiskManager`] — page-granular file I/O (64 KiB pages of 8192 u64s).
+//! * [`BufferPool`] — an LRU page cache with `Arc` handout and
+//!   hit/miss/read statistics. "Cold" runs in the paper's Table I are
+//!   reproduced by [`BufferPool::clear`]; optional synthetic per-read latency
+//!   models a spinning disk deterministically.
+//! * [`Column`] / [`ColumnBuilder`] — immutable u64 columns stored across
+//!   pages, with per-page [`ZoneMap`]s (min/max/null-count) built at write
+//!   time, chunked access for vectorized operators, and binary search over
+//!   sorted columns.
+//! * [`Bitmap`] — packed bitsets used for NULL masks and selection vectors.
+//!
+//! Every access to stored data in the engine goes through a [`BufferPool`],
+//! so the paper's locality arguments (how many pages a plan touches) are
+//! directly measurable via [`PoolStats`].
+
+pub mod bitmap;
+pub mod column;
+pub mod disk;
+pub mod pool;
+pub mod zonemap;
+
+pub use bitmap::Bitmap;
+pub use column::{Column, ColumnBuilder};
+pub use disk::{DiskManager, PageId, PAGE_BYTES, VALS_PER_PAGE};
+pub use pool::{BufferPool, PoolStats};
+pub use zonemap::{PageStats, ZoneMap};

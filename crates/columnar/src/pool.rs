@@ -1,0 +1,276 @@
+//! LRU buffer pool over a [`DiskManager`].
+//!
+//! The pool is the only path from operators to stored pages, which makes the
+//! paper's cold/hot distinction reproducible: a *cold* run calls
+//! [`BufferPool::clear`] first (every page fault goes to the file, optionally
+//! with synthetic latency), a *hot* run reuses the warm cache. The stats
+//! counters double as the locality metric ("pages touched") reported by the
+//! benchmark harnesses.
+
+use crate::disk::{DiskManager, PageId};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sordf_model_shim::FxHashMap;
+
+/// Tiny internal shim so the columnar crate does not depend on sordf-model:
+/// a local FxHash map (same algorithm as `sordf_model::fxhash`).
+mod sordf_model_shim {
+    use std::hash::{BuildHasherDefault, Hasher};
+
+    pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+    #[derive(Default)]
+    pub struct FxHasher {
+        hash: u64,
+    }
+
+    impl Hasher for FxHasher {
+        #[inline]
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.write_u64(b as u64);
+            }
+        }
+
+        #[inline]
+        fn write_u64(&mut self, i: u64) {
+            self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+        }
+
+        #[inline]
+        fn finish(&self) -> u64 {
+            self.hash
+        }
+    }
+}
+
+/// Cumulative pool counters (monotone; use deltas around a query).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests satisfied from the cache.
+    pub hits: u64,
+    /// Page requests that had to read the file.
+    pub misses: u64,
+    /// Pages evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Stats delta since `earlier`.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+struct Frame {
+    data: Arc<Vec<u64>>,
+    last_used: u64,
+}
+
+struct PoolInner {
+    frames: FxHashMap<PageId, Frame>,
+    /// (last_used, page) ordered set driving LRU eviction.
+    lru: BTreeSet<(u64, PageId)>,
+    tick: u64,
+}
+
+/// The LRU page cache. See the [module docs](self).
+pub struct BufferPool {
+    disk: Arc<DiskManager>,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Synthetic extra latency per page read, in nanoseconds (0 = off).
+    read_latency_ns: AtomicU64,
+}
+
+impl BufferPool {
+    /// A pool caching at most `capacity` pages (64 KiB each).
+    pub fn new(disk: Arc<DiskManager>, capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "pool capacity must be positive");
+        BufferPool {
+            disk,
+            capacity,
+            inner: Mutex::new(PoolInner {
+                frames: FxHashMap::default(),
+                lru: BTreeSet::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            read_latency_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The disk manager this pool reads from.
+    pub fn disk(&self) -> &Arc<DiskManager> {
+        &self.disk
+    }
+
+    /// Configure synthetic per-miss latency (models a disk for cold runs).
+    pub fn set_read_latency_ns(&self, ns: u64) {
+        self.read_latency_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Fetch a page, from cache or disk. The returned `Arc` stays valid even
+    /// if the page is evicted while in use.
+    pub fn get(&self, id: PageId) -> Arc<Vec<u64>> {
+        {
+            let mut inner = self.inner.lock();
+            let tick = inner.tick + 1;
+            inner.tick = tick;
+            if let Some(frame) = inner.frames.get_mut(&id) {
+                let old = frame.last_used;
+                frame.last_used = tick;
+                let data = Arc::clone(&frame.data);
+                inner.lru.remove(&(old, id));
+                inner.lru.insert((tick, id));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return data;
+            }
+        }
+        // Miss: read outside the lock so concurrent readers are not serialized
+        // on I/O (double reads of the same page are possible but harmless).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let latency = self.read_latency_ns.load(Ordering::Relaxed);
+        if latency > 0 {
+            spin_wait_ns(latency);
+        }
+        let data = Arc::new(self.disk.read_page(id).expect("page read failed"));
+        let mut inner = self.inner.lock();
+        let tick = inner.tick + 1;
+        inner.tick = tick;
+        while inner.frames.len() >= self.capacity {
+            if let Some(&(t, victim)) = inner.lru.iter().next() {
+                inner.lru.remove(&(t, victim));
+                inner.frames.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                break;
+            }
+        }
+        inner.frames.insert(id, Frame { data: Arc::clone(&data), last_used: tick });
+        inner.lru.insert((tick, id));
+        data
+    }
+
+    /// Drop every cached page — the next run is *cold*.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.frames.clear();
+        inner.lru.clear();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Busy-wait for sub-millisecond synthetic latencies (thread::sleep is far
+/// too coarse at this scale and would distort cold timings).
+fn spin_wait_ns(ns: u64) {
+    let start = std::time::Instant::now();
+    let target = std::time::Duration::from_nanos(ns);
+    while start.elapsed() < target {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with_pages(n_pages: u64, capacity: usize) -> (BufferPool, Vec<PageId>) {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let ids: Vec<PageId> = (0..n_pages)
+            .map(|i| {
+                let id = dm.alloc_page();
+                dm.write_page(id, &[i * 100]).unwrap();
+                id
+            })
+            .collect();
+        (BufferPool::new(dm, capacity), ids)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (pool, ids) = pool_with_pages(1, 4);
+        assert_eq!(pool.get(ids[0])[0], 0);
+        assert_eq!(pool.get(ids[0])[0], 0);
+        let s = pool.stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (pool, ids) = pool_with_pages(3, 2);
+        pool.get(ids[0]);
+        pool.get(ids[1]);
+        pool.get(ids[0]); // 0 now more recent than 1
+        pool.get(ids[2]); // evicts 1
+        assert_eq!(pool.cached_pages(), 2);
+        let before = pool.stats();
+        pool.get(ids[0]); // still cached
+        assert_eq!(pool.stats().hits, before.hits + 1);
+        pool.get(ids[1]); // was evicted -> miss
+        assert_eq!(pool.stats().misses, before.misses + 1);
+    }
+
+    #[test]
+    fn clear_makes_next_access_cold() {
+        let (pool, ids) = pool_with_pages(2, 4);
+        pool.get(ids[0]);
+        pool.get(ids[1]);
+        pool.clear();
+        assert_eq!(pool.cached_pages(), 0);
+        let before = pool.stats();
+        pool.get(ids[0]);
+        assert_eq!(pool.stats().since(&before).misses, 1);
+    }
+
+    #[test]
+    fn data_survives_eviction_for_holders() {
+        let (pool, ids) = pool_with_pages(3, 1);
+        let held = pool.get(ids[0]);
+        pool.get(ids[1]);
+        pool.get(ids[2]);
+        // ids[0] has been evicted but our Arc is still valid.
+        assert_eq!(held[0], 0);
+        assert!(pool.stats().evictions >= 2);
+    }
+
+    #[test]
+    fn stats_delta() {
+        let (pool, ids) = pool_with_pages(2, 4);
+        let t0 = pool.stats();
+        pool.get(ids[0]);
+        pool.get(ids[0]);
+        let d = pool.stats().since(&t0);
+        assert_eq!((d.misses, d.hits), (1, 1));
+    }
+}

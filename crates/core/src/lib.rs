@@ -1,0 +1,510 @@
+//! # sordf — self-organizing structured RDF
+//!
+//! The facade crate of the workspace: a single [`Database`] type that walks
+//! through the paper's whole lifecycle.
+//!
+//! ```
+//! use sordf::{Database, ExecConfig, PlanScheme};
+//!
+//! let mut db = Database::in_temp_dir().unwrap();
+//! db.load_ntriples(r#"
+//!     <http://ex/book1> <http://ex/has_author> <http://ex/author1> .
+//!     <http://ex/book1> <http://ex/in_year> "1996"^^<http://www.w3.org/2001/XMLSchema#integer> .
+//!     <http://ex/book1> <http://ex/isbn_no> "1-56619-909-3" .
+//!     <http://ex/book2> <http://ex/has_author> <http://ex/author2> .
+//!     <http://ex/book2> <http://ex/in_year> "1997"^^<http://www.w3.org/2001/XMLSchema#integer> .
+//!     <http://ex/book2> <http://ex/isbn_no> "1-56619-909-4" .
+//!     <http://ex/book3> <http://ex/has_author> <http://ex/author1> .
+//!     <http://ex/book3> <http://ex/in_year> "1998"^^<http://www.w3.org/2001/XMLSchema#integer> .
+//!     <http://ex/book3> <http://ex/isbn_no> "1-56619-909-5" .
+//! "#).unwrap();
+//!
+//! // Self-organize: discover the emergent schema, cluster subjects,
+//! // rebuild storage as CS segments.
+//! db.self_organize().unwrap();
+//! assert_eq!(db.schema().unwrap().classes.len(), 1);
+//!
+//! let rs = db.query("SELECT ?a ?n WHERE { ?b <http://ex/has_author> ?a . \
+//!                     ?b <http://ex/isbn_no> ?n . }").unwrap();
+//! assert_eq!(rs.len(), 3);
+//! ```
+//!
+//! The database keeps up to three physical generations, matching the axes of
+//! the paper's Table I:
+//!
+//! 1. a **baseline** exhaustive-index store over parse-order OIDs,
+//! 2. optional **CS tables in parse order** ([`Database::build_cs_tables`]),
+//! 3. the **clustered** generation after [`Database::self_organize`]
+//!    (subject-clustered OIDs, sorted literals, dense segments).
+//!
+//! Queries run against the newest built generation by default; benchmarks
+//! pin a generation + plan scheme with [`Database::query_with`].
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use sordf_columnar::{BufferPool, DiskManager, PoolStats};
+use sordf_engine::agg::ResultSet;
+use sordf_engine::context::StatsSnapshot;
+use sordf_engine::planner::PlanInfo;
+pub use sordf_engine::{ExecConfig, PlanScheme};
+use sordf_engine::{ExecContext, StorageRef};
+use sordf_model::{Dictionary, ModelError, TermTriple};
+pub use sordf_schema::{EmergentSchema, SchemaConfig};
+use sordf_storage::{
+    build_clustered, reorganize, BaselineStore, ClusterSpec, ClusteredStore, ReorgReport,
+    TripleSet,
+};
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum Error {
+    Io(io::Error),
+    Model(ModelError),
+    Sparql(sordf_sparql::ParseError),
+    Sql(String),
+    State(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Model(e) => write!(f, "data error: {e}"),
+            Error::Sparql(e) => write!(f, "{e}"),
+            Error::Sql(e) => write!(f, "SQL error: {e}"),
+            Error::State(e) => write!(f, "invalid state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+impl From<ModelError> for Error {
+    fn from(e: ModelError) -> Error {
+        Error::Model(e)
+    }
+}
+
+impl From<sordf_sparql::ParseError> for Error {
+    fn from(e: sordf_sparql::ParseError) -> Error {
+        Error::Sparql(e)
+    }
+}
+
+/// Which storage generation a query should run against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Generation {
+    /// Exhaustive permutation indexes, parse-order OIDs.
+    Baseline,
+    /// CS tables with parse-order OIDs (sparse segments).
+    CsParseOrder,
+    /// Fully self-organized: clustered OIDs, dense segments.
+    Clustered,
+}
+
+/// A query's result together with its execution trace.
+pub struct Traced {
+    pub results: ResultSet,
+    pub stats: StatsSnapshot,
+    pub pool: PoolStats,
+}
+
+/// The self-organizing RDF database.
+pub struct Database {
+    dm: Arc<DiskManager>,
+    pool: BufferPool,
+    ts: TripleSet,
+    baseline: Option<BaselineStore>,
+    schema: Option<EmergentSchema>,
+    /// Sparse CS tables over parse-order OIDs (and the schema they use).
+    cs_parse_order: Option<(ClusteredStore, EmergentSchema)>,
+    clustered: Option<ClusteredStore>,
+    /// Spec used for clustering (kept for reporting).
+    spec: ClusterSpec,
+    reorg_report: Option<ReorgReport>,
+    config: ExecConfig,
+}
+
+impl Database {
+    /// A database backed by a temp file (deleted on drop).
+    pub fn in_temp_dir() -> Result<Database, Error> {
+        Ok(Database::with_disk(Arc::new(DiskManager::temp()?)))
+    }
+
+    /// A database backed by the given file (truncated).
+    pub fn create(path: &Path) -> Result<Database, Error> {
+        Ok(Database::with_disk(Arc::new(DiskManager::create(path)?)))
+    }
+
+    fn with_disk(dm: Arc<DiskManager>) -> Database {
+        let pool = BufferPool::new(Arc::clone(&dm), 4096); // 256 MiB cache
+        Database {
+            dm,
+            pool,
+            ts: TripleSet::new(),
+            baseline: None,
+            schema: None,
+            cs_parse_order: None,
+            clustered: None,
+            spec: ClusterSpec::none(),
+            reorg_report: None,
+            config: ExecConfig::default(),
+        }
+    }
+
+    // ---- loading -----------------------------------------------------------
+
+    /// Load an N-Triples document. Invalidates built stores.
+    pub fn load_ntriples(&mut self, text: &str) -> Result<usize, Error> {
+        let n = self.ts.load_ntriples(text)?;
+        self.invalidate();
+        Ok(n)
+    }
+
+    /// Load term triples from a generator.
+    pub fn load_terms(&mut self, triples: &[TermTriple]) -> Result<usize, Error> {
+        let n = self.ts.extend_terms(triples)?;
+        self.invalidate();
+        Ok(n)
+    }
+
+    fn invalidate(&mut self) {
+        self.baseline = None;
+        self.schema = None;
+        self.cs_parse_order = None;
+        self.clustered = None;
+        self.reorg_report = None;
+    }
+
+    /// Number of loaded triples.
+    pub fn n_triples(&self) -> usize {
+        self.ts.len()
+    }
+
+    pub fn dict(&self) -> &Dictionary {
+        &self.ts.dict
+    }
+
+    // ---- building generations ----------------------------------------------
+
+    /// Build the exhaustive-index baseline (Table I's "ParseOrder" scheme).
+    pub fn build_baseline(&mut self) -> Result<(), Error> {
+        if self.baseline.is_none() {
+            let spo = self.ts.sorted_spo();
+            self.baseline = Some(BaselineStore::build(&self.dm, &spo));
+        }
+        Ok(())
+    }
+
+    /// Run schema discovery (idempotent). Returns coverage.
+    pub fn discover_schema(&mut self, cfg: &SchemaConfig) -> Result<f64, Error> {
+        if self.clustered.is_some() {
+            return Err(Error::State("schema already frozen by self_organize()".into()));
+        }
+        let spo = self.ts.sorted_spo();
+        let schema = sordf_schema::discover(&spo, &self.ts.dict, cfg);
+        let coverage = schema.coverage;
+        self.schema = Some(schema);
+        Ok(coverage)
+    }
+
+    /// Build CS tables *without* renumbering OIDs (sparse segments) — the
+    /// "RDFscan on ParseOrder" configuration.
+    pub fn build_cs_tables(&mut self) -> Result<(), Error> {
+        if self.cs_parse_order.is_some() {
+            return Ok(());
+        }
+        if self.schema.is_none() {
+            self.discover_schema(&SchemaConfig::default())?;
+        }
+        let mut schema = self.schema.clone().unwrap();
+        let spo = self.ts.sorted_spo();
+        let spec = ClusterSpec::auto(&schema);
+        let store = build_clustered(&self.dm, &spo, &mut schema, &spec, false);
+        self.cs_parse_order = Some((store, schema));
+        Ok(())
+    }
+
+    /// Self-organize: discover the schema (if not yet done), cluster subject
+    /// OIDs, sort literal OIDs, and rebuild storage as dense CS segments.
+    /// Uses [`ClusterSpec::auto`] unless a spec was set via
+    /// [`Database::self_organize_with`].
+    pub fn self_organize(&mut self) -> Result<&EmergentSchema, Error> {
+        if self.schema.is_none() {
+            self.discover_schema(&SchemaConfig::default())?;
+        }
+        let spec = ClusterSpec::auto(self.schema.as_ref().unwrap());
+        self.self_organize_with(spec)
+    }
+
+    /// Self-organize with an explicit clustering spec.
+    pub fn self_organize_with(&mut self, spec: ClusterSpec) -> Result<&EmergentSchema, Error> {
+        if self.clustered.is_some() {
+            return Ok(self.schema.as_ref().unwrap());
+        }
+        if self.schema.is_none() {
+            self.discover_schema(&SchemaConfig::default())?;
+        }
+        let mut schema = self.schema.take().unwrap();
+        let report = reorganize(&mut self.ts, &mut schema, &spec);
+        let spo = self.ts.sorted_spo();
+        let store = build_clustered(&self.dm, &spo, &mut schema, &spec, true);
+        self.clustered = Some(store);
+        self.schema = Some(schema);
+        self.spec = spec;
+        self.reorg_report = Some(report);
+        // Parse-order generations hold stale OIDs now.
+        self.baseline = None;
+        self.cs_parse_order = None;
+        Ok(self.schema.as_ref().unwrap())
+    }
+
+    /// The discovered schema, if any.
+    pub fn schema(&self) -> Option<&EmergentSchema> {
+        self.schema.as_ref()
+    }
+
+    /// The clustering report, if self-organized.
+    pub fn reorg_report(&self) -> Option<&ReorgReport> {
+        self.reorg_report.as_ref()
+    }
+
+    /// The clustered store, if self-organized.
+    pub fn clustered_store(&self) -> Option<&ClusteredStore> {
+        self.clustered.as_ref()
+    }
+
+    /// Render the SQL view of the emergent schema.
+    pub fn ddl(&self) -> Result<String, Error> {
+        let schema =
+            self.schema.as_ref().ok_or(Error::State("no schema discovered yet".into()))?;
+        Ok(schema.render_ddl(&self.ts.dict))
+    }
+
+    // ---- querying ----------------------------------------------------------
+
+    /// Default engine configuration used by [`Database::query`].
+    pub fn set_config(&mut self, config: ExecConfig) {
+        self.config = config;
+    }
+
+    /// Drop the page cache: the next query runs *cold*.
+    pub fn drop_cache(&self) {
+        self.pool.clear();
+    }
+
+    /// Configure synthetic per-page-read latency (models disk I/O in the
+    /// cold-run experiments).
+    pub fn set_read_latency_ns(&self, ns: u64) {
+        self.pool.set_read_latency_ns(ns);
+    }
+
+    /// Buffer pool statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// The underlying buffer pool (advanced use: custom execution contexts,
+    /// benchmark instrumentation).
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    fn storage_for(&self, generation: Generation) -> Result<StorageRef<'_>, Error> {
+        match generation {
+            Generation::Baseline => self
+                .baseline
+                .as_ref()
+                .map(StorageRef::Baseline)
+                .ok_or(Error::State("baseline not built; call build_baseline()".into())),
+            Generation::CsParseOrder => self
+                .cs_parse_order
+                .as_ref()
+                .map(|(store, schema)| StorageRef::Clustered { store, schema })
+                .ok_or(Error::State("CS tables not built; call build_cs_tables()".into())),
+            Generation::Clustered => match (&self.clustered, &self.schema) {
+                (Some(store), Some(schema)) => Ok(StorageRef::Clustered { store, schema }),
+                _ => Err(Error::State("not self-organized; call self_organize()".into())),
+            },
+        }
+    }
+
+    /// The newest generation that has been built.
+    pub fn default_generation(&self) -> Result<Generation, Error> {
+        if self.clustered.is_some() {
+            Ok(Generation::Clustered)
+        } else if self.cs_parse_order.is_some() {
+            Ok(Generation::CsParseOrder)
+        } else if self.baseline.is_some() {
+            Ok(Generation::Baseline)
+        } else {
+            Err(Error::State("no storage built; load data and call self_organize()".into()))
+        }
+    }
+
+    /// Run a SPARQL query against the newest generation with the default
+    /// configuration.
+    pub fn query(&self, sparql: &str) -> Result<ResultSet, Error> {
+        Ok(self.query_traced(sparql, self.default_generation()?, self.config)?.results)
+    }
+
+    /// Run a SPARQL query pinned to a generation + configuration.
+    pub fn query_with(
+        &self,
+        sparql: &str,
+        generation: Generation,
+        config: ExecConfig,
+    ) -> Result<ResultSet, Error> {
+        Ok(self.query_traced(sparql, generation, config)?.results)
+    }
+
+    /// Run a SPARQL query and return operator/pool statistics with it.
+    pub fn query_traced(
+        &self,
+        sparql: &str,
+        generation: Generation,
+        config: ExecConfig,
+    ) -> Result<Traced, Error> {
+        let query = sordf_sparql::parse_sparql(sparql, &self.ts.dict)?;
+        let storage = self.storage_for(generation)?;
+        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, config);
+        let pool_before = self.pool.stats();
+        let results = sordf_engine::execute(&cx, &query);
+        Ok(Traced {
+            results,
+            stats: cx.stats.snapshot(),
+            pool: self.pool.stats().since(&pool_before),
+        })
+    }
+
+    /// Explain the plan a SPARQL query would get.
+    pub fn explain(&self, sparql: &str) -> Result<PlanInfo, Error> {
+        let query = sordf_sparql::parse_sparql(sparql, &self.ts.dict)?;
+        let storage = self.storage_for(self.default_generation()?)?;
+        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, self.config);
+        Ok(sordf_engine::explain(&cx, &query))
+    }
+
+    /// Run a SQL query against the emergent relational schema (requires
+    /// [`Database::self_organize`] first).
+    pub fn sql(&self, sql: &str) -> Result<ResultSet, Error> {
+        let (Some(store), Some(schema)) = (&self.clustered, &self.schema) else {
+            return Err(Error::State("SQL view requires self_organize() first".into()));
+        };
+        let query = sordf_sql::compile_sql(sql, schema, store, &self.ts.dict)
+            .map_err(Error::Sql)?;
+        let storage = StorageRef::Clustered { store, schema };
+        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, self.config);
+        Ok(sordf_engine::execute(&cx, &query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sordf_model::Term;
+
+    fn sample_db() -> Database {
+        let mut db = Database::in_temp_dir().unwrap();
+        let mut triples = Vec::new();
+        for i in 0..50u64 {
+            let s = format!("http://ex/item{i}");
+            triples.push(TermTriple::new(
+                Term::iri(s.clone()),
+                Term::iri("http://ex/qty"),
+                Term::int((i % 10) as i64),
+            ));
+            triples.push(TermTriple::new(
+                Term::iri(s),
+                Term::iri("http://ex/sold"),
+                Term::date(&format!("1996-01-{:02}", (i % 28) + 1)),
+            ));
+        }
+        db.load_terms(&triples).unwrap();
+        db
+    }
+
+    #[test]
+    fn lifecycle_and_query() {
+        let mut db = sample_db();
+        db.build_baseline().unwrap();
+        let rs = db
+            .query_with(
+                "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }",
+                Generation::Baseline,
+                ExecConfig { scheme: PlanScheme::Default, zonemaps: false },
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 5);
+
+        db.self_organize().unwrap();
+        let rs2 = db
+            .query("SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }")
+            .unwrap();
+        assert_eq!(rs2.len(), 5);
+        assert!(db.schema().unwrap().coverage > 0.99);
+        assert!(db.reorg_report().is_some());
+    }
+
+    #[test]
+    fn cold_vs_hot_pool_stats() {
+        let mut db = sample_db();
+        db.self_organize().unwrap();
+        let q = "SELECT ?s WHERE { ?s <http://ex/qty> ?q . FILTER(?q < 5) }";
+        db.drop_cache();
+        let cold = db
+            .query_traced(q, Generation::Clustered, ExecConfig::default())
+            .unwrap();
+        let hot = db
+            .query_traced(q, Generation::Clustered, ExecConfig::default())
+            .unwrap();
+        assert!(cold.pool.misses > 0, "cold run must read pages");
+        assert_eq!(hot.pool.misses, 0, "hot run must be fully cached");
+        assert_eq!(cold.results.len(), hot.results.len());
+    }
+
+    #[test]
+    fn query_before_build_errors() {
+        let db = Database::in_temp_dir().unwrap();
+        assert!(matches!(
+            db.query("SELECT ?s WHERE { ?s <http://x/p> ?o . }"),
+            Err(Error::State(_))
+        ));
+    }
+
+    #[test]
+    fn ddl_rendering() {
+        let mut db = sample_db();
+        db.self_organize().unwrap();
+        let ddl = db.ddl().unwrap();
+        assert!(ddl.contains("CREATE TABLE"), "{ddl}");
+        assert!(ddl.contains("qty"), "{ddl}");
+    }
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        // Mirror of the crate-level doc example.
+        let mut db = Database::in_temp_dir().unwrap();
+        db.load_ntriples(
+            r#"<http://ex/book1> <http://ex/has_author> <http://ex/author1> .
+<http://ex/book1> <http://ex/in_year> "1996"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/book1> <http://ex/isbn_no> "1-56619-909-3" ."#,
+        )
+        .unwrap();
+        db.self_organize().unwrap();
+        let rs = db
+            .query(
+                "SELECT ?a ?n WHERE { ?b <http://ex/has_author> ?a . ?b <http://ex/isbn_no> ?n . }",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+}

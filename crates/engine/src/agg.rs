@@ -1,0 +1,299 @@
+//! Result finalization: projection, grouping/aggregation, DISTINCT,
+//! ORDER BY, LIMIT — and the typed result set handed to frontends.
+
+use crate::context::ExecContext;
+use crate::expr::{compare, AggFunc, EvalValue};
+use crate::query::{Query, SelectItem};
+use crate::table::{Table, VarId};
+use sordf_model::{Dictionary, FxHashMap, Oid};
+
+/// One output value: a term OID, a computed number, or NULL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutVal {
+    Oid(Oid),
+    Num(f64),
+    Null,
+}
+
+impl OutVal {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            OutVal::Num(n) => Some(*n),
+            OutVal::Oid(o) => o.numeric_f64(),
+            OutVal::Null => None,
+        }
+    }
+
+    /// Render for display: decodes OIDs through the dictionary.
+    pub fn render(&self, dict: &Dictionary) -> String {
+        match self {
+            OutVal::Null => "NULL".to_string(),
+            OutVal::Num(n) => {
+                if (n.fract()).abs() < 1e-9 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n:.4}")
+                }
+            }
+            OutVal::Oid(o) => match dict.decode(*o) {
+                Ok(sordf_model::Term::Iri(iri)) => format!("<{iri}>"),
+                Ok(sordf_model::Term::Blank(b)) => format!("_:{b}"),
+                Ok(sordf_model::Term::Literal(l)) => l.value.lexical(),
+                Err(_) => format!("{o:?}"),
+            },
+        }
+    }
+}
+
+/// Total order over output values (NULLs last, numbers by value, terms by
+/// SPARQL-ish value comparison).
+pub fn cmp_outval(a: &OutVal, b: &OutVal, dict: &Dictionary) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (OutVal::Null, OutVal::Null) => Ordering::Equal,
+        (OutVal::Null, _) => Ordering::Greater,
+        (_, OutVal::Null) => Ordering::Less,
+        (OutVal::Num(x), OutVal::Num(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (OutVal::Oid(x), OutVal::Oid(y)) => {
+            compare(&EvalValue::Oid(*x), &EvalValue::Oid(*y), dict).unwrap_or(x.cmp(y))
+        }
+        (a, b) => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+            _ => Ordering::Equal,
+        },
+    }
+}
+
+/// The final, typed query result.
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<OutVal>>,
+}
+
+impl ResultSet {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render all rows as strings (header excluded).
+    pub fn render(&self, dict: &Dictionary) -> Vec<Vec<String>> {
+        self.rows.iter().map(|r| r.iter().map(|v| v.render(dict)).collect()).collect()
+    }
+
+    /// A canonical sorted text form for differential testing: two result
+    /// sets are equivalent iff this matches.
+    pub fn canonical(&self, dict: &Dictionary) -> Vec<String> {
+        let mut rows: Vec<String> =
+            self.render(dict).into_iter().map(|r| r.join("\t")).collect();
+        rows.sort();
+        rows
+    }
+}
+
+/// Aggregate accumulator.
+enum AggState {
+    Count(u64),
+    Sum(f64),
+    Avg(f64, u64),
+    Min(Option<OutVal>),
+    Max(Option<OutVal>),
+}
+
+impl AggState {
+    fn new(f: AggFunc) -> AggState {
+        match f {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum(0.0),
+            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn add(&mut self, v: EvalValue, dict: &Dictionary) {
+        let out = match &v {
+            EvalValue::Oid(o) if o.is_null() => return,
+            EvalValue::Oid(o) => OutVal::Oid(*o),
+            // A NaN is an evaluation error (e.g. arithmetic on a non-numeric
+            // term); SPARQL aggregates skip errored rows.
+            EvalValue::Num(n) if n.is_nan() => return,
+            EvalValue::Num(n) => OutVal::Num(*n),
+            EvalValue::Bool(b) => OutVal::Num(*b as i64 as f64),
+        };
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::Sum(s) => *s += out.as_f64().unwrap_or(0.0),
+            AggState::Avg(s, n) => {
+                if let Some(x) = out.as_f64() {
+                    *s += x;
+                    *n += 1;
+                }
+            }
+            AggState::Min(best) => {
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| cmp_outval(&out, b, dict) == std::cmp::Ordering::Less);
+                if better {
+                    *best = Some(out);
+                }
+            }
+            AggState::Max(best) => {
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| cmp_outval(&out, b, dict) == std::cmp::Ordering::Greater);
+                if better {
+                    *best = Some(out);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> OutVal {
+        match self {
+            AggState::Count(n) => OutVal::Num(n as f64),
+            AggState::Sum(s) => OutVal::Num(s),
+            AggState::Avg(s, n) => {
+                if n == 0 {
+                    OutVal::Null
+                } else {
+                    OutVal::Num(s / n as f64)
+                }
+            }
+            AggState::Min(b) | AggState::Max(b) => b.unwrap_or(OutVal::Null),
+        }
+    }
+}
+
+/// Apply SELECT / GROUP BY / DISTINCT / ORDER BY / LIMIT to the raw binding
+/// table.
+pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
+    // Effective select list: all pattern vars when empty.
+    let select: Vec<SelectItem> = if query.select.is_empty() {
+        query.pattern_vars().into_iter().map(SelectItem::Var).collect()
+    } else {
+        query.select.clone()
+    };
+    let columns: Vec<String> = select.iter().map(|s| s.name(&query.vars).to_string()).collect();
+
+    let lookup_at = |i: usize| {
+        move |v: VarId| -> Oid {
+            table.col_of(v).map(|c| table.cols[c][i]).unwrap_or(Oid::NULL)
+        }
+    };
+
+    let mut rows: Vec<Vec<OutVal>> = Vec::new();
+    if query.has_aggregates() {
+        // Hash grouping on the GROUP BY key.
+        let mut groups: FxHashMap<Vec<Oid>, Vec<AggState>> = FxHashMap::default();
+        let mut order: Vec<Vec<Oid>> = Vec::new();
+        for i in 0..table.len() {
+            let lk = lookup_at(i);
+            let key: Vec<Oid> = query.group_by.iter().map(|&v| lk(v)).collect();
+            let states = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                select
+                    .iter()
+                    .map(|s| match s {
+                        SelectItem::Agg { func, .. } => AggState::new(*func),
+                        _ => AggState::new(AggFunc::Count), // placeholder
+                    })
+                    .collect()
+            });
+            for (s, state) in select.iter().zip(states.iter_mut()) {
+                if let SelectItem::Agg { expr, .. } = s {
+                    state.add(expr.eval(&lk, cx.dict), cx.dict);
+                }
+            }
+        }
+        for key in order {
+            let states = groups.remove(&key).unwrap();
+            let kv: FxHashMap<VarId, Oid> =
+                query.group_by.iter().copied().zip(key.iter().copied()).collect();
+            let lk = |v: VarId| kv.get(&v).copied().unwrap_or(Oid::NULL);
+            let row: Vec<OutVal> = select
+                .iter()
+                .zip(states)
+                .map(|(s, state)| match s {
+                    SelectItem::Agg { .. } => state.finish(),
+                    SelectItem::Var(v) => {
+                        let o = lk(*v);
+                        if o.is_null() {
+                            OutVal::Null
+                        } else {
+                            OutVal::Oid(o)
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } => match expr.eval(&lk, cx.dict) {
+                        EvalValue::Oid(o) if o.is_null() => OutVal::Null,
+                        EvalValue::Oid(o) => OutVal::Oid(o),
+                        EvalValue::Num(n) => OutVal::Num(n),
+                        EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
+                    },
+                })
+                .collect();
+            rows.push(row);
+        }
+    } else {
+        for i in 0..table.len() {
+            let lk = lookup_at(i);
+            let row: Vec<OutVal> = select
+                .iter()
+                .map(|s| match s {
+                    SelectItem::Var(v) => {
+                        let o = lk(*v);
+                        if o.is_null() {
+                            OutVal::Null
+                        } else {
+                            OutVal::Oid(o)
+                        }
+                    }
+                    SelectItem::Expr { expr, .. } | SelectItem::Agg { expr, .. } => {
+                        match expr.eval(&lk, cx.dict) {
+                            EvalValue::Oid(o) if o.is_null() => OutVal::Null,
+                            EvalValue::Oid(o) => OutVal::Oid(o),
+                            EvalValue::Num(n) => OutVal::Num(n),
+                            EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
+                        }
+                    }
+                })
+                .collect();
+            rows.push(row);
+        }
+    }
+
+    if query.distinct {
+        let mut seen: Vec<Vec<OutVal>> = Vec::new();
+        rows.retain(|r| {
+            if seen.iter().any(|s| s == r) {
+                false
+            } else {
+                seen.push(r.clone());
+                true
+            }
+        });
+    }
+
+    if !query.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for key in &query.order_by {
+                let ord = cmp_outval(&a[key.output], &b[key.output], cx.dict);
+                let ord = if key.ascending { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+
+    ResultSet { columns, rows }
+}

@@ -1,0 +1,124 @@
+//! Cardinality estimation: characteristic sets vs. independence.
+//!
+//! The paper motivates CS-awareness with exactly this: "being unaware of
+//! structural correlations (e.g., availability of <isbn_no> causes the
+//! occurrence of <has_author> almost a certainty) makes it difficult to
+//! estimate the join hit ratio between triple patterns". The CS estimator
+//! (after Neumann & Moerkotte) knows those correlations by construction; the
+//! independence estimator multiplies per-pattern selectivities and divides
+//! by the subject domain — systematically underestimating star results.
+
+use crate::context::{ExecContext, StorageRef};
+use crate::expr::Expr;
+use crate::scan::ORestrict;
+use crate::star::{restrict_for_var, Star};
+use crate::query::VarOrOid;
+use sordf_schema::ColStats;
+use sordf_storage::Order;
+
+/// Selectivity of a pushed restriction against column statistics.
+fn restrict_selectivity(r: &ORestrict, stats: &ColStats) -> f64 {
+    if r.is_none() {
+        return 1.0;
+    }
+    if r.eq.is_some() {
+        return 1.0 / stats.n_distinct.max(1) as f64;
+    }
+    let (lo, hi) = r.bounds();
+    match (stats.min, stats.max) {
+        (Some(min), Some(max)) if max > min => {
+            let lo = lo.max(min) as f64;
+            let hi = hi.min(max) as f64;
+            if hi < lo {
+                0.0
+            } else {
+                ((hi - lo) / (max - min) as f64).clamp(0.0, 1.0)
+            }
+        }
+        _ => 0.5,
+    }
+}
+
+/// CS-based estimate: sum over classes covering the whole star.
+/// Returns `None` on storage without a discovered schema.
+pub fn estimate_star_cs(cx: &ExecContext, star: &Star, filters: &[&Expr]) -> Option<f64> {
+    let StorageRef::Clustered { schema, .. } = &cx.storage else { return None };
+    let strings_ordered = cx.strings_value_ordered();
+    let mut total = 0.0;
+    for class in &schema.classes {
+        let mut card = class.n_subjects as f64;
+        let mut covers_all = true;
+        for prop in &star.props {
+            let restrict = match prop.o {
+                VarOrOid::Const(c) => ORestrict::eq(c),
+                VarOrOid::Var(v) => restrict_for_var(filters, v, strings_ordered),
+            };
+            if let Some(ci) = class.column_of(prop.pred) {
+                let col = &class.columns[ci];
+                // presence = P(subject has the property at all)
+                card *= col.presence * restrict_selectivity(&restrict, &col.stats);
+            } else if let Some(mi) = class.multi_of(prop.pred) {
+                let mp = &class.multi_props[mi];
+                card *= mp.mean_multiplicity * restrict_selectivity(&restrict, &mp.stats);
+            } else {
+                covers_all = false;
+                break;
+            }
+        }
+        if covers_all {
+            total += card;
+        }
+    }
+    Some(total)
+}
+
+/// Independence-assumption estimate (what a schema-oblivious triple store
+/// does): product of per-pattern cardinalities over |subject domain|^(k-1).
+pub fn estimate_star_independence(cx: &ExecContext, star: &Star, filters: &[&Expr]) -> f64 {
+    let strings_ordered = cx.strings_value_ordered();
+    let domain = cx.dict.n_iris().max(1) as f64;
+    let mut est = 1.0f64;
+    let mut k = 0usize;
+    for prop in &star.props {
+        // |pattern| ≈ triples with this predicate × filter selectivity.
+        let n_pred = match &cx.storage {
+            StorageRef::Baseline(store) => {
+                store.perm(Order::Pso).range1(cx.pool, prop.pred).len()
+            }
+            StorageRef::Clustered { store, schema } => {
+                let mut n = store.irregular.perm(Order::Pso).range1(cx.pool, prop.pred).len();
+                for (class, ci) in schema.classes_with_column(prop.pred) {
+                    n += schema.class(class).columns[ci].stats.n_nonnull as usize;
+                }
+                for (class, mi) in schema.classes_with_multi(prop.pred) {
+                    n += schema.class(class).multi_props[mi].stats.n_nonnull as usize;
+                }
+                n
+            }
+        } as f64;
+        let restrict = match prop.o {
+            VarOrOid::Const(_) => 0.001f64, // generic point-selectivity guess
+            VarOrOid::Var(v) => {
+                let r = restrict_for_var(filters, v, strings_ordered);
+                if r.is_none() {
+                    1.0
+                } else if r.eq.is_some() {
+                    0.001
+                } else {
+                    0.3 // generic range guess — the point of the ablation
+                }
+            }
+        };
+        est *= n_pred * restrict;
+        k += 1;
+    }
+    if k > 1 {
+        est /= domain.powi(k as i32 - 1);
+    }
+    est.max(0.0)
+}
+
+/// Best available estimate (CS when a schema exists).
+pub fn estimate_star(cx: &ExecContext, star: &Star, filters: &[&Expr]) -> f64 {
+    estimate_star_cs(cx, star, filters).unwrap_or_else(|| estimate_star_independence(cx, star, filters))
+}

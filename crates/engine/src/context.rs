@@ -1,0 +1,158 @@
+//! Execution context: storage handles, configuration, runtime counters.
+
+use sordf_columnar::BufferPool;
+use sordf_model::Dictionary;
+use sordf_schema::EmergentSchema;
+use sordf_storage::{BaselineStore, ClusteredStore};
+use std::cell::Cell;
+
+/// Which plan scheme the planner uses for star patterns — the "Query Plan"
+/// axis of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanScheme {
+    /// Per-property index scans + merge self-joins (triple-store classic).
+    Default,
+    /// RDFscan for base stars, RDFjoin for candidate-driven stars.
+    RdfScanJoin,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    pub scheme: PlanScheme,
+    /// Use zone maps: page skipping within scans and min/max restriction
+    /// pushdown across star joins (the "ZoneMaps" axis of Table I).
+    pub zonemaps: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> ExecConfig {
+        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true }
+    }
+}
+
+/// The storage generation a query runs against.
+pub enum StorageRef<'a> {
+    /// Exhaustive permutation indexes over all triples (ParseOrder).
+    Baseline(&'a BaselineStore),
+    /// CS segments + irregular remainder (ParseOrder-sparse or Clustered).
+    Clustered { store: &'a ClusteredStore, schema: &'a EmergentSchema },
+}
+
+impl<'a> StorageRef<'a> {
+    pub fn is_clustered(&self) -> bool {
+        matches!(self, StorageRef::Clustered { .. })
+    }
+
+    pub fn schema(&self) -> Option<&'a EmergentSchema> {
+        match self {
+            StorageRef::Baseline(_) => None,
+            StorageRef::Clustered { schema, .. } => Some(schema),
+        }
+    }
+}
+
+/// Runtime operator counters — the numbers behind the paper's Fig. 4
+/// (join-effort reduction) and the locality reporting of the harnesses.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    pub merge_joins: Cell<u64>,
+    pub hash_joins: Cell<u64>,
+    pub rdf_scans: Cell<u64>,
+    pub rdf_joins: Cell<u64>,
+    pub property_scans: Cell<u64>,
+    pub rows_scanned: Cell<u64>,
+    pub rows_emitted: Cell<u64>,
+    pub zonemap_pages_skipped: Cell<u64>,
+}
+
+impl ExecStats {
+    pub fn bump(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
+
+    /// Total join operators executed.
+    pub fn total_joins(&self) -> u64 {
+        self.merge_joins.get() + self.hash_joins.get() + self.rdf_joins.get()
+    }
+
+    pub fn reset(&self) {
+        self.merge_joins.set(0);
+        self.hash_joins.set(0);
+        self.rdf_scans.set(0);
+        self.rdf_joins.set(0);
+        self.property_scans.set(0);
+        self.rows_scanned.set(0);
+        self.rows_emitted.set(0);
+        self.zonemap_pages_skipped.set(0);
+    }
+
+    /// A plain-old-data copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            merge_joins: self.merge_joins.get(),
+            hash_joins: self.hash_joins.get(),
+            rdf_scans: self.rdf_scans.get(),
+            rdf_joins: self.rdf_joins.get(),
+            property_scans: self.property_scans.get(),
+            rows_scanned: self.rows_scanned.get(),
+            rows_emitted: self.rows_emitted.get(),
+            zonemap_pages_skipped: self.zonemap_pages_skipped.get(),
+        }
+    }
+}
+
+/// Copyable snapshot of [`ExecStats`], reported by the facade and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub merge_joins: u64,
+    pub hash_joins: u64,
+    pub rdf_scans: u64,
+    pub rdf_joins: u64,
+    pub property_scans: u64,
+    pub rows_scanned: u64,
+    pub rows_emitted: u64,
+    pub zonemap_pages_skipped: u64,
+}
+
+impl StatsSnapshot {
+    /// Total join operators executed.
+    pub fn total_joins(&self) -> u64 {
+        self.merge_joins + self.hash_joins + self.rdf_joins
+    }
+}
+
+/// Everything an operator needs at runtime.
+pub struct ExecContext<'a> {
+    pub pool: &'a BufferPool,
+    pub dict: &'a Dictionary,
+    pub storage: StorageRef<'a>,
+    pub config: ExecConfig,
+    pub stats: ExecStats,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(
+        pool: &'a BufferPool,
+        dict: &'a Dictionary,
+        storage: StorageRef<'a>,
+        config: ExecConfig,
+    ) -> ExecContext<'a> {
+        ExecContext { pool, dict, storage, config, stats: ExecStats::default() }
+    }
+
+    /// Are string OIDs ordered by value? True after clustering (the string
+    /// pool is sorted), false on parse-order storage — ordered string
+    /// comparisons must decode in that case.
+    pub fn strings_value_ordered(&self) -> bool {
+        // Sparse clustered stores keep parse-order string OIDs too; only the
+        // reorganized (dense) store sorts the pool. We detect via segments.
+        match &self.storage {
+            StorageRef::Baseline(_) => false,
+            StorageRef::Clustered { store, .. } => store
+                .segments
+                .iter()
+                .all(|s| matches!(s.subjects, sordf_storage::clustered::SubjectIds::Dense { .. })),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Scalar expressions, predicates and aggregate functions.
+//!
+//! Expressions evaluate over a row of bound OIDs. Comparisons prefer raw OID
+//! order (valid for inlined literals and, after clustering, for sorted
+//! string pools); ordered comparisons on *unsorted* string OIDs fall back to
+//! dictionary decoding, so results stay correct on ParseOrder storage too.
+
+use crate::table::VarId;
+use sordf_model::{Dictionary, Oid, TypeTag};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Arithmetic operators (numeric domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// A scalar expression over query variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Var(VarId),
+    /// A constant term (dictionary-encoded at parse time).
+    Const(Oid),
+    /// A raw numeric constant (for arithmetic like `1 - ?discount`).
+    Num(f64),
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+/// Runtime value of an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalValue {
+    Oid(Oid),
+    Num(f64),
+    Bool(bool),
+}
+
+impl EvalValue {
+    /// Numeric view (inlined numerics decode; booleans are 0/1).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            EvalValue::Num(n) => Some(*n),
+            EvalValue::Oid(o) => o.numeric_f64(),
+            EvalValue::Bool(b) => Some(*b as i64 as f64),
+        }
+    }
+
+    pub fn as_bool(&self) -> bool {
+        match self {
+            EvalValue::Bool(b) => *b,
+            EvalValue::Num(n) => *n != 0.0,
+            EvalValue::Oid(_) => true,
+        }
+    }
+}
+
+impl Expr {
+    /// Convenience constructors.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    pub fn cmp(l: Expr, op: CmpOp, r: Expr) -> Expr {
+        Expr::Cmp(Box::new(l), op, Box::new(r))
+    }
+
+    pub fn and(l: Expr, r: Expr) -> Expr {
+        Expr::And(Box::new(l), Box::new(r))
+    }
+
+    /// All variables referenced by the expression.
+    pub fn vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Expr::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Expr::Const(_) | Expr::Num(_) => {}
+            Expr::Cmp(l, _, r) | Expr::Arith(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.vars(out);
+                r.vars(out);
+            }
+            Expr::Not(e) => e.vars(out),
+        }
+    }
+
+    /// Split a conjunction into its conjuncts (`a && b && c` → `[a, b, c]`).
+    /// The planner flattens filters this way so that every `var OP const`
+    /// conjunct is visible to pushdown and to the enforced-filter check.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(l, r) => {
+                let mut out = l.conjuncts();
+                out.extend(r.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// If this expression is `var OP const` (or mirrored), return the
+    /// normalized triple — the planner uses this for filter pushdown.
+    pub fn as_var_cmp(&self) -> Option<(VarId, CmpOp, Oid)> {
+        let Expr::Cmp(l, op, r) = self else { return None };
+        match (l.as_ref(), r.as_ref()) {
+            (Expr::Var(v), Expr::Const(c)) => Some((*v, *op, *c)),
+            (Expr::Const(c), Expr::Var(v)) => {
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => *other,
+                };
+                Some((*v, flipped, *c))
+            }
+            _ => None,
+        }
+    }
+
+    /// Evaluate against a row. `lookup` maps a variable to its bound OID.
+    pub fn eval(&self, lookup: &impl Fn(VarId) -> Oid, dict: &Dictionary) -> EvalValue {
+        match self {
+            Expr::Var(v) => EvalValue::Oid(lookup(*v)),
+            Expr::Const(c) => EvalValue::Oid(*c),
+            Expr::Num(n) => EvalValue::Num(*n),
+            Expr::Cmp(l, op, r) => {
+                let lv = l.eval(lookup, dict);
+                let rv = r.eval(lookup, dict);
+                EvalValue::Bool(compare(&lv, &rv, dict).map(|o| op.eval(o)).unwrap_or(false))
+            }
+            Expr::Arith(l, op, r) => {
+                let (Some(a), Some(b)) =
+                    (l.eval(lookup, dict).as_num(), r.eval(lookup, dict).as_num())
+                else {
+                    return EvalValue::Num(f64::NAN);
+                };
+                EvalValue::Num(match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                    ArithOp::Div => a / b,
+                })
+            }
+            Expr::And(l, r) => {
+                EvalValue::Bool(l.eval(lookup, dict).as_bool() && r.eval(lookup, dict).as_bool())
+            }
+            Expr::Or(l, r) => {
+                EvalValue::Bool(l.eval(lookup, dict).as_bool() || r.eval(lookup, dict).as_bool())
+            }
+            Expr::Not(e) => EvalValue::Bool(!e.eval(lookup, dict).as_bool()),
+        }
+    }
+}
+
+/// SPARQL-style value comparison. Same-tag OIDs compare by raw order except
+/// strings, which compare by decoded text (OID order is only guaranteed to
+/// match after clustering sorts the string pool). Numeric tags compare
+/// cross-type through f64.
+pub fn compare(l: &EvalValue, r: &EvalValue, dict: &Dictionary) -> Option<std::cmp::Ordering> {
+    use EvalValue::*;
+    match (l, r) {
+        (Oid(a), Oid(b)) => {
+            if a.is_null() || b.is_null() {
+                return None;
+            }
+            if a == b {
+                return Some(std::cmp::Ordering::Equal);
+            }
+            match (a.tag(), b.tag()) {
+                (TypeTag::Str, TypeTag::Str) => {
+                    let (ta, tb) = (dict.decode(*a).ok()?, dict.decode(*b).ok()?);
+                    Some(ta.cmp(&tb))
+                }
+                (ta, tb) if ta == tb => Some(a.cmp(b)),
+                // Cross numeric types compare by value.
+                _ => match (a.numeric_f64(), b.numeric_f64()) {
+                    (Some(x), Some(y)) => x.partial_cmp(&y),
+                    _ => Some(a.cmp(b)), // fall back to tag order
+                },
+            }
+        }
+        (a, b) => a.as_num()?.partial_cmp(&b.as_num()?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sordf_model::Value;
+
+    fn dict_with(strings: &[&str]) -> Dictionary {
+        let mut d = Dictionary::new();
+        for s in strings {
+            d.encode_value(&Value::str(*s)).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn numeric_comparison_and_arith() {
+        let d = Dictionary::new();
+        let lookup = |_: VarId| Oid::from_int(10).unwrap();
+        let e = Expr::cmp(
+            Expr::Arith(
+                Box::new(Expr::Var(VarId(0))),
+                ArithOp::Mul,
+                Box::new(Expr::Num(2.0)),
+            ),
+            CmpOp::Eq,
+            Expr::Num(20.0),
+        );
+        assert_eq!(e.eval(&lookup, &d), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn string_comparison_uses_text_not_oid_order() {
+        // "zebra" interned before "apple": OID order is wrong, text is right.
+        let d = dict_with(&["zebra", "apple"]);
+        let zebra = d.string_oid("zebra").unwrap();
+        let apple = d.string_oid("apple").unwrap();
+        assert!(zebra < apple, "parse order puts zebra first");
+        let ord = compare(&EvalValue::Oid(apple), &EvalValue::Oid(zebra), &d).unwrap();
+        assert_eq!(ord, std::cmp::Ordering::Less, "apple < zebra by text");
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        let d = Dictionary::new();
+        let int2 = EvalValue::Oid(Oid::from_int(2).unwrap());
+        let dec25 = EvalValue::Oid(Oid::from_decimal_unscaled(25_000).unwrap()); // 2.5
+        assert_eq!(compare(&int2, &dec25, &d), Some(std::cmp::Ordering::Less));
+    }
+
+    #[test]
+    fn date_range_filter() {
+        let d = Dictionary::new();
+        let date = |s: &str| Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap();
+        let lookup = |_: VarId| date("1996-06-15");
+        let e = Expr::and(
+            Expr::cmp(Expr::Var(VarId(0)), CmpOp::Ge, Expr::Const(date("1996-01-01"))),
+            Expr::cmp(Expr::Var(VarId(0)), CmpOp::Lt, Expr::Const(date("1997-01-01"))),
+        );
+        assert_eq!(e.eval(&lookup, &d), EvalValue::Bool(true));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let d = Dictionary::new();
+        let lookup = |_: VarId| Oid::NULL;
+        let e = Expr::cmp(Expr::Var(VarId(0)), CmpOp::Eq, Expr::Var(VarId(0)));
+        assert_eq!(e.eval(&lookup, &d), EvalValue::Bool(false));
+    }
+
+    #[test]
+    fn as_var_cmp_normalizes_mirrored_comparisons() {
+        let c = Oid::from_int(5).unwrap();
+        let e = Expr::cmp(Expr::Const(c), CmpOp::Lt, Expr::Var(VarId(3)));
+        assert_eq!(e.as_var_cmp(), Some((VarId(3), CmpOp::Gt, c)));
+    }
+
+    #[test]
+    fn vars_collection() {
+        let e = Expr::and(
+            Expr::cmp(Expr::Var(VarId(1)), CmpOp::Eq, Expr::Var(VarId(2))),
+            Expr::Not(Box::new(Expr::Var(VarId(1)))),
+        );
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert_eq!(vars, vec![VarId(1), VarId(2)]);
+    }
+}

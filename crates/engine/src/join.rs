@@ -1,0 +1,198 @@
+//! Join operators: merge joins on sorted subject streams (the self-joins of
+//! the Default scheme) and hash joins for linking stars.
+
+use crate::context::{ExecContext, ExecStats};
+use crate::table::{Table, VarId};
+use sordf_model::{FxHashMap, Oid};
+
+/// Merge-join a table (sorted by column `jc`) with an (s, o)-sorted pair
+/// stream, appending the pair's object as a new column. Duplicate keys on
+/// either side produce the full cross product, as SPARQL semantics require.
+pub fn merge_join_pairs(
+    cx: &ExecContext,
+    left: &Table,
+    jc: usize,
+    pairs: &[(Oid, Oid)],
+    new_var: VarId,
+) -> Table {
+    debug_assert_eq!(left.sorted_by, Some(jc), "left side must be sorted by the join column");
+    ExecStats::bump(&cx.stats.merge_joins, 1);
+    let mut out_vars = left.vars.clone();
+    out_vars.push(new_var);
+    let mut out = Table::empty(out_vars);
+    let key = &left.cols[jc];
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < key.len() && j < pairs.len() {
+        match key[i].cmp(&pairs[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let k = key[i];
+                let i_end = (i..key.len()).find(|&x| key[x] != k).unwrap_or(key.len());
+                let j_end =
+                    (j..pairs.len()).find(|&x| pairs[x].0 != k).unwrap_or(pairs.len());
+                for li in i..i_end {
+                    for pj in j..j_end {
+                        for (c, lc) in out.cols.iter_mut().zip(&left.cols) {
+                            c.push(lc[li]);
+                        }
+                        out.cols.last_mut().unwrap().push(pairs[pj].1);
+                    }
+                }
+                i = i_end;
+                j = j_end;
+            }
+        }
+    }
+    out.sorted_by = Some(jc);
+    ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
+    out
+}
+
+/// Semi-join an (s, o)-sorted pair stream against a sorted candidate list.
+pub fn semi_join_pairs(pairs: &[(Oid, Oid)], candidates: &[Oid]) -> Vec<(Oid, Oid)> {
+    debug_assert!(candidates.windows(2).all(|w| w[0] <= w[1]));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < pairs.len() && j < candidates.len() {
+        match pairs[i].0.cmp(&candidates[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(pairs[i]);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Hash-join two tables on `left[lc] == right[rc]`. Output binds all of
+/// left's variables plus right's (minus right's join column, which would
+/// duplicate the left one). Builds on the smaller side.
+pub fn hash_join(cx: &ExecContext, left: &Table, lc: usize, right: &Table, rc: usize) -> Table {
+    ExecStats::bump(&cx.stats.hash_joins, 1);
+    // Normalize: build on the smaller input, probe the bigger.
+    let (build, bc, probe, pc, build_is_left) = if left.len() <= right.len() {
+        (left, lc, right, rc, true)
+    } else {
+        (right, rc, left, lc, false)
+    };
+    let mut index: FxHashMap<Oid, Vec<usize>> = FxHashMap::default();
+    for (i, &k) in build.cols[bc].iter().enumerate() {
+        index.entry(k).or_default().push(i);
+    }
+
+    // Output layout: left vars, then right vars except rc.
+    let right_keep: Vec<usize> = (0..right.cols.len()).filter(|&i| i != rc).collect();
+    let mut out_vars = left.vars.clone();
+    out_vars.extend(right_keep.iter().map(|&i| right.vars[i]));
+    let mut out = Table::empty(out_vars);
+
+    for (pi, &k) in probe.cols[pc].iter().enumerate() {
+        let Some(matches) = index.get(&k) else { continue };
+        for &bi in matches {
+            let (li, ri) = if build_is_left { (bi, pi) } else { (pi, bi) };
+            for (oc, lcid) in out.cols.iter_mut().take(left.cols.len()).zip(0..) {
+                oc.push(left.cols[lcid][li]);
+            }
+            for (slot, &rcid) in right_keep.iter().enumerate() {
+                out.cols[left.cols.len() + slot].push(right.cols[rcid][ri]);
+            }
+        }
+    }
+    ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ExecConfig, ExecContext, StorageRef};
+    use sordf_columnar::{BufferPool, DiskManager};
+    use sordf_model::Dictionary;
+    use std::sync::Arc;
+
+    fn test_cx() -> (Arc<DiskManager>, &'static BufferPool, &'static Dictionary, sordf_storage::BaselineStore)
+    {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let store = sordf_storage::BaselineStore::build(&dm, &[]);
+        let pool = Box::leak(Box::new(BufferPool::new(Arc::clone(&dm), 16)));
+        let dict = Box::leak(Box::new(Dictionary::new()));
+        (dm, pool, dict, store)
+    }
+
+    fn table(vars: &[u16], rows: &[&[u64]]) -> Table {
+        let mut t = Table::empty(vars.iter().map(|&v| VarId(v)).collect());
+        for r in rows {
+            let row: Vec<Oid> = r.iter().map(|&x| Oid::iri(x)).collect();
+            t.push_row(&row);
+        }
+        t
+    }
+
+    #[test]
+    fn merge_join_basic() {
+        let (_dm, pool, dict, store) = test_cx();
+        let cx = ExecContext::new(pool, dict, StorageRef::Baseline(&store), ExecConfig::default());
+        let mut left = table(&[0], &[&[1], &[2], &[4]]);
+        left.sorted_by = Some(0);
+        let pairs =
+            vec![(Oid::iri(1), Oid::iri(10)), (Oid::iri(3), Oid::iri(30)), (Oid::iri(4), Oid::iri(40))];
+        let out = merge_join_pairs(&cx, &left, 0, &pairs, VarId(1));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.cols[0], vec![Oid::iri(1), Oid::iri(4)]);
+        assert_eq!(out.cols[1], vec![Oid::iri(10), Oid::iri(40)]);
+        assert_eq!(cx.stats.merge_joins.get(), 1);
+    }
+
+    #[test]
+    fn merge_join_duplicates_cross_product() {
+        let (_dm, pool, dict, store) = test_cx();
+        let cx = ExecContext::new(pool, dict, StorageRef::Baseline(&store), ExecConfig::default());
+        let mut left = table(&[0], &[&[1], &[1]]);
+        left.sorted_by = Some(0);
+        let pairs = vec![(Oid::iri(1), Oid::iri(10)), (Oid::iri(1), Oid::iri(11))];
+        let out = merge_join_pairs(&cx, &left, 0, &pairs, VarId(1));
+        assert_eq!(out.len(), 4, "2 left x 2 right");
+    }
+
+    #[test]
+    fn semi_join() {
+        let pairs = vec![
+            (Oid::iri(1), Oid::iri(10)),
+            (Oid::iri(2), Oid::iri(20)),
+            (Oid::iri(5), Oid::iri(50)),
+        ];
+        let cands = vec![Oid::iri(2), Oid::iri(3), Oid::iri(5)];
+        let out = semi_join_pairs(&pairs, &cands);
+        assert_eq!(out, vec![(Oid::iri(2), Oid::iri(20)), (Oid::iri(5), Oid::iri(50))]);
+    }
+
+    #[test]
+    fn hash_join_drops_duplicate_join_col() {
+        let (_dm, pool, dict, store) = test_cx();
+        let cx = ExecContext::new(pool, dict, StorageRef::Baseline(&store), ExecConfig::default());
+        let left = table(&[0, 1], &[&[1, 100], &[2, 200], &[3, 300]]);
+        let right = table(&[2, 3], &[&[100, 7], &[300, 9]]);
+        let out = hash_join(&cx, &left, 1, &right, 0);
+        assert_eq!(out.vars, vec![VarId(0), VarId(1), VarId(3)]);
+        assert_eq!(out.len(), 2);
+        let mut rows: Vec<Vec<Oid>> = (0..out.len()).map(|i| out.row(i)).collect();
+        rows.sort();
+        assert_eq!(rows[0], vec![Oid::iri(1), Oid::iri(100), Oid::iri(7)]);
+        assert_eq!(rows[1], vec![Oid::iri(3), Oid::iri(300), Oid::iri(9)]);
+    }
+
+    #[test]
+    fn hash_join_builds_on_smaller_side_either_way() {
+        let (_dm, pool, dict, store) = test_cx();
+        let cx = ExecContext::new(pool, dict, StorageRef::Baseline(&store), ExecConfig::default());
+        let big = table(&[0], &[&[1], &[2], &[3], &[4], &[5]]);
+        let small = table(&[1], &[&[2], &[4]]);
+        let a = hash_join(&cx, &big, 0, &small, 0);
+        let b = hash_join(&cx, &small, 0, &big, 0);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+}

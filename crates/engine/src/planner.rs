@@ -1,0 +1,279 @@
+//! The planner: star ordering, link detection, cross-star joins and the
+//! zone-map cross-table pushdown of §II-D.
+
+use crate::agg::{finalize, ResultSet};
+use crate::cardest::estimate_star;
+use crate::context::{ExecContext, PlanScheme};
+use crate::expr::Expr;
+use crate::query::{Query, VarOrOid};
+use crate::scan::{SRange, Source};
+use crate::star::{
+    apply_filters, eval_star_default, eval_star_rdfscan, filters_bound_by, stars_of, Star,
+};
+use crate::table::{Table, VarId};
+use sordf_model::Oid;
+
+/// A description of the chosen plan (Fig. 4's join-effort numbers).
+#[derive(Debug, Clone)]
+pub struct PlanInfo {
+    pub scheme: PlanScheme,
+    pub n_stars: usize,
+    /// Index order in which stars are evaluated.
+    pub star_order: Vec<usize>,
+    /// Merge self-joins inside stars (Default scheme pays these).
+    pub intra_star_joins: u64,
+    /// Joins linking stars (both schemes pay these).
+    pub cross_star_joins: u64,
+    /// Estimated cardinality per star, in evaluation order.
+    pub estimates: Vec<f64>,
+    /// Human-readable plan text.
+    pub text: String,
+}
+
+/// Link between an evaluated result and the next star.
+enum Link {
+    /// Result column binds the next star's subject.
+    Subject(VarId),
+    /// Result column binds one of the next star's object vars.
+    Object(VarId),
+    None,
+}
+
+fn find_link(bound: &[VarId], star: &Star) -> Link {
+    if bound.contains(&star.subject_var) {
+        return Link::Subject(star.subject_var);
+    }
+    for p in &star.props {
+        if let VarOrOid::Var(v) = p.o {
+            if bound.contains(&v) {
+                return Link::Object(v);
+            }
+        }
+    }
+    Link::None
+}
+
+/// Greedy star order: start from the smallest estimate; prefer connected
+/// stars thereafter.
+fn order_stars(cx: &ExecContext, stars: &[Star], filters: &[&Expr]) -> (Vec<usize>, Vec<f64>) {
+    let ests: Vec<f64> = stars.iter().map(|s| estimate_star(cx, s, filters)).collect();
+    let mut remaining: Vec<usize> = (0..stars.len()).collect();
+    let mut order = Vec::new();
+    let mut bound: Vec<VarId> = Vec::new();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .enumerate()
+            .min_by(|&(_, &a), &(_, &b)| {
+                let conn_a = !matches!(find_link(&bound, &stars[a]), Link::None) || bound.is_empty();
+                let conn_b = !matches!(find_link(&bound, &stars[b]), Link::None) || bound.is_empty();
+                conn_b
+                    .cmp(&conn_a) // connected first
+                    .then(ests[a].partial_cmp(&ests[b]).unwrap_or(std::cmp::Ordering::Equal))
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        let star_idx = remaining.remove(pick);
+        bound.extend(stars[star_idx].bound_vars());
+        order.push(star_idx);
+    }
+    let ordered_ests = order.iter().map(|&i| ests[i]).collect();
+    (order, ordered_ests)
+}
+
+/// Execute a query end to end, returning the finalized result set.
+pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
+    let mut q = query.clone();
+    let (stars, extra_filters) = stars_of(&mut q);
+    // Flatten conjunctions so every `var OP const` conjunct is individually
+    // visible to pushdown and the enforced-filter analysis.
+    let mut all_filters: Vec<Expr> = Vec::new();
+    for f in q.filters.iter().chain(extra_filters.iter()) {
+        for c in f.conjuncts() {
+            all_filters.push(c.clone());
+        }
+    }
+    let filter_refs: Vec<&Expr> = all_filters.iter().collect();
+
+    if stars.is_empty() {
+        return finalize(cx, &q, &Table::default());
+    }
+
+    let (order, _ests) = order_stars(cx, &stars, &filter_refs);
+    let mut result: Option<Table> = None;
+
+    for &si in &order {
+        let star = &stars[si];
+        let star_table = match &result {
+            None => eval_one_star(cx, star, &filter_refs, None, None),
+            Some(res) => {
+                match find_link(&res.vars, star) {
+                    Link::Subject(v) => {
+                        let lc = res.col_of(v).unwrap();
+                        let link_vals = res.distinct_col(lc);
+                        match cx.config.scheme {
+                            PlanScheme::RdfScanJoin => {
+                                // RDFjoin: candidate-driven star evaluation.
+                                eval_one_star(cx, star, &filter_refs, Some(&link_vals), None)
+                            }
+                            PlanScheme::Default => {
+                                // Zone-map pushdown: restrict the probed
+                                // star's scans to the candidate OID range.
+                                let s_range = if cx.config.zonemaps && !link_vals.is_empty() {
+                                    Some((
+                                        link_vals.first().unwrap().raw(),
+                                        link_vals.last().unwrap().raw(),
+                                    ))
+                                } else {
+                                    None
+                                };
+                                eval_one_star(cx, star, &filter_refs, None, s_range)
+                            }
+                        }
+                    }
+                    Link::Object(v) => {
+                        // Zone-map sideways information passing (§II-D): the
+                        // link variable is an object column of this star
+                        // (typically an FK). Restrict it to the [min, max]
+                        // of the already-bound values; the scan layer turns
+                        // this into POS ranges / zone-map page skipping —
+                        // e.g. a shipdate restriction on LINEITEM reaching
+                        // ORDERS through l_orderkey's zone maps.
+                        if cx.config.zonemaps {
+                            let lc = res.col_of(v).unwrap();
+                            let vals = res.distinct_col(lc);
+                            if !vals.is_empty() {
+                                let lo = *vals.first().unwrap();
+                                let hi = *vals.last().unwrap();
+                                let ge =
+                                    Expr::cmp(Expr::Var(v), crate::expr::CmpOp::Ge, Expr::Const(lo));
+                                let le =
+                                    Expr::cmp(Expr::Var(v), crate::expr::CmpOp::Le, Expr::Const(hi));
+                                let mut narrowed: Vec<&Expr> = filter_refs.clone();
+                                narrowed.push(&ge);
+                                narrowed.push(&le);
+                                eval_one_star(cx, star, &narrowed, None, None)
+                            } else {
+                                eval_one_star(cx, star, &filter_refs, None, None)
+                            }
+                        } else {
+                            eval_one_star(cx, star, &filter_refs, None, None)
+                        }
+                    }
+                    Link::None => eval_one_star(cx, star, &filter_refs, None, None),
+                }
+            }
+        };
+
+        result = Some(match result {
+            None => star_table,
+            Some(res) => match find_link(&res.vars, star) {
+                Link::Subject(v) | Link::Object(v) => {
+                    let lc = res.col_of(v).unwrap();
+                    let rc = star_table.col_of(v).unwrap();
+                    crate::join::hash_join(cx, &res, lc, &star_table, rc)
+                }
+                Link::None => cross_join(&res, &star_table),
+            },
+        });
+        if result.as_ref().unwrap().is_empty() {
+            break;
+        }
+    }
+
+    let mut table = result.unwrap_or_default();
+    // Remaining (cross-star) filters.
+    let remaining = filters_bound_by(&all_filters, &table.vars);
+    apply_filters(cx, &mut table, &remaining);
+    finalize(cx, &q, &table)
+}
+
+fn eval_one_star(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+) -> Table {
+    match cx.config.scheme {
+        PlanScheme::Default => {
+            eval_star_default(cx, star, filters, candidates, s_range, Source::Full)
+        }
+        PlanScheme::RdfScanJoin => eval_star_rdfscan(cx, star, filters, candidates, s_range),
+    }
+}
+
+/// Cartesian product for disconnected BGPs (rare; kept simple).
+fn cross_join(left: &Table, right: &Table) -> Table {
+    let mut vars = left.vars.clone();
+    vars.extend(&right.vars);
+    let mut out = Table::empty(vars);
+    for i in 0..left.len() {
+        for j in 0..right.len() {
+            let mut row = left.row(i);
+            row.extend(right.row(j));
+            out.push_row(&row);
+        }
+    }
+    out
+}
+
+/// Describe the plan without executing it.
+pub fn explain(cx: &ExecContext, query: &Query) -> PlanInfo {
+    let mut q = query.clone();
+    let (stars, extra_filters) = stars_of(&mut q);
+    let mut all_filters: Vec<Expr> = Vec::new();
+    for f in q.filters.iter().chain(extra_filters.iter()) {
+        for c in f.conjuncts() {
+            all_filters.push(c.clone());
+        }
+    }
+    let filter_refs: Vec<&Expr> = all_filters.iter().collect();
+    let (order, estimates) = order_stars(cx, &stars, &filter_refs);
+
+    let intra: u64 = match cx.config.scheme {
+        PlanScheme::Default => {
+            stars.iter().map(|s| s.props.len().saturating_sub(1) as u64).sum()
+        }
+        PlanScheme::RdfScanJoin => 0,
+    };
+    let cross = stars.len().saturating_sub(1) as u64;
+
+    let mut text = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(
+        text,
+        "plan: {:?}, zonemaps={}, {} star(s), {} intra-star join(s), {} cross-star join(s)",
+        cx.config.scheme,
+        cx.config.zonemaps,
+        stars.len(),
+        intra,
+        cross
+    );
+    for (pos, &si) in order.iter().enumerate() {
+        let star = &stars[si];
+        let op = match (cx.config.scheme, pos) {
+            (PlanScheme::Default, _) => "IdxScan+MergeJoin",
+            (PlanScheme::RdfScanJoin, 0) => "RDFscan",
+            (PlanScheme::RdfScanJoin, _) => "RDFjoin",
+        };
+        let _ = writeln!(
+            text,
+            "  star {} [{}]: subject {}, {} patterns, est {:.1} rows",
+            pos,
+            op,
+            q.vars.get(star.subject_var.0 as usize).map(|s| s.as_str()).unwrap_or("?"),
+            star.props.len(),
+            estimates[pos],
+        );
+    }
+    PlanInfo {
+        scheme: cx.config.scheme,
+        n_stars: stars.len(),
+        star_order: order,
+        intra_star_joins: intra,
+        cross_star_joins: cross,
+        estimates,
+        text,
+    }
+}

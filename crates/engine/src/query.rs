@@ -1,0 +1,143 @@
+//! The logical query representation shared by the SPARQL and SQL frontends.
+
+use crate::expr::{AggFunc, Expr};
+use crate::table::VarId;
+use sordf_model::Oid;
+
+/// A subject or object position: variable or constant term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarOrOid {
+    Var(VarId),
+    Const(Oid),
+}
+
+impl VarOrOid {
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            VarOrOid::Var(v) => Some(*v),
+            VarOrOid::Const(_) => None,
+        }
+    }
+}
+
+/// One triple pattern. The predicate must be a constant — variable
+/// predicates are rare in analytical SPARQL and are out of scope for this
+/// reproduction (the paper's plans all have bound predicates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriplePattern {
+    pub s: VarOrOid,
+    pub p: Oid,
+    pub o: VarOrOid,
+}
+
+/// One SELECT output.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// A plain variable.
+    Var(VarId),
+    /// A scalar expression with an output name.
+    Expr { expr: Expr, name: String },
+    /// An aggregate over the group.
+    Agg { func: AggFunc, expr: Expr, name: String },
+}
+
+impl SelectItem {
+    /// The output column name.
+    pub fn name<'a>(&'a self, vars: &'a [String]) -> &'a str {
+        match self {
+            SelectItem::Var(v) => &vars[v.0 as usize],
+            SelectItem::Expr { name, .. } | SelectItem::Agg { name, .. } => name,
+        }
+    }
+}
+
+/// A sort key of the final result.
+#[derive(Debug, Clone)]
+pub struct OrderKey {
+    /// Index into `Query::select`.
+    pub output: usize,
+    pub ascending: bool,
+}
+
+/// The logical query: a basic graph pattern with filters, grouping,
+/// aggregation and result modifiers. Produced by the SPARQL and SQL parsers,
+/// consumed by [`crate::planner::execute`].
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    /// Variable registry; `VarId(i)` names `vars[i]`.
+    pub vars: Vec<String>,
+    /// The BGP.
+    pub patterns: Vec<TriplePattern>,
+    /// Conjunctive FILTER expressions.
+    pub filters: Vec<Expr>,
+    /// SELECT list (empty = all variables in first-use order).
+    pub select: Vec<SelectItem>,
+    /// GROUP BY variables (empty with aggregates = one global group).
+    pub group_by: Vec<VarId>,
+    /// ORDER BY over output columns.
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+    pub distinct: bool,
+}
+
+impl Query {
+    /// Intern a variable name, returning its id.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(i) = self.vars.iter().position(|v| v == name) {
+            return VarId(i as u16);
+        }
+        self.vars.push(name.to_string());
+        VarId((self.vars.len() - 1) as u16)
+    }
+
+    /// Does the SELECT list contain aggregates?
+    pub fn has_aggregates(&self) -> bool {
+        self.select.iter().any(|s| matches!(s, SelectItem::Agg { .. }))
+    }
+
+    /// All variables appearing in patterns, in first-use order.
+    pub fn pattern_vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        let mut push = |v: VarOrOid| {
+            if let VarOrOid::Var(v) = v {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        };
+        for p in &self.patterns {
+            push(p.s);
+            push(p.o);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_interning() {
+        let mut q = Query::default();
+        let a = q.var("a");
+        let b = q.var("b");
+        assert_eq!(q.var("a"), a);
+        assert_ne!(a, b);
+        assert_eq!(q.vars, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn pattern_vars_in_first_use_order() {
+        let mut q = Query::default();
+        let s = q.var("s");
+        let x = q.var("x");
+        q.patterns.push(TriplePattern { s: VarOrOid::Var(s), p: Oid::iri(1), o: VarOrOid::Var(x) });
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(x),
+            p: Oid::iri(2),
+            o: VarOrOid::Const(Oid::iri(9)),
+        });
+        assert_eq!(q.pattern_vars(), vec![s, x]);
+    }
+}

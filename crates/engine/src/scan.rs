@@ -1,0 +1,428 @@
+//! Per-property access paths: s-sorted (subject, object) streams.
+//!
+//! This is the "IdxScan" of the paper's Fig. 4. On baseline storage a
+//! property scan is a PSO/POS prefix lookup; on clustered storage the
+//! stream is stitched together from the class segments that store the
+//! property (the aligned "stretches" of the clustered PSO table) plus the
+//! irregular remainder. Object restrictions use the POS permutation, the
+//! segment sort order, or zone maps, depending on what is available.
+
+use crate::context::{ExecContext, ExecStats, StorageRef};
+use sordf_model::Oid;
+use sordf_storage::clustered::SubjectIds;
+use sordf_storage::{BaselineStore, Order};
+
+/// Object-side restriction pushed into a scan (raw OID bounds, inclusive).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ORestrict {
+    pub eq: Option<Oid>,
+    pub range: Option<(u64, u64)>,
+}
+
+impl ORestrict {
+    pub fn none() -> ORestrict {
+        ORestrict::default()
+    }
+
+    pub fn eq(o: Oid) -> ORestrict {
+        ORestrict { eq: Some(o), range: None }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.eq.is_none() && self.range.is_none()
+    }
+
+    /// Does a raw value pass?
+    #[inline]
+    pub fn accepts(&self, v: u64) -> bool {
+        if let Some(eq) = self.eq {
+            if v != eq.raw() {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.range {
+            if v < lo || v > hi {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Effective raw bounds (for zone-map pruning).
+    pub fn bounds(&self) -> (u64, u64) {
+        match (self.eq, self.range) {
+            (Some(eq), _) => (eq.raw(), eq.raw()),
+            (None, Some((lo, hi))) => (lo, hi),
+            (None, None) => (0, u64::MAX),
+        }
+    }
+}
+
+/// Subject-side restriction (raw OID bounds, inclusive) — used by the
+/// zone-map cross-table pushdown.
+pub type SRange = Option<(u64, u64)>;
+
+/// Which part of the storage to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Everything (segments + irregular, or the whole baseline store).
+    Full,
+    /// Only the irregular triple table of a clustered store.
+    IrregularOnly,
+}
+
+/// Scan all (s, o) pairs of predicate `p`, restricted by `restrict` on the
+/// object and `s_range` on the subject. The result is sorted by (s, o).
+pub fn scan_property(
+    cx: &ExecContext,
+    p: Oid,
+    restrict: &ORestrict,
+    s_range: SRange,
+    source: Source,
+) -> Vec<(Oid, Oid)> {
+    ExecStats::bump(&cx.stats.property_scans, 1);
+    let mut out = match (&cx.storage, source) {
+        (StorageRef::Baseline(store), _) => scan_baseline(cx, store, p, restrict, s_range),
+        (StorageRef::Clustered { store, .. }, Source::IrregularOnly) => {
+            scan_baseline(cx, &store.irregular, p, restrict, s_range)
+        }
+        (StorageRef::Clustered { store, schema }, Source::Full) => {
+            let mut pairs = Vec::new();
+            for (class, coli) in schema.classes_with_column(p) {
+                scan_segment_column(cx, store.segment(class), coli, restrict, s_range, &mut pairs);
+            }
+            for (class, mi) in schema.classes_with_multi(p) {
+                scan_multi_table(cx, store.segment(class), mi, restrict, s_range, &mut pairs);
+            }
+            pairs.extend(scan_baseline(cx, &store.irregular, p, restrict, s_range));
+            pairs
+        }
+    };
+    // Segments were appended in class order; different sources may
+    // interleave in subject space (sparse segments, irregular exceptions).
+    out.sort_unstable();
+    ExecStats::bump(&cx.stats.rows_scanned, out.len() as u64);
+    out
+}
+
+/// Property scan against a permutation-indexed store.
+fn scan_baseline(
+    cx: &ExecContext,
+    store: &BaselineStore,
+    p: Oid,
+    restrict: &ORestrict,
+    s_range: SRange,
+) -> Vec<(Oid, Oid)> {
+    let pool = cx.pool;
+    if let Some(eq) = restrict.eq {
+        // POS: exact object lookup, subjects sorted.
+        let idx = store.perm(Order::Pos);
+        let mut r = idx.range2(pool, p, eq);
+        if let Some((lo, hi)) = s_range {
+            let start = idx.col(2).lower_bound_in(pool, r.clone(), lo);
+            let end = idx.col(2).upper_bound_in(pool, r.clone(), hi);
+            r = start..end.max(start);
+        }
+        return idx
+            .col(2)
+            .to_vec(pool, r)
+            .into_iter()
+            .map(|s| (Oid::from_raw(s), eq))
+            .collect();
+    }
+    if let Some((lo, hi)) = restrict.range {
+        // POS range scan: pairs arrive (o, s)-sorted; caller re-sorts.
+        let idx = store.perm(Order::Pos);
+        let r = idx.range2_between(pool, p, Oid::from_raw(lo), Oid::from_raw(hi));
+        let os = idx.col(1).to_vec(pool, r.clone());
+        let ss = idx.col(2).to_vec(pool, r);
+        return ss
+            .into_iter()
+            .zip(os)
+            .map(|(s, o)| (Oid::from_raw(s), Oid::from_raw(o)))
+            .filter(|&(s, _)| s_range.map_or(true, |(lo, hi)| s.raw() >= lo && s.raw() <= hi))
+            .collect();
+    }
+    // Plain PSO scan.
+    let idx = store.perm(Order::Pso);
+    let mut r = idx.range1(pool, p);
+    if let Some((lo, hi)) = s_range {
+        let start = idx.col(1).lower_bound_in(pool, r.clone(), lo);
+        let end = idx.col(1).upper_bound_in(pool, r.clone(), hi);
+        r = start..end.max(start);
+    }
+    idx.pairs(pool, r)
+}
+
+/// Extract (subject, value) pairs from one class segment column.
+fn scan_segment_column(
+    cx: &ExecContext,
+    seg: &sordf_storage::ClassSegment,
+    coli: usize,
+    restrict: &ORestrict,
+    s_range: SRange,
+    out: &mut Vec<(Oid, Oid)>,
+) {
+    let pool = cx.pool;
+    let col = &seg.columns[coli];
+    // Row range from the subject restriction.
+    let mut rows = 0..seg.n;
+    if let Some((lo, hi)) = s_range {
+        match &seg.subjects {
+            SubjectIds::Dense { base } => {
+                let lo_oid = Oid::from_raw(lo);
+                let hi_oid = Oid::from_raw(hi);
+                // The range may span non-IRI tags; clamp to the IRI space.
+                if hi_oid < Oid::iri(0) || lo_oid > Oid::iri(sordf_model::oid::PAYLOAD_MASK) {
+                    return;
+                }
+                let lo_p = if lo_oid < Oid::iri(0) { 0 } else { lo_oid.payload() }.max(*base);
+                let hi_p = if hi_oid > Oid::iri(sordf_model::oid::PAYLOAD_MASK) {
+                    sordf_model::oid::PAYLOAD_MASK
+                } else {
+                    hi_oid.payload()
+                }
+                .min(base + seg.n as u64 - 1);
+                if lo_p > hi_p {
+                    return;
+                }
+                rows = (lo_p - base) as usize..(hi_p - base + 1) as usize;
+            }
+            SubjectIds::Sparse { subjects } => {
+                let start = subjects.lower_bound(pool, lo);
+                let end = subjects.upper_bound(pool, hi);
+                if start >= end {
+                    return;
+                }
+                rows = start..end;
+            }
+        }
+    }
+    // Row range from the object restriction when the segment is sub-ordered
+    // by this very column.
+    let (olo, ohi) = restrict.bounds();
+    if !restrict.is_none() {
+        if let Some(r) = seg.sorted_row_range(pool, coli, olo, ohi) {
+            rows = rows.start.max(r.start)..rows.end.min(r.end);
+        }
+    }
+    if rows.start >= rows.end {
+        return;
+    }
+    let use_zonemaps = cx.config.zonemaps && !restrict.is_none();
+    for chunk in col.chunks(pool, rows) {
+        let vals = chunk.values();
+        if use_zonemaps {
+            // Page-level skip via the chunk's zone map entry.
+            let page = chunk.start / sordf_columnar::VALS_PER_PAGE;
+            let st = col.zonemap().page(page);
+            if !st.overlaps(olo, ohi) {
+                ExecStats::bump(&cx.stats.zonemap_pages_skipped, 1);
+                continue;
+            }
+        }
+        for (i, &v) in vals.iter().enumerate() {
+            if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+                let row = chunk.start + i;
+                out.push((seg.subject_at(pool, row), Oid::from_raw(v)));
+            }
+        }
+    }
+}
+
+/// Extract pairs from a multi-valued side table.
+fn scan_multi_table(
+    cx: &ExecContext,
+    seg: &sordf_storage::ClassSegment,
+    mi: usize,
+    restrict: &ORestrict,
+    s_range: SRange,
+    out: &mut Vec<(Oid, Oid)>,
+) {
+    let pool = cx.pool;
+    let table = &seg.multi[mi];
+    let mut rows = 0..table.s.len();
+    if let Some((lo, hi)) = s_range {
+        let start = table.s.lower_bound(pool, lo);
+        let end = table.s.upper_bound(pool, hi);
+        rows = start..end.max(start);
+    }
+    if rows.start >= rows.end {
+        return;
+    }
+    let ss = table.s.to_vec(pool, rows.clone());
+    let os = table.o.to_vec(pool, rows);
+    for (s, o) in ss.into_iter().zip(os) {
+        if restrict.accepts(o) {
+            out.push((Oid::from_raw(s), Oid::from_raw(o)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ExecConfig, PlanScheme};
+    use sordf_columnar::{BufferPool, DiskManager};
+    use sordf_model::Term;
+    use sordf_schema::SchemaConfig;
+    use sordf_storage::{build_clustered, reorganize, ClusterSpec, TripleSet};
+    use std::sync::Arc;
+
+    struct Fixture {
+        _dm: Arc<DiskManager>,
+        pool: BufferPool,
+        ts: TripleSet,
+        baseline: sordf_storage::BaselineStore,
+        clustered: sordf_storage::ClusteredStore,
+        schema: sordf_schema::EmergentSchema,
+    }
+
+    fn fixture() -> Fixture {
+        let mut ts = TripleSet::new();
+        let mut add = |s: String, p: &str, o: Term| {
+            ts.add(&sordf_model::TermTriple::new(
+                Term::iri(s),
+                Term::iri(format!("http://e/{p}")),
+                o,
+            ))
+            .unwrap();
+        };
+        for i in 0..200u64 {
+            add(format!("http://e/item{i}"), "qty", Term::int((i % 50) as i64));
+            add(
+                format!("http://e/item{i}"),
+                "sold",
+                Term::date(&format!("1996-{:02}-{:02}", (i % 12) + 1, (i % 28) + 1)),
+            );
+        }
+        // An irregular exception: one extra string-typed qty.
+        add("http://e/item0".into(), "qty", Term::str("n/a"));
+
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let spo = ts.sorted_spo();
+        let mut schema = sordf_schema::discover(&spo, &ts.dict, &SchemaConfig::default());
+        let spec = ClusterSpec::auto(&schema);
+        reorganize(&mut ts, &mut schema, &spec);
+        let spo = ts.sorted_spo();
+        // Both stores over the same (reorganized) OIDs so that one dict
+        // serves both contexts in these unit tests.
+        let baseline = sordf_storage::BaselineStore::build(&dm, &spo);
+        let clustered = build_clustered(&dm, &spo, &mut schema, &spec, true);
+        let pool = BufferPool::new(Arc::clone(&dm), 1024);
+        Fixture { _dm: dm, pool, ts, baseline, clustered, schema }
+    }
+
+    fn cx<'a>(f: &'a Fixture, clustered: bool) -> ExecContext<'a> {
+        let storage = if clustered {
+            StorageRef::Clustered { store: &f.clustered, schema: &f.schema }
+        } else {
+            StorageRef::Baseline(&f.baseline)
+        };
+        ExecContext::new(
+            &f.pool,
+            &f.ts.dict,
+            storage,
+            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+        )
+    }
+
+    /// NOTE: baseline was built *before* reorganization, so its OIDs differ
+    /// from the clustered store's. Counting and value-distribution checks
+    /// remain comparable; exact OID equality does not.
+    #[test]
+    fn full_scan_counts_agree() {
+        let f = fixture();
+        let c = cx(&f, true);
+        let qty_new = f.ts.dict.iri_oid("http://e/qty").unwrap();
+        let pairs = scan_property(&c, qty_new, &ORestrict::none(), None, Source::Full);
+        assert_eq!(pairs.len(), 201, "200 ints + 1 string exception");
+        assert!(pairs.windows(2).all(|w| w[0] <= w[1]), "sorted by (s,o)");
+    }
+
+    #[test]
+    fn eq_restrict() {
+        let f = fixture();
+        let c = cx(&f, true);
+        let qty = f.ts.dict.iri_oid("http://e/qty").unwrap();
+        let five = Oid::from_int(5).unwrap();
+        let pairs = scan_property(&c, qty, &ORestrict::eq(five), None, Source::Full);
+        assert_eq!(pairs.len(), 4, "i % 50 == 5 for 4 of 200");
+        assert!(pairs.iter().all(|&(_, o)| o == five));
+    }
+
+    #[test]
+    fn range_restrict_on_sorted_segment() {
+        let f = fixture();
+        let c = cx(&f, true);
+        let sold = f.ts.dict.iri_oid("http://e/sold").unwrap();
+        let lo = Oid::from_date_days(sordf_model::date::parse_date("1996-03-01").unwrap()).unwrap();
+        let hi = Oid::from_date_days(sordf_model::date::parse_date("1996-04-30").unwrap()).unwrap();
+        let r = ORestrict { eq: None, range: Some((lo.raw(), hi.raw())) };
+        let pairs = scan_property(&c, sold, &r, None, Source::Full);
+        // Months 3 and 4 -> 2/12 of 200 ≈ 33 subjects (months cycle i%12).
+        let expect = (0..200u64).filter(|i| (i % 12) + 1 == 3 || (i % 12) + 1 == 4).count();
+        assert_eq!(pairs.len(), expect);
+        assert!(pairs.iter().all(|&(_, o)| o >= lo && o <= hi));
+    }
+
+    #[test]
+    fn baseline_range_restrict_matches_clustered() {
+        let f = fixture();
+        let sold_results: Vec<usize> = [false, true]
+            .iter()
+            .map(|&clu| {
+                let c = cx(&f, clu);
+                let sold = f.ts.dict.iri_oid("http://e/sold").unwrap();
+                let lo =
+                    Oid::from_date_days(sordf_model::date::parse_date("1996-06-01").unwrap()).unwrap();
+                let hi =
+                    Oid::from_date_days(sordf_model::date::parse_date("1996-06-30").unwrap()).unwrap();
+                let r = ORestrict { eq: None, range: Some((lo.raw(), hi.raw())) };
+                scan_property(&c, sold, &r, None, Source::Full).len()
+            })
+            .collect();
+        assert_eq!(sold_results[0], sold_results[1]);
+    }
+
+    #[test]
+    fn s_range_restricts_subjects() {
+        let f = fixture();
+        let c = cx(&f, true);
+        let qty = f.ts.dict.iri_oid("http://e/qty").unwrap();
+        let all = scan_property(&c, qty, &ORestrict::none(), None, Source::Full);
+        let mid_lo = all[50].0.raw();
+        let mid_hi = all[99].0.raw();
+        let some =
+            scan_property(&c, qty, &ORestrict::none(), Some((mid_lo, mid_hi)), Source::Full);
+        assert!(some.iter().all(|&(s, _)| s.raw() >= mid_lo && s.raw() <= mid_hi));
+        assert_eq!(some.len(), 50);
+    }
+
+    #[test]
+    fn irregular_only_source() {
+        let f = fixture();
+        let c = cx(&f, true);
+        let qty = f.ts.dict.iri_oid("http://e/qty").unwrap();
+        let irr = scan_property(&c, qty, &ORestrict::none(), None, Source::IrregularOnly);
+        assert_eq!(irr.len(), 1, "only the string exception is irregular");
+    }
+
+    #[test]
+    fn zonemap_skips_pages_on_selective_scan() {
+        let f = fixture();
+        let c = cx(&f, true);
+        let sold = f.ts.dict.iri_oid("http://e/sold").unwrap();
+        // Tiny range on the *non-sort* column qty to force zone-map pruning
+        // (sold is the sort key; qty pages are unordered).
+        let _ = sold;
+        let qty = f.ts.dict.iri_oid("http://e/qty").unwrap();
+        let v = Oid::from_int(3).unwrap();
+        let r = ORestrict { eq: None, range: Some((v.raw(), v.raw())) };
+        let pairs = scan_property(&c, qty, &r, None, Source::Full);
+        assert_eq!(pairs.len(), 4);
+        // 200 rows fit in one page, so nothing skippable here — just make
+        // sure the counter exists and nothing crashed with zonemaps on.
+        let _ = c.stats.zonemap_pages_skipped.get();
+    }
+}

@@ -1,0 +1,775 @@
+//! Star-pattern evaluation: the Default self-join plan and RDFscan/RDFjoin.
+//!
+//! A *star* is the set of triple patterns sharing one subject. The Default
+//! scheme evaluates it with one property scan per pattern and subject merge
+//! joins (Fig. 4's left-hand plans). RDFscan answers the whole star from one
+//! class segment's aligned columns — "eliminating all join effort when
+//! producing a star that stems from a single CS" — consulting the irregular
+//! store only for exceptions and uncovered properties. RDFjoin is RDFscan
+//! driven by a stream of candidate subjects (Fig. 4b, cf. Pivot Index Scan).
+
+use crate::context::{ExecContext, ExecStats, StorageRef};
+use crate::expr::{CmpOp, Expr};
+use crate::query::{Query, VarOrOid};
+use crate::scan::{scan_property, ORestrict, SRange, Source};
+use crate::table::{Table, VarId};
+use sordf_model::{Oid, TypeTag};
+use sordf_storage::clustered::SubjectIds;
+use sordf_storage::ClassSegment;
+
+/// One property of a star.
+#[derive(Debug, Clone, Copy)]
+pub struct StarProp {
+    pub pred: Oid,
+    pub o: VarOrOid,
+}
+
+/// A subject-grouped set of patterns.
+#[derive(Debug, Clone)]
+pub struct Star {
+    /// Variable bound to the subject (a fresh hidden variable when the
+    /// subject is a constant).
+    pub subject_var: VarId,
+    /// The constant subject, if any.
+    pub subject_const: Option<Oid>,
+    pub props: Vec<StarProp>,
+}
+
+impl Star {
+    /// Variables this star binds (subject + object variables).
+    pub fn bound_vars(&self) -> Vec<VarId> {
+        let mut out = vec![self.subject_var];
+        for p in &self.props {
+            if let VarOrOid::Var(v) = p.o {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Canonical output layout: subject column first, then one column per
+    /// variable-object property in pattern order.
+    pub fn output_vars(&self) -> Vec<VarId> {
+        let mut out = vec![self.subject_var];
+        for p in &self.props {
+            if let VarOrOid::Var(v) = p.o {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Group a query's patterns into stars. Repeated object variables within a
+/// star (and objects equal to the subject variable) are rewritten to fresh
+/// variables plus equality filters, so each star column is independent.
+pub fn stars_of(query: &mut Query) -> (Vec<Star>, Vec<Expr>) {
+    let mut stars: Vec<Star> = Vec::new();
+    let mut key_of: Vec<(VarOrOid, usize)> = Vec::new();
+    let mut extra_filters = Vec::new();
+    let patterns = query.patterns.clone();
+    for pat in &patterns {
+        let star_idx = match key_of.iter().find(|(k, _)| *k == pat.s) {
+            Some(&(_, i)) => i,
+            None => {
+                let subject_var = match pat.s {
+                    VarOrOid::Var(v) => v,
+                    VarOrOid::Const(_) => query.var(&format!("_s{}", stars.len())),
+                };
+                stars.push(Star {
+                    subject_var,
+                    subject_const: match pat.s {
+                        VarOrOid::Const(c) => Some(c),
+                        VarOrOid::Var(_) => None,
+                    },
+                    props: Vec::new(),
+                });
+                key_of.push((pat.s, stars.len() - 1));
+                stars.len() - 1
+            }
+        };
+        let star = &mut stars[star_idx];
+        let o = match pat.o {
+            VarOrOid::Var(v) => {
+                let clash = v == star.subject_var
+                    || star.props.iter().any(|p| p.o == VarOrOid::Var(v));
+                if clash {
+                    let fresh = query.var(&format!("_eq{}_{}", star_idx, star.props.len()));
+                    extra_filters.push(Expr::cmp(Expr::Var(fresh), CmpOp::Eq, Expr::Var(v)));
+                    VarOrOid::Var(fresh)
+                } else {
+                    VarOrOid::Var(v)
+                }
+            }
+            c => c,
+        };
+        star.props.push(StarProp { pred: pat.p, o });
+    }
+    (stars, extra_filters)
+}
+
+/// Filters whose variables are all bound by `vars`.
+pub fn filters_bound_by<'f>(filters: &'f [Expr], vars: &[VarId]) -> Vec<&'f Expr> {
+    filters
+        .iter()
+        .filter(|f| {
+            let mut fv = Vec::new();
+            f.vars(&mut fv);
+            fv.iter().all(|v| vars.contains(v))
+        })
+        .collect()
+}
+
+/// Derive a pushable object restriction for `v` from the filters.
+pub fn restrict_for_var(filters: &[&Expr], v: VarId, strings_ordered: bool) -> ORestrict {
+    let mut lo = 0u64;
+    let mut hi = u64::MAX;
+    let mut eq: Option<Oid> = None;
+    for f in filters {
+        let Some((fv, op, c)) = f.as_var_cmp() else { continue };
+        if fv != v || c.is_null() {
+            continue;
+        }
+        // Ordered comparisons on parse-order string OIDs are not
+        // OID-order-compatible; leave them to the post-filter.
+        if c.tag() == TypeTag::Str && !strings_ordered && op != CmpOp::Eq {
+            continue;
+        }
+        match op {
+            CmpOp::Eq => eq = Some(eq.map_or(c, |prev| if prev == c { c } else { Oid::NULL })),
+            CmpOp::Ge => lo = lo.max(c.raw()),
+            CmpOp::Gt => lo = lo.max(c.raw().saturating_add(1)),
+            CmpOp::Le => hi = hi.min(c.raw()),
+            CmpOp::Lt => hi = hi.min(c.raw().saturating_sub(1)),
+            CmpOp::Ne => {}
+        }
+    }
+    if eq == Some(Oid::NULL) {
+        // Conflicting equalities: empty restriction.
+        return ORestrict { eq: None, range: Some((1, 0)) };
+    }
+    if let Some(c) = eq {
+        if c.raw() < lo || c.raw() > hi {
+            return ORestrict { eq: None, range: Some((1, 0)) };
+        }
+        return ORestrict::eq(c);
+    }
+    if lo == 0 && hi == u64::MAX {
+        ORestrict::none()
+    } else {
+        ORestrict { eq: None, range: Some((lo, hi)) }
+    }
+}
+
+/// The restriction to push into a property's scan.
+fn prop_restrict(cx: &ExecContext, prop: &StarProp, filters: &[&Expr]) -> ORestrict {
+    match prop.o {
+        VarOrOid::Const(c) => ORestrict::eq(c),
+        VarOrOid::Var(v) => restrict_for_var(filters, v, cx.strings_value_ordered()),
+    }
+}
+
+/// Apply filters to a table (post-filtering; always sound).
+pub fn apply_filters(cx: &ExecContext, table: &mut Table, filters: &[&Expr]) {
+    if filters.is_empty() || table.is_empty() {
+        return;
+    }
+    let applicable = filters_bound_by_refs(filters, &table.vars);
+    if applicable.is_empty() {
+        return;
+    }
+    let n = table.len();
+    let mut mask = vec![true; n];
+    for i in 0..n {
+        let lookup = |v: VarId| {
+            table.col_of(v).map(|c| table.cols[c][i]).unwrap_or(Oid::NULL)
+        };
+        for f in &applicable {
+            if !f.eval(&lookup, cx.dict).as_bool() {
+                mask[i] = false;
+                break;
+            }
+        }
+    }
+    table.retain_rows(&mask);
+}
+
+fn filters_bound_by_refs<'f>(filters: &[&'f Expr], vars: &[VarId]) -> Vec<&'f Expr> {
+    filters
+        .iter()
+        .filter(|f| {
+            let mut fv = Vec::new();
+            f.vars(&mut fv);
+            fv.iter().all(|v| vars.contains(v))
+        })
+        .copied()
+        .collect()
+}
+
+/// Evaluate a star with the **Default** scheme: one property scan per
+/// pattern, subject merge self-joins, post-filtering.
+pub fn eval_star_default(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    source: Source,
+) -> Table {
+    // Effective subject range: constant subject, caller-provided range, and
+    // any pushable range filters on the subject variable (the SQL frontend
+    // restricts table scans to class segments this way).
+    let s_range = intersect_ranges(subject_filter_range(star, filters), s_range);
+    let s_range = match star.subject_const {
+        Some(c) => intersect_ranges(Some((c.raw(), c.raw())), s_range),
+        None => s_range,
+    };
+
+    // One stream per property.
+    let mut streams: Vec<(usize, Vec<(Oid, Oid)>)> = star
+        .props
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let restrict = prop_restrict(cx, p, filters);
+            let mut pairs = scan_property(cx, p.pred, &restrict, s_range, source);
+            if let Some(c) = candidates {
+                pairs = crate::join::semi_join_pairs(&pairs, c);
+            }
+            (i, pairs)
+        })
+        .collect();
+    // Join smallest-first (classic heuristic).
+    streams.sort_by_key(|(_, s)| s.len());
+    if streams[0].1.is_empty() {
+        // Nothing can match; skip the join pipeline entirely.
+        let mut vars = vec![star.subject_var];
+        for p in &star.props {
+            if let VarOrOid::Var(v) = p.o {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        return Table::empty(vars);
+    }
+
+    // Seed table from the first stream.
+    let mut vars = vec![star.subject_var];
+    let (first_idx, first) = &streams[0];
+    let first_is_var = matches!(star.props[*first_idx].o, VarOrOid::Var(_));
+    if let VarOrOid::Var(v) = star.props[*first_idx].o {
+        vars.push(v);
+    }
+    let mut table = Table::empty(vars);
+    for &(s, o) in first {
+        if first_is_var {
+            table.push_row(&[s, o]);
+        } else {
+            table.push_row(&[s]);
+        }
+    }
+    table.sorted_by = Some(0);
+
+    for (idx, pairs) in streams.iter().skip(1) {
+        match star.props[*idx].o {
+            VarOrOid::Var(v) => {
+                table = crate::join::merge_join_pairs(cx, &table, 0, pairs, v);
+            }
+            VarOrOid::Const(_) => {
+                // Semi-join: keep rows whose subject appears in the stream.
+                ExecStats::bump(&cx.stats.merge_joins, 1);
+                let subjects: Vec<Oid> = pairs.iter().map(|&(s, _)| s).collect();
+                let key = table.cols[0].clone();
+                let mask: Vec<bool> =
+                    key.iter().map(|s| subjects.binary_search(s).is_ok()).collect();
+                table.retain_rows(&mask);
+            }
+        }
+        if table.is_empty() {
+            break;
+        }
+    }
+    // Skip re-evaluating filters the pushed restricts already enforced.
+    let residual = residual_filters(cx, star, filters);
+    apply_filters(cx, &mut table, &residual);
+    table
+}
+
+/// How a star property maps onto one class.
+enum Covered {
+    Col(usize),
+    Multi(usize),
+    Uncovered,
+}
+
+/// Evaluate a star with **RDFscan** (or **RDFjoin** when `candidates` is
+/// given). Falls back to the Default scheme on baseline storage.
+pub fn eval_star_rdfscan(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+) -> Table {
+    let StorageRef::Clustered { store, schema } = &cx.storage else {
+        return eval_star_default(cx, star, filters, candidates, s_range, Source::Full);
+    };
+    let s_range = intersect_ranges(subject_filter_range(star, filters), s_range);
+
+    let out_vars = star.output_vars();
+    let mut result = Table::empty(out_vars.clone());
+
+    // Which classes cover at least one property?
+    let mut covering_classes: Vec<bool> = vec![false; schema.classes.len()];
+    for class in &schema.classes {
+        let covered: Vec<Covered> = star
+            .props
+            .iter()
+            .map(|p| {
+                if let Some(i) = class.column_of(p.pred) {
+                    Covered::Col(i)
+                } else if let Some(i) = class.multi_of(p.pred) {
+                    Covered::Multi(i)
+                } else {
+                    Covered::Uncovered
+                }
+            })
+            .collect();
+        let n_covered = covered.iter().filter(|c| !matches!(c, Covered::Uncovered)).count();
+        if n_covered == 0 {
+            continue;
+        }
+        covering_classes[class.id.0 as usize] = true;
+        let seg = store.segment(class.id);
+        if seg.n == 0 {
+            continue;
+        }
+        let t = scan_class_star(cx, star, filters, candidates, s_range, seg, &covered);
+        if !t.is_empty() {
+            result.append(t);
+        }
+    }
+
+    // Irregular branch: subjects in no covering class, star fully answered
+    // from the irregular store.
+    let mut irr = eval_star_default(cx, star, filters, candidates, s_range, Source::IrregularOnly);
+    if !irr.is_empty() {
+        let sc = irr.col_of(star.subject_var).expect("subject col");
+        let mask: Vec<bool> = irr.cols[sc]
+            .iter()
+            .map(|&s| {
+                schema.class_of(s).map_or(true, |cid| !covering_classes[cid.0 as usize])
+            })
+            .collect();
+        irr.retain_rows(&mask);
+        if !irr.is_empty() {
+            result.append(irr.project(&out_vars));
+        }
+    }
+    result
+}
+
+/// RDFscan over one class segment.
+fn scan_class_star(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    seg: &ClassSegment,
+    covered: &[Covered],
+) -> Table {
+    let pool = cx.pool;
+    if candidates.is_some() {
+        ExecStats::bump(&cx.stats.rdf_joins, 1);
+    } else {
+        ExecStats::bump(&cx.stats.rdf_scans, 1);
+    }
+
+    // ---- Candidate rows -------------------------------------------------
+    let rows: Vec<usize> = match candidates {
+        Some(cands) => {
+            let mut rows: Vec<usize> = cands
+                .iter()
+                .filter(|&&s| s_range.map_or(true, |(lo, hi)| s.raw() >= lo && s.raw() <= hi))
+                .filter_map(|&s| seg.row_of(pool, s))
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            rows
+        }
+        None => {
+            let mut range = 0..seg.n;
+            // Subject-range restriction.
+            if let Some((lo, hi)) = effective_subject_range(star, s_range) {
+                match &seg.subjects {
+                    SubjectIds::Dense { base } => {
+                        let lo_p = Oid::from_raw(lo).payload().max(*base);
+                        let hi_p =
+                            Oid::from_raw(hi).payload().min(base + seg.n as u64 - 1);
+                        if lo_p > hi_p {
+                            return Table::empty(star.output_vars());
+                        }
+                        range = (lo_p - base) as usize..(hi_p - base + 1) as usize;
+                    }
+                    SubjectIds::Sparse { subjects } => {
+                        let start = subjects.lower_bound(pool, lo);
+                        let end = subjects.upper_bound(pool, hi);
+                        range = start..end.max(start);
+                    }
+                }
+            }
+            // Sort-key narrowing: if the segment is sub-ordered by a column
+            // this star restricts, binary-search the row range.
+            for (pi, cov) in covered.iter().enumerate() {
+                let Covered::Col(ci) = cov else { continue };
+                if seg.sorted_by != Some(*ci) {
+                    continue;
+                }
+                let restrict = prop_restrict(cx, &star.props[pi], filters);
+                if restrict.is_none() {
+                    continue;
+                }
+                let (lo, hi) = restrict.bounds();
+                if let Some(r) = seg.sorted_row_range(pool, *ci, lo, hi) {
+                    range = range.start.max(r.start)..range.end.min(r.end);
+                }
+            }
+            if range.start >= range.end {
+                return Table::empty(star.output_vars());
+            }
+            // Zone-map page pruning on one more restricted covered column.
+            if cx.config.zonemaps {
+                prune_rows_with_zonemaps(cx, star, filters, seg, covered, range)
+            } else {
+                range.collect()
+            }
+        }
+    };
+    if rows.is_empty() {
+        return Table::empty(star.output_vars());
+    }
+    ExecStats::bump(&cx.stats.rows_scanned, rows.len() as u64);
+
+    // ---- Per-property data ----------------------------------------------
+    // Subject OID bounds of this row set, for irregular-range lookups.
+    let (s_lo, s_hi) = (
+        seg.subject_at(pool, rows[0]).raw(),
+        seg.subject_at(pool, *rows.last().unwrap()).raw(),
+    );
+
+    enum Access {
+        /// Materialized column values aligned with `rows` + sorted exceptions.
+        Col { vals: Vec<u64>, exceptions: Vec<(Oid, Oid)>, restrict: ORestrict },
+        /// Multi table pairs in subject range (sorted by s) + exceptions.
+        Multi { pairs: Vec<(Oid, Oid)>, exceptions: Vec<(Oid, Oid)> },
+        /// Only irregular pairs (uncovered property).
+        Irr { pairs: Vec<(Oid, Oid)> },
+    }
+
+    let accesses: Vec<Access> = star
+        .props
+        .iter()
+        .zip(covered)
+        .map(|(prop, cov)| {
+            let restrict = prop_restrict(cx, prop, filters);
+            let irr = || {
+                scan_property(
+                    cx,
+                    prop.pred,
+                    &restrict,
+                    Some((s_lo, s_hi)),
+                    Source::IrregularOnly,
+                )
+            };
+            match cov {
+                Covered::Col(ci) => Access::Col {
+                    vals: seg.columns[*ci].gather(pool, &rows),
+                    exceptions: irr(),
+                    restrict,
+                },
+                Covered::Multi(mi) => {
+                    let table = &seg.multi[*mi];
+                    let lo = table.s.lower_bound(pool, s_lo);
+                    let hi = table.s.upper_bound(pool, s_hi);
+                    let ss = table.s.to_vec(pool, lo..hi);
+                    let os = table.o.to_vec(pool, lo..hi);
+                    let pairs = ss
+                        .into_iter()
+                        .zip(os)
+                        .filter(|&(_, o)| restrict.accepts(o))
+                        .map(|(s, o)| (Oid::from_raw(s), Oid::from_raw(o)))
+                        .collect();
+                    Access::Multi { pairs, exceptions: irr() }
+                }
+                Covered::Uncovered => Access::Irr { pairs: irr() },
+            }
+        })
+        .collect();
+
+    // ---- Row-driven assembly ---------------------------------------------
+    let out_vars = star.output_vars();
+    let mut out = Table::empty(out_vars.clone());
+    // Filters of the form `var CMP const` on this star's single-bound
+    // variables are already enforced by the pushed restricts (column checks,
+    // exception scans, s_range); only the rest needs per-row evaluation.
+    let star_filters = residual_filters(cx, star, filters);
+    // Position of each property's output column (subject is column 0).
+    let out_pos: Vec<Option<usize>> = star
+        .props
+        .iter()
+        .map(|p| match p.o {
+            VarOrOid::Var(v) => out_vars.iter().position(|&x| x == v),
+            VarOrOid::Const(_) => None,
+        })
+        .collect();
+
+    // Fast path: pure aligned columns, no exceptions / side tables /
+    // uncovered props, no residual filters — the common case on regular
+    // data, and the code path that makes RDFscan "CPU efficient".
+    let pure_columns = star_filters.is_empty()
+        && accesses.iter().all(|a| match a {
+            Access::Col { exceptions, .. } => exceptions.is_empty(),
+            _ => false,
+        });
+    if pure_columns {
+        let col_vals: Vec<(&Vec<u64>, &ORestrict, Option<usize>)> = accesses
+            .iter()
+            .zip(&out_pos)
+            .map(|(a, &pos)| match a {
+                Access::Col { vals, restrict, .. } => (vals, restrict, pos),
+                _ => unreachable!(),
+            })
+            .collect();
+        'fast: for (ri, &row) in rows.iter().enumerate() {
+            for &(vals, restrict, _) in &col_vals {
+                let v = vals[ri];
+                if v == sordf_columnar::column::NULL_SENTINEL || !restrict.accepts(v) {
+                    continue 'fast;
+                }
+            }
+            out.cols[0].push(seg.subject_at(pool, row));
+            for &(vals, _, pos) in &col_vals {
+                if let Some(pos) = pos {
+                    out.cols[pos].push(Oid::from_raw(vals[ri]));
+                }
+            }
+        }
+        ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
+        return out;
+    }
+
+    let mut value_lists: Vec<Vec<Oid>> = vec![Vec::new(); star.props.len()];
+    'rows: for (ri, &row) in rows.iter().enumerate() {
+        let s = seg.subject_at(pool, row);
+        for (pi, access) in accesses.iter().enumerate() {
+            let list = &mut value_lists[pi];
+            list.clear();
+            match access {
+                Access::Col { vals, exceptions, restrict } => {
+                    let v = vals[ri];
+                    if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+                        list.push(Oid::from_raw(v));
+                    }
+                    extend_from_sorted(list, exceptions, s);
+                }
+                Access::Multi { pairs, exceptions } => {
+                    extend_from_sorted(list, pairs, s);
+                    extend_from_sorted(list, exceptions, s);
+                }
+                Access::Irr { pairs } => {
+                    extend_from_sorted(list, pairs, s);
+                }
+            }
+            if list.is_empty() {
+                continue 'rows; // pattern requires presence
+            }
+        }
+        emit_combinations(cx, star, &star_filters, s, &value_lists, &mut out);
+    }
+    ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
+    out
+}
+
+/// Rows (within `range`) surviving zone-map page pruning against the first
+/// restricted covered column that is not already the sort key.
+fn prune_rows_with_zonemaps(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    seg: &ClassSegment,
+    covered: &[Covered],
+    range: std::ops::Range<usize>,
+) -> Vec<usize> {
+    use sordf_columnar::VALS_PER_PAGE;
+    for (pi, cov) in covered.iter().enumerate() {
+        let Covered::Col(ci) = cov else { continue };
+        if seg.sorted_by == Some(*ci) {
+            continue; // already handled by binary search
+        }
+        let restrict = prop_restrict(cx, &star.props[pi], filters);
+        if restrict.is_none() {
+            continue;
+        }
+        let (lo, hi) = restrict.bounds();
+        let zm = seg.columns[*ci].zonemap();
+        let mut rows = Vec::new();
+        let first_page = range.start / VALS_PER_PAGE;
+        let last_page = (range.end - 1) / VALS_PER_PAGE;
+        for page in first_page..=last_page {
+            let st = zm.page(page);
+            if !st.overlaps(lo, hi) {
+                ExecStats::bump(&cx.stats.zonemap_pages_skipped, 1);
+                continue;
+            }
+            let pstart = (page * VALS_PER_PAGE).max(range.start);
+            let pend = ((page + 1) * VALS_PER_PAGE).min(range.end);
+            rows.extend(pstart..pend);
+        }
+        return rows;
+    }
+    range.collect()
+}
+
+/// Append the objects of all pairs with subject `s` (pairs sorted by s).
+fn extend_from_sorted(list: &mut Vec<Oid>, pairs: &[(Oid, Oid)], s: Oid) {
+    let start = pairs.partition_point(|&(ps, _)| ps < s);
+    for &(ps, o) in &pairs[start..] {
+        if ps != s {
+            break;
+        }
+        list.push(o);
+    }
+}
+
+/// Emit the cross product of per-property value lists for one subject,
+/// filtered by the star-local filters.
+fn emit_combinations(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    s: Oid,
+    lists: &[Vec<Oid>],
+    out: &mut Table,
+) {
+    // Common case: all singletons.
+    let mut row: Vec<Oid> = Vec::with_capacity(out.vars.len());
+    let mut idx = vec![0usize; lists.len()];
+    loop {
+        row.clear();
+        row.push(s);
+        for (pi, p) in star.props.iter().enumerate() {
+            let v = lists[pi][idx[pi]];
+            match p.o {
+                VarOrOid::Var(var) => {
+                    // Respect the canonical layout (vars may repeat... they
+                    // don't — stars_of rewrites duplicates).
+                    let pos = out.vars.iter().position(|&x| x == var).unwrap();
+                    if pos == row.len() {
+                        row.push(v);
+                    } else if pos < row.len() {
+                        row[pos] = v;
+                    } else {
+                        while row.len() < pos {
+                            row.push(Oid::NULL);
+                        }
+                        row.push(v);
+                    }
+                }
+                VarOrOid::Const(c) => {
+                    if v != c {
+                        // restrict already filtered; defensive.
+                        row.clear();
+                        break;
+                    }
+                }
+            }
+        }
+        if !row.is_empty() {
+            while row.len() < out.vars.len() {
+                row.push(Oid::NULL);
+            }
+            let passes = filters.iter().all(|f| {
+                let lookup = |v: VarId| {
+                    out.vars
+                        .iter()
+                        .position(|&x| x == v)
+                        .map(|i| row[i])
+                        .unwrap_or(Oid::NULL)
+                };
+                f.eval(&lookup, cx.dict).as_bool()
+            });
+            if passes {
+                out.push_row(&row);
+            }
+        }
+        // Advance the mixed-radix counter.
+        let mut k = lists.len();
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            idx[k] += 1;
+            if idx[k] < lists[k].len() {
+                break;
+            }
+            idx[k] = 0;
+        }
+    }
+}
+
+/// Star-local filters minus those fully enforced by pushed restricts:
+/// `var CMP const` (non-`!=`, and not an ordered comparison on unsorted
+/// string OIDs) on a variable bound by exactly one property — the scan layer
+/// already applied these via [`ORestrict`] / subject ranges.
+fn residual_filters<'f>(cx: &ExecContext, star: &Star, filters: &[&'f Expr]) -> Vec<&'f Expr> {
+    filters_bound_by_refs(filters, &star.bound_vars())
+        .into_iter()
+        .filter(|f| match f.as_var_cmp() {
+            Some((v, op, c)) => {
+                let enforced_cmp = !c.is_null()
+                    && !(c.tag() == TypeTag::Str
+                        && !cx.strings_value_ordered()
+                        && op != CmpOp::Eq)
+                    && op != CmpOp::Ne;
+                let single_binding = v == star.subject_var
+                    || star.props.iter().filter(|p| p.o == VarOrOid::Var(v)).count() == 1;
+                !(enforced_cmp && single_binding)
+            }
+            None => true,
+        })
+        .collect()
+}
+
+/// Range filters on the subject variable itself (OID-range form).
+fn subject_filter_range(star: &Star, filters: &[&Expr]) -> SRange {
+    // Subject OIDs are IRIs; IRI "ordering" is only meaningful as raw OID
+    // ranges (used by the SQL frontend for class-segment restriction), so
+    // push them unconditionally.
+    let r = restrict_for_var(filters, star.subject_var, true);
+    if r.is_none() {
+        None
+    } else {
+        Some(r.bounds())
+    }
+}
+
+fn effective_subject_range(star: &Star, s_range: SRange) -> SRange {
+    match star.subject_const {
+        Some(c) => intersect_ranges(Some((c.raw(), c.raw())), s_range),
+        None => s_range,
+    }
+}
+
+fn intersect_ranges(a: SRange, b: SRange) -> SRange {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some((al, ah)), Some((bl, bh))) => Some((al.max(bl), ah.min(bh))),
+    }
+}

@@ -1,0 +1,195 @@
+//! Materialized intermediate results (column-major, like MonetDB BATs).
+
+use sordf_model::Oid;
+
+/// A query variable, an index into the query's variable registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u16);
+
+/// A materialized binding table: one column of OIDs per bound variable.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Which variable each column binds.
+    pub vars: Vec<VarId>,
+    /// Column-major storage; all columns have equal length.
+    pub cols: Vec<Vec<Oid>>,
+    /// Index of a column the rows are sorted by, if known (enables merge
+    /// joins without re-sorting).
+    pub sorted_by: Option<usize>,
+}
+
+impl Table {
+    /// An empty table binding the given variables.
+    pub fn empty(vars: Vec<VarId>) -> Table {
+        let cols = vars.iter().map(|_| Vec::new()).collect();
+        Table { vars, cols, sorted_by: None }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.cols.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column index binding `v`, if present.
+    pub fn col_of(&self, v: VarId) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+
+    /// Append one row (must match the column count).
+    pub fn push_row(&mut self, row: &[Oid]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (c, &v) in self.cols.iter_mut().zip(row) {
+            c.push(v);
+        }
+    }
+
+    /// One row as a Vec (for tests and small outputs).
+    pub fn row(&self, i: usize) -> Vec<Oid> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+
+    /// Sort rows by the given column (stable), updating `sorted_by`.
+    pub fn sort_by_col(&mut self, col: usize) {
+        if self.sorted_by == Some(col) || self.len() <= 1 {
+            self.sorted_by = Some(col);
+            return;
+        }
+        let mut perm: Vec<usize> = (0..self.len()).collect();
+        let key = &self.cols[col];
+        perm.sort_by_key(|&i| key[i]);
+        self.apply_perm(&perm);
+        self.sorted_by = Some(col);
+    }
+
+    /// Reorder all columns by `perm` (row `i` of the result is old row
+    /// `perm[i]`).
+    pub fn apply_perm(&mut self, perm: &[usize]) {
+        for c in self.cols.iter_mut() {
+            let reordered: Vec<Oid> = perm.iter().map(|&i| c[i]).collect();
+            *c = reordered;
+        }
+    }
+
+    /// Keep only rows where `mask[i]` is true.
+    pub fn retain_rows(&mut self, mask: &[bool]) {
+        debug_assert_eq!(mask.len(), self.len());
+        for c in self.cols.iter_mut() {
+            let mut keep = mask.iter();
+            c.retain(|_| *keep.next().unwrap());
+        }
+    }
+
+    /// Project to a subset of variables (must exist).
+    pub fn project(&self, vars: &[VarId]) -> Table {
+        let idx: Vec<usize> =
+            vars.iter().map(|&v| self.col_of(v).expect("projection var missing")).collect();
+        Table {
+            vars: vars.to_vec(),
+            cols: idx.iter().map(|&i| self.cols[i].clone()).collect(),
+            sorted_by: None,
+        }
+    }
+
+    /// Sorted, deduplicated values of one column.
+    pub fn distinct_col(&self, col: usize) -> Vec<Oid> {
+        let mut v = self.cols[col].clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Remove duplicate rows (sorts internally).
+    pub fn dedup_rows(&mut self) {
+        let n = self.len();
+        if n <= 1 {
+            return;
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.sort_by(|&a, &b| {
+            for c in &self.cols {
+                match c[a].cmp(&c[b]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let mut keep_rows: Vec<usize> = Vec::with_capacity(n);
+        for (k, &i) in perm.iter().enumerate() {
+            let dup = k > 0 && {
+                let j = perm[k - 1];
+                self.cols.iter().all(|c| c[i] == c[j])
+            };
+            if !dup {
+                keep_rows.push(i);
+            }
+        }
+        self.apply_perm(&keep_rows);
+        self.sorted_by = None;
+    }
+
+    /// Concatenate another table with the same variable layout.
+    pub fn append(&mut self, other: Table) {
+        assert_eq!(self.vars, other.vars, "appending incompatible tables");
+        for (c, oc) in self.cols.iter_mut().zip(other.cols) {
+            c.extend(oc);
+        }
+        self.sorted_by = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t3() -> Table {
+        let mut t = Table::empty(vec![VarId(0), VarId(1)]);
+        t.push_row(&[Oid::iri(3), Oid::iri(30)]);
+        t.push_row(&[Oid::iri(1), Oid::iri(10)]);
+        t.push_row(&[Oid::iri(2), Oid::iri(20)]);
+        t
+    }
+
+    #[test]
+    fn sort_and_project() {
+        let mut t = t3();
+        t.sort_by_col(0);
+        assert_eq!(t.cols[0], vec![Oid::iri(1), Oid::iri(2), Oid::iri(3)]);
+        assert_eq!(t.cols[1], vec![Oid::iri(10), Oid::iri(20), Oid::iri(30)]);
+        let p = t.project(&[VarId(1)]);
+        assert_eq!(p.cols[0], vec![Oid::iri(10), Oid::iri(20), Oid::iri(30)]);
+    }
+
+    #[test]
+    fn retain_and_distinct() {
+        let mut t = t3();
+        t.retain_rows(&[true, false, true]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.distinct_col(0), vec![Oid::iri(2), Oid::iri(3)]);
+    }
+
+    #[test]
+    fn dedup_rows_removes_duplicates() {
+        let mut t = Table::empty(vec![VarId(0)]);
+        for x in [3u64, 1, 3, 2, 1] {
+            t.push_row(&[Oid::iri(x)]);
+        }
+        t.dedup_rows();
+        assert_eq!(t.len(), 3);
+        let mut vals = t.cols[0].clone();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![Oid::iri(1), Oid::iri(2), Oid::iri(3)]);
+    }
+
+    #[test]
+    fn append_tables() {
+        let mut a = t3();
+        let b = t3();
+        a.append(b);
+        assert_eq!(a.len(), 6);
+    }
+}

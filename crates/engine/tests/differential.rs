@@ -1,0 +1,453 @@
+//! Differential correctness tests: every query must produce the same result
+//! under all four Table-I configurations (plan scheme × storage scheme),
+//! with and without zone maps. This is the engine's core correctness
+//! guarantee — the paper's optimizations must never change query answers.
+
+use sordf_columnar::{BufferPool, DiskManager};
+use sordf_engine::{
+    execute, explain, CmpOp, ExecConfig, ExecContext, Expr, PlanScheme, Query, SelectItem,
+    StorageRef, TriplePattern, VarOrOid,
+};
+use sordf_model::{Dictionary, Oid, Term, TermTriple};
+use sordf_schema::{EmergentSchema, SchemaConfig};
+use sordf_storage::{build_clustered, reorganize, BaselineStore, ClusterSpec, ClusteredStore, TripleSet};
+use std::sync::Arc;
+
+/// The test workload: items referencing orders, with noise.
+fn build_terms() -> Vec<TermTriple> {
+    let mut triples = Vec::new();
+    let mut add = |s: String, p: &str, o: Term| {
+        triples.push(TermTriple::new(Term::iri(s), Term::iri(format!("http://e/{p}")), o));
+    };
+    for i in 0..120u64 {
+        let s = format!("http://e/item{i}");
+        add(s.clone(), "qty", Term::int((i % 30) as i64));
+        add(s.clone(), "price", Term::decimal_f64(10.0 + (i % 7) as f64 * 2.5));
+        add(
+            s.clone(),
+            "sold",
+            Term::date(&format!("1996-{:02}-{:02}", (i % 12) + 1, (i * 7 % 28) + 1)),
+        );
+        add(s.clone(), "ok", Term::iri(format!("http://e/order{}", i % 25)));
+        if i % 3 == 0 {
+            // nullable attribute, present on a third of subjects
+            add(s.clone(), "flag", Term::str(format!("F{}", i % 2)));
+        }
+    }
+    for o in 0..25u64 {
+        let s = format!("http://e/order{o}");
+        add(s.clone(), "odate", Term::date(&format!("1996-{:02}-15", (o % 12) + 1)));
+        add(s.clone(), "status", Term::str(if o % 2 == 0 { "open" } else { "closed" }));
+    }
+    // Noise: one fully irregular subject and one type exception.
+    add("http://e/weird".into(), "zzz", Term::str("irregular"));
+    add("http://e/item0".into(), "qty", Term::str("n/a"));
+    triples
+}
+
+struct Fixture {
+    _dm: Arc<DiskManager>,
+    pool: BufferPool,
+    // ParseOrder generation.
+    po_dict: Dictionary,
+    baseline: BaselineStore,
+    po_schema: EmergentSchema,
+    sparse: ClusteredStore,
+    // Clustered (reorganized) generation.
+    cl_dict: Dictionary,
+    cl_schema: EmergentSchema,
+    dense: ClusteredStore,
+}
+
+fn fixture() -> Fixture {
+    let terms = build_terms();
+    let mut ts = TripleSet::new();
+    ts.extend_terms(&terms).unwrap();
+    let dm = Arc::new(DiskManager::temp().unwrap());
+
+    // Generation 0: parse order.
+    let spo = ts.sorted_spo();
+    let baseline = BaselineStore::build(&dm, &spo);
+    let mut po_schema = sordf_schema::discover(&spo, &ts.dict, &SchemaConfig::default());
+    let spec = ClusterSpec::auto(&po_schema);
+    let sparse = build_clustered(&dm, &spo, &mut po_schema, &spec, false);
+    let po_dict = ts.dict.clone();
+
+    // Generation 1: reorganized.
+    let mut cl_schema = po_schema.clone();
+    reorganize(&mut ts, &mut cl_schema, &spec);
+    let spo = ts.sorted_spo();
+    let dense = build_clustered(&dm, &spo, &mut cl_schema, &spec, true);
+
+    let pool = BufferPool::new(Arc::clone(&dm), 2048);
+    Fixture {
+        _dm: dm,
+        pool,
+        po_dict,
+        baseline,
+        po_schema,
+        sparse,
+        cl_dict: ts.dict,
+        cl_schema,
+        dense,
+    }
+}
+
+/// All engine configurations of Table I (plus zone-map toggles).
+fn configs() -> Vec<(&'static str, PlanScheme, /*storage*/ u8, bool)> {
+    vec![
+        ("default/baseline", PlanScheme::Default, 0, false),
+        ("default/sparse-cs", PlanScheme::Default, 1, false),
+        ("default/clustered", PlanScheme::Default, 2, false),
+        ("default/clustered+zm", PlanScheme::Default, 2, true),
+        ("rdfscan/sparse-cs", PlanScheme::RdfScanJoin, 1, false),
+        ("rdfscan/clustered", PlanScheme::RdfScanJoin, 2, false),
+        ("rdfscan/clustered+zm", PlanScheme::RdfScanJoin, 2, true),
+    ]
+}
+
+/// Run `make_query` on every configuration and assert identical canonical
+/// results. Returns the canonical result for further checks.
+fn assert_all_agree(f: &Fixture, make_query: impl Fn(&mut Dictionary) -> Query) -> Vec<String> {
+    let mut reference: Option<(String, Vec<String>)> = None;
+    for (name, scheme, storage, zm) in configs() {
+        let mut dict = match storage {
+            0 | 1 => f.po_dict.clone(),
+            _ => f.cl_dict.clone(),
+        };
+        let query = make_query(&mut dict);
+        let storage_ref = match storage {
+            0 => StorageRef::Baseline(&f.baseline),
+            1 => StorageRef::Clustered { store: &f.sparse, schema: &f.po_schema },
+            _ => StorageRef::Clustered { store: &f.dense, schema: &f.cl_schema },
+        };
+        let cx = ExecContext::new(
+            &f.pool,
+            &dict,
+            storage_ref,
+            ExecConfig { scheme, zonemaps: zm },
+        );
+        let rs = execute(&cx, &query);
+        let canon = rs.canonical(&dict);
+        match &reference {
+            None => reference = Some((name.to_string(), canon)),
+            Some((ref_name, ref_canon)) => {
+                assert_eq!(
+                    &canon, ref_canon,
+                    "config {name} disagrees with {ref_name}"
+                );
+            }
+        }
+    }
+    reference.unwrap().1
+}
+
+fn var(q: &mut Query, name: &str) -> VarOrOid {
+    VarOrOid::Var(q.var(name))
+}
+
+fn add_pat(q: &mut Query, s: &str, dict: &mut Dictionary, p: &str, o: VarOrOid) {
+    let tp = TriplePattern { s: var(q, s), p: dict.encode_iri(&format!("http://e/{p}")), o };
+    q.patterns.push(tp);
+}
+
+#[test]
+fn single_pattern_scan() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let o = var(&mut q, "o");
+        add_pat(&mut q, "s", dict, "status", o);
+        q
+    });
+    assert_eq!(rows.len(), 25);
+}
+
+#[test]
+fn star_three_props() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let qty = var(&mut q, "qty");
+        let price = var(&mut q, "price");
+        let sold = var(&mut q, "sold");
+        add_pat(&mut q, "s", dict, "qty", qty);
+        add_pat(&mut q, "s", dict, "price", price);
+        add_pat(&mut q, "s", dict, "sold", sold);
+        q
+    });
+    // 120 items; item0 contributes 2 qty bindings (int + string exception).
+    assert_eq!(rows.len(), 121);
+}
+
+#[test]
+fn star_with_date_range_filter() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let qty = var(&mut q, "qty");
+        let sold = var(&mut q, "sold");
+        add_pat(&mut q, "s", dict, "qty", qty);
+        add_pat(&mut q, "s", dict, "sold", sold);
+        let lo = Oid::from_date_days(sordf_model::date::parse_date("1996-03-01").unwrap()).unwrap();
+        let hi = Oid::from_date_days(sordf_model::date::parse_date("1996-05-31").unwrap()).unwrap();
+        let sold_v = q.var("sold");
+        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Ge, Expr::Const(lo)));
+        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Le, Expr::Const(hi)));
+        q
+    });
+    // Months 3..5 -> 30 items (i%12 in {2,3,4}).
+    assert_eq!(rows.len(), 30);
+}
+
+#[test]
+fn star_with_constant_object() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let odate = var(&mut q, "odate");
+        let open = dict.encode_term(&Term::str("open")).unwrap();
+        add_pat(&mut q, "o", dict, "status", VarOrOid::Const(open));
+        add_pat(&mut q, "o", dict, "odate", odate);
+        q
+    });
+    assert_eq!(rows.len(), 13, "orders 0,2,..,24 are open");
+}
+
+#[test]
+fn two_star_fk_join() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let qty = var(&mut q, "qty");
+        let ord = var(&mut q, "ord");
+        let status = var(&mut q, "status");
+        add_pat(&mut q, "s", dict, "qty", qty);
+        add_pat(&mut q, "s", dict, "ok", ord.clone());
+        // second star: the order
+        let ord_v = q.var("ord");
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(ord_v),
+            p: dict.encode_iri("http://e/status"),
+            o: status,
+        });
+        q
+    });
+    // Every item joins its order; item0's qty exception doubles one row.
+    assert_eq!(rows.len(), 121);
+}
+
+#[test]
+fn fk_join_with_selective_filters_on_both_stars() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let sold = var(&mut q, "sold");
+        let ord = var(&mut q, "ord");
+        let odate = var(&mut q, "odate");
+        add_pat(&mut q, "s", dict, "sold", sold);
+        add_pat(&mut q, "s", dict, "ok", ord);
+        let ord_v = q.var("ord");
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(ord_v),
+            p: dict.encode_iri("http://e/odate"),
+            o: odate,
+        });
+        let date = |s: &str| {
+            Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap()
+        };
+        let sold_v = q.var("sold");
+        let odate_v = q.var("odate");
+        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Lt, Expr::Const(date("1996-04-01"))));
+        q.filters.push(Expr::cmp(Expr::Var(odate_v), CmpOp::Ge, Expr::Const(date("1996-06-01"))));
+        q
+    });
+    assert!(!rows.is_empty());
+}
+
+#[test]
+fn aggregation_group_by_status() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let qty = var(&mut q, "qty");
+        let ord = var(&mut q, "ord");
+        let status = var(&mut q, "status");
+        add_pat(&mut q, "s", dict, "qty", qty);
+        add_pat(&mut q, "s", dict, "ok", ord);
+        let ord_v = q.var("ord");
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(ord_v),
+            p: dict.encode_iri("http://e/status"),
+            o: status,
+        });
+        let status_v = q.var("status");
+        let qty_v = q.var("qty");
+        q.select = vec![
+            SelectItem::Var(status_v),
+            SelectItem::Agg {
+                func: sordf_engine::AggFunc::Count,
+                expr: Expr::Var(qty_v),
+                name: "n".into(),
+            },
+            SelectItem::Agg {
+                func: sordf_engine::AggFunc::Sum,
+                expr: Expr::Var(qty_v),
+                name: "total".into(),
+            },
+        ];
+        q.group_by = vec![status_v];
+        q.order_by = vec![sordf_engine::query::OrderKey { output: 0, ascending: true }];
+        q
+    });
+    assert_eq!(rows.len(), 2, "two status groups");
+}
+
+#[test]
+fn distinct_and_limit() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let qty = var(&mut q, "qty");
+        add_pat(&mut q, "s", dict, "qty", qty);
+        let qty_v = q.var("qty");
+        q.select = vec![SelectItem::Var(qty_v)];
+        q.distinct = true;
+        q
+    });
+    assert_eq!(rows.len(), 31, "30 distinct ints + 1 string");
+}
+
+#[test]
+fn nullable_attribute_star() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let flag = var(&mut q, "flag");
+        let qty = var(&mut q, "qty");
+        add_pat(&mut q, "s", dict, "flag", flag);
+        add_pat(&mut q, "s", dict, "qty", qty);
+        q
+    });
+    // 40 items have flags; item0 (i%3==0) has a flag + 2 qty values.
+    assert_eq!(rows.len(), 41);
+}
+
+#[test]
+fn irregular_subject_reachable() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let z = var(&mut q, "z");
+        add_pat(&mut q, "w", dict, "zzz", z);
+        q
+    });
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].contains("irregular"));
+}
+
+#[test]
+fn constant_subject_star() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let qty = var(&mut q, "qty");
+        let item5 = dict.encode_iri("http://e/item5");
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Const(item5),
+            p: dict.encode_iri("http://e/qty"),
+            o: qty,
+        });
+        q
+    });
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0], "5");
+}
+
+#[test]
+fn q6_style_aggregate() {
+    let f = fixture();
+    let rows = assert_all_agree(&f, |dict| {
+        let mut q = Query::default();
+        let price = var(&mut q, "price");
+        let qty = var(&mut q, "qty");
+        let sold = var(&mut q, "sold");
+        add_pat(&mut q, "s", dict, "price", price);
+        add_pat(&mut q, "s", dict, "qty", qty);
+        add_pat(&mut q, "s", dict, "sold", sold);
+        let date = |s: &str| {
+            Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap()
+        };
+        let sold_v = q.var("sold");
+        let qty_v = q.var("qty");
+        let price_v = q.var("price");
+        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Ge, Expr::Const(date("1996-01-01"))));
+        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Lt, Expr::Const(date("1996-07-01"))));
+        q.filters.push(Expr::cmp(Expr::Var(qty_v), CmpOp::Lt, Expr::Const(Oid::from_int(20).unwrap())));
+        q.select = vec![SelectItem::Agg {
+            func: sordf_engine::AggFunc::Sum,
+            expr: Expr::Arith(
+                Box::new(Expr::Var(price_v)),
+                sordf_engine::expr::ArithOp::Mul,
+                Box::new(Expr::Var(qty_v)),
+            ),
+            name: "revenue".into(),
+        }];
+        q
+    });
+    assert_eq!(rows.len(), 1);
+    let revenue: f64 = rows[0].parse().unwrap();
+    assert!(revenue > 0.0, "rows: {rows:?}");
+}
+
+#[test]
+fn explain_join_counts_match_fig4() {
+    let f = fixture();
+    // The 4-property star of Fig. 4a.
+    let mut dict = f.cl_dict.clone();
+    let mut q = Query::default();
+    for (i, p) in ["qty", "price", "sold", "flag"].iter().enumerate() {
+        let o = var(&mut q, &format!("o{i}"));
+        add_pat(&mut q, "s", &mut dict, p, o);
+    }
+    let storage = StorageRef::Clustered { store: &f.dense, schema: &f.cl_schema };
+    let cx_default = ExecContext::new(
+        &f.pool,
+        &dict,
+        storage,
+        ExecConfig { scheme: PlanScheme::Default, zonemaps: false },
+    );
+    let plan = explain(&cx_default, &q);
+    assert_eq!(plan.intra_star_joins, 3, "IdxScan plan: 3 merge joins for 4 patterns");
+    assert_eq!(plan.cross_star_joins, 0);
+
+    let storage = StorageRef::Clustered { store: &f.dense, schema: &f.cl_schema };
+    let cx_rdf = ExecContext::new(
+        &f.pool,
+        &dict,
+        storage,
+        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+    );
+    let plan = explain(&cx_rdf, &q);
+    assert_eq!(plan.intra_star_joins, 0, "RDFscan eliminates intra-star joins");
+}
+
+#[test]
+fn rdfscan_stats_record_operator_use() {
+    let f = fixture();
+    let mut dict = f.cl_dict.clone();
+    let mut q = Query::default();
+    let qty = var(&mut q, "qty");
+    let sold = var(&mut q, "sold");
+    add_pat(&mut q, "s", &mut dict, "qty", qty);
+    add_pat(&mut q, "s", &mut dict, "sold", sold);
+    let cx = ExecContext::new(
+        &f.pool,
+        &dict,
+        StorageRef::Clustered { store: &f.dense, schema: &f.cl_schema },
+        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+    );
+    let _ = execute(&cx, &q);
+    assert!(cx.stats.rdf_scans.get() >= 1);
+    assert_eq!(cx.stats.merge_joins.get(), 0, "no self-joins in RDFscan plans");
+}

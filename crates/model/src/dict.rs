@@ -1,0 +1,328 @@
+//! Dictionary encoding between RDF terms and [`Oid`]s.
+//!
+//! Three pools are kept: IRIs, blank nodes and string literals. All other
+//! literal types inline their value into the OID payload and never touch the
+//! dictionary. Pools assign indices in order of first appearance — the
+//! "ParseOrder" OID assignment the paper starts from. Subject clustering
+//! later *remaps* IRI indices (grouping subjects by characteristic set) and
+//! sorts the string pool so that string OID order equals lexicographic
+//! order; [`Dictionary::apply_iri_permutation`] and
+//! [`Dictionary::sort_strings`] implement those reorganizations.
+
+use crate::error::ModelError;
+use crate::fxhash::FxHashMap;
+use crate::oid::{Oid, TypeTag};
+use crate::term::{Literal, Term, Value};
+
+/// One interning pool: values are indices into `entries`.
+#[derive(Debug, Default, Clone)]
+struct Pool {
+    entries: Vec<String>,
+    index: FxHashMap<String, u64>,
+}
+
+impl Pool {
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.entries.len() as u64;
+        self.entries.push(s.to_string());
+        self.index.insert(s.to_string(), i);
+        i
+    }
+
+    fn lookup(&self, s: &str) -> Option<u64> {
+        self.index.get(s).copied()
+    }
+
+    fn get(&self, i: u64) -> Option<&str> {
+        self.entries.get(i as usize).map(|s| s.as_str())
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Reorder entries so entry `old` moves to position `new_of_old[old]`.
+    fn permute(&mut self, new_of_old: &[u64]) {
+        assert_eq!(new_of_old.len(), self.entries.len(), "permutation size mismatch");
+        let mut reordered = vec![String::new(); self.entries.len()];
+        for (old, s) in self.entries.drain(..).enumerate() {
+            reordered[new_of_old[old] as usize] = s;
+        }
+        self.entries = reordered;
+        self.index.clear();
+        for (i, s) in self.entries.iter().enumerate() {
+            self.index.insert(s.clone(), i as u64);
+        }
+    }
+}
+
+/// A language-tagged string literal as stored in the string pool.
+/// The pool key encodes the language tag (if any) after a `\u{0}` separator,
+/// which cannot occur in either component.
+fn str_key(lexical: &str, lang: Option<&str>) -> String {
+    match lang {
+        None => lexical.to_string(),
+        Some(l) => format!("{lexical}\u{0}{l}"),
+    }
+}
+
+fn split_str_key(key: &str) -> (&str, Option<&str>) {
+    match key.split_once('\u{0}') {
+        Some((lex, lang)) => (lex, Some(lang)),
+        None => (key, None),
+    }
+}
+
+/// Bidirectional term ↔ OID mapping. See the [module docs](self).
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    iris: Pool,
+    blanks: Pool,
+    strings: Pool,
+}
+
+impl Dictionary {
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Intern an IRI, returning its OID (ParseOrder assignment on first use).
+    pub fn encode_iri(&mut self, iri: &str) -> Oid {
+        Oid::iri(self.iris.intern(iri))
+    }
+
+    /// Intern a blank node label.
+    pub fn encode_blank(&mut self, label: &str) -> Oid {
+        Oid::blank(self.blanks.intern(label))
+    }
+
+    /// Encode a literal value. Inlinable types never touch the pools.
+    pub fn encode_value(&mut self, v: &Value) -> Result<Oid, ModelError> {
+        match v {
+            Value::Str { lexical, lang } => {
+                Ok(Oid::string(self.strings.intern(&str_key(lexical, lang.as_deref()))))
+            }
+            Value::Int(i) => Oid::from_int(*i),
+            Value::Decimal(u) => Oid::from_decimal_unscaled(*u),
+            Value::Date(d) => Oid::from_date_days(*d),
+            Value::DateTime(s) => Oid::from_datetime_secs(*s),
+            Value::Bool(b) => Ok(Oid::from_bool(*b)),
+        }
+    }
+
+    /// Encode any term.
+    pub fn encode_term(&mut self, t: &Term) -> Result<Oid, ModelError> {
+        match t {
+            Term::Iri(iri) => Ok(self.encode_iri(iri)),
+            Term::Blank(label) => Ok(self.encode_blank(label)),
+            Term::Literal(Literal { value }) => self.encode_value(value),
+        }
+    }
+
+    /// Look up an IRI without interning.
+    pub fn iri_oid(&self, iri: &str) -> Option<Oid> {
+        self.iris.lookup(iri).map(Oid::iri)
+    }
+
+    /// Look up a plain string literal without interning.
+    pub fn string_oid(&self, lexical: &str) -> Option<Oid> {
+        self.strings.lookup(lexical).map(Oid::string)
+    }
+
+    /// Look up any term without interning.
+    pub fn term_oid(&self, t: &Term) -> Option<Oid> {
+        match t {
+            Term::Iri(iri) => self.iri_oid(iri),
+            Term::Blank(label) => self.blanks.lookup(label).map(Oid::blank),
+            Term::Literal(Literal { value }) => match value {
+                Value::Str { lexical, lang } => self
+                    .strings
+                    .lookup(&str_key(lexical, lang.as_deref()))
+                    .map(Oid::string),
+                // Inline values encode without mutating state; reuse encode.
+                other => {
+                    let mut tmp = Dictionary::new();
+                    tmp.encode_value(other).ok()
+                }
+            },
+        }
+    }
+
+    /// The IRI string behind an IRI OID.
+    pub fn iri_str(&self, oid: Oid) -> Result<&str, ModelError> {
+        debug_assert_eq!(oid.tag(), TypeTag::Iri);
+        self.iris.get(oid.payload()).ok_or(ModelError::UnknownOid(oid.raw()))
+    }
+
+    /// Decode any OID back to a term.
+    pub fn decode(&self, oid: Oid) -> Result<Term, ModelError> {
+        if oid.is_null() {
+            return Err(ModelError::UnknownOid(oid.raw()));
+        }
+        let missing = || ModelError::UnknownOid(oid.raw());
+        Ok(match oid.tag() {
+            TypeTag::Iri => Term::Iri(self.iris.get(oid.payload()).ok_or_else(missing)?.to_string()),
+            TypeTag::Blank => {
+                Term::Blank(self.blanks.get(oid.payload()).ok_or_else(missing)?.to_string())
+            }
+            TypeTag::Str => {
+                let key = self.strings.get(oid.payload()).ok_or_else(missing)?;
+                let (lex, lang) = split_str_key(key);
+                Term::Literal(Literal::new(Value::Str {
+                    lexical: lex.to_string(),
+                    lang: lang.map(str::to_string),
+                }))
+            }
+            TypeTag::Int => Term::Literal(Literal::new(Value::Int(oid.as_int()))),
+            TypeTag::Dec => Term::Literal(Literal::new(Value::Decimal(oid.as_decimal_unscaled()))),
+            TypeTag::Date => Term::Literal(Literal::new(Value::Date(oid.as_date_days()))),
+            TypeTag::DateTime => {
+                Term::Literal(Literal::new(Value::DateTime(oid.as_datetime_secs())))
+            }
+            TypeTag::Bool => Term::Literal(Literal::new(Value::Bool(oid.as_bool()))),
+        })
+    }
+
+    /// Number of interned IRIs.
+    pub fn n_iris(&self) -> usize {
+        self.iris.len()
+    }
+
+    /// Number of interned blank nodes.
+    pub fn n_blanks(&self) -> usize {
+        self.blanks.len()
+    }
+
+    /// Number of interned string literals.
+    pub fn n_strings(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Apply a subject-clustering permutation to the IRI pool:
+    /// `new_of_old[old_index] = new_index`. Every existing IRI OID `Oid::iri(i)`
+    /// must afterwards be rewritten to `Oid::iri(new_of_old[i])` by the caller
+    /// (the storage layer rewrites all triples).
+    pub fn apply_iri_permutation(&mut self, new_of_old: &[u64]) {
+        self.iris.permute(new_of_old);
+    }
+
+    /// Sort the string-literal pool lexicographically so that string OID
+    /// order equals value order (enabling range predicates on string OIDs).
+    /// Returns `new_of_old` mapping for the caller to rewrite stored OIDs.
+    pub fn sort_strings(&mut self) -> Vec<u64> {
+        let n = self.strings.len();
+        let mut order: Vec<u64> = (0..n as u64).collect();
+        order.sort_by(|&a, &b| {
+            self.strings.entries[a as usize].cmp(&self.strings.entries[b as usize])
+        });
+        // order[new] = old; invert to new_of_old[old] = new.
+        let mut new_of_old = vec![0u64; n];
+        for (new, &old) in order.iter().enumerate() {
+            new_of_old[old as usize] = new as u64;
+        }
+        self.strings.permute(&new_of_old);
+        new_of_old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_interning_is_stable() {
+        let mut d = Dictionary::new();
+        let a = d.encode_iri("http://ex.org/a");
+        let b = d.encode_iri("http://ex.org/b");
+        let a2 = d.encode_iri("http://ex.org/a");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.iri_str(a).unwrap(), "http://ex.org/a");
+        assert_eq!(d.n_iris(), 2);
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let mut d = Dictionary::new();
+        let terms = [
+            Term::iri("http://ex.org/x"),
+            Term::blank("b0"),
+            Term::str("hello"),
+            Term::Literal(Literal::new(Value::Str {
+                lexical: "bonjour".into(),
+                lang: Some("fr".into()),
+            })),
+            Term::int(-42),
+            Term::decimal_f64(13.37),
+            Term::date("1996-02-29"),
+            Term::literal(Value::Bool(true)),
+            Term::literal(Value::DateTime(123_456_789)),
+        ];
+        for t in &terms {
+            let oid = d.encode_term(t).unwrap();
+            assert_eq!(&d.decode(oid).unwrap(), t, "roundtrip {t:?}");
+        }
+    }
+
+    #[test]
+    fn lang_tags_distinguish_literals() {
+        let mut d = Dictionary::new();
+        let plain = d
+            .encode_value(&Value::Str { lexical: "chat".into(), lang: None })
+            .unwrap();
+        let fr = d
+            .encode_value(&Value::Str { lexical: "chat".into(), lang: Some("fr".into()) })
+            .unwrap();
+        assert_ne!(plain, fr);
+    }
+
+    #[test]
+    fn string_sorting_orders_oids() {
+        let mut d = Dictionary::new();
+        let banana = d.encode_value(&Value::str("banana")).unwrap();
+        let apple = d.encode_value(&Value::str("apple")).unwrap();
+        let cherry = d.encode_value(&Value::str("cherry")).unwrap();
+        // Parse order: banana < apple < cherry by OID, wrong lexicographically.
+        assert!(banana < apple);
+        let map = d.sort_strings();
+        let remap = |o: Oid| Oid::string(map[o.payload() as usize]);
+        let (a, b, c) = (remap(apple), remap(banana), remap(cherry));
+        assert!(a < b && b < c);
+        assert_eq!(d.decode(a).unwrap(), Term::str("apple"));
+        assert_eq!(d.decode(c).unwrap(), Term::str("cherry"));
+    }
+
+    #[test]
+    fn iri_permutation_reorders_pool() {
+        let mut d = Dictionary::new();
+        let x = d.encode_iri("x");
+        let y = d.encode_iri("y");
+        assert_eq!((x.payload(), y.payload()), (0, 1));
+        d.apply_iri_permutation(&[1, 0]); // swap
+        assert_eq!(d.iri_str(Oid::iri(1)).unwrap(), "x");
+        assert_eq!(d.iri_str(Oid::iri(0)).unwrap(), "y");
+        assert_eq!(d.iri_oid("x"), Some(Oid::iri(1)));
+    }
+
+    #[test]
+    fn unknown_oid_is_an_error() {
+        let d = Dictionary::new();
+        assert!(d.decode(Oid::iri(99)).is_err());
+        assert!(d.decode(Oid::NULL).is_err());
+    }
+
+    #[test]
+    fn term_oid_does_not_intern() {
+        let d = Dictionary::new();
+        assert_eq!(d.term_oid(&Term::iri("nope")), None);
+        assert_eq!(d.n_iris(), 0);
+        // Inline literals are found without dictionary state.
+        assert_eq!(
+            d.term_oid(&Term::int(7)),
+            Some(Oid::from_int(7).unwrap())
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Tagged 64-bit object identifiers.
+//!
+//! Every RDF term is represented at runtime by one [`Oid`]: a 4-bit *type
+//! tag* in the top bits and a 60-bit payload. IRIs, blank nodes and string
+//! literals carry a dictionary index in the payload; all other literal types
+//! are **inlined** — the value itself is stored in the payload using an
+//! order-preserving encoding, so `oid_a < oid_b` of equal tag iff
+//! `value_a < value_b`. Range predicates on dates, numbers and booleans can
+//! therefore be evaluated directly on OID columns without dictionary access,
+//! which is what makes zone maps and clustered scans effective.
+//!
+//! Tag order also defines a total order across types (IRIs < blanks <
+//! strings < numbers < dates < booleans), which the engine uses for ORDER BY.
+
+use crate::error::ModelError;
+
+/// Number of payload bits.
+pub const PAYLOAD_BITS: u32 = 60;
+/// Mask extracting the payload.
+pub const PAYLOAD_MASK: u64 = (1 << PAYLOAD_BITS) - 1;
+/// Offset added to signed inline values to make the encoding order-preserving.
+const SIGN_OFFSET: i64 = 1 << (PAYLOAD_BITS - 1);
+/// Fixed decimal scale used by inline decimals: values are `unscaled * 10^-4`.
+pub const DECIMAL_SCALE: u32 = 4;
+/// `10^DECIMAL_SCALE`.
+pub const DECIMAL_ONE: i64 = 10_000;
+
+/// The type tag carried in an OID's top 4 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum TypeTag {
+    /// IRI (dictionary index payload).
+    Iri = 0,
+    /// Blank node (dictionary index payload).
+    Blank = 1,
+    /// String literal, possibly language-tagged (dictionary index payload).
+    Str = 2,
+    /// `xsd:integer` (inlined).
+    Int = 3,
+    /// `xsd:decimal` at fixed scale 4 (inlined).
+    Dec = 4,
+    /// `xsd:date` as days since 1970-01-01 (inlined).
+    Date = 5,
+    /// `xsd:dateTime` as seconds since the epoch (inlined).
+    DateTime = 6,
+    /// `xsd:boolean` (inlined).
+    Bool = 7,
+}
+
+impl TypeTag {
+    /// All tags, in comparison order.
+    pub const ALL: [TypeTag; 8] = [
+        TypeTag::Iri,
+        TypeTag::Blank,
+        TypeTag::Str,
+        TypeTag::Int,
+        TypeTag::Dec,
+        TypeTag::Date,
+        TypeTag::DateTime,
+        TypeTag::Bool,
+    ];
+
+    /// Decode a tag from its numeric value.
+    pub fn from_u8(v: u8) -> Option<TypeTag> {
+        TypeTag::ALL.get(v as usize).copied()
+    }
+
+    /// Does this tag inline its value (vs. referencing a dictionary)?
+    pub fn is_inline(self) -> bool {
+        matches!(
+            self,
+            TypeTag::Int | TypeTag::Dec | TypeTag::Date | TypeTag::DateTime | TypeTag::Bool
+        )
+    }
+
+    /// Short lowercase name used in schema column naming and debug output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeTag::Iri => "iri",
+            TypeTag::Blank => "blank",
+            TypeTag::Str => "string",
+            TypeTag::Int => "int",
+            TypeTag::Dec => "decimal",
+            TypeTag::Date => "date",
+            TypeTag::DateTime => "datetime",
+            TypeTag::Bool => "boolean",
+        }
+    }
+}
+
+/// A tagged object identifier. See the [module docs](self) for the encoding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(u64);
+
+impl Oid {
+    /// Sentinel for a missing (NULL) value in clustered column storage.
+    /// Uses the unassigned tag 15 with an all-ones payload, so it sorts after
+    /// every real OID.
+    pub const NULL: Oid = Oid(u64::MAX);
+
+    /// Construct from tag + payload. Payload must fit in 60 bits.
+    #[inline]
+    pub fn new(tag: TypeTag, payload: u64) -> Oid {
+        debug_assert!(payload <= PAYLOAD_MASK);
+        Oid(((tag as u64) << PAYLOAD_BITS) | payload)
+    }
+
+    /// The raw 64-bit representation.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw representation (e.g. read back from a column).
+    #[inline]
+    pub fn from_raw(raw: u64) -> Oid {
+        Oid(raw)
+    }
+
+    /// Is this the NULL sentinel?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The type tag. Panics on the NULL sentinel in debug builds.
+    #[inline]
+    pub fn tag(self) -> TypeTag {
+        debug_assert!(!self.is_null(), "tag() on NULL oid");
+        TypeTag::from_u8((self.0 >> PAYLOAD_BITS) as u8).expect("invalid oid tag")
+    }
+
+    /// The 60-bit payload.
+    #[inline]
+    pub fn payload(self) -> u64 {
+        self.0 & PAYLOAD_MASK
+    }
+
+    /// Is this an IRI?
+    #[inline]
+    pub fn is_iri(self) -> bool {
+        !self.is_null() && self.tag() == TypeTag::Iri
+    }
+
+    /// Does this OID inline its value?
+    #[inline]
+    pub fn is_inline(self) -> bool {
+        !self.is_null() && self.tag().is_inline()
+    }
+
+    /// An IRI OID from a dictionary index.
+    #[inline]
+    pub fn iri(index: u64) -> Oid {
+        Oid::new(TypeTag::Iri, index)
+    }
+
+    /// A blank-node OID from a dictionary index.
+    #[inline]
+    pub fn blank(index: u64) -> Oid {
+        Oid::new(TypeTag::Blank, index)
+    }
+
+    /// A string-literal OID from a dictionary index.
+    #[inline]
+    pub fn string(index: u64) -> Oid {
+        Oid::new(TypeTag::Str, index)
+    }
+
+    fn encode_signed(tag: TypeTag, v: i64) -> Result<Oid, ModelError> {
+        let shifted = v
+            .checked_add(SIGN_OFFSET)
+            .ok_or_else(|| ModelError::ValueOutOfRange(v.to_string()))?;
+        if !(0..=(PAYLOAD_MASK as i64)).contains(&shifted) {
+            return Err(ModelError::ValueOutOfRange(v.to_string()));
+        }
+        Ok(Oid::new(tag, shifted as u64))
+    }
+
+    #[inline]
+    fn decode_signed(self) -> i64 {
+        self.payload() as i64 - SIGN_OFFSET
+    }
+
+    /// Inline an `xsd:integer`.
+    pub fn from_int(v: i64) -> Result<Oid, ModelError> {
+        Oid::encode_signed(TypeTag::Int, v)
+    }
+
+    /// Inline an `xsd:decimal` given its scale-4 unscaled value
+    /// (`12_345` means `1.2345`).
+    pub fn from_decimal_unscaled(unscaled: i64) -> Result<Oid, ModelError> {
+        Oid::encode_signed(TypeTag::Dec, unscaled)
+    }
+
+    /// Inline an `xsd:date` given days since 1970-01-01.
+    pub fn from_date_days(days: i64) -> Result<Oid, ModelError> {
+        Oid::encode_signed(TypeTag::Date, days)
+    }
+
+    /// Inline an `xsd:dateTime` given seconds since the epoch.
+    pub fn from_datetime_secs(secs: i64) -> Result<Oid, ModelError> {
+        Oid::encode_signed(TypeTag::DateTime, secs)
+    }
+
+    /// Inline an `xsd:boolean`.
+    pub fn from_bool(v: bool) -> Oid {
+        Oid::new(TypeTag::Bool, v as u64)
+    }
+
+    /// Decode an inlined integer. Caller must have checked the tag.
+    #[inline]
+    pub fn as_int(self) -> i64 {
+        debug_assert_eq!(self.tag(), TypeTag::Int);
+        self.decode_signed()
+    }
+
+    /// Decode an inlined decimal's unscaled (scale-4) value.
+    #[inline]
+    pub fn as_decimal_unscaled(self) -> i64 {
+        debug_assert_eq!(self.tag(), TypeTag::Dec);
+        self.decode_signed()
+    }
+
+    /// Decode an inlined date (days since epoch).
+    #[inline]
+    pub fn as_date_days(self) -> i64 {
+        debug_assert_eq!(self.tag(), TypeTag::Date);
+        self.decode_signed()
+    }
+
+    /// Decode an inlined dateTime (seconds since epoch).
+    #[inline]
+    pub fn as_datetime_secs(self) -> i64 {
+        debug_assert_eq!(self.tag(), TypeTag::DateTime);
+        self.decode_signed()
+    }
+
+    /// Decode an inlined boolean.
+    #[inline]
+    pub fn as_bool(self) -> bool {
+        debug_assert_eq!(self.tag(), TypeTag::Bool);
+        self.payload() != 0
+    }
+
+    /// Numeric value as f64, if this OID inlines a number (int or decimal).
+    #[inline]
+    pub fn numeric_f64(self) -> Option<f64> {
+        if self.is_null() {
+            return None;
+        }
+        match self.tag() {
+            TypeTag::Int => Some(self.as_int() as f64),
+            TypeTag::Dec => Some(self.as_decimal_unscaled() as f64 / DECIMAL_ONE as f64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_null() {
+            return write!(f, "Oid(NULL)");
+        }
+        match self.tag() {
+            TypeTag::Int => write!(f, "Oid(int {})", self.as_int()),
+            TypeTag::Dec => write!(f, "Oid(dec {})", self.as_decimal_unscaled()),
+            TypeTag::Date => write!(f, "Oid(date {})", crate::date::format_date(self.as_date_days())),
+            TypeTag::DateTime => write!(f, "Oid(dt {})", self.as_datetime_secs()),
+            TypeTag::Bool => write!(f, "Oid(bool {})", self.as_bool()),
+            t => write!(f, "Oid({} #{})", t.name(), self.payload()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_and_payload_roundtrip() {
+        for tag in TypeTag::ALL {
+            let oid = Oid::new(tag, 123_456);
+            assert_eq!(oid.tag(), tag);
+            assert_eq!(oid.payload(), 123_456);
+        }
+    }
+
+    #[test]
+    fn int_roundtrip_and_order() {
+        for v in [-1_000_000i64, -1, 0, 1, 42, 1 << 40] {
+            assert_eq!(Oid::from_int(v).unwrap().as_int(), v);
+        }
+        assert!(Oid::from_int(-5).unwrap() < Oid::from_int(3).unwrap());
+        assert!(Oid::from_int(3).unwrap() < Oid::from_int(4).unwrap());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(Oid::from_int(i64::MAX).is_err());
+        assert!(Oid::from_int(i64::MIN).is_err());
+    }
+
+    #[test]
+    fn decimal_order() {
+        let a = Oid::from_decimal_unscaled(-12_345).unwrap(); // -1.2345
+        let b = Oid::from_decimal_unscaled(0).unwrap();
+        let c = Oid::from_decimal_unscaled(99_999).unwrap(); // 9.9999
+        assert!(a < b && b < c);
+        assert_eq!(c.numeric_f64().unwrap(), 9.9999);
+    }
+
+    #[test]
+    fn date_order_matches_calendar() {
+        let d1 = Oid::from_date_days(crate::date::parse_date("1996-01-01").unwrap()).unwrap();
+        let d2 = Oid::from_date_days(crate::date::parse_date("1996-06-15").unwrap()).unwrap();
+        assert!(d1 < d2);
+    }
+
+    #[test]
+    fn null_sorts_last_and_is_detectable() {
+        assert!(Oid::NULL.is_null());
+        assert!(Oid::from_int(i64::from(u32::MAX)).unwrap() < Oid::NULL);
+        assert!(Oid::iri(PAYLOAD_MASK) < Oid::NULL);
+    }
+
+    #[test]
+    fn cross_type_order_is_by_tag() {
+        assert!(Oid::iri(999) < Oid::string(0));
+        assert!(Oid::string(999) < Oid::from_int(-999).unwrap());
+        assert!(Oid::from_int(1 << 50).unwrap() < Oid::from_bool(false));
+    }
+}

@@ -1,0 +1,352 @@
+//! The RDF-H data generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sordf_model::{Term, TermTriple, Value};
+
+/// Namespace of the RDF-H schema.
+pub const NS: &str = "http://lod2.eu/schemas/rdfh#";
+
+/// Scale-factor-driven generator configuration. TPC-H row counts at SF=1
+/// are LINEITEM ≈ 6M, ORDERS 1.5M, CUSTOMER 150k, PART 200k, SUPPLIER 10k;
+/// we keep the ratios and scale everything by `sf`.
+#[derive(Debug, Clone, Copy)]
+pub struct RdfhConfig {
+    pub sf: f64,
+    pub seed: u64,
+}
+
+impl Default for RdfhConfig {
+    fn default() -> RdfhConfig {
+        RdfhConfig { sf: 0.01, seed: 42 }
+    }
+}
+
+impl RdfhConfig {
+    pub fn new(sf: f64) -> RdfhConfig {
+        RdfhConfig { sf, ..Default::default() }
+    }
+
+    pub fn n_region(&self) -> u64 {
+        5
+    }
+
+    pub fn n_nation(&self) -> u64 {
+        25
+    }
+
+    pub fn n_supplier(&self) -> u64 {
+        ((10_000.0 * self.sf) as u64).max(5)
+    }
+
+    pub fn n_customer(&self) -> u64 {
+        ((150_000.0 * self.sf) as u64).max(10)
+    }
+
+    pub fn n_part(&self) -> u64 {
+        ((200_000.0 * self.sf) as u64).max(10)
+    }
+
+    pub fn n_orders(&self) -> u64 {
+        ((1_500_000.0 * self.sf) as u64).max(20)
+    }
+}
+
+/// Generated triples plus bookkeeping counts.
+pub struct RdfhData {
+    pub triples: Vec<TermTriple>,
+    pub n_lineitem: u64,
+    pub n_orders: u64,
+    pub n_customer: u64,
+}
+
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const RETURNFLAGS: [&str; 3] = ["A", "N", "R"];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const TYPES: [&str; 6] =
+    ["ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "MEDIUM POLISHED COPPER",
+     "PROMO BURNISHED NICKEL", "SMALL PLATED TIN", "STANDARD POLISHED BRASS"];
+
+/// First day of the TPC-H date range, as days since the epoch.
+fn startdate() -> i64 {
+    sordf_model::date::days_from_civil(1992, 1, 1)
+}
+
+/// Number of days in the orderdate range (orders end 1998-08-02).
+const ORDERDATE_SPAN: i64 = 2406;
+
+fn iri(kind: &str, key: u64) -> Term {
+    Term::iri(format!("{NS}{kind}{key}"))
+}
+
+fn pred(name: &str) -> Term {
+    Term::iri(format!("{NS}{name}"))
+}
+
+fn type_of(kind: &str) -> Term {
+    Term::iri(format!("{NS}{kind}"))
+}
+
+/// Generate the full RDF-H dataset.
+pub fn generate(cfg: &RdfhConfig) -> RdfhData {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut triples: Vec<TermTriple> = Vec::new();
+    let rdf_type = Term::iri(sordf_model::vocab::RDF_TYPE);
+
+    let push = |s: &Term, p: Term, o: Term, triples: &mut Vec<TermTriple>| {
+        triples.push(TermTriple::new(s.clone(), p, o));
+    };
+
+    // region
+    for r in 0..cfg.n_region() {
+        let s = iri("region", r);
+        push(&s, rdf_type.clone(), type_of("region"), &mut triples);
+        push(&s, pred("region_name"), Term::str(REGIONS[r as usize]), &mut triples);
+    }
+    // nation
+    for n in 0..cfg.n_nation() {
+        let s = iri("nation", n);
+        push(&s, rdf_type.clone(), type_of("nation"), &mut triples);
+        push(&s, pred("nation_name"), Term::str(format!("NATION{n:02}")), &mut triples);
+        push(&s, pred("nation_regionkey"), iri("region", n % 5), &mut triples);
+    }
+    // supplier
+    for sk in 0..cfg.n_supplier() {
+        let s = iri("supplier", sk);
+        push(&s, rdf_type.clone(), type_of("supplier"), &mut triples);
+        push(&s, pred("supplier_name"), Term::str(format!("Supplier#{sk:09}")), &mut triples);
+        push(
+            &s,
+            pred("supplier_nationkey"),
+            iri("nation", rng.random_range(0..cfg.n_nation())),
+            &mut triples,
+        );
+        push(
+            &s,
+            pred("supplier_acctbal"),
+            Term::decimal_f64(rng.random_range(-999.99..9999.99)),
+            &mut triples,
+        );
+    }
+    // part
+    for pk in 0..cfg.n_part() {
+        let s = iri("part", pk);
+        push(&s, rdf_type.clone(), type_of("part"), &mut triples);
+        push(&s, pred("part_name"), Term::str(format!("part {pk}")), &mut triples);
+        push(
+            &s,
+            pred("part_brand"),
+            Term::str(format!("Brand#{}{}", rng.random_range(1..6), rng.random_range(1..6))),
+            &mut triples,
+        );
+        push(
+            &s,
+            pred("part_type"),
+            Term::str(TYPES[rng.random_range(0..TYPES.len())]),
+            &mut triples,
+        );
+        push(&s, pred("part_size"), Term::int(rng.random_range(1..51)), &mut triples);
+        push(
+            &s,
+            pred("part_retailprice"),
+            Term::decimal_f64(900.0 + (pk % 1000) as f64 / 10.0),
+            &mut triples,
+        );
+    }
+    // customer
+    for ck in 0..cfg.n_customer() {
+        let s = iri("customer", ck);
+        push(&s, rdf_type.clone(), type_of("customer"), &mut triples);
+        push(&s, pred("customer_name"), Term::str(format!("Customer#{ck:09}")), &mut triples);
+        push(
+            &s,
+            pred("customer_mktsegment"),
+            Term::str(SEGMENTS[rng.random_range(0..SEGMENTS.len())]),
+            &mut triples,
+        );
+        push(
+            &s,
+            pred("customer_nationkey"),
+            iri("nation", rng.random_range(0..cfg.n_nation())),
+            &mut triples,
+        );
+        push(
+            &s,
+            pred("customer_acctbal"),
+            Term::decimal_f64(rng.random_range(-999.99..9999.99)),
+            &mut triples,
+        );
+    }
+
+    // orders + lineitem
+    let start = startdate();
+    let mut n_lineitem = 0u64;
+    for ok in 0..cfg.n_orders() {
+        let s = iri("order", ok);
+        let orderdate = start + rng.random_range(0..ORDERDATE_SPAN);
+        push(&s, rdf_type.clone(), type_of("order"), &mut triples);
+        push(
+            &s,
+            pred("order_custkey"),
+            iri("customer", rng.random_range(0..cfg.n_customer())),
+            &mut triples,
+        );
+        push(&s, pred("order_orderdate"), Term::literal(Value::Date(orderdate)), &mut triples);
+        push(
+            &s,
+            pred("order_orderpriority"),
+            Term::str(PRIORITIES[rng.random_range(0..PRIORITIES.len())]),
+            &mut triples,
+        );
+        push(&s, pred("order_shippriority"), Term::int(0), &mut triples);
+        push(
+            &s,
+            pred("order_orderstatus"),
+            Term::str(if rng.random_bool(0.49) { "F" } else { "O" }),
+            &mut triples,
+        );
+        let mut total = 0.0f64;
+
+        // 1..7 lineitems per order (TPC-H's distribution).
+        let n_lines = rng.random_range(1..8u32);
+        for ln in 0..n_lines {
+            let li = iri("lineitem", ok * 8 + ln as u64);
+            n_lineitem += 1;
+            let quantity = rng.random_range(1..51i64);
+            let extendedprice = quantity as f64 * (900.0 + rng.random_range(0..1000) as f64 / 10.0);
+            let discount = rng.random_range(0..11i64) as f64 / 100.0;
+            let tax = rng.random_range(0..9i64) as f64 / 100.0;
+            // The crucial correlation: shipdate trails orderdate by 1..121
+            // days; receipt trails shipment, commit sits near ship.
+            let shipdate = orderdate + rng.random_range(1..122);
+            let commitdate = orderdate + rng.random_range(30..91);
+            let receiptdate = shipdate + rng.random_range(1..31);
+            total += extendedprice * (1.0 - discount);
+
+            push(&li, rdf_type.clone(), type_of("lineitem"), &mut triples);
+            push(&li, pred("lineitem_orderkey"), iri("order", ok), &mut triples);
+            push(
+                &li,
+                pred("lineitem_partkey"),
+                iri("part", rng.random_range(0..cfg.n_part())),
+                &mut triples,
+            );
+            push(
+                &li,
+                pred("lineitem_suppkey"),
+                iri("supplier", rng.random_range(0..cfg.n_supplier())),
+                &mut triples,
+            );
+            push(&li, pred("lineitem_linenumber"), Term::int(ln as i64 + 1), &mut triples);
+            push(&li, pred("lineitem_quantity"), Term::int(quantity), &mut triples);
+            push(&li, pred("lineitem_extendedprice"), Term::decimal_f64(extendedprice), &mut triples);
+            push(&li, pred("lineitem_discount"), Term::decimal_f64(discount), &mut triples);
+            push(&li, pred("lineitem_tax"), Term::decimal_f64(tax), &mut triples);
+            push(
+                &li,
+                pred("lineitem_returnflag"),
+                Term::str(RETURNFLAGS[rng.random_range(0..RETURNFLAGS.len())]),
+                &mut triples,
+            );
+            push(
+                &li,
+                pred("lineitem_linestatus"),
+                Term::str(if shipdate > start + 2160 { "O" } else { "F" }),
+                &mut triples,
+            );
+            push(&li, pred("lineitem_shipdate"), Term::literal(Value::Date(shipdate)), &mut triples);
+            push(&li, pred("lineitem_commitdate"), Term::literal(Value::Date(commitdate)), &mut triples);
+            push(&li, pred("lineitem_receiptdate"), Term::literal(Value::Date(receiptdate)), &mut triples);
+            push(
+                &li,
+                pred("lineitem_shipmode"),
+                Term::str(SHIPMODES[rng.random_range(0..SHIPMODES.len())]),
+                &mut triples,
+            );
+        }
+        push(&s, pred("order_totalprice"), Term::decimal_f64(total), &mut triples);
+    }
+
+    RdfhData { triples, n_lineitem, n_orders: cfg.n_orders(), n_customer: cfg.n_customer() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&RdfhConfig { sf: 0.001, seed: 7 });
+        let b = generate(&RdfhConfig { sf: 0.001, seed: 7 });
+        assert_eq!(a.triples, b.triples);
+        let c = generate(&RdfhConfig { sf: 0.001, seed: 8 });
+        assert_ne!(a.triples, c.triples);
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let d = generate(&RdfhConfig { sf: 0.001, seed: 1 });
+        assert_eq!(d.n_orders, 1500);
+        assert_eq!(d.n_customer, 150);
+        assert!(d.n_lineitem >= 1500 && d.n_lineitem <= 1500 * 7);
+        // ~16 triples per lineitem, 7 per order, plus dimensions.
+        assert!(d.triples.len() > 100_000 / 10);
+    }
+
+    #[test]
+    fn shipdate_trails_orderdate() {
+        let d = generate(&RdfhConfig { sf: 0.0005, seed: 1 });
+        // Collect per-order orderdate and per-lineitem (orderkey, shipdate).
+        let mut orderdates = std::collections::HashMap::new();
+        let mut pairs = Vec::new();
+        for t in &d.triples {
+            if let (Term::Iri(s), Term::Iri(p)) = (&t.s, &t.p) {
+                if p.ends_with("order_orderdate") {
+                    if let Term::Literal(l) = &t.o {
+                        if let Value::Date(days) = l.value {
+                            orderdates.insert(s.clone(), days);
+                        }
+                    }
+                } else if p.ends_with("lineitem_orderkey") {
+                    if let Term::Iri(o) = &t.o {
+                        pairs.push((s.clone(), o.clone()));
+                    }
+                }
+            }
+        }
+        let mut shipdates = std::collections::HashMap::new();
+        for t in &d.triples {
+            if let (Term::Iri(s), Term::Iri(p)) = (&t.s, &t.p) {
+                if p.ends_with("lineitem_shipdate") {
+                    if let Term::Literal(l) = &t.o {
+                        if let Value::Date(days) = l.value {
+                            shipdates.insert(s.clone(), days);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(!pairs.is_empty());
+        for (li, ok) in pairs {
+            let od = orderdates[&ok];
+            let sd = shipdates[&li];
+            assert!(sd > od && sd <= od + 121, "shipdate within (orderdate, +121]");
+        }
+    }
+
+    #[test]
+    fn all_subjects_typed() {
+        let d = generate(&RdfhConfig { sf: 0.0005, seed: 3 });
+        let typed: std::collections::HashSet<_> = d
+            .triples
+            .iter()
+            .filter(|t| t.p == Term::iri(sordf_model::vocab::RDF_TYPE))
+            .map(|t| t.s.clone())
+            .collect();
+        let subjects: std::collections::HashSet<_> =
+            d.triples.iter().map(|t| t.s.clone()).collect();
+        assert_eq!(typed, subjects);
+    }
+}

@@ -1,0 +1,21 @@
+//! # sordf-rdfh
+//!
+//! The RDF-H benchmark: a deterministic TPC-H-style data generator mapped
+//! 1:1 to RDF triples (the paper evaluates on "a straight 1-1 mapping of the
+//! TPC-H benchmark to SPARQL", sf.net/projects/bibm), plus the SPARQL query
+//! catalog used by the Table I reproduction.
+//!
+//! Every row of a TPC-H table becomes one subject IRI
+//! (`rdfh:<table><key>`); every column becomes a predicate
+//! (`rdfh:<table>_<column>`); foreign keys become IRIs of the referenced
+//! subject; every subject carries an `rdf:type` triple. Value distributions
+//! follow TPC-H where it matters for query selectivities: date ranges
+//! (1992-01-01 .. 1998-12-31), shipdate = orderdate + 1..121 days (the
+//! correlation the zone-map experiment exploits), discount 0.00..0.10,
+//! quantity 1..50, and the usual categorical columns.
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate, RdfhConfig, RdfhData};
+pub use queries::{query, QueryId, ALL_QUERIES};

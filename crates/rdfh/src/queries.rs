@@ -1,0 +1,164 @@
+//! The RDF-H SPARQL query catalog.
+//!
+//! Table I of the paper uses Q3 and Q6; we additionally provide Q1, Q5, Q10
+//! and Q14 analogues so the extension benches can exercise wider plan
+//! shapes. All queries are 1:1 SPARQL renderings of their TPC-H originals
+//! over the `rdfh:` vocabulary of [`crate::gen`]. Date constants follow the
+//! TPC-H reference parameters.
+
+/// Query identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    Q1,
+    Q3,
+    Q5,
+    Q6,
+    Q10,
+    Q14,
+}
+
+/// All provided queries.
+pub const ALL_QUERIES: [QueryId; 6] =
+    [QueryId::Q1, QueryId::Q3, QueryId::Q5, QueryId::Q6, QueryId::Q10, QueryId::Q14];
+
+impl QueryId {
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Q1",
+            QueryId::Q3 => "Q3",
+            QueryId::Q5 => "Q5",
+            QueryId::Q6 => "Q6",
+            QueryId::Q10 => "Q10",
+            QueryId::Q14 => "Q14",
+        }
+    }
+}
+
+/// The SPARQL text of a query.
+pub fn query(id: QueryId) -> &'static str {
+    match id {
+        // Q1: pricing summary report (big scan + aggregation).
+        QueryId::Q1 => r#"
+PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT ?returnflag ?linestatus
+       (SUM(?quantity) AS ?sum_qty)
+       (SUM(?extendedprice) AS ?sum_base_price)
+       (SUM(?extendedprice * (1 - ?discount)) AS ?sum_disc_price)
+       (SUM(?extendedprice * (1 - ?discount) * (1 + ?tax)) AS ?sum_charge)
+       (AVG(?quantity) AS ?avg_qty)
+       (COUNT(*) AS ?count_order)
+WHERE {
+  ?li rdfh:lineitem_returnflag ?returnflag .
+  ?li rdfh:lineitem_linestatus ?linestatus .
+  ?li rdfh:lineitem_quantity ?quantity .
+  ?li rdfh:lineitem_extendedprice ?extendedprice .
+  ?li rdfh:lineitem_discount ?discount .
+  ?li rdfh:lineitem_tax ?tax .
+  ?li rdfh:lineitem_shipdate ?shipdate .
+  FILTER(?shipdate <= "1998-09-02"^^xsd:date)
+}
+GROUP BY ?returnflag ?linestatus
+ORDER BY ?returnflag ?linestatus
+"#,
+        // Q3: shipping priority (customer ⨝ orders ⨝ lineitem).
+        QueryId::Q3 => r#"
+PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT ?o (SUM(?extendedprice * (1 - ?discount)) AS ?revenue) ?orderdate ?shippriority
+WHERE {
+  ?c rdfh:customer_mktsegment "BUILDING" .
+  ?o rdfh:order_custkey ?c .
+  ?o rdfh:order_orderdate ?orderdate .
+  ?o rdfh:order_shippriority ?shippriority .
+  ?li rdfh:lineitem_orderkey ?o .
+  ?li rdfh:lineitem_extendedprice ?extendedprice .
+  ?li rdfh:lineitem_discount ?discount .
+  ?li rdfh:lineitem_shipdate ?shipdate .
+  FILTER(?orderdate < "1995-03-15"^^xsd:date && ?shipdate > "1995-03-15"^^xsd:date)
+}
+GROUP BY ?o ?orderdate ?shippriority
+ORDER BY DESC(?revenue) ?orderdate
+LIMIT 10
+"#,
+        // Q5: local supplier volume (customer ⨝ orders ⨝ lineitem ⨝ nation).
+        QueryId::Q5 => r#"
+PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT ?nname (SUM(?extendedprice * (1 - ?discount)) AS ?revenue)
+WHERE {
+  ?c rdfh:customer_nationkey ?n .
+  ?n rdfh:nation_name ?nname .
+  ?o rdfh:order_custkey ?c .
+  ?o rdfh:order_orderdate ?orderdate .
+  ?li rdfh:lineitem_orderkey ?o .
+  ?li rdfh:lineitem_extendedprice ?extendedprice .
+  ?li rdfh:lineitem_discount ?discount .
+  FILTER(?orderdate >= "1994-01-01"^^xsd:date && ?orderdate < "1995-01-01"^^xsd:date)
+}
+GROUP BY ?nname
+ORDER BY DESC(?revenue)
+"#,
+        // Q6: forecasting revenue change (the paper's scan-heavy query).
+        QueryId::Q6 => r#"
+PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT (SUM(?extendedprice * ?discount) AS ?revenue)
+WHERE {
+  ?li rdfh:lineitem_shipdate ?shipdate .
+  ?li rdfh:lineitem_extendedprice ?extendedprice .
+  ?li rdfh:lineitem_discount ?discount .
+  ?li rdfh:lineitem_quantity ?quantity .
+  FILTER(?shipdate >= "1994-01-01"^^xsd:date && ?shipdate < "1995-01-01"^^xsd:date
+         && ?discount >= 0.05 && ?discount <= 0.07 && ?quantity < 24)
+}
+"#,
+        // Q10: returned item reporting.
+        QueryId::Q10 => r#"
+PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT ?c ?cname (SUM(?extendedprice * (1 - ?discount)) AS ?revenue)
+WHERE {
+  ?c rdfh:customer_name ?cname .
+  ?o rdfh:order_custkey ?c .
+  ?o rdfh:order_orderdate ?orderdate .
+  ?li rdfh:lineitem_orderkey ?o .
+  ?li rdfh:lineitem_returnflag "R" .
+  ?li rdfh:lineitem_extendedprice ?extendedprice .
+  ?li rdfh:lineitem_discount ?discount .
+  FILTER(?orderdate >= "1993-10-01"^^xsd:date && ?orderdate < "1994-01-01"^^xsd:date)
+}
+GROUP BY ?c ?cname
+ORDER BY DESC(?revenue)
+LIMIT 20
+"#,
+        // Q14: promotion effect (lineitem ⨝ part).
+        QueryId::Q14 => r#"
+PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT (SUM(?extendedprice * (1 - ?discount)) AS ?promo_revenue) (COUNT(*) AS ?n)
+WHERE {
+  ?li rdfh:lineitem_partkey ?p .
+  ?li rdfh:lineitem_extendedprice ?extendedprice .
+  ?li rdfh:lineitem_discount ?discount .
+  ?li rdfh:lineitem_shipdate ?shipdate .
+  ?p rdfh:part_type "PROMO BURNISHED NICKEL" .
+  FILTER(?shipdate >= "1995-09-01"^^xsd:date && ?shipdate < "1995-10-01"^^xsd:date)
+}
+"#,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_have_text() {
+        for id in ALL_QUERIES {
+            let text = query(id);
+            assert!(text.contains("SELECT"), "{}", id.name());
+            assert!(text.contains("rdfh:"), "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn q6_has_the_paper_filters() {
+        let q = query(QueryId::Q6);
+        assert!(q.contains("0.05") && q.contains("0.07") && q.contains("24"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Tunable thresholds of the schema-discovery pipeline.
+
+/// Knobs for [`crate::discover`]. Defaults follow the heuristics sketched in
+/// the paper (§II-A); the ablation benches sweep several of them.
+#[derive(Debug, Clone)]
+pub struct SchemaConfig {
+    /// τ — minimum number of subjects a class needs to be kept. Classes below
+    /// this are dropped (subjects become irregular) unless rescued by
+    /// incoming foreign-key links ("indirect support").
+    pub min_support: u64,
+    /// ε — keep an attribute as a NULLABLE column if at least this fraction
+    /// of the class's subjects have it ("a significant minority fraction").
+    pub nullable_min_presence: f64,
+    /// When merging a small CS into a larger one, at least this fraction of
+    /// the small CS's properties must already occur in the large one.
+    pub merge_overlap: f64,
+    /// Alternative merge condition: Jaccard similarity of the property sets
+    /// (admits CSs carrying a few extra properties over the anchor).
+    pub merge_jaccard: f64,
+    /// A column's declared type must cover at least this fraction of its
+    /// non-null values; other-typed values become irregular exceptions.
+    pub type_dominance: f64,
+    /// A type-signature group must hold at least this fraction of a class's
+    /// subjects to be split off as a CS *variant*.
+    pub variant_min_frac: f64,
+    /// Fraction of (non-null) references that must hit one target class for
+    /// a column to become a foreign key.
+    pub fk_threshold: f64,
+    /// If more than this fraction of subjects have >1 value for a property,
+    /// the property is split into a side table; otherwise extras are demoted
+    /// to the irregular store and the column stays `0..1`.
+    pub multi_split_frac: f64,
+    /// Mean multiplicity above which a property is always split off
+    /// (the paper: "in case the multiplicity is > 2").
+    pub multi_split_mean: f64,
+    /// Detect and annotate 1-1 linked class pairs (blank-node unification).
+    pub unify_one_to_one: bool,
+}
+
+impl Default for SchemaConfig {
+    fn default() -> SchemaConfig {
+        SchemaConfig {
+            min_support: 3,
+            nullable_min_presence: 0.05,
+            merge_overlap: 0.8,
+            merge_jaccard: 0.6,
+            type_dominance: 0.8,
+            variant_min_frac: 0.15,
+            fk_threshold: 0.8,
+            multi_split_frac: 0.10,
+            multi_split_mean: 2.0,
+            unify_one_to_one: true,
+        }
+    }
+}
+
+impl SchemaConfig {
+    /// A configuration that performs no generalization: every exact CS
+    /// becomes its own class (the original Neumann-Moerkotte behaviour).
+    /// Used by the schema ablation experiment.
+    pub fn exact_cs() -> SchemaConfig {
+        SchemaConfig {
+            min_support: 1,
+            nullable_min_presence: 1.0,
+            merge_overlap: 1.01, // nothing merges
+            merge_jaccard: 1.01,
+            ..SchemaConfig::default()
+        }
+    }
+}

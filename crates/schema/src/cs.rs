@@ -1,0 +1,159 @@
+//! Exact characteristic-set extraction (Neumann & Moerkotte, ICDE 2011).
+//!
+//! The characteristic set of a subject `s` is the set of distinct predicates
+//! occurring with `s`. Subjects sharing a characteristic set form the raw
+//! material from which classes are generalized.
+
+use sordf_model::{FxHashMap, Oid, Triple};
+
+/// One exact characteristic set with its member subjects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactCs {
+    /// Distinct predicates, ascending.
+    pub props: Vec<Oid>,
+    /// Member subjects (in first-seen order).
+    pub subjects: Vec<Oid>,
+}
+
+impl ExactCs {
+    /// Number of subjects with exactly this property set.
+    pub fn support(&self) -> u64 {
+        self.subjects.len() as u64
+    }
+}
+
+/// Extract all exact characteristic sets from SPO-sorted triples.
+///
+/// Returns the CS list (descending support, ties broken by property list)
+/// and the subject → CS-index assignment.
+pub fn extract(triples_spo: &[Triple]) -> (Vec<ExactCs>, FxHashMap<Oid, u32>) {
+    debug_assert!(
+        triples_spo.windows(2).all(|w| w[0].key_spo() <= w[1].key_spo()),
+        "input must be SPO-sorted"
+    );
+    let mut by_props: FxHashMap<Vec<Oid>, Vec<Oid>> = FxHashMap::default();
+    let mut props = Vec::new();
+    let mut i = 0;
+    while i < triples_spo.len() {
+        let s = triples_spo[i].s;
+        props.clear();
+        while i < triples_spo.len() && triples_spo[i].s == s {
+            let p = triples_spo[i].p;
+            if props.last() != Some(&p) {
+                props.push(p);
+            }
+            i += 1;
+        }
+        by_props.entry(props.clone()).or_default().push(s);
+    }
+    let mut css: Vec<ExactCs> = by_props
+        .into_iter()
+        .map(|(props, subjects)| ExactCs { props, subjects })
+        .collect();
+    css.sort_by(|a, b| {
+        b.support()
+            .cmp(&a.support())
+            .then_with(|| a.props.cmp(&b.props))
+    });
+    let mut assignment = FxHashMap::default();
+    for (idx, cs) in css.iter().enumerate() {
+        for &s in &cs.subjects {
+            assignment.insert(s, idx as u32);
+        }
+    }
+    (css, assignment)
+}
+
+/// Walk SPO-sorted triples as (subject, predicate, objects) groups.
+/// `objects` is ascending (inherited from the sort order). Shared by the
+/// typing / fine-tuning / FK / stats stages.
+pub fn walk_sp_groups(triples_spo: &[Triple], mut f: impl FnMut(Oid, Oid, &[Oid])) {
+    let mut i = 0;
+    let mut objects: Vec<Oid> = Vec::new();
+    while i < triples_spo.len() {
+        let s = triples_spo[i].s;
+        let p = triples_spo[i].p;
+        objects.clear();
+        while i < triples_spo.len() && triples_spo[i].s == s && triples_spo[i].p == p {
+            objects.push(triples_spo[i].o);
+            i += 1;
+        }
+        f(s, p, &objects);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(Oid::iri(s), Oid::iri(p), Oid::iri(o))
+    }
+
+    fn sorted(mut v: Vec<Triple>) -> Vec<Triple> {
+        v.sort_by_key(|t| t.key_spo());
+        v
+    }
+
+    #[test]
+    fn groups_subjects_by_property_set() {
+        // s0, s1: {p1, p2}; s2: {p1}; s3: {p1, p2}
+        let triples = sorted(vec![
+            t(0, 1, 100),
+            t(0, 2, 101),
+            t(1, 1, 102),
+            t(1, 2, 103),
+            t(2, 1, 104),
+            t(3, 1, 105),
+            t(3, 2, 106),
+        ]);
+        let (css, assignment) = extract(&triples);
+        assert_eq!(css.len(), 2);
+        // Largest CS first.
+        assert_eq!(css[0].props, vec![Oid::iri(1), Oid::iri(2)]);
+        assert_eq!(css[0].support(), 3);
+        assert_eq!(css[1].props, vec![Oid::iri(1)]);
+        assert_eq!(css[1].support(), 1);
+        assert_eq!(assignment[&Oid::iri(0)], 0);
+        assert_eq!(assignment[&Oid::iri(2)], 1);
+    }
+
+    #[test]
+    fn duplicate_predicates_count_once() {
+        // s0 has p1 twice (multi-valued) -> CS is still {p1}.
+        let triples = sorted(vec![t(0, 1, 100), t(0, 1, 101)]);
+        let (css, _) = extract(&triples);
+        assert_eq!(css.len(), 1);
+        assert_eq!(css[0].props, vec![Oid::iri(1)]);
+    }
+
+    #[test]
+    fn every_subject_assigned_exactly_once() {
+        let triples = sorted(vec![
+            t(0, 1, 9),
+            t(1, 2, 9),
+            t(2, 1, 9),
+            t(2, 3, 9),
+            t(3, 1, 9),
+        ]);
+        let (css, assignment) = extract(&triples);
+        let total: u64 = css.iter().map(|c| c.support()).sum();
+        assert_eq!(total, 4);
+        assert_eq!(assignment.len(), 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (css, assignment) = extract(&[]);
+        assert!(css.is_empty());
+        assert!(assignment.is_empty());
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let triples = sorted(vec![t(0, 1, 9), t(1, 2, 9)]);
+        let (a, _) = extract(&triples);
+        let (b, _) = extract(&triples);
+        assert_eq!(a, b);
+    }
+}

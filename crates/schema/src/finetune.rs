@@ -1,0 +1,182 @@
+//! Multiplicity fine-tuning: `0..n` attributes become `0..1` columns or are
+//! split off into side tables (the paper's "schema fine-tuning").
+
+use crate::config::SchemaConfig;
+use crate::cs::walk_sp_groups;
+use crate::typing::TypedClass;
+use sordf_model::{FxHashMap, Oid, Triple, TypeTag};
+
+/// A property's final storage shape within a class.
+#[derive(Debug, Clone)]
+pub struct ShapedProp {
+    pub pred: Oid,
+    pub ty: TypeTag,
+    /// Subjects having ≥1 matching-type value.
+    pub n_with: u64,
+    /// Mean matching values per subject that has the property.
+    pub mean_mult: f64,
+    /// True → side table of (s, o) pairs; false → single-valued column.
+    pub multi: bool,
+}
+
+/// A class with multiplicity-resolved properties.
+#[derive(Debug, Clone)]
+pub struct ShapedClass {
+    pub props: Vec<ShapedProp>,
+    pub subjects: Vec<Oid>,
+}
+
+impl ShapedClass {
+    pub fn support(&self) -> u64 {
+        self.subjects.len() as u64
+    }
+}
+
+/// Decide, for every (class, property), between a `0..1` column (extra
+/// values demoted to the irregular store) and a multi-value side table.
+pub fn shape_multiplicity(
+    triples_spo: &[Triple],
+    typed: Vec<TypedClass>,
+    cfg: &SchemaConfig,
+) -> Vec<ShapedClass> {
+    let mut assign: FxHashMap<Oid, u32> = FxHashMap::default();
+    for (ci, c) in typed.iter().enumerate() {
+        for &s in &c.subjects {
+            assign.insert(s, ci as u32);
+        }
+    }
+    let prop_idx: Vec<FxHashMap<Oid, usize>> = typed
+        .iter()
+        .map(|c| c.props.iter().enumerate().map(|(i, &p)| (p, i)).collect())
+        .collect();
+
+    #[derive(Default, Clone, Copy)]
+    struct MultStats {
+        n_with: u64,
+        n_multi: u64,
+        n_matching: u64,
+    }
+    let mut stats: Vec<Vec<MultStats>> =
+        typed.iter().map(|c| vec![MultStats::default(); c.props.len()]).collect();
+
+    walk_sp_groups(triples_spo, |s, p, objects| {
+        let Some(&ci) = assign.get(&s) else { return };
+        let Some(&pi) = prop_idx[ci as usize].get(&p) else { return };
+        let ty = typed[ci as usize].col_types[pi];
+        let matching = objects.iter().filter(|o| !o.is_null() && o.tag() == ty).count() as u64;
+        if matching > 0 {
+            let st = &mut stats[ci as usize][pi];
+            st.n_with += 1;
+            st.n_matching += matching;
+            if matching > 1 {
+                st.n_multi += 1;
+            }
+        }
+    });
+
+    typed
+        .into_iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            let props = c
+                .props
+                .iter()
+                .enumerate()
+                .map(|(pi, &pred)| {
+                    let st = stats[ci][pi];
+                    let mean =
+                        if st.n_with == 0 { 0.0 } else { st.n_matching as f64 / st.n_with as f64 };
+                    let frac_multi =
+                        if st.n_with == 0 { 0.0 } else { st.n_multi as f64 / st.n_with as f64 };
+                    ShapedProp {
+                        pred,
+                        ty: c.col_types[pi],
+                        n_with: st.n_with,
+                        mean_mult: mean,
+                        multi: frac_multi > cfg.multi_split_frac || mean > cfg.multi_split_mean,
+                    }
+                })
+                .collect();
+            ShapedClass { props, subjects: c.subjects }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs::extract;
+    use crate::merge::generalize;
+    use crate::typing::type_classes;
+
+    fn run(triples: &mut Vec<Triple>, cfg: &SchemaConfig) -> Vec<ShapedClass> {
+        triples.sort_by_key(|t| t.key_spo());
+        let (css, _) = extract(triples);
+        let merged = generalize(css, cfg);
+        let typed = type_classes(triples, merged, cfg);
+        shape_multiplicity(triples, typed, cfg)
+    }
+
+    #[test]
+    fn single_valued_stays_single() {
+        let p = Oid::iri(100);
+        let mut triples: Vec<Triple> = (0..50)
+            .map(|s| Triple::new(Oid::iri(s), p, Oid::from_int(s as i64).unwrap()))
+            .collect();
+        let shaped = run(&mut triples, &SchemaConfig::default());
+        assert_eq!(shaped.len(), 1);
+        assert!(!shaped[0].props[0].multi);
+        assert_eq!(shaped[0].props[0].n_with, 50);
+        assert_eq!(shaped[0].props[0].mean_mult, 1.0);
+    }
+
+    #[test]
+    fn widely_multivalued_splits_off() {
+        // Every subject has 3 authors -> side table.
+        let p = Oid::iri(100);
+        let mut triples = Vec::new();
+        for s in 0..50u64 {
+            for a in 0..3u64 {
+                triples.push(Triple::new(Oid::iri(s), p, Oid::iri(1000 + s * 3 + a)));
+            }
+        }
+        let shaped = run(&mut triples, &SchemaConfig::default());
+        assert!(shaped[0].props[0].multi);
+        assert_eq!(shaped[0].props[0].mean_mult, 3.0);
+    }
+
+    #[test]
+    fn rare_duplicates_stay_single_valued() {
+        // 2% of subjects have a second value: frac_multi 0.02 <= 0.10.
+        let p = Oid::iri(100);
+        let mut triples = Vec::new();
+        for s in 0..100u64 {
+            triples.push(Triple::new(Oid::iri(s), p, Oid::from_int(1).unwrap()));
+        }
+        triples.push(Triple::new(Oid::iri(7), p, Oid::from_int(2).unwrap()));
+        triples.push(Triple::new(Oid::iri(8), p, Oid::from_int(2).unwrap()));
+        let shaped = run(&mut triples, &SchemaConfig::default());
+        assert!(!shaped[0].props[0].multi);
+    }
+
+    #[test]
+    fn mismatched_types_do_not_count_toward_multiplicity() {
+        // Every subject has one int + one string for p; declared type int
+        // (strings are exceptions) -> still single-valued.
+        let p = Oid::iri(100);
+        let q = Oid::iri(101);
+        let mut triples = Vec::new();
+        for s in 0..100u64 {
+            triples.push(Triple::new(Oid::iri(s), p, Oid::from_int(s as i64).unwrap()));
+            triples.push(Triple::new(Oid::iri(s), q, Oid::from_int(0).unwrap()));
+        }
+        // minority string noise on p for 10 subjects
+        for s in 0..10u64 {
+            triples.push(Triple::new(Oid::iri(s), p, Oid::string(s)));
+        }
+        let shaped = run(&mut triples, &SchemaConfig::default());
+        let prop = shaped[0].props.iter().find(|pr| pr.pred == p).unwrap();
+        assert_eq!(prop.ty, TypeTag::Int);
+        assert!(!prop.multi, "string noise must not force a side table");
+    }
+}

@@ -1,0 +1,50 @@
+//! # sordf-schema
+//!
+//! Emergent relational schema discovery for RDF data — the paper's core
+//! contribution (§II-A "Schema exploration and Summarization").
+//!
+//! Starting from dictionary-encoded triples, the pipeline in [`discover`]
+//! recovers the implicit class structure:
+//!
+//! 1. **Characteristic sets** ([`cs`]) — the exact property set of every
+//!    subject, following Neumann & Moerkotte (ICDE 2011).
+//! 2. **Generalization** ([`merge`]) — exact CSs are merged into fewer
+//!    classes; attributes present in only a significant minority of subjects
+//!    become NULLABLE (`0..1`) columns instead of spawning new CSs.
+//! 3. **Typed properties** ([`typing`]) — object-type histograms give every
+//!    column a declared type; classes whose subjects disagree on types are
+//!    split into per-type-signature *variants*.
+//! 4. **Multiplicity fine-tuning** ([`finetune`]) — rarely multi-valued
+//!    properties are reduced to `0..1` (extras become irregular), genuinely
+//!    multi-valued ones are split off into side tables.
+//! 5. **Foreign keys** ([`fk`]) — IRI columns whose values concentrate in one
+//!    target class become FK edges; incoming links add *indirect support*
+//!    that rescues small-but-referenced classes from being dropped.
+//! 6. **Naming** ([`naming`]) — human-readable SQL identifiers from
+//!    `rdf:type` objects and predicate local names.
+//! 7. **Statistics** ([`stats`]) — per-class / per-column counts, null
+//!    fractions and distinct sketches for the engine's cardinality estimator.
+//!
+//! The result, [`EmergentSchema`], tells the storage layer which triples are
+//! *regular* (stored in CS-clustered columns) and which remain *irregular*
+//! (kept in the PSO triple table), and backs the SQL view exposed to users.
+
+pub mod config;
+pub mod cs;
+pub mod finetune;
+pub mod fk;
+pub mod merge;
+pub mod naming;
+pub mod stats;
+pub mod summary;
+pub mod types;
+pub mod typing;
+
+mod pipeline;
+
+pub use config::SchemaConfig;
+pub use pipeline::discover;
+pub use summary::{summarize, SchemaSummary};
+pub use types::{
+    ClassDef, ClassId, ColStats, ColumnDef, EmergentSchema, ForeignKey, MultiPropDef, TripleHome,
+};

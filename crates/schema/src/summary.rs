@@ -1,0 +1,97 @@
+//! Schema summarization for query sessions.
+//!
+//! "The schema generated … may still be quite large. Thus, we envision
+//! methods to reduce the schema size during a query session … by reducing
+//! the support thresholds, but a more advanced form is to use keyword search
+//! to identify relevant CS's. In both cases we will show a schema consisting
+//! of these selected CS's plus other CS's reachable from them over foreign
+//! key links."
+
+use crate::types::{ClassId, EmergentSchema};
+use sordf_model::FxHashSet;
+
+/// A reduced view of the schema: seed classes matching the filters plus the
+/// FK-reachable closure.
+#[derive(Debug, Clone)]
+pub struct SchemaSummary {
+    /// Selected classes, in schema order.
+    pub selected: Vec<ClassId>,
+    /// Which of the selected classes were seeds (vs. pulled in via FKs).
+    pub seeds: Vec<ClassId>,
+}
+
+/// Build a summary. A class seeds the summary when its support reaches
+/// `min_support` *and*, if `keywords` is non-empty, its table name or one of
+/// its column names contains a keyword (case-insensitive).
+pub fn summarize(schema: &EmergentSchema, min_support: u64, keywords: &[&str]) -> SchemaSummary {
+    let lowered: Vec<String> = keywords.iter().map(|k| k.to_ascii_lowercase()).collect();
+    let matches_keyword = |c: &crate::types::ClassDef| {
+        if lowered.is_empty() {
+            return true;
+        }
+        let name = c.name.to_ascii_lowercase();
+        lowered.iter().any(|k| {
+            name.contains(k)
+                || c.columns.iter().any(|col| col.name.to_ascii_lowercase().contains(k))
+                || c.multi_props.iter().any(|m| m.name.to_ascii_lowercase().contains(k))
+        })
+    };
+
+    let seeds: Vec<ClassId> = schema
+        .classes
+        .iter()
+        .filter(|c| c.n_subjects >= min_support && matches_keyword(c))
+        .map(|c| c.id)
+        .collect();
+
+    // FK-closure from the seeds.
+    let mut selected: FxHashSet<ClassId> = seeds.iter().copied().collect();
+    let mut frontier: Vec<ClassId> = seeds.clone();
+    while let Some(cid) = frontier.pop() {
+        let c = schema.class(cid);
+        let targets = c
+            .columns
+            .iter()
+            .filter_map(|col| col.fk.as_ref())
+            .chain(c.multi_props.iter().filter_map(|m| m.fk.as_ref()))
+            .map(|fk| fk.target);
+        for t in targets {
+            if selected.insert(t) {
+                frontier.push(t);
+            }
+        }
+    }
+
+    let mut selected: Vec<ClassId> = selected.into_iter().collect();
+    selected.sort();
+    SchemaSummary { selected, seeds }
+}
+
+impl SchemaSummary {
+    /// Render the summary as DDL text restricted to the selected classes.
+    pub fn render(&self, schema: &EmergentSchema, dict: &sordf_model::Dictionary) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let keep: FxHashSet<ClassId> = self.selected.iter().copied().collect();
+        for c in &schema.classes {
+            if !keep.contains(&c.id) {
+                continue;
+            }
+            let seed = if self.seeds.contains(&c.id) { "" } else { " (via FK)" };
+            let _ = writeln!(out, "TABLE {}{} -- {} subjects", c.name, seed, c.n_subjects);
+            for col in &c.columns {
+                let fk = col
+                    .fk
+                    .as_ref()
+                    .map(|fk| format!(" -> {}", schema.class(fk.target).name))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "  {} {}{}", col.name, col.ty.name(), fk);
+            }
+            for m in &c.multi_props {
+                let _ = writeln!(out, "  {} setof {}", m.name, m.ty.name());
+            }
+        }
+        let _ = dict; // dict currently unused; kept for future IRI footnotes
+        out
+    }
+}

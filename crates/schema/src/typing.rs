@@ -1,0 +1,343 @@
+//! Typed properties: declare a type per column, split CS variants.
+//!
+//! After generalization, each class column gets a *declared type* from the
+//! object-type histogram of its property. "For literal objects, we look at
+//! the atomic type. In case of URI objects, we type them using initial CS
+//! membership" — the FK stage handles the URI-target part; here we settle the
+//! atomic tag. When a property's dominant tag is not dominant enough, the
+//! class is split into **variants**, one per frequent type signature, "the
+//! advantage being in faster processing of each CS variant, as the types of
+//! the columns are known and homogeneous".
+
+use crate::config::SchemaConfig;
+use crate::cs::walk_sp_groups;
+use crate::merge::MergedClass;
+use sordf_model::{FxHashMap, Oid, Triple, TypeTag};
+
+/// A class whose columns carry declared types. May be a variant of a merged
+/// class (several `TypedClass`es can share an origin).
+#[derive(Debug, Clone)]
+pub struct TypedClass {
+    /// Kept properties, ascending.
+    pub props: Vec<Oid>,
+    /// Declared type per property.
+    pub col_types: Vec<TypeTag>,
+    /// Subjects having each property (within this variant).
+    pub presence: Vec<u64>,
+    /// Member subjects.
+    pub subjects: Vec<Oid>,
+}
+
+impl TypedClass {
+    pub fn support(&self) -> u64 {
+        self.subjects.len() as u64
+    }
+}
+
+/// Per-property tag histogram.
+#[derive(Default, Clone)]
+struct TagHist {
+    counts: [u64; 8],
+}
+
+impl TagHist {
+    fn add(&mut self, tag: TypeTag, n: u64) {
+        self.counts[tag as usize] += n;
+    }
+
+    fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// (dominant tag, its fraction of all counted triples).
+    fn dominant(&self) -> (TypeTag, f64) {
+        let (best, &n) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+            .unwrap();
+        let total = self.total().max(1);
+        (TypeTag::from_u8(best as u8).unwrap(), n as f64 / total as f64)
+    }
+}
+
+/// Majority tag within one (s, p) object group (ties → smaller tag).
+fn group_majority_tag(objects: &[Oid]) -> Option<TypeTag> {
+    let mut counts = [0u32; 8];
+    for &o in objects {
+        if !o.is_null() {
+            counts[o.tag() as usize] += 1;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &n)| n > 0)
+        .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+        .map(|(i, _)| TypeTag::from_u8(i as u8).unwrap())
+}
+
+/// Assign declared column types and split type-incoherent classes into
+/// variants. `triples_spo` must be SPO-sorted.
+pub fn type_classes(
+    triples_spo: &[Triple],
+    merged: Vec<MergedClass>,
+    cfg: &SchemaConfig,
+) -> Vec<TypedClass> {
+    // subject -> merged class index
+    let mut assign: FxHashMap<Oid, u32> = FxHashMap::default();
+    for (ci, c) in merged.iter().enumerate() {
+        for &s in &c.subjects {
+            assign.insert(s, ci as u32);
+        }
+    }
+    // prop index lookup per class
+    let prop_idx: Vec<FxHashMap<Oid, usize>> = merged
+        .iter()
+        .map(|c| c.props.iter().enumerate().map(|(i, &p)| (p, i)).collect())
+        .collect();
+
+    // Pass A: per (class, prop) tag histogram over triples.
+    let mut hists: Vec<Vec<TagHist>> =
+        merged.iter().map(|c| vec![TagHist::default(); c.props.len()]).collect();
+    walk_sp_groups(triples_spo, |s, p, objects| {
+        let Some(&ci) = assign.get(&s) else { return };
+        let Some(&pi) = prop_idx[ci as usize].get(&p) else { return };
+        for &o in objects {
+            if !o.is_null() {
+                hists[ci as usize][pi].add(o.tag(), 1);
+            }
+        }
+    });
+
+    // Dominant tag and conflict detection per class.
+    let mut out: Vec<TypedClass> = Vec::new();
+    for (ci, class) in merged.into_iter().enumerate() {
+        let doms: Vec<(TypeTag, f64)> = hists[ci].iter().map(|h| h.dominant()).collect();
+        let conflicted: Vec<usize> = doms
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, frac))| frac + 1e-9 < cfg.type_dominance)
+            .map(|(i, _)| i)
+            .collect();
+        if conflicted.is_empty() {
+            out.push(TypedClass {
+                col_types: doms.iter().map(|&(t, _)| t).collect(),
+                presence: class.presence,
+                props: class.props,
+                subjects: class.subjects,
+            });
+            continue;
+        }
+        out.extend(split_variants(triples_spo, class, &doms, &conflicted, cfg));
+    }
+    out
+}
+
+/// Split one class into per-type-signature variants.
+fn split_variants(
+    triples_spo: &[Triple],
+    class: MergedClass,
+    doms: &[(TypeTag, f64)],
+    conflicted: &[usize],
+    cfg: &SchemaConfig,
+) -> Vec<TypedClass> {
+    let members: FxHashMap<Oid, ()> = class.subjects.iter().map(|&s| (s, ())).collect();
+    let prop_idx: FxHashMap<Oid, usize> =
+        class.props.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let conflict_slot: FxHashMap<usize, usize> =
+        conflicted.iter().enumerate().map(|(slot, &pi)| (pi, slot)).collect();
+
+    // Pass B: per-subject signature over conflicted props. Missing props
+    // default to the dominant tag, so sparse subjects join the main variant.
+    let default_sig: Vec<u8> = conflicted.iter().map(|&pi| doms[pi].0 as u8).collect();
+    let mut sig_of: FxHashMap<Oid, Vec<u8>> = FxHashMap::default();
+    walk_sp_groups(triples_spo, |s, p, objects| {
+        if !members.contains_key(&s) {
+            return;
+        }
+        let Some(&pi) = prop_idx.get(&p) else { return };
+        let Some(&slot) = conflict_slot.get(&pi) else { return };
+        if let Some(tag) = group_majority_tag(objects) {
+            sig_of.entry(s).or_insert_with(|| default_sig.clone())[slot] = tag as u8;
+        }
+    });
+
+    // Group subjects by signature.
+    let mut groups: FxHashMap<Vec<u8>, Vec<Oid>> = FxHashMap::default();
+    for &s in &class.subjects {
+        let sig = sig_of.get(&s).cloned().unwrap_or_else(|| default_sig.clone());
+        groups.entry(sig).or_default().push(s);
+    }
+    let mut groups: Vec<(Vec<u8>, Vec<Oid>)> = groups.into_iter().collect();
+    // Deterministic: biggest first, then signature bytes.
+    groups.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
+
+    let min_variant = ((class.subjects.len() as f64 * cfg.variant_min_frac).ceil() as usize).max(2);
+    let mut variants: Vec<(Vec<u8>, Vec<Oid>)> = Vec::new();
+    let mut leftovers: Vec<Oid> = Vec::new();
+    for (sig, subjects) in groups {
+        if variants.is_empty() || subjects.len() >= min_variant {
+            variants.push((sig, subjects));
+        } else {
+            leftovers.extend(subjects);
+        }
+    }
+    // Small groups fold into the largest variant; their mismatching triples
+    // become irregular exceptions at placement time.
+    variants[0].1.extend(leftovers);
+
+    // Pass C: presence per variant.
+    let mut variant_of: FxHashMap<Oid, u32> = FxHashMap::default();
+    for (vi, (_, subjects)) in variants.iter().enumerate() {
+        for &s in subjects {
+            variant_of.insert(s, vi as u32);
+        }
+    }
+    let mut presence: Vec<Vec<u64>> = variants.iter().map(|_| vec![0u64; class.props.len()]).collect();
+    walk_sp_groups(triples_spo, |s, p, _objects| {
+        let Some(&vi) = variant_of.get(&s) else { return };
+        if let Some(&pi) = prop_idx.get(&p) {
+            presence[vi as usize][pi] += 1;
+        }
+    });
+
+    variants
+        .into_iter()
+        .enumerate()
+        .map(|(vi, (sig, subjects))| {
+            let col_types = (0..class.props.len())
+                .map(|pi| match conflict_slot.get(&pi) {
+                    Some(&slot) => TypeTag::from_u8(sig[slot]).unwrap(),
+                    None => doms[pi].0,
+                })
+                .collect();
+            TypedClass {
+                props: class.props.clone(),
+                col_types,
+                presence: presence[vi].clone(),
+                subjects,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cs::extract;
+    use crate::merge::generalize;
+
+    fn run(triples: &mut Vec<Triple>, cfg: &SchemaConfig) -> Vec<TypedClass> {
+        triples.sort_by_key(|t| t.key_spo());
+        let (css, _) = extract(triples);
+        let merged = generalize(css, cfg);
+        type_classes(triples, merged, cfg)
+    }
+
+    fn str_oid(n: u64) -> Oid {
+        Oid::string(n)
+    }
+
+    #[test]
+    fn homogeneous_types_pass_through() {
+        let p_name = Oid::iri(100);
+        let p_age = Oid::iri(101);
+        let mut triples = Vec::new();
+        for s in 0..20 {
+            triples.push(Triple::new(Oid::iri(s), p_name, str_oid(s)));
+            triples.push(Triple::new(Oid::iri(s), p_age, Oid::from_int(s as i64).unwrap()));
+        }
+        let typed = run(&mut triples, &SchemaConfig::default());
+        assert_eq!(typed.len(), 1);
+        assert_eq!(typed[0].col_types, vec![TypeTag::Str, TypeTag::Int]);
+        assert_eq!(typed[0].presence, vec![20, 20]);
+    }
+
+    #[test]
+    fn minority_type_noise_does_not_split() {
+        // 95 subjects with int age, 5 with string age: dominance 0.95 >= 0.8.
+        let p = Oid::iri(100);
+        let mut triples = Vec::new();
+        for s in 0..95 {
+            triples.push(Triple::new(Oid::iri(s), p, Oid::from_int(s as i64).unwrap()));
+        }
+        for s in 95..100 {
+            triples.push(Triple::new(Oid::iri(s), p, str_oid(s)));
+        }
+        let typed = run(&mut triples, &SchemaConfig::default());
+        assert_eq!(typed.len(), 1);
+        assert_eq!(typed[0].col_types, vec![TypeTag::Int]);
+        assert_eq!(typed[0].support(), 100);
+    }
+
+    #[test]
+    fn balanced_types_split_into_variants() {
+        // 60 subjects with a date `issued`, 40 with a string `issued`.
+        let p = Oid::iri(100);
+        let q = Oid::iri(101); // common prop keeps them in one merged class
+        let mut triples = Vec::new();
+        for s in 0..60 {
+            triples.push(Triple::new(Oid::iri(s), p, Oid::from_date_days(s as i64).unwrap()));
+            triples.push(Triple::new(Oid::iri(s), q, str_oid(s)));
+        }
+        for s in 60..100 {
+            triples.push(Triple::new(Oid::iri(s), p, str_oid(s)));
+            triples.push(Triple::new(Oid::iri(s), q, str_oid(s)));
+        }
+        let typed = run(&mut triples, &SchemaConfig::default());
+        assert_eq!(typed.len(), 2, "should split into two variants");
+        let date_variant = typed.iter().find(|t| t.col_types[0] == TypeTag::Date).unwrap();
+        let str_variant = typed.iter().find(|t| t.col_types[0] == TypeTag::Str).unwrap();
+        assert_eq!(date_variant.support(), 60);
+        assert_eq!(str_variant.support(), 40);
+        // The non-conflicted column keeps its type in both variants.
+        assert_eq!(date_variant.col_types[1], TypeTag::Str);
+        assert_eq!(str_variant.col_types[1], TypeTag::Str);
+    }
+
+    #[test]
+    fn tiny_variant_folds_into_main() {
+        // 97 int vs 3 string at dominance threshold 0.99 -> conflicted, but
+        // the string group (3 < 15% of 100) folds into the main variant.
+        let p = Oid::iri(100);
+        let mut triples = Vec::new();
+        for s in 0..97 {
+            triples.push(Triple::new(Oid::iri(s), p, Oid::from_int(1).unwrap()));
+        }
+        for s in 97..100 {
+            triples.push(Triple::new(Oid::iri(s), p, str_oid(s)));
+        }
+        let mut cfg = SchemaConfig::default();
+        cfg.type_dominance = 0.99;
+        let typed = run(&mut triples, &cfg);
+        assert_eq!(typed.len(), 1);
+        assert_eq!(typed[0].support(), 100);
+        assert_eq!(typed[0].col_types, vec![TypeTag::Int]);
+    }
+
+    #[test]
+    fn subjects_missing_conflicted_prop_join_dominant_variant() {
+        let p = Oid::iri(100); // conflicted prop (only on some subjects)
+        let q = Oid::iri(101);
+        let mut triples = Vec::new();
+        for s in 0..50 {
+            triples.push(Triple::new(Oid::iri(s), p, Oid::from_int(1).unwrap()));
+            triples.push(Triple::new(Oid::iri(s), q, str_oid(s)));
+        }
+        for s in 50..80 {
+            triples.push(Triple::new(Oid::iri(s), p, str_oid(s)));
+            triples.push(Triple::new(Oid::iri(s), q, str_oid(s)));
+        }
+        // 20 subjects with only q (missing p): should join the int variant.
+        for s in 80..100 {
+            triples.push(Triple::new(Oid::iri(s), q, str_oid(s)));
+        }
+        let mut cfg = SchemaConfig::default();
+        cfg.nullable_min_presence = 0.05;
+        let typed = run(&mut triples, &cfg);
+        let int_variant = typed.iter().find(|t| t.col_types[0] == TypeTag::Int).unwrap();
+        assert_eq!(int_variant.support(), 70); // 50 int + 20 missing
+    }
+}

@@ -1,0 +1,393 @@
+//! SPARQL tokenizer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<http://...>`
+    IriRef(String),
+    /// `prefix:local` (prefix may be empty)
+    PName(String, String),
+    /// `?name` or `$name`
+    Var(String),
+    /// String literal body (escapes resolved), optional language tag.
+    Str(String, Option<String>),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal/double literal, scale-4 unscaled.
+    Dec(i64),
+    /// Bare keyword or identifier (uppercased for comparison elsewhere).
+    Word(String),
+    /// `^^` datatype marker.
+    DtMarker,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Semicolon,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Tokenizer error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+/// Tokenize a SPARQL document.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    let err = |pos: usize, msg: &str| LexError { pos, msg: msg.to_string() };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'<' => {
+                // IRI or comparison: IRIs have no whitespace and close with '>'.
+                if let Some(end) = src[i + 1..].find(|ch: char| ch == '>' || ch.is_whitespace()) {
+                    let end_pos = i + 1 + end;
+                    if b.get(end_pos) == Some(&b'>') && !src[i + 1..end_pos].is_empty() {
+                        out.push(Token::IriRef(src[i + 1..end_pos].to_string()));
+                        i = end_pos + 1;
+                        continue;
+                    }
+                }
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'?' | b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(err(i, "empty variable name"));
+                }
+                out.push(Token::Var(src[start..j].to_string()));
+                i = j;
+            }
+            b'"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= b.len() {
+                        return Err(err(i, "unterminated string"));
+                    }
+                    match b[j] {
+                        b'"' => break,
+                        b'\\' => {
+                            j += 1;
+                            match b.get(j) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                _ => return Err(err(j, "bad escape")),
+                            }
+                            j += 1;
+                        }
+                        _ => {
+                            let ch_len = utf8_len(b[j]);
+                            s.push_str(&src[j..j + ch_len]);
+                            j += ch_len;
+                        }
+                    }
+                }
+                j += 1; // closing quote
+                // Language tag?
+                let mut lang = None;
+                if b.get(j) == Some(&b'@') {
+                    let start = j + 1;
+                    let mut k = start;
+                    while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'-') {
+                        k += 1;
+                    }
+                    lang = Some(src[start..k].to_string());
+                    j = k;
+                }
+                out.push(Token::Str(s, lang));
+                i = j;
+            }
+            b'^' => {
+                if b.get(i + 1) == Some(&b'^') {
+                    out.push(Token::DtMarker);
+                    i += 2;
+                } else {
+                    return Err(err(i, "lone '^'"));
+                }
+            }
+            b'{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if b.get(i + 1) == Some(&b'&') {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(err(i, "lone '&'"));
+                }
+            }
+            b'|' => {
+                if b.get(i + 1) == Some(&b'|') {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(err(i, "lone '|'"));
+                }
+            }
+            b'-' => {
+                // Number or minus operator.
+                if b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    let (tok, next) = lex_number(src, i)?;
+                    out.push(tok);
+                    i = next;
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(src, i)?;
+                out.push(tok);
+                i = next;
+            }
+            b'.' => {
+                // Dot terminates patterns; numbers starting with '.' are rare
+                // in SPARQL and unsupported.
+                out.push(Token::Dot);
+                i += 1;
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len()
+                    && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'-')
+                {
+                    j += 1;
+                }
+                // prefixed name?
+                if b.get(j) == Some(&b':') {
+                    let prefix = src[start..j].to_string();
+                    let lstart = j + 1;
+                    let mut k = lstart;
+                    while k < b.len()
+                        && (b[k].is_ascii_alphanumeric() || b[k] == b'_' || b[k] == b'-')
+                    {
+                        k += 1;
+                    }
+                    out.push(Token::PName(prefix, src[lstart..k].to_string()));
+                    i = k;
+                } else {
+                    out.push(Token::Word(src[start..j].to_string()));
+                    i = j;
+                }
+            }
+            b':' => {
+                // default-prefix pname  :local
+                let lstart = i + 1;
+                let mut k = lstart;
+                while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_' || b[k] == b'-')
+                {
+                    k += 1;
+                }
+                out.push(Token::PName(String::new(), src[lstart..k].to_string()));
+                i = k;
+            }
+            _ => return Err(err(i, &format!("unexpected character {:?}", c as char))),
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Lex an integer or decimal starting at `i` (may start with '-').
+fn lex_number(src: &str, i: usize) -> Result<(Token, usize), LexError> {
+    let b = src.as_bytes();
+    let mut j = i;
+    if b[j] == b'-' {
+        j += 1;
+    }
+    while j < b.len() && b[j].is_ascii_digit() {
+        j += 1;
+    }
+    let mut is_dec = false;
+    if j < b.len() && b[j] == b'.' && b.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+        is_dec = true;
+        j += 1;
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    let text = &src[i..j];
+    if is_dec {
+        let unscaled = sordf_model::term::parse_decimal(text)
+            .ok_or(LexError { pos: i, msg: format!("bad decimal {text}") })?;
+        Ok((Token::Dec(unscaled), j))
+    } else {
+        let v: i64 =
+            text.parse().map_err(|_| LexError { pos: i, msg: format!("bad integer {text}") })?;
+        Ok((Token::Int(v), j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let toks = tokenize("SELECT ?a WHERE { ?b <http://e/p> ?a . }").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert_eq!(toks[1], Token::Var("a".into()));
+        assert!(toks.contains(&Token::IriRef("http://e/p".into())));
+        assert!(toks.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn comparison_vs_iri() {
+        let toks = tokenize("FILTER(?x <= 5 && ?y < 3)").unwrap();
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::AndAnd));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 -7 0.05 -1.25").unwrap();
+        assert_eq!(toks[0], Token::Int(42));
+        assert_eq!(toks[1], Token::Int(-7));
+        assert_eq!(toks[2], Token::Dec(500));
+        assert_eq!(toks[3], Token::Dec(-12_500));
+    }
+
+    #[test]
+    fn strings_with_lang_and_datatype() {
+        let toks = tokenize(r#""chat"@fr "1996-01-01"^^xsd:date"#).unwrap();
+        assert_eq!(toks[0], Token::Str("chat".into(), Some("fr".into())));
+        assert_eq!(toks[1], Token::Str("1996-01-01".into(), None));
+        assert_eq!(toks[2], Token::DtMarker);
+        assert_eq!(toks[3], Token::PName("xsd".into(), "date".into()));
+    }
+
+    #[test]
+    fn pnames_and_a() {
+        let toks = tokenize("?x a rdfh:lineitem ; rdfh:qty ?q , ?r .").unwrap();
+        assert_eq!(toks[1], Token::Word("a".into()));
+        assert_eq!(toks[2], Token::PName("rdfh".into(), "lineitem".into()));
+        assert!(toks.contains(&Token::Semicolon));
+        assert!(toks.contains(&Token::Comma));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT # hi there\n ?a").unwrap();
+        assert_eq!(toks.len(), 3); // SELECT, ?a, EOF
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = tokenize("SELECT @").unwrap_err();
+        assert_eq!(e.pos, 7);
+    }
+}

@@ -1,0 +1,25 @@
+//! # sordf-sparql
+//!
+//! A SPARQL 1.1 subset parser producing [`sordf_engine::Query`] plans.
+//!
+//! Supported surface (everything the paper's workloads and the RDF-H query
+//! catalog need):
+//!
+//! * `PREFIX` declarations, `a` as `rdf:type`, `;` predicate lists and `,`
+//!   object lists inside basic graph patterns;
+//! * `SELECT [DISTINCT]` with plain variables, `(expr AS ?alias)` and the
+//!   aggregates `COUNT/SUM/AVG/MIN/MAX`;
+//! * `FILTER` expressions: comparisons, boolean connectives, arithmetic,
+//!   typed literals (`xsd:integer/decimal/date/dateTime/boolean`),
+//!   language-tagged and plain strings;
+//! * `GROUP BY`, `ORDER BY [ASC()|DESC()]`, `LIMIT`, `OFFSET`.
+//!
+//! Constants are resolved against the (immutable) dictionary; terms the
+//! store has never seen map to *impossible* OIDs that match nothing, so
+//! queries over unknown IRIs return empty results without mutating the
+//! dictionary.
+
+pub mod lexer;
+pub mod parser;
+
+pub use parser::{parse_sparql, ParseError};

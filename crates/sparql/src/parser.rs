@@ -1,0 +1,699 @@
+//! Recursive-descent SPARQL parser.
+
+use crate::lexer::{tokenize, LexError, Token};
+use sordf_engine::expr::ArithOp;
+use sordf_engine::query::OrderKey;
+use sordf_engine::{AggFunc, CmpOp, Expr, Query, SelectItem, TriplePattern, VarOrOid};
+use sordf_model::{vocab, Dictionary, FxHashMap, Oid, Term, Value};
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SPARQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError(format!("at byte {}: {}", e.pos, e.msg))
+    }
+}
+
+/// Parse a SPARQL query against a dictionary (used to resolve constants;
+/// never mutated — unknown terms become impossible OIDs).
+pub fn parse_sparql(src: &str, dict: &Dictionary) -> Result<Query, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        dict,
+        prefixes: FxHashMap::default(),
+        query: Query::default(),
+    };
+    p.prefixes.insert("xsd".to_string(), "http://www.w3.org/2001/XMLSchema#".to_string());
+    p.prefixes
+        .insert("rdf".to_string(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#".to_string());
+    p.parse_query()?;
+    Ok(p.query)
+}
+
+struct Parser<'d> {
+    tokens: Vec<Token>,
+    pos: usize,
+    dict: &'d Dictionary,
+    prefixes: FxHashMap<String, String>,
+    query: Query,
+}
+
+impl<'d> Parser<'d> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T, ParseError> {
+        Err(ParseError(format!("{msg} (at token {:?})", self.peek())))
+    }
+
+    fn is_word(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_word(&mut self, kw: &str) -> bool {
+        if self.is_word(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_word(kw) {
+            Ok(())
+        } else {
+            self.err(&format!("expected {kw}"))
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(&format!("expected {t:?}"))
+        }
+    }
+
+    // ---- top level --------------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<(), ParseError> {
+        while self.is_word("PREFIX") {
+            self.bump();
+            let Token::PName(prefix, local) = self.bump() else {
+                return self.err("expected prefix name");
+            };
+            if !local.is_empty() {
+                return self.err("prefix declaration must end with ':'");
+            }
+            let Token::IriRef(iri) = self.bump() else {
+                return self.err("expected IRI in PREFIX");
+            };
+            self.prefixes.insert(prefix, iri);
+        }
+        self.expect_word("SELECT")?;
+        if self.eat_word("DISTINCT") {
+            self.query.distinct = true;
+        }
+        self.parse_select_list()?;
+        if self.is_word("WHERE") {
+            self.bump();
+        }
+        self.expect(Token::LBrace)?;
+        self.parse_group_graph_pattern()?;
+        self.parse_modifiers()?;
+        if *self.peek() != Token::Eof {
+            return self.err("trailing input");
+        }
+        Ok(())
+    }
+
+    fn parse_select_list(&mut self) -> Result<(), ParseError> {
+        if *self.peek() == Token::Star {
+            self.bump();
+            return Ok(()); // empty select = all vars
+        }
+        loop {
+            match self.peek().clone() {
+                Token::Var(name) => {
+                    self.bump();
+                    let v = self.query.var(&name);
+                    self.query.select.push(SelectItem::Var(v));
+                }
+                Token::LParen => {
+                    self.bump();
+                    let item = self.parse_projection_expr()?;
+                    self.query.select.push(item);
+                    self.expect(Token::RParen)?;
+                }
+                _ => break,
+            }
+        }
+        if self.query.select.is_empty() {
+            return self.err("empty SELECT list");
+        }
+        Ok(())
+    }
+
+    /// `(expr AS ?alias)` or `(AGG(expr) AS ?alias)`.
+    fn parse_projection_expr(&mut self) -> Result<SelectItem, ParseError> {
+        // Aggregate?
+        if let Token::Word(w) = self.peek().clone() {
+            if let Some(func) = agg_func(&w) {
+                self.bump();
+                self.expect(Token::LParen)?;
+                let expr = if *self.peek() == Token::Star {
+                    self.bump();
+                    Expr::Num(1.0) // COUNT(*)
+                } else {
+                    self.parse_expr()?
+                };
+                self.expect(Token::RParen)?;
+                self.expect_word("AS")?;
+                let Token::Var(alias) = self.bump() else {
+                    return self.err("expected alias variable");
+                };
+                return Ok(SelectItem::Agg { func, expr, name: alias });
+            }
+        }
+        let expr = self.parse_expr()?;
+        self.expect_word("AS")?;
+        let Token::Var(alias) = self.bump() else {
+            return self.err("expected alias variable");
+        };
+        Ok(SelectItem::Expr { expr, name: alias })
+    }
+
+    // ---- graph pattern -----------------------------------------------------
+
+    fn parse_group_graph_pattern(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek().clone() {
+                Token::RBrace => {
+                    self.bump();
+                    return Ok(());
+                }
+                Token::Word(w) if w.eq_ignore_ascii_case("FILTER") => {
+                    self.bump();
+                    self.expect(Token::LParen)?;
+                    let e = self.parse_expr()?;
+                    self.expect(Token::RParen)?;
+                    self.query.filters.push(e);
+                    // optional '.' after FILTER
+                    if *self.peek() == Token::Dot {
+                        self.bump();
+                    }
+                }
+                Token::Eof => return self.err("unterminated graph pattern"),
+                _ => self.parse_triples_block()?,
+            }
+        }
+    }
+
+    /// subject (predicate object (, object)* (; predicate object...)*)? '.'
+    fn parse_triples_block(&mut self) -> Result<(), ParseError> {
+        let s = self.parse_var_or_term()?;
+        loop {
+            let p = self.parse_predicate()?;
+            loop {
+                let o = self.parse_var_or_term()?;
+                self.query.patterns.push(TriplePattern { s, p, o });
+                if *self.peek() == Token::Comma {
+                    self.bump();
+                    continue;
+                }
+                break;
+            }
+            if *self.peek() == Token::Semicolon {
+                self.bump();
+                // allow trailing ';' before '.'
+                if *self.peek() == Token::Dot || *self.peek() == Token::RBrace {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        if *self.peek() == Token::Dot {
+            self.bump();
+        }
+        Ok(())
+    }
+
+    fn parse_predicate(&mut self) -> Result<Oid, ParseError> {
+        match self.peek().clone() {
+            Token::Word(w) if w == "a" => {
+                self.bump();
+                Ok(self.resolve_iri(vocab::RDF_TYPE))
+            }
+            Token::IriRef(iri) => {
+                self.bump();
+                Ok(self.resolve_iri(&iri))
+            }
+            Token::PName(prefix, local) => {
+                self.bump();
+                let iri = self.expand_pname(&prefix, &local)?;
+                Ok(self.resolve_iri(&iri))
+            }
+            _ => self.err("expected predicate IRI"),
+        }
+    }
+
+    fn parse_var_or_term(&mut self) -> Result<VarOrOid, ParseError> {
+        match self.peek().clone() {
+            Token::Var(name) => {
+                self.bump();
+                Ok(VarOrOid::Var(self.query.var(&name)))
+            }
+            _ => {
+                let oid = self.parse_const_term()?;
+                Ok(VarOrOid::Const(oid))
+            }
+        }
+    }
+
+    /// Any constant RDF term: IRI, prefixed name, or literal.
+    fn parse_const_term(&mut self) -> Result<Oid, ParseError> {
+        match self.bump() {
+            Token::IriRef(iri) => Ok(self.resolve_iri(&iri)),
+            Token::PName(prefix, local) => {
+                let iri = self.expand_pname(&prefix, &local)?;
+                Ok(self.resolve_iri(&iri))
+            }
+            Token::Int(v) => {
+                Oid::from_int(v).map_err(|e| ParseError(e.to_string()))
+            }
+            Token::Dec(u) => {
+                Oid::from_decimal_unscaled(u).map_err(|e| ParseError(e.to_string()))
+            }
+            Token::Str(s, lang) => {
+                if *self.peek() == Token::DtMarker {
+                    self.bump();
+                    let dt = match self.bump() {
+                        Token::IriRef(iri) => iri,
+                        Token::PName(prefix, local) => self.expand_pname(&prefix, &local)?,
+                        _ => return self.err("expected datatype IRI"),
+                    };
+                    self.typed_literal(&s, &dt)
+                } else {
+                    Ok(self.resolve_str(&s, lang.as_deref()))
+                }
+            }
+            Token::Word(w) if w.eq_ignore_ascii_case("true") => Ok(Oid::from_bool(true)),
+            Token::Word(w) if w.eq_ignore_ascii_case("false") => Ok(Oid::from_bool(false)),
+            other => Err(ParseError(format!("expected RDF term, found {other:?}"))),
+        }
+    }
+
+    fn typed_literal(&self, lexical: &str, datatype: &str) -> Result<Oid, ParseError> {
+        let bad = |what: &str| ParseError(format!("bad {what} literal: {lexical:?}"));
+        match datatype {
+            vocab::XSD_INTEGER | "http://www.w3.org/2001/XMLSchema#int" => {
+                let v: i64 = lexical.parse().map_err(|_| bad("integer"))?;
+                Oid::from_int(v).map_err(|e| ParseError(e.to_string()))
+            }
+            vocab::XSD_DECIMAL | vocab::XSD_DOUBLE => {
+                let u = sordf_model::term::parse_decimal(lexical).ok_or(bad("decimal"))?;
+                Oid::from_decimal_unscaled(u).map_err(|e| ParseError(e.to_string()))
+            }
+            vocab::XSD_DATE => {
+                let d = sordf_model::date::parse_date(lexical).map_err(|_| bad("date"))?;
+                Oid::from_date_days(d).map_err(|e| ParseError(e.to_string()))
+            }
+            vocab::XSD_DATETIME => {
+                let t = sordf_model::date::parse_datetime(lexical).map_err(|_| bad("dateTime"))?;
+                Oid::from_datetime_secs(t).map_err(|e| ParseError(e.to_string()))
+            }
+            vocab::XSD_BOOLEAN => match lexical {
+                "true" | "1" => Ok(Oid::from_bool(true)),
+                "false" | "0" => Ok(Oid::from_bool(false)),
+                _ => Err(bad("boolean")),
+            },
+            _ => Ok(self.resolve_str(lexical, None)),
+        }
+    }
+
+    fn expand_pname(&self, prefix: &str, local: &str) -> Result<String, ParseError> {
+        let base = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| ParseError(format!("undeclared prefix '{prefix}:'")))?;
+        Ok(format!("{base}{local}"))
+    }
+
+    /// IRIs unknown to the store become impossible OIDs (match nothing).
+    fn resolve_iri(&self, iri: &str) -> Oid {
+        self.dict
+            .iri_oid(iri)
+            .unwrap_or(Oid::new(sordf_model::TypeTag::Iri, sordf_model::oid::PAYLOAD_MASK))
+    }
+
+    fn resolve_str(&self, s: &str, lang: Option<&str>) -> Oid {
+        let value = Value::Str { lexical: s.to_string(), lang: lang.map(str::to_string) };
+        self.dict
+            .term_oid(&Term::literal(value))
+            .unwrap_or(Oid::new(sordf_model::TypeTag::Str, sordf_model::oid::PAYLOAD_MASK))
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while *self.peek() == Token::OrOr {
+            self.bump();
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_rel()?;
+        while *self.peek() == Token::AndAnd {
+            self.bump();
+            let right = self.parse_rel()?;
+            left = Expr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_rel(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_add()?;
+        let op = match self.peek() {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            _ => return Ok(left),
+        };
+        self.bump();
+        let right = self.parse_add()?;
+        Ok(Expr::cmp(left, op, right))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => ArithOp::Add,
+                Token::Minus => ArithOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_mul()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => ArithOp::Mul,
+                Token::Slash => ArithOp::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Arith(Box::new(left), op, Box::new(right));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Token::Bang => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            Token::Minus => {
+                self.bump();
+                let inner = self.parse_unary()?;
+                Ok(Expr::Arith(Box::new(Expr::Num(0.0)), ArithOp::Sub, Box::new(inner)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Var(name) => {
+                self.bump();
+                Ok(Expr::Var(self.query.var(&name)))
+            }
+            Token::Int(v) => {
+                self.bump();
+                Ok(Expr::Num(v as f64))
+            }
+            Token::Dec(u) => {
+                self.bump();
+                Ok(Expr::Num(u as f64 / sordf_model::oid::DECIMAL_ONE as f64))
+            }
+            _ => {
+                let oid = self.parse_const_term()?;
+                Ok(Expr::Const(oid))
+            }
+        }
+    }
+
+    // ---- modifiers ---------------------------------------------------------
+
+    fn parse_modifiers(&mut self) -> Result<(), ParseError> {
+        loop {
+            if self.eat_word("GROUP") {
+                self.expect_word("BY")?;
+                while let Token::Var(name) = self.peek().clone() {
+                    self.bump();
+                    let v = self.query.var(&name);
+                    self.query.group_by.push(v);
+                }
+            } else if self.eat_word("ORDER") {
+                self.expect_word("BY")?;
+                loop {
+                    let (ascending, needs_paren) = if self.eat_word("DESC") {
+                        (false, true)
+                    } else if self.eat_word("ASC") {
+                        (true, true)
+                    } else {
+                        (true, false)
+                    };
+                    if needs_paren {
+                        self.expect(Token::LParen)?;
+                    }
+                    let Token::Var(name) = self.peek().clone() else {
+                        if needs_paren {
+                            return self.err("expected variable in ORDER BY");
+                        }
+                        break;
+                    };
+                    self.bump();
+                    if needs_paren {
+                        self.expect(Token::RParen)?;
+                    }
+                    let output = self.output_index_of(&name)?;
+                    self.query.order_by.push(OrderKey { output, ascending });
+                }
+            } else if self.eat_word("LIMIT") {
+                let Token::Int(n) = self.bump() else {
+                    return self.err("expected LIMIT count");
+                };
+                self.query.limit = Some(n.max(0) as usize);
+            } else if self.eat_word("OFFSET") {
+                // parsed and ignored (documented subset limitation)
+                let Token::Int(_) = self.bump() else {
+                    return self.err("expected OFFSET count");
+                };
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Resolve an ORDER BY variable to a SELECT output index (aliases and
+    /// plain variables both work).
+    fn output_index_of(&mut self, name: &str) -> Result<usize, ParseError> {
+        // Alias?
+        for (i, item) in self.query.select.iter().enumerate() {
+            match item {
+                SelectItem::Agg { name: n, .. } | SelectItem::Expr { name: n, .. } if n == name => {
+                    return Ok(i)
+                }
+                SelectItem::Var(v) if self.query.vars[v.0 as usize] == name => return Ok(i),
+                _ => {}
+            }
+        }
+        // Implicit select list (SELECT *): index into pattern vars.
+        if self.query.select.is_empty() {
+            let v = self.query.var(name);
+            if let Some(i) = self.query.pattern_vars().iter().position(|&x| x == v) {
+                return Ok(i);
+            }
+        }
+        Err(ParseError(format!("ORDER BY variable ?{name} is not in the SELECT list")))
+    }
+}
+
+fn agg_func(word: &str) -> Option<AggFunc> {
+    match word.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(AggFunc::Count),
+        "SUM" => Some(AggFunc::Sum),
+        "AVG" => Some(AggFunc::Avg),
+        "MIN" => Some(AggFunc::Min),
+        "MAX" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict_with_iris(iris: &[&str]) -> Dictionary {
+        let mut d = Dictionary::new();
+        for i in iris {
+            d.encode_iri(i);
+        }
+        d
+    }
+
+    #[test]
+    fn parses_paper_intro_query() {
+        // The motivating query from §I of the paper.
+        let dict = dict_with_iris(&["has_author", "in_year", "isbn_no"]);
+        let q = parse_sparql(
+            r#"SELECT ?a ?n WHERE {
+                ?b <has_author> ?a.
+                ?b <in_year> "1996"^^<http://www.w3.org/2001/XMLSchema#integer>.
+                ?b <isbn_no> ?n }"#,
+            &dict,
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 3);
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.patterns[1].o, VarOrOid::Const(Oid::from_int(1996).unwrap()));
+        // All three patterns share subject ?b.
+        assert!(q.patterns.iter().all(|p| p.s == q.patterns[0].s));
+    }
+
+    #[test]
+    fn predicate_object_lists() {
+        let dict = dict_with_iris(&["http://e/p", "http://e/q"]);
+        let q = parse_sparql(
+            "SELECT * WHERE { ?s <http://e/p> ?a , ?b ; <http://e/q> ?c . }",
+            &dict,
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 3);
+        assert_eq!(q.patterns[0].p, q.patterns[1].p);
+        assert_ne!(q.patterns[0].p, q.patterns[2].p);
+    }
+
+    #[test]
+    fn prefixes_and_a() {
+        let mut dict = Dictionary::new();
+        dict.encode_iri(vocab::RDF_TYPE);
+        dict.encode_iri("http://lod2.eu/schemas/rdfh#lineitem");
+        let q = parse_sparql(
+            "PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>\nSELECT ?s WHERE { ?s a rdfh:lineitem . }",
+            &dict,
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 1);
+        assert_eq!(q.patterns[0].p, dict.iri_oid(vocab::RDF_TYPE).unwrap());
+        assert_eq!(
+            q.patterns[0].o,
+            VarOrOid::Const(dict.iri_oid("http://lod2.eu/schemas/rdfh#lineitem").unwrap())
+        );
+    }
+
+    #[test]
+    fn q6_shape() {
+        let dict = dict_with_iris(&["http://e/shipdate", "http://e/price", "http://e/discount"]);
+        let q = parse_sparql(
+            r#"SELECT (SUM(?price * ?discount) AS ?revenue)
+               WHERE {
+                 ?l <http://e/shipdate> ?d .
+                 ?l <http://e/price> ?price .
+                 ?l <http://e/discount> ?discount .
+                 FILTER(?d >= "1994-01-01"^^xsd:date && ?d < "1995-01-01"^^xsd:date
+                        && ?discount >= 0.05 && ?discount <= 0.07)
+               }"#,
+            &dict,
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 3);
+        assert_eq!(q.filters.len(), 1);
+        assert!(matches!(q.select[0], SelectItem::Agg { func: AggFunc::Sum, .. }));
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let dict = dict_with_iris(&["http://e/p"]);
+        let q = parse_sparql(
+            r#"SELECT ?s (COUNT(*) AS ?n) WHERE { ?s <http://e/p> ?o . }
+               GROUP BY ?s ORDER BY DESC(?n) ?s LIMIT 10"#,
+            &dict,
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert_eq!(q.order_by[0].output, 1);
+        assert!(q.order_by[1].ascending);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn unknown_iri_is_impossible_not_error() {
+        let dict = Dictionary::new();
+        let q = parse_sparql("SELECT ?s WHERE { ?s <http://nope/p> ?o . }", &dict).unwrap();
+        // The predicate resolves to an impossible OID with the IRI tag.
+        assert_eq!(q.patterns[0].p.tag(), sordf_model::TypeTag::Iri);
+        assert_eq!(q.patterns[0].p.payload(), sordf_model::oid::PAYLOAD_MASK);
+    }
+
+    #[test]
+    fn distinct_flag() {
+        let dict = dict_with_iris(&["http://e/p"]);
+        let q =
+            parse_sparql("SELECT DISTINCT ?o WHERE { ?s <http://e/p> ?o . }", &dict).unwrap();
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dict = Dictionary::new();
+        for bad in [
+            "SELECT WHERE { }",
+            "SELECT ?x { ?x }",
+            "SELECT ?x WHERE { ?x <p> ?y . } ORDER BY ?zzz",
+            "FOO ?x",
+        ] {
+            assert!(parse_sparql(bad, &dict).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn negative_numbers_and_unary_minus() {
+        let dict = dict_with_iris(&["http://e/p"]);
+        let q = parse_sparql(
+            "SELECT ?o WHERE { ?s <http://e/p> ?o . FILTER(?o > -5 && -?o < 2.5) }",
+            &dict,
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! SQL tokenizer (small, case-insensitive keywords).
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (stored as written; compare case-insensitively).
+    Ident(String),
+    /// `ident.ident`
+    Qualified(String, String),
+    /// 'single quoted'
+    Str(String),
+    Int(i64),
+    Dec(i64),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+pub fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        match b[i] {
+            c if c.is_ascii_whitespace() => i += 1,
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= b.len() {
+                        return Err("unterminated string".into());
+                    }
+                    if b[j] == b'\'' {
+                        // '' escape
+                        if b.get(j + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(b[j] as char);
+                    j += 1;
+                }
+                out.push(Tok::Str(s));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let u = sordf_model::term::parse_decimal(&src[start..i])
+                        .ok_or("bad decimal")?;
+                    out.push(Tok::Dec(u));
+                } else {
+                    out.push(Tok::Int(src[start..i].parse().map_err(|_| "bad integer")?));
+                }
+            }
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let first = src[start..i].to_string();
+                if i < b.len() && b[i] == b'.' {
+                    let qstart = i + 1;
+                    let mut j = qstart;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    if j > qstart {
+                        out.push(Tok::Qualified(first, src[qstart..j].to_string()));
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(Tok::Ident(first));
+            }
+            c => return Err(format!("unexpected character {:?}", c as char)),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks =
+            tokenize("SELECT l.qty, SUM(price) FROM lineitem l WHERE sold >= DATE '1996-01-01'")
+                .unwrap();
+        assert!(toks.contains(&Tok::Qualified("l".into(), "qty".into())));
+        assert!(toks.contains(&Tok::Ident("SUM".into())));
+        assert!(toks.contains(&Tok::Str("1996-01-01".into())));
+        assert!(toks.contains(&Tok::Ge));
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let toks = tokenize("SELECT 'it''s' -- comment\n, 1.5").unwrap();
+        assert_eq!(toks[1], Tok::Str("it's".into()));
+        assert_eq!(toks[3], Tok::Dec(15_000));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a <> b != c <= d").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Ne).count(), 2);
+        assert!(toks.contains(&Tok::Le));
+    }
+}

@@ -1,0 +1,25 @@
+//! # sordf-sql
+//!
+//! The SQL view over the emergent relational schema — the paper's promise
+//! that "users will gain an SQL view of the regular part of the RDF data"
+//! and can keep using the relational tool-chain.
+//!
+//! [`compile_sql`] translates a SQL subset into the same
+//! [`sordf_engine::Query`] representation the SPARQL frontend produces:
+//! each `FROM`/`JOIN` table becomes a star over that class's predicates, and
+//! the table scan is restricted to the class's dense subject-OID segment (so
+//! rows of other classes that happen to share predicate names can never
+//! leak in). Joins on `fk_col = other.subject` unify the FK column's object
+//! variable with the other table's subject variable — exactly a SPARQL
+//! chain pattern, which the engine then runs through RDFscan/RDFjoin.
+//!
+//! Supported subset: `SELECT` items (column refs, arithmetic expressions,
+//! `COUNT/SUM/AVG/MIN/MAX` aggregates with `AS` aliases), `FROM t [alias]`,
+//! `JOIN t [alias] ON a.col = b.col|b.subject`, a conjunctive `WHERE` clause,
+//! `GROUP BY`, `ORDER BY ... [ASC|DESC]`, `LIMIT`. Strings in single quotes;
+//! `DATE 'YYYY-MM-DD'` literals.
+
+mod lexer;
+mod parser;
+
+pub use parser::compile_sql;

@@ -1,0 +1,411 @@
+//! CS-clustered storage: per-class column segments + irregular remainder.
+//!
+//! "The core idea of our novel RDF storage proposal is to store RDF data
+//! that has been recognized as conforming to a characteristic set together
+//! in an aligned way, such that for a whole stretch of subjects we get
+//! aligned stretches of Objects" (§II-C). Missing `0..1` values are NULL
+//! sentinels; multi-valued properties live in (subject, object) side tables;
+//! everything the schema calls irregular stays in a small exhaustive-index
+//! triple table, so each (s,p,o) has exactly one home.
+//!
+//! Two subject layouts exist, matching Table I's "Scheme" axis:
+//! * **Dense** (Clustered) — after [`crate::reorganize`], a class's subjects
+//!   are the implicit OID range `[base, base+n)`; the subject column costs
+//!   no storage and row↔subject conversion is O(1).
+//! * **Sparse** (ParseOrder) — subjects keep their parse-order OIDs; the
+//!   segment stores an explicit sorted subject column. RDFscan still works,
+//!   but locality and zone-map clustering benefits are lost.
+
+use crate::baseline::BaselineStore;
+use crate::reorg::ClusterSpec;
+use sordf_columnar::{BufferPool, Column, DiskManager};
+use sordf_model::{Oid, Triple};
+use sordf_schema::{ClassId, EmergentSchema, TripleHome};
+
+/// A multi-valued property's side table: (s, o) pairs sorted by (s, o).
+#[derive(Debug, Clone)]
+pub struct MultiTable {
+    pub s: Column,
+    pub o: Column,
+}
+
+impl MultiTable {
+    /// Row range of one subject's values.
+    pub fn rows_of(&self, pool: &BufferPool, s: Oid) -> std::ops::Range<usize> {
+        let lo = self.s.lower_bound(pool, s.raw());
+        let hi = self.s.upper_bound(pool, s.raw());
+        lo..hi
+    }
+}
+
+/// How a segment identifies its subjects.
+#[derive(Debug, Clone)]
+pub enum SubjectIds {
+    /// Subjects are exactly the IRI payload range `[base, base+n)`.
+    Dense { base: u64 },
+    /// Explicit ascending subject column (parse-order OIDs).
+    Sparse { subjects: Column },
+}
+
+/// One class's aligned columnar storage.
+#[derive(Debug, Clone)]
+pub struct ClassSegment {
+    pub class: ClassId,
+    pub n: usize,
+    pub subjects: SubjectIds,
+    /// Aligned value columns, same order as `ClassDef::columns`.
+    pub columns: Vec<Column>,
+    /// Side tables, same order as `ClassDef::multi_props`.
+    pub multi: Vec<MultiTable>,
+    /// Column index the segment rows are sub-ordered by, if any
+    /// (dense layout only; enables binary search on that column).
+    pub sorted_by: Option<usize>,
+}
+
+impl ClassSegment {
+    /// The subject OID of a row.
+    #[inline]
+    pub fn subject_at(&self, pool: &BufferPool, row: usize) -> Oid {
+        match &self.subjects {
+            SubjectIds::Dense { base } => Oid::iri(base + row as u64),
+            SubjectIds::Sparse { subjects } => Oid::from_raw(subjects.value(pool, row)),
+        }
+    }
+
+    /// The row of a subject, if it belongs to this segment.
+    pub fn row_of(&self, pool: &BufferPool, s: Oid) -> Option<usize> {
+        if !s.is_iri() {
+            return None;
+        }
+        match &self.subjects {
+            SubjectIds::Dense { base } => {
+                let p = s.payload();
+                (p >= *base && p < base + self.n as u64).then(|| (p - base) as usize)
+            }
+            SubjectIds::Sparse { subjects } => {
+                let i = subjects.lower_bound(pool, s.raw());
+                (i < self.n && subjects.value(pool, i) == s.raw()).then_some(i)
+            }
+        }
+    }
+
+    /// Subject payload range for dense segments.
+    pub fn dense_range(&self) -> Option<std::ops::Range<u64>> {
+        match &self.subjects {
+            SubjectIds::Dense { base } => Some(*base..base + self.n as u64),
+            SubjectIds::Sparse { .. } => None,
+        }
+    }
+
+    /// Row range whose `sorted_by` column values lie in `[lo, hi]` (raw OID
+    /// bounds). Only meaningful when the segment is sub-ordered.
+    pub fn sorted_row_range(
+        &self,
+        pool: &BufferPool,
+        col: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Option<std::ops::Range<usize>> {
+        if self.sorted_by != Some(col) {
+            return None;
+        }
+        let c = &self.columns[col];
+        Some(c.lower_bound(pool, lo)..c.upper_bound(pool, hi))
+    }
+}
+
+/// The clustered database: segments + irregular remainder.
+#[derive(Debug, Clone)]
+pub struct ClusteredStore {
+    /// One segment per schema class, indexed by `ClassId`.
+    pub segments: Vec<ClassSegment>,
+    /// Exhaustive-index store over the irregular triples only.
+    pub irregular: BaselineStore,
+    /// Triples stored in segments (columns + side tables).
+    pub n_regular: usize,
+}
+
+impl ClusteredStore {
+    pub fn segment(&self, class: ClassId) -> &ClassSegment {
+        &self.segments[class.0 as usize]
+    }
+
+    /// Find the segment containing subject `s`, if any.
+    pub fn segment_of_subject(&self, pool: &BufferPool, s: Oid) -> Option<(&ClassSegment, usize)> {
+        for seg in &self.segments {
+            if let Some(row) = seg.row_of(pool, s) {
+                return Some((seg, row));
+            }
+        }
+        None
+    }
+
+    /// Total triples stored (regular + irregular).
+    pub fn n_triples(&self) -> usize {
+        self.n_regular + self.irregular.len()
+    }
+}
+
+/// Build a clustered store from SPO-sorted triples.
+///
+/// * `dense` = true: subjects were renumbered by [`crate::reorganize`]
+///   (class ranges are contiguous) — Table I's "Clustered" scheme.
+/// * `dense` = false: parse-order OIDs; explicit subject columns —
+///   Table I's "ParseOrder" scheme with CS tables.
+///
+/// Refreshes `schema` column statistics (min/max/non-null) from the built
+/// columns' zone maps, so stats stay valid after reorganization.
+pub fn build_clustered(
+    disk: &DiskManager,
+    triples_spo: &[Triple],
+    schema: &mut EmergentSchema,
+    spec: &ClusterSpec,
+    dense: bool,
+) -> ClusteredStore {
+    debug_assert!(
+        triples_spo.windows(2).all(|w| w[0].key_spo() <= w[1].key_spo()),
+        "build_clustered() requires SPO-sorted triples"
+    );
+    let n_classes = schema.classes.len();
+
+    // Per-class subject row mapping.
+    let mut subjects_per_class: Vec<Vec<u64>> = vec![Vec::new(); n_classes];
+    for (&s, &class) in &schema.assignment {
+        subjects_per_class[class.0 as usize].push(s.raw());
+    }
+    for v in subjects_per_class.iter_mut() {
+        v.sort_unstable();
+    }
+    // row lookup: subject raw -> row (sparse needs a map; dense arithmetic).
+    let row_of = |_class: usize, s: Oid, subjects: &[u64]| -> usize {
+        if dense {
+            let base = subjects.first().map(|&x| Oid::from_raw(x).payload()).unwrap_or(0);
+            (s.payload() - base) as usize
+        } else {
+            subjects.binary_search(&s.raw()).expect("assigned subject missing")
+        }
+    };
+    if dense {
+        // Contiguity check: clustering must have produced dense ranges.
+        for (ci, subs) in subjects_per_class.iter().enumerate() {
+            if let (Some(&first), Some(&last)) = (subs.first(), subs.last()) {
+                let span = Oid::from_raw(last).payload() - Oid::from_raw(first).payload() + 1;
+                assert_eq!(
+                    span as usize,
+                    subs.len(),
+                    "class {ci} subject OIDs are not contiguous; run reorganize() first"
+                );
+            }
+        }
+    }
+
+    // Staging buffers.
+    let mut col_data: Vec<Vec<Vec<u64>>> = schema
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| {
+            vec![vec![sordf_columnar::column::NULL_SENTINEL; subjects_per_class[ci].len()];
+                c.columns.len()]
+        })
+        .collect();
+    let mut multi_data: Vec<Vec<Vec<(u64, u64)>>> = schema
+        .classes
+        .iter()
+        .map(|c| vec![Vec::new(); c.multi_props.len()])
+        .collect();
+    let mut irregular: Vec<Triple> = Vec::new();
+    let mut n_regular = 0usize;
+
+    schema.place_triples(triples_spo, |t, home| match home {
+        TripleHome::Column { class, col } => {
+            let ci = class.0 as usize;
+            let row = row_of(ci, t.s, &subjects_per_class[ci]);
+            col_data[ci][col][row] = t.o.raw();
+            n_regular += 1;
+        }
+        TripleHome::Multi { class, mp } => {
+            multi_data[class.0 as usize][mp].push((t.s.raw(), t.o.raw()));
+            n_regular += 1;
+        }
+        TripleHome::Irregular => irregular.push(t),
+    });
+
+    // Materialize segments.
+    let mut segments = Vec::with_capacity(n_classes);
+    for (ci, class) in schema.classes.iter_mut().enumerate() {
+        let subs = &subjects_per_class[ci];
+        let n = subs.len();
+        let subjects = if dense {
+            let base = subs.first().map(|&x| Oid::from_raw(x).payload()).unwrap_or(0);
+            SubjectIds::Dense { base }
+        } else {
+            SubjectIds::Sparse { subjects: Column::from_slice(disk, subs) }
+        };
+        let mut columns = Vec::with_capacity(class.columns.len());
+        for (coli, data) in col_data[ci].iter().enumerate() {
+            let col = Column::from_slice(disk, data);
+            // Refresh schema stats from the physical column.
+            let stats = &mut class.columns[coli].stats;
+            stats.n_nonnull = (col.len() - col.n_nulls()) as u64;
+            stats.min = col.zonemap().global_min();
+            stats.max = col.zonemap().global_max();
+            columns.push(col);
+        }
+        let mut multi = Vec::with_capacity(class.multi_props.len());
+        for (mi, pairs) in multi_data[ci].iter_mut().enumerate() {
+            pairs.sort_unstable();
+            let s_col = Column::from_slice(disk, &pairs.iter().map(|&(s, _)| s).collect::<Vec<_>>());
+            let o_col = Column::from_slice(disk, &pairs.iter().map(|&(_, o)| o).collect::<Vec<_>>());
+            let stats = &mut class.multi_props[mi].stats;
+            stats.n_nonnull = pairs.len() as u64;
+            stats.min = o_col.zonemap().global_min();
+            stats.max = o_col.zonemap().global_max();
+            multi.push(MultiTable { s: s_col, o: o_col });
+        }
+        let sorted_by = if dense {
+            spec.sort_keys.get(&class.id).copied().filter(|&c| c < columns.len())
+        } else {
+            None
+        };
+        segments.push(ClassSegment { class: class.id, n, subjects, columns, multi, sorted_by });
+    }
+
+    let irregular_store = BaselineStore::build(disk, &irregular);
+    ClusteredStore { segments, irregular: irregular_store, n_regular }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reorg::reorganize;
+    use crate::triple_set::TripleSet;
+    use sordf_model::Term;
+    use sordf_schema::SchemaConfig;
+    use std::sync::Arc;
+
+    fn make_ts() -> TripleSet {
+        let mut ts = TripleSet::new();
+        let mut add = |s: String, p: &str, o: Term| {
+            ts.add(&sordf_model::TermTriple::new(
+                Term::iri(s),
+                Term::iri(format!("http://e/{p}")),
+                o,
+            ))
+            .unwrap();
+        };
+        for i in 0..20u64 {
+            add(format!("http://e/item{i}"), "price", Term::int(i as i64 * 10));
+            add(format!("http://e/item{i}"), "sold", Term::date(&format!("1996-01-{:02}", (i % 28) + 1)));
+            if i % 5 == 0 {
+                // type-noise second value for price -> irregular exception
+                add(format!("http://e/item{i}"), "price", Term::str(format!("n/a-{i}")));
+            }
+            if i % 2 == 0 {
+                // multi-valued tags (>10% of subjects have 2) -> side table
+                add(format!("http://e/item{i}"), "tag", Term::iri(format!("http://e/t{}", i % 3)));
+                add(format!("http://e/item{i}"), "tag", Term::iri(format!("http://e/t{}", (i + 1) % 3)));
+            } else {
+                add(format!("http://e/item{i}"), "tag", Term::iri(format!("http://e/t{}", i % 3)));
+            }
+        }
+        ts
+    }
+
+    fn build(dense: bool) -> (Arc<DiskManager>, BufferPool, EmergentSchema, ClusteredStore, TripleSet) {
+        let mut ts = make_ts();
+        let spo = ts.sorted_spo();
+        let mut schema = sordf_schema::discover(&spo, &ts.dict, &SchemaConfig::default());
+        let spec = ClusterSpec::auto(&schema);
+        if dense {
+            reorganize(&mut ts, &mut schema, &spec);
+        }
+        let spo = ts.sorted_spo();
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let store = build_clustered(&dm, &spo, &mut schema, &spec, dense);
+        let pool = BufferPool::new(Arc::clone(&dm), 256);
+        (dm, pool, schema, store, ts)
+    }
+
+    #[test]
+    fn dense_segments_roundtrip_subjects() {
+        let (_dm, pool, schema, store, _ts) = build(true);
+        let seg = &store.segments[0];
+        assert_eq!(seg.n as u64, schema.classes[0].n_subjects);
+        for row in 0..seg.n {
+            let s = seg.subject_at(&pool, row);
+            assert_eq!(seg.row_of(&pool, s), Some(row));
+        }
+        assert!(seg.dense_range().is_some());
+    }
+
+    #[test]
+    fn sparse_segments_roundtrip_subjects() {
+        let (_dm, pool, _schema, store, _ts) = build(false);
+        let seg = &store.segments[0];
+        for row in 0..seg.n {
+            let s = seg.subject_at(&pool, row);
+            assert_eq!(seg.row_of(&pool, s), Some(row));
+        }
+        assert!(seg.dense_range().is_none());
+        assert_eq!(seg.row_of(&pool, Oid::iri(999_999)), None);
+    }
+
+    #[test]
+    fn every_triple_has_exactly_one_home() {
+        for dense in [false, true] {
+            let (_dm, _pool, _schema, store, ts) = build(dense);
+            assert_eq!(store.n_triples(), ts.len(), "dense={dense}");
+        }
+    }
+
+    #[test]
+    fn sorted_segment_supports_range_rows() {
+        let (_dm, pool, schema, store, ts) = build(true);
+        let sold = ts.dict.iri_oid("http://e/sold").unwrap();
+        let class = schema.classes.iter().find(|c| c.column_of(sold).is_some()).unwrap();
+        let col = class.column_of(sold).unwrap();
+        let seg = store.segment(class.id);
+        assert_eq!(seg.sorted_by, Some(col));
+        let lo = Oid::from_date_days(sordf_model::date::parse_date("1996-01-05").unwrap()).unwrap();
+        let hi = Oid::from_date_days(sordf_model::date::parse_date("1996-01-10").unwrap()).unwrap();
+        let rows = seg.sorted_row_range(&pool, col, lo.raw(), hi.raw()).unwrap();
+        // Verify against a full scan.
+        let vals = seg.columns[col].to_vec(&pool, 0..seg.n);
+        let expect = vals.iter().filter(|&&v| v >= lo.raw() && v <= hi.raw()).count();
+        assert_eq!(rows.len(), expect);
+        assert!(expect > 0);
+        // All values inside the range, sorted.
+        let in_range = seg.columns[col].to_vec(&pool, rows);
+        assert!(in_range.windows(2).all(|w| w[0] <= w[1]));
+        assert!(in_range.iter().all(|&v| v >= lo.raw() && v <= hi.raw()));
+    }
+
+    #[test]
+    fn multi_table_lookup() {
+        let (_dm, pool, schema, store, ts) = build(true);
+        let tag = ts.dict.iri_oid("http://e/tag").unwrap();
+        let class = schema.classes.iter().find(|c| c.multi_of(tag).is_some()).expect("tag class");
+        let mp = class.multi_of(tag).unwrap();
+        let seg = store.segment(class.id);
+        let table = &seg.multi[mp];
+        // Sum of per-subject rows equals table length.
+        let mut total = 0;
+        for row in 0..seg.n {
+            let s = seg.subject_at(&pool, row);
+            total += table.rows_of(&pool, s).len();
+        }
+        assert_eq!(total, table.s.len());
+        assert!(total >= 30, "20 subjects, half with 2 tags");
+    }
+
+    #[test]
+    fn irregular_store_holds_type_exceptions() {
+        let (_dm, pool, _schema, store, ts) = build(true);
+        let price = ts.dict.iri_oid("http://e/price").unwrap();
+        // The 4 string-typed price values are exceptions to the INT column.
+        let exceptions = store.irregular.scan_p(&pool, price);
+        assert_eq!(exceptions.len(), 4);
+        assert!(exceptions.iter().all(|&(_, o)| o.tag() == sordf_model::TypeTag::Str));
+    }
+}

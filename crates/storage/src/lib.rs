@@ -1,0 +1,34 @@
+//! # sordf-storage
+//!
+//! Physical RDF storage in two generations, mirroring the paper:
+//!
+//! * **ParseOrder / exhaustive indexing** ([`BaselineStore`]) — the
+//!   MonetDB+HSP / RDF-3X layout: six sorted permutation projections
+//!   (SPO, SOP, PSO, POS, OSP, OPS) of the full triple table, stored as
+//!   paged columns. OIDs are assigned in order of appearance, so storage
+//!   order is uncorrelated with access paths — the paper's "direct cause of
+//!   non-locality in RDF query plans".
+//!
+//! * **Clustered / self-organizing** ([`ClusteredStore`]) — after schema
+//!   discovery, [`reorganize`] renumbers subject OIDs so that subjects of
+//!   the same characteristic set are contiguous (optionally sub-ordered by a
+//!   sort-key property), and sorts string-literal OIDs by value. Regular
+//!   triples then live in per-class [`ClassSegment`]s: aligned columns over
+//!   an *implicit* dense subject range, with NULLs for missing `0..1`
+//!   attributes and side tables for multi-valued properties. Irregular
+//!   triples stay in a (much smaller) permutation-indexed triple table.
+//!
+//! Zone maps come for free from the column builders and enable the
+//! cross-table date pushdown of the paper's Table I experiment.
+
+pub mod baseline;
+pub mod clustered;
+pub mod perm;
+pub mod reorg;
+pub mod triple_set;
+
+pub use baseline::BaselineStore;
+pub use clustered::{build_clustered, ClassSegment, ClusteredStore, MultiTable};
+pub use perm::{Order, PermIndex};
+pub use reorg::{reorganize, ClusterSpec, ReorgReport};
+pub use triple_set::TripleSet;

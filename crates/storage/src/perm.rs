@@ -1,0 +1,210 @@
+//! Sorted permutation projections of the triple table.
+//!
+//! A [`PermIndex`] stores one of the six (S,P,O) orders as three aligned
+//! paged columns, sorted lexicographically by (key0, key1, key2). Prefix
+//! lookups use zone-map-assisted binary search: `range1(a)` finds the run of
+//! rows with key0 = a, `range2(a, b)` narrows to key1 = b, and
+//! `range2_between` supports range predicates on the second key — the
+//! access pattern of a `POS` scan with an object range restriction.
+
+use sordf_columnar::{BufferPool, Column, DiskManager};
+use sordf_model::{Oid, Triple};
+use std::ops::Range;
+
+/// One of the six sort orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Order {
+    Spo,
+    Sop,
+    Pso,
+    Pos,
+    Osp,
+    Ops,
+}
+
+impl Order {
+    /// All six orders (the "exhaustive indexing" set).
+    pub const ALL: [Order; 6] = [Order::Spo, Order::Sop, Order::Pso, Order::Pos, Order::Osp, Order::Ops];
+
+    /// The sort key of a triple under this order.
+    #[inline]
+    pub fn key(self, t: &Triple) -> (Oid, Oid, Oid) {
+        match self {
+            Order::Spo => t.key_spo(),
+            Order::Sop => t.key_sop(),
+            Order::Pso => t.key_pso(),
+            Order::Pos => t.key_pos(),
+            Order::Osp => t.key_osp(),
+            Order::Ops => t.key_ops(),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Order::Spo => "SPO",
+            Order::Sop => "SOP",
+            Order::Pso => "PSO",
+            Order::Pos => "POS",
+            Order::Osp => "OSP",
+            Order::Ops => "OPS",
+        }
+    }
+}
+
+/// A triple projection sorted under one [`Order`].
+#[derive(Debug, Clone)]
+pub struct PermIndex {
+    pub order: Order,
+    /// The three key columns in sort-major order (e.g. for PSO:
+    /// `cols[0]` = P, `cols[1]` = S, `cols[2]` = O).
+    cols: [Column; 3],
+    len: usize,
+}
+
+impl PermIndex {
+    /// Build from triples; sorts a scratch copy internally.
+    pub fn build(disk: &DiskManager, triples: &[Triple], order: Order) -> PermIndex {
+        let mut keys: Vec<(Oid, Oid, Oid)> = triples.iter().map(|t| order.key(t)).collect();
+        keys.sort_unstable();
+        let mut builders = [
+            sordf_columnar::ColumnBuilder::new(disk),
+            sordf_columnar::ColumnBuilder::new(disk),
+            sordf_columnar::ColumnBuilder::new(disk),
+        ];
+        for &(a, b, c) in &keys {
+            builders[0].push(a.raw());
+            builders[1].push(b.raw());
+            builders[2].push(c.raw());
+        }
+        let [b0, b1, b2] = builders;
+        PermIndex { order, cols: [b0.finish(), b1.finish(), b2.finish()], len: keys.len() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The i-th key column (0 = sort-major).
+    pub fn col(&self, i: usize) -> &Column {
+        &self.cols[i]
+    }
+
+    /// Rows where key0 == `a`.
+    pub fn range1(&self, pool: &BufferPool, a: Oid) -> Range<usize> {
+        let lo = self.cols[0].lower_bound(pool, a.raw());
+        let hi = self.cols[0].upper_bound(pool, a.raw());
+        lo..hi
+    }
+
+    /// Rows where key0 == `a` and key1 == `b`.
+    pub fn range2(&self, pool: &BufferPool, a: Oid, b: Oid) -> Range<usize> {
+        let r = self.range1(pool, a);
+        let lo = self.cols[1].lower_bound_in(pool, r.clone(), b.raw());
+        let hi = self.cols[1].upper_bound_in(pool, r, b.raw());
+        lo..hi
+    }
+
+    /// Rows where key0 == `a` and `lo <= key1 <= hi` (inclusive).
+    pub fn range2_between(&self, pool: &BufferPool, a: Oid, lo: Oid, hi: Oid) -> Range<usize> {
+        let r = self.range1(pool, a);
+        let start = self.cols[1].lower_bound_in(pool, r.clone(), lo.raw());
+        let end = self.cols[1].upper_bound_in(pool, r, hi.raw());
+        start..end.max(start)
+    }
+
+    /// Rows where key0 == `a`, key1 == `b`, key2 == `c` (existence checks).
+    pub fn range3(&self, pool: &BufferPool, a: Oid, b: Oid, c: Oid) -> Range<usize> {
+        let r = self.range2(pool, a, b);
+        let lo = self.cols[2].lower_bound_in(pool, r.clone(), c.raw());
+        let hi = self.cols[2].upper_bound_in(pool, r, c.raw());
+        lo..hi
+    }
+
+    /// Materialize `(key1, key2)` pairs of a row range (tests/small results).
+    pub fn pairs(&self, pool: &BufferPool, range: Range<usize>) -> Vec<(Oid, Oid)> {
+        let k1 = self.cols[1].to_vec(pool, range.clone());
+        let k2 = self.cols[2].to_vec(pool, range);
+        k1.into_iter().zip(k2).map(|(a, b)| (Oid::from_raw(a), Oid::from_raw(b))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(Oid::iri(s), Oid::iri(p), Oid::iri(o))
+    }
+
+    fn setup(triples: &[Triple], order: Order) -> (Arc<DiskManager>, BufferPool, PermIndex) {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let idx = PermIndex::build(&dm, triples, order);
+        let pool = BufferPool::new(Arc::clone(&dm), 128);
+        (dm, pool, idx)
+    }
+
+    #[test]
+    fn pso_prefix_lookup() {
+        let triples = vec![t(1, 10, 100), t(2, 10, 101), t(3, 11, 102), t(1, 11, 103)];
+        let (_dm, pool, idx) = setup(&triples, Order::Pso);
+        let r = idx.range1(&pool, Oid::iri(10));
+        assert_eq!(r, 0..2);
+        assert_eq!(
+            idx.pairs(&pool, r),
+            vec![(Oid::iri(1), Oid::iri(100)), (Oid::iri(2), Oid::iri(101))]
+        );
+        let r11 = idx.range1(&pool, Oid::iri(11));
+        assert_eq!(idx.pairs(&pool, r11), vec![(Oid::iri(1), Oid::iri(103)), (Oid::iri(3), Oid::iri(102))]);
+        assert!(idx.range1(&pool, Oid::iri(99)).is_empty());
+    }
+
+    #[test]
+    fn pos_object_range() {
+        // p=10 with objects 100..200 step 10 over subjects 0..10
+        let triples: Vec<Triple> = (0..10).map(|i| t(i, 10, 100 + i * 10)).collect();
+        let (_dm, pool, idx) = setup(&triples, Order::Pos);
+        let r = idx.range2_between(&pool, Oid::iri(10), Oid::iri(120), Oid::iri(150));
+        let pairs = idx.pairs(&pool, r);
+        // key1 = O, key2 = S under POS
+        assert_eq!(
+            pairs.iter().map(|&(o, _)| o).collect::<Vec<_>>(),
+            vec![Oid::iri(120), Oid::iri(130), Oid::iri(140), Oid::iri(150)]
+        );
+    }
+
+    #[test]
+    fn range2_and_range3() {
+        let triples = vec![t(1, 10, 5), t(1, 10, 6), t(1, 11, 7), t(2, 10, 5)];
+        let (_dm, pool, idx) = setup(&triples, Order::Spo);
+        assert_eq!(idx.range2(&pool, Oid::iri(1), Oid::iri(10)).len(), 2);
+        assert_eq!(idx.range3(&pool, Oid::iri(1), Oid::iri(10), Oid::iri(6)).len(), 1);
+        assert!(idx.range3(&pool, Oid::iri(1), Oid::iri(10), Oid::iri(7)).is_empty());
+    }
+
+    #[test]
+    fn all_orders_agree_on_membership() {
+        let triples: Vec<Triple> = (0..200).map(|i| t(i % 7, 10 + i % 3, 100 + i)).collect();
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let pool = BufferPool::new(Arc::clone(&dm), 256);
+        for order in Order::ALL {
+            let idx = PermIndex::build(&dm, &triples, order);
+            assert_eq!(idx.len(), triples.len(), "{}", order.name());
+            for t in triples.iter().take(20) {
+                let (a, b, c) = order.key(t);
+                assert_eq!(idx.range3(&pool, a, b, c).len(), 1, "{}", order.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let (_dm, pool, idx) = setup(&[], Order::Pso);
+        assert!(idx.is_empty());
+        assert!(idx.range1(&pool, Oid::iri(1)).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! The in-memory staging area: parsed, dictionary-encoded triples.
+
+use sordf_model::{ntriples, Dictionary, ModelError, Term, TermTriple, Triple};
+
+/// A dictionary plus the encoded triples, in parse order. This is the input
+/// to both store builders and to schema discovery.
+#[derive(Debug, Default, Clone)]
+pub struct TripleSet {
+    pub dict: Dictionary,
+    pub triples: Vec<Triple>,
+}
+
+impl TripleSet {
+    pub fn new() -> TripleSet {
+        TripleSet::default()
+    }
+
+    /// Number of loaded triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Encode and add one term triple. Blank nodes are *skolemized* into
+    /// IRIs (`urn:sordf:blank:<label>`) so that blank subjects participate
+    /// in subject clustering like any other subject.
+    pub fn add(&mut self, t: &TermTriple) -> Result<(), ModelError> {
+        let s = self.encode_skolemized(&t.s)?;
+        let p = self.encode_skolemized(&t.p)?;
+        let o = self.encode_skolemized(&t.o)?;
+        self.triples.push(Triple::new(s, p, o));
+        Ok(())
+    }
+
+    fn encode_skolemized(&mut self, t: &Term) -> Result<sordf_model::Oid, ModelError> {
+        match t {
+            Term::Blank(label) => Ok(self.dict.encode_iri(&format!("urn:sordf:blank:{label}"))),
+            other => self.dict.encode_term(other),
+        }
+    }
+
+    /// Load an N-Triples document.
+    pub fn load_ntriples(&mut self, text: &str) -> Result<usize, ModelError> {
+        let parsed = ntriples::parse_document(text)?;
+        for t in &parsed {
+            self.add(t)?;
+        }
+        Ok(parsed.len())
+    }
+
+    /// Bulk-add term triples (from a generator).
+    pub fn extend_terms<'a>(
+        &mut self,
+        triples: impl IntoIterator<Item = &'a TermTriple>,
+    ) -> Result<usize, ModelError> {
+        let mut n = 0;
+        for t in triples {
+            self.add(t)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// A copy of the triples sorted in SPO order (the order schema discovery
+    /// and the clustered builder require).
+    pub fn sorted_spo(&self) -> Vec<Triple> {
+        let mut v = self.triples.clone();
+        v.sort_unstable_by_key(|t| t.key_spo());
+        v
+    }
+
+    /// Deduplicate identical triples (RDF graphs are sets).
+    pub fn dedup(&mut self) {
+        self.triples.sort_unstable_by_key(|t| t.key_spo());
+        self.triples.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sordf_model::Oid;
+
+    #[test]
+    fn load_and_encode() {
+        let mut ts = TripleSet::new();
+        let n = ts
+            .load_ntriples(
+                r#"<http://e/s1> <http://e/p> <http://e/o> .
+<http://e/s1> <http://e/q> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b <http://e/p> <http://e/s1> ."#,
+            )
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(ts.len(), 3);
+        // Blank skolemized to an IRI.
+        assert!(ts.dict.iri_oid("urn:sordf:blank:b").is_some());
+        assert_eq!(ts.triples[1].o, Oid::from_int(42).unwrap());
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut ts = TripleSet::new();
+        ts.load_ntriples(
+            "<http://e/s> <http://e/p> <http://e/o> .\n<http://e/s> <http://e/p> <http://e/o> .",
+        )
+        .unwrap();
+        assert_eq!(ts.len(), 2);
+        ts.dedup();
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn sorted_spo_is_sorted() {
+        let mut ts = TripleSet::new();
+        ts.load_ntriples(
+            "<http://e/b> <http://e/p> <http://e/o> .\n<http://e/a> <http://e/p> <http://e/o> .",
+        )
+        .unwrap();
+        let sorted = ts.sorted_spo();
+        assert!(sorted.windows(2).all(|w| w[0].key_spo() <= w[1].key_spo()));
+        // Original parse order untouched.
+        assert!(ts.triples[0].s > ts.triples[1].s || ts.triples[0].s < ts.triples[1].s);
+    }
+}

@@ -1,0 +1,32 @@
+//! Self-organization on dirty, web-crawl-like data: how coverage and the
+//! emergent schema degrade (gracefully) as irregularity grows — the paper's
+//! §II-D outlook experiment.
+//!
+//! Run with: `cargo run --release --example dirty_data`
+
+use sordf::Database;
+use sordf_datagen::{dirty, DirtyConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<14} {:>9} {:>9} {:>10} {:>10}", "irregularity", "triples", "classes", "coverage", "irregular");
+    for irregularity in [0.0, 0.15, 0.3, 0.5] {
+        let triples = dirty(&DirtyConfig::with_irregularity(irregularity, 1_500));
+        let mut db = Database::in_temp_dir()?;
+        db.load_terms(&triples)?;
+        db.self_organize()?;
+        let schema = db.schema().unwrap();
+        let store = db.clustered_store().unwrap();
+        println!(
+            "{:<14.2} {:>9} {:>9} {:>9.1}% {:>10}",
+            irregularity,
+            db.n_triples(),
+            schema.classes.len(),
+            schema.coverage * 100.0,
+            store.irregular.len(),
+        );
+    }
+    println!("\nEven at 50% noise the majority of triples land in relational");
+    println!("columns; the irregular remainder stays queryable via the triple");
+    println!("table, so no data is ever lost to the schema.");
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate for the `sordf` workspace.
+//!
+//! This crate exists so that repository-level integration tests (`tests/`)
+//! and runnable examples (`examples/`) can depend on every workspace crate.
+//! The actual library code lives in `crates/*`; start with the [`sordf`]
+//! facade crate.

@@ -1,0 +1,129 @@
+//! SQL frontend coverage: compilation shapes and edge cases over a real
+//! emergent schema (the compiler needs class segments, so these live as
+//! integration tests).
+
+use sordf::{Database, Generation};
+use sordf_model::{Term, TermTriple};
+
+fn db_with_two_tables() -> Database {
+    let mut triples = Vec::new();
+    let mut add = |s: String, p: &str, o: Term| {
+        triples.push(TermTriple::new(Term::iri(s), Term::iri(format!("http://e/{p}")), o));
+    };
+    for i in 0..40u64 {
+        let s = format!("http://e/item{i}");
+        add(s.clone(), "qty", Term::int((i % 10) as i64));
+        add(s.clone(), "price", Term::decimal_f64(1.5 * (i % 8) as f64));
+        add(s.clone(), "owner", Term::iri(format!("http://e/user{}", i % 5)));
+        add(s.clone(), "label", Term::str(format!("item-{i}")));
+    }
+    for u in 0..5u64 {
+        let s = format!("http://e/user{u}");
+        add(s.clone(), "name", Term::str(format!("user{u}")));
+        add(s.clone(), "age", Term::int(20 + u as i64));
+    }
+    let mut db = Database::in_temp_dir().unwrap();
+    db.load_terms(&triples).unwrap();
+    db.self_organize().unwrap();
+    db
+}
+
+#[test]
+fn select_where_order_limit() {
+    let db = db_with_two_tables();
+    let rs = db
+        .sql("SELECT label, qty FROM cs_label WHERE qty >= 8 ORDER BY label LIMIT 3")
+        .unwrap();
+    assert_eq!(rs.columns, vec!["cs_label__label", "cs_label__qty"]);
+    assert_eq!(rs.len(), 3);
+    let rows = rs.render(db.dict());
+    assert!(rows.iter().all(|r| r[1].parse::<i64>().unwrap() >= 8));
+    // label-sorted ascending
+    assert!(rows.windows(2).all(|w| w[0][0] <= w[1][0]));
+}
+
+#[test]
+fn aggregates_and_group_by() {
+    let db = db_with_two_tables();
+    let rs = db
+        .sql("SELECT qty, COUNT(*) AS n, AVG(price) AS avg_price FROM cs_label GROUP BY qty")
+        .unwrap();
+    assert_eq!(rs.len(), 10);
+    let total: f64 =
+        rs.render(db.dict()).iter().map(|r| r[1].parse::<f64>().unwrap()).sum();
+    assert_eq!(total, 40.0);
+}
+
+#[test]
+fn join_on_fk_subject() {
+    let db = db_with_two_tables();
+    // Resolve the user table's generated name (naming falls back to a
+    // "cs_<prop>" identifier; which prop wins is a tie-break detail).
+    let schema = db.schema().unwrap();
+    let users = schema
+        .classes
+        .iter()
+        .find(|c| c.columns.iter().any(|col| col.name == "name"))
+        .unwrap()
+        .name
+        .clone();
+    let rs = db
+        .sql(&format!(
+            "SELECT name, COUNT(*) AS n FROM cs_label i \
+             JOIN {users} u ON i.owner = u.subject \
+             GROUP BY name ORDER BY name"
+        ))
+        .unwrap();
+    assert_eq!(rs.len(), 5);
+    assert!(rs.render(db.dict()).iter().all(|r| r[1] == "8"));
+}
+
+#[test]
+fn between_and_string_equality() {
+    let db = db_with_two_tables();
+    let rs = db
+        .sql("SELECT label FROM cs_label WHERE qty BETWEEN 2 AND 4 AND label = 'item-12'")
+        .unwrap();
+    assert_eq!(rs.len(), 1);
+}
+
+#[test]
+fn distinct_works() {
+    let db = db_with_two_tables();
+    let rs = db.sql("SELECT DISTINCT qty FROM cs_label").unwrap();
+    assert_eq!(rs.len(), 10);
+}
+
+#[test]
+fn table_alias_and_qualified_refs() {
+    let db = db_with_two_tables();
+    let rs = db.sql("SELECT t.qty FROM cs_label t WHERE t.qty = 3").unwrap();
+    assert_eq!(rs.len(), 4);
+}
+
+#[test]
+fn unknown_identifiers_error_cleanly() {
+    let db = db_with_two_tables();
+    for bad in [
+        "SELECT * FROM cs_label",                      // '*' projection unsupported
+        "SELECT qty FROM missing_table",
+        "SELECT missing_col FROM cs_label",
+        "SELECT qty FROM cs_label WHERE",
+        "SELECT name FROM cs_label JOIN cs_name ON bogus", // non-equality join
+    ] {
+        assert!(db.sql(bad).is_err(), "should fail: {bad}");
+    }
+}
+
+#[test]
+fn sql_requires_self_organization() {
+    let mut db = Database::in_temp_dir().unwrap();
+    db.load_ntriples("<http://e/a> <http://e/p> <http://e/b> .").unwrap();
+    db.build_baseline().unwrap();
+    assert!(db.sql("SELECT p FROM t").is_err());
+    let _ = db.query_with(
+        "SELECT ?o WHERE { <http://e/a> <http://e/p> ?o . }",
+        Generation::Baseline,
+        sordf::ExecConfig::default(),
+    );
+}
