@@ -13,39 +13,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sordf_model_shim::FxHashMap;
-
-/// Tiny internal shim so the columnar crate does not depend on sordf-model:
-/// a local FxHash map (same algorithm as `sordf_model::fxhash`).
-mod sordf_model_shim {
-    use std::hash::{BuildHasherDefault, Hasher};
-
-    pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
-
-    #[derive(Default)]
-    pub struct FxHasher {
-        hash: u64,
-    }
-
-    impl Hasher for FxHasher {
-        #[inline]
-        fn write(&mut self, bytes: &[u8]) {
-            for &b in bytes {
-                self.write_u64(b as u64);
-            }
-        }
-
-        #[inline]
-        fn write_u64(&mut self, i: u64) {
-            self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
-        }
-
-        #[inline]
-        fn finish(&self) -> u64 {
-            self.hash
-        }
-    }
-}
+use sordf_model::fxhash::FxHashMap;
 
 /// Cumulative pool counters (monotone; use deltas around a query).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -139,7 +139,7 @@ fn dirty_value(rng: &mut StdRng, class: usize, prop: usize, p_noise: f64) -> Ter
     match kind {
         0 => Term::int(rng.random_range(0..10_000)),
         1 => Term::str(format!("v{}", rng.random_range(0..10_000))),
-        2 => Term::literal(sordf_model::Value::Date(9_000 + rng.random_range(0..2_000))),
+        2 => Term::literal(sordf_model::Value::Date(9_000 + rng.random_range(0..2_000i64))),
         _ => Term::decimal_f64(rng.random_range(0.0..100.0)),
     }
 }

@@ -95,11 +95,38 @@ impl ResultSet {
     }
 }
 
+/// Neumaier-compensated running sum. Storage generations scan rows in
+/// different orders; naive `f64` accumulation makes SUM/AVG answers depend on
+/// that order in the last ulps, which breaks differential testing across
+/// configurations. Compensation keeps the result order-insensitive to within
+/// one ulp of the exact sum, provided no intermediate overflows.
+#[derive(Debug, Clone, Copy, Default)]
+struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
 /// Aggregate accumulator.
 enum AggState {
     Count(u64),
-    Sum(f64),
-    Avg(f64, u64),
+    Sum(CompensatedSum),
+    Avg(CompensatedSum, u64),
     Min(Option<OutVal>),
     Max(Option<OutVal>),
 }
@@ -108,8 +135,8 @@ impl AggState {
     fn new(f: AggFunc) -> AggState {
         match f {
             AggFunc::Count => AggState::Count(0),
-            AggFunc::Sum => AggState::Sum(0.0),
-            AggFunc::Avg => AggState::Avg(0.0, 0),
+            AggFunc::Sum => AggState::Sum(CompensatedSum::default()),
+            AggFunc::Avg => AggState::Avg(CompensatedSum::default(), 0),
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
         }
@@ -127,10 +154,10 @@ impl AggState {
         };
         match self {
             AggState::Count(n) => *n += 1,
-            AggState::Sum(s) => *s += out.as_f64().unwrap_or(0.0),
+            AggState::Sum(s) => s.add(out.as_f64().unwrap_or(0.0)),
             AggState::Avg(s, n) => {
                 if let Some(x) = out.as_f64() {
-                    *s += x;
+                    s.add(x);
                     *n += 1;
                 }
             }
@@ -156,12 +183,12 @@ impl AggState {
     fn finish(self) -> OutVal {
         match self {
             AggState::Count(n) => OutVal::Num(n as f64),
-            AggState::Sum(s) => OutVal::Num(s),
+            AggState::Sum(s) => OutVal::Num(s.value()),
             AggState::Avg(s, n) => {
                 if n == 0 {
                     OutVal::Null
                 } else {
-                    OutVal::Num(s / n as f64)
+                    OutVal::Num(s.value() / n as f64)
                 }
             }
             AggState::Min(b) | AggState::Max(b) => b.unwrap_or(OutVal::Null),

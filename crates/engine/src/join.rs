@@ -32,11 +32,11 @@ pub fn merge_join_pairs(
                 let j_end =
                     (j..pairs.len()).find(|&x| pairs[x].0 != k).unwrap_or(pairs.len());
                 for li in i..i_end {
-                    for pj in j..j_end {
+                    for &(_, pv) in &pairs[j..j_end] {
                         for (c, lc) in out.cols.iter_mut().zip(&left.cols) {
                             c.push(lc[li]);
                         }
-                        out.cols.last_mut().unwrap().push(pairs[pj].1);
+                        out.cols.last_mut().unwrap().push(pv);
                     }
                 }
                 i = i_end;

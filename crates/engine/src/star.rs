@@ -184,13 +184,13 @@ pub fn apply_filters(cx: &ExecContext, table: &mut Table, filters: &[&Expr]) {
     }
     let n = table.len();
     let mut mask = vec![true; n];
-    for i in 0..n {
+    for (i, keep) in mask.iter_mut().enumerate() {
         let lookup = |v: VarId| {
             table.col_of(v).map(|c| table.cols[c][i]).unwrap_or(Oid::NULL)
         };
         for f in &applicable {
             if !f.eval(&lookup, cx.dict).as_bool() {
-                mask[i] = false;
+                *keep = false;
                 break;
             }
         }
@@ -733,10 +733,10 @@ fn residual_filters<'f>(cx: &ExecContext, star: &Star, filters: &[&'f Expr]) -> 
         .into_iter()
         .filter(|f| match f.as_var_cmp() {
             Some((v, op, c)) => {
-                let enforced_cmp = !c.is_null()
-                    && !(c.tag() == TypeTag::Str
+                let enforced_cmp = !(c.is_null()
+                    || (c.tag() == TypeTag::Str
                         && !cx.strings_value_ordered()
-                        && op != CmpOp::Eq)
+                        && op != CmpOp::Eq))
                     && op != CmpOp::Ne;
                 let single_binding = v == star.subject_var
                     || star.props.iter().filter(|p| p.o == VarOrOid::Var(v)).count() == 1;

@@ -223,7 +223,7 @@ fn two_star_fk_join() {
         let ord = var(&mut q, "ord");
         let status = var(&mut q, "status");
         add_pat(&mut q, "s", dict, "qty", qty);
-        add_pat(&mut q, "s", dict, "ok", ord.clone());
+        add_pat(&mut q, "s", dict, "ok", ord);
         // second star: the order
         let ord_v = q.var("ord");
         q.patterns.push(TriplePattern {

@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn value_lexical_forms() {
         assert_eq!(Value::Int(-5).lexical(), "-5");
-        assert_eq!(Value::decimal_f64(3.14).lexical(), "3.14");
+        assert_eq!(Value::decimal_f64(2.75).lexical(), "2.75");
         assert_eq!(Value::Bool(true).lexical(), "true");
         assert_eq!(
             Value::Date(date::parse_date("1996-07-04").unwrap()).lexical(),

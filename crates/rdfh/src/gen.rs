@@ -220,9 +220,9 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
             let tax = rng.random_range(0..9i64) as f64 / 100.0;
             // The crucial correlation: shipdate trails orderdate by 1..121
             // days; receipt trails shipment, commit sits near ship.
-            let shipdate = orderdate + rng.random_range(1..122);
-            let commitdate = orderdate + rng.random_range(30..91);
-            let receiptdate = shipdate + rng.random_range(1..31);
+            let shipdate = orderdate + rng.random_range(1..122i64);
+            let commitdate = orderdate + rng.random_range(30..91i64);
+            let receiptdate = shipdate + rng.random_range(1..31i64);
             total += extendedprice * (1.0 - discount);
 
             push(&li, rdf_type.clone(), type_of("lineitem"), &mut triples);

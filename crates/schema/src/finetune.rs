@@ -109,7 +109,7 @@ mod tests {
     use crate::merge::generalize;
     use crate::typing::type_classes;
 
-    fn run(triples: &mut Vec<Triple>, cfg: &SchemaConfig) -> Vec<ShapedClass> {
+    fn run(triples: &mut [Triple], cfg: &SchemaConfig) -> Vec<ShapedClass> {
         triples.sort_by_key(|t| t.key_spo());
         let (css, _) = extract(triples);
         let merged = generalize(css, cfg);

@@ -32,6 +32,11 @@ pub struct FkEdge {
     pub one_to_one: bool,
 }
 
+/// Result of [`discover_fks`]: per-class per-prop optional FK edges, the
+/// per-class incoming-reference tally used for retention, and the raw
+/// per-class per-prop reference statistics.
+pub type FkDiscovery = (Vec<Vec<Option<FkEdge>>>, Vec<u64>, Vec<Vec<RefStats>>);
+
 /// Compute reference statistics and FK edges for every IRI-typed property.
 /// Returns per-class per-prop optional edges, plus the per-class incoming
 /// reference tally used for retention.
@@ -39,7 +44,7 @@ pub fn discover_fks(
     triples_spo: &[Triple],
     classes: &[ShapedClass],
     cfg: &SchemaConfig,
-) -> (Vec<Vec<Option<FkEdge>>>, Vec<u64>, Vec<Vec<RefStats>>) {
+) -> FkDiscovery {
     let mut assign: FxHashMap<Oid, u32> = FxHashMap::default();
     for (ci, c) in classes.iter().enumerate() {
         for &s in &c.subjects {
@@ -121,7 +126,7 @@ mod tests {
     use crate::typing::type_classes;
 
     fn pipeline(
-        triples: &mut Vec<Triple>,
+        triples: &mut [Triple],
         cfg: &SchemaConfig,
     ) -> (Vec<ShapedClass>, Vec<Vec<Option<FkEdge>>>, Vec<u64>) {
         triples.sort_by_key(|t| t.key_spo());

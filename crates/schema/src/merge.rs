@@ -178,8 +178,7 @@ mod tests {
     #[test]
     fn prefers_group_with_higher_overlap() {
         // {1,2,3,4} and {5,6,7,8} exist; {1,2,3,9} overlaps 3/4 with first.
-        let mut cfg = SchemaConfig::default();
-        cfg.merge_overlap = 0.7;
+        let cfg = SchemaConfig { merge_overlap: 0.7, ..SchemaConfig::default() };
         let css = vec![
             cs(&[1, 2, 3, 4], 100, 0),
             cs(&[5, 6, 7, 8], 100, 200),

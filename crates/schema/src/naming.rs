@@ -70,9 +70,9 @@ pub fn assign_names(schema: &mut EmergentSchema, triples_spo: &[Triple], dict: &
     }
 
     let mut used_tables = FxHashSet::default();
-    for ci in 0..schema.classes.len() {
+    for (ci, counts) in type_counts.iter().enumerate() {
         // Candidate from rdf:type.
-        let from_type = type_counts[ci]
+        let from_type = counts
             .iter()
             .max_by_key(|&(o, &n)| (n, u64::MAX - o.raw()))
             .and_then(|(&o, _)| dict.iri_str(o).ok())

@@ -229,7 +229,7 @@ mod tests {
     use crate::cs::extract;
     use crate::merge::generalize;
 
-    fn run(triples: &mut Vec<Triple>, cfg: &SchemaConfig) -> Vec<TypedClass> {
+    fn run(triples: &mut [Triple], cfg: &SchemaConfig) -> Vec<TypedClass> {
         triples.sort_by_key(|t| t.key_spo());
         let (css, _) = extract(triples);
         let merged = generalize(css, cfg);
@@ -309,8 +309,7 @@ mod tests {
         for s in 97..100 {
             triples.push(Triple::new(Oid::iri(s), p, str_oid(s)));
         }
-        let mut cfg = SchemaConfig::default();
-        cfg.type_dominance = 0.99;
+        let cfg = SchemaConfig { type_dominance: 0.99, ..SchemaConfig::default() };
         let typed = run(&mut triples, &cfg);
         assert_eq!(typed.len(), 1);
         assert_eq!(typed[0].support(), 100);
@@ -334,8 +333,7 @@ mod tests {
         for s in 80..100 {
             triples.push(Triple::new(Oid::iri(s), q, str_oid(s)));
         }
-        let mut cfg = SchemaConfig::default();
-        cfg.nullable_min_presence = 0.05;
+        let cfg = SchemaConfig { nullable_min_presence: 0.05, ..SchemaConfig::default() };
         let typed = run(&mut triples, &cfg);
         let int_variant = typed.iter().find(|t| t.col_types[0] == TypeTag::Int).unwrap();
         assert_eq!(int_variant.support(), 70); // 50 int + 20 missing

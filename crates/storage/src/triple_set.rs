@@ -123,6 +123,6 @@ _:b <http://e/p> <http://e/s1> ."#,
         let sorted = ts.sorted_spo();
         assert!(sorted.windows(2).all(|w| w[0].key_spo() <= w[1].key_spo()));
         // Original parse order untouched.
-        assert!(ts.triples[0].s > ts.triples[1].s || ts.triples[0].s < ts.triples[1].s);
+        assert_ne!(ts.triples[0].s, ts.triples[1].s);
     }
 }

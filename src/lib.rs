@@ -4,3 +4,14 @@
 //! and runnable examples (`examples/`) can depend on every workspace crate.
 //! The actual library code lives in `crates/*`; start with the [`sordf`]
 //! facade crate.
+
+pub use sordf;
+pub use sordf_columnar;
+pub use sordf_datagen;
+pub use sordf_engine;
+pub use sordf_model;
+pub use sordf_rdfh;
+pub use sordf_schema;
+pub use sordf_sparql;
+pub use sordf_sql;
+pub use sordf_storage;

@@ -1,0 +1,407 @@
+//! Minimal offline shim for the `proptest` crate.
+//!
+//! Supports the surface this workspace's property tests use: the
+//! [`proptest!`] and [`prop_oneof!`] macros, `prop_assert*!`, the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple strategies,
+//! a regex-lite string strategy (`"[class]{m,n}"` patterns only),
+//! [`any`]`::<bool>()`, and [`collection::vec`].
+//!
+//! Inputs are generated deterministically (seeded per test from the test's
+//! module path), and there is **no shrinking**: a failing case panics via the
+//! std assert macros, and the runner reports the failing case index on the
+//! way out — with the fixed seed, re-running reproduces that case exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// String strategy from a regex-lite pattern: a single character class
+    /// with a repetition count, e.g. `"[a-zA-Z0-9 ]{0,12}"`. Anything more
+    /// exotic is rejected at generation time.
+    impl Strategy for str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported regex-lite pattern: {self:?}"));
+            let len = rng.random_range(lo..hi + 1);
+            (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect()
+        }
+    }
+
+    /// Parse `[chars]{m,n}` / `[chars]{n}` into (alphabet, min, max).
+    fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut alphabet = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (a, b) = (chars[i], chars[i + 2]);
+                if a > b {
+                    return None;
+                }
+                alphabet.extend(a..=b);
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match counts.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n = counts.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident.$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0.0);
+    impl_tuple_strategy!(S0.0, S1.1);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+    /// Uniform choice between boxed alternatives (built by [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].generate(rng)
+        }
+    }
+
+    pub fn union_of<T>(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
+    }
+
+    /// `any::<T>()` support; only the types the workspace needs.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range in collection::vec");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Number of generated cases per test (shrinking is not implemented).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// Names the failing case when a property panics (dropped during unwind).
+#[doc(hidden)]
+pub struct CaseGuard {
+    test: &'static str,
+    case: u32,
+}
+
+impl CaseGuard {
+    pub fn new(test: &'static str, case: u32) -> Self {
+        CaseGuard { test, case }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: {} failed on case {} (deterministic; re-run reproduces it)",
+                self.test, self.case
+            );
+        }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the test's fully qualified name.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::union_of(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __proptest_rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __proptest_case in 0..__proptest_cfg.cases {
+                    let __proptest_guard =
+                        $crate::CaseGuard::new(stringify!($name), __proptest_case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strategy,
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    $body
+                    drop(__proptest_guard);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn string_pattern_respects_class_and_len() {
+        let mut rng = crate::rng_for("string_pattern");
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 ]{0,12}".generate(&mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_loops(x in 0u32..10, (a, b) in (0i64..5, 5i64..10)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn oneof_and_vec(v in crate::collection::vec(prop_oneof![
+            (0u32..3).prop_map(|i| format!("i{i}")),
+            "[xy]{1,2}".prop_map(|s| s),
+        ], 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+        }
+    }
+}
