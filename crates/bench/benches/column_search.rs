@@ -1,0 +1,70 @@
+//! Micro-bench for page-hoisted column binary search: `lower_bound_in` /
+//! `partition_point_in` pin one page per narrowing step instead of issuing a
+//! `BufferPool::get` per probed value. Run with a small pool so the probe
+//! count, not just lock traffic, shows up in the timing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sordf_columnar::{BufferPool, Column, DiskManager, VALS_PER_PAGE};
+use std::sync::Arc;
+
+fn bench_search(c: &mut Criterion) {
+    let dm = Arc::new(DiskManager::temp().unwrap());
+    let n = 64 * VALS_PER_PAGE as u64;
+    let vals: Vec<u64> = (0..n).map(|i| i * 3).collect();
+    let col = Column::from_slice(&dm, &vals);
+    let pool = BufferPool::new(Arc::clone(&dm), 128);
+
+    let mut group = c.benchmark_group("column/search");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    // Range-restricted search (the permutation-index `range2` access path):
+    // full column, a 4-page run, and a within-page run.
+    for (label, range) in [
+        ("full", 0..col.len()),
+        ("run4p", 8 * VALS_PER_PAGE..12 * VALS_PER_PAGE),
+        ("inpage", 3 * VALS_PER_PAGE + 100..3 * VALS_PER_PAGE + 3000),
+    ] {
+        group.bench_with_input(BenchmarkId::new("lower_bound_in", label), &range, |b, r| {
+            let mut probe = 0u64;
+            b.iter(|| {
+                probe = (probe + 997) % (n * 3);
+                black_box(col.lower_bound_in(&pool, r.clone(), black_box(probe)))
+            })
+        });
+        // The pre-hoisting strategy, kept in-bench as the baseline: a plain
+        // binary search issuing one pool request per probed value.
+        group.bench_with_input(
+            BenchmarkId::new("lower_bound_in_rowwise", label),
+            &range,
+            |b, r| {
+                let mut probe = 0u64;
+                b.iter(|| {
+                    probe = (probe + 997) % (n * 3);
+                    let v = black_box(probe);
+                    let (mut lo, mut hi) = (r.start, r.end.min(col.len()));
+                    while lo < hi {
+                        let mid = lo + (hi - lo) / 2;
+                        if col.value(&pool, mid) < v {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    black_box(lo)
+                })
+            },
+        );
+    }
+    group.bench_function("lower_bound_global", |b| {
+        let mut probe = 0u64;
+        b.iter(|| {
+            probe = (probe + 997) % (n * 3);
+            black_box(col.lower_bound(&pool, black_box(probe)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! Vectorized-execution benchmark: hot scan paths with pool-counter evidence.
+//!
+//! Measures the engine's star-scan and zone-map scan paths (the workloads of
+//! the `starjoin` and `zonemap` criterion benches) and reports, per scenario:
+//! queries/sec, rows scanned/sec, and buffer-pool page requests (`hits` +
+//! `misses`, i.e. `BufferPool::get`/`pin` calls) per query. The pool counters
+//! are the direct evidence for page-at-a-time execution: value-at-a-time
+//! code performs one pool request per probed value, pinned-slice code one
+//! per touched page.
+//!
+//! Usage:
+//!   bench_vectorized [--sf F] [--out PATH] [--baseline PATH] [--smoke]
+//!
+//! `--baseline` merges a previously recorded run (same format) into the
+//! output and computes per-scenario speedups — used to track the perf
+//! trajectory across PRs (`BENCH_baseline.json` holds the pre-vectorization
+//! numbers).
+
+use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf_bench::{build_rig, Rig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    query: String,
+    generation: Generation,
+    exec: ExecConfig,
+}
+
+#[derive(Debug, Clone)]
+struct Sample {
+    name: &'static str,
+    qps: f64,
+    rows_scanned_per_sec: f64,
+    pool_gets_per_query: u64,
+    rows_scanned_per_query: u64,
+    result_rows: usize,
+    iters: u64,
+}
+
+fn star_query(width: usize) -> String {
+    let props = [
+        "lineitem_quantity",
+        "lineitem_extendedprice",
+        "lineitem_discount",
+        "lineitem_tax",
+        "lineitem_shipmode",
+        "lineitem_returnflag",
+    ];
+    let mut body = String::new();
+    for p in &props[..width] {
+        let _ = writeln!(body, "?s <http://lod2.eu/schemas/rdfh#{p}> ?o_{p} .");
+    }
+    format!("SELECT ?s WHERE {{ {body} }}")
+}
+
+fn q6_query(months: u32) -> String {
+    let end_year = 1994 + months / 12;
+    let end_month = months % 12 + 1;
+    format!(
+        r#"PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
+  ?li rdfh:lineitem_shipdate ?d .
+  ?li rdfh:lineitem_extendedprice ?price .
+  ?li rdfh:lineitem_discount ?disc .
+  FILTER(?d >= "1994-01-01"^^xsd:date && ?d < "{end_year}-{end_month:02}-01"^^xsd:date)
+}}"#
+    )
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let rdfscan = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
+    let default = ExecConfig { scheme: PlanScheme::Default, zonemaps: true };
+    vec![
+        Scenario {
+            name: "starjoin6_rdfscan",
+            query: star_query(6),
+            generation: Generation::Clustered,
+            exec: rdfscan,
+        },
+        Scenario {
+            name: "starjoin6_default",
+            query: star_query(6),
+            generation: Generation::Clustered,
+            exec: default,
+        },
+        Scenario {
+            name: "starjoin4_sparse",
+            query: star_query(4),
+            generation: Generation::CsParseOrder,
+            exec: rdfscan,
+        },
+        Scenario {
+            name: "zonemap_q6_3mo",
+            query: q6_query(3),
+            generation: Generation::Clustered,
+            exec: rdfscan,
+        },
+        Scenario {
+            name: "zonemap_q6_36mo",
+            query: q6_query(36),
+            generation: Generation::Clustered,
+            exec: rdfscan,
+        },
+    ]
+}
+
+fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Sample {
+    let db = rig.db(sc.generation);
+    // Warm the pool and code paths; steady-state throughput is the metric.
+    let warm = db.query_traced(&sc.query, sc.generation, sc.exec).expect("warmup");
+    let result_rows = warm.results.len();
+
+    let mut iters = 0u64;
+    let mut rows_scanned = 0u64;
+    let mut pool_gets = 0u64;
+    let t0 = Instant::now();
+    loop {
+        let traced = db.query_traced(&sc.query, sc.generation, sc.exec).expect("query");
+        rows_scanned += traced.stats.rows_scanned;
+        pool_gets += traced.pool.hits + traced.pool.misses;
+        iters += 1;
+        if iters >= min_iters && t0.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    Sample {
+        name: sc.name,
+        qps: iters as f64 / secs,
+        rows_scanned_per_sec: rows_scanned as f64 / secs,
+        pool_gets_per_query: pool_gets / iters,
+        rows_scanned_per_query: rows_scanned / iters,
+        result_rows,
+        iters,
+    }
+}
+
+fn json_of(samples: &[Sample], sf: f64, n_triples: usize, baseline_json: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"vectorized\",");
+    let _ = writeln!(out, "  \"sf\": {sf},");
+    let _ = writeln!(out, "  \"n_triples\": {n_triples},");
+    out.push_str("  \"scenarios\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"qps\": {:.2}, \"rows_scanned_per_sec\": {:.0}, \
+             \"pool_gets_per_query\": {}, \"rows_scanned_per_query\": {}, \
+             \"result_rows\": {}, \"iters\": {} }}{}",
+            s.name,
+            s.qps,
+            s.rows_scanned_per_sec,
+            s.pool_gets_per_query,
+            s.rows_scanned_per_query,
+            s.result_rows,
+            s.iters,
+            if i + 1 < samples.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  }");
+    if let Some(base) = baseline_json {
+        out.push_str(",\n  \"speedup_vs_baseline\": {\n");
+        let speedups: Vec<(String, f64, f64)> = samples
+            .iter()
+            .filter_map(|s| {
+                extract_scenario_field(base, s.name, "qps")
+                    .map(|b| (s.name.to_string(), s.qps / b, b))
+            })
+            .collect();
+        for (i, (name, ratio, base_qps)) in speedups.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    \"{name}\": {{ \"speedup\": {ratio:.2}, \"baseline_qps\": {base_qps:.2} }}{}",
+                if i + 1 < speedups.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  },\n  \"baseline\": ");
+        out.push_str(base.trim_end());
+        out.push('\n');
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pull `"field": <number>` out of a scenario object in our own JSON format.
+fn extract_scenario_field(json: &str, scenario: &str, field: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{scenario}\""))?;
+    let obj = &json[start..start + json[start..].find('}')?];
+    let fstart = obj.find(&format!("\"{field}\""))?;
+    let after = obj[fstart..].split_once(':')?.1;
+    let num: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_val = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sf = flag_val("--sf")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.001 } else { 0.005 });
+    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_vectorized.json".to_string());
+    let baseline = flag_val("--baseline").and_then(|p| std::fs::read_to_string(p).ok());
+    let (min_secs, min_iters) = if smoke { (0.1, 2) } else { (1.5, 10) };
+
+    let rig = build_rig(sf);
+    let samples: Vec<Sample> =
+        scenarios().iter().map(|sc| run_scenario(&rig, sc, min_secs, min_iters)).collect();
+
+    for s in &samples {
+        println!(
+            "{:<20} {:>9.2} q/s  {:>12.0} rows/s  {:>8} pool gets/q  {:>8} rows scanned/q  {:>6} result rows",
+            s.name, s.qps, s.rows_scanned_per_sec, s.pool_gets_per_query,
+            s.rows_scanned_per_query, s.result_rows
+        );
+    }
+
+    let json = json_of(&samples, sf, rig.n_triples, baseline.as_deref());
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

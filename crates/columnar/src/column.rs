@@ -6,7 +6,7 @@
 //! at zero extra cost.
 
 use crate::disk::{DiskManager, PageId, VALS_PER_PAGE};
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, PageGuard};
 use crate::zonemap::{PageStats, ZoneMap};
 use std::ops::Range;
 use std::sync::Arc;
@@ -14,6 +14,11 @@ use std::sync::Arc;
 /// The NULL sentinel stored in columns for missing values
 /// (`sordf_model::Oid::NULL` has the same representation).
 pub const NULL_SENTINEL: u64 = u64::MAX;
+
+/// One page worth of NULL sentinels. Pages whose zone-map entry records zero
+/// non-null values store exactly this content, so chunks over them can be
+/// served from here without a buffer-pool request.
+static NULL_PAGE: [u64; VALS_PER_PAGE] = [NULL_SENTINEL; VALS_PER_PAGE];
 
 /// Append-only builder; call [`ColumnBuilder::finish`] to seal the column.
 pub struct ColumnBuilder<'a> {
@@ -94,11 +99,18 @@ pub struct Column {
     zonemap: Arc<ZoneMap>,
 }
 
+/// Backing storage of a [`Chunk`]: a pinned pool page, or the shared NULL
+/// buffer for pages the zone map proves are entirely NULL.
+enum ChunkData {
+    Pinned(PageGuard),
+    AllNull,
+}
+
 /// One page worth of column values, with its global position.
 pub struct Chunk {
     /// Global index of `values()[0]`.
     pub start: usize,
-    data: Arc<Vec<u64>>,
+    data: ChunkData,
     local: Range<usize>,
 }
 
@@ -106,7 +118,17 @@ impl Chunk {
     /// The values of this chunk.
     #[inline]
     pub fn values(&self) -> &[u64] {
-        &self.data[self.local.clone()]
+        match &self.data {
+            ChunkData::Pinned(g) => &g[self.local.clone()],
+            ChunkData::AllNull => &NULL_PAGE[self.local.clone()],
+        }
+    }
+
+    /// True when the whole page holds only NULL sentinels (served without a
+    /// pool request).
+    #[inline]
+    pub fn is_all_null(&self) -> bool {
+        matches!(self.data, ChunkData::AllNull)
     }
 }
 
@@ -159,6 +181,44 @@ impl Column {
         page[idx % VALS_PER_PAGE]
     }
 
+    /// Global row range covered by page `p`, clamped to the column length.
+    #[inline]
+    pub fn page_rows(&self, p: usize) -> Range<usize> {
+        let start = p * VALS_PER_PAGE;
+        start..(start + VALS_PER_PAGE).min(self.len)
+    }
+
+    /// Pin the part of page `p` covering local rows `local`, serving all-NULL
+    /// pages from the shared sentinel buffer without touching the pool.
+    fn pin_local(&self, pool: &BufferPool, p: usize, local: Range<usize>) -> Chunk {
+        let start = p * VALS_PER_PAGE + local.start;
+        let data = if self.zonemap.page(p).n_nonnull == 0 {
+            ChunkData::AllNull
+        } else {
+            ChunkData::Pinned(pool.pin(self.pages[p]))
+        };
+        Chunk { start, data, local }
+    }
+
+    /// Pin one whole page (clamped to the column length) as a [`Chunk`].
+    pub fn pin_page(&self, pool: &BufferPool, p: usize) -> Chunk {
+        let rows = self.page_rows(p);
+        self.pin_local(pool, p, rows.start - p * VALS_PER_PAGE..rows.end - p * VALS_PER_PAGE)
+    }
+
+    /// Pin the part of page `p` that falls inside `range` (global rows).
+    /// Lets operators drive a page loop themselves — e.g. to pin several
+    /// aligned columns' pages in lockstep — while zone-map checks happen
+    /// before this call. `range` must overlap page `p`.
+    pub fn pin_page_in(&self, pool: &BufferPool, p: usize, range: Range<usize>) -> Chunk {
+        let page_start = p * VALS_PER_PAGE;
+        let rows = self.page_rows(p);
+        let start = range.start.max(rows.start);
+        let end = range.end.min(rows.end);
+        debug_assert!(start <= end, "range {range:?} does not overlap page {p}");
+        self.pin_local(pool, p, start - page_start..end - page_start)
+    }
+
     /// Iterate page-aligned chunks covering `range`.
     pub fn chunks<'c>(
         &'c self,
@@ -169,20 +229,84 @@ impl Column {
         ChunkIter { col: self, pool, next: range.start, end: range.end }
     }
 
-    /// Fetch the values at `rows` (ascending row indices), reusing each page
-    /// fetch across consecutive rows. The workhorse of RDFscan.
+    /// Run `f` over page-aligned chunks covering `range` — each page is
+    /// pinned exactly once for the duration of its callback.
+    pub fn for_each_chunk(
+        &self,
+        pool: &BufferPool,
+        range: Range<usize>,
+        mut f: impl FnMut(&Chunk),
+    ) {
+        for chunk in self.chunks(pool, range) {
+            f(&chunk);
+        }
+    }
+
+    /// Run `f` over the page-aligned chunks of two columns that share page
+    /// geometry (equal lengths, built page-parallel — e.g. the (s, o)
+    /// columns of a side table or two keys of a permutation index), pinning
+    /// one page of each per step.
+    pub fn for_each_chunk_pair(
+        a: &Column,
+        b: &Column,
+        pool: &BufferPool,
+        range: Range<usize>,
+        mut f: impl FnMut(&Chunk, &Chunk),
+    ) {
+        debug_assert_eq!(a.len, b.len, "paired columns must share page geometry");
+        let mut bc = b.chunks(pool, range.clone());
+        for ac in a.chunks(pool, range) {
+            let bc = bc.next().expect("paired columns share page geometry");
+            f(&ac, &bc);
+        }
+    }
+
+    /// Like [`Column::for_each_chunk`], but consult `keep(page, stats)`
+    /// *before* each page is pinned; pages rejected there are skipped without
+    /// ever being requested from the pool (zone-map pruning at chunk
+    /// granularity).
+    pub fn for_each_chunk_pruned(
+        &self,
+        pool: &BufferPool,
+        range: Range<usize>,
+        mut keep: impl FnMut(usize, &PageStats) -> bool,
+        mut f: impl FnMut(&Chunk),
+    ) {
+        let range = range.start.min(self.len)..range.end.min(self.len);
+        if range.start >= range.end {
+            return;
+        }
+        let first_page = range.start / VALS_PER_PAGE;
+        let last_page = (range.end - 1) / VALS_PER_PAGE;
+        for p in first_page..=last_page {
+            if !keep(p, self.zonemap.page(p)) {
+                continue;
+            }
+            let page_start = p * VALS_PER_PAGE;
+            let local =
+                range.start.max(page_start) - page_start..range.end.min(page_start + VALS_PER_PAGE) - page_start;
+            f(&self.pin_local(pool, p, local));
+        }
+    }
+
+    /// Fetch the values at `rows` (ascending row indices), pinning each page
+    /// once across consecutive rows. All-NULL pages are answered from the
+    /// zone map without a pool request. The workhorse of RDFjoin.
     pub fn gather(&self, pool: &BufferPool, rows: &[usize]) -> Vec<u64> {
         let mut out = Vec::with_capacity(rows.len());
         let mut cur_page = usize::MAX;
-        let mut page: Option<Arc<Vec<u64>>> = None;
+        let mut page: Option<PageGuard> = None;
         for &r in rows {
             debug_assert!(r < self.len);
             let p = r / VALS_PER_PAGE;
             if p != cur_page {
-                page = Some(pool.get(self.pages[p]));
                 cur_page = p;
+                page = (self.zonemap.page(p).n_nonnull > 0).then(|| pool.pin(self.pages[p]));
             }
-            out.push(page.as_ref().unwrap()[r % VALS_PER_PAGE]);
+            out.push(match &page {
+                Some(g) => g[r % VALS_PER_PAGE],
+                None => NULL_SENTINEL,
+            });
         }
         out
     }
@@ -211,22 +335,51 @@ impl Column {
     /// *within that range*: first index where `pred(value)` is false.
     /// Used by permutation indexes where the secondary column is sorted only
     /// inside runs of equal primary values.
+    ///
+    /// Page-hoisted: a first binary search over *pages* probes one value per
+    /// narrowing step (the last in-range value of the middle page), then the
+    /// boundary page is pinned once and searched as a slice — `O(log pages)`
+    /// pool requests instead of `O(log rows)`.
     pub fn partition_point_in(
         &self,
         pool: &BufferPool,
         range: Range<usize>,
         pred: impl Fn(u64) -> bool,
     ) -> usize {
-        let (mut lo, mut hi) = (range.start, range.end.min(self.len));
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            if pred(self.value(pool, mid)) {
-                lo = mid + 1;
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len);
+        if start >= end {
+            return start;
+        }
+        // Find the page holding the partition point: the first in-range page
+        // whose last in-range value fails the predicate (if every page
+        // passes, the answer is `end`).
+        let first_page = start / VALS_PER_PAGE;
+        let last_page = (end - 1) / VALS_PER_PAGE;
+        if first_page == last_page {
+            let page_start = first_page * VALS_PER_PAGE;
+            let chunk = self.pin_local(pool, first_page, start - page_start..end - page_start);
+            return chunk.start + chunk.values().partition_point(|&x| pred(x));
+        }
+        let (mut lo_p, mut hi_p) = (first_page, last_page + 1);
+        while lo_p < hi_p {
+            let mid = lo_p + (hi_p - lo_p) / 2;
+            let page_last = ((mid + 1) * VALS_PER_PAGE).min(end) - 1;
+            if pred(self.value(pool, page_last)) {
+                lo_p = mid + 1;
             } else {
-                hi = mid;
+                hi_p = mid;
             }
         }
-        lo
+        if lo_p > last_page {
+            return end;
+        }
+        // Pin the boundary page once and finish with a slice search over its
+        // in-range part.
+        let page_start = lo_p * VALS_PER_PAGE;
+        let local = start.max(page_start) - page_start..end.min(page_start + VALS_PER_PAGE) - page_start;
+        let chunk = self.pin_local(pool, lo_p, local);
+        chunk.start + chunk.values().partition_point(|&x| pred(x))
     }
 
     /// First index in `range` with `value >= v` (range-sorted column).
@@ -264,11 +417,8 @@ impl Column {
         if lo_page == self.pages.len() {
             return self.len;
         }
-        let page = pool.get(self.pages[lo_page]);
-        let page_start = lo_page * VALS_PER_PAGE;
-        let page_len = (self.len - page_start).min(VALS_PER_PAGE);
-        let within = page[..page_len].partition_point(|&x| pred(x));
-        page_start + within
+        let chunk = self.pin_page(pool, lo_page);
+        chunk.start + chunk.values().partition_point(|&x| pred(x))
     }
 }
 
@@ -290,8 +440,7 @@ impl Iterator for ChunkIter<'_> {
         let page_start = page_idx * VALS_PER_PAGE;
         let local_start = self.next - page_start;
         let local_end = (self.end - page_start).min(VALS_PER_PAGE);
-        let data = self.pool.get(self.col.pages[page_idx]);
-        let chunk = Chunk { start: self.next, data, local: local_start..local_end };
+        let chunk = self.col.pin_local(self.pool, page_idx, local_start..local_end);
         self.next = page_start + local_end;
         Some(chunk)
     }
@@ -402,6 +551,139 @@ mod tests {
         assert!(col.is_empty());
         assert_eq!(col.lower_bound(&pool, 5), 0);
         assert_eq!(col.chunks(&pool, 0..0).count(), 0);
+    }
+
+    #[test]
+    fn chunk_range_edges() {
+        // 3 full pages + a 17-value tail.
+        let vals: Vec<u64> = (0..3 * VALS_PER_PAGE as u64 + 17).collect();
+        let (_dm, pool, col) = setup(&vals);
+        let cases: Vec<Range<usize>> = vec![
+            0..0,                                     // empty at start
+            VALS_PER_PAGE..VALS_PER_PAGE,             // empty on a boundary
+            col.len()..col.len(),                     // empty at end
+            5..9,                                     // inside one page
+            0..VALS_PER_PAGE,                         // exactly one page
+            VALS_PER_PAGE..2 * VALS_PER_PAGE,         // page-aligned interior
+            VALS_PER_PAGE - 1..VALS_PER_PAGE + 1,     // straddles a boundary
+            7..2 * VALS_PER_PAGE + 3,                 // mid-page to mid-page
+            3 * VALS_PER_PAGE..col.len(),             // the partial tail page
+            0..col.len(),                             // everything
+            col.len() - 1..col.len() + 100,           // end clamped past len
+        ];
+        for r in cases {
+            let want: Vec<u64> = vals[r.start.min(vals.len())..r.end.min(vals.len())].to_vec();
+            let mut got = Vec::new();
+            let mut expect_start = r.start.min(vals.len());
+            col.for_each_chunk(&pool, r.clone(), |c| {
+                assert_eq!(c.start, expect_start, "chunk start for {r:?}");
+                expect_start += c.values().len();
+                got.extend_from_slice(c.values());
+            });
+            assert_eq!(got, want, "range {r:?}");
+        }
+    }
+
+    #[test]
+    fn all_null_pages_skip_the_pool() {
+        // Page 0: all NULL. Page 1: data. Page 2 (partial): all NULL.
+        let mut vals = vec![NULL_SENTINEL; VALS_PER_PAGE];
+        vals.extend((0..VALS_PER_PAGE as u64).map(|i| i * 2));
+        vals.extend(vec![NULL_SENTINEL; 100]);
+        let (_dm, pool, col) = setup(&vals);
+        let before = pool.stats();
+        let got = col.to_vec(&pool, 0..vals.len());
+        assert_eq!(got, vals);
+        let d = pool.stats().since(&before);
+        assert_eq!(d.hits + d.misses, 1, "only the non-NULL page is requested");
+
+        // Chunks report the fast path.
+        let flags: Vec<bool> =
+            col.chunks(&pool, 0..vals.len()).map(|c| c.is_all_null()).collect();
+        assert_eq!(flags, vec![true, false, true]);
+
+        // gather over the NULL pages also stays out of the pool.
+        let before = pool.stats();
+        let rows: Vec<usize> = vec![0, 1, 2 * VALS_PER_PAGE + 5, 2 * VALS_PER_PAGE + 99];
+        assert_eq!(col.gather(&pool, &rows), vec![NULL_SENTINEL; 4]);
+        let d = pool.stats().since(&before);
+        assert_eq!(d.hits + d.misses, 0);
+    }
+
+    #[test]
+    fn chunked_scan_requests_one_page_per_page() {
+        let vals: Vec<u64> = (0..4 * VALS_PER_PAGE as u64).collect();
+        let (_dm, pool, col) = setup(&vals);
+        let before = pool.stats();
+        let mut n = 0u64;
+        col.for_each_chunk(&pool, 0..col.len(), |c| n += c.values().len() as u64);
+        assert_eq!(n, vals.len() as u64);
+        let d = pool.stats().since(&before);
+        assert_eq!(d.hits + d.misses, 4, "one pool request per page, not per value");
+    }
+
+    #[test]
+    fn pruned_chunks_never_pin_rejected_pages() {
+        let vals: Vec<u64> = (0..4 * VALS_PER_PAGE as u64).collect();
+        let (_dm, pool, col) = setup(&vals);
+        // Keep only pages overlapping [2.5 pages, 3.2 pages).
+        let lo = (2 * VALS_PER_PAGE + VALS_PER_PAGE / 2) as u64;
+        let hi = (3 * VALS_PER_PAGE + VALS_PER_PAGE / 5) as u64;
+        let before = pool.stats();
+        let mut got = Vec::new();
+        let mut skipped = 0;
+        col.for_each_chunk_pruned(
+            &pool,
+            0..col.len(),
+            |_, st| {
+                let keep = st.overlaps(lo, hi);
+                if !keep {
+                    skipped += 1;
+                }
+                keep
+            },
+            |c| got.extend(c.values().iter().copied().filter(|&v| v >= lo && v <= hi)),
+        );
+        assert_eq!(skipped, 2);
+        let want: Vec<u64> = (lo..=hi).collect();
+        assert_eq!(got, want);
+        let d = pool.stats().since(&before);
+        assert_eq!(d.hits + d.misses, 2, "pruned pages are never requested");
+    }
+
+    #[test]
+    fn partition_point_pins_pages_not_values() {
+        let vals: Vec<u64> = (0..16 * VALS_PER_PAGE as u64).map(|i| i * 2).collect();
+        let (_dm, pool, col) = setup(&vals);
+        for probe in [0u64, 77, VALS_PER_PAGE as u64 * 13 + 5, vals.len() as u64 * 2] {
+            let before = pool.stats();
+            let got = col.lower_bound_in(&pool, 0..col.len(), probe);
+            let want = vals.partition_point(|&x| x < probe);
+            assert_eq!(got, want, "probe {probe}");
+            let d = pool.stats().since(&before);
+            // ceil(log2(16 pages + 1)) probes + the final pinned page —
+            // versus log2(131072 rows) = 17 per-value probes before hoisting.
+            assert!(d.hits + d.misses <= 6, "{} pool requests for probe {probe}", d.hits + d.misses);
+        }
+        // Single-page ranges resolve with exactly one pool request.
+        let before = pool.stats();
+        let r = 10..200;
+        assert_eq!(col.upper_bound_in(&pool, r.clone(), 100), vals[r].partition_point(|&x| x <= 100) + 10);
+        let d = pool.stats().since(&before);
+        assert_eq!(d.hits + d.misses, 1);
+    }
+
+    #[test]
+    fn partition_point_in_empty_and_clamped_ranges() {
+        let vals: Vec<u64> = (0..2 * VALS_PER_PAGE as u64).collect();
+        let (_dm, pool, col) = setup(&vals);
+        assert_eq!(col.lower_bound_in(&pool, 5..5, 0), 5);
+        // Inverted ranges are degenerate; the partition point is `start`,
+        // matching the plain binary-search behavior.
+        let inverted = Range { start: 100, end: 50 };
+        assert_eq!(col.lower_bound_in(&pool, inverted, 0), 100);
+        // Range end past len is clamped.
+        assert_eq!(col.lower_bound_in(&pool, 0..col.len() + 999, u64::MAX), col.len());
     }
 
     #[test]

@@ -27,5 +27,6 @@ pub mod zonemap;
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder};
 pub use disk::{DiskManager, PageId, PAGE_BYTES, VALS_PER_PAGE};
-pub use pool::{BufferPool, PoolStats};
+pub use column::Chunk;
+pub use pool::{BufferPool, PageGuard, PoolStats};
 pub use zonemap::{PageStats, ZoneMap};

@@ -37,6 +37,22 @@ impl PoolStats {
     }
 }
 
+/// A pinned page: wraps the page buffer and derefs to its full value slice.
+/// Holding a guard does not block eviction — the data simply stays alive
+/// until the last guard drops.
+pub struct PageGuard {
+    data: Arc<Vec<u64>>,
+}
+
+impl std::ops::Deref for PageGuard {
+    type Target = [u64];
+
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        &self.data
+    }
+}
+
 struct Frame {
     data: Arc<Vec<u64>>,
     last_used: u64,
@@ -88,6 +104,14 @@ impl BufferPool {
     /// Configure synthetic per-miss latency (models a disk for cold runs).
     pub fn set_read_latency_ns(&self, ns: u64) {
         self.read_latency_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Pin a page for slice access. One pin per page is the contract of
+    /// vectorized operators: the guard keeps the data alive (even across
+    /// eviction), so a scan pays the pool's lock + lookup once per 8192
+    /// values instead of once per value.
+    pub fn pin(&self, id: PageId) -> PageGuard {
+        PageGuard { data: self.get(id) }
     }
 
     /// Fetch a page, from cache or disk. The returned `Arc` stays valid even

@@ -64,25 +64,52 @@ pub fn cmp_outval(a: &OutVal, b: &OutVal, dict: &Dictionary) -> std::cmp::Orderi
     }
 }
 
-/// The final, typed query result.
+/// The final, typed query result. Stored row-major in one flat buffer —
+/// materializing a result costs one allocation, not one per row.
 #[derive(Debug, Clone, Default)]
 pub struct ResultSet {
     pub columns: Vec<String>,
-    pub rows: Vec<Vec<OutVal>>,
+    /// Row-major values; length is `n_rows * columns.len()`.
+    vals: Vec<OutVal>,
+    n_rows: usize,
 }
 
 impl ResultSet {
+    /// An empty result with the given header.
+    pub fn new(columns: Vec<String>) -> ResultSet {
+        ResultSet { columns, vals: Vec::new(), n_rows: 0 }
+    }
+
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.n_rows
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.n_rows == 0
+    }
+
+    /// One row as a value slice.
+    pub fn row(&self, i: usize) -> &[OutVal] {
+        let nc = self.columns.len();
+        &self.vals[i * nc..(i + 1) * nc]
+    }
+
+    /// Iterate rows as value slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[OutVal]> {
+        (0..self.n_rows).map(move |i| self.row(i))
+    }
+
+    /// Append one row (must match the column count).
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = OutVal>) {
+        let before = self.vals.len();
+        self.vals.extend(row);
+        debug_assert_eq!(self.vals.len() - before, self.columns.len());
+        self.n_rows += 1;
     }
 
     /// Render all rows as strings (header excluded).
     pub fn render(&self, dict: &Dictionary) -> Vec<Vec<String>> {
-        self.rows.iter().map(|r| r.iter().map(|v| v.render(dict)).collect()).collect()
+        self.rows().map(|r| r.iter().map(|v| v.render(dict)).collect()).collect()
     }
 
     /// A canonical sorted text form for differential testing: two result
@@ -207,14 +234,56 @@ pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
     };
     let columns: Vec<String> = select.iter().map(|s| s.name(&query.vars).to_string()).collect();
 
+    // Dense VarId -> column map, resolved once — the per-row lookups below
+    // must not re-scan the table's variable list per access.
+    let n_var_ids = table.vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+    let mut var_col: Vec<Option<usize>> = vec![None; n_var_ids];
+    for (c, v) in table.vars.iter().enumerate() {
+        var_col[v.0 as usize] = Some(c);
+    }
     let lookup_at = |i: usize| {
+        let var_col = &var_col;
         move |v: VarId| -> Oid {
-            table.col_of(v).map(|c| table.cols[c][i]).unwrap_or(Oid::NULL)
+            var_col
+                .get(v.0 as usize)
+                .copied()
+                .flatten()
+                .map(|c| table.cols[c][i])
+                .unwrap_or(Oid::NULL)
         }
     };
 
-    let mut rows: Vec<Vec<OutVal>> = Vec::new();
-    if query.has_aggregates() {
+    let mut rs = ResultSet::new(columns);
+    if query.has_aggregates() && query.group_by.is_empty() && !table.is_empty() {
+        // Single-group fast path (Q6-style whole-table aggregates): one
+        // accumulator vector, one tight pass over the columns, no hashing.
+        let mut states: Vec<AggState> = select
+            .iter()
+            .map(|s| match s {
+                SelectItem::Agg { func, .. } => AggState::new(*func),
+                _ => AggState::new(AggFunc::Count), // placeholder
+            })
+            .collect();
+        for i in 0..table.len() {
+            let lk = lookup_at(i);
+            for (s, state) in select.iter().zip(states.iter_mut()) {
+                if let SelectItem::Agg { expr, .. } = s {
+                    state.add(expr.eval(&lk, cx.dict), cx.dict);
+                }
+            }
+        }
+        let lk = |_: VarId| Oid::NULL;
+        rs.push_row(select.iter().zip(states).map(|(s, state)| match s {
+            SelectItem::Agg { .. } => state.finish(),
+            SelectItem::Var(_) => OutVal::Null,
+            SelectItem::Expr { expr, .. } => match expr.eval(&lk, cx.dict) {
+                EvalValue::Oid(o) if o.is_null() => OutVal::Null,
+                EvalValue::Oid(o) => OutVal::Oid(o),
+                EvalValue::Num(n) => OutVal::Num(n),
+                EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
+            },
+        }));
+    } else if query.has_aggregates() {
         // Hash grouping on the GROUP BY key.
         let mut groups: FxHashMap<Vec<Oid>, Vec<AggState>> = FxHashMap::default();
         let mut order: Vec<Vec<Oid>> = Vec::new();
@@ -242,73 +311,89 @@ pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
             let kv: FxHashMap<VarId, Oid> =
                 query.group_by.iter().copied().zip(key.iter().copied()).collect();
             let lk = |v: VarId| kv.get(&v).copied().unwrap_or(Oid::NULL);
-            let row: Vec<OutVal> = select
-                .iter()
-                .zip(states)
-                .map(|(s, state)| match s {
-                    SelectItem::Agg { .. } => state.finish(),
-                    SelectItem::Var(v) => {
-                        let o = lk(*v);
-                        if o.is_null() {
-                            OutVal::Null
-                        } else {
-                            OutVal::Oid(o)
-                        }
+            rs.push_row(select.iter().zip(states).map(|(s, state)| match s {
+                SelectItem::Agg { .. } => state.finish(),
+                SelectItem::Var(v) => {
+                    let o = lk(*v);
+                    if o.is_null() {
+                        OutVal::Null
+                    } else {
+                        OutVal::Oid(o)
                     }
-                    SelectItem::Expr { expr, .. } => match expr.eval(&lk, cx.dict) {
-                        EvalValue::Oid(o) if o.is_null() => OutVal::Null,
-                        EvalValue::Oid(o) => OutVal::Oid(o),
-                        EvalValue::Num(n) => OutVal::Num(n),
-                        EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
-                    },
-                })
-                .collect();
-            rows.push(row);
+                }
+                SelectItem::Expr { expr, .. } => match expr.eval(&lk, cx.dict) {
+                    EvalValue::Oid(o) if o.is_null() => OutVal::Null,
+                    EvalValue::Oid(o) => OutVal::Oid(o),
+                    EvalValue::Num(n) => OutVal::Num(n),
+                    EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
+                },
+            }));
         }
     } else {
+        // Projection: resolve each select item to a column (or expression)
+        // once, then sweep the columns directly — no per-row variable lookup.
+        enum Item<'a> {
+            Col(usize),
+            Missing,
+            Expr(&'a crate::expr::Expr),
+        }
+        let items: Vec<Item> = select
+            .iter()
+            .map(|s| match s {
+                SelectItem::Var(v) => match var_col.get(v.0 as usize).copied().flatten() {
+                    Some(c) => Item::Col(c),
+                    None => Item::Missing,
+                },
+                SelectItem::Expr { expr, .. } | SelectItem::Agg { expr, .. } => Item::Expr(expr),
+            })
+            .collect();
+        rs.vals.reserve(table.len() * items.len());
         for i in 0..table.len() {
-            let lk = lookup_at(i);
-            let row: Vec<OutVal> = select
-                .iter()
-                .map(|s| match s {
-                    SelectItem::Var(v) => {
-                        let o = lk(*v);
-                        if o.is_null() {
-                            OutVal::Null
-                        } else {
-                            OutVal::Oid(o)
-                        }
+            rs.push_row(items.iter().map(|item| match item {
+                Item::Col(c) => {
+                    let o = table.cols[*c][i];
+                    if o.is_null() {
+                        OutVal::Null
+                    } else {
+                        OutVal::Oid(o)
                     }
-                    SelectItem::Expr { expr, .. } | SelectItem::Agg { expr, .. } => {
-                        match expr.eval(&lk, cx.dict) {
-                            EvalValue::Oid(o) if o.is_null() => OutVal::Null,
-                            EvalValue::Oid(o) => OutVal::Oid(o),
-                            EvalValue::Num(n) => OutVal::Num(n),
-                            EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
-                        }
-                    }
-                })
-                .collect();
-            rows.push(row);
+                }
+                Item::Missing => OutVal::Null,
+                Item::Expr(expr) => match expr.eval(&lookup_at(i), cx.dict) {
+                    EvalValue::Oid(o) if o.is_null() => OutVal::Null,
+                    EvalValue::Oid(o) => OutVal::Oid(o),
+                    EvalValue::Num(n) => OutVal::Num(n),
+                    EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
+                },
+            }));
         }
     }
 
+    let nc = rs.columns.len();
     if query.distinct {
-        let mut seen: Vec<Vec<OutVal>> = Vec::new();
-        rows.retain(|r| {
-            if seen.iter().any(|s| s == r) {
-                false
-            } else {
-                seen.push(r.clone());
-                true
+        let mut kept: Vec<OutVal> = Vec::new();
+        let mut n_kept = 0usize;
+        for i in 0..rs.n_rows {
+            let row = rs.row(i);
+            let dup = (0..n_kept).any(|k| &kept[k * nc..(k + 1) * nc] == row);
+            if !dup {
+                kept.extend_from_slice(row);
+                n_kept += 1;
             }
-        });
+        }
+        rs.vals = kept;
+        rs.n_rows = n_kept;
     }
 
-    if !query.order_by.is_empty() {
-        rows.sort_by(|a, b| {
+    if !rs.is_empty() && !query.order_by.is_empty() {
+        let mut idx: Vec<usize> = (0..rs.n_rows).collect();
+        idx.sort_by(|&a, &b| {
             for key in &query.order_by {
-                let ord = cmp_outval(&a[key.output], &b[key.output], cx.dict);
+                let ord = cmp_outval(
+                    &rs.vals[a * nc + key.output],
+                    &rs.vals[b * nc + key.output],
+                    cx.dict,
+                );
                 let ord = if key.ascending { ord } else { ord.reverse() };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
@@ -316,11 +401,19 @@ pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
             }
             std::cmp::Ordering::Equal
         });
+        let mut sorted = Vec::with_capacity(rs.vals.len());
+        for &i in &idx {
+            sorted.extend_from_slice(rs.row(i));
+        }
+        rs.vals = sorted;
     }
 
     if let Some(limit) = query.limit {
-        rows.truncate(limit);
+        if rs.n_rows > limit {
+            rs.n_rows = limit;
+            rs.vals.truncate(limit * nc);
+        }
     }
 
-    ResultSet { columns, rows }
+    rs
 }

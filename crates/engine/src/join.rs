@@ -31,12 +31,28 @@ pub fn merge_join_pairs(
                 let i_end = (i..key.len()).find(|&x| key[x] != k).unwrap_or(key.len());
                 let j_end =
                     (j..pairs.len()).find(|&x| pairs[x].0 != k).unwrap_or(pairs.len());
-                for li in i..i_end {
-                    for &(_, pv) in &pairs[j..j_end] {
+                // Emit the run's cross product column-at-a-time: each left
+                // value is repeated run-length times in one resize, the pair
+                // objects appended as one batched extend per left row. Runs
+                // of one pair (unique keys, the common case) keep the cheap
+                // per-value push.
+                let run = &pairs[j..j_end];
+                let last = out.cols.len() - 1;
+                if run.len() == 1 {
+                    let pv = run[0].1;
+                    for li in i..i_end {
                         for (c, lc) in out.cols.iter_mut().zip(&left.cols) {
                             c.push(lc[li]);
                         }
-                        out.cols.last_mut().unwrap().push(pv);
+                        out.cols[last].push(pv);
+                    }
+                } else {
+                    for li in i..i_end {
+                        for (c, lc) in out.cols.iter_mut().zip(&left.cols) {
+                            let v = lc[li];
+                            c.resize(c.len() + run.len(), v);
+                        }
+                        out.cols[last].extend(run.iter().map(|&(_, pv)| pv));
                     }
                 }
                 i = i_end;

@@ -24,6 +24,7 @@ pub mod expr;
 pub mod join;
 pub mod planner;
 pub mod query;
+pub mod rowwise;
 pub mod scan;
 pub mod star;
 pub mod table;

@@ -1,0 +1,659 @@
+//! Value-at-a-time reference implementations of the hot scan paths.
+//!
+//! This module preserves the pre-vectorization execution strategy — every
+//! stored value is fetched through [`Column::value`] (one buffer-pool
+//! request per value) and binary searches probe the pool per comparison. It
+//! exists for two reasons:
+//!
+//! * **Differential testing** — the vectorized operators in [`crate::scan`]
+//!   and [`crate::star`] must return byte-identical tables to these
+//!   originals on arbitrary data (see the engine's proptest suite).
+//! * **Benchmarking** — `bench_vectorized` measures this path against the
+//!   pinned-slice path to quantify the page-at-a-time win and to show the
+//!   per-value `pool.get` traffic disappearing from the counters.
+//!
+//! Nothing in the planner calls into this module; it is reference code, kept
+//! deliberately row-at-a-time. Do not "optimize" it.
+
+use crate::context::{ExecContext, ExecStats, StorageRef};
+use crate::expr::Expr;
+use crate::scan::{ORestrict, SRange, Source};
+use crate::star::{
+    effective_subject_range, emit_combinations, extend_from_sorted, intersect_ranges,
+    prop_restrict, residual_filters, subject_filter_range, Covered, Star,
+};
+use crate::table::Table;
+use sordf_columnar::{BufferPool, Column, VALS_PER_PAGE};
+use sordf_model::Oid;
+use sordf_storage::clustered::SubjectIds;
+use sordf_storage::{BaselineStore, ClassSegment, Order, PermIndex};
+use std::ops::Range;
+
+/// Row-at-a-time partition point: one pool request per probed value.
+fn pp_rowwise(
+    col: &Column,
+    pool: &BufferPool,
+    range: Range<usize>,
+    pred: impl Fn(u64) -> bool,
+) -> usize {
+    let (mut lo, mut hi) = (range.start, range.end.min(col.len()));
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(col.value(pool, mid)) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn lower_bound_rw(col: &Column, pool: &BufferPool, range: Range<usize>, v: u64) -> usize {
+    pp_rowwise(col, pool, range, |x| x < v)
+}
+
+fn upper_bound_rw(col: &Column, pool: &BufferPool, range: Range<usize>, v: u64) -> usize {
+    pp_rowwise(col, pool, range, |x| x <= v)
+}
+
+/// Rows of a permutation index with key0 == `a`.
+fn range1_rw(idx: &PermIndex, pool: &BufferPool, a: Oid) -> Range<usize> {
+    let full = 0..idx.len();
+    lower_bound_rw(idx.col(0), pool, full.clone(), a.raw())
+        ..upper_bound_rw(idx.col(0), pool, full, a.raw())
+}
+
+fn range2_rw(idx: &PermIndex, pool: &BufferPool, a: Oid, b: Oid) -> Range<usize> {
+    let r = range1_rw(idx, pool, a);
+    lower_bound_rw(idx.col(1), pool, r.clone(), b.raw())
+        ..upper_bound_rw(idx.col(1), pool, r, b.raw())
+}
+
+fn range2_between_rw(
+    idx: &PermIndex,
+    pool: &BufferPool,
+    a: Oid,
+    lo: Oid,
+    hi: Oid,
+) -> Range<usize> {
+    let r = range1_rw(idx, pool, a);
+    let start = lower_bound_rw(idx.col(1), pool, r.clone(), lo.raw());
+    let end = upper_bound_rw(idx.col(1), pool, r, hi.raw());
+    start..end.max(start)
+}
+
+/// Materialize `(key1, key2)` pairs one value at a time.
+fn pairs_rw(idx: &PermIndex, pool: &BufferPool, range: Range<usize>) -> Vec<(Oid, Oid)> {
+    range
+        .map(|i| {
+            (
+                Oid::from_raw(idx.col(1).value(pool, i)),
+                Oid::from_raw(idx.col(2).value(pool, i)),
+            )
+        })
+        .collect()
+}
+
+fn subject_at_rw(seg: &ClassSegment, pool: &BufferPool, row: usize) -> Oid {
+    match &seg.subjects {
+        SubjectIds::Dense { base } => Oid::iri(base + row as u64),
+        SubjectIds::Sparse { subjects } => Oid::from_raw(subjects.value(pool, row)),
+    }
+}
+
+fn row_of_rw(seg: &ClassSegment, pool: &BufferPool, s: Oid) -> Option<usize> {
+    if !s.is_iri() {
+        return None;
+    }
+    match &seg.subjects {
+        SubjectIds::Dense { base } => {
+            let p = s.payload();
+            (p >= *base && p < base + seg.n as u64).then(|| (p - *base) as usize)
+        }
+        SubjectIds::Sparse { subjects } => {
+            let i = lower_bound_rw(subjects, pool, 0..subjects.len(), s.raw());
+            (i < seg.n && subjects.value(pool, i) == s.raw()).then_some(i)
+        }
+    }
+}
+
+/// Value-at-a-time [`crate::scan::scan_property`].
+pub fn scan_property_rowwise(
+    cx: &ExecContext,
+    p: Oid,
+    restrict: &ORestrict,
+    s_range: SRange,
+    source: Source,
+) -> Vec<(Oid, Oid)> {
+    ExecStats::bump(&cx.stats.property_scans, 1);
+    let mut out = match (&cx.storage, source) {
+        (StorageRef::Baseline(store), _) => scan_baseline_rw(cx, store, p, restrict, s_range),
+        (StorageRef::Clustered { store, .. }, Source::IrregularOnly) => {
+            scan_baseline_rw(cx, &store.irregular, p, restrict, s_range)
+        }
+        (StorageRef::Clustered { store, schema }, Source::Full) => {
+            let mut pairs = Vec::new();
+            for (class, coli) in schema.classes_with_column(p) {
+                scan_segment_column_rw(cx, store.segment(class), coli, restrict, s_range, &mut pairs);
+            }
+            for (class, mi) in schema.classes_with_multi(p) {
+                scan_multi_table_rw(cx, store.segment(class), mi, restrict, s_range, &mut pairs);
+            }
+            pairs.extend(scan_baseline_rw(cx, &store.irregular, p, restrict, s_range));
+            pairs
+        }
+    };
+    out.sort_unstable();
+    ExecStats::bump(&cx.stats.rows_scanned, out.len() as u64);
+    out
+}
+
+fn scan_baseline_rw(
+    cx: &ExecContext,
+    store: &BaselineStore,
+    p: Oid,
+    restrict: &ORestrict,
+    s_range: SRange,
+) -> Vec<(Oid, Oid)> {
+    let pool = cx.pool;
+    if let Some(eq) = restrict.eq {
+        let idx = store.perm(Order::Pos);
+        let mut r = range2_rw(idx, pool, p, eq);
+        if let Some((lo, hi)) = s_range {
+            let start = lower_bound_rw(idx.col(2), pool, r.clone(), lo);
+            let end = upper_bound_rw(idx.col(2), pool, r.clone(), hi);
+            r = start..end.max(start);
+        }
+        return r
+            .map(|i| (Oid::from_raw(idx.col(2).value(pool, i)), eq))
+            .collect();
+    }
+    if let Some((lo, hi)) = restrict.range {
+        let idx = store.perm(Order::Pos);
+        let r = range2_between_rw(idx, pool, p, Oid::from_raw(lo), Oid::from_raw(hi));
+        return r
+            .map(|i| {
+                (
+                    Oid::from_raw(idx.col(2).value(pool, i)),
+                    Oid::from_raw(idx.col(1).value(pool, i)),
+                )
+            })
+            .filter(|&(s, _)| s_range.map_or(true, |(lo, hi)| s.raw() >= lo && s.raw() <= hi))
+            .collect();
+    }
+    let idx = store.perm(Order::Pso);
+    let mut r = range1_rw(idx, pool, p);
+    if let Some((lo, hi)) = s_range {
+        let start = lower_bound_rw(idx.col(1), pool, r.clone(), lo);
+        let end = upper_bound_rw(idx.col(1), pool, r.clone(), hi);
+        r = start..end.max(start);
+    }
+    pairs_rw(idx, pool, r)
+}
+
+fn scan_segment_column_rw(
+    cx: &ExecContext,
+    seg: &ClassSegment,
+    coli: usize,
+    restrict: &ORestrict,
+    s_range: SRange,
+    out: &mut Vec<(Oid, Oid)>,
+) {
+    let pool = cx.pool;
+    let col = &seg.columns[coli];
+    let mut rows = 0..seg.n;
+    if let Some((lo, hi)) = s_range {
+        match &seg.subjects {
+            SubjectIds::Dense { base } => {
+                let lo_oid = Oid::from_raw(lo);
+                let hi_oid = Oid::from_raw(hi);
+                if hi_oid < Oid::iri(0) || lo_oid > Oid::iri(sordf_model::oid::PAYLOAD_MASK) {
+                    return;
+                }
+                let lo_p = if lo_oid < Oid::iri(0) { 0 } else { lo_oid.payload() }.max(*base);
+                let hi_p = if hi_oid > Oid::iri(sordf_model::oid::PAYLOAD_MASK) {
+                    sordf_model::oid::PAYLOAD_MASK
+                } else {
+                    hi_oid.payload()
+                }
+                .min(base + seg.n as u64 - 1);
+                if lo_p > hi_p {
+                    return;
+                }
+                rows = (lo_p - base) as usize..(hi_p - base + 1) as usize;
+            }
+            SubjectIds::Sparse { subjects } => {
+                let start = lower_bound_rw(subjects, pool, 0..subjects.len(), lo);
+                let end = upper_bound_rw(subjects, pool, 0..subjects.len(), hi);
+                if start >= end {
+                    return;
+                }
+                rows = start..end;
+            }
+        }
+    }
+    let (olo, ohi) = restrict.bounds();
+    if !restrict.is_none() && seg.sorted_by == Some(coli) {
+        let r = lower_bound_rw(col, pool, 0..col.len(), olo)..upper_bound_rw(col, pool, 0..col.len(), ohi);
+        rows = rows.start.max(r.start)..rows.end.min(r.end);
+    }
+    if rows.start >= rows.end {
+        return;
+    }
+    let use_zonemaps = cx.config.zonemaps && !restrict.is_none();
+    let mut row = rows.start;
+    while row < rows.end {
+        let page = row / VALS_PER_PAGE;
+        if use_zonemaps && !col.zonemap().page(page).overlaps(olo, ohi) {
+            ExecStats::bump(&cx.stats.zonemap_pages_skipped, 1);
+            row = ((page + 1) * VALS_PER_PAGE).min(rows.end);
+            continue;
+        }
+        let v = col.value(pool, row);
+        if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+            out.push((subject_at_rw(seg, pool, row), Oid::from_raw(v)));
+        }
+        row += 1;
+    }
+}
+
+fn scan_multi_table_rw(
+    cx: &ExecContext,
+    seg: &ClassSegment,
+    mi: usize,
+    restrict: &ORestrict,
+    s_range: SRange,
+    out: &mut Vec<(Oid, Oid)>,
+) {
+    let pool = cx.pool;
+    let table = &seg.multi[mi];
+    let mut rows = 0..table.s.len();
+    if let Some((lo, hi)) = s_range {
+        let start = lower_bound_rw(&table.s, pool, 0..table.s.len(), lo);
+        let end = upper_bound_rw(&table.s, pool, 0..table.s.len(), hi);
+        rows = start..end.max(start);
+    }
+    for i in rows {
+        let o = table.o.value(pool, i);
+        if restrict.accepts(o) {
+            out.push((Oid::from_raw(table.s.value(pool, i)), Oid::from_raw(o)));
+        }
+    }
+}
+
+/// Value-at-a-time [`crate::star::eval_star_default`].
+pub fn eval_star_default_rowwise(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    source: Source,
+) -> Table {
+    let s_range = intersect_ranges(subject_filter_range(star, filters), s_range);
+    let s_range = match star.subject_const {
+        Some(c) => intersect_ranges(Some((c.raw(), c.raw())), s_range),
+        None => s_range,
+    };
+
+    let mut streams: Vec<(usize, Vec<(Oid, Oid)>)> = star
+        .props
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let restrict = prop_restrict(cx, p, filters);
+            let mut pairs = scan_property_rowwise(cx, p.pred, &restrict, s_range, source);
+            if let Some(c) = candidates {
+                pairs = crate::join::semi_join_pairs(&pairs, c);
+            }
+            (i, pairs)
+        })
+        .collect();
+    streams.sort_by_key(|(_, s)| s.len());
+    if streams[0].1.is_empty() {
+        return Table::empty(star.output_vars());
+    }
+
+    let mut vars = vec![star.subject_var];
+    let (first_idx, first) = &streams[0];
+    let first_is_var = matches!(star.props[*first_idx].o, crate::query::VarOrOid::Var(_));
+    if let crate::query::VarOrOid::Var(v) = star.props[*first_idx].o {
+        vars.push(v);
+    }
+    let mut table = Table::empty(vars);
+    for &(s, o) in first {
+        if first_is_var {
+            table.push_row(&[s, o]);
+        } else {
+            table.push_row(&[s]);
+        }
+    }
+    table.sorted_by = Some(0);
+
+    for (idx, pairs) in streams.iter().skip(1) {
+        match star.props[*idx].o {
+            crate::query::VarOrOid::Var(v) => {
+                table = crate::join::merge_join_pairs(cx, &table, 0, pairs, v);
+            }
+            crate::query::VarOrOid::Const(_) => {
+                ExecStats::bump(&cx.stats.merge_joins, 1);
+                let subjects: Vec<Oid> = pairs.iter().map(|&(s, _)| s).collect();
+                let key = table.cols[0].clone();
+                let mask: Vec<bool> =
+                    key.iter().map(|s| subjects.binary_search(s).is_ok()).collect();
+                table.retain_rows(&mask);
+            }
+        }
+        if table.is_empty() {
+            break;
+        }
+    }
+    let residual = residual_filters(cx, star, filters);
+    crate::star::apply_filters(cx, &mut table, &residual);
+    table
+}
+
+/// Value-at-a-time [`crate::star::eval_star_rdfscan`].
+pub fn eval_star_rdfscan_rowwise(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+) -> Table {
+    let StorageRef::Clustered { store, schema } = &cx.storage else {
+        return eval_star_default_rowwise(cx, star, filters, candidates, s_range, Source::Full);
+    };
+    let s_range = intersect_ranges(subject_filter_range(star, filters), s_range);
+
+    let out_vars = star.output_vars();
+    let mut result = Table::empty(out_vars.clone());
+
+    let mut covering_classes: Vec<bool> = vec![false; schema.classes.len()];
+    for class in &schema.classes {
+        let covered: Vec<Covered> = star
+            .props
+            .iter()
+            .map(|p| {
+                if let Some(i) = class.column_of(p.pred) {
+                    Covered::Col(i)
+                } else if let Some(i) = class.multi_of(p.pred) {
+                    Covered::Multi(i)
+                } else {
+                    Covered::Uncovered
+                }
+            })
+            .collect();
+        let n_covered = covered.iter().filter(|c| !matches!(c, Covered::Uncovered)).count();
+        if n_covered == 0 {
+            continue;
+        }
+        covering_classes[class.id.0 as usize] = true;
+        let seg = store.segment(class.id);
+        if seg.n == 0 {
+            continue;
+        }
+        let t = scan_class_star_rw(cx, star, filters, candidates, s_range, seg, &covered);
+        if !t.is_empty() {
+            result.append(t);
+        }
+    }
+
+    let mut irr =
+        eval_star_default_rowwise(cx, star, filters, candidates, s_range, Source::IrregularOnly);
+    if !irr.is_empty() {
+        let sc = irr.col_of(star.subject_var).expect("subject col");
+        let mask: Vec<bool> = irr.cols[sc]
+            .iter()
+            .map(|&s| schema.class_of(s).map_or(true, |cid| !covering_classes[cid.0 as usize]))
+            .collect();
+        irr.retain_rows(&mask);
+        if !irr.is_empty() {
+            result.append(irr.project(&out_vars));
+        }
+    }
+    result
+}
+
+/// Value-at-a-time RDFscan over one class segment (pre-vectorization code:
+/// row-id materialization, per-row `Column::value` fetches, per-row
+/// `subject_at`).
+fn scan_class_star_rw(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    seg: &ClassSegment,
+    covered: &[Covered],
+) -> Table {
+    let pool = cx.pool;
+    if candidates.is_some() {
+        ExecStats::bump(&cx.stats.rdf_joins, 1);
+    } else {
+        ExecStats::bump(&cx.stats.rdf_scans, 1);
+    }
+
+    let rows: Vec<usize> = match candidates {
+        Some(cands) => {
+            let mut rows: Vec<usize> = cands
+                .iter()
+                .filter(|&&s| s_range.map_or(true, |(lo, hi)| s.raw() >= lo && s.raw() <= hi))
+                .filter_map(|&s| row_of_rw(seg, pool, s))
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            rows
+        }
+        None => {
+            let mut range = 0..seg.n;
+            if let Some((lo, hi)) = effective_subject_range(star, s_range) {
+                match &seg.subjects {
+                    SubjectIds::Dense { base } => {
+                        let lo_p = Oid::from_raw(lo).payload().max(*base);
+                        let hi_p = Oid::from_raw(hi).payload().min(base + seg.n as u64 - 1);
+                        if lo_p > hi_p {
+                            return Table::empty(star.output_vars());
+                        }
+                        range = (lo_p - base) as usize..(hi_p - base + 1) as usize;
+                    }
+                    SubjectIds::Sparse { subjects } => {
+                        let start = lower_bound_rw(subjects, pool, 0..subjects.len(), lo);
+                        let end = upper_bound_rw(subjects, pool, 0..subjects.len(), hi);
+                        range = start..end.max(start);
+                    }
+                }
+            }
+            for (pi, cov) in covered.iter().enumerate() {
+                let Covered::Col(ci) = cov else { continue };
+                if seg.sorted_by != Some(*ci) {
+                    continue;
+                }
+                let restrict = prop_restrict(cx, &star.props[pi], filters);
+                if restrict.is_none() {
+                    continue;
+                }
+                let (lo, hi) = restrict.bounds();
+                let col = &seg.columns[*ci];
+                let r = lower_bound_rw(col, pool, 0..col.len(), lo)
+                    ..upper_bound_rw(col, pool, 0..col.len(), hi);
+                range = range.start.max(r.start)..range.end.min(r.end);
+            }
+            if range.start >= range.end {
+                return Table::empty(star.output_vars());
+            }
+            if cx.config.zonemaps {
+                prune_rows_zm_rw(cx, star, filters, seg, covered, range)
+            } else {
+                range.collect()
+            }
+        }
+    };
+    if rows.is_empty() {
+        return Table::empty(star.output_vars());
+    }
+    ExecStats::bump(&cx.stats.rows_scanned, rows.len() as u64);
+
+    let (s_lo, s_hi) = (
+        subject_at_rw(seg, pool, rows[0]).raw(),
+        subject_at_rw(seg, pool, *rows.last().unwrap()).raw(),
+    );
+
+    enum Access {
+        Col { vals: Vec<u64>, exceptions: Vec<(Oid, Oid)>, restrict: ORestrict },
+        Multi { pairs: Vec<(Oid, Oid)>, exceptions: Vec<(Oid, Oid)> },
+        Irr { pairs: Vec<(Oid, Oid)> },
+    }
+
+    let accesses: Vec<Access> = star
+        .props
+        .iter()
+        .zip(covered)
+        .map(|(prop, cov)| {
+            let restrict = prop_restrict(cx, prop, filters);
+            let irr = || {
+                scan_property_rowwise(
+                    cx,
+                    prop.pred,
+                    &restrict,
+                    Some((s_lo, s_hi)),
+                    Source::IrregularOnly,
+                )
+            };
+            match cov {
+                Covered::Col(ci) => Access::Col {
+                    // Row-at-a-time gather: one pool request per row.
+                    vals: rows.iter().map(|&r| seg.columns[*ci].value(pool, r)).collect(),
+                    exceptions: irr(),
+                    restrict,
+                },
+                Covered::Multi(mi) => {
+                    let table = &seg.multi[*mi];
+                    let lo = lower_bound_rw(&table.s, pool, 0..table.s.len(), s_lo);
+                    let hi = upper_bound_rw(&table.s, pool, 0..table.s.len(), s_hi);
+                    let pairs = (lo..hi)
+                        .map(|i| (table.s.value(pool, i), table.o.value(pool, i)))
+                        .filter(|&(_, o)| restrict.accepts(o))
+                        .map(|(s, o)| (Oid::from_raw(s), Oid::from_raw(o)))
+                        .collect();
+                    Access::Multi { pairs, exceptions: irr() }
+                }
+                Covered::Uncovered => Access::Irr { pairs: irr() },
+            }
+        })
+        .collect();
+
+    let out_vars = star.output_vars();
+    let mut out = Table::empty(out_vars.clone());
+    let star_filters = residual_filters(cx, star, filters);
+    let out_pos: Vec<Option<usize>> = star
+        .props
+        .iter()
+        .map(|p| match p.o {
+            crate::query::VarOrOid::Var(v) => out_vars.iter().position(|&x| x == v),
+            crate::query::VarOrOid::Const(_) => None,
+        })
+        .collect();
+
+    let pure_columns = star_filters.is_empty()
+        && accesses.iter().all(|a| match a {
+            Access::Col { exceptions, .. } => exceptions.is_empty(),
+            _ => false,
+        });
+    if pure_columns {
+        let col_vals: Vec<(&Vec<u64>, &ORestrict, Option<usize>)> = accesses
+            .iter()
+            .zip(&out_pos)
+            .map(|(a, &pos)| match a {
+                Access::Col { vals, restrict, .. } => (vals, restrict, pos),
+                _ => unreachable!(),
+            })
+            .collect();
+        'fast: for (ri, &row) in rows.iter().enumerate() {
+            for &(vals, restrict, _) in &col_vals {
+                let v = vals[ri];
+                if v == sordf_columnar::column::NULL_SENTINEL || !restrict.accepts(v) {
+                    continue 'fast;
+                }
+            }
+            out.cols[0].push(subject_at_rw(seg, pool, row));
+            for &(vals, _, pos) in &col_vals {
+                if let Some(pos) = pos {
+                    out.cols[pos].push(Oid::from_raw(vals[ri]));
+                }
+            }
+        }
+        ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
+        return out;
+    }
+
+    let mut value_lists: Vec<Vec<Oid>> = vec![Vec::new(); star.props.len()];
+    'rows: for (ri, &row) in rows.iter().enumerate() {
+        let s = subject_at_rw(seg, pool, row);
+        for (pi, access) in accesses.iter().enumerate() {
+            let list = &mut value_lists[pi];
+            list.clear();
+            match access {
+                Access::Col { vals, exceptions, restrict } => {
+                    let v = vals[ri];
+                    if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+                        list.push(Oid::from_raw(v));
+                    }
+                    extend_from_sorted(list, exceptions, s);
+                }
+                Access::Multi { pairs, exceptions } => {
+                    extend_from_sorted(list, pairs, s);
+                    extend_from_sorted(list, exceptions, s);
+                }
+                Access::Irr { pairs } => {
+                    extend_from_sorted(list, pairs, s);
+                }
+            }
+            if list.is_empty() {
+                continue 'rows;
+            }
+        }
+        emit_combinations(cx, star, &star_filters, s, &value_lists, &mut out);
+    }
+    ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
+    out
+}
+
+/// Pre-vectorization zone-map pruning: first restricted covered column only,
+/// rows materialized as indices.
+fn prune_rows_zm_rw(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    seg: &ClassSegment,
+    covered: &[Covered],
+    range: Range<usize>,
+) -> Vec<usize> {
+    for (pi, cov) in covered.iter().enumerate() {
+        let Covered::Col(ci) = cov else { continue };
+        if seg.sorted_by == Some(*ci) {
+            continue;
+        }
+        let restrict = prop_restrict(cx, &star.props[pi], filters);
+        if restrict.is_none() {
+            continue;
+        }
+        let (lo, hi) = restrict.bounds();
+        let zm = seg.columns[*ci].zonemap();
+        let mut rows = Vec::new();
+        let first_page = range.start / VALS_PER_PAGE;
+        let last_page = (range.end - 1) / VALS_PER_PAGE;
+        for page in first_page..=last_page {
+            let st = zm.page(page);
+            if !st.overlaps(lo, hi) {
+                ExecStats::bump(&cx.stats.zonemap_pages_skipped, 1);
+                continue;
+            }
+            let pstart = (page * VALS_PER_PAGE).max(range.start);
+            let pend = ((page + 1) * VALS_PER_PAGE).min(range.end);
+            rows.extend(pstart..pend);
+        }
+        return rows;
+    }
+    range.collect()
+}

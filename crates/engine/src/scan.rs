@@ -123,25 +123,29 @@ fn scan_baseline(
             let end = idx.col(2).upper_bound_in(pool, r.clone(), hi);
             r = start..end.max(start);
         }
-        return idx
-            .col(2)
-            .to_vec(pool, r)
-            .into_iter()
-            .map(|s| (Oid::from_raw(s), eq))
-            .collect();
+        let mut out = Vec::with_capacity(r.len());
+        idx.col(2).for_each_chunk(pool, r, |c| {
+            out.extend(c.values().iter().map(|&s| (Oid::from_raw(s), eq)));
+        });
+        return out;
     }
     if let Some((lo, hi)) = restrict.range {
         // POS range scan: pairs arrive (o, s)-sorted; caller re-sorts.
         let idx = store.perm(Order::Pos);
         let r = idx.range2_between(pool, p, Oid::from_raw(lo), Oid::from_raw(hi));
-        let os = idx.col(1).to_vec(pool, r.clone());
-        let ss = idx.col(2).to_vec(pool, r);
-        return ss
-            .into_iter()
-            .zip(os)
-            .map(|(s, o)| (Oid::from_raw(s), Oid::from_raw(o)))
-            .filter(|&(s, _)| s_range.map_or(true, |(lo, hi)| s.raw() >= lo && s.raw() <= hi))
-            .collect();
+        let mut out = Vec::with_capacity(r.len());
+        sordf_columnar::Column::for_each_chunk_pair(idx.col(2), idx.col(1), pool, r, |sc, oc| {
+            out.extend(
+                sc.values()
+                    .iter()
+                    .zip(oc.values())
+                    .filter(|&(&s, _)| {
+                        s_range.map_or(true, |(lo, hi)| s >= lo && s <= hi)
+                    })
+                    .map(|(&s, &o)| (Oid::from_raw(s), Oid::from_raw(o))),
+            );
+        });
+        return out;
     }
     // Plain PSO scan.
     let idx = store.perm(Order::Pso);
@@ -209,25 +213,46 @@ fn scan_segment_column(
     if rows.start >= rows.end {
         return;
     }
+    // Page-at-a-time scan. The zone-map check (and the all-NULL fast path)
+    // runs *before* a page is pinned, so pruned pages cost no pool request;
+    // the subject column of a sparse segment shares the value column's page
+    // geometry and is pinned in lockstep.
     let use_zonemaps = cx.config.zonemaps && !restrict.is_none();
-    for chunk in col.chunks(pool, rows) {
-        let vals = chunk.values();
-        if use_zonemaps {
-            // Page-level skip via the chunk's zone map entry.
-            let page = chunk.start / sordf_columnar::VALS_PER_PAGE;
-            let st = col.zonemap().page(page);
-            if !st.overlaps(olo, ohi) {
+    let row_range = rows.clone();
+    col.for_each_chunk_pruned(
+        pool,
+        rows,
+        |_, st| {
+            if st.n_nonnull == 0 {
+                // Only NULL sentinels here; nothing can be emitted.
+                return false;
+            }
+            if use_zonemaps && !st.overlaps(olo, ohi) {
                 ExecStats::bump(&cx.stats.zonemap_pages_skipped, 1);
-                continue;
+                return false;
             }
-        }
-        for (i, &v) in vals.iter().enumerate() {
-            if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
-                let row = chunk.start + i;
-                out.push((seg.subject_at(pool, row), Oid::from_raw(v)));
+            true
+        },
+        |chunk| match &seg.subjects {
+            SubjectIds::Dense { base } => {
+                let s0 = base + chunk.start as u64;
+                for (i, &v) in chunk.values().iter().enumerate() {
+                    if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+                        out.push((Oid::iri(s0 + i as u64), Oid::from_raw(v)));
+                    }
+                }
             }
-        }
-    }
+            SubjectIds::Sparse { subjects } => {
+                let p = chunk.start / sordf_columnar::VALS_PER_PAGE;
+                let subj = subjects.pin_page_in(pool, p, row_range.clone());
+                for (&v, &s) in chunk.values().iter().zip(subj.values()) {
+                    if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+                        out.push((Oid::from_raw(s), Oid::from_raw(v)));
+                    }
+                }
+            }
+        },
+    );
 }
 
 /// Extract pairs from a multi-valued side table.
@@ -250,13 +275,14 @@ fn scan_multi_table(
     if rows.start >= rows.end {
         return;
     }
-    let ss = table.s.to_vec(pool, rows.clone());
-    let os = table.o.to_vec(pool, rows);
-    for (s, o) in ss.into_iter().zip(os) {
-        if restrict.accepts(o) {
-            out.push((Oid::from_raw(s), Oid::from_raw(o)));
+    // (s, o) columns share page geometry; pin both in lockstep per page.
+    sordf_columnar::Column::for_each_chunk_pair(&table.s, &table.o, pool, rows, |sc, oc| {
+        for (&s, &o) in sc.values().iter().zip(oc.values()) {
+            if restrict.accepts(o) {
+                out.push((Oid::from_raw(s), Oid::from_raw(o)));
+            }
         }
-    }
+    });
 }
 
 #[cfg(test)]

@@ -166,7 +166,7 @@ pub fn restrict_for_var(filters: &[&Expr], v: VarId, strings_ordered: bool) -> O
 }
 
 /// The restriction to push into a property's scan.
-fn prop_restrict(cx: &ExecContext, prop: &StarProp, filters: &[&Expr]) -> ORestrict {
+pub(crate) fn prop_restrict(cx: &ExecContext, prop: &StarProp, filters: &[&Expr]) -> ORestrict {
     match prop.o {
         VarOrOid::Const(c) => ORestrict::eq(c),
         VarOrOid::Var(v) => restrict_for_var(filters, v, cx.strings_value_ordered()),
@@ -198,7 +198,7 @@ pub fn apply_filters(cx: &ExecContext, table: &mut Table, filters: &[&Expr]) {
     table.retain_rows(&mask);
 }
 
-fn filters_bound_by_refs<'f>(filters: &[&'f Expr], vars: &[VarId]) -> Vec<&'f Expr> {
+pub(crate) fn filters_bound_by_refs<'f>(filters: &[&'f Expr], vars: &[VarId]) -> Vec<&'f Expr> {
     filters
         .iter()
         .filter(|f| {
@@ -258,7 +258,7 @@ pub fn eval_star_default(
         return Table::empty(vars);
     }
 
-    // Seed table from the first stream.
+    // Seed table from the first stream, built column-at-a-time.
     let mut vars = vec![star.subject_var];
     let (first_idx, first) = &streams[0];
     let first_is_var = matches!(star.props[*first_idx].o, VarOrOid::Var(_));
@@ -266,12 +266,9 @@ pub fn eval_star_default(
         vars.push(v);
     }
     let mut table = Table::empty(vars);
-    for &(s, o) in first {
-        if first_is_var {
-            table.push_row(&[s, o]);
-        } else {
-            table.push_row(&[s]);
-        }
+    table.cols[0] = first.iter().map(|&(s, _)| s).collect();
+    if first_is_var {
+        table.cols[1] = first.iter().map(|&(_, o)| o).collect();
     }
     table.sorted_by = Some(0);
 
@@ -282,11 +279,18 @@ pub fn eval_star_default(
             }
             VarOrOid::Const(_) => {
                 // Semi-join: keep rows whose subject appears in the stream.
+                // Both sides are subject-sorted, so one merge pass replaces
+                // the per-row binary search.
                 ExecStats::bump(&cx.stats.merge_joins, 1);
-                let subjects: Vec<Oid> = pairs.iter().map(|&(s, _)| s).collect();
-                let key = table.cols[0].clone();
-                let mask: Vec<bool> =
-                    key.iter().map(|s| subjects.binary_search(s).is_ok()).collect();
+                let key = &table.cols[0];
+                let mut mask = vec![false; key.len()];
+                let mut j = 0usize;
+                for (i, s) in key.iter().enumerate() {
+                    while j < pairs.len() && pairs[j].0 < *s {
+                        j += 1;
+                    }
+                    mask[i] = j < pairs.len() && pairs[j].0 == *s;
+                }
                 table.retain_rows(&mask);
             }
         }
@@ -301,7 +305,7 @@ pub fn eval_star_default(
 }
 
 /// How a star property maps onto one class.
-enum Covered {
+pub(crate) enum Covered {
     Col(usize),
     Multi(usize),
     Uncovered,
@@ -374,7 +378,70 @@ pub fn eval_star_rdfscan(
     result
 }
 
-/// RDFscan over one class segment.
+/// Per-property access resolved against one class segment. Column values are
+/// *not* materialized here — the chunk path reads them straight from pinned
+/// pages; only side-table pairs and irregular exceptions (small, subject-
+/// sorted lists) are collected up front.
+enum Access {
+    /// Aligned column + sorted exceptions.
+    Col { ci: usize, exceptions: Vec<(Oid, Oid)>, restrict: ORestrict },
+    /// Multi table pairs in subject range (sorted by s) + exceptions.
+    Multi { pairs: Vec<(Oid, Oid)>, exceptions: Vec<(Oid, Oid)> },
+    /// Only irregular pairs (uncovered property).
+    Irr { pairs: Vec<(Oid, Oid)> },
+}
+
+/// Build the per-property accesses for subjects in `[s_lo, s_hi]`.
+fn build_accesses(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    seg: &ClassSegment,
+    covered: &[Covered],
+    s_lo: u64,
+    s_hi: u64,
+) -> Vec<Access> {
+    let pool = cx.pool;
+    star.props
+        .iter()
+        .zip(covered)
+        .map(|(prop, cov)| {
+            let restrict = prop_restrict(cx, prop, filters);
+            let irr = || {
+                scan_property(cx, prop.pred, &restrict, Some((s_lo, s_hi)), Source::IrregularOnly)
+            };
+            match cov {
+                Covered::Col(ci) => Access::Col { ci: *ci, exceptions: irr(), restrict },
+                Covered::Multi(mi) => {
+                    let table = &seg.multi[*mi];
+                    let lo = table.s.lower_bound(pool, s_lo);
+                    let hi = table.s.upper_bound(pool, s_hi);
+                    let mut pairs = Vec::new();
+                    sordf_columnar::Column::for_each_chunk_pair(
+                        &table.s,
+                        &table.o,
+                        pool,
+                        lo..hi,
+                        |sc, oc| {
+                            pairs.extend(
+                                sc.values()
+                                    .iter()
+                                    .zip(oc.values())
+                                    .filter(|&(_, &o)| restrict.accepts(o))
+                                    .map(|(&s, &o)| (Oid::from_raw(s), Oid::from_raw(o))),
+                            );
+                        },
+                    );
+                    Access::Multi { pairs, exceptions: irr() }
+                }
+                Covered::Uncovered => Access::Irr { pairs: irr() },
+            }
+        })
+        .collect()
+}
+
+/// RDFscan over one class segment: dispatch to the candidate-driven (RDFjoin)
+/// or the chunk-at-a-time (RDFscan) kernel.
 fn scan_class_star(
     cx: &ExecContext,
     star: &Star,
@@ -384,154 +451,58 @@ fn scan_class_star(
     seg: &ClassSegment,
     covered: &[Covered],
 ) -> Table {
-    let pool = cx.pool;
-    if candidates.is_some() {
-        ExecStats::bump(&cx.stats.rdf_joins, 1);
-    } else {
-        ExecStats::bump(&cx.stats.rdf_scans, 1);
+    match candidates {
+        Some(cands) => scan_class_star_rows(cx, star, filters, cands, s_range, seg, covered),
+        None => scan_class_star_chunks(cx, star, filters, s_range, seg, covered),
     }
+}
 
-    // ---- Candidate rows -------------------------------------------------
-    let rows: Vec<usize> = match candidates {
-        Some(cands) => {
-            let mut rows: Vec<usize> = cands
-                .iter()
-                .filter(|&&s| s_range.map_or(true, |(lo, hi)| s.raw() >= lo && s.raw() <= hi))
-                .filter_map(|&s| seg.row_of(pool, s))
-                .collect();
-            rows.sort_unstable();
-            rows.dedup();
-            rows
-        }
-        None => {
-            let mut range = 0..seg.n;
-            // Subject-range restriction.
-            if let Some((lo, hi)) = effective_subject_range(star, s_range) {
-                match &seg.subjects {
-                    SubjectIds::Dense { base } => {
-                        let lo_p = Oid::from_raw(lo).payload().max(*base);
-                        let hi_p =
-                            Oid::from_raw(hi).payload().min(base + seg.n as u64 - 1);
-                        if lo_p > hi_p {
-                            return Table::empty(star.output_vars());
-                        }
-                        range = (lo_p - base) as usize..(hi_p - base + 1) as usize;
-                    }
-                    SubjectIds::Sparse { subjects } => {
-                        let start = subjects.lower_bound(pool, lo);
-                        let end = subjects.upper_bound(pool, hi);
-                        range = start..end.max(start);
-                    }
-                }
-            }
-            // Sort-key narrowing: if the segment is sub-ordered by a column
-            // this star restricts, binary-search the row range.
-            for (pi, cov) in covered.iter().enumerate() {
-                let Covered::Col(ci) = cov else { continue };
-                if seg.sorted_by != Some(*ci) {
-                    continue;
-                }
-                let restrict = prop_restrict(cx, &star.props[pi], filters);
-                if restrict.is_none() {
-                    continue;
-                }
-                let (lo, hi) = restrict.bounds();
-                if let Some(r) = seg.sorted_row_range(pool, *ci, lo, hi) {
-                    range = range.start.max(r.start)..range.end.min(r.end);
-                }
-            }
-            if range.start >= range.end {
-                return Table::empty(star.output_vars());
-            }
-            // Zone-map page pruning on one more restricted covered column.
-            if cx.config.zonemaps {
-                prune_rows_with_zonemaps(cx, star, filters, seg, covered, range)
-            } else {
-                range.collect()
-            }
-        }
-    };
+/// RDFjoin: evaluate the star for an explicit candidate subject list. Column
+/// values are gathered batch-wise (one pin per touched page), subjects are
+/// resolved in one batched pass.
+fn scan_class_star_rows(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    cands: &[Oid],
+    s_range: SRange,
+    seg: &ClassSegment,
+    covered: &[Covered],
+) -> Table {
+    let pool = cx.pool;
+    ExecStats::bump(&cx.stats.rdf_joins, 1);
+
+    let mut rows: Vec<usize> = cands
+        .iter()
+        .filter(|&&s| s_range.map_or(true, |(lo, hi)| s.raw() >= lo && s.raw() <= hi))
+        .filter_map(|&s| seg.row_of(pool, s))
+        .collect();
+    rows.sort_unstable();
+    rows.dedup();
     if rows.is_empty() {
         return Table::empty(star.output_vars());
     }
     ExecStats::bump(&cx.stats.rows_scanned, rows.len() as u64);
 
-    // ---- Per-property data ----------------------------------------------
-    // Subject OID bounds of this row set, for irregular-range lookups.
-    let (s_lo, s_hi) = (
-        seg.subject_at(pool, rows[0]).raw(),
-        seg.subject_at(pool, *rows.last().unwrap()).raw(),
-    );
-
-    enum Access {
-        /// Materialized column values aligned with `rows` + sorted exceptions.
-        Col { vals: Vec<u64>, exceptions: Vec<(Oid, Oid)>, restrict: ORestrict },
-        /// Multi table pairs in subject range (sorted by s) + exceptions.
-        Multi { pairs: Vec<(Oid, Oid)>, exceptions: Vec<(Oid, Oid)> },
-        /// Only irregular pairs (uncovered property).
-        Irr { pairs: Vec<(Oid, Oid)> },
-    }
-
-    let accesses: Vec<Access> = star
-        .props
+    // Batched subject materialization (one pin per subject page on sparse
+    // segments — previously one pool request per row).
+    let subjects = seg.subjects_at(pool, &rows);
+    let (s_lo, s_hi) = (subjects[0].raw(), subjects.last().unwrap().raw());
+    let accesses = build_accesses(cx, star, filters, seg, covered, s_lo, s_hi);
+    // Gather each column once, aligned with `rows`.
+    let gathered: Vec<Option<Vec<u64>>> = accesses
         .iter()
-        .zip(covered)
-        .map(|(prop, cov)| {
-            let restrict = prop_restrict(cx, prop, filters);
-            let irr = || {
-                scan_property(
-                    cx,
-                    prop.pred,
-                    &restrict,
-                    Some((s_lo, s_hi)),
-                    Source::IrregularOnly,
-                )
-            };
-            match cov {
-                Covered::Col(ci) => Access::Col {
-                    vals: seg.columns[*ci].gather(pool, &rows),
-                    exceptions: irr(),
-                    restrict,
-                },
-                Covered::Multi(mi) => {
-                    let table = &seg.multi[*mi];
-                    let lo = table.s.lower_bound(pool, s_lo);
-                    let hi = table.s.upper_bound(pool, s_hi);
-                    let ss = table.s.to_vec(pool, lo..hi);
-                    let os = table.o.to_vec(pool, lo..hi);
-                    let pairs = ss
-                        .into_iter()
-                        .zip(os)
-                        .filter(|&(_, o)| restrict.accepts(o))
-                        .map(|(s, o)| (Oid::from_raw(s), Oid::from_raw(o)))
-                        .collect();
-                    Access::Multi { pairs, exceptions: irr() }
-                }
-                Covered::Uncovered => Access::Irr { pairs: irr() },
-            }
+        .map(|a| match a {
+            Access::Col { ci, .. } => Some(seg.columns[*ci].gather(pool, &rows)),
+            _ => None,
         })
         .collect();
 
-    // ---- Row-driven assembly ---------------------------------------------
     let out_vars = star.output_vars();
     let mut out = Table::empty(out_vars.clone());
-    // Filters of the form `var CMP const` on this star's single-bound
-    // variables are already enforced by the pushed restricts (column checks,
-    // exception scans, s_range); only the rest needs per-row evaluation.
     let star_filters = residual_filters(cx, star, filters);
-    // Position of each property's output column (subject is column 0).
-    let out_pos: Vec<Option<usize>> = star
-        .props
-        .iter()
-        .map(|p| match p.o {
-            VarOrOid::Var(v) => out_vars.iter().position(|&x| x == v),
-            VarOrOid::Const(_) => None,
-        })
-        .collect();
+    let out_pos = out_positions(star, &out_vars);
 
-    // Fast path: pure aligned columns, no exceptions / side tables /
-    // uncovered props, no residual filters — the common case on regular
-    // data, and the code path that makes RDFscan "CPU efficient".
     let pure_columns = star_filters.is_empty()
         && accesses.iter().all(|a| match a {
             Access::Col { exceptions, .. } => exceptions.is_empty(),
@@ -540,20 +511,21 @@ fn scan_class_star(
     if pure_columns {
         let col_vals: Vec<(&Vec<u64>, &ORestrict, Option<usize>)> = accesses
             .iter()
+            .zip(&gathered)
             .zip(&out_pos)
-            .map(|(a, &pos)| match a {
-                Access::Col { vals, restrict, .. } => (vals, restrict, pos),
+            .map(|((a, g), &pos)| match a {
+                Access::Col { restrict, .. } => (g.as_ref().unwrap(), restrict, pos),
                 _ => unreachable!(),
             })
             .collect();
-        'fast: for (ri, &row) in rows.iter().enumerate() {
+        'fast: for (ri, &s) in subjects.iter().enumerate() {
             for &(vals, restrict, _) in &col_vals {
                 let v = vals[ri];
                 if v == sordf_columnar::column::NULL_SENTINEL || !restrict.accepts(v) {
                     continue 'fast;
                 }
             }
-            out.cols[0].push(seg.subject_at(pool, row));
+            out.cols[0].push(s);
             for &(vals, _, pos) in &col_vals {
                 if let Some(pos) = pos {
                     out.cols[pos].push(Oid::from_raw(vals[ri]));
@@ -565,14 +537,13 @@ fn scan_class_star(
     }
 
     let mut value_lists: Vec<Vec<Oid>> = vec![Vec::new(); star.props.len()];
-    'rows: for (ri, &row) in rows.iter().enumerate() {
-        let s = seg.subject_at(pool, row);
+    'rows: for (ri, &s) in subjects.iter().enumerate() {
         for (pi, access) in accesses.iter().enumerate() {
             let list = &mut value_lists[pi];
             list.clear();
             match access {
-                Access::Col { vals, exceptions, restrict } => {
-                    let v = vals[ri];
+                Access::Col { exceptions, restrict, .. } => {
+                    let v = gathered[pi].as_ref().unwrap()[ri];
                     if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
                         list.push(Oid::from_raw(v));
                     }
@@ -596,48 +567,247 @@ fn scan_class_star(
     out
 }
 
-/// Rows (within `range`) surviving zone-map page pruning against the first
-/// restricted covered column that is not already the sort key.
-fn prune_rows_with_zonemaps(
+/// RDFscan: evaluate the star page-at-a-time over the segment's aligned
+/// columns. Every covered column's page is pinned exactly once per touched
+/// page (subject pages of sparse segments in lockstep); zone-map pruning and
+/// the all-NULL fast path run *before* pages are pinned, so skipped pages
+/// cost no pool traffic; values are read from contiguous slices, with no
+/// row-id or column materialization.
+fn scan_class_star_chunks(
     cx: &ExecContext,
     star: &Star,
     filters: &[&Expr],
+    s_range: SRange,
     seg: &ClassSegment,
     covered: &[Covered],
-    range: std::ops::Range<usize>,
-) -> Vec<usize> {
+) -> Table {
     use sordf_columnar::VALS_PER_PAGE;
+    let pool = cx.pool;
+    ExecStats::bump(&cx.stats.rdf_scans, 1);
+
+    // ---- Row range -------------------------------------------------------
+    let mut range = 0..seg.n;
+    if let Some((lo, hi)) = effective_subject_range(star, s_range) {
+        match &seg.subjects {
+            SubjectIds::Dense { base } => {
+                let lo_p = Oid::from_raw(lo).payload().max(*base);
+                let hi_p = Oid::from_raw(hi).payload().min(base + seg.n as u64 - 1);
+                if lo_p > hi_p {
+                    return Table::empty(star.output_vars());
+                }
+                range = (lo_p - base) as usize..(hi_p - base + 1) as usize;
+            }
+            SubjectIds::Sparse { subjects } => {
+                let start = subjects.lower_bound(pool, lo);
+                let end = subjects.upper_bound(pool, hi);
+                range = start..end.max(start);
+            }
+        }
+    }
+    // Sort-key narrowing: if the segment is sub-ordered by a column this
+    // star restricts, binary-search the row range.
     for (pi, cov) in covered.iter().enumerate() {
         let Covered::Col(ci) = cov else { continue };
-        if seg.sorted_by == Some(*ci) {
-            continue; // already handled by binary search
+        if seg.sorted_by != Some(*ci) {
+            continue;
         }
         let restrict = prop_restrict(cx, &star.props[pi], filters);
         if restrict.is_none() {
             continue;
         }
         let (lo, hi) = restrict.bounds();
-        let zm = seg.columns[*ci].zonemap();
-        let mut rows = Vec::new();
-        let first_page = range.start / VALS_PER_PAGE;
-        let last_page = (range.end - 1) / VALS_PER_PAGE;
-        for page in first_page..=last_page {
-            let st = zm.page(page);
-            if !st.overlaps(lo, hi) {
+        if let Some(r) = seg.sorted_row_range(pool, *ci, lo, hi) {
+            range = range.start.max(r.start)..range.end.min(r.end);
+        }
+    }
+    if range.start >= range.end {
+        return Table::empty(star.output_vars());
+    }
+
+    // ---- Accesses --------------------------------------------------------
+    let (s_lo, s_hi) = (
+        seg.subject_at(pool, range.start).raw(),
+        seg.subject_at(pool, range.end - 1).raw(),
+    );
+    let accesses = build_accesses(cx, star, filters, seg, covered, s_lo, s_hi);
+
+    let out_vars = star.output_vars();
+    let mut out = Table::empty(out_vars.clone());
+    // Filters of the form `var CMP const` on this star's single-bound
+    // variables are already enforced by the pushed restricts (column checks,
+    // exception scans, s_range); only the rest needs per-row evaluation.
+    let star_filters = residual_filters(cx, star, filters);
+    let out_pos = out_positions(star, &out_vars);
+
+    // Fast path: pure aligned columns, no exceptions / side tables /
+    // uncovered props, no residual filters — the common case on regular
+    // data, and the code path that makes RDFscan "CPU efficient".
+    let pure_columns = star_filters.is_empty()
+        && accesses.iter().all(|a| match a {
+            Access::Col { exceptions, .. } => exceptions.is_empty(),
+            _ => false,
+        });
+
+    // Zone-map pruning setup. The pure path may prune on *every* restricted
+    // column (each row must pass every column check anyway); the general
+    // path must prune exactly like the value-at-a-time original — on the
+    // first restricted covered non-sort-key column only — because a pruned
+    // page also suppresses that page's exception/side-table bindings.
+    let zm_on = cx.config.zonemaps;
+    let prune_cols: Vec<(usize, u64, u64)> = if !zm_on {
+        Vec::new()
+    } else {
+        let mut cols: Vec<(usize, u64, u64)> = accesses
+            .iter()
+            .filter_map(|a| match a {
+                Access::Col { ci, restrict, .. }
+                    if !restrict.is_none() && seg.sorted_by != Some(*ci) =>
+                {
+                    let (lo, hi) = restrict.bounds();
+                    Some((*ci, lo, hi))
+                }
+                _ => None,
+            })
+            .collect();
+        if !pure_columns {
+            cols.truncate(1);
+        }
+        cols
+    };
+
+    let first_page = range.start / VALS_PER_PAGE;
+    let last_page = (range.end - 1) / VALS_PER_PAGE;
+    let mut rows_scanned = 0u64;
+    let mut value_lists: Vec<Vec<Oid>> = vec![Vec::new(); star.props.len()];
+
+    'pages: for p in first_page..=last_page {
+        // Pre-pin pruning: zone-map misses and (on the pure path) pages
+        // where a required column is entirely NULL.
+        for &(ci, lo, hi) in &prune_cols {
+            if !seg.columns[ci].zonemap().page(p).overlaps(lo, hi) {
                 ExecStats::bump(&cx.stats.zonemap_pages_skipped, 1);
+                continue 'pages;
+            }
+        }
+        if pure_columns {
+            let all_present = accesses.iter().all(|a| match a {
+                Access::Col { ci, .. } => seg.columns[*ci].zonemap().page(p).n_nonnull > 0,
+                _ => true,
+            });
+            if !all_present {
+                // A required column is all-NULL on this page: no row can
+                // match, and the page is skipped without being pinned.
                 continue;
             }
-            let pstart = (page * VALS_PER_PAGE).max(range.start);
-            let pend = ((page + 1) * VALS_PER_PAGE).min(range.end);
-            rows.extend(pstart..pend);
         }
-        return rows;
+
+        // Pin this page of every covered column (and the subject column of a
+        // sparse segment) in lockstep.
+        let chunks: Vec<Option<sordf_columnar::Chunk>> = accesses
+            .iter()
+            .map(|a| match a {
+                Access::Col { ci, .. } => {
+                    Some(seg.columns[*ci].pin_page_in(pool, p, range.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        let chunk_start = range.start.max(p * VALS_PER_PAGE);
+        let chunk_len = range.end.min((p + 1) * VALS_PER_PAGE) - chunk_start;
+        rows_scanned += chunk_len as u64;
+        let subj_chunk = match &seg.subjects {
+            SubjectIds::Dense { .. } => None,
+            SubjectIds::Sparse { subjects } => {
+                Some(subjects.pin_page_in(pool, p, range.clone()))
+            }
+        };
+        let subject_of = |i: usize| -> Oid {
+            match (&seg.subjects, &subj_chunk) {
+                (SubjectIds::Dense { base }, _) => Oid::iri(base + (chunk_start + i) as u64),
+                (SubjectIds::Sparse { .. }, Some(c)) => Oid::from_raw(c.values()[i]),
+                (SubjectIds::Sparse { .. }, None) => unreachable!(),
+            }
+        };
+
+        if pure_columns {
+            let col_slices: Vec<(&[u64], &ORestrict, Option<usize>)> = accesses
+                .iter()
+                .zip(&chunks)
+                .zip(&out_pos)
+                .map(|((a, c), &pos)| match a {
+                    Access::Col { restrict, .. } => {
+                        (c.as_ref().unwrap().values(), restrict, pos)
+                    }
+                    _ => unreachable!(),
+                })
+                .collect();
+            'fast: for i in 0..chunk_len {
+                for &(vals, restrict, _) in &col_slices {
+                    let v = vals[i];
+                    if v == sordf_columnar::column::NULL_SENTINEL || !restrict.accepts(v) {
+                        continue 'fast;
+                    }
+                }
+                out.cols[0].push(subject_of(i));
+                for &(vals, _, pos) in &col_slices {
+                    if let Some(pos) = pos {
+                        out.cols[pos].push(Oid::from_raw(vals[i]));
+                    }
+                }
+            }
+            continue;
+        }
+
+        // General path: per-row value lists over the pinned slices (hoisted
+        // out of the row loop once per page).
+        let col_slices: Vec<Option<&[u64]>> =
+            chunks.iter().map(|c| c.as_ref().map(|c| c.values())).collect();
+        'rows: for i in 0..chunk_len {
+            let s = subject_of(i);
+            for (pi, access) in accesses.iter().enumerate() {
+                let list = &mut value_lists[pi];
+                list.clear();
+                match access {
+                    Access::Col { exceptions, restrict, .. } => {
+                        let v = col_slices[pi].unwrap()[i];
+                        if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+                            list.push(Oid::from_raw(v));
+                        }
+                        extend_from_sorted(list, exceptions, s);
+                    }
+                    Access::Multi { pairs, exceptions } => {
+                        extend_from_sorted(list, pairs, s);
+                        extend_from_sorted(list, exceptions, s);
+                    }
+                    Access::Irr { pairs } => {
+                        extend_from_sorted(list, pairs, s);
+                    }
+                }
+                if list.is_empty() {
+                    continue 'rows; // pattern requires presence
+                }
+            }
+            emit_combinations(cx, star, &star_filters, s, &value_lists, &mut out);
+        }
     }
-    range.collect()
+    ExecStats::bump(&cx.stats.rows_scanned, rows_scanned);
+    ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
+    out
+}
+
+/// Position of each property's output column (subject is column 0).
+fn out_positions(star: &Star, out_vars: &[VarId]) -> Vec<Option<usize>> {
+    star.props
+        .iter()
+        .map(|p| match p.o {
+            VarOrOid::Var(v) => out_vars.iter().position(|&x| x == v),
+            VarOrOid::Const(_) => None,
+        })
+        .collect()
 }
 
 /// Append the objects of all pairs with subject `s` (pairs sorted by s).
-fn extend_from_sorted(list: &mut Vec<Oid>, pairs: &[(Oid, Oid)], s: Oid) {
+pub(crate) fn extend_from_sorted(list: &mut Vec<Oid>, pairs: &[(Oid, Oid)], s: Oid) {
     let start = pairs.partition_point(|&(ps, _)| ps < s);
     for &(ps, o) in &pairs[start..] {
         if ps != s {
@@ -649,7 +819,7 @@ fn extend_from_sorted(list: &mut Vec<Oid>, pairs: &[(Oid, Oid)], s: Oid) {
 
 /// Emit the cross product of per-property value lists for one subject,
 /// filtered by the star-local filters.
-fn emit_combinations(
+pub(crate) fn emit_combinations(
     cx: &ExecContext,
     star: &Star,
     filters: &[&Expr],
@@ -728,7 +898,7 @@ fn emit_combinations(
 /// `var CMP const` (non-`!=`, and not an ordered comparison on unsorted
 /// string OIDs) on a variable bound by exactly one property — the scan layer
 /// already applied these via [`ORestrict`] / subject ranges.
-fn residual_filters<'f>(cx: &ExecContext, star: &Star, filters: &[&'f Expr]) -> Vec<&'f Expr> {
+pub(crate) fn residual_filters<'f>(cx: &ExecContext, star: &Star, filters: &[&'f Expr]) -> Vec<&'f Expr> {
     filters_bound_by_refs(filters, &star.bound_vars())
         .into_iter()
         .filter(|f| match f.as_var_cmp() {
@@ -748,7 +918,7 @@ fn residual_filters<'f>(cx: &ExecContext, star: &Star, filters: &[&'f Expr]) -> 
 }
 
 /// Range filters on the subject variable itself (OID-range form).
-fn subject_filter_range(star: &Star, filters: &[&Expr]) -> SRange {
+pub(crate) fn subject_filter_range(star: &Star, filters: &[&Expr]) -> SRange {
     // Subject OIDs are IRIs; IRI "ordering" is only meaningful as raw OID
     // ranges (used by the SQL frontend for class-segment restriction), so
     // push them unconditionally.
@@ -760,14 +930,14 @@ fn subject_filter_range(star: &Star, filters: &[&Expr]) -> SRange {
     }
 }
 
-fn effective_subject_range(star: &Star, s_range: SRange) -> SRange {
+pub(crate) fn effective_subject_range(star: &Star, s_range: SRange) -> SRange {
     match star.subject_const {
         Some(c) => intersect_ranges(Some((c.raw(), c.raw())), s_range),
         None => s_range,
     }
 }
 
-fn intersect_ranges(a: SRange, b: SRange) -> SRange {
+pub(crate) fn intersect_ranges(a: SRange, b: SRange) -> SRange {
     match (a, b) {
         (None, x) | (x, None) => x,
         (Some((al, ah)), Some((bl, bh))) => Some((al.max(bl), ah.min(bh))),

@@ -72,6 +72,20 @@ impl ClassSegment {
         }
     }
 
+    /// Subject OIDs of `rows` (ascending), pinning each subject page once —
+    /// the batched counterpart of [`ClassSegment::subject_at`] for
+    /// candidate-driven scans.
+    pub fn subjects_at(&self, pool: &BufferPool, rows: &[usize]) -> Vec<Oid> {
+        match &self.subjects {
+            SubjectIds::Dense { base } => {
+                rows.iter().map(|&r| Oid::iri(base + r as u64)).collect()
+            }
+            SubjectIds::Sparse { subjects } => {
+                subjects.gather(pool, rows).into_iter().map(Oid::from_raw).collect()
+            }
+        }
+    }
+
     /// The row of a subject, if it belongs to this segment.
     pub fn row_of(&self, pool: &BufferPool, s: Oid) -> Option<usize> {
         if !s.is_iri() {

@@ -124,11 +124,20 @@ impl PermIndex {
         lo..hi
     }
 
-    /// Materialize `(key1, key2)` pairs of a row range (tests/small results).
+    /// Materialize `(key1, key2)` pairs of a row range. Chunk-at-a-time:
+    /// the two columns share page geometry, so their chunks pair up in
+    /// lockstep, one pin per page per column.
     pub fn pairs(&self, pool: &BufferPool, range: Range<usize>) -> Vec<(Oid, Oid)> {
-        let k1 = self.cols[1].to_vec(pool, range.clone());
-        let k2 = self.cols[2].to_vec(pool, range);
-        k1.into_iter().zip(k2).map(|(a, b)| (Oid::from_raw(a), Oid::from_raw(b))).collect()
+        let mut out = Vec::with_capacity(range.len());
+        Column::for_each_chunk_pair(&self.cols[1], &self.cols[2], pool, range, |c1, c2| {
+            out.extend(
+                c1.values()
+                    .iter()
+                    .zip(c2.values())
+                    .map(|(&a, &b)| (Oid::from_raw(a), Oid::from_raw(b))),
+            );
+        });
+        out
     }
 }
 
