@@ -1,0 +1,307 @@
+//! Parallel-execution benchmark: morsel-at-a-time operators and concurrent
+//! query throughput over one shared (sharded) buffer pool.
+//!
+//! Per scenario this reports:
+//!
+//! * `seq_qps` — single-thread sequential throughput (the PR 2 path),
+//! * `par2_qps` / `par4_qps` — one query at a time, morsel-parallel
+//!   operators at 2 / 4 workers (intra-query parallelism),
+//! * `clients4_qps` — 4 client threads each running sequential queries
+//!   against the shared pool (inter-query parallelism, the serving shape),
+//!
+//! plus the speedups of the 4-worker and 4-client modes over `seq_qps`, and
+//! — with `--baseline BENCH_vectorized.json` — over the recorded PR 2
+//! numbers. Before timing, every parallel result is checked byte-identical
+//! (canonical form) to the sequential one.
+//!
+//! The host's `available_parallelism` is recorded in the output: on a
+//! single-core container the parallel modes are bounded at ~1x by physics
+//! (the morsel executor can only interleave, not overlap), so speedups must
+//! be read against `host_cpus`.
+//!
+//! Usage:
+//!   bench_parallel [--sf F] [--out PATH] [--baseline PATH] [--smoke]
+
+use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme};
+use sordf_bench::{build_rig, Rig};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    query: String,
+    generation: Generation,
+    exec: ExecConfig,
+}
+
+#[derive(Debug, Clone)]
+struct Sample {
+    name: &'static str,
+    seq_qps: f64,
+    par2_qps: f64,
+    par4_qps: f64,
+    clients4_qps: f64,
+    result_rows: usize,
+}
+
+fn star_query(width: usize) -> String {
+    let props = [
+        "lineitem_quantity",
+        "lineitem_extendedprice",
+        "lineitem_discount",
+        "lineitem_tax",
+        "lineitem_shipmode",
+        "lineitem_returnflag",
+    ];
+    let mut body = String::new();
+    for p in &props[..width] {
+        let _ = writeln!(body, "?s <http://lod2.eu/schemas/rdfh#{p}> ?o_{p} .");
+    }
+    format!("SELECT ?s WHERE {{ {body} }}")
+}
+
+fn q6_query(months: u32) -> String {
+    let end_year = 1994 + months / 12;
+    let end_month = months % 12 + 1;
+    format!(
+        r#"PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
+  ?li rdfh:lineitem_shipdate ?d .
+  ?li rdfh:lineitem_extendedprice ?price .
+  ?li rdfh:lineitem_discount ?disc .
+  FILTER(?d >= "1994-01-01"^^xsd:date && ?d < "{end_year}-{end_month:02}-01"^^xsd:date)
+}}"#
+    )
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let rdfscan = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
+    let default = ExecConfig { scheme: PlanScheme::Default, zonemaps: true };
+    vec![
+        Scenario {
+            name: "starjoin6_rdfscan",
+            query: star_query(6),
+            generation: Generation::Clustered,
+            exec: rdfscan,
+        },
+        Scenario {
+            name: "starjoin6_default",
+            query: star_query(6),
+            generation: Generation::Clustered,
+            exec: default,
+        },
+        Scenario {
+            name: "starjoin4_sparse",
+            query: star_query(4),
+            generation: Generation::CsParseOrder,
+            exec: rdfscan,
+        },
+        Scenario {
+            name: "zonemap_q6_36mo",
+            query: q6_query(36),
+            generation: Generation::Clustered,
+            exec: rdfscan,
+        },
+    ]
+}
+
+fn time_loop(min_secs: f64, min_iters: u64, mut body: impl FnMut()) -> f64 {
+    let mut iters = 0u64;
+    let t0 = Instant::now();
+    loop {
+        body();
+        iters += 1;
+        if iters >= min_iters && t0.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// 4 client threads running the sequential path concurrently against the
+/// shared pool; returns aggregate queries/sec.
+fn concurrent_clients_qps(
+    db: &Database,
+    sc: &Scenario,
+    n_clients: usize,
+    min_secs: f64,
+    min_iters: u64,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|_| {
+                let (stop, total) = (&stop, &total);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ =
+                            db.query_traced(&sc.query, sc.generation, sc.exec).expect("query");
+                        // Published per query: the controller's stop
+                        // condition watches this count.
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        while t0.elapsed().as_secs_f64() < min_secs
+            || total.load(Ordering::Relaxed) < min_iters * n_clients as u64
+        {
+            // A dead client means a query failed — stop immediately so the
+            // scope join surfaces its panic instead of spinning forever on
+            // a count that can no longer be reached.
+            if handles.iter().any(|h| h.is_finished()) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    total.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Sample {
+    let db = rig.db(sc.generation);
+    let par2 = ParallelConfig::with_workers(2);
+    let par4 = ParallelConfig::with_workers(4);
+
+    // Warm the pool + differential sanity: parallel must be byte-identical.
+    let warm = db.query_traced(&sc.query, sc.generation, sc.exec).expect("warmup");
+    let par_check = db
+        .query_traced_parallel(&sc.query, sc.generation, sc.exec, &par4)
+        .expect("parallel warmup");
+    assert_eq!(
+        warm.results.canonical(db.dict()),
+        par_check.results.canonical(db.dict()),
+        "{}: parallel result diverges from sequential",
+        sc.name
+    );
+    let result_rows = warm.results.len();
+
+    let seq_qps = time_loop(min_secs, min_iters, || {
+        let _ = db.query_traced(&sc.query, sc.generation, sc.exec).expect("query");
+    });
+    let par2_qps = time_loop(min_secs, min_iters, || {
+        let _ = db
+            .query_traced_parallel(&sc.query, sc.generation, sc.exec, &par2)
+            .expect("query");
+    });
+    let par4_qps = time_loop(min_secs, min_iters, || {
+        let _ = db
+            .query_traced_parallel(&sc.query, sc.generation, sc.exec, &par4)
+            .expect("query");
+    });
+    let clients4_qps = concurrent_clients_qps(db, sc, 4, min_secs, min_iters);
+
+    Sample { name: sc.name, seq_qps, par2_qps, par4_qps, clients4_qps, result_rows }
+}
+
+fn json_of(samples: &[Sample], sf: f64, n_triples: usize, baseline_json: Option<&str>) -> String {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"parallel\",");
+    let _ = writeln!(out, "  \"sf\": {sf},");
+    let _ = writeln!(out, "  \"n_triples\": {n_triples},");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    out.push_str("  \"scenarios\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    \"{}\": {{ \"seq_qps\": {:.2}, \"par2_qps\": {:.2}, \"par4_qps\": {:.2}, \
+             \"clients4_qps\": {:.2}, \"speedup_par4_vs_seq\": {:.2}, \
+             \"speedup_clients4_vs_seq\": {:.2}, \"result_rows\": {} }}{}",
+            s.name,
+            s.seq_qps,
+            s.par2_qps,
+            s.par4_qps,
+            s.clients4_qps,
+            s.par4_qps / s.seq_qps,
+            s.clients4_qps / s.seq_qps,
+            s.result_rows,
+            if i + 1 < samples.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  }");
+    if let Some(base) = baseline_json {
+        out.push_str(",\n  \"speedup_vs_pr2_single_thread\": {\n");
+        let speedups: Vec<(String, f64, f64, f64)> = samples
+            .iter()
+            .filter_map(|s| {
+                extract_scenario_field(base, s.name, "qps").map(|b| {
+                    (
+                        s.name.to_string(),
+                        s.par4_qps.max(s.clients4_qps) / b,
+                        s.seq_qps / b,
+                        b,
+                    )
+                })
+            })
+            .collect();
+        for (i, (name, best4, seq_ratio, base_qps)) in speedups.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    \"{name}\": {{ \"best_4worker_speedup\": {best4:.2}, \
+                 \"seq_speedup\": {seq_ratio:.2}, \"pr2_qps\": {base_qps:.2} }}{}",
+                if i + 1 < speedups.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  }\n");
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pull `"field": <number>` out of a scenario object in our own JSON format.
+fn extract_scenario_field(json: &str, scenario: &str, field: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{scenario}\""))?;
+    let obj = &json[start..start + json[start..].find('}')?];
+    let fstart = obj.find(&format!("\"{field}\""))?;
+    let after = obj[fstart..].split_once(':')?.1;
+    let num: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_val = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sf = flag_val("--sf")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.001 } else { 0.005 });
+    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let baseline = flag_val("--baseline").and_then(|p| std::fs::read_to_string(p).ok());
+    let (min_secs, min_iters) = if smoke { (0.1, 2) } else { (1.5, 10) };
+
+    let rig = build_rig(sf);
+    let samples: Vec<Sample> =
+        scenarios().iter().map(|sc| run_scenario(&rig, sc, min_secs, min_iters)).collect();
+
+    for s in &samples {
+        println!(
+            "{:<20} seq {:>8.1} q/s  par2 {:>8.1}  par4 {:>8.1}  4-clients {:>8.1}  ({:>4.2}x / {:>4.2}x vs seq)  {:>6} rows",
+            s.name,
+            s.seq_qps,
+            s.par2_qps,
+            s.par4_qps,
+            s.clients4_qps,
+            s.par4_qps / s.seq_qps,
+            s.clients4_qps / s.seq_qps,
+            s.result_rows
+        );
+    }
+
+    let json = json_of(&samples, sf, rig.n_triples, baseline.as_deref());
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

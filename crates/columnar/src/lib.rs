@@ -28,5 +28,17 @@ pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder};
 pub use disk::{DiskManager, PageId, PAGE_BYTES, VALS_PER_PAGE};
 pub use column::Chunk;
-pub use pool::{BufferPool, PageGuard, PoolStats};
+pub use pool::{BufferPool, PageGuard, PoolStats, DEFAULT_POOL_SHARDS, MIN_PAGES_PER_SHARD};
 pub use zonemap::{PageStats, ZoneMap};
+
+/// Compile-time thread-safety audit: the shared storage layer must be
+/// usable from morsel workers and concurrent queries without wrappers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DiskManager>();
+    assert_send_sync::<BufferPool>();
+    assert_send_sync::<Column>();
+    assert_send_sync::<Chunk>();
+    assert_send_sync::<PageGuard>();
+    assert_send_sync::<ZoneMap>();
+};

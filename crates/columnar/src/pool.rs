@@ -1,4 +1,4 @@
-//! LRU buffer pool over a [`DiskManager`].
+//! Sharded LRU buffer pool over a [`DiskManager`].
 //!
 //! The pool is the only path from operators to stored pages, which makes the
 //! paper's cold/hot distinction reproducible: a *cold* run calls
@@ -6,14 +6,37 @@
 //! with synthetic latency), a *hot* run reuses the warm cache. The stats
 //! counters double as the locality metric ("pages touched") reported by the
 //! benchmark harnesses.
+//!
+//! # Threading model
+//!
+//! The pool is `Send + Sync` and built for concurrent readers: morsel workers
+//! and concurrent queries share one pool. The page map is split into lock
+//! *shards* keyed by a `PageId` hash — each shard owns its slice of the
+//! capacity and its own LRU order, so two workers touching different pages
+//! almost never contend on the same mutex. Counters are relaxed atomics and
+//! page reads happen outside any lock; when two threads miss on the same page
+//! simultaneously, both read it and the loser adopts the winner's frame
+//! (never leaving a stale LRU entry behind — see `try_get`).
 
 use crate::disk::{DiskManager, PageId};
 use parking_lot::Mutex;
+use sordf_model::ModelError;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sordf_model::fxhash::FxHashMap;
+
+/// Default maximum number of lock shards. [`BufferPool::new`] scales the
+/// actual count with capacity (one shard per [`MIN_PAGES_PER_SHARD`] pages,
+/// capped here) so that small pools keep a near-global LRU instead of
+/// splitting a tiny budget into thrash-prone slivers.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
+
+/// Capacity granted per shard before another shard is worth its skew: below
+/// this, partitioning the LRU costs more in premature evictions (a hot set
+/// hashing into one shard's sliver) than the extra mutex relieves.
+pub const MIN_PAGES_PER_SHARD: usize = 32;
 
 /// Cumulative pool counters (monotone; use deltas around a query).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,12 +50,15 @@ pub struct PoolStats {
 }
 
 impl PoolStats {
-    /// Stats delta since `earlier`.
+    /// Stats delta since `earlier`. Saturating: counters are relaxed atomics
+    /// bumped by concurrent threads, so a snapshot pair taken mid-update can
+    /// observe one counter "ahead" of the other — a delta must clamp at zero
+    /// instead of panicking in debug builds.
     pub fn since(&self, earlier: &PoolStats) -> PoolStats {
         PoolStats {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
         }
     }
 }
@@ -58,18 +84,37 @@ struct Frame {
     last_used: u64,
 }
 
-struct PoolInner {
+struct ShardInner {
     frames: FxHashMap<PageId, Frame>,
     /// (last_used, page) ordered set driving LRU eviction.
     lru: BTreeSet<(u64, PageId)>,
     tick: u64,
 }
 
-/// The LRU page cache. See the [module docs](self).
+/// One lock shard: a slice of the capacity with its own LRU order.
+struct Shard {
+    capacity: usize,
+    inner: Mutex<ShardInner>,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            capacity,
+            inner: Mutex::new(ShardInner {
+                frames: FxHashMap::default(),
+                lru: BTreeSet::new(),
+                tick: 0,
+            }),
+        }
+    }
+}
+
+/// The sharded LRU page cache. See the [module docs](self).
 pub struct BufferPool {
     disk: Arc<DiskManager>,
     capacity: usize,
-    inner: Mutex<PoolInner>,
+    shards: Box<[Shard]>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -78,17 +123,33 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
-    /// A pool caching at most `capacity` pages (64 KiB each).
+    /// A pool caching at most `capacity` pages (64 KiB each). The shard
+    /// count scales with capacity — one shard per [`MIN_PAGES_PER_SHARD`]
+    /// pages, at most [`DEFAULT_POOL_SHARDS`] — so small pools keep a
+    /// near-global LRU while large pools get contention relief.
     pub fn new(disk: Arc<DiskManager>, capacity: usize) -> BufferPool {
+        let shards = (capacity / MIN_PAGES_PER_SHARD).clamp(1, DEFAULT_POOL_SHARDS);
+        BufferPool::with_shards(disk, capacity, shards)
+    }
+
+    /// A pool with an explicit shard count. `n_shards = 1` restores the
+    /// single global LRU (strict LRU semantics across all pages — used by
+    /// eviction-order tests); more shards trade strictness of the global
+    /// recency order for lower lock contention. Capacity is split across
+    /// shards (remainder pages go to the first shards).
+    pub fn with_shards(disk: Arc<DiskManager>, capacity: usize, n_shards: usize) -> BufferPool {
         assert!(capacity > 0, "pool capacity must be positive");
+        assert!(n_shards > 0, "pool must have at least one shard");
+        assert!(n_shards <= capacity, "more shards than capacity pages");
+        let base = capacity / n_shards;
+        let rem = capacity % n_shards;
+        let shards: Box<[Shard]> = (0..n_shards)
+            .map(|i| Shard::new(base + usize::from(i < rem)))
+            .collect();
         BufferPool {
             disk,
             capacity,
-            inner: Mutex::new(PoolInner {
-                frames: FxHashMap::default(),
-                lru: BTreeSet::new(),
-                tick: 0,
-            }),
+            shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -106,6 +167,15 @@ impl BufferPool {
         self.read_latency_ns.store(ns, Ordering::Relaxed);
     }
 
+    /// The shard owning a page. Fibonacci hashing spreads sequential page
+    /// ids (columns allocate pages contiguously) across shards, so one
+    /// scanning worker cycles through locks instead of hammering one.
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
     /// Pin a page for slice access. One pin per page is the contract of
     /// vectorized operators: the guard keeps the data alive (even across
     /// eviction), so a scan pays the pool's lock + lookup once per 8192
@@ -114,11 +184,29 @@ impl BufferPool {
         PageGuard { data: self.get(id) }
     }
 
+    /// Fallible [`BufferPool::pin`].
+    pub fn try_pin(&self, id: PageId) -> Result<PageGuard, ModelError> {
+        Ok(PageGuard { data: self.try_get(id)? })
+    }
+
     /// Fetch a page, from cache or disk. The returned `Arc` stays valid even
     /// if the page is evicted while in use.
+    ///
+    /// Panics if the page cannot be read after retries; use
+    /// [`BufferPool::try_get`] where a read failure must be recoverable
+    /// (the `sordf` facade catches this at the query boundary, so one bad
+    /// read fails one query, not the process).
     pub fn get(&self, id: PageId) -> Arc<Vec<u64>> {
+        self.try_get(id).unwrap_or_else(|e| panic!("buffer pool: {e}"))
+    }
+
+    /// Fetch a page, surfacing read failures as [`ModelError::PageRead`]
+    /// after a short retry loop (transient I/O errors are retried rather
+    /// than poisoning any pool state — no lock is held across the read).
+    pub fn try_get(&self, id: PageId) -> Result<Arc<Vec<u64>>, ModelError> {
+        let shard = self.shard_of(id);
         {
-            let mut inner = self.inner.lock();
+            let mut inner = shard.inner.lock();
             let tick = inner.tick + 1;
             inner.tick = tick;
             if let Some(frame) = inner.frames.get_mut(&id) {
@@ -128,21 +216,36 @@ impl BufferPool {
                 inner.lru.remove(&(old, id));
                 inner.lru.insert((tick, id));
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return data;
+                return Ok(data);
             }
         }
-        // Miss: read outside the lock so concurrent readers are not serialized
-        // on I/O (double reads of the same page are possible but harmless).
+        // Miss: read outside the lock so concurrent readers are not
+        // serialized on I/O (double reads of the same page are possible and
+        // resolved below).
         self.misses.fetch_add(1, Ordering::Relaxed);
         let latency = self.read_latency_ns.load(Ordering::Relaxed);
         if latency > 0 {
             spin_wait_ns(latency);
         }
-        let data = Arc::new(self.disk.read_page(id).expect("page read failed"));
-        let mut inner = self.inner.lock();
+        let data = Arc::new(self.read_page_retrying(id)?);
+        let mut inner = shard.inner.lock();
         let tick = inner.tick + 1;
         inner.tick = tick;
-        while inner.frames.len() >= self.capacity {
+        if let Some(frame) = inner.frames.get_mut(&id) {
+            // A concurrent miss inserted this page while we were reading.
+            // Adopt that frame and refresh its recency; inserting a second
+            // frame here would overwrite the winner's but leave its stale
+            // (last_used, id) entry dangling in the LRU set — a later
+            // eviction would then remove a live frame while the dangling
+            // entry survives, diverging `frames` from `lru`.
+            let old = frame.last_used;
+            frame.last_used = tick;
+            let data = Arc::clone(&frame.data);
+            inner.lru.remove(&(old, id));
+            inner.lru.insert((tick, id));
+            return Ok(data);
+        }
+        while inner.frames.len() >= shard.capacity.max(1) {
             if let Some(&(t, victim)) = inner.lru.iter().next() {
                 inner.lru.remove(&(t, victim));
                 inner.frames.remove(&victim);
@@ -153,14 +256,43 @@ impl BufferPool {
         }
         inner.frames.insert(id, Frame { data: Arc::clone(&data), last_used: tick });
         inner.lru.insert((tick, id));
-        data
+        Ok(data)
+    }
+
+    fn read_page_retrying(&self, id: PageId) -> Result<Vec<u64>, ModelError> {
+        const ATTEMPTS: usize = 3;
+        let mut last_err = None;
+        for _ in 0..ATTEMPTS {
+            match self.disk.read_page(id) {
+                Ok(vals) => return Ok(vals),
+                Err(e) => {
+                    // Only plausibly-transient errors are worth retrying; a
+                    // short read (truncated / never-written page) or a
+                    // NotFound can never succeed on the second attempt.
+                    let transient = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+                    );
+                    last_err = Some(e);
+                    if !transient {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(ModelError::PageRead {
+            page: id.0,
+            msg: last_err.map(|e| e.to_string()).unwrap_or_default(),
+        })
     }
 
     /// Drop every cached page — the next run is *cold*.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.frames.clear();
-        inner.lru.clear();
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.lock();
+            inner.frames.clear();
+            inner.lru.clear();
+        }
     }
 
     /// Current counters.
@@ -174,12 +306,51 @@ impl BufferPool {
 
     /// Number of pages currently cached.
     pub fn cached_pages(&self) -> usize {
-        self.inner.lock().frames.len()
+        self.shards.iter().map(|s| s.inner.lock().frames.len()).sum()
     }
 
-    /// Pool capacity in pages.
+    /// Pool capacity in pages (summed across shards).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of lock shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Assert the internal invariants of every shard (debug/test hook):
+    /// `frames` and `lru` describe the same page set, every LRU entry carries
+    /// the live recency of its frame, and no shard exceeds its capacity
+    /// slice. Panics with a description on violation.
+    pub fn check_invariants(&self) {
+        for (si, shard) in self.shards.iter().enumerate() {
+            let inner = shard.inner.lock();
+            assert_eq!(
+                inner.frames.len(),
+                inner.lru.len(),
+                "shard {si}: frames ({}) and lru ({}) diverged",
+                inner.frames.len(),
+                inner.lru.len()
+            );
+            assert!(
+                inner.frames.len() <= shard.capacity.max(1),
+                "shard {si}: {} frames exceed shard capacity {}",
+                inner.frames.len(),
+                shard.capacity
+            );
+            for &(t, id) in &inner.lru {
+                let frame = inner
+                    .frames
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("shard {si}: dangling LRU entry for page {id:?}"));
+                assert_eq!(
+                    frame.last_used, t,
+                    "shard {si}: LRU tick {t} stale for page {id:?} (frame tick {})",
+                    frame.last_used
+                );
+            }
+        }
     }
 }
 
@@ -209,6 +380,20 @@ mod tests {
         (BufferPool::new(dm, capacity), ids)
     }
 
+    /// Like `pool_with_pages` but with one global LRU shard, for tests that
+    /// assert strict cross-page eviction order.
+    fn single_shard_pool(n_pages: u64, capacity: usize) -> (BufferPool, Vec<PageId>) {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let ids: Vec<PageId> = (0..n_pages)
+            .map(|i| {
+                let id = dm.alloc_page();
+                dm.write_page(id, &[i * 100]).unwrap();
+                id
+            })
+            .collect();
+        (BufferPool::with_shards(dm, capacity, 1), ids)
+    }
+
     #[test]
     fn hit_after_miss() {
         let (pool, ids) = pool_with_pages(1, 4);
@@ -220,7 +405,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let (pool, ids) = pool_with_pages(3, 2);
+        let (pool, ids) = single_shard_pool(3, 2);
         pool.get(ids[0]);
         pool.get(ids[1]);
         pool.get(ids[0]); // 0 now more recent than 1
@@ -231,6 +416,7 @@ mod tests {
         assert_eq!(pool.stats().hits, before.hits + 1);
         pool.get(ids[1]); // was evicted -> miss
         assert_eq!(pool.stats().misses, before.misses + 1);
+        pool.check_invariants();
     }
 
     #[test]
@@ -247,7 +433,7 @@ mod tests {
 
     #[test]
     fn data_survives_eviction_for_holders() {
-        let (pool, ids) = pool_with_pages(3, 1);
+        let (pool, ids) = single_shard_pool(3, 1);
         let held = pool.get(ids[0]);
         pool.get(ids[1]);
         pool.get(ids[2]);
@@ -264,5 +450,114 @@ mod tests {
         pool.get(ids[0]);
         let d = pool.stats().since(&t0);
         assert_eq!((d.misses, d.hits), (1, 1));
+    }
+
+    #[test]
+    fn stats_delta_saturates_on_torn_snapshots() {
+        // A snapshot pair taken around concurrent updates can observe the
+        // "later" snapshot behind the earlier one per counter; the delta
+        // clamps at zero instead of panicking on underflow.
+        let newer = PoolStats { hits: 5, misses: 2, evictions: 0 };
+        let older = PoolStats { hits: 7, misses: 1, evictions: 3 };
+        let d = newer.since(&older);
+        assert_eq!((d.hits, d.misses, d.evictions), (0, 1, 0));
+    }
+
+    #[test]
+    fn capacity_splits_across_shards() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let pool = BufferPool::with_shards(dm, 10, 4);
+        assert_eq!(pool.capacity(), 10);
+        assert_eq!(pool.n_shards(), 4);
+        let per_shard: usize = pool.shards.iter().map(|s| s.capacity).sum();
+        assert_eq!(per_shard, 10);
+        assert!(pool.shards.iter().all(|s| s.capacity == 2 || s.capacity == 3));
+    }
+
+    #[test]
+    fn shard_count_scales_with_capacity() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        // Tiny pools keep a single global LRU; big pools cap at the default.
+        assert_eq!(BufferPool::new(Arc::clone(&dm), 2).n_shards(), 1);
+        assert_eq!(BufferPool::new(Arc::clone(&dm), 31).n_shards(), 1);
+        assert_eq!(BufferPool::new(Arc::clone(&dm), 64).n_shards(), 2);
+        assert_eq!(BufferPool::new(Arc::clone(&dm), 4096).n_shards(), DEFAULT_POOL_SHARDS);
+    }
+
+    #[test]
+    fn sharded_pool_respects_total_capacity() {
+        let (pool, ids) = pool_with_pages(64, 8);
+        for &id in &ids {
+            pool.get(id);
+        }
+        assert!(
+            pool.cached_pages() <= pool.capacity(),
+            "{} cached > capacity {}",
+            pool.cached_pages(),
+            pool.capacity()
+        );
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn missing_page_surfaces_error_not_panic() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let pool = BufferPool::new(dm, 4);
+        // Never allocated or written: the read fails with a short read.
+        let err = pool.try_get(PageId(999)).unwrap_err();
+        match err {
+            ModelError::PageRead { page, .. } => assert_eq!(page, 999),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The failure left no partial state behind.
+        assert_eq!(pool.cached_pages(), 0);
+        pool.check_invariants();
+    }
+
+    /// The PR-3 regression: two threads missing on the same page both insert;
+    /// before the fix the second `frames.insert` overwrote the first frame
+    /// but left its stale `(last_used, id)` entry in the LRU set, so a later
+    /// eviction removed a live frame while a dangling entry survived. Hammer
+    /// one hot page (plus eviction pressure) from 8 threads through a
+    /// capacity-2 pool and assert the frames/LRU invariants hold throughout.
+    #[test]
+    fn concurrent_misses_keep_frames_and_lru_aligned() {
+        for n_shards in [1, 2] {
+            let dm = Arc::new(DiskManager::temp().unwrap());
+            let ids: Vec<PageId> = (0..4u64)
+                .map(|i| {
+                    let id = dm.alloc_page();
+                    dm.write_page(id, &[i * 100]).unwrap();
+                    id
+                })
+                .collect();
+            let pool = BufferPool::with_shards(dm, 2, n_shards);
+            std::thread::scope(|s| {
+                for t in 0..8usize {
+                    let pool = &pool;
+                    let ids = &ids;
+                    s.spawn(move || {
+                        for i in 0..2000usize {
+                            // Everyone hammers the hot page; half the threads
+                            // interleave other pages to force evictions and
+                            // re-misses of the hot page.
+                            let id = if t % 2 == 0 || i % 3 == 0 {
+                                ids[0]
+                            } else {
+                                ids[1 + (i + t) % 3]
+                            };
+                            let data = pool.get(id);
+                            let want = ids.iter().position(|&x| x == id).unwrap() as u64 * 100;
+                            assert_eq!(data[0], want, "corrupt frame for {id:?}");
+                            if i % 64 == 0 {
+                                pool.check_invariants();
+                            }
+                        }
+                    });
+                }
+            });
+            pool.check_invariants();
+            assert!(pool.cached_pages() <= pool.capacity());
+        }
     }
 }

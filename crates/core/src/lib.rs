@@ -48,7 +48,7 @@ use sordf_columnar::{BufferPool, DiskManager, PoolStats};
 use sordf_engine::agg::ResultSet;
 use sordf_engine::context::StatsSnapshot;
 use sordf_engine::planner::PlanInfo;
-pub use sordf_engine::{ExecConfig, PlanScheme};
+pub use sordf_engine::{ExecConfig, ParallelConfig, PlanScheme};
 use sordf_engine::{ExecContext, StorageRef};
 use sordf_model::{Dictionary, ModelError, TermTriple};
 pub use sordf_schema::{EmergentSchema, SchemaConfig};
@@ -65,6 +65,9 @@ pub enum Error {
     Sparql(sordf_sparql::ParseError),
     Sql(String),
     State(String),
+    /// The execution engine failed mid-query (e.g. a page read kept failing
+    /// after retries). The query is lost; the database stays usable.
+    Exec(String),
 }
 
 impl std::fmt::Display for Error {
@@ -75,6 +78,7 @@ impl std::fmt::Display for Error {
             Error::Sparql(e) => write!(f, "{e}"),
             Error::Sql(e) => write!(f, "SQL error: {e}"),
             Error::State(e) => write!(f, "invalid state: {e}"),
+            Error::Exec(e) => write!(f, "execution failed: {e}"),
         }
     }
 }
@@ -373,11 +377,58 @@ impl Database {
         generation: Generation,
         config: ExecConfig,
     ) -> Result<Traced, Error> {
+        self.query_traced_impl(sparql, generation, config, None)
+    }
+
+    /// Run a SPARQL query with morsel-parallel operators (see
+    /// [`sordf_engine::parallel`]): page/row ranges are split across
+    /// `parallel.workers` scoped threads sharing this database's buffer
+    /// pool. Non-aggregate results are byte-identical to the sequential
+    /// path (same rows, same order); SUM/AVG aggregates merge per-worker
+    /// partials through the compensated accumulator and may differ from
+    /// the sequential value in the last ulp (canonical/rendered forms
+    /// agree — do not compare raw aggregate `f64`s bitwise).
+    pub fn query_parallel(
+        &self,
+        sparql: &str,
+        parallel: &ParallelConfig,
+    ) -> Result<ResultSet, Error> {
+        Ok(self
+            .query_traced_parallel(sparql, self.default_generation()?, self.config, parallel)?
+            .results)
+    }
+
+    /// [`Database::query_parallel`] pinned to a generation + configuration,
+    /// returning operator/pool statistics with the results.
+    pub fn query_traced_parallel(
+        &self,
+        sparql: &str,
+        generation: Generation,
+        config: ExecConfig,
+        parallel: &ParallelConfig,
+    ) -> Result<Traced, Error> {
+        self.query_traced_impl(sparql, generation, config, Some(parallel))
+    }
+
+    fn query_traced_impl(
+        &self,
+        sparql: &str,
+        generation: Generation,
+        config: ExecConfig,
+        parallel: Option<&ParallelConfig>,
+    ) -> Result<Traced, Error> {
         let query = sordf_sparql::parse_sparql(sparql, &self.ts.dict)?;
         let storage = self.storage_for(generation)?;
         let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, config);
         let pool_before = self.pool.stats();
-        let results = sordf_engine::execute(&cx, &query);
+        // Query-boundary fault isolation: an engine panic (e.g. a page read
+        // that keeps failing after the pool's retries) fails this query, not
+        // the process — the next query sees intact immutable storage.
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match parallel {
+            None => sordf_engine::execute(&cx, &query),
+            Some(par) => sordf_engine::execute_parallel(&cx, &query, par),
+        }))
+        .map_err(|payload| Error::Exec(panic_message(payload)))?;
         Ok(Traced {
             results,
             stats: cx.stats.snapshot(),
@@ -406,6 +457,24 @@ impl Database {
         Ok(sordf_engine::execute(&cx, &query))
     }
 }
+
+/// Render a panic payload as a message (best effort).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine panicked".to_string()
+    }
+}
+
+/// Compile-time thread-safety audit: one `Database` serves concurrent
+/// queries from many threads (shared pool, per-query contexts).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -128,7 +128,7 @@ impl ResultSet {
 /// configurations. Compensation keeps the result order-insensitive to within
 /// one ulp of the exact sum, provided no intermediate overflows.
 #[derive(Debug, Clone, Copy, Default)]
-struct CompensatedSum {
+pub(crate) struct CompensatedSum {
     sum: f64,
     compensation: f64,
 }
@@ -144,13 +144,23 @@ impl CompensatedSum {
         self.sum = t;
     }
 
+    /// Fold another compensated sum into this one. Adding the partial's sum
+    /// through the compensated path and carrying its compensation keeps the
+    /// merged total order-insensitive to within one ulp — the property that
+    /// lets per-worker aggregation partials merge in any order and still
+    /// agree with the sequential accumulation.
+    fn merge(&mut self, other: &CompensatedSum) {
+        self.add(other.sum);
+        self.compensation += other.compensation;
+    }
+
     fn value(&self) -> f64 {
         self.sum + self.compensation
     }
 }
 
 /// Aggregate accumulator.
-enum AggState {
+pub(crate) enum AggState {
     Count(u64),
     Sum(CompensatedSum),
     Avg(CompensatedSum, u64),
@@ -207,6 +217,38 @@ impl AggState {
         }
     }
 
+    /// Fold a partial accumulator (from another row range) into this one.
+    /// COUNT/MIN/MAX merge exactly; SUM/AVG merge through the compensated
+    /// path, order-insensitive to within one ulp.
+    pub(crate) fn merge(&mut self, other: AggState, dict: &Dictionary) {
+        match (self, other) {
+            (AggState::Count(n), AggState::Count(m)) => *n += m,
+            (AggState::Sum(s), AggState::Sum(o)) => s.merge(&o),
+            (AggState::Avg(s, n), AggState::Avg(o, m)) => {
+                s.merge(&o);
+                *n += m;
+            }
+            (AggState::Min(best), AggState::Min(Some(o))) => {
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| cmp_outval(&o, b, dict) == std::cmp::Ordering::Less);
+                if better {
+                    *best = Some(o);
+                }
+            }
+            (AggState::Max(best), AggState::Max(Some(o))) => {
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| cmp_outval(&o, b, dict) == std::cmp::Ordering::Greater);
+                if better {
+                    *best = Some(o);
+                }
+            }
+            (AggState::Min(_), AggState::Min(None)) | (AggState::Max(_), AggState::Max(None)) => {}
+            _ => unreachable!("merging mismatched aggregate states"),
+        }
+    }
+
     fn finish(self) -> OutVal {
         match self {
             AggState::Count(n) => OutVal::Num(n as f64),
@@ -223,24 +265,95 @@ impl AggState {
     }
 }
 
-/// Apply SELECT / GROUP BY / DISTINCT / ORDER BY / LIMIT to the raw binding
-/// table.
-pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
-    // Effective select list: all pattern vars when empty.
-    let select: Vec<SelectItem> = if query.select.is_empty() {
+/// Effective select list: all pattern vars when empty.
+pub(crate) fn effective_select(query: &Query) -> Vec<SelectItem> {
+    if query.select.is_empty() {
         query.pattern_vars().into_iter().map(SelectItem::Var).collect()
     } else {
         query.select.clone()
-    };
-    let columns: Vec<String> = select.iter().map(|s| s.name(&query.vars).to_string()).collect();
+    }
+}
 
-    // Dense VarId -> column map, resolved once — the per-row lookups below
-    // must not re-scan the table's variable list per access.
+/// Dense VarId -> column map, resolved once — per-row lookups must not
+/// re-scan the table's variable list per access.
+pub(crate) fn var_col_map(table: &Table) -> Vec<Option<usize>> {
     let n_var_ids = table.vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
     let mut var_col: Vec<Option<usize>> = vec![None; n_var_ids];
     for (c, v) in table.vars.iter().enumerate() {
         var_col[v.0 as usize] = Some(c);
     }
+    var_col
+}
+
+/// Fresh accumulators for a select list (placeholders for non-aggregates).
+pub(crate) fn new_agg_states(select: &[SelectItem]) -> Vec<AggState> {
+    select
+        .iter()
+        .map(|s| match s {
+            SelectItem::Agg { func, .. } => AggState::new(*func),
+            _ => AggState::new(AggFunc::Count), // placeholder
+        })
+        .collect()
+}
+
+/// Accumulate a row range of the binding table into single-group (no GROUP
+/// BY) aggregate states — the partial-aggregation unit the parallel
+/// executor runs per worker before merging with [`AggState::merge`].
+pub(crate) fn accumulate_single_group(
+    cx: &ExecContext,
+    select: &[SelectItem],
+    table: &Table,
+    var_col: &[Option<usize>],
+    rows: std::ops::Range<usize>,
+    states: &mut [AggState],
+) {
+    for i in rows {
+        let lk = |v: VarId| -> Oid {
+            var_col
+                .get(v.0 as usize)
+                .copied()
+                .flatten()
+                .map(|c| table.cols[c][i])
+                .unwrap_or(Oid::NULL)
+        };
+        for (s, state) in select.iter().zip(states.iter_mut()) {
+            if let SelectItem::Agg { expr, .. } = s {
+                state.add(expr.eval(&lk, cx.dict), cx.dict);
+            }
+        }
+    }
+}
+
+/// Render finished single-group states as the one-row result set.
+pub(crate) fn single_group_result(
+    cx: &ExecContext,
+    query: &Query,
+    select: &[SelectItem],
+    states: Vec<AggState>,
+) -> ResultSet {
+    let columns: Vec<String> = select.iter().map(|s| s.name(&query.vars).to_string()).collect();
+    let mut rs = ResultSet::new(columns);
+    let lk = |_: VarId| Oid::NULL;
+    rs.push_row(select.iter().zip(states).map(|(s, state)| match s {
+        SelectItem::Agg { .. } => state.finish(),
+        SelectItem::Var(_) => OutVal::Null,
+        SelectItem::Expr { expr, .. } => match expr.eval(&lk, cx.dict) {
+            EvalValue::Oid(o) if o.is_null() => OutVal::Null,
+            EvalValue::Oid(o) => OutVal::Oid(o),
+            EvalValue::Num(n) => OutVal::Num(n),
+            EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
+        },
+    }));
+    rs
+}
+
+/// Apply SELECT / GROUP BY / DISTINCT / ORDER BY / LIMIT to the raw binding
+/// table.
+pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
+    let select = effective_select(query);
+    let columns: Vec<String> = select.iter().map(|s| s.name(&query.vars).to_string()).collect();
+
+    let var_col = var_col_map(table);
     let lookup_at = |i: usize| {
         let var_col = &var_col;
         move |v: VarId| -> Oid {
@@ -257,32 +370,9 @@ pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
     if query.has_aggregates() && query.group_by.is_empty() && !table.is_empty() {
         // Single-group fast path (Q6-style whole-table aggregates): one
         // accumulator vector, one tight pass over the columns, no hashing.
-        let mut states: Vec<AggState> = select
-            .iter()
-            .map(|s| match s {
-                SelectItem::Agg { func, .. } => AggState::new(*func),
-                _ => AggState::new(AggFunc::Count), // placeholder
-            })
-            .collect();
-        for i in 0..table.len() {
-            let lk = lookup_at(i);
-            for (s, state) in select.iter().zip(states.iter_mut()) {
-                if let SelectItem::Agg { expr, .. } = s {
-                    state.add(expr.eval(&lk, cx.dict), cx.dict);
-                }
-            }
-        }
-        let lk = |_: VarId| Oid::NULL;
-        rs.push_row(select.iter().zip(states).map(|(s, state)| match s {
-            SelectItem::Agg { .. } => state.finish(),
-            SelectItem::Var(_) => OutVal::Null,
-            SelectItem::Expr { expr, .. } => match expr.eval(&lk, cx.dict) {
-                EvalValue::Oid(o) if o.is_null() => OutVal::Null,
-                EvalValue::Oid(o) => OutVal::Oid(o),
-                EvalValue::Num(n) => OutVal::Num(n),
-                EvalValue::Bool(b) => OutVal::Num(b as i64 as f64),
-            },
-        }));
+        let mut states = new_agg_states(&select);
+        accumulate_single_group(cx, &select, table, &var_col, 0..table.len(), &mut states);
+        rs = single_group_result(cx, query, &select, states);
     } else if query.has_aggregates() {
         // Hash grouping on the GROUP BY key.
         let mut groups: FxHashMap<Vec<Oid>, Vec<AggState>> = FxHashMap::default();
@@ -369,6 +459,13 @@ pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
         }
     }
 
+    apply_modifiers(cx, query, &mut rs);
+    rs
+}
+
+/// The DISTINCT / ORDER BY / LIMIT tail of [`finalize`], shared with the
+/// parallel executor (which builds the aggregate row itself).
+pub(crate) fn apply_modifiers(cx: &ExecContext, query: &Query, rs: &mut ResultSet) {
     let nc = rs.columns.len();
     if query.distinct {
         let mut kept: Vec<OutVal> = Vec::new();
@@ -414,6 +511,4 @@ pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
             rs.vals.truncate(limit * nc);
         }
     }
-
-    rs
 }

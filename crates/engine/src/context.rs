@@ -4,7 +4,7 @@ use sordf_columnar::BufferPool;
 use sordf_model::Dictionary;
 use sordf_schema::EmergentSchema;
 use sordf_storage::{BaselineStore, ClusteredStore};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which plan scheme the planner uses for star patterns — the "Query Plan"
 /// axis of the paper's Table I.
@@ -54,50 +54,59 @@ impl<'a> StorageRef<'a> {
 
 /// Runtime operator counters — the numbers behind the paper's Fig. 4
 /// (join-effort reduction) and the locality reporting of the harnesses.
+///
+/// Counters are relaxed atomics so one context can be shared across morsel
+/// workers (`ExecContext` is `Sync`); partial counts from workers sum
+/// naturally, at no cost on the single-threaded path.
 #[derive(Debug, Default)]
 pub struct ExecStats {
-    pub merge_joins: Cell<u64>,
-    pub hash_joins: Cell<u64>,
-    pub rdf_scans: Cell<u64>,
-    pub rdf_joins: Cell<u64>,
-    pub property_scans: Cell<u64>,
-    pub rows_scanned: Cell<u64>,
-    pub rows_emitted: Cell<u64>,
-    pub zonemap_pages_skipped: Cell<u64>,
+    pub merge_joins: AtomicU64,
+    pub hash_joins: AtomicU64,
+    pub rdf_scans: AtomicU64,
+    pub rdf_joins: AtomicU64,
+    pub property_scans: AtomicU64,
+    pub rows_scanned: AtomicU64,
+    pub rows_emitted: AtomicU64,
+    pub zonemap_pages_skipped: AtomicU64,
 }
 
 impl ExecStats {
-    pub fn bump(cell: &Cell<u64>, by: u64) {
-        cell.set(cell.get() + by);
+    pub fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Read one counter (tests, ad-hoc reporting).
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
     }
 
     /// Total join operators executed.
     pub fn total_joins(&self) -> u64 {
-        self.merge_joins.get() + self.hash_joins.get() + self.rdf_joins.get()
+        self.snapshot().total_joins()
     }
 
     pub fn reset(&self) {
-        self.merge_joins.set(0);
-        self.hash_joins.set(0);
-        self.rdf_scans.set(0);
-        self.rdf_joins.set(0);
-        self.property_scans.set(0);
-        self.rows_scanned.set(0);
-        self.rows_emitted.set(0);
-        self.zonemap_pages_skipped.set(0);
+        self.merge_joins.store(0, Ordering::Relaxed);
+        self.hash_joins.store(0, Ordering::Relaxed);
+        self.rdf_scans.store(0, Ordering::Relaxed);
+        self.rdf_joins.store(0, Ordering::Relaxed);
+        self.property_scans.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.rows_emitted.store(0, Ordering::Relaxed);
+        self.zonemap_pages_skipped.store(0, Ordering::Relaxed);
     }
 
     /// A plain-old-data copy of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            merge_joins: self.merge_joins.get(),
-            hash_joins: self.hash_joins.get(),
-            rdf_scans: self.rdf_scans.get(),
-            rdf_joins: self.rdf_joins.get(),
-            property_scans: self.property_scans.get(),
-            rows_scanned: self.rows_scanned.get(),
-            rows_emitted: self.rows_emitted.get(),
-            zonemap_pages_skipped: self.zonemap_pages_skipped.get(),
+            merge_joins: self.merge_joins.load(Ordering::Relaxed),
+            hash_joins: self.hash_joins.load(Ordering::Relaxed),
+            rdf_scans: self.rdf_scans.load(Ordering::Relaxed),
+            rdf_joins: self.rdf_joins.load(Ordering::Relaxed),
+            property_scans: self.property_scans.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            rows_emitted: self.rows_emitted.load(Ordering::Relaxed),
+            zonemap_pages_skipped: self.zonemap_pages_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -130,6 +139,21 @@ pub struct ExecContext<'a> {
     pub config: ExecConfig,
     pub stats: ExecStats,
 }
+
+/// Compile-time thread-safety audit: a context (storage handles + atomic
+/// counters) must be shareable across morsel workers, and the storage layer
+/// across concurrent queries.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BufferPool>();
+    assert_send_sync::<sordf_columnar::DiskManager>();
+    assert_send_sync::<BaselineStore>();
+    assert_send_sync::<ClusteredStore>();
+    assert_send_sync::<EmergentSchema>();
+    assert_send_sync::<Dictionary>();
+    assert_send_sync::<ExecStats>();
+    assert_send_sync::<ExecContext<'static>>();
+};
 
 impl<'a> ExecContext<'a> {
     pub fn new(

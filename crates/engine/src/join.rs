@@ -159,7 +159,7 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out.cols[0], vec![Oid::iri(1), Oid::iri(4)]);
         assert_eq!(out.cols[1], vec![Oid::iri(10), Oid::iri(40)]);
-        assert_eq!(cx.stats.merge_joins.get(), 1);
+        assert_eq!(ExecStats::get(&cx.stats.merge_joins), 1);
     }
 
     #[test]

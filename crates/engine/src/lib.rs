@@ -22,6 +22,7 @@ pub mod cardest;
 pub mod context;
 pub mod expr;
 pub mod join;
+pub mod parallel;
 pub mod planner;
 pub mod query;
 pub mod rowwise;
@@ -31,6 +32,7 @@ pub mod table;
 
 pub use context::{ExecConfig, ExecContext, ExecStats, PlanScheme, StorageRef};
 pub use expr::{AggFunc, CmpOp, Expr};
-pub use planner::{execute, explain};
+pub use parallel::{execute_parallel, ParallelConfig};
+pub use planner::{execute, execute_with, explain, StarEvalFn};
 pub use query::{Query, SelectItem, TriplePattern, VarOrOid};
 pub use table::{Table, VarId};

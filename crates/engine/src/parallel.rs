@@ -1,0 +1,414 @@
+//! Morsel-driven parallel execution.
+//!
+//! The paper's pitch is that emergent-schema clustering makes RDF behave
+//! like relational analytics — and relational analytics engines scale across
+//! cores. This module executes the same operators as the sequential planner
+//! **morsel-at-a-time**: zone-map-pruned page ranges (RDFscan), candidate
+//! row ranges (RDFjoin), and per-property streams (Default-scheme property
+//! scans) are split into independent work units executed by
+//! `std::thread::scope` workers pulling from a shared queue.
+//!
+//! Correctness contract: results are **byte-identical** to the sequential
+//! path. Each morsel covers a contiguous slice of a class segment (or of the
+//! candidate list), morsels are enumerated in the order the sequential scan
+//! would visit them, and per-worker partial tables are concatenated in that
+//! enumeration order — never in completion order. Whole-table aggregates
+//! merge per-worker partials through the Neumaier-compensated accumulator,
+//! which keeps SUM/AVG order-insensitive to within one ulp (the same
+//! property the cross-generation differential tests already rely on).
+//!
+//! Sharing model: one [`ExecContext`] is shared by all workers of a query —
+//! it is `Sync` (storage handles are immutable, the buffer pool is
+//! internally sharded, and [`crate::context::ExecStats`] counters are
+//! relaxed atomics that sum naturally across workers).
+
+use crate::agg::{
+    accumulate_single_group, apply_modifiers, effective_select, finalize, new_agg_states,
+    single_group_result, var_col_map, AggState, ResultSet,
+};
+use crate::context::{ExecContext, PlanScheme, StorageRef};
+use crate::expr::Expr;
+use crate::planner::{execute_plan, StarEvalFn};
+use crate::query::Query;
+use crate::scan::{SRange, Source};
+use crate::star::{
+    default_scan_range, intersect_ranges, irregular_star_table, join_star_streams,
+    prepare_star_scans, scan_chunk_pages, scan_row_range, scan_star_prop, subject_filter_range,
+    ClassScanPrep, Star,
+};
+use crate::table::Table;
+use sordf_model::Oid;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parallel execution knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker threads per query (1 = run the sequential path).
+    pub workers: usize,
+    /// Minimum pages per RDFscan morsel — below this, splitting a segment
+    /// costs more in scheduling than it buys in parallelism.
+    pub min_morsel_pages: usize,
+    /// Minimum rows per RDFjoin / aggregation morsel.
+    pub min_morsel_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+            min_morsel_pages: 1,
+            min_morsel_rows: 4096,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Default sizing with an explicit worker count.
+    pub fn with_workers(workers: usize) -> ParallelConfig {
+        ParallelConfig { workers: workers.max(1), ..ParallelConfig::default() }
+    }
+}
+
+/// A unit of parallel work returning `T`.
+type Task<'s, T> = Box<dyn Fn() -> T + Send + Sync + 's>;
+
+/// A property stream task result: `(property index, (s, o) pairs)`.
+type PropStream = (usize, Vec<(Oid, Oid)>);
+
+/// Split `r` into at most `max_chunks` contiguous chunks of at least
+/// `min_len` (the final chunk absorbs the remainder). Preserves order:
+/// concatenating the chunks yields `r`.
+fn split_range(r: Range<usize>, max_chunks: usize, min_len: usize) -> Vec<Range<usize>> {
+    let len = r.end.saturating_sub(r.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_len = min_len.max(1);
+    let n = (len / min_len).clamp(1, max_chunks.max(1));
+    let chunk = len / n;
+    let rem = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = r.start;
+    for i in 0..n {
+        let this = chunk + usize::from(i < rem);
+        out.push(start..start + this);
+        start += this;
+    }
+    out
+}
+
+/// Run boxed tasks on `workers` scoped threads pulling from a shared atomic
+/// queue, returning results **in task order** (not completion order). With
+/// one worker or one task, runs inline — no threads spawned.
+///
+/// A panicking task is caught on its worker and its original payload is
+/// re-raised on the calling thread — `std::thread::scope` would otherwise
+/// replace it with a generic "a scoped thread panicked", losing e.g. the
+/// page number of a `ModelError::PageRead` that the facade's query-boundary
+/// handler reports. The first panic also raises a shared failure flag that
+/// every worker checks before pulling, so a failing query stops after the
+/// in-flight morsels instead of draining the whole queue for a result that
+/// will be discarded.
+fn run_tasks<'s, T: Send + 's>(workers: usize, tasks: &[Task<'s, T>]) -> Vec<T> {
+    if workers <= 1 || tasks.len() <= 1 {
+        return tasks.iter().map(|t| t()).collect();
+    }
+    type TaskResult<T> = Result<T, Box<dyn std::any::Any + Send>>;
+    let next = AtomicUsize::new(0);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<TaskResult<T>>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(tasks.len()) {
+            s.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tasks[i]()));
+                if out.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().unwrap() = Some(out);
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(tasks.len());
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for slot in slots {
+        match slot.into_inner().unwrap() {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(payload)) if first_panic.is_none() => first_panic = Some(payload),
+            Some(Err(_)) => {}
+            // Unfilled slots happen when the failure flag stopped workers
+            // before the queue drained; the first panic below explains why.
+            None => {}
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    assert_eq!(out.len(), tasks.len(), "every task completed");
+    out
+}
+
+/// Execute a query with morsel-parallel operators and a merging aggregation.
+/// Non-aggregate results are byte-identical to [`crate::planner::execute`]
+/// (same rows, same order); SUM/AVG aggregates merge per-worker partials
+/// through the compensated accumulator and may differ from the sequential
+/// value in the last ulp — canonical/rendered forms agree, raw aggregate
+/// `f64`s must not be compared bitwise.
+pub fn execute_parallel(cx: &ExecContext, query: &Query, par: &ParallelConfig) -> ResultSet {
+    if par.workers <= 1 {
+        return crate::planner::execute(cx, query);
+    }
+    let eval = |cx: &ExecContext,
+                star: &Star,
+                filters: &[&Expr],
+                cands: Option<&[Oid]>,
+                s_range: SRange| eval_star_parallel(cx, star, filters, cands, s_range, par);
+    let (q, table) = execute_plan(cx, query, &eval as &StarEvalFn);
+    finalize_parallel(cx, &q, &table, par)
+}
+
+/// Evaluate one star with the parallel operator matching the configured
+/// plan scheme (the parallel counterpart of the planner's star evaluator).
+pub fn eval_star_parallel(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    par: &ParallelConfig,
+) -> Table {
+    match (cx.config.scheme, &cx.storage) {
+        (PlanScheme::RdfScanJoin, StorageRef::Clustered { .. }) => {
+            eval_star_rdfscan_parallel(cx, star, filters, candidates, s_range, par)
+        }
+        _ => eval_star_default_parallel(cx, star, filters, candidates, s_range, Source::Full, par),
+    }
+}
+
+/// Default scheme, parallel: the per-property scans of a star are
+/// independent — run one task per property, then join the streams
+/// sequentially (the join pipeline is a small fraction of the work).
+fn eval_star_default_parallel(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    source: Source,
+    par: &ParallelConfig,
+) -> Table {
+    let s_range = default_scan_range(star, filters, s_range);
+    let tasks: Vec<Task<PropStream>> = (0..star.props.len())
+        .map(|i| {
+            let task: Task<PropStream> = Box::new(move || {
+                (i, scan_star_prop(cx, star, i, filters, candidates, s_range, source))
+            });
+            task
+        })
+        .collect();
+    let streams = run_tasks(par.workers, &tasks);
+    join_star_streams(cx, star, filters, streams)
+}
+
+/// One unit of parallel RDFscan/RDFjoin work.
+enum Morsel {
+    /// A span of a prepared class scan: a page range (RDFscan) or a
+    /// candidate-row range (RDFjoin).
+    Class { prep: usize, span: Range<usize> },
+    /// The irregular-store branch (one task; small, but unsplittable).
+    Irregular,
+}
+
+/// RDFscan / RDFjoin, parallel: per-class preparation (class selection,
+/// row-range narrowing, access resolution) happens once via the shared
+/// [`prepare_star_scans`] — the same enumeration the sequential path
+/// executes — then the page/row span of each class is split into morsels
+/// executed by scoped workers, and partial tables are concatenated in
+/// (class, span) order with the irregular branch last — exactly the
+/// sequential row order.
+fn eval_star_rdfscan_parallel(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    par: &ParallelConfig,
+) -> Table {
+    let StorageRef::Clustered { store, schema } = &cx.storage else {
+        return eval_star_default_parallel(cx, star, filters, candidates, s_range, Source::Full, par);
+    };
+    let s_range = intersect_ranges(subject_filter_range(star, filters), s_range);
+    let out_vars = star.output_vars();
+
+    let (covering_classes, preps) =
+        prepare_star_scans(cx, star, filters, candidates, s_range, store, schema);
+
+    // Morselize: aim for a few morsels per worker so a slow span (zone maps
+    // prune unevenly) cannot straggle the whole query. The irregular branch
+    // is queued FIRST — it is the one task that cannot be split, so it must
+    // start early rather than after every class morsel has been claimed;
+    // its partial is still merged last (placement, not execution order,
+    // decides the result layout).
+    let mut morsels: Vec<Morsel> = vec![Morsel::Irregular];
+    for (pi, prep) in preps.iter().enumerate() {
+        let spans = match prep {
+            ClassScanPrep::Chunks(p) => {
+                split_range(p.pages(), par.workers * 2, par.min_morsel_pages)
+            }
+            ClassScanPrep::Rows(p) => {
+                split_range(0..p.n_rows(), par.workers * 2, par.min_morsel_rows)
+            }
+        };
+        morsels.extend(spans.into_iter().map(|span| Morsel::Class { prep: pi, span }));
+    }
+
+    let preps = &preps;
+    let covering = &covering_classes;
+    let out_vars_ref = &out_vars;
+    let tasks: Vec<Task<Table>> = morsels
+        .iter()
+        .map(|m| {
+            let task: Task<Table> = match m {
+                Morsel::Class { prep, span } => {
+                    let (pi, span) = (*prep, span.clone());
+                    Box::new(move || match &preps[pi] {
+                        ClassScanPrep::Chunks(p) => scan_chunk_pages(cx, p, span.clone()),
+                        ClassScanPrep::Rows(p) => scan_row_range(cx, p, span.clone()),
+                    })
+                }
+                Morsel::Irregular => Box::new(move || {
+                    irregular_star_table(
+                        cx,
+                        star,
+                        filters,
+                        candidates,
+                        s_range,
+                        schema,
+                        covering,
+                        out_vars_ref,
+                    )
+                }),
+            };
+            task
+        })
+        .collect();
+    let mut partials = run_tasks(par.workers, &tasks).into_iter();
+    let irregular = partials.next().expect("irregular task present");
+
+    // Order-stable merge: class morsels in enumeration order, irregular
+    // last — identical to the sequential append order.
+    let mut result = Table::empty(out_vars.clone());
+    for t in partials {
+        if !t.is_empty() {
+            result.append(t);
+        }
+    }
+    if !irregular.is_empty() {
+        result.append(irregular);
+    }
+    result
+}
+
+/// Finalize with parallel whole-table aggregation when profitable: the
+/// binding table's rows are split into per-worker ranges, each accumulated
+/// into partial [`AggState`]s, merged in range order (Neumaier-compensated
+/// SUM/AVG — order-insensitive to within one ulp), then rendered like the
+/// sequential single-group fast path. Everything else (grouping, plain
+/// projection) goes through the sequential [`finalize`] unchanged.
+pub(crate) fn finalize_parallel(
+    cx: &ExecContext,
+    query: &Query,
+    table: &Table,
+    par: &ParallelConfig,
+) -> ResultSet {
+    let single_group = query.has_aggregates() && query.group_by.is_empty() && !table.is_empty();
+    if !single_group || par.workers <= 1 || table.len() < 2 * par.min_morsel_rows.max(1) {
+        return finalize(cx, query, table);
+    }
+    let select = effective_select(query);
+    let var_col = var_col_map(table);
+    let spans = split_range(0..table.len(), par.workers, par.min_morsel_rows);
+    let select_ref = &select;
+    let var_col_ref = &var_col;
+    let tasks: Vec<Task<Vec<AggState>>> = spans
+        .iter()
+        .map(|span| {
+            let span = span.clone();
+            let task: Task<Vec<AggState>> = Box::new(move || {
+                let mut states = new_agg_states(select_ref);
+                accumulate_single_group(cx, select_ref, table, var_col_ref, span.clone(), &mut states);
+                states
+            });
+            task
+        })
+        .collect();
+    let mut partials = run_tasks(par.workers, &tasks).into_iter();
+    let mut states = partials.next().expect("non-empty table has one partial");
+    for partial in partials {
+        for (s, o) in states.iter_mut().zip(partial) {
+            s.merge(o, cx.dict);
+        }
+    }
+    let mut rs = single_group_result(cx, query, &select, states);
+    apply_modifiers(cx, query, &mut rs);
+    rs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_range_covers_and_orders() {
+        for (r, chunks, min_len) in [
+            (0..100, 4, 1),
+            (10..17, 3, 2),
+            (0..1, 8, 1),
+            (5..5, 4, 1),
+            (0..10_000, 8, 4096),
+        ] {
+            let spans = split_range(r.clone(), chunks, min_len);
+            if r.is_empty() {
+                assert!(spans.is_empty());
+                continue;
+            }
+            assert!(spans.len() <= chunks);
+            assert_eq!(spans.first().unwrap().start, r.start);
+            assert_eq!(spans.last().unwrap().end, r.end);
+            for w in spans.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous in order");
+            }
+            if spans.len() > 1 {
+                assert!(spans.iter().all(|s| s.len() >= min_len));
+            }
+        }
+    }
+
+    #[test]
+    fn run_tasks_returns_in_task_order() {
+        let tasks: Vec<Box<dyn Fn() -> usize + Send + Sync>> = (0..32usize)
+            .map(|i| {
+                let t: Box<dyn Fn() -> usize + Send + Sync> = Box::new(move || {
+                    // Jitter completion order.
+                    std::thread::sleep(std::time::Duration::from_micros(((i * 7) % 5) as u64));
+                    i
+                });
+                t
+            })
+            .collect();
+        assert_eq!(run_tasks(4, &tasks), (0..32).collect::<Vec<_>>());
+        assert_eq!(run_tasks(1, &tasks), (0..32).collect::<Vec<_>>());
+    }
+}

@@ -81,8 +81,31 @@ fn order_stars(cx: &ExecContext, stars: &[Star], filters: &[&Expr]) -> (Vec<usiz
     (order, ordered_ests)
 }
 
+/// A star evaluator: how one star (with filters, optional candidate
+/// subjects, and a subject range) becomes a binding table. The planner is
+/// parameterized over this so the same plan logic drives the sequential
+/// operators, the morsel-parallel operators ([`crate::parallel`]), and the
+/// value-at-a-time reference operators ([`crate::rowwise`]) in differential
+/// tests.
+pub type StarEvalFn<'f> =
+    dyn Fn(&ExecContext, &Star, &[&Expr], Option<&[Oid]>, SRange) -> Table + Sync + 'f;
+
 /// Execute a query end to end, returning the finalized result set.
 pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
+    execute_with(cx, query, &eval_one_star)
+}
+
+/// Execute with a custom star evaluator (see [`StarEvalFn`]).
+pub fn execute_with(cx: &ExecContext, query: &Query, eval: &StarEvalFn) -> ResultSet {
+    let (q, table) = execute_plan(cx, query, eval);
+    finalize(cx, &q, &table)
+}
+
+/// Run the planning + join pipeline, returning the normalized query (fresh
+/// variables introduced by star rewriting) and the final binding table,
+/// ready for [`finalize`]. Shared by [`execute`] and the parallel executor
+/// (which finalizes with a merging aggregation).
+pub(crate) fn execute_plan(cx: &ExecContext, query: &Query, eval: &StarEvalFn) -> (Query, Table) {
     let mut q = query.clone();
     let (stars, extra_filters) = stars_of(&mut q);
     // Flatten conjunctions so every `var OP const` conjunct is individually
@@ -96,7 +119,7 @@ pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
     let filter_refs: Vec<&Expr> = all_filters.iter().collect();
 
     if stars.is_empty() {
-        return finalize(cx, &q, &Table::default());
+        return (q, Table::default());
     }
 
     let (order, _ests) = order_stars(cx, &stars, &filter_refs);
@@ -105,7 +128,7 @@ pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
     for &si in &order {
         let star = &stars[si];
         let star_table = match &result {
-            None => eval_one_star(cx, star, &filter_refs, None, None),
+            None => eval(cx, star, &filter_refs, None, None),
             Some(res) => {
                 match find_link(&res.vars, star) {
                     Link::Subject(v) => {
@@ -114,7 +137,7 @@ pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
                         match cx.config.scheme {
                             PlanScheme::RdfScanJoin => {
                                 // RDFjoin: candidate-driven star evaluation.
-                                eval_one_star(cx, star, &filter_refs, Some(&link_vals), None)
+                                eval(cx, star, &filter_refs, Some(&link_vals), None)
                             }
                             PlanScheme::Default => {
                                 // Zone-map pushdown: restrict the probed
@@ -127,7 +150,7 @@ pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
                                 } else {
                                     None
                                 };
-                                eval_one_star(cx, star, &filter_refs, None, s_range)
+                                eval(cx, star, &filter_refs, None, s_range)
                             }
                         }
                     }
@@ -152,15 +175,15 @@ pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
                                 let mut narrowed: Vec<&Expr> = filter_refs.clone();
                                 narrowed.push(&ge);
                                 narrowed.push(&le);
-                                eval_one_star(cx, star, &narrowed, None, None)
+                                eval(cx, star, &narrowed, None, None)
                             } else {
-                                eval_one_star(cx, star, &filter_refs, None, None)
+                                eval(cx, star, &filter_refs, None, None)
                             }
                         } else {
-                            eval_one_star(cx, star, &filter_refs, None, None)
+                            eval(cx, star, &filter_refs, None, None)
                         }
                     }
-                    Link::None => eval_one_star(cx, star, &filter_refs, None, None),
+                    Link::None => eval(cx, star, &filter_refs, None, None),
                 }
             }
         };
@@ -185,7 +208,7 @@ pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
     // Remaining (cross-star) filters.
     let remaining = filters_bound_by(&all_filters, &table.vars);
     apply_filters(cx, &mut table, &remaining);
-    finalize(cx, &q, &table)
+    (q, table)
 }
 
 fn eval_one_star(

@@ -449,6 +449,6 @@ mod tests {
         assert_eq!(pairs.len(), 4);
         // 200 rows fit in one page, so nothing skippable here — just make
         // sure the counter exists and nothing crashed with zonemaps on.
-        let _ = c.stats.zonemap_pages_skipped.get();
+        let _ = ExecStats::get(&c.stats.zonemap_pages_skipped);
     }
 }

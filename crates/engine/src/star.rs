@@ -210,39 +210,48 @@ pub(crate) fn filters_bound_by_refs<'f>(filters: &[&'f Expr], vars: &[VarId]) ->
         .collect()
 }
 
-/// Evaluate a star with the **Default** scheme: one property scan per
-/// pattern, subject merge self-joins, post-filtering.
-pub fn eval_star_default(
+/// Effective subject range of a Default-scheme star: constant subject,
+/// caller-provided range, and any pushable range filters on the subject
+/// variable (the SQL frontend restricts table scans to class segments this
+/// way).
+pub(crate) fn default_scan_range(star: &Star, filters: &[&Expr], s_range: SRange) -> SRange {
+    let s_range = intersect_ranges(subject_filter_range(star, filters), s_range);
+    match star.subject_const {
+        Some(c) => intersect_ranges(Some((c.raw(), c.raw())), s_range),
+        None => s_range,
+    }
+}
+
+/// Scan one property's (subject, object) stream for a Default-scheme star —
+/// pushes the property's restriction and semi-joins against candidates.
+/// The unit of work the parallel executor fans out per property.
+pub(crate) fn scan_star_prop(
     cx: &ExecContext,
     star: &Star,
+    prop_idx: usize,
     filters: &[&Expr],
     candidates: Option<&[Oid]>,
     s_range: SRange,
     source: Source,
-) -> Table {
-    // Effective subject range: constant subject, caller-provided range, and
-    // any pushable range filters on the subject variable (the SQL frontend
-    // restricts table scans to class segments this way).
-    let s_range = intersect_ranges(subject_filter_range(star, filters), s_range);
-    let s_range = match star.subject_const {
-        Some(c) => intersect_ranges(Some((c.raw(), c.raw())), s_range),
-        None => s_range,
-    };
+) -> Vec<(Oid, Oid)> {
+    let p = &star.props[prop_idx];
+    let restrict = prop_restrict(cx, p, filters);
+    let mut pairs = scan_property(cx, p.pred, &restrict, s_range, source);
+    if let Some(c) = candidates {
+        pairs = crate::join::semi_join_pairs(&pairs, c);
+    }
+    pairs
+}
 
-    // One stream per property.
-    let mut streams: Vec<(usize, Vec<(Oid, Oid)>)> = star
-        .props
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let restrict = prop_restrict(cx, p, filters);
-            let mut pairs = scan_property(cx, p.pred, &restrict, s_range, source);
-            if let Some(c) = candidates {
-                pairs = crate::join::semi_join_pairs(&pairs, c);
-            }
-            (i, pairs)
-        })
-        .collect();
+/// Join per-property streams into the star's binding table (the self-join
+/// pipeline of the Default scheme) and apply residual filters. Streams must
+/// be `(property index, (s, o)-sorted pairs)` in pattern order.
+pub(crate) fn join_star_streams(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    mut streams: Vec<(usize, Vec<(Oid, Oid)>)>,
+) -> Table {
     // Join smallest-first (classic heuristic).
     streams.sort_by_key(|(_, s)| s.len());
     if streams[0].1.is_empty() {
@@ -304,11 +313,143 @@ pub fn eval_star_default(
     table
 }
 
+/// Evaluate a star with the **Default** scheme: one property scan per
+/// pattern, subject merge self-joins, post-filtering.
+pub fn eval_star_default(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    source: Source,
+) -> Table {
+    let s_range = default_scan_range(star, filters, s_range);
+    let streams: Vec<(usize, Vec<(Oid, Oid)>)> = (0..star.props.len())
+        .map(|i| (i, scan_star_prop(cx, star, i, filters, candidates, s_range, source)))
+        .collect();
+    join_star_streams(cx, star, filters, streams)
+}
+
 /// How a star property maps onto one class.
 pub(crate) enum Covered {
     Col(usize),
     Multi(usize),
     Uncovered,
+}
+
+/// How each star property maps onto `class`, plus how many properties the
+/// class covers at all. Shared by the sequential and parallel RDFscan paths.
+pub(crate) fn class_coverage(
+    class: &sordf_schema::ClassDef,
+    star: &Star,
+) -> (Vec<Covered>, usize) {
+    let covered: Vec<Covered> = star
+        .props
+        .iter()
+        .map(|p| {
+            if let Some(i) = class.column_of(p.pred) {
+                Covered::Col(i)
+            } else if let Some(i) = class.multi_of(p.pred) {
+                Covered::Multi(i)
+            } else {
+                Covered::Uncovered
+            }
+        })
+        .collect();
+    let n_covered = covered.iter().filter(|c| !matches!(c, Covered::Uncovered)).count();
+    (covered, n_covered)
+}
+
+/// The irregular branch of RDFscan: subjects in no covering class, star fully
+/// answered from the irregular store, projected onto the star layout.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn irregular_star_table(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    schema: &sordf_schema::EmergentSchema,
+    covering_classes: &[bool],
+    out_vars: &[VarId],
+) -> Table {
+    let mut irr = eval_star_default(cx, star, filters, candidates, s_range, Source::IrregularOnly);
+    if irr.is_empty() {
+        return Table::empty(out_vars.to_vec());
+    }
+    let sc = irr.col_of(star.subject_var).expect("subject col");
+    let mask: Vec<bool> = irr.cols[sc]
+        .iter()
+        .map(|&s| schema.class_of(s).map_or(true, |cid| !covering_classes[cid.0 as usize]))
+        .collect();
+    irr.retain_rows(&mask);
+    if irr.is_empty() {
+        return Table::empty(out_vars.to_vec());
+    }
+    irr.project(out_vars)
+}
+
+/// A prepared scan over one class segment: page-at-a-time (RDFscan) or
+/// candidate-driven (RDFjoin). Produced by [`prepare_star_scans`]; the
+/// sequential path executes each over its full span, the parallel path
+/// splits the span into morsels.
+pub(crate) enum ClassScanPrep<'a> {
+    Chunks(ChunkScanPrep<'a>),
+    Rows(RowScanPrep<'a>),
+}
+
+impl ClassScanPrep<'_> {
+    /// Execute this prepared scan over its entire span.
+    pub(crate) fn scan_all(&self, cx: &ExecContext) -> Table {
+        match self {
+            ClassScanPrep::Chunks(p) => scan_chunk_pages(cx, p, p.pages()),
+            ClassScanPrep::Rows(p) => scan_row_range(cx, p, 0..p.n_rows()),
+        }
+    }
+}
+
+/// Select the classes covering at least one star property and prepare one
+/// scan per non-empty segment, **in schema class order**. Returns the
+/// covering-class mask (for the irregular branch) and the preps. This is
+/// the single source of segment enumeration shared by the sequential and
+/// parallel RDFscan paths — their byte-identity contract depends on both
+/// visiting exactly these segments in exactly this order.
+pub(crate) fn prepare_star_scans<'a>(
+    cx: &ExecContext,
+    star: &'a Star,
+    filters: &[&'a Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+    store: &'a sordf_storage::ClusteredStore,
+    schema: &sordf_schema::EmergentSchema,
+) -> (Vec<bool>, Vec<ClassScanPrep<'a>>) {
+    let mut covering_classes: Vec<bool> = vec![false; schema.classes.len()];
+    let mut preps: Vec<ClassScanPrep<'a>> = Vec::new();
+    for class in &schema.classes {
+        let (covered, n_covered) = class_coverage(class, star);
+        if n_covered == 0 {
+            continue;
+        }
+        covering_classes[class.id.0 as usize] = true;
+        let seg = store.segment(class.id);
+        if seg.n == 0 {
+            continue;
+        }
+        match candidates {
+            Some(cands) => {
+                if let Some(p) = prepare_row_scan(cx, star, filters, cands, s_range, seg, &covered)
+                {
+                    preps.push(ClassScanPrep::Rows(p));
+                }
+            }
+            None => {
+                if let Some(p) = prepare_chunk_scan(cx, star, filters, s_range, seg, &covered) {
+                    preps.push(ClassScanPrep::Chunks(p));
+                }
+            }
+        }
+    }
+    (covering_classes, preps)
 }
 
 /// Evaluate a star with **RDFscan** (or **RDFjoin** when `candidates` is
@@ -328,32 +469,10 @@ pub fn eval_star_rdfscan(
     let out_vars = star.output_vars();
     let mut result = Table::empty(out_vars.clone());
 
-    // Which classes cover at least one property?
-    let mut covering_classes: Vec<bool> = vec![false; schema.classes.len()];
-    for class in &schema.classes {
-        let covered: Vec<Covered> = star
-            .props
-            .iter()
-            .map(|p| {
-                if let Some(i) = class.column_of(p.pred) {
-                    Covered::Col(i)
-                } else if let Some(i) = class.multi_of(p.pred) {
-                    Covered::Multi(i)
-                } else {
-                    Covered::Uncovered
-                }
-            })
-            .collect();
-        let n_covered = covered.iter().filter(|c| !matches!(c, Covered::Uncovered)).count();
-        if n_covered == 0 {
-            continue;
-        }
-        covering_classes[class.id.0 as usize] = true;
-        let seg = store.segment(class.id);
-        if seg.n == 0 {
-            continue;
-        }
-        let t = scan_class_star(cx, star, filters, candidates, s_range, seg, &covered);
+    let (covering_classes, preps) =
+        prepare_star_scans(cx, star, filters, candidates, s_range, store, schema);
+    for prep in &preps {
+        let t = prep.scan_all(cx);
         if !t.is_empty() {
             result.append(t);
         }
@@ -361,19 +480,18 @@ pub fn eval_star_rdfscan(
 
     // Irregular branch: subjects in no covering class, star fully answered
     // from the irregular store.
-    let mut irr = eval_star_default(cx, star, filters, candidates, s_range, Source::IrregularOnly);
+    let irr = irregular_star_table(
+        cx,
+        star,
+        filters,
+        candidates,
+        s_range,
+        schema,
+        &covering_classes,
+        &out_vars,
+    );
     if !irr.is_empty() {
-        let sc = irr.col_of(star.subject_var).expect("subject col");
-        let mask: Vec<bool> = irr.cols[sc]
-            .iter()
-            .map(|&s| {
-                schema.class_of(s).map_or(true, |cid| !covering_classes[cid.0 as usize])
-            })
-            .collect();
-        irr.retain_rows(&mask);
-        if !irr.is_empty() {
-            result.append(irr.project(&out_vars));
-        }
+        result.append(irr);
     }
     result
 }
@@ -382,7 +500,7 @@ pub fn eval_star_rdfscan(
 /// *not* materialized here — the chunk path reads them straight from pinned
 /// pages; only side-table pairs and irregular exceptions (small, subject-
 /// sorted lists) are collected up front.
-enum Access {
+pub(crate) enum Access {
     /// Aligned column + sorted exceptions.
     Col { ci: usize, exceptions: Vec<(Oid, Oid)>, restrict: ORestrict },
     /// Multi table pairs in subject range (sorted by s) + exceptions.
@@ -440,35 +558,40 @@ fn build_accesses(
         .collect()
 }
 
-/// RDFscan over one class segment: dispatch to the candidate-driven (RDFjoin)
-/// or the chunk-at-a-time (RDFscan) kernel.
-fn scan_class_star(
-    cx: &ExecContext,
-    star: &Star,
-    filters: &[&Expr],
-    candidates: Option<&[Oid]>,
-    s_range: SRange,
-    seg: &ClassSegment,
-    covered: &[Covered],
-) -> Table {
-    match candidates {
-        Some(cands) => scan_class_star_rows(cx, star, filters, cands, s_range, seg, covered),
-        None => scan_class_star_chunks(cx, star, filters, s_range, seg, covered),
+/// Prepared state for a candidate-driven (RDFjoin) class scan: resolved row
+/// ids, their subjects, and the per-property accesses. [`scan_row_range`]
+/// executes any contiguous sub-range of `rows` independently — the morsel
+/// unit of the parallel executor.
+pub(crate) struct RowScanPrep<'a> {
+    star: &'a Star,
+    seg: &'a ClassSegment,
+    rows: Vec<usize>,
+    subjects: Vec<Oid>,
+    accesses: Vec<Access>,
+    out_vars: Vec<VarId>,
+    out_pos: Vec<Option<usize>>,
+    star_filters: Vec<&'a Expr>,
+    pure_columns: bool,
+}
+
+impl RowScanPrep<'_> {
+    /// Number of candidate rows to evaluate.
+    pub(crate) fn n_rows(&self) -> usize {
+        self.rows.len()
     }
 }
 
-/// RDFjoin: evaluate the star for an explicit candidate subject list. Column
-/// values are gathered batch-wise (one pin per touched page), subjects are
-/// resolved in one batched pass.
-fn scan_class_star_rows(
+/// Resolve candidates to segment rows and build the shared scan state.
+/// Returns `None` when no candidate falls into this segment.
+pub(crate) fn prepare_row_scan<'a>(
     cx: &ExecContext,
-    star: &Star,
-    filters: &[&Expr],
+    star: &'a Star,
+    filters: &[&'a Expr],
     cands: &[Oid],
     s_range: SRange,
-    seg: &ClassSegment,
+    seg: &'a ClassSegment,
     covered: &[Covered],
-) -> Table {
+) -> Option<RowScanPrep<'a>> {
     let pool = cx.pool;
     ExecStats::bump(&cx.stats.rdf_joins, 1);
 
@@ -480,7 +603,7 @@ fn scan_class_star_rows(
     rows.sort_unstable();
     rows.dedup();
     if rows.is_empty() {
-        return Table::empty(star.output_vars());
+        return None;
     }
     ExecStats::bump(&cx.stats.rows_scanned, rows.len() as u64);
 
@@ -489,30 +612,60 @@ fn scan_class_star_rows(
     let subjects = seg.subjects_at(pool, &rows);
     let (s_lo, s_hi) = (subjects[0].raw(), subjects.last().unwrap().raw());
     let accesses = build_accesses(cx, star, filters, seg, covered, s_lo, s_hi);
-    // Gather each column once, aligned with `rows`.
-    let gathered: Vec<Option<Vec<u64>>> = accesses
-        .iter()
-        .map(|a| match a {
-            Access::Col { ci, .. } => Some(seg.columns[*ci].gather(pool, &rows)),
-            _ => None,
-        })
-        .collect();
 
     let out_vars = star.output_vars();
-    let mut out = Table::empty(out_vars.clone());
     let star_filters = residual_filters(cx, star, filters);
     let out_pos = out_positions(star, &out_vars);
-
     let pure_columns = star_filters.is_empty()
         && accesses.iter().all(|a| match a {
             Access::Col { exceptions, .. } => exceptions.is_empty(),
             _ => false,
         });
-    if pure_columns {
+    Some(RowScanPrep {
+        star,
+        seg,
+        rows,
+        subjects,
+        accesses,
+        out_vars,
+        out_pos,
+        star_filters,
+        pure_columns,
+    })
+}
+
+/// Evaluate the star for the candidate rows in `rr` (indices into the
+/// prepared row list). Column values are gathered batch-wise (one pin per
+/// touched page). Concatenating the outputs of consecutive ranges yields
+/// exactly the full-range table — the order-stability contract morsels
+/// rely on.
+pub(crate) fn scan_row_range(cx: &ExecContext, prep: &RowScanPrep, rr: std::ops::Range<usize>) -> Table {
+    let pool = cx.pool;
+    let star = prep.star;
+    let seg = prep.seg;
+    let rows = &prep.rows[rr.clone()];
+    let subjects = &prep.subjects[rr];
+    let accesses = &prep.accesses;
+    let out_pos = &prep.out_pos;
+    let star_filters = &prep.star_filters;
+    let mut out = Table::empty(prep.out_vars.clone());
+    if rows.is_empty() {
+        return out;
+    }
+    // Gather each column once, aligned with this range's `rows`.
+    let gathered: Vec<Option<Vec<u64>>> = accesses
+        .iter()
+        .map(|a| match a {
+            Access::Col { ci, .. } => Some(seg.columns[*ci].gather(pool, rows)),
+            _ => None,
+        })
+        .collect();
+
+    if prep.pure_columns {
         let col_vals: Vec<(&Vec<u64>, &ORestrict, Option<usize>)> = accesses
             .iter()
             .zip(&gathered)
-            .zip(&out_pos)
+            .zip(out_pos)
             .map(|((a, g), &pos)| match a {
                 Access::Col { restrict, .. } => (g.as_ref().unwrap(), restrict, pos),
                 _ => unreachable!(),
@@ -561,26 +714,47 @@ fn scan_class_star_rows(
                 continue 'rows; // pattern requires presence
             }
         }
-        emit_combinations(cx, star, &star_filters, s, &value_lists, &mut out);
+        emit_combinations(cx, star, star_filters, s, &value_lists, &mut out);
     }
     ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
     out
 }
 
-/// RDFscan: evaluate the star page-at-a-time over the segment's aligned
-/// columns. Every covered column's page is pinned exactly once per touched
-/// page (subject pages of sparse segments in lockstep); zone-map pruning and
-/// the all-NULL fast path run *before* pages are pinned, so skipped pages
-/// cost no pool traffic; values are read from contiguous slices, with no
-/// row-id or column materialization.
-fn scan_class_star_chunks(
+/// Prepared state for a page-at-a-time (RDFscan) class scan: the narrowed
+/// row range, per-property accesses, and zone-map pruning plan.
+/// [`scan_chunk_pages`] executes any page sub-range independently — the
+/// morsel unit of the parallel executor.
+pub(crate) struct ChunkScanPrep<'a> {
+    star: &'a Star,
+    seg: &'a ClassSegment,
+    range: std::ops::Range<usize>,
+    accesses: Vec<Access>,
+    out_vars: Vec<VarId>,
+    out_pos: Vec<Option<usize>>,
+    star_filters: Vec<&'a Expr>,
+    pure_columns: bool,
+    prune_cols: Vec<(usize, u64, u64)>,
+    first_page: usize,
+    last_page: usize,
+}
+
+impl ChunkScanPrep<'_> {
+    /// The touched pages as a half-open range (for morsel splitting).
+    pub(crate) fn pages(&self) -> std::ops::Range<usize> {
+        self.first_page..self.last_page + 1
+    }
+}
+
+/// Narrow the row range and build the shared scan state for one segment.
+/// Returns `None` when the subject/sort-key restrictions leave no rows.
+pub(crate) fn prepare_chunk_scan<'a>(
     cx: &ExecContext,
-    star: &Star,
-    filters: &[&Expr],
+    star: &'a Star,
+    filters: &[&'a Expr],
     s_range: SRange,
-    seg: &ClassSegment,
+    seg: &'a ClassSegment,
     covered: &[Covered],
-) -> Table {
+) -> Option<ChunkScanPrep<'a>> {
     use sordf_columnar::VALS_PER_PAGE;
     let pool = cx.pool;
     ExecStats::bump(&cx.stats.rdf_scans, 1);
@@ -593,7 +767,7 @@ fn scan_class_star_chunks(
                 let lo_p = Oid::from_raw(lo).payload().max(*base);
                 let hi_p = Oid::from_raw(hi).payload().min(base + seg.n as u64 - 1);
                 if lo_p > hi_p {
-                    return Table::empty(star.output_vars());
+                    return None;
                 }
                 range = (lo_p - base) as usize..(hi_p - base + 1) as usize;
             }
@@ -621,7 +795,7 @@ fn scan_class_star_chunks(
         }
     }
     if range.start >= range.end {
-        return Table::empty(star.output_vars());
+        return None;
     }
 
     // ---- Accesses --------------------------------------------------------
@@ -632,7 +806,6 @@ fn scan_class_star_chunks(
     let accesses = build_accesses(cx, star, filters, seg, covered, s_lo, s_hi);
 
     let out_vars = star.output_vars();
-    let mut out = Table::empty(out_vars.clone());
     // Filters of the form `var CMP const` on this star's single-bound
     // variables are already enforced by the pushed restricts (column checks,
     // exception scans, s_range); only the rest needs per-row evaluation.
@@ -677,13 +850,58 @@ fn scan_class_star_chunks(
 
     let first_page = range.start / VALS_PER_PAGE;
     let last_page = (range.end - 1) / VALS_PER_PAGE;
+    Some(ChunkScanPrep {
+        star,
+        seg,
+        range,
+        accesses,
+        out_vars,
+        out_pos,
+        star_filters,
+        pure_columns,
+        prune_cols,
+        first_page,
+        last_page,
+    })
+}
+
+/// RDFscan kernel: evaluate the star page-at-a-time over the pages in
+/// `pages` (clamped to the prepared range). Every covered column's page is
+/// pinned exactly once per touched page (subject pages of sparse segments in
+/// lockstep); zone-map pruning and the all-NULL fast path run *before* pages
+/// are pinned, so skipped pages cost no pool traffic; values are read from
+/// contiguous slices, with no row-id or column materialization.
+/// Concatenating the outputs of consecutive page ranges yields exactly the
+/// full-range table — the order-stability contract morsels rely on.
+pub(crate) fn scan_chunk_pages(
+    cx: &ExecContext,
+    prep: &ChunkScanPrep,
+    pages: std::ops::Range<usize>,
+) -> Table {
+    use sordf_columnar::VALS_PER_PAGE;
+    let pool = cx.pool;
+    let star = prep.star;
+    let seg = prep.seg;
+    let range = &prep.range;
+    let accesses = &prep.accesses;
+    let out_pos = &prep.out_pos;
+    let star_filters = &prep.star_filters;
+    let pure_columns = prep.pure_columns;
+    let prune_cols = &prep.prune_cols;
+
+    let mut out = Table::empty(prep.out_vars.clone());
+    let first_page = pages.start.max(prep.first_page);
+    let last_page = (pages.end.saturating_sub(1)).min(prep.last_page);
+    if first_page > last_page {
+        return out;
+    }
     let mut rows_scanned = 0u64;
     let mut value_lists: Vec<Vec<Oid>> = vec![Vec::new(); star.props.len()];
 
     'pages: for p in first_page..=last_page {
         // Pre-pin pruning: zone-map misses and (on the pure path) pages
         // where a required column is entirely NULL.
-        for &(ci, lo, hi) in &prune_cols {
+        for &(ci, lo, hi) in prune_cols {
             if !seg.columns[ci].zonemap().page(p).overlaps(lo, hi) {
                 ExecStats::bump(&cx.stats.zonemap_pages_skipped, 1);
                 continue 'pages;
@@ -733,7 +951,7 @@ fn scan_class_star_chunks(
             let col_slices: Vec<(&[u64], &ORestrict, Option<usize>)> = accesses
                 .iter()
                 .zip(&chunks)
-                .zip(&out_pos)
+                .zip(out_pos)
                 .map(|((a, c), &pos)| match a {
                     Access::Col { restrict, .. } => {
                         (c.as_ref().unwrap().values(), restrict, pos)
@@ -787,7 +1005,7 @@ fn scan_class_star_chunks(
                     continue 'rows; // pattern requires presence
                 }
             }
-            emit_combinations(cx, star, &star_filters, s, &value_lists, &mut out);
+            emit_combinations(cx, star, star_filters, s, &value_lists, &mut out);
         }
     }
     ExecStats::bump(&cx.stats.rows_scanned, rows_scanned);

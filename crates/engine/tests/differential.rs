@@ -448,6 +448,6 @@ fn rdfscan_stats_record_operator_use() {
         ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
     );
     let _ = execute(&cx, &q);
-    assert!(cx.stats.rdf_scans.get() >= 1);
-    assert_eq!(cx.stats.merge_joins.get(), 0, "no self-joins in RDFscan plans");
+    assert!(cx.stats.snapshot().rdf_scans >= 1);
+    assert_eq!(cx.stats.snapshot().merge_joins, 0, "no self-joins in RDFscan plans");
 }

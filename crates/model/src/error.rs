@@ -13,6 +13,9 @@ pub enum ModelError {
     UnknownOid(u64),
     /// A malformed date / dateTime lexical form.
     BadDate(String),
+    /// A storage page could not be read (after retries). Carries the page
+    /// number and the underlying I/O message.
+    PageRead { page: u64, msg: String },
 }
 
 impl fmt::Display for ModelError {
@@ -22,6 +25,9 @@ impl fmt::Display for ModelError {
             ModelError::ValueOutOfRange(v) => write!(f, "value out of inlinable range: {v}"),
             ModelError::UnknownOid(o) => write!(f, "unknown OID {o:#x}"),
             ModelError::BadDate(s) => write!(f, "malformed date: {s:?}"),
+            ModelError::PageRead { page, msg } => {
+                write!(f, "page {page} read failed: {msg}")
+            }
         }
     }
 }

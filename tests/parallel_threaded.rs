@@ -1,0 +1,132 @@
+//! Threaded differential suite: the RDF-H star-join catalog run
+//! concurrently from 4 threads — one shared database (one buffer pool),
+//! per-thread query contexts — and through the morsel-parallel operators,
+//! asserting results identical to the sequential reference across all three
+//! storage generations. This is the "many queries, many cores, one pool"
+//! serving scenario of the ROADMAP north star.
+
+use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme};
+use sordf_rdfh::{generate, query, RdfhConfig, ALL_QUERIES};
+
+struct Rig {
+    parse_order: Database,
+    clustered: Database,
+}
+
+fn rig() -> Rig {
+    let data = generate(&RdfhConfig::new(0.001));
+    let mut parse_order = Database::in_temp_dir().unwrap();
+    parse_order.load_terms(&data.triples).unwrap();
+    parse_order.build_baseline().unwrap();
+    parse_order.build_cs_tables().unwrap();
+    let mut clustered = Database::in_temp_dir().unwrap();
+    clustered.load_terms(&data.triples).unwrap();
+    clustered.self_organize().unwrap();
+    Rig { parse_order, clustered }
+}
+
+/// The three storage generations under their natural plan scheme.
+fn configs(rig: &Rig) -> Vec<(&'static str, &Database, Generation, ExecConfig)> {
+    vec![
+        (
+            "baseline",
+            &rig.parse_order,
+            Generation::Baseline,
+            ExecConfig { scheme: PlanScheme::Default, zonemaps: true },
+        ),
+        (
+            "cs-parse-order",
+            &rig.parse_order,
+            Generation::CsParseOrder,
+            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+        ),
+        (
+            "clustered",
+            &rig.clustered,
+            Generation::Clustered,
+            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+        ),
+    ]
+}
+
+#[test]
+fn star_join_suite_is_stable_under_4_threads_and_parallel_operators() {
+    let rig = rig();
+    let configs = configs(&rig);
+
+    // Sequential reference canonicals, computed single-threaded up front.
+    let reference: Vec<Vec<Vec<String>>> = configs
+        .iter()
+        .map(|(_, db, generation, exec)| {
+            ALL_QUERIES
+                .iter()
+                .map(|&qid| {
+                    db.query_with(query(qid), *generation, *exec)
+                        .unwrap()
+                        .canonical(db.dict())
+                })
+                .collect()
+        })
+        .collect();
+
+    // 4 threads hammer the full suite concurrently: sequential execution
+    // (shared pool, per-thread contexts) and the morsel-parallel executor
+    // at 2 and 4 workers. Every result must equal the reference.
+    std::thread::scope(|s| {
+        for thread in 0..4usize {
+            let configs = &configs;
+            let reference = &reference;
+            s.spawn(move || {
+                // Stagger starting offsets so threads collide on different
+                // pages of the shared pool.
+                for step in 0..ALL_QUERIES.len() {
+                    let qi = (thread + step) % ALL_QUERIES.len();
+                    let qid = ALL_QUERIES[qi];
+                    for (ci, (name, db, generation, exec)) in configs.iter().enumerate() {
+                        let seq = db
+                            .query_with(query(qid), *generation, *exec)
+                            .unwrap_or_else(|e| panic!("{name}/{}: {e}", qid.name()));
+                        assert_eq!(
+                            seq.canonical(db.dict()),
+                            reference[ci][qi],
+                            "thread {thread}: sequential {} on {name} diverged",
+                            qid.name()
+                        );
+                        for workers in [2usize, 4] {
+                            let par = ParallelConfig {
+                                workers,
+                                min_morsel_pages: 1,
+                                min_morsel_rows: 64,
+                            };
+                            let rs = db
+                                .query_traced_parallel(query(qid), *generation, *exec, &par)
+                                .unwrap_or_else(|e| panic!("{name}/{}: {e}", qid.name()))
+                                .results;
+                            assert_eq!(
+                                rs.canonical(db.dict()),
+                                reference[ci][qi],
+                                "thread {thread}: parallel({workers}) {} on {name} diverged",
+                                qid.name()
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // The shared pools survived the stampede with coherent internals.
+    rig.parse_order.buffer_pool().check_invariants();
+    rig.clustered.buffer_pool().check_invariants();
+}
+
+#[test]
+fn parallel_query_facade_defaults_work() {
+    let rig = rig();
+    let rs_seq = rig.clustered.query(query(sordf_rdfh::QueryId::Q6)).unwrap();
+    let rs_par = rig
+        .clustered
+        .query_parallel(query(sordf_rdfh::QueryId::Q6), &ParallelConfig::with_workers(4))
+        .unwrap();
+    assert_eq!(rs_seq.canonical(rig.clustered.dict()), rs_par.canonical(rig.clustered.dict()));
+}
