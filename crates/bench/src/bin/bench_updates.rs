@@ -1,0 +1,231 @@
+//! Update-path benchmark: the cost of being a *living* store.
+//!
+//! The RDF-H triples are split by subject into an 80% base and a 20% delta
+//! pool. The base is bulk-loaded and self-organized; the delta pool is then
+//! inserted through `Database::insert_terms` in batches, pausing at 1%, 5%
+//! and 20% (of base size) to measure query throughput over the merged
+//! (base + delta) store. Per run this reports:
+//!
+//! * `insert_tps` — delta write throughput (triples/sec into the sorted
+//!   runs, including incremental CS routing),
+//! * per delta level: `starjoin4_qps` / `q6_qps` — RDFscan star and
+//!   zone-map aggregation throughput at 0/1/5/20% pending delta, showing
+//!   how much the merged-scan exception paths cost before a reorg,
+//! * `reorg`: wall-clock cost of `maybe_reorganize` at the 20% level, the
+//!   irregular-triple ratio before/after, and the incremental-assigner
+//!   routing counts,
+//! * `post_reorg` query throughput (should recover the 0%-delta numbers).
+//!
+//! Before timing, the 20%-delta results are checked canonically identical
+//! to a fresh bulk load of base + delta (sequential and 4-worker parallel) —
+//! the same differential contract `tests/updates_differential.rs` enforces.
+//!
+//! The host's `available_parallelism` is recorded as `host_cpus`.
+//!
+//! Usage:
+//!   bench_updates [--sf F] [--out PATH] [--smoke]
+
+use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme, ReorgPolicy};
+use sordf_model::TermTriple;
+use sordf_rdfh::{generate, RdfhConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn star_query(width: usize) -> String {
+    let props = [
+        "lineitem_quantity",
+        "lineitem_extendedprice",
+        "lineitem_discount",
+        "lineitem_tax",
+    ];
+    let mut body = String::new();
+    for p in &props[..width] {
+        let _ = writeln!(body, "?s <http://lod2.eu/schemas/rdfh#{p}> ?o_{p} .");
+    }
+    format!("SELECT ?s WHERE {{ {body} }}")
+}
+
+fn q6_query() -> String {
+    r#"PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT (SUM(?price * ?disc) AS ?rev) WHERE {
+  ?li rdfh:lineitem_shipdate ?d .
+  ?li rdfh:lineitem_extendedprice ?price .
+  ?li rdfh:lineitem_discount ?disc .
+  FILTER(?d >= "1994-01-01"^^xsd:date && ?d < "1997-01-01"^^xsd:date)
+}"#
+    .to_string()
+}
+
+/// Deterministic subject bucketing (FNV-1a over the subject's debug form).
+fn subject_bucket(t: &TermTriple, buckets: u64) -> u64 {
+    let key = format!("{:?}", t.s);
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h % buckets
+}
+
+fn time_loop(min_secs: f64, min_iters: u64, mut body: impl FnMut()) -> f64 {
+    let mut iters = 0u64;
+    let t0 = Instant::now();
+    loop {
+        body();
+        iters += 1;
+        if iters >= min_iters && t0.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    label: &'static str,
+    delta_triples: usize,
+    starjoin4_qps: f64,
+    q6_qps: f64,
+}
+
+fn measure_level(
+    db: &Database,
+    label: &'static str,
+    delta_triples: usize,
+    min_secs: f64,
+    min_iters: u64,
+) -> Level {
+    let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
+    let star = star_query(4);
+    let q6 = q6_query();
+    let starjoin4_qps = time_loop(min_secs, min_iters, || {
+        let _ = db.query_with(&star, Generation::Clustered, exec).expect("star");
+    });
+    let q6_qps = time_loop(min_secs, min_iters, || {
+        let _ = db.query_with(&q6, Generation::Clustered, exec).expect("q6");
+    });
+    Level { label, delta_triples, starjoin4_qps, q6_qps }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_val = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sf = flag_val("--sf")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 0.001 } else { 0.005 });
+    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_updates.json".to_string());
+    let (min_secs, min_iters) = if smoke { (0.1, 2) } else { (1.5, 10) };
+
+    let data = generate(&RdfhConfig::new(sf));
+    let (mut base, mut pool) = (Vec::new(), Vec::new());
+    for t in &data.triples {
+        if subject_bucket(t, 5) == 0 {
+            pool.push(t.clone());
+        } else {
+            base.push(t.clone());
+        }
+    }
+
+    let mut db = Database::in_temp_dir().unwrap();
+    db.load_terms(&base).unwrap();
+    db.self_organize().unwrap();
+    let n_base = base.len();
+
+    // Delta levels as fractions of the base size; the 20% pool bounds them.
+    let levels: &[(&'static str, f64)] =
+        &[("delta_0pct", 0.0), ("delta_1pct", 0.01), ("delta_5pct", 0.05), ("delta_20pct", 0.20)];
+    let mut samples: Vec<Level> = Vec::new();
+    let mut inserted = 0usize;
+    let mut insert_secs = 0f64;
+    for &(label, frac) in levels {
+        let target = (((n_base as f64) * frac) as usize).min(pool.len());
+        while inserted < target {
+            let batch_end = (inserted + 512).min(target);
+            let t0 = Instant::now();
+            db.insert_terms(&pool[inserted..batch_end]).expect("insert");
+            insert_secs += t0.elapsed().as_secs_f64();
+            inserted = batch_end;
+        }
+        samples.push(measure_level(&db, label, inserted, min_secs, min_iters));
+        println!(
+            "{:<12} delta {:>7} triples  starjoin4 {:>8.1} q/s  q6 {:>8.1} q/s",
+            label,
+            inserted,
+            samples.last().unwrap().starjoin4_qps,
+            samples.last().unwrap().q6_qps
+        );
+    }
+    let insert_tps = if insert_secs > 0.0 { inserted as f64 / insert_secs } else { 0.0 };
+
+    // Differential check at the deepest delta level: canonical equality
+    // with a fresh bulk load of the same logical set, sequential + parallel.
+    let mut reference = Database::in_temp_dir().unwrap();
+    reference.load_terms(&base).unwrap();
+    reference.load_terms(&pool[..inserted]).unwrap();
+    reference.self_organize().unwrap();
+    let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
+    let par = ParallelConfig::with_workers(4);
+    for q in [star_query(4), q6_query()] {
+        let want = reference
+            .query_with(&q, Generation::Clustered, exec)
+            .expect("reference")
+            .canonical(reference.dict());
+        let seq = db.query_with(&q, Generation::Clustered, exec).expect("live");
+        assert_eq!(seq.canonical(db.dict()), want, "live store diverges from bulk load");
+        let parallel = db
+            .query_traced_parallel(&q, Generation::Clustered, exec, &par)
+            .expect("live parallel");
+        assert_eq!(parallel.results.canonical(db.dict()), want, "parallel diverges");
+    }
+
+    // Adaptive reorganization cost at the 20% level.
+    let drift = db.drift_stats();
+    let irr_before = drift.irregular_ratio();
+    let t0 = Instant::now();
+    let outcome = db.maybe_reorganize(&ReorgPolicy::default()).expect("reorg");
+    let reorg_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(outcome.fired, "a 20% delta must trip the default policy");
+    let irr_after = outcome.irregular_ratio_after.unwrap_or(0.0);
+
+    let post = measure_level(&db, "post_reorg", 0, min_secs, min_iters);
+    println!(
+        "{:<12} reorg {:>7.1} ms        starjoin4 {:>8.1} q/s  q6 {:>8.1} q/s",
+        post.label, reorg_ms, post.starjoin4_qps, post.q6_qps
+    );
+    samples.push(post);
+
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"updates\",");
+    let _ = writeln!(json, "  \"sf\": {sf},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"n_base_triples\": {n_base},");
+    let _ = writeln!(json, "  \"insert_tps\": {insert_tps:.0},");
+    json.push_str("  \"levels\": {\n");
+    for (i, s) in samples.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"delta_triples\": {}, \"starjoin4_qps\": {:.2}, \"q6_qps\": {:.2} }}{}",
+            s.label,
+            s.delta_triples,
+            s.starjoin4_qps,
+            s.q6_qps,
+            if i + 1 < samples.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"reorg\": {{ \"ms\": {reorg_ms:.1}, \"irregular_ratio_before\": {irr_before:.4}, \
+         \"irregular_ratio_after\": {irr_after:.4}, \"matched_subjects\": {}, \
+         \"unmatched_subjects\": {} }}",
+        outcome.drift_before.matched_subjects, outcome.drift_before.unmatched_subjects
+    );
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

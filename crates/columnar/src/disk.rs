@@ -122,13 +122,24 @@ impl DiskManager {
 
     #[cfg(not(unix))]
     fn write_at(&self, _buf: &[u8], _off: u64) -> io::Result<()> {
-        unimplemented!("sordf-columnar currently supports unix targets only")
+        Err(unsupported_platform())
     }
 
     #[cfg(not(unix))]
     fn read_at(&self, _buf: &mut [u8], _off: u64) -> io::Result<()> {
-        unimplemented!("sordf-columnar currently supports unix targets only")
+        Err(unsupported_platform())
     }
+}
+
+/// Positional page I/O needs `FileExt`, which std only provides on unix
+/// targets. Off-unix the crate still compiles; page reads and writes fail
+/// gracefully with `ErrorKind::Unsupported` instead of panicking.
+#[cfg(not(unix))]
+fn unsupported_platform() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        "sordf-columnar page I/O requires a unix target (positional file I/O)",
+    )
 }
 
 impl Drop for DiskManager {

@@ -39,6 +39,16 @@
 //!
 //! Queries run against the newest built generation by default; benchmarks
 //! pin a generation + plan scheme with [`Database::query_with`].
+//!
+//! The store stays organized **as data keeps arriving**: after
+//! [`Database::self_organize`], [`Database::insert_ntriples`] and
+//! [`Database::delete_matching`] write through an in-memory delta store
+//! (sorted insert runs + tombstones, snapshot-sequenced — see
+//! [`Database::snapshot`] / [`Database::query_snapshot`]) that every query
+//! merges with the base generations, and
+//! [`Database::maybe_reorganize`] re-runs discovery + clustering over the
+//! merged data when a [`ReorgPolicy`] threshold fires — swapping a fresh
+//! generation in behind the same query API.
 
 use std::io;
 use std::path::Path;
@@ -50,11 +60,13 @@ use sordf_engine::context::StatsSnapshot;
 use sordf_engine::planner::PlanInfo;
 pub use sordf_engine::{ExecConfig, ParallelConfig, PlanScheme};
 use sordf_engine::{ExecContext, StorageRef};
-use sordf_model::{Dictionary, ModelError, TermTriple};
-pub use sordf_schema::{EmergentSchema, SchemaConfig};
+use sordf_model::{ntriples, Dictionary, FxHashMap, FxHashSet, ModelError, Oid, Term, TermTriple, Triple};
+pub use sordf_schema::{DriftStats, EmergentSchema, SchemaConfig};
+use sordf_schema::{ClassId, IncrementalAssigner};
+pub use sordf_storage::Snapshot;
 use sordf_storage::{
-    build_clustered, reorganize, BaselineStore, ClusterSpec, ClusteredStore, ReorgReport,
-    TripleSet,
+    build_clustered, reorganize, BaselineStore, ClusterSpec, ClusteredStore, DeltaStore,
+    DeltaView, ReorgReport, TripleSet,
 };
 
 /// Errors surfaced by the facade.
@@ -121,6 +133,108 @@ pub struct Traced {
     pub pool: PoolStats,
 }
 
+/// Thresholds that drive adaptive reorganization ([`Database::maybe_reorganize`]).
+/// The decision reads [`DriftStats`]: reorganize once enough writes have
+/// accumulated **and** one of the drift ratios crossed its bound.
+#[derive(Debug, Clone, Copy)]
+pub struct ReorgPolicy {
+    /// Minimum accumulated writes (inserts + tombstones) before a
+    /// reorganization is even considered — reorganizing a near-empty delta
+    /// is all cost, no locality.
+    pub min_delta_triples: u64,
+    /// Fire when (inserts + tombstones) / base exceeds this.
+    pub max_delta_ratio: f64,
+    /// Fire when the irregular-triple ratio (base irregular + unorganized
+    /// delta, over all visible triples) exceeds this.
+    pub max_irregular_ratio: f64,
+    /// Fire when the fraction of delta subjects the incremental assigner
+    /// could not route to any existing class exceeds this — the emergent
+    /// schema itself has drifted and discovery must re-run.
+    pub max_unmatched_ratio: f64,
+}
+
+impl Default for ReorgPolicy {
+    fn default() -> ReorgPolicy {
+        ReorgPolicy {
+            min_delta_triples: 4096,
+            max_delta_ratio: 0.10,
+            max_irregular_ratio: 0.25,
+            max_unmatched_ratio: 0.50,
+        }
+    }
+}
+
+impl ReorgPolicy {
+    /// Fire on any pending write — tests and interactive use.
+    pub fn eager() -> ReorgPolicy {
+        ReorgPolicy {
+            min_delta_triples: 1,
+            max_delta_ratio: 0.0,
+            max_irregular_ratio: 0.0,
+            max_unmatched_ratio: 0.0,
+        }
+    }
+
+    /// Why this policy fires on `drift`, or `None` to keep accumulating.
+    pub fn trigger_reason(&self, drift: &DriftStats) -> Option<String> {
+        let writes = drift.n_delta_inserts + drift.n_tombstones;
+        if writes < self.min_delta_triples {
+            return None;
+        }
+        if drift.delta_ratio() > self.max_delta_ratio {
+            return Some(format!(
+                "delta ratio {:.4} > {:.4}",
+                drift.delta_ratio(),
+                self.max_delta_ratio
+            ));
+        }
+        if drift.irregular_ratio() > self.max_irregular_ratio {
+            return Some(format!(
+                "irregular ratio {:.4} > {:.4}",
+                drift.irregular_ratio(),
+                self.max_irregular_ratio
+            ));
+        }
+        if drift.unmatched_subjects > 0 && drift.unmatched_ratio() > self.max_unmatched_ratio {
+            return Some(format!(
+                "unmatched subject ratio {:.4} > {:.4}",
+                drift.unmatched_ratio(),
+                self.max_unmatched_ratio
+            ));
+        }
+        None
+    }
+}
+
+/// What [`Database::maybe_reorganize`] decided and did.
+#[derive(Debug, Clone)]
+pub struct ReorgOutcome {
+    /// Did a reorganization run?
+    pub fired: bool,
+    /// The policy threshold that fired, if any.
+    pub reason: Option<String>,
+    /// Drift at decision time.
+    pub drift_before: DriftStats,
+    /// Irregular-triple ratio of the fresh clustered generation (only when
+    /// fired and the database is organized).
+    pub irregular_ratio_after: Option<f64>,
+    /// The clustering report of the fresh generation, if fired.
+    pub report: Option<ReorgReport>,
+}
+
+/// Write-path bookkeeping between reorganizations: the incremental CS
+/// assigner plus the routing decisions it made for delta-new subjects.
+struct WriteState {
+    assigner: IncrementalAssigner,
+    /// Delta-new subjects (not in the base assignment): the union of their
+    /// inserted property sets, sorted + deduplicated.
+    pending_props: FxHashMap<Oid, Vec<Oid>>,
+    /// Subjects the assigner routed to an existing class.
+    pending_class: FxHashMap<Oid, ClassId>,
+    /// Pending delta triples per class (base-assigned or routed subjects).
+    per_class_fill: Vec<u64>,
+}
+
 /// The self-organizing RDF database.
 pub struct Database {
     dm: Arc<DiskManager>,
@@ -135,6 +249,19 @@ pub struct Database {
     spec: ClusterSpec,
     reorg_report: Option<ReorgReport>,
     config: ExecConfig,
+    /// Pending writes since the last (re)build: insert runs + tombstones,
+    /// snapshot-sequenced. Queries merge this with the base generations.
+    delta: DeltaStore,
+    /// Incremental CS routing state for the pending writes.
+    write: Option<WriteState>,
+    /// String-pool size at the last string sort (reorganization); interning
+    /// past this watermark breaks string-OID value order until the next
+    /// reorganization.
+    strings_sorted_len: usize,
+    /// The schema configuration of the last discovery — reused for
+    /// incremental routing admissibility and for re-discovery during
+    /// reorganization, so a custom config survives the lifecycle.
+    schema_cfg: SchemaConfig,
 }
 
 impl Database {
@@ -161,20 +288,30 @@ impl Database {
             spec: ClusterSpec::none(),
             reorg_report: None,
             config: ExecConfig::default(),
+            delta: DeltaStore::new(),
+            write: None,
+            strings_sorted_len: 0,
+            schema_cfg: SchemaConfig::default(),
         }
     }
 
     // ---- loading -----------------------------------------------------------
 
-    /// Load an N-Triples document. Invalidates built stores.
+    /// Bulk-load an N-Triples document into the staging set. Collapses any
+    /// pending delta writes into the base first, then invalidates built
+    /// stores (the next build sees everything). For incremental writes after
+    /// a build, use [`Database::insert_ntriples`].
     pub fn load_ntriples(&mut self, text: &str) -> Result<usize, Error> {
+        self.collapse_delta_into_base();
         let n = self.ts.load_ntriples(text)?;
         self.invalidate();
         Ok(n)
     }
 
-    /// Load term triples from a generator.
+    /// Bulk-load term triples from a generator. Same semantics as
+    /// [`Database::load_ntriples`].
     pub fn load_terms(&mut self, triples: &[TermTriple]) -> Result<usize, Error> {
+        self.collapse_delta_into_base();
         let n = self.ts.extend_terms(triples)?;
         self.invalidate();
         Ok(n)
@@ -186,22 +323,367 @@ impl Database {
         self.cs_parse_order = None;
         self.clustered = None;
         self.reorg_report = None;
+        self.write = None;
     }
 
-    /// Number of loaded triples.
+    fn any_generation_built(&self) -> bool {
+        self.baseline.is_some() || self.cs_parse_order.is_some() || self.clustered.is_some()
+    }
+
+    /// Number of visible triples: base triples minus tombstoned ones, plus
+    /// visible delta inserts.
     pub fn n_triples(&self) -> usize {
-        self.ts.len()
+        match self.delta.current_view() {
+            None => self.ts.len(),
+            Some(view) => {
+                let deleted_base = if view.n_tombstones() == 0 {
+                    0
+                } else {
+                    self.ts.triples.iter().filter(|t| view.is_deleted(**t)).count()
+                };
+                self.ts.len() - deleted_base + view.n_inserts()
+            }
+        }
     }
 
     pub fn dict(&self) -> &Dictionary {
         &self.ts.dict
     }
 
+    // ---- writes (the delta path) -------------------------------------------
+
+    /// Insert an N-Triples document. Before any generation is built this is
+    /// plain staging ([`Database::load_ntriples`]); afterwards the triples
+    /// land in the delta store — sorted in-memory runs the query engine
+    /// merges with the base scans — and each inserted subject is routed
+    /// against the discovered schema for drift tracking. No built column is
+    /// touched; call [`Database::maybe_reorganize`] to fold the delta into a
+    /// fresh organized generation when drift warrants it.
+    pub fn insert_ntriples(&mut self, text: &str) -> Result<usize, Error> {
+        let parsed = ntriples::parse_document(text)?;
+        self.insert_terms(&parsed)
+    }
+
+    /// Insert term triples (the [`Database::insert_ntriples`] of generators).
+    pub fn insert_terms(&mut self, triples: &[TermTriple]) -> Result<usize, Error> {
+        if triples.is_empty() {
+            return Ok(0);
+        }
+        if !self.any_generation_built() {
+            return self.load_terms(triples);
+        }
+        let mut encoded = Vec::with_capacity(triples.len());
+        for t in triples {
+            encoded.push(self.ts.encode(t)?);
+        }
+        self.route_inserts(&encoded);
+        if self.clustered.is_some() && self.ts.dict.n_strings() > self.strings_sorted_len {
+            // New string literals sit past the sorted prefix: string-OID
+            // order no longer equals value order, the engine must decode.
+            self.delta.set_strings_appended();
+        }
+        self.delta.insert_run(encoded);
+        Ok(triples.len())
+    }
+
+    /// Delete exact triples (RDF set semantics: every visible occurrence of
+    /// each triple is removed). Unknown terms match nothing. Deletes are
+    /// tombstones — base columns are untouched; scans filter. Returns the
+    /// number of distinct triples actually deleted.
+    pub fn delete_triples(&mut self, triples: &[TermTriple]) -> Result<usize, Error> {
+        let mut targets = Vec::with_capacity(triples.len());
+        for t in triples {
+            let (Some(s), Some(p), Some(o)) = (
+                term_oid_skolemized(&self.ts.dict, &t.s),
+                term_oid_skolemized(&self.ts.dict, &t.p),
+                term_oid_skolemized(&self.ts.dict, &t.o),
+            ) else {
+                continue;
+            };
+            targets.push(Triple::new(s, p, o));
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        self.delete_encoded(targets)
+    }
+
+    /// Delete every visible triple matching the pattern (`None` = wildcard).
+    /// Returns the number of distinct triples deleted.
+    pub fn delete_matching(
+        &mut self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Result<usize, Error> {
+        let enc = |t: Option<&Term>| -> Result<Option<Oid>, ()> {
+            match t {
+                None => Ok(None),
+                Some(term) => match term_oid_skolemized(&self.ts.dict, term) {
+                    Some(oid) => Ok(Some(oid)),
+                    None => Err(()), // unknown term: nothing can match
+                },
+            }
+        };
+        let (s, p, o) = match (enc(s), enc(p), enc(o)) {
+            (Ok(s), Ok(p), Ok(o)) => (s, p, o),
+            _ => return Ok(0),
+        };
+        let matches = |t: &Triple| {
+            s.map_or(true, |x| t.s == x)
+                && p.map_or(true, |x| t.p == x)
+                && o.map_or(true, |x| t.o == x)
+        };
+        let mut targets: Vec<Triple> = {
+            let view = self.delta.current_view();
+            let mut v: Vec<Triple> = self
+                .ts
+                .triples
+                .iter()
+                .filter(|t| matches(t) && view.map_or(true, |d| !d.is_deleted(**t)))
+                .copied()
+                .collect();
+            if let Some(d) = view {
+                v.extend(d.inserts().iter().filter(|t| matches(t)));
+            }
+            v
+        };
+        targets.sort_unstable();
+        targets.dedup();
+        self.delete_encoded(targets)
+    }
+
+    /// Tombstone already-encoded triples that are currently visible.
+    fn delete_encoded(&mut self, targets: Vec<Triple>) -> Result<usize, Error> {
+        if targets.is_empty() {
+            return Ok(0);
+        }
+        if !self.any_generation_built() {
+            // Staging mode: remove from the base set directly.
+            let set: FxHashSet<Triple> = targets.into_iter().collect();
+            let before = self.ts.len();
+            self.ts.triples.retain(|t| !set.contains(t));
+            return Ok(before - self.ts.len());
+        }
+        let visible: Vec<Triple> = {
+            let view = self.delta.current_view();
+            // One pass over the base against a targets-sized set (not the
+            // other way round — the base can be large, the batch is small).
+            let target_set: FxHashSet<Triple> = targets.iter().copied().collect();
+            let mut in_base: FxHashSet<Triple> = FxHashSet::default();
+            for t in &self.ts.triples {
+                if target_set.contains(t) {
+                    in_base.insert(*t);
+                }
+            }
+            targets
+                .into_iter()
+                .filter(|&t| match view {
+                    None => in_base.contains(&t),
+                    Some(d) => {
+                        (in_base.contains(&t) && !d.is_deleted(t))
+                            || d.insert_pairs_for(t.p, Some((t.s.raw(), t.s.raw())))
+                                .any(|(_, o)| o == t.o)
+                    }
+                })
+                .collect()
+        };
+        if visible.is_empty() {
+            return Ok(0);
+        }
+        let n = visible.len();
+        self.delta.delete(&visible);
+        Ok(n)
+    }
+
+    /// A snapshot of the current write sequence. Queries pinned to it via
+    /// [`Database::query_snapshot`] see exactly the writes applied so far —
+    /// later inserts and deletes are invisible to them (MVCC-lite: the delta
+    /// store keeps every version until the next reorganization).
+    pub fn snapshot(&self) -> Snapshot {
+        self.delta.snapshot()
+    }
+
+    /// Run a SPARQL query pinned to a [`Snapshot`] (newest generation,
+    /// default configuration).
+    pub fn query_snapshot(&self, sparql: &str, snap: Snapshot) -> Result<ResultSet, Error> {
+        Ok(self
+            .query_traced_impl(sparql, self.default_generation()?, self.config, None, Some(snap))?
+            .results)
+    }
+
+    /// Incremental-routing drift statistics: how far the live data has
+    /// diverged from the organized base generation.
+    pub fn drift_stats(&self) -> DriftStats {
+        let n_base_irregular = match (&self.clustered, &self.cs_parse_order) {
+            (Some(store), _) => store.irregular.len() as u64,
+            (None, Some((store, _))) => store.irregular.len() as u64,
+            _ => 0,
+        };
+        let view = self.delta.current_view();
+        let (matched, pending, fill) = match &self.write {
+            Some(w) => (
+                w.pending_class.len() as u64,
+                w.pending_props.len() as u64,
+                w.per_class_fill.clone(),
+            ),
+            None => (0, 0, Vec::new()),
+        };
+        DriftStats {
+            n_base_triples: self.ts.len() as u64,
+            n_base_irregular,
+            n_delta_inserts: view.map_or(0, |v| v.n_inserts() as u64),
+            n_tombstones: self.delta.n_tombstones() as u64,
+            matched_subjects: matched,
+            unmatched_subjects: pending.saturating_sub(matched),
+            per_class_fill: fill,
+        }
+    }
+
+    /// Adaptive reorganization: evaluate `policy` against the current
+    /// [`DriftStats`] and, when a threshold fires, collapse the delta into
+    /// the base set and rebuild every live generation (schema re-discovery,
+    /// subject re-clustering, fresh column segments) behind the query API.
+    pub fn maybe_reorganize(&mut self, policy: &ReorgPolicy) -> Result<ReorgOutcome, Error> {
+        let drift = self.drift_stats();
+        let Some(reason) = policy.trigger_reason(&drift) else {
+            return Ok(ReorgOutcome {
+                fired: false,
+                reason: None,
+                drift_before: drift,
+                irregular_ratio_after: None,
+                report: None,
+            });
+        };
+        self.reorganize_now()?;
+        let irregular_ratio_after = self.clustered.as_ref().map(|store| {
+            store.irregular.len() as f64 / store.n_triples().max(1) as f64
+        });
+        Ok(ReorgOutcome {
+            fired: true,
+            reason: Some(reason),
+            drift_before: drift,
+            irregular_ratio_after,
+            report: self.reorg_report.clone(),
+        })
+    }
+
+    /// Unconditional reorganization: collapse the pending delta into the
+    /// base set and rebuild whatever generations were built (a clustered
+    /// database re-runs discovery + clustering; a baseline/CS database
+    /// rebuilds its indexes over the merged data).
+    pub fn reorganize_now(&mut self) -> Result<(), Error> {
+        let had_baseline = self.baseline.is_some();
+        let had_cs = self.cs_parse_order.is_some();
+        let had_clustered = self.clustered.is_some();
+        self.collapse_delta_into_base();
+        self.invalidate();
+        if had_clustered {
+            self.self_organize()?;
+        }
+        if had_cs {
+            // After self_organize this rebuilds sparse CS tables under the
+            // frozen (fresh) schema over the re-clustered OIDs; without a
+            // clustered generation it re-discovers from the merged data.
+            self.build_cs_tables()?;
+        }
+        if had_baseline {
+            // After self_organize the OIDs are re-clustered; the baseline is
+            // rebuilt over the new numbering so generations stay consistent.
+            self.build_baseline()?;
+        }
+        Ok(())
+    }
+
+    /// Fold pending delta writes into the base triple set and reset the
+    /// write state. Callers that keep built generations alive must rebuild
+    /// them afterwards. Returns whether anything changed.
+    fn collapse_delta_into_base(&mut self) -> bool {
+        if self.delta.is_empty() {
+            self.write = None;
+            return false;
+        }
+        if let Some(view) = self.delta.current_view() {
+            if view.n_tombstones() > 0 {
+                self.ts.triples.retain(|t| !view.is_deleted(*t));
+            }
+        }
+        let inserts = self.delta.visible_inserts();
+        self.ts.triples.extend(inserts);
+        self.delta = DeltaStore::new();
+        self.write = None;
+        true
+    }
+
+    /// Route one insert batch's subjects through the incremental assigner
+    /// (drift bookkeeping only — queries read delta triples through the
+    /// merged scans regardless of routing).
+    fn route_inserts(&mut self, encoded: &[Triple]) {
+        let Some(schema) = &self.schema else { return };
+        let w = self.write.get_or_insert_with(|| WriteState {
+            assigner: IncrementalAssigner::new(schema),
+            pending_props: FxHashMap::default(),
+            pending_class: FxHashMap::default(),
+            per_class_fill: vec![0; schema.classes.len()],
+        });
+        let mut by_subject: FxHashMap<Oid, (Vec<Oid>, u64)> = FxHashMap::default();
+        for t in encoded {
+            let e = by_subject.entry(t.s).or_default();
+            e.0.push(t.p);
+            e.1 += 1;
+        }
+        let cfg = &self.schema_cfg;
+        for (s, (mut props, n)) in by_subject {
+            if let Some(cid) = schema.class_of(s) {
+                // Known subject: its delta triples will cluster back into
+                // its class at the next reorganization.
+                w.per_class_fill[cid.0 as usize] += n;
+                continue;
+            }
+            props.sort_unstable();
+            props.dedup();
+            let merged: Vec<Oid> = match w.pending_props.get_mut(&s) {
+                Some(prev) => {
+                    prev.extend(props);
+                    prev.sort_unstable();
+                    prev.dedup();
+                    prev.clone()
+                }
+                None => {
+                    w.pending_props.insert(s, props.clone());
+                    props
+                }
+            };
+            match w.assigner.route(&merged, cfg) {
+                Some(cid) => {
+                    w.pending_class.insert(s, cid);
+                    w.per_class_fill[cid.0 as usize] += n;
+                }
+                None => {
+                    w.pending_class.remove(&s);
+                }
+            }
+        }
+    }
+
     // ---- building generations ----------------------------------------------
+
+    /// Pending delta writes make a *partial* rebuild unsound (the new store
+    /// would disagree with the surviving ones about the visible data); the
+    /// rebuild entry points below refuse instead.
+    fn ensure_no_pending_writes(&self, what: &str) -> Result<(), Error> {
+        if self.delta.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::State(format!(
+                "{what} with pending writes: call reorganize_now() (or maybe_reorganize) first"
+            )))
+        }
+    }
 
     /// Build the exhaustive-index baseline (Table I's "ParseOrder" scheme).
     pub fn build_baseline(&mut self) -> Result<(), Error> {
         if self.baseline.is_none() {
+            self.ensure_no_pending_writes("build_baseline()")?;
             let spo = self.ts.sorted_spo();
             self.baseline = Some(BaselineStore::build(&self.dm, &spo));
         }
@@ -213,10 +695,12 @@ impl Database {
         if self.clustered.is_some() {
             return Err(Error::State("schema already frozen by self_organize()".into()));
         }
+        self.ensure_no_pending_writes("discover_schema()")?;
         let spo = self.ts.sorted_spo();
         let schema = sordf_schema::discover(&spo, &self.ts.dict, cfg);
         let coverage = schema.coverage;
         self.schema = Some(schema);
+        self.schema_cfg = cfg.clone();
         Ok(coverage)
     }
 
@@ -226,8 +710,10 @@ impl Database {
         if self.cs_parse_order.is_some() {
             return Ok(());
         }
+        self.ensure_no_pending_writes("build_cs_tables()")?;
         if self.schema.is_none() {
-            self.discover_schema(&SchemaConfig::default())?;
+            let cfg = self.schema_cfg.clone();
+            self.discover_schema(&cfg)?;
         }
         let mut schema = self.schema.clone().unwrap();
         let spo = self.ts.sorted_spo();
@@ -242,8 +728,16 @@ impl Database {
     /// Uses [`ClusterSpec::auto`] unless a spec was set via
     /// [`Database::self_organize_with`].
     pub fn self_organize(&mut self) -> Result<&EmergentSchema, Error> {
+        if self.clustered.is_none() && self.collapse_delta_into_base() {
+            // Pending writes changed the dataset; re-discover from scratch
+            // (mirrors the collapse in self_organize_with).
+            self.baseline = None;
+            self.cs_parse_order = None;
+            self.schema = None;
+        }
         if self.schema.is_none() {
-            self.discover_schema(&SchemaConfig::default())?;
+            let cfg = self.schema_cfg.clone();
+            self.discover_schema(&cfg)?;
         }
         let spec = ClusterSpec::auto(self.schema.as_ref().unwrap());
         self.self_organize_with(spec)
@@ -254,8 +748,16 @@ impl Database {
         if self.clustered.is_some() {
             return Ok(self.schema.as_ref().unwrap());
         }
+        if self.collapse_delta_into_base() {
+            // Pending writes changed the dataset: schema/generations
+            // discovered before them are stale.
+            self.baseline = None;
+            self.cs_parse_order = None;
+            self.schema = None;
+        }
         if self.schema.is_none() {
-            self.discover_schema(&SchemaConfig::default())?;
+            let cfg = self.schema_cfg.clone();
+            self.discover_schema(&cfg)?;
         }
         let mut schema = self.schema.take().unwrap();
         let report = reorganize(&mut self.ts, &mut schema, &spec);
@@ -265,6 +767,9 @@ impl Database {
         self.schema = Some(schema);
         self.spec = spec;
         self.reorg_report = Some(report);
+        // The string pool was just sorted: OID order equals value order for
+        // everything interned so far.
+        self.strings_sorted_len = self.ts.dict.n_strings();
         // Parse-order generations hold stale OIDs now.
         self.baseline = None;
         self.cs_parse_order = None;
@@ -377,7 +882,7 @@ impl Database {
         generation: Generation,
         config: ExecConfig,
     ) -> Result<Traced, Error> {
-        self.query_traced_impl(sparql, generation, config, None)
+        self.query_traced_impl(sparql, generation, config, None, None)
     }
 
     /// Run a SPARQL query with morsel-parallel operators (see
@@ -407,7 +912,7 @@ impl Database {
         config: ExecConfig,
         parallel: &ParallelConfig,
     ) -> Result<Traced, Error> {
-        self.query_traced_impl(sparql, generation, config, Some(parallel))
+        self.query_traced_impl(sparql, generation, config, Some(parallel), None)
     }
 
     fn query_traced_impl(
@@ -416,10 +921,21 @@ impl Database {
         generation: Generation,
         config: ExecConfig,
         parallel: Option<&ParallelConfig>,
+        snap: Option<Snapshot>,
     ) -> Result<Traced, Error> {
         let query = sordf_sparql::parse_sparql(sparql, &self.ts.dict)?;
         let storage = self.storage_for(generation)?;
-        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, config);
+        // Pick the delta view this query reads: the cached current view, or
+        // a historical one materialized for the pinned snapshot.
+        let owned_view: Option<DeltaView>;
+        let view: Option<&DeltaView> = match snap {
+            Some(s) if s.seq() != self.delta.seq() => {
+                owned_view = Some(self.delta.view_at(s));
+                owned_view.as_ref()
+            }
+            _ => self.delta.current_view(),
+        };
+        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, config).with_delta(view);
         let pool_before = self.pool.stats();
         // Query-boundary fault isolation: an engine panic (e.g. a page read
         // that keeps failing after the pool's retries) fails this query, not
@@ -440,7 +956,8 @@ impl Database {
     pub fn explain(&self, sparql: &str) -> Result<PlanInfo, Error> {
         let query = sordf_sparql::parse_sparql(sparql, &self.ts.dict)?;
         let storage = self.storage_for(self.default_generation()?)?;
-        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, self.config);
+        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, self.config)
+            .with_delta(self.delta.current_view());
         Ok(sordf_engine::explain(&cx, &query))
     }
 
@@ -453,8 +970,21 @@ impl Database {
         let query = sordf_sql::compile_sql(sql, schema, store, &self.ts.dict)
             .map_err(Error::Sql)?;
         let storage = StorageRef::Clustered { store, schema };
-        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, self.config);
+        // Deletes of base rows are respected through the delta view; rows
+        // inserted since the last reorganization join the SQL view when
+        // `maybe_reorganize` clusters them into their class segment.
+        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, self.config)
+            .with_delta(self.delta.current_view());
         Ok(sordf_engine::execute(&cx, &query))
+    }
+}
+
+/// Encode a term for lookup without interning, skolemizing blank nodes the
+/// way [`TripleSet::add`] does (shared scheme: [`Term::skolem_blank_iri`]).
+fn term_oid_skolemized(dict: &Dictionary, t: &Term) -> Option<Oid> {
+    match t {
+        Term::Blank(label) => dict.iri_oid(&Term::skolem_blank_iri(label)),
+        other => dict.term_oid(other),
     }
 }
 
@@ -556,6 +1086,191 @@ mod tests {
         let ddl = db.ddl().unwrap();
         assert!(ddl.contains("CREATE TABLE"), "{ddl}");
         assert!(ddl.contains("qty"), "{ddl}");
+    }
+
+    #[test]
+    fn insert_delete_after_organize() {
+        let mut db = sample_db();
+        db.self_organize().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        assert_eq!(db.query(q).unwrap().len(), 5);
+
+        // Insert two more subjects with qty 3 (one schema-conforming with
+        // both class properties, one qty-only).
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/new1> <http://ex/sold> "1996-02-01"^^<http://www.w3.org/2001/XMLSchema#date> .
+<http://ex/new2> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/new2> <http://ex/color> <http://ex/red> .
+<http://ex/new2> <http://ex/shape> <http://ex/round> .
+<http://ex/new2> <http://ex/size> <http://ex/big> ."#,
+        )
+        .unwrap();
+        assert_eq!(db.query(q).unwrap().len(), 7, "inserts visible without rebuild");
+
+        // Delete one of the original qty=3 triples.
+        let victim = TermTriple::new(
+            Term::iri("http://ex/item3"),
+            Term::iri("http://ex/qty"),
+            Term::int(3),
+        );
+        assert_eq!(db.delete_triples(std::slice::from_ref(&victim)).unwrap(), 1);
+        assert_eq!(db.query(q).unwrap().len(), 6, "tombstone filters the base value");
+        // Deleting again is a no-op (already invisible).
+        assert_eq!(db.delete_triples(std::slice::from_ref(&victim)).unwrap(), 0);
+
+        // Parallel execution sees the identical merged store.
+        let par = db
+            .query_parallel(q, &ParallelConfig { workers: 2, min_morsel_pages: 1, min_morsel_rows: 1 })
+            .unwrap();
+        assert_eq!(par.canonical(db.dict()), db.query(q).unwrap().canonical(db.dict()));
+
+        let drift = db.drift_stats();
+        assert_eq!(drift.n_delta_inserts, 6);
+        assert_eq!(drift.n_tombstones, 1);
+        assert_eq!(drift.matched_subjects, 1, "new1 has the class's property set");
+        assert_eq!(drift.unmatched_subjects, 1, "new2's property set fits no class");
+    }
+
+    #[test]
+    fn snapshots_pin_write_history() {
+        let mut db = sample_db();
+        db.self_organize().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        let snap0 = db.snapshot();
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        let snap1 = db.snapshot();
+        db.delete_matching(None, Some(&Term::iri("http://ex/qty")), Some(&Term::int(3)))
+            .unwrap();
+        assert_eq!(db.query(q).unwrap().len(), 0, "all qty=3 deleted");
+        assert_eq!(db.query_snapshot(q, snap1).unwrap().len(), 6, "pre-delete snapshot");
+        assert_eq!(db.query_snapshot(q, snap0).unwrap().len(), 5, "pre-insert snapshot");
+        // Current snapshot equals the live query.
+        assert_eq!(db.query_snapshot(q, db.snapshot()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn maybe_reorganize_collapses_delta() {
+        let mut db = sample_db();
+        db.self_organize().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/new1> <http://ex/sold> "1996-02-01"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+        )
+        .unwrap();
+        db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None).unwrap();
+        let before = db.query(q).unwrap().canonical(db.dict());
+        let n_before = db.n_triples();
+
+        // A lenient policy does not fire on two writes.
+        let calm = db.maybe_reorganize(&ReorgPolicy::default()).unwrap();
+        assert!(!calm.fired);
+
+        let outcome = db.maybe_reorganize(&ReorgPolicy::eager()).unwrap();
+        assert!(outcome.fired, "eager policy fires on any pending write");
+        assert!(outcome.report.is_some());
+        assert_eq!(outcome.irregular_ratio_after, Some(0.0), "delta fully clustered in");
+        assert_eq!(db.n_triples(), n_before, "logical content unchanged");
+        assert_eq!(db.drift_stats().n_delta_inserts, 0, "delta collapsed");
+        assert_eq!(db.query(q).unwrap().canonical(db.dict()), before, "results preserved");
+        // The new subject now lives in a class segment.
+        let s = db.dict().iri_oid("http://ex/new1").unwrap();
+        assert!(db.schema().unwrap().class_of(s).is_some());
+        // Nothing pending: eager policy has nothing to do.
+        assert!(!db.maybe_reorganize(&ReorgPolicy::eager()).unwrap().fired);
+    }
+
+    #[test]
+    fn string_inserts_disable_oid_order_pushdown() {
+        let mut db = Database::in_temp_dir().unwrap();
+        let mut triples = Vec::new();
+        for (i, label) in ["apple", "banana", "cherry", "damson"].iter().enumerate() {
+            let s = format!("http://ex/thing{i}");
+            triples.push(TermTriple::new(
+                Term::iri(s.clone()),
+                Term::iri("http://ex/label"),
+                Term::str(*label),
+            ));
+            triples.push(TermTriple::new(
+                Term::iri(s),
+                Term::iri("http://ex/rank"),
+                Term::int(i as i64),
+            ));
+        }
+        db.load_terms(&triples).unwrap();
+        db.self_organize().unwrap();
+        let q = r#"SELECT ?s WHERE { ?s <http://ex/label> ?l . FILTER(?l < "banana") }"#;
+        assert_eq!(db.query(q).unwrap().len(), 1, "only apple");
+        // "azure" sorts between apple and banana but its OID is appended at
+        // the end of the pool: an OID-range pushdown would miss it.
+        db.insert_ntriples(
+            r#"<http://ex/thing9> <http://ex/label> "azure" .
+<http://ex/thing9> <http://ex/rank> "9"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        assert_eq!(db.query(q).unwrap().len(), 2, "apple and azure");
+        // After reorganization the pool is re-sorted and pushdown is safe again.
+        db.reorganize_now().unwrap();
+        assert_eq!(db.query(q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rebuilds_with_pending_writes_are_refused() {
+        let mut db = sample_db();
+        db.build_baseline().unwrap();
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        assert!(matches!(db.discover_schema(&SchemaConfig::default()), Err(Error::State(_))));
+        assert!(matches!(db.build_cs_tables(), Err(Error::State(_))));
+        // self_organize collapses the pending writes instead of refusing.
+        db.self_organize().unwrap();
+        let rs = db
+            .query("SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }")
+            .unwrap();
+        assert_eq!(rs.len(), 6);
+    }
+
+    #[test]
+    fn reorganize_rebuilds_every_live_generation() {
+        let mut db = sample_db();
+        db.self_organize().unwrap();
+        db.build_cs_tables().unwrap();
+        db.build_baseline().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/new1> <http://ex/sold> "1996-02-01"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+        )
+        .unwrap();
+        db.reorganize_now().unwrap();
+        for generation in [Generation::Baseline, Generation::CsParseOrder, Generation::Clustered]
+        {
+            let rs = db.query_with(q, generation, ExecConfig::default()).unwrap();
+            assert_eq!(rs.len(), 6, "{generation:?} must survive the reorg");
+        }
+    }
+
+    #[test]
+    fn baseline_generation_supports_writes() {
+        let mut db = sample_db();
+        db.build_baseline().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        assert_eq!(db.query(q).unwrap().len(), 5);
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None).unwrap();
+        assert_eq!(db.query(q).unwrap().len(), 5, "one in, one out");
+        db.reorganize_now().unwrap();
+        assert_eq!(db.query(q).unwrap().len(), 5, "rebuilt baseline agrees");
+        assert!(db.clustered_store().is_none(), "reorg does not force organization");
     }
 
     #[test]

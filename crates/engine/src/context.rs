@@ -3,7 +3,7 @@
 use sordf_columnar::BufferPool;
 use sordf_model::Dictionary;
 use sordf_schema::EmergentSchema;
-use sordf_storage::{BaselineStore, ClusteredStore};
+use sordf_storage::{BaselineStore, ClusteredStore, DeltaView};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which plan scheme the planner uses for star patterns — the "Query Plan"
@@ -136,6 +136,13 @@ pub struct ExecContext<'a> {
     pub pool: &'a BufferPool,
     pub dict: &'a Dictionary,
     pub storage: StorageRef<'a>,
+    /// The delta view this query reads (its write snapshot). `None` when no
+    /// writes are pending — every scan then skips all merge work. When set,
+    /// property scans union the view's insert runs with base storage and
+    /// filter its tombstones out of every base-resident value (the
+    /// merged-source contract shared by the sequential, parallel and
+    /// rowwise operators).
+    pub delta: Option<&'a DeltaView>,
     pub config: ExecConfig,
     pub stats: ExecStats,
 }
@@ -151,6 +158,7 @@ const _: () = {
     assert_send_sync::<ClusteredStore>();
     assert_send_sync::<EmergentSchema>();
     assert_send_sync::<Dictionary>();
+    assert_send_sync::<DeltaView>();
     assert_send_sync::<ExecStats>();
     assert_send_sync::<ExecContext<'static>>();
 };
@@ -162,13 +170,26 @@ impl<'a> ExecContext<'a> {
         storage: StorageRef<'a>,
         config: ExecConfig,
     ) -> ExecContext<'a> {
-        ExecContext { pool, dict, storage, config, stats: ExecStats::default() }
+        ExecContext { pool, dict, storage, delta: None, config, stats: ExecStats::default() }
+    }
+
+    /// Attach a delta view (the query's write snapshot). Empty views are
+    /// dropped so the scan paths keep their zero-cost no-delta fast path.
+    pub fn with_delta(mut self, delta: Option<&'a DeltaView>) -> ExecContext<'a> {
+        self.delta = delta.filter(|d| !d.is_empty());
+        self
     }
 
     /// Are string OIDs ordered by value? True after clustering (the string
     /// pool is sorted), false on parse-order storage — ordered string
     /// comparisons must decode in that case.
     pub fn strings_value_ordered(&self) -> bool {
+        // Inserts after the last reorganization may have interned new
+        // strings at the end of the pool, breaking the sorted order until
+        // the next reorganization re-sorts it.
+        if self.delta.is_some_and(|d| d.strings_appended) {
+            return false;
+        }
         // Sparse clustered stores keep parse-order string OIDs too; only the
         // reorganized (dense) store sorts the pool. We detect via segments.
         match &self.storage {

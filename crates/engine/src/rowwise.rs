@@ -24,7 +24,7 @@ use crate::star::{
 };
 use crate::table::Table;
 use sordf_columnar::{BufferPool, Column, VALS_PER_PAGE};
-use sordf_model::Oid;
+use sordf_model::{Oid, Triple};
 use sordf_storage::clustered::SubjectIds;
 use sordf_storage::{BaselineStore, ClassSegment, Order, PermIndex};
 use std::ops::Range;
@@ -143,6 +143,9 @@ pub fn scan_property_rowwise(
             pairs
         }
     };
+    // Same merged-source contract as the vectorized scan: tombstones filter
+    // base pairs, visible delta inserts are unioned in.
+    crate::scan::apply_delta_pairs(cx, p, restrict, s_range, &mut out);
     out.sort_unstable();
     ExecStats::bump(&cx.stats.rows_scanned, out.len() as u64);
     out
@@ -521,20 +524,46 @@ fn scan_class_star_rw(
                 )
             };
             match cov {
-                Covered::Col(ci) => Access::Col {
+                Covered::Col(ci) => {
                     // Row-at-a-time gather: one pool request per row.
-                    vals: rows.iter().map(|&r| seg.columns[*ci].value(pool, r)).collect(),
-                    exceptions: irr(),
-                    restrict,
-                },
+                    let mut vals: Vec<u64> =
+                        rows.iter().map(|&r| seg.columns[*ci].value(pool, r)).collect();
+                    // Tombstoned column values behave exactly like NULLs.
+                    if let Some(d) = cx.delta {
+                        if d.has_tombstones_for(prop.pred) {
+                            for (ri, &row) in rows.iter().enumerate() {
+                                let v = vals[ri];
+                                if v != sordf_columnar::column::NULL_SENTINEL
+                                    && d.is_deleted(Triple::new(
+                                        subject_at_rw(seg, pool, row),
+                                        prop.pred,
+                                        Oid::from_raw(v),
+                                    ))
+                                {
+                                    vals[ri] = sordf_columnar::column::NULL_SENTINEL;
+                                }
+                            }
+                        }
+                    }
+                    Access::Col { vals, exceptions: irr(), restrict }
+                }
                 Covered::Multi(mi) => {
                     let table = &seg.multi[*mi];
                     let lo = lower_bound_rw(&table.s, pool, 0..table.s.len(), s_lo);
                     let hi = upper_bound_rw(&table.s, pool, 0..table.s.len(), s_hi);
                     let pairs = (lo..hi)
-                        .map(|i| (table.s.value(pool, i), table.o.value(pool, i)))
-                        .filter(|&(_, o)| restrict.accepts(o))
-                        .map(|(s, o)| (Oid::from_raw(s), Oid::from_raw(o)))
+                        .map(|i| {
+                            (
+                                Oid::from_raw(table.s.value(pool, i)),
+                                Oid::from_raw(table.o.value(pool, i)),
+                            )
+                        })
+                        .filter(|&(s, o)| {
+                            restrict.accepts(o.raw())
+                                && cx.delta.map_or(true, |d| {
+                                    !d.is_deleted(Triple::new(s, prop.pred, o))
+                                })
+                        })
                         .collect();
                     Access::Multi { pairs, exceptions: irr() }
                 }

@@ -6,9 +6,16 @@
 //! property (the aligned "stretches" of the clustered PSO table) plus the
 //! irregular remainder. Object restrictions use the POS permutation, the
 //! segment sort order, or zone maps, depending on what is available.
+//!
+//! When the context carries a [`sordf_storage::DeltaView`] (pending writes),
+//! every property scan becomes a *merged source*: base-resident pairs are
+//! filtered against the view's tombstones and the view's visible insert
+//! runs are unioned in (`apply_delta_pairs`) before the stream is sorted —
+//! so downstream operators see one (s, o)-sorted stream regardless of how
+//! many physical sources contributed.
 
 use crate::context::{ExecContext, ExecStats, StorageRef};
-use sordf_model::Oid;
+use sordf_model::{Oid, Triple};
 use sordf_storage::clustered::SubjectIds;
 use sordf_storage::{BaselineStore, Order};
 
@@ -98,11 +105,39 @@ pub fn scan_property(
             pairs
         }
     };
+    apply_delta_pairs(cx, p, restrict, s_range, &mut out);
     // Segments were appended in class order; different sources may
-    // interleave in subject space (sparse segments, irregular exceptions).
+    // interleave in subject space (sparse segments, irregular exceptions,
+    // delta runs).
     out.sort_unstable();
     ExecStats::bump(&cx.stats.rows_scanned, out.len() as u64);
     out
+}
+
+/// Merge the context's delta view into one property's (s, o) stream: drop
+/// base-resident pairs the view tombstones, then union the visible insert
+/// runs (restricted like the base scan). Shared by the vectorized and the
+/// rowwise property scans so both see the identical merged source; callers
+/// sort afterwards. Delta triples are logically irregular — they belong to
+/// both `Source::Full` and `Source::IrregularOnly` streams, which is what
+/// routes them into RDFscan's exception lists for subjects that live inside
+/// class segments.
+pub(crate) fn apply_delta_pairs(
+    cx: &ExecContext,
+    p: Oid,
+    restrict: &ORestrict,
+    s_range: SRange,
+    out: &mut Vec<(Oid, Oid)>,
+) {
+    let Some(delta) = cx.delta else { return };
+    if delta.has_tombstones_for(p) {
+        out.retain(|&(s, o)| !delta.is_deleted(Triple::new(s, p, o)));
+    }
+    out.extend(
+        delta
+            .insert_pairs_for(p, s_range)
+            .filter(|&(_, o)| restrict.accepts(o.raw())),
+    );
 }
 
 /// Property scan against a permutation-indexed store.
@@ -432,6 +467,63 @@ mod tests {
         let qty = f.ts.dict.iri_oid("http://e/qty").unwrap();
         let irr = scan_property(&c, qty, &ORestrict::none(), None, Source::IrregularOnly);
         assert_eq!(irr.len(), 1, "only the string exception is irregular");
+    }
+
+    #[test]
+    fn delta_merges_into_scans_and_rowwise_agrees() {
+        let f = fixture();
+        let qty = f.ts.dict.iri_oid("http://e/qty").unwrap();
+        let base = {
+            let c = cx(&f, true);
+            scan_property(&c, qty, &ORestrict::none(), None, Source::Full)
+        };
+        // Delete one base triple, insert one brand-new subject, and insert a
+        // second value for an existing subject.
+        let (s0, o0) = base[0];
+        let (s1, _) = base[1];
+        let new_s = Oid::iri(900_000);
+        let seven = Oid::from_int(7).unwrap();
+        let mut delta = sordf_storage::DeltaStore::new();
+        delta.delete(&[Triple::new(s0, qty, o0)]);
+        delta.insert_run(vec![Triple::new(new_s, qty, seven), Triple::new(s1, qty, seven)]);
+        let view = delta.current_view().unwrap().clone();
+
+        for clustered in [false, true] {
+            let c = cx(&f, clustered).with_delta(Some(&view));
+            let merged = scan_property(&c, qty, &ORestrict::none(), None, Source::Full);
+            assert_eq!(merged.len(), base.len() + 1, "clustered={clustered}");
+            assert!(!merged.contains(&(s0, o0)), "tombstone filtered");
+            assert!(merged.contains(&(new_s, seven)), "insert unioned");
+            assert!(merged.contains(&(s1, seven)), "second value unioned");
+            assert!(merged.windows(2).all(|w| w[0] <= w[1]), "still (s,o)-sorted");
+            // The rowwise reference sees the identical merged source.
+            let rw = crate::rowwise::scan_property_rowwise(
+                &c,
+                qty,
+                &ORestrict::none(),
+                None,
+                Source::Full,
+            );
+            assert_eq!(merged, rw);
+            // Restrictions apply to delta pairs too.
+            let only7 = scan_property(&c, qty, &ORestrict::eq(seven), None, Source::Full);
+            assert!(only7.contains(&(new_s, seven)));
+            assert!(only7.iter().all(|&(_, o)| o == seven));
+            // Subject ranges narrow delta pairs.
+            let none = scan_property(
+                &c,
+                qty,
+                &ORestrict::none(),
+                Some((new_s.raw() + 1, u64::MAX)),
+                Source::Full,
+            );
+            assert!(!none.contains(&(new_s, seven)));
+        }
+        // Delta triples are logically irregular: IrregularOnly sees them.
+        let c = cx(&f, true).with_delta(Some(&view));
+        let irr = scan_property(&c, qty, &ORestrict::none(), None, Source::IrregularOnly);
+        assert!(irr.contains(&(new_s, seven)));
+        assert!(irr.contains(&(s1, seven)));
     }
 
     #[test]

@@ -499,14 +499,24 @@ pub fn eval_star_rdfscan(
 /// Per-property access resolved against one class segment. Column values are
 /// *not* materialized here — the chunk path reads them straight from pinned
 /// pages; only side-table pairs and irregular exceptions (small, subject-
-/// sorted lists) are collected up front.
+/// sorted lists) are collected up front. Pending writes surface here too:
+/// delta inserts arrive through the exception lists (they are scanned with
+/// `Source::IrregularOnly`, which unions the delta runs), and `deleted`
+/// carries the tombstoned (s, o) pairs the kernels must filter out of the
+/// aligned column values.
 pub(crate) enum Access {
-    /// Aligned column + sorted exceptions.
-    Col { ci: usize, exceptions: Vec<(Oid, Oid)>, restrict: ORestrict },
+    /// Aligned column + sorted exceptions + tombstoned pairs.
+    Col { ci: usize, exceptions: Vec<(Oid, Oid)>, deleted: Vec<(Oid, Oid)>, restrict: ORestrict },
     /// Multi table pairs in subject range (sorted by s) + exceptions.
     Multi { pairs: Vec<(Oid, Oid)>, exceptions: Vec<(Oid, Oid)> },
     /// Only irregular pairs (uncovered property).
     Irr { pairs: Vec<(Oid, Oid)> },
+}
+
+/// Is `(s, v)` in the sorted tombstoned-pair list?
+#[inline]
+pub(crate) fn pair_deleted(deleted: &[(Oid, Oid)], s: Oid, v: u64) -> bool {
+    !deleted.is_empty() && deleted.binary_search(&(s, Oid::from_raw(v))).is_ok()
 }
 
 /// Build the per-property accesses for subjects in `[s_lo, s_hi]`.
@@ -528,12 +538,23 @@ fn build_accesses(
             let irr = || {
                 scan_property(cx, prop.pred, &restrict, Some((s_lo, s_hi)), Source::IrregularOnly)
             };
+            // Tombstoned (s, o) pairs for this predicate in the subject
+            // range — the kernels filter these out of base column values.
+            let deleted = || match cx.delta {
+                Some(d) if d.has_tombstones_for(prop.pred) => {
+                    d.deleted_pairs_for(prop.pred, s_lo, s_hi)
+                }
+                _ => Vec::new(),
+            };
             match cov {
-                Covered::Col(ci) => Access::Col { ci: *ci, exceptions: irr(), restrict },
+                Covered::Col(ci) => {
+                    Access::Col { ci: *ci, exceptions: irr(), deleted: deleted(), restrict }
+                }
                 Covered::Multi(mi) => {
                     let table = &seg.multi[*mi];
                     let lo = table.s.lower_bound(pool, s_lo);
                     let hi = table.s.upper_bound(pool, s_hi);
+                    let del = deleted();
                     let mut pairs = Vec::new();
                     sordf_columnar::Column::for_each_chunk_pair(
                         &table.s,
@@ -545,7 +566,10 @@ fn build_accesses(
                                 sc.values()
                                     .iter()
                                     .zip(oc.values())
-                                    .filter(|&(_, &o)| restrict.accepts(o))
+                                    .filter(|&(&s, &o)| {
+                                        restrict.accepts(o)
+                                            && !pair_deleted(&del, Oid::from_raw(s), o)
+                                    })
                                     .map(|(&s, &o)| (Oid::from_raw(s), Oid::from_raw(o))),
                             );
                         },
@@ -618,7 +642,9 @@ pub(crate) fn prepare_row_scan<'a>(
     let out_pos = out_positions(star, &out_vars);
     let pure_columns = star_filters.is_empty()
         && accesses.iter().all(|a| match a {
-            Access::Col { exceptions, .. } => exceptions.is_empty(),
+            Access::Col { exceptions, deleted, .. } => {
+                exceptions.is_empty() && deleted.is_empty()
+            }
             _ => false,
         });
     Some(RowScanPrep {
@@ -695,9 +721,12 @@ pub(crate) fn scan_row_range(cx: &ExecContext, prep: &RowScanPrep, rr: std::ops:
             let list = &mut value_lists[pi];
             list.clear();
             match access {
-                Access::Col { exceptions, restrict, .. } => {
+                Access::Col { exceptions, deleted, restrict, .. } => {
                     let v = gathered[pi].as_ref().unwrap()[ri];
-                    if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+                    if v != sordf_columnar::column::NULL_SENTINEL
+                        && restrict.accepts(v)
+                        && !pair_deleted(deleted, s, v)
+                    {
                         list.push(Oid::from_raw(v));
                     }
                     extend_from_sorted(list, exceptions, s);
@@ -817,7 +846,9 @@ pub(crate) fn prepare_chunk_scan<'a>(
     // data, and the code path that makes RDFscan "CPU efficient".
     let pure_columns = star_filters.is_empty()
         && accesses.iter().all(|a| match a {
-            Access::Col { exceptions, .. } => exceptions.is_empty(),
+            Access::Col { exceptions, deleted, .. } => {
+                exceptions.is_empty() && deleted.is_empty()
+            }
             _ => false,
         });
 
@@ -986,9 +1017,12 @@ pub(crate) fn scan_chunk_pages(
                 let list = &mut value_lists[pi];
                 list.clear();
                 match access {
-                    Access::Col { exceptions, restrict, .. } => {
+                    Access::Col { exceptions, deleted, restrict, .. } => {
                         let v = col_slices[pi].unwrap()[i];
-                        if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
+                        if v != sordf_columnar::column::NULL_SENTINEL
+                            && restrict.accepts(v)
+                            && !pair_deleted(deleted, s, v)
+                        {
                             list.push(Oid::from_raw(v));
                         }
                         extend_from_sorted(list, exceptions, s);

@@ -130,6 +130,14 @@ pub enum Term {
 }
 
 impl Term {
+    /// The skolem IRI a blank-node label is interned under (blank subjects
+    /// must participate in subject clustering like any other IRI). The one
+    /// definition shared by the encode path (`TripleSet`) and the lookup
+    /// path (delete/term resolution) — they must never disagree.
+    pub fn skolem_blank_iri(label: &str) -> String {
+        format!("urn:sordf:blank:{label}")
+    }
+
     pub fn iri(s: impl Into<String>) -> Term {
         Term::Iri(s.into())
     }

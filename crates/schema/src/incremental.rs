@@ -1,0 +1,274 @@
+//! Incremental characteristic-set assignment and drift tracking.
+//!
+//! Bulk discovery ([`crate::discover`]) sees the whole dataset at once; a
+//! *living* store sees one insert batch at a time. This module routes each
+//! newly inserted subject against the already-discovered schema using the
+//! same admissibility rule the generalization stage uses for merging CSs
+//! ([`crate::merge`]): a subject joins a class when its property set is
+//! (mostly) contained in the class's property union, or the two sets are
+//! similar overall (Jaccard). Subjects that match no class are *drift* —
+//! their triples stay irregular until the next reorganization re-discovers
+//! the schema over the full data.
+//!
+//! Routing is advisory: the physical class segments are immutable, so a
+//! routed subject is **not** queried through its class — queries read delta
+//! triples through the merged-scan paths regardless. What routing buys is
+//! (a) per-class fill statistics (how much schema-conforming data is waiting
+//! to be clustered in) and (b) the matched/unmatched split that an adaptive
+//! reorganization policy thresholds on: a high unmatched ratio means the
+//! emergent schema itself has drifted and discovery must re-run.
+
+use crate::config::SchemaConfig;
+use crate::types::{ClassId, EmergentSchema};
+use sordf_model::Oid;
+
+/// Routes inserted subjects to existing classes by property-set similarity.
+/// Built once per discovered schema; cheap to query per subject.
+#[derive(Debug, Clone)]
+pub struct IncrementalAssigner {
+    /// Per class: kept properties (single-valued + multi-valued), ascending.
+    class_props: Vec<Vec<Oid>>,
+}
+
+impl IncrementalAssigner {
+    pub fn new(schema: &EmergentSchema) -> IncrementalAssigner {
+        let class_props = schema
+            .classes
+            .iter()
+            .map(|c| {
+                let mut props: Vec<Oid> = c
+                    .columns
+                    .iter()
+                    .map(|col| col.pred)
+                    .chain(c.multi_props.iter().map(|m| m.pred))
+                    .collect();
+                props.sort_unstable();
+                props.dedup();
+                props
+            })
+            .collect();
+        IncrementalAssigner { class_props }
+    }
+
+    /// Route one subject's property set (sorted, deduplicated) to the best
+    /// admissible class, `None` when no class qualifies. Admissibility and
+    /// tie-breaking mirror [`crate::merge::generalize`]: containment of the
+    /// subject's properties in the class union, or overall Jaccard
+    /// similarity, against the same config thresholds; the best score wins,
+    /// larger classes break ties.
+    pub fn route(&self, props: &[Oid], cfg: &SchemaConfig) -> Option<ClassId> {
+        if props.is_empty() {
+            return None;
+        }
+        debug_assert!(props.windows(2).all(|w| w[0] < w[1]), "props must be sorted+dedup");
+        let mut best: Option<(usize, f64, usize)> = None; // (class, score, class size)
+        for (ci, cprops) in self.class_props.iter().enumerate() {
+            let inter = sorted_intersection_len(props, cprops);
+            let containment = inter as f64 / props.len() as f64;
+            let union_size = props.len() + cprops.len() - inter;
+            let jaccard = if union_size == 0 { 0.0 } else { inter as f64 / union_size as f64 };
+            let score = containment.max(jaccard);
+            let admissible = containment + 1e-9 >= cfg.merge_overlap
+                || jaccard + 1e-9 >= cfg.merge_jaccard;
+            if !admissible {
+                continue;
+            }
+            let size = cprops.len();
+            let better = match best {
+                None => true,
+                Some((_, bs, bn)) => {
+                    score > bs + 1e-9 || ((score - bs).abs() <= 1e-9 && size > bn)
+                }
+            };
+            if better {
+                best = Some((ci, score, size));
+            }
+        }
+        best.map(|(ci, _, _)| ClassId(ci as u32))
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.class_props.len()
+    }
+}
+
+fn sorted_intersection_len(a: &[Oid], b: &[Oid]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Write-path drift statistics: how far the live data has diverged from the
+/// organized generation. Computed by the facade from the delta store and the
+/// incremental routing decisions; thresholds on these drive adaptive
+/// reorganization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriftStats {
+    /// Triples in the organized base generation.
+    pub n_base_triples: u64,
+    /// Base triples living in the irregular (exhaustive-index) remainder.
+    pub n_base_irregular: u64,
+    /// Visible delta-inserted triples (physically unorganized).
+    pub n_delta_inserts: u64,
+    /// Tombstones recorded against base/delta triples.
+    pub n_tombstones: u64,
+    /// Delta subjects routed to an existing class by property-set match.
+    pub matched_subjects: u64,
+    /// Delta subjects matching no class (schema drift).
+    pub unmatched_subjects: u64,
+    /// Pending delta triples per class (indexed by `ClassId`), for subjects
+    /// already assigned to that class or routed to it.
+    pub per_class_fill: Vec<u64>,
+}
+
+impl DriftStats {
+    /// Write volume relative to the base: (inserts + tombstones) / base.
+    pub fn delta_ratio(&self) -> f64 {
+        if self.n_base_triples == 0 {
+            return if self.n_delta_inserts + self.n_tombstones > 0 { 1.0 } else { 0.0 };
+        }
+        (self.n_delta_inserts + self.n_tombstones) as f64 / self.n_base_triples as f64
+    }
+
+    /// Fraction of visible triples *not* stored in aligned class columns.
+    /// Delta inserts count as irregular wholesale — physically they are:
+    /// until a reorganization clusters them in, every one is answered
+    /// through the merged-scan exception paths.
+    pub fn irregular_ratio(&self) -> f64 {
+        let total = self.n_base_triples + self.n_delta_inserts;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.n_base_irregular + self.n_delta_inserts) as f64 / total as f64
+    }
+
+    /// Fraction of delta subjects the incremental assigner could not route.
+    pub fn unmatched_ratio(&self) -> f64 {
+        let n = self.matched_subjects + self.unmatched_subjects;
+        if n == 0 {
+            return 0.0;
+        }
+        self.unmatched_subjects as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ClassDef, ColStats, ColumnDef, MultiPropDef};
+    use sordf_model::{FxHashMap, TypeTag};
+
+    fn class(id: u32, cols: &[u64], multi: &[u64]) -> ClassDef {
+        let mut c = ClassDef {
+            id: ClassId(id),
+            name: format!("c{id}"),
+            columns: cols
+                .iter()
+                .map(|&p| ColumnDef {
+                    pred: Oid::iri(p),
+                    name: format!("p{p}"),
+                    ty: TypeTag::Int,
+                    presence: 1.0,
+                    nullable: false,
+                    fk: None,
+                    stats: ColStats::default(),
+                })
+                .collect(),
+            multi_props: multi
+                .iter()
+                .map(|&p| MultiPropDef {
+                    pred: Oid::iri(p),
+                    name: format!("m{p}"),
+                    ty: TypeTag::Iri,
+                    mean_multiplicity: 2.0,
+                    fk: None,
+                    stats: ColStats::default(),
+                })
+                .collect(),
+            n_subjects: 10,
+            indirect_support: 0,
+            col_index: FxHashMap::default(),
+            multi_index: FxHashMap::default(),
+        };
+        c.reindex();
+        c
+    }
+
+    fn schema() -> EmergentSchema {
+        EmergentSchema {
+            classes: vec![class(0, &[1, 2, 3], &[4]), class(1, &[10, 11], &[])],
+            assignment: FxHashMap::default(),
+            type_pred: None,
+            coverage: 1.0,
+            n_triples: 0,
+        }
+    }
+
+    fn oids(ps: &[u64]) -> Vec<Oid> {
+        ps.iter().map(|&p| Oid::iri(p)).collect()
+    }
+
+    #[test]
+    fn exact_match_routes() {
+        let a = IncrementalAssigner::new(&schema());
+        let cfg = SchemaConfig::default();
+        assert_eq!(a.route(&oids(&[1, 2, 3, 4]), &cfg), Some(ClassId(0)));
+        assert_eq!(a.route(&oids(&[10, 11]), &cfg), Some(ClassId(1)));
+    }
+
+    #[test]
+    fn subset_routes_by_containment() {
+        let a = IncrementalAssigner::new(&schema());
+        let cfg = SchemaConfig::default();
+        // {1,2,3} fully contained in class 0's union.
+        assert_eq!(a.route(&oids(&[1, 2, 3]), &cfg), Some(ClassId(0)));
+    }
+
+    #[test]
+    fn disjoint_set_is_unrouted() {
+        let a = IncrementalAssigner::new(&schema());
+        let cfg = SchemaConfig::default();
+        assert_eq!(a.route(&oids(&[77, 78, 79]), &cfg), None);
+        assert_eq!(a.route(&[], &cfg), None);
+    }
+
+    #[test]
+    fn best_score_wins() {
+        let a = IncrementalAssigner::new(&schema());
+        let cfg = SchemaConfig { merge_overlap: 0.5, ..SchemaConfig::default() };
+        // {2, 3, 4, 77}: containment 0.75 in class 0, 0 in class 1.
+        assert_eq!(a.route(&oids(&[2, 3, 4, 77]), &cfg), Some(ClassId(0)));
+        // {1, 2, 10, 11}: both classes score 0.5 (containment) — the tie
+        // goes to the larger class (class 0 has 4 properties).
+        assert_eq!(a.route(&oids(&[1, 2, 10, 11]), &cfg), Some(ClassId(0)));
+    }
+
+    #[test]
+    fn drift_ratios() {
+        let d = DriftStats {
+            n_base_triples: 900,
+            n_base_irregular: 50,
+            n_delta_inserts: 100,
+            n_tombstones: 20,
+            matched_subjects: 30,
+            unmatched_subjects: 10,
+            per_class_fill: vec![60, 40],
+        };
+        assert!((d.delta_ratio() - 120.0 / 900.0).abs() < 1e-12);
+        assert!((d.irregular_ratio() - 150.0 / 1000.0).abs() < 1e-12);
+        assert!((d.unmatched_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(DriftStats::default().delta_ratio(), 0.0);
+        assert_eq!(DriftStats::default().irregular_ratio(), 0.0);
+        assert_eq!(DriftStats::default().unmatched_ratio(), 0.0);
+    }
+}

@@ -33,6 +33,7 @@ pub mod config;
 pub mod cs;
 pub mod finetune;
 pub mod fk;
+pub mod incremental;
 pub mod merge;
 pub mod naming;
 pub mod stats;
@@ -43,6 +44,7 @@ pub mod typing;
 mod pipeline;
 
 pub use config::SchemaConfig;
+pub use incremental::{DriftStats, IncrementalAssigner};
 pub use pipeline::discover;
 pub use summary::{summarize, SchemaSummary};
 pub use types::{

@@ -1,0 +1,489 @@
+//! The delta store: writes after `self_organize()`.
+//!
+//! The paper's store is *self-organizing* — structure is discovered from the
+//! data and then maintained as data keeps arriving. Physically, though, the
+//! clustered generation is immutable: columns, side tables and permutation
+//! indexes are built once. The [`DeltaStore`] closes that gap with the
+//! classic differential-store design (MonetDB itself keeps per-column
+//! insert/delete deltas next to the read-optimized BATs):
+//!
+//! * **Insert runs** — every write batch becomes one sorted in-memory run of
+//!   encoded triples. Runs are never merged into base columns; the query
+//!   engine unions them with the base scans (see `sordf_engine::scan`).
+//! * **Tombstones** — deletes never touch base pages either; a tombstone
+//!   records the deleted `(s, p, o)` and the engine filters matching base
+//!   (and earlier-delta) values out of every scan.
+//! * **MVCC-lite snapshot sequencing** — every write batch gets a
+//!   monotonically increasing sequence number. A [`Snapshot`] is just a
+//!   sequence number; a reader at snapshot `S` sees exactly the runs with
+//!   `seq <= S`, minus the tombstones with `seq <= S` (a tombstone only
+//!   kills versions inserted *before* it, so delete-then-reinsert behaves
+//!   like a version chain). There is no write-ahead log and no garbage
+//!   collection: the delta lives until the next reorganization collapses it
+//!   into a fresh base generation.
+//!
+//! A [`DeltaView`] is the read-side materialization of one snapshot: the
+//! visible inserted triples sorted in PSO order (the order property scans
+//! consume) plus the applicable tombstone set. The store caches the view of
+//! the *current* sequence — rebuilt after each write batch, so queries never
+//! pay the merge — and builds historical views on demand.
+
+use sordf_model::{FxHashMap, FxHashSet, Oid, Triple};
+
+/// A point in the write sequence. Obtained from [`DeltaStore::snapshot`];
+/// queries pinned to a snapshot see exactly the writes applied up to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Snapshot(u64);
+
+impl Snapshot {
+    /// The raw sequence number (0 = base only, before any delta write).
+    pub fn seq(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One write batch's inserts, SPO-sorted.
+#[derive(Debug, Clone)]
+struct DeltaRun {
+    seq: u64,
+    /// Inserted triples, sorted by (s, p, o). Duplicates are kept — RDF-H
+    /// style bulk loads keep duplicate triples too, and the engine's
+    /// placement rules give each occurrence a home.
+    triples: Vec<Triple>,
+}
+
+/// The read-side materialization of one snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaView {
+    seq: u64,
+    /// Visible inserted triples, sorted by (p, s, o) — the order property
+    /// scans consume. A run triple is visible unless a *later* tombstone
+    /// (still within the snapshot) deleted it.
+    inserts_pso: Vec<Triple>,
+    /// Tombstones applicable at this snapshot, for O(1) membership checks
+    /// against base-resident values.
+    tomb_set: FxHashSet<Triple>,
+    /// The same tombstones sorted by (p, s, o), for per-predicate slices.
+    tombs_pso: Vec<Triple>,
+    /// True when string literals were interned after the last string-pool
+    /// sort: string OID order no longer equals lexicographic order, so the
+    /// engine must stop pushing ordered string comparisons into scans.
+    pub strings_appended: bool,
+}
+
+impl DeltaView {
+    /// The snapshot this view materializes.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// No visible inserts and no applicable tombstones?
+    pub fn is_empty(&self) -> bool {
+        self.inserts_pso.is_empty() && self.tomb_set.is_empty()
+    }
+
+    /// Number of visible inserted triples.
+    pub fn n_inserts(&self) -> usize {
+        self.inserts_pso.len()
+    }
+
+    /// Number of applicable tombstones.
+    pub fn n_tombstones(&self) -> usize {
+        self.tomb_set.len()
+    }
+
+    /// Is this exact triple deleted at the view's snapshot? (Base-resident
+    /// occurrences only — visible delta inserts already had their
+    /// tombstones applied during view construction.)
+    #[inline]
+    pub fn is_deleted(&self, t: Triple) -> bool {
+        !self.tomb_set.is_empty() && self.tomb_set.contains(&t)
+    }
+
+    /// Any tombstones for predicate `p`? Lets scans skip the filter pass.
+    pub fn has_tombstones_for(&self, p: Oid) -> bool {
+        !slice_for(&self.tombs_pso, p, None).is_empty()
+    }
+
+    /// Tombstoned `(s, o)` pairs of predicate `p` with subject in
+    /// `[s_lo, s_hi]`, sorted by (s, o). Used by the star-scan kernels to
+    /// filter aligned column values.
+    pub fn deleted_pairs_for(&self, p: Oid, s_lo: u64, s_hi: u64) -> Vec<(Oid, Oid)> {
+        slice_for(&self.tombs_pso, p, Some((s_lo, s_hi)))
+            .iter()
+            .map(|t| (t.s, t.o))
+            .collect()
+    }
+
+    /// Visible inserted `(s, o)` pairs of predicate `p`, optionally
+    /// restricted to a subject range, sorted by (s, o).
+    pub fn insert_pairs_for(
+        &self,
+        p: Oid,
+        s_range: Option<(u64, u64)>,
+    ) -> impl Iterator<Item = (Oid, Oid)> + '_ {
+        slice_for(&self.inserts_pso, p, s_range).iter().map(|t| (t.s, t.o))
+    }
+
+    /// All visible inserted triples, sorted by (p, s, o).
+    pub fn inserts(&self) -> &[Triple] {
+        &self.inserts_pso
+    }
+
+    /// All distinct predicates with visible inserts (ascending).
+    pub fn insert_preds(&self) -> Vec<Oid> {
+        let mut out = Vec::new();
+        for t in &self.inserts_pso {
+            if out.last() != Some(&t.p) {
+                out.push(t.p);
+            }
+        }
+        out
+    }
+}
+
+/// Union of two (p, s, o)-sorted triple lists, order preserved.
+fn merge_pso(a: Vec<Triple>, b: Vec<Triple>) -> Vec<Triple> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i].key_pso() <= b[j].key_pso() {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// The (p, s)-bounded slice of a (p, s, o)-sorted triple list.
+fn slice_for(pso: &[Triple], p: Oid, s_range: Option<(u64, u64)>) -> &[Triple] {
+    let lo = pso.partition_point(|t| t.p < p);
+    let hi = pso.partition_point(|t| t.p <= p);
+    let mut slice = &pso[lo..hi];
+    if let Some((s_lo, s_hi)) = s_range {
+        let a = slice.partition_point(|t| t.s.raw() < s_lo);
+        let b = slice.partition_point(|t| t.s.raw() <= s_hi);
+        slice = &slice[a..b.max(a)];
+    }
+    slice
+}
+
+/// Sorted in-memory insert runs + a tombstone set, with snapshot
+/// sequencing. See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct DeltaStore {
+    runs: Vec<DeltaRun>,
+    /// Tombstones in application order: (seq, triple).
+    tombstones: Vec<(u64, Triple)>,
+    /// Sequence of the latest applied write batch (0 = none).
+    seq: u64,
+    /// Set by the owner when inserts interned new string literals (see
+    /// [`DeltaView::strings_appended`]).
+    strings_appended: bool,
+    /// Cached view of the current sequence (`None` while empty).
+    current: Option<DeltaView>,
+}
+
+impl DeltaStore {
+    pub fn new() -> DeltaStore {
+        DeltaStore::default()
+    }
+
+    /// The current sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// A snapshot of the current state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(self.seq)
+    }
+
+    /// No runs and no tombstones at all?
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty() && self.tombstones.is_empty()
+    }
+
+    /// Total inserted triples across all runs (including later-deleted ones).
+    pub fn n_inserted(&self) -> usize {
+        self.runs.iter().map(|r| r.triples.len()).sum()
+    }
+
+    /// Total tombstones recorded.
+    pub fn n_tombstones(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Record that inserts interned new string literals; propagated into
+    /// every view built from now on.
+    pub fn set_strings_appended(&mut self) {
+        self.strings_appended = true;
+        if let Some(v) = &mut self.current {
+            v.strings_appended = true;
+        }
+    }
+
+    /// Apply one insert batch as a new sorted run. Returns the snapshot at
+    /// which the batch is visible. The cached current view is maintained
+    /// *incrementally* — one sorted merge of the batch, not a rebuild of the
+    /// whole delta — so N small batches cost O(total delta) overall, not
+    /// O(total delta · N).
+    pub fn insert_run(&mut self, mut triples: Vec<Triple>) -> Snapshot {
+        if triples.is_empty() {
+            return self.snapshot();
+        }
+        triples.sort_unstable_by_key(|t| t.key_spo());
+        self.seq += 1;
+        // A fresh run cannot be killed by existing tombstones (their seqs
+        // all precede it), so the view merge is a plain sorted union.
+        let mut run_pso = triples.clone();
+        run_pso.sort_unstable_by_key(|t| t.key_pso());
+        let seq = self.seq;
+        let cur = self.current_mut();
+        cur.seq = seq;
+        cur.inserts_pso = merge_pso(std::mem::take(&mut cur.inserts_pso), run_pso);
+        self.runs.push(DeltaRun { seq, triples });
+        self.snapshot()
+    }
+
+    /// Apply one delete batch: tombstone each triple. Tombstones kill base
+    /// occurrences and any delta version inserted before this batch; a later
+    /// re-insert of the same triple is visible again. The cached view is
+    /// maintained incrementally (every currently visible insert of a
+    /// tombstoned triple predates the tombstone, so it just drops out).
+    pub fn delete(&mut self, triples: &[Triple]) -> Snapshot {
+        if triples.is_empty() {
+            return self.snapshot();
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        self.tombstones.extend(triples.iter().map(|&t| (seq, t)));
+        let cur = self.current_mut();
+        cur.seq = seq;
+        let dead: FxHashSet<Triple> = triples.iter().copied().collect();
+        cur.inserts_pso.retain(|t| !dead.contains(t));
+        let mut fresh: Vec<Triple> =
+            triples.iter().copied().filter(|t| cur.tomb_set.insert(*t)).collect();
+        fresh.sort_unstable_by_key(|t| t.key_pso());
+        fresh.dedup();
+        cur.tombs_pso = merge_pso(std::mem::take(&mut cur.tombs_pso), fresh);
+        self.snapshot()
+    }
+
+    /// The cached current view, created on first write. Callers assign its
+    /// `seq` right after their own sequence bump.
+    fn current_mut(&mut self) -> &mut DeltaView {
+        let strings_appended = self.strings_appended;
+        self.current
+            .get_or_insert_with(|| DeltaView { strings_appended, ..DeltaView::default() })
+    }
+
+    /// The cached view of the current sequence (`None` while the store is
+    /// empty — queries then skip all delta work).
+    pub fn current_view(&self) -> Option<&DeltaView> {
+        self.current.as_ref()
+    }
+
+    /// Build the view of an arbitrary snapshot (clamped to the current
+    /// sequence). O(delta size); the current sequence is served from the
+    /// cache by [`DeltaStore::current_view`].
+    pub fn view_at(&self, snap: Snapshot) -> DeltaView {
+        let seq = snap.seq().min(self.seq);
+        // Per triple: ascending tombstone sequences (within the snapshot).
+        let mut tomb_seqs: FxHashMap<Triple, Vec<u64>> = FxHashMap::default();
+        for &(tseq, t) in &self.tombstones {
+            if tseq <= seq {
+                tomb_seqs.entry(t).or_default().push(tseq);
+            }
+        }
+        let mut inserts: Vec<Triple> = Vec::new();
+        for run in &self.runs {
+            if run.seq > seq {
+                continue;
+            }
+            for &t in &run.triples {
+                // Visible unless some tombstone landed after this run.
+                let dead = tomb_seqs
+                    .get(&t)
+                    .is_some_and(|seqs| seqs.last().is_some_and(|&ts| ts > run.seq));
+                if !dead {
+                    inserts.push(t);
+                }
+            }
+        }
+        inserts.sort_unstable_by_key(|t| t.key_pso());
+        let tomb_set: FxHashSet<Triple> = tomb_seqs.into_keys().collect();
+        let mut tombs_pso: Vec<Triple> = tomb_set.iter().copied().collect();
+        tombs_pso.sort_unstable_by_key(|t| t.key_pso());
+        DeltaView {
+            seq,
+            inserts_pso: inserts,
+            tomb_set,
+            tombs_pso,
+            strings_appended: self.strings_appended,
+        }
+    }
+
+    /// The triples a collapse must append to the base set: all inserts still
+    /// visible at the current sequence, in run order.
+    pub fn visible_inserts(&self) -> Vec<Triple> {
+        // Walk runs (not the PSO-sorted view) to preserve batch order.
+        let mut tomb_seqs: FxHashMap<Triple, u64> = FxHashMap::default();
+        for &(tseq, t) in &self.tombstones {
+            let e = tomb_seqs.entry(t).or_insert(tseq);
+            *e = (*e).max(tseq);
+        }
+        let mut out = Vec::with_capacity(self.n_inserted());
+        for run in &self.runs {
+            for &t in &run.triples {
+                if tomb_seqs.get(&t).map_or(true, |&ts| ts <= run.seq) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(Oid::iri(s), Oid::iri(p), Oid::iri(o))
+    }
+
+    #[test]
+    fn empty_store_has_no_view() {
+        let d = DeltaStore::new();
+        assert!(d.is_empty());
+        assert!(d.current_view().is_none());
+        assert_eq!(d.snapshot().seq(), 0);
+        let v = d.view_at(d.snapshot());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn insert_then_view() {
+        let mut d = DeltaStore::new();
+        let snap = d.insert_run(vec![t(2, 10, 5), t(1, 10, 4), t(1, 11, 9)]);
+        assert_eq!(snap.seq(), 1);
+        let v = d.current_view().unwrap();
+        assert_eq!(v.n_inserts(), 3);
+        let pairs: Vec<_> = v.insert_pairs_for(Oid::iri(10), None).collect();
+        assert_eq!(pairs, vec![(Oid::iri(1), Oid::iri(4)), (Oid::iri(2), Oid::iri(5))]);
+        // Subject-range narrowing.
+        let narrowed: Vec<_> = v
+            .insert_pairs_for(Oid::iri(10), Some((Oid::iri(2).raw(), Oid::iri(2).raw())))
+            .collect();
+        assert_eq!(narrowed, vec![(Oid::iri(2), Oid::iri(5))]);
+    }
+
+    #[test]
+    fn tombstones_filter_base_but_not_later_inserts() {
+        let mut d = DeltaStore::new();
+        let base_triple = t(7, 10, 3);
+        d.delete(&[base_triple]); // seq 1
+        let v1 = d.current_view().unwrap().clone();
+        assert!(v1.is_deleted(base_triple));
+        assert!(v1.has_tombstones_for(Oid::iri(10)));
+        assert!(!v1.has_tombstones_for(Oid::iri(11)));
+
+        // Re-insert after the delete: visible again as a delta insert.
+        d.insert_run(vec![base_triple]); // seq 2
+        let v2 = d.current_view().unwrap();
+        assert_eq!(v2.n_inserts(), 1);
+        // The tombstone still applies to the *base* occurrence.
+        assert!(v2.is_deleted(base_triple));
+    }
+
+    #[test]
+    fn tombstone_kills_earlier_delta_insert() {
+        let mut d = DeltaStore::new();
+        d.insert_run(vec![t(1, 10, 2)]); // seq 1
+        d.delete(&[t(1, 10, 2)]); // seq 2
+        let v = d.current_view().unwrap();
+        assert_eq!(v.n_inserts(), 0, "insert at seq 1 deleted at seq 2");
+        assert!(v.is_deleted(t(1, 10, 2)));
+        assert!(d.visible_inserts().is_empty());
+    }
+
+    #[test]
+    fn snapshots_pin_history() {
+        let mut d = DeltaStore::new();
+        let s1 = d.insert_run(vec![t(1, 10, 2)]);
+        let s2 = d.delete(&[t(1, 10, 2)]);
+        let s3 = d.insert_run(vec![t(1, 10, 2)]);
+
+        let v1 = d.view_at(s1);
+        assert_eq!(v1.n_inserts(), 1);
+        assert!(!v1.is_deleted(t(1, 10, 2)));
+
+        let v2 = d.view_at(s2);
+        assert_eq!(v2.n_inserts(), 0);
+        assert!(v2.is_deleted(t(1, 10, 2)));
+
+        let v3 = d.view_at(s3);
+        assert_eq!(v3.n_inserts(), 1, "re-insert visible");
+        assert_eq!(d.visible_inserts(), vec![t(1, 10, 2)]);
+
+        // Snapshot 0 = base only.
+        assert!(d.view_at(Snapshot(0)).is_empty());
+    }
+
+    #[test]
+    fn deleted_pairs_for_range() {
+        let mut d = DeltaStore::new();
+        d.delete(&[t(3, 10, 1), t(5, 10, 2), t(4, 11, 9)]);
+        let v = d.current_view().unwrap();
+        let pairs = v.deleted_pairs_for(Oid::iri(10), Oid::iri(4).raw(), u64::MAX);
+        assert_eq!(pairs, vec![(Oid::iri(5), Oid::iri(2))]);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut d = DeltaStore::new();
+        d.insert_run(vec![t(1, 10, 2), t(1, 10, 2)]);
+        assert_eq!(d.current_view().unwrap().n_inserts(), 2);
+    }
+
+    /// The incrementally maintained current view must equal a from-scratch
+    /// materialization after any mix of inserts, deletes and re-inserts.
+    #[test]
+    fn cached_view_matches_rebuild() {
+        let mut d = DeltaStore::new();
+        d.insert_run(vec![t(3, 10, 1), t(1, 11, 2), t(2, 10, 9)]);
+        d.delete(&[t(1, 11, 2), t(9, 9, 9)]); // one delta kill, one base-only
+        d.insert_run(vec![t(1, 11, 2), t(1, 10, 5)]); // re-insert + new
+        d.delete(&[t(2, 10, 9)]);
+        d.insert_run(vec![t(2, 10, 9), t(2, 10, 9)]); // re-insert duplicated
+        let cached = d.current_view().unwrap();
+        let rebuilt = d.view_at(d.snapshot());
+        assert_eq!(cached.seq(), rebuilt.seq());
+        assert_eq!(cached.inserts_pso, rebuilt.inserts_pso);
+        assert_eq!(cached.tombs_pso, rebuilt.tombs_pso);
+        assert_eq!(cached.tomb_set, rebuilt.tomb_set);
+    }
+
+    #[test]
+    fn strings_appended_propagates() {
+        let mut d = DeltaStore::new();
+        d.insert_run(vec![t(1, 10, 2)]);
+        assert!(!d.current_view().unwrap().strings_appended);
+        d.set_strings_appended();
+        assert!(d.current_view().unwrap().strings_appended);
+        d.insert_run(vec![t(2, 10, 2)]);
+        assert!(d.current_view().unwrap().strings_appended);
+    }
+}

@@ -20,15 +20,22 @@
 //!
 //! Zone maps come for free from the column builders and enable the
 //! cross-table date pushdown of the paper's Table I experiment.
+//!
+//! Writes after organization land in the [`DeltaStore`] ([`delta`]): sorted
+//! in-memory insert runs plus a tombstone set, sequenced for MVCC-lite
+//! snapshot reads. The engine unions delta runs with base scans and filters
+//! tombstones; a reorganization collapses the delta into a fresh base.
 
 pub mod baseline;
 pub mod clustered;
+pub mod delta;
 pub mod perm;
 pub mod reorg;
 pub mod triple_set;
 
 pub use baseline::BaselineStore;
 pub use clustered::{build_clustered, ClassSegment, ClusteredStore, MultiTable};
+pub use delta::{DeltaStore, DeltaView, Snapshot};
 pub use perm::{Order, PermIndex};
 pub use reorg::{reorganize, ClusterSpec, ReorgReport};
 pub use triple_set::TripleSet;

@@ -28,16 +28,25 @@ impl TripleSet {
     /// IRIs (`urn:sordf:blank:<label>`) so that blank subjects participate
     /// in subject clustering like any other subject.
     pub fn add(&mut self, t: &TermTriple) -> Result<(), ModelError> {
+        let enc = self.encode(t)?;
+        self.triples.push(enc);
+        Ok(())
+    }
+
+    /// Encode one term triple against this set's dictionary *without*
+    /// adding it to the base triples — the write path of the delta store
+    /// (new IRIs/strings are interned; the triple itself lands in a delta
+    /// run, not in the base set).
+    pub fn encode(&mut self, t: &TermTriple) -> Result<Triple, ModelError> {
         let s = self.encode_skolemized(&t.s)?;
         let p = self.encode_skolemized(&t.p)?;
         let o = self.encode_skolemized(&t.o)?;
-        self.triples.push(Triple::new(s, p, o));
-        Ok(())
+        Ok(Triple::new(s, p, o))
     }
 
     fn encode_skolemized(&mut self, t: &Term) -> Result<sordf_model::Oid, ModelError> {
         match t {
-            Term::Blank(label) => Ok(self.dict.encode_iri(&format!("urn:sordf:blank:{label}"))),
+            Term::Blank(label) => Ok(self.dict.encode_iri(&Term::skolem_blank_iri(label))),
             other => self.dict.encode_term(other),
         }
     }

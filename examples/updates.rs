@@ -1,0 +1,74 @@
+//! The update lifecycle: organize once, then keep writing — inserts and
+//! deletes land in the delta store, snapshots pin history, drift statistics
+//! accumulate, and `maybe_reorganize` folds the delta into a fresh
+//! self-organized generation when a policy threshold fires.
+//!
+//! Run with: `cargo run --release --example updates`
+
+use sordf::{Database, ReorgPolicy};
+use sordf_model::Term;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::in_temp_dir()?;
+
+    // Bulk-load a small product catalog and self-organize it.
+    let mut doc = String::new();
+    for i in 0..40 {
+        doc.push_str(&format!(
+            "<http://ex/item{i}> <http://ex/price> \"{}\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+             <http://ex/item{i}> <http://ex/sold> \"1996-01-{:02}\"^^<http://www.w3.org/2001/XMLSchema#date> .\n",
+            100 + i,
+            (i % 28) + 1
+        ));
+    }
+    db.load_ntriples(&doc)?;
+    db.self_organize()?;
+    println!("organized {} triples into {} class(es)", db.n_triples(), db.schema().unwrap().classes.len());
+
+    let q = "SELECT ?s ?p WHERE { ?s <http://ex/price> ?p . FILTER(?p >= 135) }";
+    println!("items priced >= 135: {}", db.query(q)?.len());
+
+    // ---- writes: no column is rebuilt, queries see the merged store ------
+    let snap = db.snapshot(); // pin the pre-write state
+
+    // Two schema-conforming items and one drifting subject (new shape).
+    db.insert_ntriples(
+        r#"<http://ex/item90> <http://ex/price> "140"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/item90> <http://ex/sold> "1996-02-01"^^<http://www.w3.org/2001/XMLSchema#date> .
+<http://ex/item91> <http://ex/price> "150"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/item91> <http://ex/sold> "1996-02-02"^^<http://www.w3.org/2001/XMLSchema#date> .
+<http://ex/review1> <http://ex/rates> <http://ex/item90> .
+<http://ex/review1> <http://ex/stars> "5"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+    )?;
+    // Delete every triple of item3 (pattern delete: subject wildcard-free).
+    let n = db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None)?;
+    println!("deleted {n} triples of item3");
+
+    println!("items priced >= 135 (live): {}", db.query(q)?.len());
+    println!("items priced >= 135 (at snapshot): {}", db.query_snapshot(q, snap)?.len());
+
+    // ---- drift: how far has the live data diverged? ----------------------
+    let drift = db.drift_stats();
+    println!(
+        "drift: {} inserts, {} tombstones, {} routed / {} unmatched subjects, \
+         irregular ratio {:.3}",
+        drift.n_delta_inserts,
+        drift.n_tombstones,
+        drift.matched_subjects,
+        drift.unmatched_subjects,
+        drift.irregular_ratio()
+    );
+
+    // ---- adaptive re-organization ----------------------------------------
+    // The default policy waits for real volume; `eager` fires on any write.
+    let outcome = db.maybe_reorganize(&ReorgPolicy::eager())?;
+    println!(
+        "reorganized: {} ({}); irregular ratio now {:.3}",
+        outcome.fired,
+        outcome.reason.as_deref().unwrap_or("-"),
+        outcome.irregular_ratio_after.unwrap_or(0.0)
+    );
+    println!("classes after reorg: {}", db.schema().unwrap().classes.len());
+    println!("items priced >= 135 (after reorg): {}", db.query(q)?.len());
+    Ok(())
+}
