@@ -19,10 +19,14 @@ SELECT ?li ?price WHERE {
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
-    for (label, generation) in
-        [("parse_order", Generation::CsParseOrder), ("clustered", Generation::Clustered)]
-    {
-        let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
+    for (label, generation) in [
+        ("parse_order", Generation::CsParseOrder),
+        ("clustered", Generation::Clustered),
+    ] {
+        let exec = ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+        };
         let db = rig.db(generation);
         group.bench_with_input(BenchmarkId::from_parameter(label), q, |b, q| {
             b.iter(|| db.query_with(q, generation, exec).expect("query"))

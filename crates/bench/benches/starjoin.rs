@@ -25,13 +25,20 @@ fn bench_starjoin(c: &mut Criterion) {
             body.push_str(&format!("?s <http://lod2.eu/schemas/rdfh#{p}> ?o_{p} .\n"));
         }
         let q = format!("SELECT ?s WHERE {{ {body} }}");
-        for (label, scheme) in
-            [("default", PlanScheme::Default), ("rdfscan", PlanScheme::RdfScanJoin)]
-        {
-            let exec = ExecConfig { scheme, zonemaps: true };
+        for (label, scheme) in [
+            ("default", PlanScheme::Default),
+            ("rdfscan", PlanScheme::RdfScanJoin),
+        ] {
+            let exec = ExecConfig {
+                scheme,
+                zonemaps: true,
+            };
             let db = rig.db(Generation::Clustered);
             group.bench_with_input(BenchmarkId::new(label, width), &q, |b, q| {
-                b.iter(|| db.query_with(q, Generation::Clustered, exec).expect("query"))
+                b.iter(|| {
+                    db.query_with(q, Generation::Clustered, exec)
+                        .expect("query")
+                })
             });
         }
     }

@@ -7,21 +7,30 @@ use sordf_bench::{build_rig, Rig, TABLE1_CONFIGS};
 use sordf_rdfh::{query, QueryId};
 
 fn bench_table1(c: &mut Criterion) {
-    let sf = std::env::var("SORDF_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let sf = std::env::var("SORDF_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
     let rig: Rig = build_rig(sf);
     for qid in [QueryId::Q3, QueryId::Q6] {
         let mut group = c.benchmark_group(format!("table1/{}", qid.name()));
         group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(500));
+        group.measurement_time(std::time::Duration::from_secs(2));
         for cfg in TABLE1_CONFIGS {
             let db = rig.db(cfg.generation);
-            let exec = sordf::ExecConfig { scheme: cfg.scheme, zonemaps: cfg.zonemaps };
+            let exec = sordf::ExecConfig {
+                scheme: cfg.scheme,
+                zonemaps: cfg.zonemaps,
+            };
             group.bench_with_input(
                 BenchmarkId::from_parameter(cfg.label.trim()),
                 &exec,
                 |b, exec| {
-                    b.iter(|| db.query_with(query(qid), cfg.generation, *exec).expect("query"))
+                    b.iter(|| {
+                        db.query_with(query(qid), cfg.generation, *exec)
+                            .expect("query")
+                    })
                 },
             );
         }

@@ -25,10 +25,16 @@ SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
 }}"#
         );
         for (label, zm) in [("zm-off", false), ("zm-on", true)] {
-            let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: zm };
+            let exec = ExecConfig {
+                scheme: PlanScheme::RdfScanJoin,
+                zonemaps: zm,
+            };
             let db = rig.db(Generation::Clustered);
             group.bench_with_input(BenchmarkId::new(label, months), &q, |b, q| {
-                b.iter(|| db.query_with(q, Generation::Clustered, exec).expect("query"))
+                b.iter(|| {
+                    db.query_with(q, Generation::Clustered, exec)
+                        .expect("query")
+                })
             });
         }
     }

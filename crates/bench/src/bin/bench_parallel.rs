@@ -23,6 +23,7 @@
 //!   bench_parallel [--sf F] [--out PATH] [--baseline PATH] [--smoke]
 
 use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme};
+use sordf_bench::cli::{extract_scenario_field, render_object, time_loop, BenchArgs, BenchJson};
 use sordf_bench::{build_rig, Rig};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -76,8 +77,14 @@ SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
 }
 
 fn scenarios() -> Vec<Scenario> {
-    let rdfscan = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
-    let default = ExecConfig { scheme: PlanScheme::Default, zonemaps: true };
+    let rdfscan = ExecConfig {
+        scheme: PlanScheme::RdfScanJoin,
+        zonemaps: true,
+    };
+    let default = ExecConfig {
+        scheme: PlanScheme::Default,
+        zonemaps: true,
+    };
     vec![
         Scenario {
             name: "starjoin6_rdfscan",
@@ -106,19 +113,6 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-fn time_loop(min_secs: f64, min_iters: u64, mut body: impl FnMut()) -> f64 {
-    let mut iters = 0u64;
-    let t0 = Instant::now();
-    loop {
-        body();
-        iters += 1;
-        if iters >= min_iters && t0.elapsed().as_secs_f64() >= min_secs {
-            break;
-        }
-    }
-    iters as f64 / t0.elapsed().as_secs_f64()
-}
-
 /// 4 client threads running the sequential path concurrently against the
 /// shared pool; returns aggregate queries/sec.
 fn concurrent_clients_qps(
@@ -137,8 +131,9 @@ fn concurrent_clients_qps(
                 let (stop, total) = (&stop, &total);
                 s.spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
-                        let _ =
-                            db.query_traced(&sc.query, sc.generation, sc.exec).expect("query");
+                        let _ = db
+                            .query_traced(&sc.query, sc.generation, sc.exec)
+                            .expect("query");
                         // Published per query: the controller's stop
                         // condition watches this count.
                         total.fetch_add(1, Ordering::Relaxed);
@@ -168,20 +163,24 @@ fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Samp
     let par4 = ParallelConfig::with_workers(4);
 
     // Warm the pool + differential sanity: parallel must be byte-identical.
-    let warm = db.query_traced(&sc.query, sc.generation, sc.exec).expect("warmup");
+    let warm = db
+        .query_traced(&sc.query, sc.generation, sc.exec)
+        .expect("warmup");
     let par_check = db
         .query_traced_parallel(&sc.query, sc.generation, sc.exec, &par4)
         .expect("parallel warmup");
     assert_eq!(
-        warm.results.canonical(db.dict()),
-        par_check.results.canonical(db.dict()),
+        warm.results.canonical(&db.dict()),
+        par_check.results.canonical(&db.dict()),
         "{}: parallel result diverges from sequential",
         sc.name
     );
     let result_rows = warm.results.len();
 
     let seq_qps = time_loop(min_secs, min_iters, || {
-        let _ = db.query_traced(&sc.query, sc.generation, sc.exec).expect("query");
+        let _ = db
+            .query_traced(&sc.query, sc.generation, sc.exec)
+            .expect("query");
     });
     let par2_qps = time_loop(min_secs, min_iters, || {
         let _ = db
@@ -195,97 +194,68 @@ fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Samp
     });
     let clients4_qps = concurrent_clients_qps(db, sc, 4, min_secs, min_iters);
 
-    Sample { name: sc.name, seq_qps, par2_qps, par4_qps, clients4_qps, result_rows }
+    Sample {
+        name: sc.name,
+        seq_qps,
+        par2_qps,
+        par4_qps,
+        clients4_qps,
+        result_rows,
+    }
 }
 
 fn json_of(samples: &[Sample], sf: f64, n_triples: usize, baseline_json: Option<&str>) -> String {
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"bench\": \"parallel\",");
-    let _ = writeln!(out, "  \"sf\": {sf},");
-    let _ = writeln!(out, "  \"n_triples\": {n_triples},");
-    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
-    out.push_str("  \"scenarios\": {\n");
-    for (i, s) in samples.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "    \"{}\": {{ \"seq_qps\": {:.2}, \"par2_qps\": {:.2}, \"par4_qps\": {:.2}, \
-             \"clients4_qps\": {:.2}, \"speedup_par4_vs_seq\": {:.2}, \
-             \"speedup_clients4_vs_seq\": {:.2}, \"result_rows\": {} }}{}",
-            s.name,
-            s.seq_qps,
-            s.par2_qps,
-            s.par4_qps,
-            s.clients4_qps,
-            s.par4_qps / s.seq_qps,
-            s.clients4_qps / s.seq_qps,
-            s.result_rows,
-            if i + 1 < samples.len() { "," } else { "" }
-        );
-    }
-    out.push_str("  }");
+    let mut j = BenchJson::new("parallel", sf);
+    j.int("n_triples", n_triples as u64);
+    j.raw(
+        "scenarios",
+        render_object(samples.iter().map(|s| {
+            (
+                s.name,
+                format!(
+                    "{{ \"seq_qps\": {:.2}, \"par2_qps\": {:.2}, \"par4_qps\": {:.2}, \
+                     \"clients4_qps\": {:.2}, \"speedup_par4_vs_seq\": {:.2}, \
+                     \"speedup_clients4_vs_seq\": {:.2}, \"result_rows\": {} }}",
+                    s.seq_qps,
+                    s.par2_qps,
+                    s.par4_qps,
+                    s.clients4_qps,
+                    s.par4_qps / s.seq_qps,
+                    s.clients4_qps / s.seq_qps,
+                    s.result_rows
+                ),
+            )
+        })),
+    );
     if let Some(base) = baseline_json {
-        out.push_str(",\n  \"speedup_vs_pr2_single_thread\": {\n");
-        let speedups: Vec<(String, f64, f64, f64)> = samples
-            .iter()
-            .filter_map(|s| {
+        j.raw(
+            "speedup_vs_pr2_single_thread",
+            render_object(samples.iter().filter_map(|s| {
                 extract_scenario_field(base, s.name, "qps").map(|b| {
                     (
-                        s.name.to_string(),
-                        s.par4_qps.max(s.clients4_qps) / b,
-                        s.seq_qps / b,
-                        b,
+                        s.name,
+                        format!(
+                            "{{ \"best_4worker_speedup\": {:.2}, \"seq_speedup\": {:.2}, \
+                             \"pr2_qps\": {b:.2} }}",
+                            s.par4_qps.max(s.clients4_qps) / b,
+                            s.seq_qps / b
+                        ),
                     )
                 })
-            })
-            .collect();
-        for (i, (name, best4, seq_ratio, base_qps)) in speedups.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "    \"{name}\": {{ \"best_4worker_speedup\": {best4:.2}, \
-                 \"seq_speedup\": {seq_ratio:.2}, \"pr2_qps\": {base_qps:.2} }}{}",
-                if i + 1 < speedups.len() { "," } else { "" }
-            );
-        }
-        out.push_str("  }\n");
-    } else {
-        out.push('\n');
+            })),
+        );
     }
-    out.push_str("}\n");
-    out
-}
-
-/// Pull `"field": <number>` out of a scenario object in our own JSON format.
-fn extract_scenario_field(json: &str, scenario: &str, field: &str) -> Option<f64> {
-    let start = json.find(&format!("\"{scenario}\""))?;
-    let obj = &json[start..start + json[start..].find('}')?];
-    let fstart = obj.find(&format!("\"{field}\""))?;
-    let after = obj[fstart..].split_once(':')?.1;
-    let num: String = after
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
-        .collect();
-    num.parse().ok()
+    j.render()
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let flag_val = |name: &str| -> Option<String> {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-    };
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let sf = flag_val("--sf")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke { 0.001 } else { 0.005 });
-    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_parallel.json".to_string());
-    let baseline = flag_val("--baseline").and_then(|p| std::fs::read_to_string(p).ok());
-    let (min_secs, min_iters) = if smoke { (0.1, 2) } else { (1.5, 10) };
+    let args = BenchArgs::parse("BENCH_parallel.json");
 
-    let rig = build_rig(sf);
-    let samples: Vec<Sample> =
-        scenarios().iter().map(|sc| run_scenario(&rig, sc, min_secs, min_iters)).collect();
+    let rig = build_rig(args.sf);
+    let samples: Vec<Sample> = scenarios()
+        .iter()
+        .map(|sc| run_scenario(&rig, sc, args.min_secs, args.min_iters))
+        .collect();
 
     for s in &samples {
         println!(
@@ -301,7 +271,7 @@ fn main() {
         );
     }
 
-    let json = json_of(&samples, sf, rig.n_triples, baseline.as_deref());
-    std::fs::write(&out_path, &json).expect("write bench json");
-    println!("wrote {out_path}");
+    let json = json_of(&samples, args.sf, rig.n_triples, args.baseline.as_deref());
+    std::fs::write(&args.out_path, &json).expect("write bench json");
+    println!("wrote {}", args.out_path);
 }

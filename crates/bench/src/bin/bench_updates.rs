@@ -11,21 +11,30 @@
 //! * per delta level: `starjoin4_qps` / `q6_qps` — RDFscan star and
 //!   zone-map aggregation throughput at 0/1/5/20% pending delta, showing
 //!   how much the merged-scan exception paths cost before a reorg,
-//! * `reorg`: wall-clock cost of `maybe_reorganize` at the 20% level, the
-//!   irregular-triple ratio before/after, and the incremental-assigner
-//!   routing counts,
+//! * `reorg`: wall-clock cost of a **synchronous** `maybe_reorganize` at
+//!   the 20% level — the full rebuild duration a writer used to stall for,
+//! * `concurrent_reorg`: the background path — a `reorganize_async` rebuild
+//!   runs while the writer keeps inserting and querying; reports the
+//!   rebuild wall-clock next to the *max* insert-batch and query latency
+//!   observed during it. The point of the swap protocol is
+//!   `insert_max_ms << reorg_ms`: writers pay at most the short swap +
+//!   catch-up fold, never the rebuild,
 //! * `post_reorg` query throughput (should recover the 0%-delta numbers).
 //!
 //! Before timing, the 20%-delta results are checked canonically identical
-//! to a fresh bulk load of base + delta (sequential and 4-worker parallel) —
-//! the same differential contract `tests/updates_differential.rs` enforces.
+//! to a fresh bulk load of base + delta (sequential and 4-worker parallel),
+//! and the post-swap store re-checked after the concurrent scenario — the
+//! same differential contract `tests/updates_differential.rs` and
+//! `tests/reorg_stress.rs` enforce.
 //!
-//! The host's `available_parallelism` is recorded as `host_cpus`.
+//! The host's `available_parallelism` is recorded as `host_cpus` (reorg
+//! overlap numbers are only meaningful with ≥ 2 cores).
 //!
 //! Usage:
 //!   bench_updates [--sf F] [--out PATH] [--smoke]
 
 use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme, ReorgPolicy};
+use sordf_bench::cli::{render_object, time_loop, BenchArgs, BenchJson};
 use sordf_model::TermTriple;
 use sordf_rdfh::{generate, RdfhConfig};
 use std::fmt::Write as _;
@@ -67,19 +76,6 @@ fn subject_bucket(t: &TermTriple, buckets: u64) -> u64 {
     h % buckets
 }
 
-fn time_loop(min_secs: f64, min_iters: u64, mut body: impl FnMut()) -> f64 {
-    let mut iters = 0u64;
-    let t0 = Instant::now();
-    loop {
-        body();
-        iters += 1;
-        if iters >= min_iters && t0.elapsed().as_secs_f64() >= min_secs {
-            break;
-        }
-    }
-    iters as f64 / t0.elapsed().as_secs_f64()
-}
-
 #[derive(Debug, Clone)]
 struct Level {
     label: &'static str,
@@ -95,31 +91,141 @@ fn measure_level(
     min_secs: f64,
     min_iters: u64,
 ) -> Level {
-    let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
+    let exec = ExecConfig {
+        scheme: PlanScheme::RdfScanJoin,
+        zonemaps: true,
+    };
     let star = star_query(4);
     let q6 = q6_query();
     let starjoin4_qps = time_loop(min_secs, min_iters, || {
-        let _ = db.query_with(&star, Generation::Clustered, exec).expect("star");
+        let _ = db
+            .query_with(&star, Generation::Clustered, exec)
+            .expect("star");
     });
     let q6_qps = time_loop(min_secs, min_iters, || {
         let _ = db.query_with(&q6, Generation::Clustered, exec).expect("q6");
     });
-    Level { label, delta_triples, starjoin4_qps, q6_qps }
+    Level {
+        label,
+        delta_triples,
+        starjoin4_qps,
+        q6_qps,
+    }
+}
+
+/// Canonical-equality check of the live store against a fresh bulk load of
+/// the same logical set, sequential + 4-worker parallel.
+fn assert_differential(db: &Database, base: &[TermTriple], delta: &[TermTriple], what: &str) {
+    let reference = Database::in_temp_dir().unwrap();
+    reference.load_terms(base).unwrap();
+    reference.load_terms(delta).unwrap();
+    reference.self_organize().unwrap();
+    let exec = ExecConfig {
+        scheme: PlanScheme::RdfScanJoin,
+        zonemaps: true,
+    };
+    let par = ParallelConfig::with_workers(4);
+    for q in [star_query(4), q6_query()] {
+        let want = reference
+            .query_with(&q, Generation::Clustered, exec)
+            .expect("reference")
+            .canonical(&reference.dict());
+        let seq = db
+            .query_with(&q, Generation::Clustered, exec)
+            .expect("live");
+        assert_eq!(
+            seq.canonical(&db.dict()),
+            want,
+            "{what}: live store diverges from bulk load"
+        );
+        let parallel = db
+            .query_traced_parallel(&q, Generation::Clustered, exec, &par)
+            .expect("live parallel");
+        assert_eq!(
+            parallel.results.canonical(&db.dict()),
+            want,
+            "{what}: parallel diverges"
+        );
+    }
+}
+
+/// What the writer and readers observed while a background rebuild ran.
+struct ConcurrentReorg {
+    reorg_ms: f64,
+    insert_batches: usize,
+    catch_up_triples: usize,
+    insert_max_ms: f64,
+    insert_mean_ms: f64,
+    query_max_ms: f64,
+    query_mean_ms: f64,
+}
+
+/// Run `reorganize_async` and hammer the writer + a reader until the swap
+/// lands: the background-reorg scenario. `pool` feeds the catch-up inserts
+/// (consumed in 256-triple batches); the count consumed is reported.
+fn concurrent_reorg_scenario(db: &Database, pool: &[TermTriple]) -> ConcurrentReorg {
+    let exec = ExecConfig {
+        scheme: PlanScheme::RdfScanJoin,
+        zonemaps: true,
+    };
+    let star = star_query(4);
+    let mut insert_lat = Vec::new();
+    let mut query_lat = Vec::new();
+    let mut consumed = 0usize;
+
+    let t0 = Instant::now();
+    let handle = db.reorganize_async().expect("reorganize_async");
+    // Interleave insert batches and queries until the rebuild + swap are
+    // done. At least one batch runs even if the rebuild wins the race.
+    loop {
+        if consumed < pool.len() {
+            let end = (consumed + 256).min(pool.len());
+            let t = Instant::now();
+            db.insert_terms(&pool[consumed..end])
+                .expect("insert during reorg");
+            insert_lat.push(t.elapsed().as_secs_f64() * 1e3);
+            consumed = end;
+        }
+        let t = Instant::now();
+        let _ = db
+            .query_with(&star, Generation::Clustered, exec)
+            .expect("query during reorg");
+        query_lat.push(t.elapsed().as_secs_f64() * 1e3);
+        if handle.is_finished() {
+            break;
+        }
+    }
+    let outcome = handle.wait().expect("background reorg");
+    let reorg_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        outcome.fired && outcome.swapped,
+        "nothing raced the rebuild: it must swap"
+    );
+
+    let max = |v: &[f64]| v.iter().copied().fold(0.0f64, f64::max);
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    ConcurrentReorg {
+        reorg_ms,
+        insert_batches: insert_lat.len(),
+        catch_up_triples: consumed,
+        insert_max_ms: max(&insert_lat),
+        insert_mean_ms: mean(&insert_lat),
+        query_max_ms: max(&query_lat),
+        query_mean_ms: mean(&query_lat),
+    }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let flag_val = |name: &str| -> Option<String> {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-    };
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let sf = flag_val("--sf")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke { 0.001 } else { 0.005 });
-    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_updates.json".to_string());
-    let (min_secs, min_iters) = if smoke { (0.1, 2) } else { (1.5, 10) };
+    let args = BenchArgs::parse("BENCH_updates.json");
+    let (min_secs, min_iters) = (args.min_secs, args.min_iters);
 
-    let data = generate(&RdfhConfig::new(sf));
+    let data = generate(&RdfhConfig::new(args.sf));
     let (mut base, mut pool) = (Vec::new(), Vec::new());
     for t in &data.triples {
         if subject_bucket(t, 5) == 0 {
@@ -129,14 +235,18 @@ fn main() {
         }
     }
 
-    let mut db = Database::in_temp_dir().unwrap();
+    let db = Database::in_temp_dir().unwrap();
     db.load_terms(&base).unwrap();
     db.self_organize().unwrap();
     let n_base = base.len();
 
     // Delta levels as fractions of the base size; the 20% pool bounds them.
-    let levels: &[(&'static str, f64)] =
-        &[("delta_0pct", 0.0), ("delta_1pct", 0.01), ("delta_5pct", 0.05), ("delta_20pct", 0.20)];
+    let levels: &[(&'static str, f64)] = &[
+        ("delta_0pct", 0.0),
+        ("delta_1pct", 0.01),
+        ("delta_5pct", 0.05),
+        ("delta_20pct", 0.20),
+    ];
     let mut samples: Vec<Level> = Vec::new();
     let mut inserted = 0usize;
     let mut insert_secs = 0f64;
@@ -158,30 +268,17 @@ fn main() {
             samples.last().unwrap().q6_qps
         );
     }
-    let insert_tps = if insert_secs > 0.0 { inserted as f64 / insert_secs } else { 0.0 };
+    let insert_tps = if insert_secs > 0.0 {
+        inserted as f64 / insert_secs
+    } else {
+        0.0
+    };
 
-    // Differential check at the deepest delta level: canonical equality
-    // with a fresh bulk load of the same logical set, sequential + parallel.
-    let mut reference = Database::in_temp_dir().unwrap();
-    reference.load_terms(&base).unwrap();
-    reference.load_terms(&pool[..inserted]).unwrap();
-    reference.self_organize().unwrap();
-    let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
-    let par = ParallelConfig::with_workers(4);
-    for q in [star_query(4), q6_query()] {
-        let want = reference
-            .query_with(&q, Generation::Clustered, exec)
-            .expect("reference")
-            .canonical(reference.dict());
-        let seq = db.query_with(&q, Generation::Clustered, exec).expect("live");
-        assert_eq!(seq.canonical(db.dict()), want, "live store diverges from bulk load");
-        let parallel = db
-            .query_traced_parallel(&q, Generation::Clustered, exec, &par)
-            .expect("live parallel");
-        assert_eq!(parallel.results.canonical(db.dict()), want, "parallel diverges");
-    }
+    // Differential check at the deepest delta level.
+    assert_differential(&db, &base, &pool[..inserted], "20% delta");
 
-    // Adaptive reorganization cost at the 20% level.
+    // Synchronous reorganization cost at the 20% level — the full rebuild
+    // duration a writer used to stall for before the background path.
     let drift = db.drift_stats();
     let irr_before = drift.irregular_ratio();
     let t0 = Instant::now();
@@ -190,6 +287,27 @@ fn main() {
     assert!(outcome.fired, "a 20% delta must trip the default policy");
     let irr_after = outcome.irregular_ratio_after.unwrap_or(0.0);
 
+    // Background reorganization: rebuild off-thread while the writer keeps
+    // inserting (fed by the rest of the pool) and a reader keeps querying.
+    let catch_up_pool = &pool[inserted..];
+    let con = concurrent_reorg_scenario(&db, catch_up_pool);
+    println!(
+        "concurrent_reorg  rebuild {:>7.1} ms  insert max {:>6.2} ms / mean {:>6.2} ms  \
+         query max {:>6.2} ms  ({} batches, {} catch-up triples)",
+        con.reorg_ms,
+        con.insert_max_ms,
+        con.insert_mean_ms,
+        con.query_max_ms,
+        con.insert_batches,
+        con.catch_up_triples
+    );
+    // The swap folded the catch-up writes: the store must still equal a
+    // fresh bulk load of everything inserted so far.
+    let total_inserted = inserted + con.catch_up_triples;
+    assert_differential(&db, &base, &pool[..total_inserted], "post-swap catch-up");
+
+    // Fold the caught-up delta and measure recovery.
+    db.reorganize_now().expect("final fold");
     let post = measure_level(&db, "post_reorg", 0, min_secs, min_iters);
     println!(
         "{:<12} reorg {:>7.1} ms        starjoin4 {:>8.1} q/s  q6 {:>8.1} q/s",
@@ -197,35 +315,46 @@ fn main() {
     );
     samples.push(post);
 
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"updates\",");
-    let _ = writeln!(json, "  \"sf\": {sf},");
-    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
-    let _ = writeln!(json, "  \"n_base_triples\": {n_base},");
-    let _ = writeln!(json, "  \"insert_tps\": {insert_tps:.0},");
-    json.push_str("  \"levels\": {\n");
-    for (i, s) in samples.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    \"{}\": {{ \"delta_triples\": {}, \"starjoin4_qps\": {:.2}, \"q6_qps\": {:.2} }}{}",
-            s.label,
-            s.delta_triples,
-            s.starjoin4_qps,
-            s.q6_qps,
-            if i + 1 < samples.len() { "," } else { "" }
-        );
-    }
-    json.push_str("  },\n");
-    let _ = writeln!(
-        json,
-        "  \"reorg\": {{ \"ms\": {reorg_ms:.1}, \"irregular_ratio_before\": {irr_before:.4}, \
-         \"irregular_ratio_after\": {irr_after:.4}, \"matched_subjects\": {}, \
-         \"unmatched_subjects\": {} }}",
-        outcome.drift_before.matched_subjects, outcome.drift_before.unmatched_subjects
+    let mut j = BenchJson::new("updates", args.sf);
+    j.int("n_base_triples", n_base as u64);
+    j.num("insert_tps", insert_tps, 0);
+    j.raw(
+        "levels",
+        render_object(samples.iter().map(|s| {
+            (
+                s.label,
+                format!(
+                    "{{ \"delta_triples\": {}, \"starjoin4_qps\": {:.2}, \"q6_qps\": {:.2} }}",
+                    s.delta_triples, s.starjoin4_qps, s.q6_qps
+                ),
+            )
+        })),
     );
-    json.push_str("}\n");
-    std::fs::write(&out_path, &json).expect("write bench json");
-    println!("wrote {out_path}");
+    j.raw(
+        "reorg",
+        format!(
+            "{{ \"ms\": {reorg_ms:.1}, \"irregular_ratio_before\": {irr_before:.4}, \
+             \"irregular_ratio_after\": {irr_after:.4}, \"matched_subjects\": {}, \
+             \"unmatched_subjects\": {} }}",
+            outcome.drift_before.matched_subjects, outcome.drift_before.unmatched_subjects
+        ),
+    );
+    j.raw(
+        "concurrent_reorg",
+        format!(
+            "{{ \"reorg_ms\": {:.1}, \"insert_batches\": {}, \"catch_up_triples\": {}, \
+             \"insert_max_ms\": {:.2}, \"insert_mean_ms\": {:.2}, \
+             \"query_max_ms\": {:.2}, \"query_mean_ms\": {:.2}, \
+             \"writer_stall_vs_rebuild\": {:.4} }}",
+            con.reorg_ms,
+            con.insert_batches,
+            con.catch_up_triples,
+            con.insert_max_ms,
+            con.insert_mean_ms,
+            con.query_max_ms,
+            con.query_mean_ms,
+            con.insert_max_ms / con.reorg_ms.max(1e-9)
+        ),
+    );
+    j.write(&args.out_path);
 }

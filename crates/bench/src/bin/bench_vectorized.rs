@@ -17,6 +17,7 @@
 //! numbers).
 
 use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf_bench::cli::{extract_scenario_field, render_object, BenchArgs, BenchJson};
 use sordf_bench::{build_rig, Rig};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -70,8 +71,14 @@ SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
 }
 
 fn scenarios() -> Vec<Scenario> {
-    let rdfscan = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
-    let default = ExecConfig { scheme: PlanScheme::Default, zonemaps: true };
+    let rdfscan = ExecConfig {
+        scheme: PlanScheme::RdfScanJoin,
+        zonemaps: true,
+    };
+    let default = ExecConfig {
+        scheme: PlanScheme::Default,
+        zonemaps: true,
+    };
     vec![
         Scenario {
             name: "starjoin6_rdfscan",
@@ -109,7 +116,9 @@ fn scenarios() -> Vec<Scenario> {
 fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Sample {
     let db = rig.db(sc.generation);
     // Warm the pool and code paths; steady-state throughput is the metric.
-    let warm = db.query_traced(&sc.query, sc.generation, sc.exec).expect("warmup");
+    let warm = db
+        .query_traced(&sc.query, sc.generation, sc.exec)
+        .expect("warmup");
     let result_rows = warm.results.len();
 
     let mut iters = 0u64;
@@ -117,7 +126,9 @@ fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Samp
     let mut pool_gets = 0u64;
     let t0 = Instant::now();
     loop {
-        let traced = db.query_traced(&sc.query, sc.generation, sc.exec).expect("query");
+        let traced = db
+            .query_traced(&sc.query, sc.generation, sc.exec)
+            .expect("query");
         rows_scanned += traced.stats.rows_scanned;
         pool_gets += traced.pool.hits + traced.pool.misses;
         iters += 1;
@@ -138,85 +149,55 @@ fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Samp
 }
 
 fn json_of(samples: &[Sample], sf: f64, n_triples: usize, baseline_json: Option<&str>) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"bench\": \"vectorized\",");
-    let _ = writeln!(out, "  \"sf\": {sf},");
-    let _ = writeln!(out, "  \"n_triples\": {n_triples},");
-    out.push_str("  \"scenarios\": {\n");
-    for (i, s) in samples.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "    \"{}\": {{ \"qps\": {:.2}, \"rows_scanned_per_sec\": {:.0}, \
-             \"pool_gets_per_query\": {}, \"rows_scanned_per_query\": {}, \
-             \"result_rows\": {}, \"iters\": {} }}{}",
-            s.name,
-            s.qps,
-            s.rows_scanned_per_sec,
-            s.pool_gets_per_query,
-            s.rows_scanned_per_query,
-            s.result_rows,
-            s.iters,
-            if i + 1 < samples.len() { "," } else { "" }
-        );
-    }
-    out.push_str("  }");
+    let mut j = BenchJson::new("vectorized", sf);
+    j.int("n_triples", n_triples as u64);
+    j.raw(
+        "scenarios",
+        render_object(samples.iter().map(|s| {
+            (
+                s.name,
+                format!(
+                    "{{ \"qps\": {:.2}, \"rows_scanned_per_sec\": {:.0}, \
+                     \"pool_gets_per_query\": {}, \"rows_scanned_per_query\": {}, \
+                     \"result_rows\": {}, \"iters\": {} }}",
+                    s.qps,
+                    s.rows_scanned_per_sec,
+                    s.pool_gets_per_query,
+                    s.rows_scanned_per_query,
+                    s.result_rows,
+                    s.iters
+                ),
+            )
+        })),
+    );
     if let Some(base) = baseline_json {
-        out.push_str(",\n  \"speedup_vs_baseline\": {\n");
-        let speedups: Vec<(String, f64, f64)> = samples
-            .iter()
-            .filter_map(|s| {
-                extract_scenario_field(base, s.name, "qps")
-                    .map(|b| (s.name.to_string(), s.qps / b, b))
-            })
-            .collect();
-        for (i, (name, ratio, base_qps)) in speedups.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "    \"{name}\": {{ \"speedup\": {ratio:.2}, \"baseline_qps\": {base_qps:.2} }}{}",
-                if i + 1 < speedups.len() { "," } else { "" }
-            );
-        }
-        out.push_str("  },\n  \"baseline\": ");
-        out.push_str(base.trim_end());
-        out.push('\n');
-    } else {
-        out.push('\n');
+        j.raw(
+            "speedup_vs_baseline",
+            render_object(samples.iter().filter_map(|s| {
+                extract_scenario_field(base, s.name, "qps").map(|b| {
+                    (
+                        s.name,
+                        format!(
+                            "{{ \"speedup\": {:.2}, \"baseline_qps\": {b:.2} }}",
+                            s.qps / b
+                        ),
+                    )
+                })
+            })),
+        );
+        j.raw("baseline", base.trim_end().to_string());
     }
-    out.push_str("}\n");
-    out
-}
-
-/// Pull `"field": <number>` out of a scenario object in our own JSON format.
-fn extract_scenario_field(json: &str, scenario: &str, field: &str) -> Option<f64> {
-    let start = json.find(&format!("\"{scenario}\""))?;
-    let obj = &json[start..start + json[start..].find('}')?];
-    let fstart = obj.find(&format!("\"{field}\""))?;
-    let after = obj[fstart..].split_once(':')?.1;
-    let num: String = after
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
-        .collect();
-    num.parse().ok()
+    j.render()
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let flag_val = |name: &str| -> Option<String> {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-    };
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let sf = flag_val("--sf")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if smoke { 0.001 } else { 0.005 });
-    let out_path = flag_val("--out").unwrap_or_else(|| "BENCH_vectorized.json".to_string());
-    let baseline = flag_val("--baseline").and_then(|p| std::fs::read_to_string(p).ok());
-    let (min_secs, min_iters) = if smoke { (0.1, 2) } else { (1.5, 10) };
+    let args = BenchArgs::parse("BENCH_vectorized.json");
 
-    let rig = build_rig(sf);
-    let samples: Vec<Sample> =
-        scenarios().iter().map(|sc| run_scenario(&rig, sc, min_secs, min_iters)).collect();
+    let rig = build_rig(args.sf);
+    let samples: Vec<Sample> = scenarios()
+        .iter()
+        .map(|sc| run_scenario(&rig, sc, args.min_secs, args.min_iters))
+        .collect();
 
     for s in &samples {
         println!(
@@ -226,7 +207,7 @@ fn main() {
         );
     }
 
-    let json = json_of(&samples, sf, rig.n_triples, baseline.as_deref());
-    std::fs::write(&out_path, &json).expect("write bench json");
-    println!("wrote {out_path}");
+    let json = json_of(&samples, args.sf, rig.n_triples, args.baseline.as_deref());
+    std::fs::write(&args.out_path, &json).expect("write bench json");
+    println!("wrote {}", args.out_path);
 }

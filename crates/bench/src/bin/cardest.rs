@@ -6,11 +6,11 @@
 //! measure the estimation error (q-error = max(est/true, true/est)) of both
 //! estimators on star queries of growing width over RDF-H lineitems.
 
+use sordf::Generation;
 use sordf_bench::{build_rig, sf_from_env};
 use sordf_engine::cardest::{estimate_star_cs, estimate_star_independence};
 use sordf_engine::star::stars_of;
 use sordf_engine::{ExecConfig, ExecContext, PlanScheme, StorageRef};
-use sordf::Generation;
 
 fn q_error(est: f64, truth: f64) -> f64 {
     let (e, t) = (est.max(1.0), truth.max(1.0));
@@ -22,6 +22,7 @@ fn main() {
     let db = rig.db(Generation::Clustered);
     let store = db.clustered_store().unwrap();
     let schema = db.schema().unwrap();
+    let dict = db.dict();
 
     let props = [
         "lineitem_quantity",
@@ -32,7 +33,10 @@ fn main() {
         "lineitem_shipmode",
     ];
     println!("== Ext-3: star cardinality estimation (q-error, lower is better) ==");
-    println!("{:<8} {:>10} {:>12} {:>12} | {:>10} {:>10}", "width", "true", "CS-est", "indep-est", "qerr-CS", "qerr-ind");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} | {:>10} {:>10}",
+        "width", "true", "CS-est", "indep-est", "qerr-CS", "qerr-ind"
+    );
     for width in 2..=props.len() {
         // Build the star query text.
         let mut body = String::new();
@@ -42,16 +46,22 @@ fn main() {
         let sparql = format!("SELECT ?s WHERE {{ {body} }}");
         let truth = db.query(&sparql).expect("query").len() as f64;
 
-        let query = sordf_sparql::parse_sparql(&sparql, db.dict()).unwrap();
+        let query = sordf_sparql::parse_sparql(&sparql, &dict).unwrap();
         let mut q = query.clone();
         let (stars, _) = stars_of(&mut q);
 
         // A fresh context bound to the clustered storage.
         let cx = ExecContext::new(
             db.buffer_pool(),
-            db.dict(),
-            StorageRef::Clustered { store, schema },
-            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+            &dict,
+            StorageRef::Clustered {
+                store: &store,
+                schema: &schema,
+            },
+            ExecConfig {
+                scheme: PlanScheme::RdfScanJoin,
+                zonemaps: true,
+            },
         );
         let cs = estimate_star_cs(&cx, &stars[0], &[]).unwrap_or(0.0);
         let ind = estimate_star_independence(&cx, &stars[0], &[]);
@@ -68,4 +78,3 @@ fn main() {
     println!("\n(CS estimates should sit near the truth; independence collapses");
     println!(" toward zero as the star widens — the paper's 'bad query plans'.)");
 }
-

@@ -26,7 +26,7 @@ fn main() {
     }"#;
     for irregularity in [0.0, 0.1, 0.2, 0.3, 0.5, 0.7] {
         let triples = dirty(&DirtyConfig::with_irregularity(irregularity, 8_000));
-        let mut db = Database::in_temp_dir().expect("db");
+        let db = Database::in_temp_dir().expect("db");
         db.load_terms(&triples).expect("load");
         db.self_organize().expect("organize");
         let schema = db.schema().unwrap();
@@ -34,8 +34,14 @@ fn main() {
 
         let mut times = [0.0f64; 2];
         let mut rows = [0usize; 2];
-        for (i, scheme) in [PlanScheme::Default, PlanScheme::RdfScanJoin].iter().enumerate() {
-            let exec = ExecConfig { scheme: *scheme, zonemaps: true };
+        for (i, scheme) in [PlanScheme::Default, PlanScheme::RdfScanJoin]
+            .iter()
+            .enumerate()
+        {
+            let exec = ExecConfig {
+                scheme: *scheme,
+                zonemaps: true,
+            };
             let _ = db.query_with(q, Generation::Clustered, exec).unwrap(); // warm
             let t0 = Instant::now();
             let rs = db.query_with(q, Generation::Clustered, exec).unwrap();

@@ -52,11 +52,15 @@ SELECT ?li ?price WHERE {
   FILTER(?d >= "1995-06-01"^^xsd:date && ?d < "1995-07-01"^^xsd:date)
 }"#;
     println!("\nselective star scan (one month of shipdate), RDFscan plan:");
-    for (label, generation) in
-        [("ParseOrder (sparse CS tables)", Generation::CsParseOrder), ("Clustered", Generation::Clustered)]
-    {
+    for (label, generation) in [
+        ("ParseOrder (sparse CS tables)", Generation::CsParseOrder),
+        ("Clustered", Generation::Clustered),
+    ] {
         let db = rig.db(generation);
-        let exec = ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true };
+        let exec = ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+        };
         db.drop_cache();
         db.set_read_latency_ns(page_ns);
         let t0 = std::time::Instant::now();

@@ -35,17 +35,31 @@ SELECT ?o1 ?o2 ?o3 WHERE {
 
     println!("== Fig. 4: join effort, Default vs RDFscan/RDFjoin ==");
     for (name, q, paper) in [
-        ("(a) 4-prop star", star4, "paper: 4 IdxScans + 3 MergeJoins -> 1 RDFscan"),
-        ("(b) star + FK link", star_join, "paper: 5 IdxScans + 4 joins -> RDFscan + RDFjoin"),
+        (
+            "(a) 4-prop star",
+            star4,
+            "paper: 4 IdxScans + 3 MergeJoins -> 1 RDFscan",
+        ),
+        (
+            "(b) star + FK link",
+            star_join,
+            "paper: 5 IdxScans + 4 joins -> RDFscan + RDFjoin",
+        ),
     ] {
         println!("\n{name} — {paper}");
-        for (label, scheme) in
-            [("Default", PlanScheme::Default), ("RDFscan/RDFjoin", PlanScheme::RdfScanJoin)]
-        {
-            let exec = ExecConfig { scheme, zonemaps: true };
+        for (label, scheme) in [
+            ("Default", PlanScheme::Default),
+            ("RDFscan/RDFjoin", PlanScheme::RdfScanJoin),
+        ] {
+            let exec = ExecConfig {
+                scheme,
+                zonemaps: true,
+            };
             let db = rig.db(Generation::Clustered);
             let t0 = std::time::Instant::now();
-            let traced = db.query_traced(q, Generation::Clustered, exec).expect("query");
+            let traced = db
+                .query_traced(q, Generation::Clustered, exec)
+                .expect("query");
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             println!(
                 "  {label:<16} merge-joins {:>3}  hash-joins {:>2}  rdfscans {:>2}  rdfjoins {:>2}  scans {:>3}  {:>9.2} ms  rows {:>7}",

@@ -10,17 +10,26 @@
 //! Environment: `SORDF_SF` scale factor (default 0.01),
 //! `SORDF_PAGE_NS` synthetic cold-read latency per page (default 20000).
 
-use sordf_bench::{build_rig, fmt_row, measure, page_latency_from_env, sf_from_env, TABLE1_CONFIGS};
+use sordf_bench::{
+    build_rig, fmt_row, measure, page_latency_from_env, sf_from_env, TABLE1_CONFIGS,
+};
 use sordf_rdfh::{query, QueryId};
 
 fn main() {
     let sf = sf_from_env();
     let page_ns = page_latency_from_env();
     let rig = build_rig(sf);
-    println!("== Table I reproduction (RDF-H sf={sf}, {} triples) ==", rig.n_triples);
+    println!(
+        "== Table I reproduction (RDF-H sf={sf}, {} triples) ==",
+        rig.n_triples
+    );
     println!("paper reference (SF=10, seconds):");
-    println!("  Q3: Default/ParseOrder 37.50 cold / 19.66 hot ... RDFscan/Clustered+ZM 0.89 / 0.78");
-    println!("  Q6: Default/ParseOrder 28.25 cold /  6.52 hot ... RDFscan/Clustered    1.47 / 0.44");
+    println!(
+        "  Q3: Default/ParseOrder 37.50 cold / 19.66 hot ... RDFscan/Clustered+ZM 0.89 / 0.78"
+    );
+    println!(
+        "  Q6: Default/ParseOrder 28.25 cold /  6.52 hot ... RDFscan/Clustered    1.47 / 0.44"
+    );
     println!();
 
     for qid in [QueryId::Q3, QueryId::Q6] {

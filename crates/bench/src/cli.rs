@@ -1,0 +1,184 @@
+//! Shared bench-binary plumbing: argument parsing (`--smoke` / `--sf` /
+//! `--out` / `--baseline`), pacing, timing loops, and the standard JSON
+//! envelope every bench artifact carries (`bench` name, `sf`, `host_cpus` —
+//! so perf numbers are never read without knowing what machine produced
+//! them). The perf bins (`bench_vectorized`, `bench_parallel`,
+//! `bench_updates`) share this module instead of re-rolling it.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Parsed common arguments of a perf bench binary.
+pub struct BenchArgs {
+    /// `--smoke`: tiny scale + few iterations, for CI release smokes.
+    pub smoke: bool,
+    /// `--sf F` (default 0.005, smoke default 0.001).
+    pub sf: f64,
+    /// `--out PATH` (default per binary).
+    pub out_path: String,
+    /// `--baseline PATH`, loaded file contents (for speedup reporting).
+    pub baseline: Option<String>,
+    /// Minimum wall-clock seconds per timing loop.
+    pub min_secs: f64,
+    /// Minimum iterations per timing loop.
+    pub min_iters: u64,
+}
+
+impl BenchArgs {
+    /// Parse the process arguments with the shared defaults.
+    pub fn parse(default_out: &str) -> BenchArgs {
+        let args: Vec<String> = std::env::args().collect();
+        let flag_val = |name: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let sf = flag_val("--sf")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(if smoke { 0.001 } else { 0.005 });
+        let out_path = flag_val("--out").unwrap_or_else(|| default_out.to_string());
+        let baseline = flag_val("--baseline").and_then(|p| std::fs::read_to_string(p).ok());
+        let (min_secs, min_iters) = if smoke { (0.1, 2) } else { (1.5, 10) };
+        BenchArgs {
+            smoke,
+            sf,
+            out_path,
+            baseline,
+            min_secs,
+            min_iters,
+        }
+    }
+}
+
+/// The host's available parallelism — recorded in every bench JSON.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `body` until both bounds are met; returns iterations/second.
+pub fn time_loop(min_secs: f64, min_iters: u64, mut body: impl FnMut()) -> f64 {
+    let mut iters = 0u64;
+    let t0 = Instant::now();
+    loop {
+        body();
+        iters += 1;
+        if iters >= min_iters && t0.elapsed().as_secs_f64() >= min_secs {
+            break;
+        }
+    }
+    iters as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Pull `"field": <number>` out of the named scenario object of a recorded
+/// bench JSON (good enough for the flat artifacts this crate writes).
+pub fn extract_scenario_field(json: &str, scenario: &str, field: &str) -> Option<f64> {
+    let start = json.find(&format!("\"{scenario}\""))?;
+    let obj = &json[start..start + json[start..].find('}')?];
+    let fstart = obj.find(&format!("\"{field}\""))?;
+    let rest = &obj[fstart..];
+    let colon = rest.find(':')?;
+    let num: String = rest[colon + 1..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+/// A bench JSON artifact under construction. Opens with the standard
+/// envelope — `bench`, `sf`, `host_cpus` — and renders top-level fields in
+/// insertion order with correct comma placement.
+pub struct BenchJson {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchJson {
+    pub fn new(bench: &str, sf: f64) -> BenchJson {
+        let mut j = BenchJson { fields: Vec::new() };
+        j.raw("bench", format!("\"{bench}\""));
+        j.raw("sf", format!("{sf}"));
+        j.raw("host_cpus", format!("{}", host_cpus()));
+        j
+    }
+
+    /// Add an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.raw(key, format!("{v}"))
+    }
+
+    /// Add a float field with the given number of decimals.
+    pub fn num(&mut self, key: &str, v: f64, decimals: usize) -> &mut Self {
+        self.raw(key, format!("{v:.decimals$}"))
+    }
+
+    /// Add a pre-rendered value (nested objects keep their bespoke layout;
+    /// multi-line values are indented to match).
+    pub fn raw(&mut self, key: &str, rendered: String) -> &mut Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Render the artifact.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, val)) in self.fields.iter().enumerate() {
+            let _ = write!(out, "  \"{key}\": {val}");
+            out.push_str(if i + 1 < self.fields.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Render, write to `out_path` and log the location.
+    pub fn write(&self, out_path: &str) {
+        std::fs::write(out_path, self.render()).expect("write bench json");
+        println!("wrote {out_path}");
+    }
+}
+
+/// Render a `{ "name": { ...fields... }, ... }` object from pre-rendered
+/// per-entry bodies — the common shape of a scenarios/levels section.
+pub fn render_object<'a>(entries: impl IntoIterator<Item = (&'a str, String)>) -> String {
+    let entries: Vec<(&str, String)> = entries.into_iter().collect();
+    let mut out = String::from("{\n");
+    for (i, (name, body)) in entries.iter().enumerate() {
+        let _ = write!(out, "    \"{name}\": {body}");
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_envelope_and_commas() {
+        let mut j = BenchJson::new("demo", 0.005);
+        j.int("n", 3).num("qps", 123.456, 2);
+        j.raw("nested", render_object([("a", "{ \"x\": 1 }".to_string())]));
+        let s = j.render();
+        assert!(s.contains("\"bench\": \"demo\""));
+        assert!(s.contains("\"sf\": 0.005"));
+        assert!(s.contains("\"host_cpus\": "));
+        assert!(s.contains("\"qps\": 123.46"));
+        assert!(!s.contains(",\n}"), "no trailing comma:\n{s}");
+        assert_eq!(extract_scenario_field(&s, "a", "x"), Some(1.0));
+    }
+
+    #[test]
+    fn time_loop_respects_min_iters() {
+        let mut n = 0;
+        let qps = time_loop(0.0, 5, || n += 1);
+        assert!(n >= 5);
+        assert!(qps > 0.0);
+    }
+}

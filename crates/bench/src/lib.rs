@@ -14,6 +14,8 @@
 //! | Ext-3 (cardinality estimation) | `cardest` |
 //! | Ext-4 (dirty-data sweep) | `dirty_sweep` |
 
+pub mod cli;
+
 use sordf::{Database, ExecConfig, Generation, PlanScheme};
 use sordf_rdfh::{generate, RdfhConfig};
 use std::time::Instant;
@@ -77,13 +79,19 @@ pub struct Rig {
 
 /// Scale factor from `SORDF_SF` (default 0.01).
 pub fn sf_from_env() -> f64 {
-    std::env::var("SORDF_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(0.01)
+    std::env::var("SORDF_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
 }
 
 /// Synthetic cold-read latency per 64 KiB page, from `SORDF_PAGE_NS`
 /// (default 20µs ≈ a fast HDD / slow SSD; 0 disables).
 pub fn page_latency_from_env() -> u64 {
-    std::env::var("SORDF_PAGE_NS").ok().and_then(|s| s.parse().ok()).unwrap_or(20_000)
+    std::env::var("SORDF_PAGE_NS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000)
 }
 
 /// Build both databases from one RDF-H generation run.
@@ -96,16 +104,20 @@ pub fn build_rig(sf: f64) -> Rig {
         data.n_orders,
         data.n_customer
     );
-    let mut parse_order = Database::in_temp_dir().expect("temp db");
+    let parse_order = Database::in_temp_dir().expect("temp db");
     parse_order.load_terms(&data.triples).expect("load");
     parse_order.build_baseline().expect("baseline");
     parse_order.build_cs_tables().expect("cs tables");
 
-    let mut clustered = Database::in_temp_dir().expect("temp db");
+    let clustered = Database::in_temp_dir().expect("temp db");
     clustered.load_terms(&data.triples).expect("load");
     clustered.self_organize().expect("self organize");
 
-    Rig { parse_order, clustered, n_triples: data.triples.len() }
+    Rig {
+        parse_order,
+        clustered,
+        n_triples: data.triples.len(),
+    }
 }
 
 impl Rig {
@@ -131,21 +143,30 @@ pub struct Measurement {
 /// Run a query cold (cache dropped, synthetic page latency on) then hot.
 pub fn measure(rig: &Rig, cfg: &Config, sparql: &str, page_ns: u64) -> Measurement {
     let db = rig.db(cfg.generation);
-    let exec = ExecConfig { scheme: cfg.scheme, zonemaps: cfg.zonemaps };
+    let exec = ExecConfig {
+        scheme: cfg.scheme,
+        zonemaps: cfg.zonemaps,
+    };
 
     // Warm up process-level state (code paths, allocator) so the cold
     // measurement reflects page reads, not first-run artifacts.
-    let _ = db.query_traced(sparql, cfg.generation, exec).expect("warmup");
+    let _ = db
+        .query_traced(sparql, cfg.generation, exec)
+        .expect("warmup");
 
     db.drop_cache();
     db.set_read_latency_ns(page_ns);
     let t0 = Instant::now();
-    let cold = db.query_traced(sparql, cfg.generation, exec).expect("query");
+    let cold = db
+        .query_traced(sparql, cfg.generation, exec)
+        .expect("query");
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     db.set_read_latency_ns(0);
 
     let t1 = Instant::now();
-    let hot = db.query_traced(sparql, cfg.generation, exec).expect("query");
+    let hot = db
+        .query_traced(sparql, cfg.generation, exec)
+        .expect("query");
     let hot_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     Measurement {

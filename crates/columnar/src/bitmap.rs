@@ -10,12 +10,18 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zeros bitmap of the given length.
     pub fn new(len: usize) -> Bitmap {
-        Bitmap { words: vec![0; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// All-ones bitmap of the given length.
     pub fn ones(len: usize) -> Bitmap {
-        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         b.clear_tail();
         b
     }
@@ -61,7 +67,11 @@ impl Bitmap {
 
     /// Iterate over indices of set bits, ascending.
     pub fn iter_ones(&self) -> OnesIter<'_> {
-        OnesIter { bitmap: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// In-place intersection. Lengths must match.

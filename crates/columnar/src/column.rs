@@ -68,7 +68,9 @@ impl<'a> ColumnBuilder<'a> {
 
     fn flush_page(&mut self) {
         let id = self.disk.alloc_page();
-        self.disk.write_page(id, &self.buf).expect("column page write failed");
+        self.disk
+            .write_page(id, &self.buf)
+            .expect("column page write failed");
         self.pages.push(id);
         self.stats.push(self.cur);
         self.cur = PageStats::empty();
@@ -176,7 +178,11 @@ impl Column {
     /// Random access to one value. Prefer [`Column::chunks`] in hot paths.
     #[inline]
     pub fn value(&self, pool: &BufferPool, idx: usize) -> u64 {
-        assert!(idx < self.len, "column index {idx} out of bounds (len {})", self.len);
+        assert!(
+            idx < self.len,
+            "column index {idx} out of bounds (len {})",
+            self.len
+        );
         let page = pool.get(self.pages[idx / VALS_PER_PAGE]);
         page[idx % VALS_PER_PAGE]
     }
@@ -203,7 +209,11 @@ impl Column {
     /// Pin one whole page (clamped to the column length) as a [`Chunk`].
     pub fn pin_page(&self, pool: &BufferPool, p: usize) -> Chunk {
         let rows = self.page_rows(p);
-        self.pin_local(pool, p, rows.start - p * VALS_PER_PAGE..rows.end - p * VALS_PER_PAGE)
+        self.pin_local(
+            pool,
+            p,
+            rows.start - p * VALS_PER_PAGE..rows.end - p * VALS_PER_PAGE,
+        )
     }
 
     /// Pin the part of page `p` that falls inside `range` (global rows).
@@ -226,7 +236,12 @@ impl Column {
         range: Range<usize>,
     ) -> impl Iterator<Item = Chunk> + 'c {
         let range = range.start.min(self.len)..range.end.min(self.len);
-        ChunkIter { col: self, pool, next: range.start, end: range.end }
+        ChunkIter {
+            col: self,
+            pool,
+            next: range.start,
+            end: range.end,
+        }
     }
 
     /// Run `f` over page-aligned chunks covering `range` — each page is
@@ -283,8 +298,8 @@ impl Column {
                 continue;
             }
             let page_start = p * VALS_PER_PAGE;
-            let local =
-                range.start.max(page_start) - page_start..range.end.min(page_start + VALS_PER_PAGE) - page_start;
+            let local = range.start.max(page_start) - page_start
+                ..range.end.min(page_start + VALS_PER_PAGE) - page_start;
             f(&self.pin_local(pool, p, local));
         }
     }
@@ -377,7 +392,8 @@ impl Column {
         // Pin the boundary page once and finish with a slice search over its
         // in-range part.
         let page_start = lo_p * VALS_PER_PAGE;
-        let local = start.max(page_start) - page_start..end.min(page_start + VALS_PER_PAGE) - page_start;
+        let local =
+            start.max(page_start) - page_start..end.min(page_start + VALS_PER_PAGE) - page_start;
         let chunk = self.pin_local(pool, lo_p, local);
         chunk.start + chunk.values().partition_point(|&x| pred(x))
     }
@@ -407,7 +423,11 @@ impl Column {
             let st = zm.page(mid);
             // A page with only NULLs cannot appear in sorted index columns;
             // treat its max conservatively.
-            let page_max = if st.n_nonnull > 0 { st.max } else { NULL_SENTINEL };
+            let page_max = if st.n_nonnull > 0 {
+                st.max
+            } else {
+                NULL_SENTINEL
+            };
             if pred(page_max) {
                 lo_page = mid + 1;
             } else {
@@ -440,7 +460,9 @@ impl Iterator for ChunkIter<'_> {
         let page_start = page_idx * VALS_PER_PAGE;
         let local_start = self.next - page_start;
         let local_end = (self.end - page_start).min(VALS_PER_PAGE);
-        let chunk = self.col.pin_local(self.pool, page_idx, local_start..local_end);
+        let chunk = self
+            .col
+            .pin_local(self.pool, page_idx, local_start..local_end);
         self.next = page_start + local_end;
         Some(chunk)
     }
@@ -480,9 +502,15 @@ mod tests {
             .collect();
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].0, lo);
-        assert_eq!(chunks[0].1, (lo as u64..VALS_PER_PAGE as u64).collect::<Vec<_>>());
+        assert_eq!(
+            chunks[0].1,
+            (lo as u64..VALS_PER_PAGE as u64).collect::<Vec<_>>()
+        );
         assert_eq!(chunks[1].0, VALS_PER_PAGE);
-        assert_eq!(chunks[1].1, (VALS_PER_PAGE as u64..hi as u64).collect::<Vec<_>>());
+        assert_eq!(
+            chunks[1].1,
+            (VALS_PER_PAGE as u64..hi as u64).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -513,7 +541,13 @@ mod tests {
     fn gather_across_pages() {
         let vals: Vec<u64> = (0..2 * VALS_PER_PAGE as u64 + 100).map(|i| i * 3).collect();
         let (_dm, pool, col) = setup(&vals);
-        let rows = vec![0, 5, VALS_PER_PAGE - 1, VALS_PER_PAGE, 2 * VALS_PER_PAGE + 50];
+        let rows = vec![
+            0,
+            5,
+            VALS_PER_PAGE - 1,
+            VALS_PER_PAGE,
+            2 * VALS_PER_PAGE + 50,
+        ];
         let got = col.gather(&pool, &rows);
         let expect: Vec<u64> = rows.iter().map(|&r| vals[r]).collect();
         assert_eq!(got, expect);
@@ -559,17 +593,17 @@ mod tests {
         let vals: Vec<u64> = (0..3 * VALS_PER_PAGE as u64 + 17).collect();
         let (_dm, pool, col) = setup(&vals);
         let cases: Vec<Range<usize>> = vec![
-            0..0,                                     // empty at start
-            VALS_PER_PAGE..VALS_PER_PAGE,             // empty on a boundary
-            col.len()..col.len(),                     // empty at end
-            5..9,                                     // inside one page
-            0..VALS_PER_PAGE,                         // exactly one page
-            VALS_PER_PAGE..2 * VALS_PER_PAGE,         // page-aligned interior
-            VALS_PER_PAGE - 1..VALS_PER_PAGE + 1,     // straddles a boundary
-            7..2 * VALS_PER_PAGE + 3,                 // mid-page to mid-page
-            3 * VALS_PER_PAGE..col.len(),             // the partial tail page
-            0..col.len(),                             // everything
-            col.len() - 1..col.len() + 100,           // end clamped past len
+            0..0,                                 // empty at start
+            VALS_PER_PAGE..VALS_PER_PAGE,         // empty on a boundary
+            col.len()..col.len(),                 // empty at end
+            5..9,                                 // inside one page
+            0..VALS_PER_PAGE,                     // exactly one page
+            VALS_PER_PAGE..2 * VALS_PER_PAGE,     // page-aligned interior
+            VALS_PER_PAGE - 1..VALS_PER_PAGE + 1, // straddles a boundary
+            7..2 * VALS_PER_PAGE + 3,             // mid-page to mid-page
+            3 * VALS_PER_PAGE..col.len(),         // the partial tail page
+            0..col.len(),                         // everything
+            col.len() - 1..col.len() + 100,       // end clamped past len
         ];
         for r in cases {
             let want: Vec<u64> = vals[r.start.min(vals.len())..r.end.min(vals.len())].to_vec();
@@ -598,8 +632,10 @@ mod tests {
         assert_eq!(d.hits + d.misses, 1, "only the non-NULL page is requested");
 
         // Chunks report the fast path.
-        let flags: Vec<bool> =
-            col.chunks(&pool, 0..vals.len()).map(|c| c.is_all_null()).collect();
+        let flags: Vec<bool> = col
+            .chunks(&pool, 0..vals.len())
+            .map(|c| c.is_all_null())
+            .collect();
         assert_eq!(flags, vec![true, false, true]);
 
         // gather over the NULL pages also stays out of the pool.
@@ -619,7 +655,11 @@ mod tests {
         col.for_each_chunk(&pool, 0..col.len(), |c| n += c.values().len() as u64);
         assert_eq!(n, vals.len() as u64);
         let d = pool.stats().since(&before);
-        assert_eq!(d.hits + d.misses, 4, "one pool request per page, not per value");
+        assert_eq!(
+            d.hits + d.misses,
+            4,
+            "one pool request per page, not per value"
+        );
     }
 
     #[test]
@@ -655,7 +695,12 @@ mod tests {
     fn partition_point_pins_pages_not_values() {
         let vals: Vec<u64> = (0..16 * VALS_PER_PAGE as u64).map(|i| i * 2).collect();
         let (_dm, pool, col) = setup(&vals);
-        for probe in [0u64, 77, VALS_PER_PAGE as u64 * 13 + 5, vals.len() as u64 * 2] {
+        for probe in [
+            0u64,
+            77,
+            VALS_PER_PAGE as u64 * 13 + 5,
+            vals.len() as u64 * 2,
+        ] {
             let before = pool.stats();
             let got = col.lower_bound_in(&pool, 0..col.len(), probe);
             let want = vals.partition_point(|&x| x < probe);
@@ -663,12 +708,19 @@ mod tests {
             let d = pool.stats().since(&before);
             // ceil(log2(16 pages + 1)) probes + the final pinned page —
             // versus log2(131072 rows) = 17 per-value probes before hoisting.
-            assert!(d.hits + d.misses <= 6, "{} pool requests for probe {probe}", d.hits + d.misses);
+            assert!(
+                d.hits + d.misses <= 6,
+                "{} pool requests for probe {probe}",
+                d.hits + d.misses
+            );
         }
         // Single-page ranges resolve with exactly one pool request.
         let before = pool.stats();
         let r = 10..200;
-        assert_eq!(col.upper_bound_in(&pool, r.clone(), 100), vals[r].partition_point(|&x| x <= 100) + 10);
+        assert_eq!(
+            col.upper_bound_in(&pool, r.clone(), 100),
+            vals[r].partition_point(|&x| x <= 100) + 10
+        );
         let d = pool.stats().since(&before);
         assert_eq!(d.hits + d.misses, 1);
     }
@@ -680,10 +732,16 @@ mod tests {
         assert_eq!(col.lower_bound_in(&pool, 5..5, 0), 5);
         // Inverted ranges are degenerate; the partition point is `start`,
         // matching the plain binary-search behavior.
-        let inverted = Range { start: 100, end: 50 };
+        let inverted = Range {
+            start: 100,
+            end: 50,
+        };
         assert_eq!(col.lower_bound_in(&pool, inverted, 0), 100);
         // Range end past len is clamped.
-        assert_eq!(col.lower_bound_in(&pool, 0..col.len() + 999, u64::MAX), col.len());
+        assert_eq!(
+            col.lower_bound_in(&pool, 0..col.len() + 999, u64::MAX),
+            col.len()
+        );
     }
 
     #[test]

@@ -60,11 +60,7 @@ impl DiskManager {
     pub fn temp() -> io::Result<DiskManager> {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "sordf-{}-{}.db",
-            std::process::id(),
-            n
-        ));
+        let path = std::env::temp_dir().join(format!("sordf-{}-{}.db", std::process::id(), n));
         let mut dm = DiskManager::create(&path)?;
         dm.delete_on_drop = true;
         Ok(dm)

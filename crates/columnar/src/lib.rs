@@ -25,9 +25,9 @@ pub mod pool;
 pub mod zonemap;
 
 pub use bitmap::Bitmap;
+pub use column::Chunk;
 pub use column::{Column, ColumnBuilder};
 pub use disk::{DiskManager, PageId, PAGE_BYTES, VALS_PER_PAGE};
-pub use column::Chunk;
 pub use pool::{BufferPool, PageGuard, PoolStats, DEFAULT_POOL_SHARDS, MIN_PAGES_PER_SHARD};
 pub use zonemap::{PageStats, ZoneMap};
 

@@ -186,7 +186,9 @@ impl BufferPool {
 
     /// Fallible [`BufferPool::pin`].
     pub fn try_pin(&self, id: PageId) -> Result<PageGuard, ModelError> {
-        Ok(PageGuard { data: self.try_get(id)? })
+        Ok(PageGuard {
+            data: self.try_get(id)?,
+        })
     }
 
     /// Fetch a page, from cache or disk. The returned `Arc` stays valid even
@@ -197,7 +199,8 @@ impl BufferPool {
     /// (the `sordf` facade catches this at the query boundary, so one bad
     /// read fails one query, not the process).
     pub fn get(&self, id: PageId) -> Arc<Vec<u64>> {
-        self.try_get(id).unwrap_or_else(|e| panic!("buffer pool: {e}"))
+        self.try_get(id)
+            .unwrap_or_else(|e| panic!("buffer pool: {e}"))
     }
 
     /// Fetch a page, surfacing read failures as [`ModelError::PageRead`]
@@ -254,7 +257,13 @@ impl BufferPool {
                 break;
             }
         }
-        inner.frames.insert(id, Frame { data: Arc::clone(&data), last_used: tick });
+        inner.frames.insert(
+            id,
+            Frame {
+                data: Arc::clone(&data),
+                last_used: tick,
+            },
+        );
         inner.lru.insert((tick, id));
         Ok(data)
     }
@@ -306,7 +315,10 @@ impl BufferPool {
 
     /// Number of pages currently cached.
     pub fn cached_pages(&self) -> usize {
-        self.shards.iter().map(|s| s.inner.lock().frames.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().frames.len())
+            .sum()
     }
 
     /// Pool capacity in pages (summed across shards).
@@ -457,8 +469,16 @@ mod tests {
         // A snapshot pair taken around concurrent updates can observe the
         // "later" snapshot behind the earlier one per counter; the delta
         // clamps at zero instead of panicking on underflow.
-        let newer = PoolStats { hits: 5, misses: 2, evictions: 0 };
-        let older = PoolStats { hits: 7, misses: 1, evictions: 3 };
+        let newer = PoolStats {
+            hits: 5,
+            misses: 2,
+            evictions: 0,
+        };
+        let older = PoolStats {
+            hits: 7,
+            misses: 1,
+            evictions: 3,
+        };
         let d = newer.since(&older);
         assert_eq!((d.hits, d.misses, d.evictions), (0, 1, 0));
     }
@@ -471,7 +491,10 @@ mod tests {
         assert_eq!(pool.n_shards(), 4);
         let per_shard: usize = pool.shards.iter().map(|s| s.capacity).sum();
         assert_eq!(per_shard, 10);
-        assert!(pool.shards.iter().all(|s| s.capacity == 2 || s.capacity == 3));
+        assert!(pool
+            .shards
+            .iter()
+            .all(|s| s.capacity == 2 || s.capacity == 3));
     }
 
     #[test]
@@ -481,7 +504,10 @@ mod tests {
         assert_eq!(BufferPool::new(Arc::clone(&dm), 2).n_shards(), 1);
         assert_eq!(BufferPool::new(Arc::clone(&dm), 31).n_shards(), 1);
         assert_eq!(BufferPool::new(Arc::clone(&dm), 64).n_shards(), 2);
-        assert_eq!(BufferPool::new(Arc::clone(&dm), 4096).n_shards(), DEFAULT_POOL_SHARDS);
+        assert_eq!(
+            BufferPool::new(Arc::clone(&dm), 4096).n_shards(),
+            DEFAULT_POOL_SHARDS
+        );
     }
 
     #[test]

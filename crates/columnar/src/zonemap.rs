@@ -18,7 +18,11 @@ pub struct PageStats {
 impl PageStats {
     /// Stats of an empty/all-null page.
     pub fn empty() -> PageStats {
-        PageStats { min: u64::MAX, max: 0, n_nonnull: 0 }
+        PageStats {
+            min: u64::MAX,
+            max: 0,
+            n_nonnull: 0,
+        }
     }
 
     /// Fold one non-null value into the stats.
@@ -67,12 +71,20 @@ impl ZoneMap {
 
     /// Overall min over non-null values, if any.
     pub fn global_min(&self) -> Option<u64> {
-        self.pages.iter().filter(|p| p.n_nonnull > 0).map(|p| p.min).min()
+        self.pages
+            .iter()
+            .filter(|p| p.n_nonnull > 0)
+            .map(|p| p.min)
+            .min()
     }
 
     /// Overall max over non-null values, if any.
     pub fn global_max(&self) -> Option<u64> {
-        self.pages.iter().filter(|p| p.n_nonnull > 0).map(|p| p.max).max()
+        self.pages
+            .iter()
+            .filter(|p| p.n_nonnull > 0)
+            .map(|p| p.max)
+            .max()
     }
 
     /// Fraction of pages that `[lo, hi]` can skip (the pruning power metric
@@ -94,14 +106,22 @@ mod tests {
         ZoneMap::new(
             ranges
                 .iter()
-                .map(|&(min, max)| PageStats { min, max, n_nonnull: 10 })
+                .map(|&(min, max)| PageStats {
+                    min,
+                    max,
+                    n_nonnull: 10,
+                })
                 .collect(),
         )
     }
 
     #[test]
     fn overlap_logic() {
-        let st = PageStats { min: 10, max: 20, n_nonnull: 5 };
+        let st = PageStats {
+            min: 10,
+            max: 20,
+            n_nonnull: 5,
+        };
         assert!(st.overlaps(15, 18));
         assert!(st.overlaps(0, 10));
         assert!(st.overlaps(20, 99));

@@ -49,25 +49,48 @@
 //! [`Database::maybe_reorganize`] re-runs discovery + clustering over the
 //! merged data when a [`ReorgPolicy`] threshold fires — swapping a fresh
 //! generation in behind the same query API.
+//!
+//! ## Background reorganization
+//!
+//! Reorganization happens **off the write path**: every query *pins* the
+//! current [`StoreGeneration`] (an `Arc` of dictionary + base triples +
+//! built stores) plus a delta view at query start and never re-reads shared
+//! state. [`Database::reorganize_async`] (and the policy-gated
+//! [`Database::maybe_reorganize_async`], or a [`Database::start_auto_reorg`]
+//! thread) builds the next generation on a worker thread against that
+//! pinned snapshot while reads *and writes* continue, then swaps the handle
+//! in atomically — folding every write that arrived during the rebuild into
+//! the fresh generation's delta store (decoded under the old dictionary,
+//! re-encoded under the renumbered one, replayed in sequence order so
+//! snapshots taken at or after the rebuild pin survive the swap). Readers
+//! never block on a rebuild; writers stall only for the short swap +
+//! catch-up fold, never for the rebuild itself. Synchronous
+//! [`Database::reorganize_now`] / [`Database::maybe_reorganize`] run the
+//! same pin → build → swap protocol inline on the calling thread.
 
 use std::io;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread;
+use std::time::Duration;
 
+use parking_lot::{Mutex, RwLock};
 use sordf_columnar::{BufferPool, DiskManager, PoolStats};
 use sordf_engine::agg::ResultSet;
 use sordf_engine::context::StatsSnapshot;
 use sordf_engine::planner::PlanInfo;
 pub use sordf_engine::{ExecConfig, ParallelConfig, PlanScheme};
 use sordf_engine::{ExecContext, StorageRef};
-use sordf_model::{ntriples, Dictionary, FxHashMap, FxHashSet, ModelError, Oid, Term, TermTriple, Triple};
-pub use sordf_schema::{DriftStats, EmergentSchema, SchemaConfig};
-use sordf_schema::{ClassId, IncrementalAssigner};
-pub use sordf_storage::Snapshot;
-use sordf_storage::{
-    build_clustered, reorganize, BaselineStore, ClusterSpec, ClusteredStore, DeltaStore,
-    DeltaView, ReorgReport, TripleSet,
+use sordf_model::{
+    ntriples, Dictionary, FxHashMap, FxHashSet, ModelError, Oid, Term, TermTriple, Triple,
 };
+use sordf_schema::{ClassId, IncrementalAssigner};
+pub use sordf_schema::{DriftStats, EmergentSchema, SchemaConfig};
+use sordf_storage::{
+    build_clustered, encode_triple_skolemized, reorganize, BaselineStore, ClusterSpec,
+    ClusteredStore, DeltaStore, DeltaView, DeltaWrite, GenerationHandle, ReorgReport, TripleSet,
+};
+pub use sordf_storage::{DictPin, Snapshot, StoreGeneration};
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -206,19 +229,24 @@ impl ReorgPolicy {
     }
 }
 
-/// What [`Database::maybe_reorganize`] decided and did.
+/// What a reorganization ([`Database::maybe_reorganize`],
+/// [`Database::reorganize_async`]) decided and did.
 #[derive(Debug, Clone)]
 pub struct ReorgOutcome {
-    /// Did a reorganization run?
+    /// Did the policy fire (or was the reorganization unconditional)?
     pub fired: bool,
+    /// Was a fresh generation actually swapped in? `false` when the rebuild
+    /// was superseded by a concurrent bulk load / explicit build, which
+    /// invalidated the snapshot it was built from.
+    pub swapped: bool,
     /// The policy threshold that fired, if any.
     pub reason: Option<String>,
     /// Drift at decision time.
     pub drift_before: DriftStats,
     /// Irregular-triple ratio of the fresh clustered generation (only when
-    /// fired and the database is organized).
+    /// swapped and the database is organized).
     pub irregular_ratio_after: Option<f64>,
-    /// The clustering report of the fresh generation, if fired.
+    /// The clustering report of the fresh generation, if swapped.
     pub report: Option<ReorgReport>,
 }
 
@@ -235,33 +263,91 @@ struct WriteState {
     per_class_fill: Vec<u64>,
 }
 
-/// The self-organizing RDF database.
-pub struct Database {
-    dm: Arc<DiskManager>,
-    pool: BufferPool,
-    ts: TripleSet,
-    baseline: Option<BaselineStore>,
-    schema: Option<EmergentSchema>,
-    /// Sparse CS tables over parse-order OIDs (and the schema they use).
-    cs_parse_order: Option<(ClusteredStore, EmergentSchema)>,
-    clustered: Option<ClusteredStore>,
-    /// Spec used for clustering (kept for reporting).
-    spec: ClusterSpec,
-    reorg_report: Option<ReorgReport>,
-    config: ExecConfig,
+/// The mutable core the state lock protects. Everything a query needs is
+/// cloned *out* of here at query start (generation handle + delta view);
+/// writers mutate under the lock; a generation swap replaces `gen` and
+/// `delta` wholesale.
+struct State {
+    /// The current generation. Queries clone the handle; rebuilds pin it.
+    gen: GenerationHandle,
     /// Pending writes since the last (re)build: insert runs + tombstones,
     /// snapshot-sequenced. Queries merge this with the base generations.
     delta: DeltaStore,
     /// Incremental CS routing state for the pending writes.
     write: Option<WriteState>,
-    /// String-pool size at the last string sort (reorganization); interning
-    /// past this watermark breaks string-OID value order until the next
-    /// reorganization.
-    strings_sorted_len: usize,
     /// The schema configuration of the last discovery — reused for
     /// incremental routing admissibility and for re-discovery during
     /// reorganization, so a custom config survives the lifecycle.
     schema_cfg: SchemaConfig,
+    /// Bumped whenever `gen` is replaced or its base content changes. A
+    /// rebuild records the epoch it pinned; the swap refuses (is
+    /// *superseded*) if the epoch moved, because its input snapshot no
+    /// longer describes the base.
+    epoch: u64,
+    /// The epoch claimed by an in-flight rebuild (`None` when idle). At
+    /// most one rebuild runs at a time.
+    rebuild: Option<u64>,
+}
+
+/// Shared interior of [`Database`]: everything queries, writers and the
+/// background rebuild worker touch. `Database` itself adds only per-handle
+/// defaults (exec config) and the auto-reorg thread handle.
+struct DbInner {
+    dm: Arc<DiskManager>,
+    pool: BufferPool,
+    state: Mutex<State>,
+}
+
+/// What one query pins at query start: a generation handle, a read pin on
+/// that generation's dictionary and the delta view of its write snapshot.
+/// Everything is owned/shared — a concurrent swap cannot invalidate it.
+struct Pin {
+    gen: GenerationHandle,
+    dict: DictPin,
+    delta: Option<Arc<DeltaView>>,
+}
+
+impl DbInner {
+    /// Pin the current generation + delta view (or a historical view for a
+    /// pinned snapshot). The state lock is held only long enough to clone
+    /// two `Arc`s (plus O(delta) when materializing a historical view).
+    fn pin(&self, snap: Option<Snapshot>) -> Pin {
+        let (gen, delta) = {
+            let st = self.state.lock();
+            let delta = match snap {
+                Some(s) if s.seq() != st.delta.seq() => {
+                    let v = st.delta.view_at(s);
+                    if v.is_empty() {
+                        None
+                    } else {
+                        Some(Arc::new(v))
+                    }
+                }
+                _ => st.delta.current_view_arc(),
+            };
+            (Arc::clone(&st.gen), delta)
+        };
+        let dict = gen.pin_dict();
+        Pin { gen, dict, delta }
+    }
+
+    fn drift_stats(&self) -> DriftStats {
+        drift_stats_locked(&self.state.lock())
+    }
+}
+
+/// The self-organizing RDF database.
+///
+/// Thread-safe with interior mutability: queries take `&self` and *pin*
+/// the generation they run against; writes also take `&self` and serialize
+/// on an internal state lock. `&mut self` remains only where a second
+/// handle must not exist (starting/stopping the auto-reorg thread).
+pub struct Database {
+    inner: Arc<DbInner>,
+    /// Default engine configuration used by [`Database::query`].
+    config: ExecConfig,
+    /// The auto-reorganization thread, if started.
+    auto: Option<AutoReorg>,
 }
 
 impl Database {
@@ -278,20 +364,20 @@ impl Database {
     fn with_disk(dm: Arc<DiskManager>) -> Database {
         let pool = BufferPool::new(Arc::clone(&dm), 4096); // 256 MiB cache
         Database {
-            dm,
-            pool,
-            ts: TripleSet::new(),
-            baseline: None,
-            schema: None,
-            cs_parse_order: None,
-            clustered: None,
-            spec: ClusterSpec::none(),
-            reorg_report: None,
+            inner: Arc::new(DbInner {
+                dm,
+                pool,
+                state: Mutex::new(State {
+                    gen: Arc::new(StoreGeneration::staging(Dictionary::new(), Vec::new())),
+                    delta: DeltaStore::new(),
+                    write: None,
+                    schema_cfg: SchemaConfig::default(),
+                    epoch: 0,
+                    rebuild: None,
+                }),
+            }),
             config: ExecConfig::default(),
-            delta: DeltaStore::new(),
-            write: None,
-            strings_sorted_len: 0,
-            schema_cfg: SchemaConfig::default(),
+            auto: None,
         }
     }
 
@@ -301,53 +387,49 @@ impl Database {
     /// pending delta writes into the base first, then invalidates built
     /// stores (the next build sees everything). For incremental writes after
     /// a build, use [`Database::insert_ntriples`].
-    pub fn load_ntriples(&mut self, text: &str) -> Result<usize, Error> {
-        self.collapse_delta_into_base();
-        let n = self.ts.load_ntriples(text)?;
-        self.invalidate();
-        Ok(n)
+    pub fn load_ntriples(&self, text: &str) -> Result<usize, Error> {
+        let parsed = ntriples::parse_document(text)?;
+        self.load_terms(&parsed)
     }
 
     /// Bulk-load term triples from a generator. Same semantics as
     /// [`Database::load_ntriples`].
-    pub fn load_terms(&mut self, triples: &[TermTriple]) -> Result<usize, Error> {
-        self.collapse_delta_into_base();
-        let n = self.ts.extend_terms(triples)?;
-        self.invalidate();
-        Ok(n)
-    }
-
-    fn invalidate(&mut self) {
-        self.baseline = None;
-        self.schema = None;
-        self.cs_parse_order = None;
-        self.clustered = None;
-        self.reorg_report = None;
-        self.write = None;
-    }
-
-    fn any_generation_built(&self) -> bool {
-        self.baseline.is_some() || self.cs_parse_order.is_some() || self.clustered.is_some()
+    pub fn load_terms(&self, triples: &[TermTriple]) -> Result<usize, Error> {
+        let mut st = self.inner.state.lock();
+        load_terms_locked(&mut st, triples)
     }
 
     /// Number of visible triples: base triples minus tombstoned ones, plus
     /// visible delta inserts.
     pub fn n_triples(&self) -> usize {
-        match self.delta.current_view() {
-            None => self.ts.len(),
+        let st = self.inner.state.lock();
+        match st.delta.current_view() {
+            None => st.gen.triples.len(),
             Some(view) => {
                 let deleted_base = if view.n_tombstones() == 0 {
                     0
                 } else {
-                    self.ts.triples.iter().filter(|t| view.is_deleted(**t)).count()
+                    st.gen
+                        .triples
+                        .iter()
+                        .filter(|t| view.is_deleted(**t))
+                        .count()
                 };
-                self.ts.len() - deleted_base + view.n_inserts()
+                st.gen.triples.len() - deleted_base + view.n_inserts()
             }
         }
     }
 
-    pub fn dict(&self) -> &Dictionary {
-        &self.ts.dict
+    /// Pin the current generation's dictionary for reading. Holding a pin
+    /// never blocks (or deadlocks) anything: writers interning new terms
+    /// while a pin is open copy-on-write the dictionary instead of waiting
+    /// for the lock, and a generation swap installs a new dictionary
+    /// outright. A long-lived pin only keeps its snapshot's memory alive —
+    /// it just won't see terms interned after it was taken; take a fresh
+    /// pin to observe later writes.
+    pub fn dict(&self) -> DictPin {
+        let gen = Arc::clone(&self.inner.state.lock().gen);
+        gen.pin_dict()
     }
 
     // ---- writes (the delta path) -------------------------------------------
@@ -357,32 +439,41 @@ impl Database {
     /// land in the delta store — sorted in-memory runs the query engine
     /// merges with the base scans — and each inserted subject is routed
     /// against the discovered schema for drift tracking. No built column is
-    /// touched; call [`Database::maybe_reorganize`] to fold the delta into a
-    /// fresh organized generation when drift warrants it.
-    pub fn insert_ntriples(&mut self, text: &str) -> Result<usize, Error> {
+    /// touched; call [`Database::maybe_reorganize`] (or let a background
+    /// reorganization run) to fold the delta into a fresh organized
+    /// generation when drift warrants it.
+    pub fn insert_ntriples(&self, text: &str) -> Result<usize, Error> {
         let parsed = ntriples::parse_document(text)?;
         self.insert_terms(&parsed)
     }
 
     /// Insert term triples (the [`Database::insert_ntriples`] of generators).
-    pub fn insert_terms(&mut self, triples: &[TermTriple]) -> Result<usize, Error> {
+    pub fn insert_terms(&self, triples: &[TermTriple]) -> Result<usize, Error> {
         if triples.is_empty() {
             return Ok(0);
         }
-        if !self.any_generation_built() {
-            return self.load_terms(triples);
+        let mut st = self.inner.state.lock();
+        if !st.gen.any_built() {
+            return load_terms_locked(&mut st, triples);
         }
-        let mut encoded = Vec::with_capacity(triples.len());
-        for t in triples {
-            encoded.push(self.ts.encode(t)?);
+        let st = &mut *st;
+        let (encoded, strings_appended) = intern_batch(st, |dict| {
+            let mut encoded = Vec::with_capacity(triples.len());
+            for t in triples {
+                encoded.push(encode_triple_skolemized(dict, t)?);
+            }
+            Ok(encoded)
+        })?;
+        route_inserts(
+            &mut st.write,
+            st.gen.schema.as_deref(),
+            &st.schema_cfg,
+            &encoded,
+        );
+        if strings_appended {
+            st.delta.set_strings_appended();
         }
-        self.route_inserts(&encoded);
-        if self.clustered.is_some() && self.ts.dict.n_strings() > self.strings_sorted_len {
-            // New string literals sit past the sorted prefix: string-OID
-            // order no longer equals value order, the engine must decode.
-            self.delta.set_strings_appended();
-        }
-        self.delta.insert_run(encoded);
+        st.delta.insert_run(encoded);
         Ok(triples.len())
     }
 
@@ -390,43 +481,51 @@ impl Database {
     /// each triple is removed). Unknown terms match nothing. Deletes are
     /// tombstones — base columns are untouched; scans filter. Returns the
     /// number of distinct triples actually deleted.
-    pub fn delete_triples(&mut self, triples: &[TermTriple]) -> Result<usize, Error> {
+    pub fn delete_triples(&self, triples: &[TermTriple]) -> Result<usize, Error> {
+        let mut st = self.inner.state.lock();
         let mut targets = Vec::with_capacity(triples.len());
-        for t in triples {
-            let (Some(s), Some(p), Some(o)) = (
-                term_oid_skolemized(&self.ts.dict, &t.s),
-                term_oid_skolemized(&self.ts.dict, &t.p),
-                term_oid_skolemized(&self.ts.dict, &t.o),
-            ) else {
-                continue;
-            };
-            targets.push(Triple::new(s, p, o));
+        {
+            let dict = st.gen.dict.read();
+            for t in triples {
+                let (Some(s), Some(p), Some(o)) = (
+                    term_oid_skolemized(&dict, &t.s),
+                    term_oid_skolemized(&dict, &t.p),
+                    term_oid_skolemized(&dict, &t.o),
+                ) else {
+                    continue;
+                };
+                targets.push(Triple::new(s, p, o));
+            }
         }
         targets.sort_unstable();
         targets.dedup();
-        self.delete_encoded(targets)
+        delete_encoded_locked(&mut st, targets)
     }
 
     /// Delete every visible triple matching the pattern (`None` = wildcard).
     /// Returns the number of distinct triples deleted.
     pub fn delete_matching(
-        &mut self,
+        &self,
         s: Option<&Term>,
         p: Option<&Term>,
         o: Option<&Term>,
     ) -> Result<usize, Error> {
-        let enc = |t: Option<&Term>| -> Result<Option<Oid>, ()> {
-            match t {
-                None => Ok(None),
-                Some(term) => match term_oid_skolemized(&self.ts.dict, term) {
-                    Some(oid) => Ok(Some(oid)),
-                    None => Err(()), // unknown term: nothing can match
-                },
+        let mut st = self.inner.state.lock();
+        let (s, p, o) = {
+            let dict = st.gen.dict.read();
+            let enc = |t: Option<&Term>| -> Result<Option<Oid>, ()> {
+                match t {
+                    None => Ok(None),
+                    Some(term) => match term_oid_skolemized(&dict, term) {
+                        Some(oid) => Ok(Some(oid)),
+                        None => Err(()), // unknown term: nothing can match
+                    },
+                }
+            };
+            match (enc(s), enc(p), enc(o)) {
+                (Ok(s), Ok(p), Ok(o)) => (s, p, o),
+                _ => return Ok(0),
             }
-        };
-        let (s, p, o) = match (enc(s), enc(p), enc(o)) {
-            (Ok(s), Ok(p), Ok(o)) => (s, p, o),
-            _ => return Ok(0),
         };
         let matches = |t: &Triple| {
             s.map_or(true, |x| t.s == x)
@@ -434,9 +533,9 @@ impl Database {
                 && o.map_or(true, |x| t.o == x)
         };
         let mut targets: Vec<Triple> = {
-            let view = self.delta.current_view();
-            let mut v: Vec<Triple> = self
-                .ts
+            let view = st.delta.current_view();
+            let mut v: Vec<Triple> = st
+                .gen
                 .triples
                 .iter()
                 .filter(|t| matches(t) && view.map_or(true, |d| !d.is_deleted(**t)))
@@ -449,353 +548,239 @@ impl Database {
         };
         targets.sort_unstable();
         targets.dedup();
-        self.delete_encoded(targets)
-    }
-
-    /// Tombstone already-encoded triples that are currently visible.
-    fn delete_encoded(&mut self, targets: Vec<Triple>) -> Result<usize, Error> {
-        if targets.is_empty() {
-            return Ok(0);
-        }
-        if !self.any_generation_built() {
-            // Staging mode: remove from the base set directly.
-            let set: FxHashSet<Triple> = targets.into_iter().collect();
-            let before = self.ts.len();
-            self.ts.triples.retain(|t| !set.contains(t));
-            return Ok(before - self.ts.len());
-        }
-        let visible: Vec<Triple> = {
-            let view = self.delta.current_view();
-            // One pass over the base against a targets-sized set (not the
-            // other way round — the base can be large, the batch is small).
-            let target_set: FxHashSet<Triple> = targets.iter().copied().collect();
-            let mut in_base: FxHashSet<Triple> = FxHashSet::default();
-            for t in &self.ts.triples {
-                if target_set.contains(t) {
-                    in_base.insert(*t);
-                }
-            }
-            targets
-                .into_iter()
-                .filter(|&t| match view {
-                    None => in_base.contains(&t),
-                    Some(d) => {
-                        (in_base.contains(&t) && !d.is_deleted(t))
-                            || d.insert_pairs_for(t.p, Some((t.s.raw(), t.s.raw())))
-                                .any(|(_, o)| o == t.o)
-                    }
-                })
-                .collect()
-        };
-        if visible.is_empty() {
-            return Ok(0);
-        }
-        let n = visible.len();
-        self.delta.delete(&visible);
-        Ok(n)
+        delete_encoded_locked(&mut st, targets)
     }
 
     /// A snapshot of the current write sequence. Queries pinned to it via
     /// [`Database::query_snapshot`] see exactly the writes applied so far —
     /// later inserts and deletes are invisible to them (MVCC-lite: the delta
-    /// store keeps every version until the next reorganization).
+    /// store keeps every version until a reorganization folds it into the
+    /// base; snapshots taken at or after a background rebuild's pin stay
+    /// valid across the swap, older ones are clamped to the fold point).
     pub fn snapshot(&self) -> Snapshot {
-        self.delta.snapshot()
+        self.inner.state.lock().delta.snapshot()
     }
 
     /// Run a SPARQL query pinned to a [`Snapshot`] (newest generation,
     /// default configuration).
     pub fn query_snapshot(&self, sparql: &str, snap: Snapshot) -> Result<ResultSet, Error> {
         Ok(self
-            .query_traced_impl(sparql, self.default_generation()?, self.config, None, Some(snap))?
+            .query_traced_impl(sparql, None, self.config, None, Some(snap))?
+            .0
             .results)
     }
 
     /// Incremental-routing drift statistics: how far the live data has
     /// diverged from the organized base generation.
     pub fn drift_stats(&self) -> DriftStats {
-        let n_base_irregular = match (&self.clustered, &self.cs_parse_order) {
-            (Some(store), _) => store.irregular.len() as u64,
-            (None, Some((store, _))) => store.irregular.len() as u64,
-            _ => 0,
-        };
-        let view = self.delta.current_view();
-        let (matched, pending, fill) = match &self.write {
-            Some(w) => (
-                w.pending_class.len() as u64,
-                w.pending_props.len() as u64,
-                w.per_class_fill.clone(),
-            ),
-            None => (0, 0, Vec::new()),
-        };
-        DriftStats {
-            n_base_triples: self.ts.len() as u64,
-            n_base_irregular,
-            n_delta_inserts: view.map_or(0, |v| v.n_inserts() as u64),
-            n_tombstones: self.delta.n_tombstones() as u64,
-            matched_subjects: matched,
-            unmatched_subjects: pending.saturating_sub(matched),
-            per_class_fill: fill,
-        }
+        self.inner.drift_stats()
     }
 
+    // ---- reorganization ----------------------------------------------------
+
     /// Adaptive reorganization: evaluate `policy` against the current
-    /// [`DriftStats`] and, when a threshold fires, collapse the delta into
-    /// the base set and rebuild every live generation (schema re-discovery,
-    /// subject re-clustering, fresh column segments) behind the query API.
-    pub fn maybe_reorganize(&mut self, policy: &ReorgPolicy) -> Result<ReorgOutcome, Error> {
-        let drift = self.drift_stats();
+    /// [`DriftStats`] and, when a threshold fires, rebuild every live
+    /// generation (schema re-discovery, subject re-clustering, fresh column
+    /// segments) over the merged base + delta and swap it in behind the
+    /// query API. Runs **synchronously** on the calling thread; concurrent
+    /// queries keep executing against their pinned generation throughout,
+    /// and writes that land mid-rebuild are folded into the fresh delta at
+    /// the swap. For the non-blocking variant see
+    /// [`Database::maybe_reorganize_async`].
+    pub fn maybe_reorganize(&self, policy: &ReorgPolicy) -> Result<ReorgOutcome, Error> {
+        let drift = self.inner.drift_stats();
         let Some(reason) = policy.trigger_reason(&drift) else {
             return Ok(ReorgOutcome {
                 fired: false,
+                swapped: false,
                 reason: None,
                 drift_before: drift,
                 irregular_ratio_after: None,
                 report: None,
             });
         };
-        self.reorganize_now()?;
-        let irregular_ratio_after = self.clustered.as_ref().map(|store| {
-            store.irregular.len() as f64 / store.n_triples().max(1) as f64
-        });
-        Ok(ReorgOutcome {
-            fired: true,
-            reason: Some(reason),
-            drift_before: drift,
-            irregular_ratio_after,
-            report: self.reorg_report.clone(),
-        })
+        let pin = begin_rebuild(&self.inner)?;
+        run_rebuild(&self.inner, pin, Some(reason), drift)
     }
 
-    /// Unconditional reorganization: collapse the pending delta into the
-    /// base set and rebuild whatever generations were built (a clustered
+    /// Unconditional synchronous reorganization: fold the pending delta into
+    /// the base set and rebuild whatever generations were built (a clustered
     /// database re-runs discovery + clustering; a baseline/CS database
     /// rebuilds its indexes over the merged data).
-    pub fn reorganize_now(&mut self) -> Result<(), Error> {
-        let had_baseline = self.baseline.is_some();
-        let had_cs = self.cs_parse_order.is_some();
-        let had_clustered = self.clustered.is_some();
-        self.collapse_delta_into_base();
-        self.invalidate();
-        if had_clustered {
-            self.self_organize()?;
+    pub fn reorganize_now(&self) -> Result<(), Error> {
+        let drift = self.inner.drift_stats();
+        let pin = begin_rebuild(&self.inner)?;
+        let outcome = run_rebuild(&self.inner, pin, None, drift)?;
+        if outcome.swapped {
+            Ok(())
+        } else {
+            Err(Error::State(
+                "reorganization superseded by a concurrent bulk load".into(),
+            ))
         }
-        if had_cs {
-            // After self_organize this rebuilds sparse CS tables under the
-            // frozen (fresh) schema over the re-clustered OIDs; without a
-            // clustered generation it re-discovers from the merged data.
-            self.build_cs_tables()?;
+    }
+
+    /// Start an **asynchronous, unconditional** reorganization: pin the
+    /// current generation + write snapshot, build the next generation on a
+    /// worker thread, then swap it in (folding writes that arrived during
+    /// the rebuild into the fresh delta). Queries and writes proceed
+    /// throughout; the returned [`BackgroundReorg`] handle observes
+    /// completion. The swap happens even if the handle is dropped.
+    ///
+    /// Errors if nothing is built yet or another rebuild is in flight.
+    pub fn reorganize_async(&self) -> Result<BackgroundReorg, Error> {
+        let drift = self.inner.drift_stats();
+        let pin = begin_rebuild(&self.inner)?;
+        Ok(spawn_rebuild(&self.inner, pin, None, drift))
+    }
+
+    /// The policy-gated variant of [`Database::reorganize_async`]: `None`
+    /// when `policy` does not fire on the current drift.
+    pub fn maybe_reorganize_async(
+        &self,
+        policy: &ReorgPolicy,
+    ) -> Result<Option<BackgroundReorg>, Error> {
+        let drift = self.inner.drift_stats();
+        let Some(reason) = policy.trigger_reason(&drift) else {
+            return Ok(None);
+        };
+        let pin = begin_rebuild(&self.inner)?;
+        Ok(Some(spawn_rebuild(&self.inner, pin, Some(reason), drift)))
+    }
+
+    /// Is a (sync or async) rebuild currently in flight?
+    pub fn reorg_in_flight(&self) -> bool {
+        self.inner.state.lock().rebuild.is_some()
+    }
+
+    /// Start the auto-reorganization thread: every `interval` it evaluates
+    /// `policy` against the current drift and, when a threshold fires, runs
+    /// a full background rebuild + swap (the same protocol as
+    /// [`Database::reorganize_async`]). Stop it deterministically with
+    /// [`Database::stop_auto_reorg`]; dropping the database stops it too.
+    pub fn start_auto_reorg(
+        &mut self,
+        policy: ReorgPolicy,
+        interval: Duration,
+    ) -> Result<(), Error> {
+        if self.auto.is_some() {
+            return Err(Error::State("auto-reorg thread already running".into()));
         }
-        if had_baseline {
-            // After self_organize the OIDs are re-clustered; the baseline is
-            // rebuilt over the new numbering so generations stay consistent.
-            self.build_baseline()?;
-        }
+        let stop = Arc::new((StdMutex::new(false), Condvar::new()));
+        let inner = Arc::clone(&self.inner);
+        let stop2 = Arc::clone(&stop);
+        let thread = thread::Builder::new()
+            .name("sordf-auto-reorg".into())
+            .spawn(move || {
+                let (lock, cv) = &*stop2;
+                loop {
+                    {
+                        let stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+                        let (stopped, _) = cv
+                            .wait_timeout_while(stopped, interval, |s| !*s)
+                            .unwrap_or_else(|e| e.into_inner());
+                        if *stopped {
+                            return;
+                        }
+                    }
+                    let drift = inner.drift_stats();
+                    if let Some(reason) = policy.trigger_reason(&drift) {
+                        // Skip the tick when another rebuild is in flight;
+                        // build errors surface on the next explicit reorg.
+                        if let Ok(pin) = begin_rebuild(&inner) {
+                            let _ = run_rebuild(&inner, pin, Some(reason), drift);
+                        }
+                    }
+                }
+            })
+            .expect("spawn auto-reorg thread");
+        self.auto = Some(AutoReorg { stop, thread });
         Ok(())
     }
 
-    /// Fold pending delta writes into the base triple set and reset the
-    /// write state. Callers that keep built generations alive must rebuild
-    /// them afterwards. Returns whether anything changed.
-    fn collapse_delta_into_base(&mut self) -> bool {
-        if self.delta.is_empty() {
-            self.write = None;
-            return false;
+    /// Stop the auto-reorganization thread and join it (any rebuild it is
+    /// mid-way through completes first). No-op when not running.
+    pub fn stop_auto_reorg(&mut self) {
+        if let Some(auto) = self.auto.take() {
+            *auto.stop.0.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            auto.stop.1.notify_all();
+            let _ = auto.thread.join();
         }
-        if let Some(view) = self.delta.current_view() {
-            if view.n_tombstones() > 0 {
-                self.ts.triples.retain(|t| !view.is_deleted(*t));
-            }
-        }
-        let inserts = self.delta.visible_inserts();
-        self.ts.triples.extend(inserts);
-        self.delta = DeltaStore::new();
-        self.write = None;
-        true
     }
 
-    /// Route one insert batch's subjects through the incremental assigner
-    /// (drift bookkeeping only — queries read delta triples through the
-    /// merged scans regardless of routing).
-    fn route_inserts(&mut self, encoded: &[Triple]) {
-        let Some(schema) = &self.schema else { return };
-        let w = self.write.get_or_insert_with(|| WriteState {
-            assigner: IncrementalAssigner::new(schema),
-            pending_props: FxHashMap::default(),
-            pending_class: FxHashMap::default(),
-            per_class_fill: vec![0; schema.classes.len()],
-        });
-        let mut by_subject: FxHashMap<Oid, (Vec<Oid>, u64)> = FxHashMap::default();
-        for t in encoded {
-            let e = by_subject.entry(t.s).or_default();
-            e.0.push(t.p);
-            e.1 += 1;
-        }
-        let cfg = &self.schema_cfg;
-        for (s, (mut props, n)) in by_subject {
-            if let Some(cid) = schema.class_of(s) {
-                // Known subject: its delta triples will cluster back into
-                // its class at the next reorganization.
-                w.per_class_fill[cid.0 as usize] += n;
-                continue;
-            }
-            props.sort_unstable();
-            props.dedup();
-            let merged: Vec<Oid> = match w.pending_props.get_mut(&s) {
-                Some(prev) => {
-                    prev.extend(props);
-                    prev.sort_unstable();
-                    prev.dedup();
-                    prev.clone()
-                }
-                None => {
-                    w.pending_props.insert(s, props.clone());
-                    props
-                }
-            };
-            match w.assigner.route(&merged, cfg) {
-                Some(cid) => {
-                    w.pending_class.insert(s, cid);
-                    w.per_class_fill[cid.0 as usize] += n;
-                }
-                None => {
-                    w.pending_class.remove(&s);
-                }
-            }
-        }
+    /// Is the auto-reorganization thread running?
+    pub fn auto_reorg_running(&self) -> bool {
+        self.auto.is_some()
     }
 
     // ---- building generations ----------------------------------------------
 
-    /// Pending delta writes make a *partial* rebuild unsound (the new store
-    /// would disagree with the surviving ones about the visible data); the
-    /// rebuild entry points below refuse instead.
-    fn ensure_no_pending_writes(&self, what: &str) -> Result<(), Error> {
-        if self.delta.is_empty() {
-            Ok(())
-        } else {
-            Err(Error::State(format!(
-                "{what} with pending writes: call reorganize_now() (or maybe_reorganize) first"
-            )))
-        }
-    }
-
     /// Build the exhaustive-index baseline (Table I's "ParseOrder" scheme).
-    pub fn build_baseline(&mut self) -> Result<(), Error> {
-        if self.baseline.is_none() {
-            self.ensure_no_pending_writes("build_baseline()")?;
-            let spo = self.ts.sorted_spo();
-            self.baseline = Some(BaselineStore::build(&self.dm, &spo));
+    pub fn build_baseline(&self) -> Result<(), Error> {
+        let mut st = self.inner.state.lock();
+        if st.gen.baseline.is_some() {
+            return Ok(());
         }
+        ensure_no_pending_writes(&st, "build_baseline()")?;
+        let spo = sorted_spo(&st.gen.triples);
+        let store = BaselineStore::build(&self.inner.dm, &spo);
+        Arc::make_mut(&mut st.gen).baseline = Some(Arc::new(store));
+        st.epoch += 1;
         Ok(())
     }
 
     /// Run schema discovery (idempotent). Returns coverage.
-    pub fn discover_schema(&mut self, cfg: &SchemaConfig) -> Result<f64, Error> {
-        if self.clustered.is_some() {
-            return Err(Error::State("schema already frozen by self_organize()".into()));
-        }
-        self.ensure_no_pending_writes("discover_schema()")?;
-        let spo = self.ts.sorted_spo();
-        let schema = sordf_schema::discover(&spo, &self.ts.dict, cfg);
-        let coverage = schema.coverage;
-        self.schema = Some(schema);
-        self.schema_cfg = cfg.clone();
-        Ok(coverage)
+    pub fn discover_schema(&self, cfg: &SchemaConfig) -> Result<f64, Error> {
+        let mut st = self.inner.state.lock();
+        discover_schema_locked(&mut st, cfg)
     }
 
     /// Build CS tables *without* renumbering OIDs (sparse segments) — the
     /// "RDFscan on ParseOrder" configuration.
-    pub fn build_cs_tables(&mut self) -> Result<(), Error> {
-        if self.cs_parse_order.is_some() {
-            return Ok(());
-        }
-        self.ensure_no_pending_writes("build_cs_tables()")?;
-        if self.schema.is_none() {
-            let cfg = self.schema_cfg.clone();
-            self.discover_schema(&cfg)?;
-        }
-        let mut schema = self.schema.clone().unwrap();
-        let spo = self.ts.sorted_spo();
-        let spec = ClusterSpec::auto(&schema);
-        let store = build_clustered(&self.dm, &spo, &mut schema, &spec, false);
-        self.cs_parse_order = Some((store, schema));
-        Ok(())
+    pub fn build_cs_tables(&self) -> Result<(), Error> {
+        let mut st = self.inner.state.lock();
+        build_cs_tables_locked(&mut st, &self.inner.dm)
     }
 
     /// Self-organize: discover the schema (if not yet done), cluster subject
     /// OIDs, sort literal OIDs, and rebuild storage as dense CS segments.
     /// Uses [`ClusterSpec::auto`] unless a spec was set via
     /// [`Database::self_organize_with`].
-    pub fn self_organize(&mut self) -> Result<&EmergentSchema, Error> {
-        if self.clustered.is_none() && self.collapse_delta_into_base() {
-            // Pending writes changed the dataset; re-discover from scratch
-            // (mirrors the collapse in self_organize_with).
-            self.baseline = None;
-            self.cs_parse_order = None;
-            self.schema = None;
-        }
-        if self.schema.is_none() {
-            let cfg = self.schema_cfg.clone();
-            self.discover_schema(&cfg)?;
-        }
-        let spec = ClusterSpec::auto(self.schema.as_ref().unwrap());
-        self.self_organize_with(spec)
+    pub fn self_organize(&self) -> Result<Arc<EmergentSchema>, Error> {
+        let mut st = self.inner.state.lock();
+        self_organize_locked(&mut st, &self.inner.dm, None)
     }
 
     /// Self-organize with an explicit clustering spec.
-    pub fn self_organize_with(&mut self, spec: ClusterSpec) -> Result<&EmergentSchema, Error> {
-        if self.clustered.is_some() {
-            return Ok(self.schema.as_ref().unwrap());
-        }
-        if self.collapse_delta_into_base() {
-            // Pending writes changed the dataset: schema/generations
-            // discovered before them are stale.
-            self.baseline = None;
-            self.cs_parse_order = None;
-            self.schema = None;
-        }
-        if self.schema.is_none() {
-            let cfg = self.schema_cfg.clone();
-            self.discover_schema(&cfg)?;
-        }
-        let mut schema = self.schema.take().unwrap();
-        let report = reorganize(&mut self.ts, &mut schema, &spec);
-        let spo = self.ts.sorted_spo();
-        let store = build_clustered(&self.dm, &spo, &mut schema, &spec, true);
-        self.clustered = Some(store);
-        self.schema = Some(schema);
-        self.spec = spec;
-        self.reorg_report = Some(report);
-        // The string pool was just sorted: OID order equals value order for
-        // everything interned so far.
-        self.strings_sorted_len = self.ts.dict.n_strings();
-        // Parse-order generations hold stale OIDs now.
-        self.baseline = None;
-        self.cs_parse_order = None;
-        Ok(self.schema.as_ref().unwrap())
+    pub fn self_organize_with(&self, spec: ClusterSpec) -> Result<Arc<EmergentSchema>, Error> {
+        let mut st = self.inner.state.lock();
+        self_organize_locked(&mut st, &self.inner.dm, Some(spec))
     }
 
     /// The discovered schema, if any.
-    pub fn schema(&self) -> Option<&EmergentSchema> {
-        self.schema.as_ref()
+    pub fn schema(&self) -> Option<Arc<EmergentSchema>> {
+        self.inner.state.lock().gen.schema.clone()
     }
 
     /// The clustering report, if self-organized.
-    pub fn reorg_report(&self) -> Option<&ReorgReport> {
-        self.reorg_report.as_ref()
+    pub fn reorg_report(&self) -> Option<ReorgReport> {
+        self.inner.state.lock().gen.reorg_report.clone()
     }
 
     /// The clustered store, if self-organized.
-    pub fn clustered_store(&self) -> Option<&ClusteredStore> {
-        self.clustered.as_ref()
+    pub fn clustered_store(&self) -> Option<Arc<ClusteredStore>> {
+        self.inner.state.lock().gen.clustered.clone()
     }
 
     /// Render the SQL view of the emergent schema.
     pub fn ddl(&self) -> Result<String, Error> {
-        let schema =
-            self.schema.as_ref().ok_or(Error::State("no schema discovered yet".into()))?;
-        Ok(schema.render_ddl(&self.ts.dict))
+        let pin = self.inner.pin(None);
+        let schema = pin
+            .gen
+            .schema
+            .as_ref()
+            .ok_or(Error::State("no schema discovered yet".into()))?;
+        Ok(schema.render_ddl(&pin.dict))
     }
 
     // ---- querying ----------------------------------------------------------
@@ -807,62 +792,38 @@ impl Database {
 
     /// Drop the page cache: the next query runs *cold*.
     pub fn drop_cache(&self) {
-        self.pool.clear();
+        self.inner.pool.clear();
     }
 
     /// Configure synthetic per-page-read latency (models disk I/O in the
     /// cold-run experiments).
     pub fn set_read_latency_ns(&self, ns: u64) {
-        self.pool.set_read_latency_ns(ns);
+        self.inner.pool.set_read_latency_ns(ns);
     }
 
     /// Buffer pool statistics.
     pub fn pool_stats(&self) -> PoolStats {
-        self.pool.stats()
+        self.inner.pool.stats()
     }
 
     /// The underlying buffer pool (advanced use: custom execution contexts,
     /// benchmark instrumentation).
     pub fn buffer_pool(&self) -> &BufferPool {
-        &self.pool
-    }
-
-    fn storage_for(&self, generation: Generation) -> Result<StorageRef<'_>, Error> {
-        match generation {
-            Generation::Baseline => self
-                .baseline
-                .as_ref()
-                .map(StorageRef::Baseline)
-                .ok_or(Error::State("baseline not built; call build_baseline()".into())),
-            Generation::CsParseOrder => self
-                .cs_parse_order
-                .as_ref()
-                .map(|(store, schema)| StorageRef::Clustered { store, schema })
-                .ok_or(Error::State("CS tables not built; call build_cs_tables()".into())),
-            Generation::Clustered => match (&self.clustered, &self.schema) {
-                (Some(store), Some(schema)) => Ok(StorageRef::Clustered { store, schema }),
-                _ => Err(Error::State("not self-organized; call self_organize()".into())),
-            },
-        }
+        &self.inner.pool
     }
 
     /// The newest generation that has been built.
     pub fn default_generation(&self) -> Result<Generation, Error> {
-        if self.clustered.is_some() {
-            Ok(Generation::Clustered)
-        } else if self.cs_parse_order.is_some() {
-            Ok(Generation::CsParseOrder)
-        } else if self.baseline.is_some() {
-            Ok(Generation::Baseline)
-        } else {
-            Err(Error::State("no storage built; load data and call self_organize()".into()))
-        }
+        newest_generation(&self.inner.state.lock().gen)
     }
 
     /// Run a SPARQL query against the newest generation with the default
     /// configuration.
     pub fn query(&self, sparql: &str) -> Result<ResultSet, Error> {
-        Ok(self.query_traced(sparql, self.default_generation()?, self.config)?.results)
+        Ok(self
+            .query_traced_impl(sparql, None, self.config, None, None)?
+            .0
+            .results)
     }
 
     /// Run a SPARQL query pinned to a generation + configuration.
@@ -882,7 +843,9 @@ impl Database {
         generation: Generation,
         config: ExecConfig,
     ) -> Result<Traced, Error> {
-        self.query_traced_impl(sparql, generation, config, None, None)
+        Ok(self
+            .query_traced_impl(sparql, Some(generation), config, None, None)?
+            .0)
     }
 
     /// Run a SPARQL query with morsel-parallel operators (see
@@ -899,7 +862,8 @@ impl Database {
         parallel: &ParallelConfig,
     ) -> Result<ResultSet, Error> {
         Ok(self
-            .query_traced_parallel(sparql, self.default_generation()?, self.config, parallel)?
+            .query_traced_impl(sparql, None, self.config, Some(parallel), None)?
+            .0
             .results)
     }
 
@@ -912,31 +876,32 @@ impl Database {
         config: ExecConfig,
         parallel: &ParallelConfig,
     ) -> Result<Traced, Error> {
-        self.query_traced_impl(sparql, generation, config, Some(parallel), None)
+        Ok(self
+            .query_traced_impl(sparql, Some(generation), config, Some(parallel), None)?
+            .0)
     }
 
+    /// The shared query path. `generation: None` = newest built in the
+    /// pinned generation (evaluated against the *pin*, so a concurrent swap
+    /// cannot split the choice from the data it runs on).
     fn query_traced_impl(
         &self,
         sparql: &str,
-        generation: Generation,
+        generation: Option<Generation>,
         config: ExecConfig,
         parallel: Option<&ParallelConfig>,
         snap: Option<Snapshot>,
-    ) -> Result<Traced, Error> {
-        let query = sordf_sparql::parse_sparql(sparql, &self.ts.dict)?;
-        let storage = self.storage_for(generation)?;
-        // Pick the delta view this query reads: the cached current view, or
-        // a historical one materialized for the pinned snapshot.
-        let owned_view: Option<DeltaView>;
-        let view: Option<&DeltaView> = match snap {
-            Some(s) if s.seq() != self.delta.seq() => {
-                owned_view = Some(self.delta.view_at(s));
-                owned_view.as_ref()
-            }
-            _ => self.delta.current_view(),
+    ) -> Result<(Traced, DictPin), Error> {
+        let pin = self.inner.pin(snap);
+        let generation = match generation {
+            Some(g) => g,
+            None => newest_generation(&pin.gen)?,
         };
-        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, config).with_delta(view);
-        let pool_before = self.pool.stats();
+        let query = sordf_sparql::parse_sparql(sparql, &pin.dict)?;
+        let storage = storage_for(&pin.gen, generation)?;
+        let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, config)
+            .with_delta(pin.delta.clone());
+        let pool_before = self.inner.pool.stats();
         // Query-boundary fault isolation: an engine panic (e.g. a page read
         // that keeps failing after the pool's retries) fails this query, not
         // the process — the next query sees intact immutable storage.
@@ -945,42 +910,729 @@ impl Database {
             Some(par) => sordf_engine::execute_parallel(&cx, &query, par),
         }))
         .map_err(|payload| Error::Exec(panic_message(payload)))?;
-        Ok(Traced {
+        let traced = Traced {
             results,
             stats: cx.stats.snapshot(),
-            pool: self.pool.stats().since(&pool_before),
-        })
+            pool: self.inner.pool.stats().since(&pool_before),
+        };
+        drop(cx);
+        Ok((traced, pin.dict))
+    }
+
+    /// Run a SPARQL query and return the results together with a read pin
+    /// on the dictionary the query executed under. Under concurrent
+    /// reorganization this is the only way to decode correctly: a swap
+    /// installs a *renumbered* dictionary, so results must be rendered with
+    /// the pinned one — `results.canonical(&pin)` — never with a fresh
+    /// [`Database::dict`] taken after the query.
+    pub fn query_pinned(
+        &self,
+        sparql: &str,
+        generation: Generation,
+        config: ExecConfig,
+        parallel: Option<&ParallelConfig>,
+    ) -> Result<(ResultSet, DictPin), Error> {
+        let (traced, dict) =
+            self.query_traced_impl(sparql, Some(generation), config, parallel, None)?;
+        Ok((traced.results, dict))
     }
 
     /// Explain the plan a SPARQL query would get.
     pub fn explain(&self, sparql: &str) -> Result<PlanInfo, Error> {
-        let query = sordf_sparql::parse_sparql(sparql, &self.ts.dict)?;
-        let storage = self.storage_for(self.default_generation()?)?;
-        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, self.config)
-            .with_delta(self.delta.current_view());
+        let pin = self.inner.pin(None);
+        let query = sordf_sparql::parse_sparql(sparql, &pin.dict)?;
+        let storage = storage_for(&pin.gen, newest_generation(&pin.gen)?)?;
+        let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, self.config)
+            .with_delta(pin.delta.clone());
         Ok(sordf_engine::explain(&cx, &query))
     }
 
     /// Run a SQL query against the emergent relational schema (requires
     /// [`Database::self_organize`] first).
     pub fn sql(&self, sql: &str) -> Result<ResultSet, Error> {
-        let (Some(store), Some(schema)) = (&self.clustered, &self.schema) else {
-            return Err(Error::State("SQL view requires self_organize() first".into()));
+        let pin = self.inner.pin(None);
+        let (Some(store), Some(schema)) = (&pin.gen.clustered, &pin.gen.schema) else {
+            return Err(Error::State(
+                "SQL view requires self_organize() first".into(),
+            ));
         };
-        let query = sordf_sql::compile_sql(sql, schema, store, &self.ts.dict)
-            .map_err(Error::Sql)?;
+        let query = sordf_sql::compile_sql(sql, schema, store, &pin.dict).map_err(Error::Sql)?;
         let storage = StorageRef::Clustered { store, schema };
         // Deletes of base rows are respected through the delta view; rows
-        // inserted since the last reorganization join the SQL view when
-        // `maybe_reorganize` clusters them into their class segment.
-        let cx = ExecContext::new(&self.pool, &self.ts.dict, storage, self.config)
-            .with_delta(self.delta.current_view());
+        // inserted since the last reorganization join the SQL view when a
+        // reorganization clusters them into their class segment.
+        let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, self.config)
+            .with_delta(pin.delta.clone());
         Ok(sordf_engine::execute(&cx, &query))
     }
 }
 
+impl Drop for Database {
+    fn drop(&mut self) {
+        self.stop_auto_reorg();
+    }
+}
+
+// ---- state helpers (all run under the state lock) --------------------------
+
+/// The newest generation built in `gen`.
+fn newest_generation(gen: &StoreGeneration) -> Result<Generation, Error> {
+    if gen.clustered.is_some() {
+        Ok(Generation::Clustered)
+    } else if gen.cs_parse_order.is_some() {
+        Ok(Generation::CsParseOrder)
+    } else if gen.baseline.is_some() {
+        Ok(Generation::Baseline)
+    } else {
+        Err(Error::State(
+            "no storage built; load data and call self_organize()".into(),
+        ))
+    }
+}
+
+fn storage_for(gen: &StoreGeneration, generation: Generation) -> Result<StorageRef<'_>, Error> {
+    match generation {
+        Generation::Baseline => {
+            gen.baseline
+                .as_deref()
+                .map(StorageRef::Baseline)
+                .ok_or(Error::State(
+                    "baseline not built; call build_baseline()".into(),
+                ))
+        }
+        Generation::CsParseOrder => gen
+            .cs_parse_order
+            .as_ref()
+            .map(|(store, schema)| StorageRef::Clustered { store, schema })
+            .ok_or(Error::State(
+                "CS tables not built; call build_cs_tables()".into(),
+            )),
+        Generation::Clustered => match (&gen.clustered, &gen.schema) {
+            (Some(store), Some(schema)) => Ok(StorageRef::Clustered { store, schema }),
+            _ => Err(Error::State(
+                "not self-organized; call self_organize()".into(),
+            )),
+        },
+    }
+}
+
+/// A copy of `triples` sorted in SPO order (the order schema discovery and
+/// the store builders require).
+fn sorted_spo(triples: &[Triple]) -> Vec<Triple> {
+    let mut v = triples.to_vec();
+    v.sort_unstable_by_key(|t| t.key_spo());
+    v
+}
+
+fn drift_stats_locked(st: &State) -> DriftStats {
+    let n_base_irregular = match (&st.gen.clustered, &st.gen.cs_parse_order) {
+        (Some(store), _) => store.irregular.len() as u64,
+        (None, Some((store, _))) => store.irregular.len() as u64,
+        _ => 0,
+    };
+    let view = st.delta.current_view();
+    let (matched, pending, fill) = match &st.write {
+        Some(w) => (
+            w.pending_class.len() as u64,
+            w.pending_props.len() as u64,
+            w.per_class_fill.clone(),
+        ),
+        None => (0, 0, Vec::new()),
+    };
+    DriftStats {
+        n_base_triples: st.gen.triples.len() as u64,
+        n_base_irregular,
+        n_delta_inserts: view.map_or(0, |v| v.n_inserts() as u64),
+        n_tombstones: st.delta.n_tombstones() as u64,
+        matched_subjects: matched,
+        unmatched_subjects: pending.saturating_sub(matched),
+        per_class_fill: fill,
+    }
+}
+
+/// Pending delta writes make a *partial* rebuild unsound (the new store
+/// would disagree with the surviving ones about the visible data); the
+/// rebuild entry points refuse instead.
+fn ensure_no_pending_writes(st: &State, what: &str) -> Result<(), Error> {
+    if st.delta.is_empty() {
+        Ok(())
+    } else {
+        Err(Error::State(format!(
+            "{what} with pending writes: call reorganize_now() (or maybe_reorganize) first"
+        )))
+    }
+}
+
+/// Fold pending delta writes into the base triple set and reset the write
+/// state. Callers that keep built generations alive must rebuild them
+/// afterwards. Returns whether anything changed.
+fn collapse_delta_into_base(st: &mut State) -> bool {
+    if st.delta.is_empty() {
+        st.write = None;
+        return false;
+    }
+    let st = &mut *st;
+    let gen = Arc::make_mut(&mut st.gen);
+    let triples = Arc::make_mut(&mut gen.triples);
+    if let Some(view) = st.delta.current_view() {
+        if view.n_tombstones() > 0 {
+            triples.retain(|t| !view.is_deleted(*t));
+        }
+    }
+    triples.extend(st.delta.visible_inserts());
+    st.delta = DeltaStore::new();
+    st.write = None;
+    st.epoch += 1; // base content changed: any pinned rebuild is stale
+    true
+}
+
+/// Intern a write batch into the current generation's dictionary without
+/// ever waiting on open dictionary pins — so a pin held anywhere (even on
+/// the writing thread itself) can never block or deadlock a writer. Fast
+/// path: no pin is open, the batch appends in place. Contended path: the
+/// dictionary is cloned, extended and swapped into a fresh generation
+/// handle; pinned readers keep their snapshot, which remains sufficient
+/// for everything their paired delta view can show them. Returns the
+/// closure's output plus whether string literals now extend past the
+/// sorted prefix (the pushdown-disabling watermark check).
+fn intern_batch<T>(
+    st: &mut State,
+    f: impl FnOnce(&mut Dictionary) -> Result<T, Error>,
+) -> Result<(T, bool), Error> {
+    let past_watermark = |gen: &StoreGeneration, dict: &Dictionary| {
+        gen.clustered.is_some() && dict.n_strings() > gen.strings_sorted_len
+    };
+    if let Some(mut dict) = st.gen.dict.try_write() {
+        let out = f(&mut dict)?;
+        let sa = past_watermark(&st.gen, &dict);
+        return Ok((out, sa));
+    }
+    // Writers own the state lock, so the lock is only ever held by read
+    // pins here: a shared read cannot block.
+    let mut cloned = st.gen.dict.read().clone();
+    let out = f(&mut cloned)?;
+    let sa = past_watermark(&st.gen, &cloned);
+    // Replacing the dictionary does not bump the epoch: the new dictionary
+    // is an append-extension of the old one (same numbering), so a pinned
+    // rebuild's snapshot is still valid — the swap decodes catch-up writes
+    // under the *current* generation's dictionary.
+    Arc::make_mut(&mut st.gen).dict = Arc::new(RwLock::new(cloned));
+    Ok((out, sa))
+}
+
+/// Stage `triples` into the base set: collapse pending writes, append, and
+/// invalidate built stores (the next build sees everything).
+fn load_terms_locked(st: &mut State, triples: &[TermTriple]) -> Result<usize, Error> {
+    collapse_delta_into_base(st);
+    let (encoded, _) = intern_batch(st, |dict| {
+        let mut enc = Vec::with_capacity(triples.len());
+        for t in triples {
+            enc.push(encode_triple_skolemized(dict, t)?);
+        }
+        Ok(enc)
+    })?;
+    let gen = Arc::make_mut(&mut st.gen);
+    Arc::make_mut(&mut gen.triples).extend(encoded);
+    gen.baseline = None;
+    gen.schema = None;
+    gen.cs_parse_order = None;
+    gen.clustered = None;
+    gen.reorg_report = None;
+    st.write = None;
+    st.epoch += 1;
+    Ok(triples.len())
+}
+
+/// Tombstone already-encoded triples that are currently visible.
+fn delete_encoded_locked(st: &mut State, targets: Vec<Triple>) -> Result<usize, Error> {
+    if targets.is_empty() {
+        return Ok(0);
+    }
+    if !st.gen.any_built() {
+        // Staging mode: remove from the base set directly.
+        let set: FxHashSet<Triple> = targets.into_iter().collect();
+        let gen = Arc::make_mut(&mut st.gen);
+        let triples = Arc::make_mut(&mut gen.triples);
+        let before = triples.len();
+        triples.retain(|t| !set.contains(t));
+        st.epoch += 1;
+        return Ok(before - triples.len());
+    }
+    let visible: Vec<Triple> = {
+        let view = st.delta.current_view();
+        // One pass over the base against a targets-sized set (not the
+        // other way round — the base can be large, the batch is small).
+        let target_set: FxHashSet<Triple> = targets.iter().copied().collect();
+        let mut in_base: FxHashSet<Triple> = FxHashSet::default();
+        for t in st.gen.triples.iter() {
+            if target_set.contains(t) {
+                in_base.insert(*t);
+            }
+        }
+        targets
+            .into_iter()
+            .filter(|&t| match view {
+                None => in_base.contains(&t),
+                Some(d) => {
+                    (in_base.contains(&t) && !d.is_deleted(t))
+                        || d.insert_pairs_for(t.p, Some((t.s.raw(), t.s.raw())))
+                            .any(|(_, o)| o == t.o)
+                }
+            })
+            .collect()
+    };
+    if visible.is_empty() {
+        return Ok(0);
+    }
+    let n = visible.len();
+    st.delta.delete(&visible);
+    Ok(n)
+}
+
+/// Route one insert batch's subjects through the incremental assigner
+/// (drift bookkeeping only — queries read delta triples through the merged
+/// scans regardless of routing). Shared by the live write path and the
+/// catch-up fold of a generation swap (which replays against the *new*
+/// schema).
+fn route_inserts(
+    write: &mut Option<WriteState>,
+    schema: Option<&EmergentSchema>,
+    cfg: &SchemaConfig,
+    encoded: &[Triple],
+) {
+    let Some(schema) = schema else { return };
+    let w = write.get_or_insert_with(|| WriteState {
+        assigner: IncrementalAssigner::new(schema),
+        pending_props: FxHashMap::default(),
+        pending_class: FxHashMap::default(),
+        per_class_fill: vec![0; schema.classes.len()],
+    });
+    let mut by_subject: FxHashMap<Oid, (Vec<Oid>, u64)> = FxHashMap::default();
+    for t in encoded {
+        let e = by_subject.entry(t.s).or_default();
+        e.0.push(t.p);
+        e.1 += 1;
+    }
+    for (s, (mut props, n)) in by_subject {
+        if let Some(cid) = schema.class_of(s) {
+            // Known subject: its delta triples will cluster back into
+            // its class at the next reorganization.
+            w.per_class_fill[cid.0 as usize] += n;
+            continue;
+        }
+        props.sort_unstable();
+        props.dedup();
+        let merged: Vec<Oid> = match w.pending_props.get_mut(&s) {
+            Some(prev) => {
+                prev.extend(props);
+                prev.sort_unstable();
+                prev.dedup();
+                prev.clone()
+            }
+            None => {
+                w.pending_props.insert(s, props.clone());
+                props
+            }
+        };
+        match w.assigner.route(&merged, cfg) {
+            Some(cid) => {
+                w.pending_class.insert(s, cid);
+                w.per_class_fill[cid.0 as usize] += n;
+            }
+            None => {
+                w.pending_class.remove(&s);
+            }
+        }
+    }
+}
+
+fn discover_schema_locked(st: &mut State, cfg: &SchemaConfig) -> Result<f64, Error> {
+    if st.gen.clustered.is_some() {
+        return Err(Error::State(
+            "schema already frozen by self_organize()".into(),
+        ));
+    }
+    ensure_no_pending_writes(st, "discover_schema()")?;
+    let spo = sorted_spo(&st.gen.triples);
+    let schema = {
+        let dict = st.gen.dict.read();
+        sordf_schema::discover(&spo, &dict, cfg)
+    };
+    let coverage = schema.coverage;
+    Arc::make_mut(&mut st.gen).schema = Some(Arc::new(schema));
+    st.schema_cfg = cfg.clone();
+    st.epoch += 1;
+    Ok(coverage)
+}
+
+fn build_cs_tables_locked(st: &mut State, dm: &Arc<DiskManager>) -> Result<(), Error> {
+    if st.gen.cs_parse_order.is_some() {
+        return Ok(());
+    }
+    ensure_no_pending_writes(st, "build_cs_tables()")?;
+    if st.gen.schema.is_none() {
+        let cfg = st.schema_cfg.clone();
+        discover_schema_locked(st, &cfg)?;
+    }
+    let mut schema = st.gen.schema.as_deref().unwrap().clone();
+    let spo = sorted_spo(&st.gen.triples);
+    let spec = ClusterSpec::auto(&schema);
+    let store = build_clustered(dm, &spo, &mut schema, &spec, false);
+    Arc::make_mut(&mut st.gen).cs_parse_order = Some((Arc::new(store), Arc::new(schema)));
+    st.epoch += 1;
+    Ok(())
+}
+
+fn self_organize_locked(
+    st: &mut State,
+    dm: &Arc<DiskManager>,
+    spec: Option<ClusterSpec>,
+) -> Result<Arc<EmergentSchema>, Error> {
+    if st.gen.clustered.is_some() {
+        return Ok(st.gen.schema.clone().unwrap());
+    }
+    if collapse_delta_into_base(st) {
+        // Pending writes changed the dataset: schema/generations
+        // discovered before them are stale.
+        let gen = Arc::make_mut(&mut st.gen);
+        gen.baseline = None;
+        gen.cs_parse_order = None;
+        gen.schema = None;
+    }
+    if st.gen.schema.is_none() {
+        let cfg = st.schema_cfg.clone();
+        discover_schema_locked(st, &cfg)?;
+    }
+    let spec = spec.unwrap_or_else(|| ClusterSpec::auto(st.gen.schema.as_deref().unwrap()));
+    // Build a *fresh* generation: clone the dictionary + triples, cluster
+    // the clone, and install it. In-flight queries pinned to the old
+    // generation keep a consistent (dict, store) pair — the old dictionary
+    // is never renumbered in place.
+    let mut ts = TripleSet {
+        dict: st.gen.dict.read().clone(),
+        triples: st.gen.triples.as_ref().clone(),
+    };
+    let mut schema = st.gen.schema.as_deref().unwrap().clone();
+    let report = reorganize(&mut ts, &mut schema, &spec);
+    let spo = ts.sorted_spo();
+    let store = build_clustered(dm, &spo, &mut schema, &spec, true);
+    // The string pool was just sorted: OID order equals value order for
+    // everything interned so far.
+    let strings_sorted_len = ts.dict.n_strings();
+    let schema = Arc::new(schema);
+    st.gen = Arc::new(StoreGeneration {
+        dict: Arc::new(RwLock::new(ts.dict)),
+        triples: Arc::new(ts.triples),
+        // Parse-order generations hold stale OIDs now.
+        baseline: None,
+        cs_parse_order: None,
+        schema: Some(Arc::clone(&schema)),
+        clustered: Some(Arc::new(store)),
+        spec,
+        reorg_report: Some(report),
+        strings_sorted_len,
+    });
+    st.epoch += 1;
+    Ok(schema)
+}
+
+// ---- the background rebuild + swap protocol --------------------------------
+
+/// Everything a rebuild works from, captured under one state lock: the
+/// pinned generation, the delta view at the pin, and the epoch that must
+/// still hold at swap time.
+struct RebuildPin {
+    gen: GenerationHandle,
+    view: Option<Arc<DeltaView>>,
+    pin_seq: u64,
+    epoch: u64,
+    schema_cfg: SchemaConfig,
+}
+
+/// The output of a rebuild, before the swap wraps it into a published
+/// [`StoreGeneration`] (the dictionary stays unwrapped so the catch-up fold
+/// can intern into it without locking).
+struct BuiltGeneration {
+    ts: TripleSet,
+    baseline: Option<BaselineStore>,
+    schema: Option<Arc<EmergentSchema>>,
+    cs_parse_order: Option<(ClusteredStore, Arc<EmergentSchema>)>,
+    clustered: Option<ClusteredStore>,
+    spec: ClusterSpec,
+    report: Option<ReorgReport>,
+    strings_sorted_len: usize,
+}
+
+/// Claim the (single) rebuild slot and pin the rebuild's input.
+fn begin_rebuild(inner: &DbInner) -> Result<RebuildPin, Error> {
+    let mut st = inner.state.lock();
+    if !st.gen.any_built() {
+        return Err(Error::State(
+            "no storage built; load data and call self_organize()".into(),
+        ));
+    }
+    if st.rebuild.is_some() {
+        return Err(Error::State("a reorganization is already in flight".into()));
+    }
+    st.rebuild = Some(st.epoch);
+    Ok(RebuildPin {
+        gen: Arc::clone(&st.gen),
+        view: st.delta.current_view_arc(),
+        pin_seq: st.delta.seq(),
+        epoch: st.epoch,
+        schema_cfg: st.schema_cfg.clone(),
+    })
+}
+
+/// Release a rebuild claim without swapping (build error / panic path).
+fn release_rebuild_claim(inner: &DbInner, epoch: u64) {
+    let mut st = inner.state.lock();
+    if st.rebuild == Some(epoch) {
+        st.rebuild = None;
+    }
+}
+
+/// The heavy lifting, entirely off-lock: fold the pinned delta into an
+/// owned triple set and rebuild every generation the pinned one had. This
+/// is what runs for the full rebuild duration while readers and writers
+/// proceed against the live store.
+fn build_generation(dm: &Arc<DiskManager>, pin: &RebuildPin) -> BuiltGeneration {
+    let mut ts = pin.gen.fold_into_triple_set(pin.view.as_deref());
+    let mut out = BuiltGeneration {
+        ts: TripleSet::new(),
+        baseline: None,
+        schema: None,
+        cs_parse_order: None,
+        clustered: None,
+        spec: ClusterSpec::none(),
+        report: None,
+        strings_sorted_len: pin.gen.strings_sorted_len,
+    };
+    let mut frozen: Option<Arc<EmergentSchema>> = None;
+    // One SPO copy serves every builder; clustering renumbers the OIDs, so
+    // it is the only step after which the copy must be re-derived.
+    let mut spo = ts.sorted_spo();
+    if pin.gen.clustered.is_some() {
+        let mut schema = sordf_schema::discover(&spo, &ts.dict, &pin.schema_cfg);
+        let spec = ClusterSpec::auto(&schema);
+        let report = reorganize(&mut ts, &mut schema, &spec);
+        spo = ts.sorted_spo();
+        let store = build_clustered(dm, &spo, &mut schema, &spec, true);
+        out.strings_sorted_len = ts.dict.n_strings();
+        out.clustered = Some(store);
+        out.spec = spec;
+        out.report = Some(report);
+        frozen = Some(Arc::new(schema));
+    }
+    if pin.gen.cs_parse_order.is_some() {
+        // Under a frozen (fresh) schema when clustered, else re-discovered
+        // from the merged data — mirrors `build_cs_tables` after the
+        // clustering collapse.
+        let base = match &frozen {
+            Some(s) => Arc::clone(s),
+            None => Arc::new(sordf_schema::discover(&spo, &ts.dict, &pin.schema_cfg)),
+        };
+        let mut schema = (*base).clone();
+        let spec = ClusterSpec::auto(&schema);
+        let store = build_clustered(dm, &spo, &mut schema, &spec, false);
+        out.cs_parse_order = Some((store, Arc::new(schema)));
+        frozen.get_or_insert(base);
+    }
+    if pin.gen.baseline.is_some() {
+        out.baseline = Some(BaselineStore::build(dm, &spo));
+    }
+    out.schema = frozen;
+    out.ts = ts;
+    out
+}
+
+/// Decode `triples` under the old generation's dictionary and re-encode
+/// them under the new (renumbered) one, interning terms first seen during
+/// the rebuild.
+fn reencode_triples(
+    old_dict: &Dictionary,
+    new_dict: &mut Dictionary,
+    triples: &[Triple],
+) -> Result<Vec<Triple>, Error> {
+    let mut out = Vec::with_capacity(triples.len());
+    for t in triples {
+        let term = TermTriple::new(
+            old_dict.decode(t.s)?,
+            old_dict.decode(t.p)?,
+            old_dict.decode(t.o)?,
+        );
+        out.push(encode_triple_skolemized(new_dict, &term)?);
+    }
+    Ok(out)
+}
+
+/// The swap: install the built generation, folding every write that
+/// arrived during the rebuild into the fresh delta store. This is the only
+/// moment writers wait on a reorganization — O(catch-up writes), not
+/// O(rebuild). Returns `false` when the rebuild was superseded (a bulk
+/// load / explicit build invalidated the pinned epoch).
+fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> Result<bool, Error> {
+    let mut st = inner.state.lock();
+    if st.rebuild == Some(pin.epoch) {
+        st.rebuild = None;
+    }
+    if st.epoch != pin.epoch {
+        return Ok(false);
+    }
+    let st = &mut *st;
+    let catch_up = st.delta.writes_since(pin.pin_seq);
+    let mut new_dict = built.ts.dict;
+    let mut new_delta = DeltaStore::with_base_seq(pin.pin_seq);
+    let mut new_write: Option<WriteState> = None;
+    {
+        // Decode under the *current* generation's dictionary — it extends
+        // the pinned one (same numbering, possibly COW-replaced by an
+        // intern while a read pin was open) and is the only snapshot
+        // guaranteed to contain terms interned during the rebuild.
+        // Read-locking cannot deadlock: writers that take it exclusively
+        // do so under the state lock we already hold, and query pins are
+        // plain shared readers.
+        let cur_dict = Arc::clone(&st.gen.dict);
+        let old_dict = cur_dict.read();
+        for (seq, w) in catch_up {
+            let applied = match w {
+                DeltaWrite::Insert(triples) => {
+                    let enc = reencode_triples(&old_dict, &mut new_dict, &triples)?;
+                    route_inserts(
+                        &mut new_write,
+                        built.schema.as_deref(),
+                        &st.schema_cfg,
+                        &enc,
+                    );
+                    new_delta.insert_run(enc)
+                }
+                DeltaWrite::Delete(triples) => {
+                    let enc = reencode_triples(&old_dict, &mut new_dict, &triples)?;
+                    new_delta.delete(&enc)
+                }
+            };
+            debug_assert_eq!(
+                applied.seq(),
+                seq,
+                "catch-up replay must preserve sequencing"
+            );
+        }
+    }
+    if built.clustered.is_some() && new_dict.n_strings() > built.strings_sorted_len {
+        // Catch-up inserts interned strings past the freshly sorted pool.
+        new_delta.set_strings_appended();
+    }
+    st.gen = Arc::new(StoreGeneration {
+        dict: Arc::new(RwLock::new(new_dict)),
+        triples: Arc::new(built.ts.triples),
+        baseline: built.baseline.map(Arc::new),
+        schema: built.schema,
+        cs_parse_order: built.cs_parse_order.map(|(s, sc)| (Arc::new(s), sc)),
+        clustered: built.clustered.map(Arc::new),
+        spec: built.spec,
+        reorg_report: built.report,
+        strings_sorted_len: built.strings_sorted_len,
+    });
+    st.delta = new_delta;
+    st.write = new_write;
+    st.epoch += 1;
+    Ok(true)
+}
+
+/// One full rebuild: build off-lock, then swap. Shared by the synchronous
+/// entry points (which run it inline) and the background worker.
+fn run_rebuild(
+    inner: &DbInner,
+    pin: RebuildPin,
+    reason: Option<String>,
+    drift_before: DriftStats,
+) -> Result<ReorgOutcome, Error> {
+    let built = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        build_generation(&inner.dm, &pin)
+    })) {
+        Ok(b) => b,
+        Err(payload) => {
+            release_rebuild_claim(inner, pin.epoch);
+            return Err(Error::Exec(panic_message(payload)));
+        }
+    };
+    let irregular_ratio_after = built
+        .clustered
+        .as_ref()
+        .map(|store| store.irregular.len() as f64 / store.n_triples().max(1) as f64);
+    let report = built.report.clone();
+    let epoch = pin.epoch;
+    match finish_rebuild(inner, pin, built) {
+        Ok(true) => Ok(ReorgOutcome {
+            fired: true,
+            swapped: true,
+            reason,
+            drift_before,
+            irregular_ratio_after,
+            report,
+        }),
+        Ok(false) => Ok(ReorgOutcome {
+            fired: true,
+            swapped: false,
+            reason,
+            drift_before,
+            irregular_ratio_after: None,
+            report: None,
+        }),
+        Err(e) => {
+            release_rebuild_claim(inner, epoch);
+            Err(e)
+        }
+    }
+}
+
+/// Spawn `run_rebuild` on a worker thread.
+fn spawn_rebuild(
+    inner: &Arc<DbInner>,
+    pin: RebuildPin,
+    reason: Option<String>,
+    drift_before: DriftStats,
+) -> BackgroundReorg {
+    let inner = Arc::clone(inner);
+    let thread = thread::Builder::new()
+        .name("sordf-reorg".into())
+        .spawn(move || run_rebuild(&inner, pin, reason, drift_before))
+        .expect("spawn reorg thread");
+    BackgroundReorg { thread }
+}
+
+/// Handle on an in-flight background reorganization (see
+/// [`Database::reorganize_async`]). The swap completes whether or not the
+/// handle is waited on; the handle is how callers observe the outcome and
+/// sequence tests deterministically.
+pub struct BackgroundReorg {
+    thread: thread::JoinHandle<Result<ReorgOutcome, Error>>,
+}
+
+impl BackgroundReorg {
+    /// Has the rebuild (including its swap) finished?
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Block until the rebuild + swap complete and return the outcome.
+    pub fn wait(self) -> Result<ReorgOutcome, Error> {
+        match self.thread.join() {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(Error::Exec(panic_message(payload))),
+        }
+    }
+}
+
+/// The auto-reorganization thread: a stop flag + condvar (so stops are
+/// immediate, not sleep-bounded) and the join handle.
+struct AutoReorg {
+    stop: Arc<(StdMutex<bool>, Condvar)>,
+    thread: thread::JoinHandle<()>,
+}
+
 /// Encode a term for lookup without interning, skolemizing blank nodes the
-/// way [`TripleSet::add`] does (shared scheme: [`Term::skolem_blank_iri`]).
+/// way `TripleSet::add` does (shared scheme: [`Term::skolem_blank_iri`]).
 fn term_oid_skolemized(dict: &Dictionary, t: &Term) -> Option<Oid> {
     match t {
         Term::Blank(label) => dict.iri_oid(&Term::skolem_blank_iri(label)),
@@ -1000,10 +1652,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Compile-time thread-safety audit: one `Database` serves concurrent
-/// queries from many threads (shared pool, per-query contexts).
+/// queries *and writes* from many threads (shared pool, per-query pins),
+/// and the background-reorg machinery crosses threads.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
     assert_send_sync::<Database>();
+    assert_send_sync::<StoreGeneration>();
+    assert_send::<BackgroundReorg>();
+    assert_send::<Error>();
 };
 
 #[cfg(test)]
@@ -1012,7 +1669,7 @@ mod tests {
     use sordf_model::Term;
 
     fn sample_db() -> Database {
-        let mut db = Database::in_temp_dir().unwrap();
+        let db = Database::in_temp_dir().unwrap();
         let mut triples = Vec::new();
         for i in 0..50u64 {
             let s = format!("http://ex/item{i}");
@@ -1033,13 +1690,16 @@ mod tests {
 
     #[test]
     fn lifecycle_and_query() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.build_baseline().unwrap();
         let rs = db
             .query_with(
                 "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }",
                 Generation::Baseline,
-                ExecConfig { scheme: PlanScheme::Default, zonemaps: false },
+                ExecConfig {
+                    scheme: PlanScheme::Default,
+                    zonemaps: false,
+                },
             )
             .unwrap();
         assert_eq!(rs.len(), 5);
@@ -1055,7 +1715,7 @@ mod tests {
 
     #[test]
     fn cold_vs_hot_pool_stats() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.self_organize().unwrap();
         let q = "SELECT ?s WHERE { ?s <http://ex/qty> ?q . FILTER(?q < 5) }";
         db.drop_cache();
@@ -1081,7 +1741,7 @@ mod tests {
 
     #[test]
     fn ddl_rendering() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.self_organize().unwrap();
         let ddl = db.ddl().unwrap();
         assert!(ddl.contains("CREATE TABLE"), "{ddl}");
@@ -1090,7 +1750,7 @@ mod tests {
 
     #[test]
     fn insert_delete_after_organize() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.self_organize().unwrap();
         let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
         assert_eq!(db.query(q).unwrap().len(), 5);
@@ -1106,7 +1766,11 @@ mod tests {
 <http://ex/new2> <http://ex/size> <http://ex/big> ."#,
         )
         .unwrap();
-        assert_eq!(db.query(q).unwrap().len(), 7, "inserts visible without rebuild");
+        assert_eq!(
+            db.query(q).unwrap().len(),
+            7,
+            "inserts visible without rebuild"
+        );
 
         // Delete one of the original qty=3 triples.
         let victim = TermTriple::new(
@@ -1115,26 +1779,46 @@ mod tests {
             Term::int(3),
         );
         assert_eq!(db.delete_triples(std::slice::from_ref(&victim)).unwrap(), 1);
-        assert_eq!(db.query(q).unwrap().len(), 6, "tombstone filters the base value");
+        assert_eq!(
+            db.query(q).unwrap().len(),
+            6,
+            "tombstone filters the base value"
+        );
         // Deleting again is a no-op (already invisible).
         assert_eq!(db.delete_triples(std::slice::from_ref(&victim)).unwrap(), 0);
 
         // Parallel execution sees the identical merged store.
         let par = db
-            .query_parallel(q, &ParallelConfig { workers: 2, min_morsel_pages: 1, min_morsel_rows: 1 })
+            .query_parallel(
+                q,
+                &ParallelConfig {
+                    workers: 2,
+                    min_morsel_pages: 1,
+                    min_morsel_rows: 1,
+                },
+            )
             .unwrap();
-        assert_eq!(par.canonical(db.dict()), db.query(q).unwrap().canonical(db.dict()));
+        assert_eq!(
+            par.canonical(&db.dict()),
+            db.query(q).unwrap().canonical(&db.dict())
+        );
 
         let drift = db.drift_stats();
         assert_eq!(drift.n_delta_inserts, 6);
         assert_eq!(drift.n_tombstones, 1);
-        assert_eq!(drift.matched_subjects, 1, "new1 has the class's property set");
-        assert_eq!(drift.unmatched_subjects, 1, "new2's property set fits no class");
+        assert_eq!(
+            drift.matched_subjects, 1,
+            "new1 has the class's property set"
+        );
+        assert_eq!(
+            drift.unmatched_subjects, 1,
+            "new2's property set fits no class"
+        );
     }
 
     #[test]
     fn snapshots_pin_write_history() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.self_organize().unwrap();
         let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
         let snap0 = db.snapshot();
@@ -1146,15 +1830,23 @@ mod tests {
         db.delete_matching(None, Some(&Term::iri("http://ex/qty")), Some(&Term::int(3)))
             .unwrap();
         assert_eq!(db.query(q).unwrap().len(), 0, "all qty=3 deleted");
-        assert_eq!(db.query_snapshot(q, snap1).unwrap().len(), 6, "pre-delete snapshot");
-        assert_eq!(db.query_snapshot(q, snap0).unwrap().len(), 5, "pre-insert snapshot");
+        assert_eq!(
+            db.query_snapshot(q, snap1).unwrap().len(),
+            6,
+            "pre-delete snapshot"
+        );
+        assert_eq!(
+            db.query_snapshot(q, snap0).unwrap().len(),
+            5,
+            "pre-insert snapshot"
+        );
         // Current snapshot equals the live query.
         assert_eq!(db.query_snapshot(q, db.snapshot()).unwrap().len(), 0);
     }
 
     #[test]
     fn maybe_reorganize_collapses_delta() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.self_organize().unwrap();
         let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
         db.insert_ntriples(
@@ -1162,8 +1854,9 @@ mod tests {
 <http://ex/new1> <http://ex/sold> "1996-02-01"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
         )
         .unwrap();
-        db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None).unwrap();
-        let before = db.query(q).unwrap().canonical(db.dict());
+        db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None)
+            .unwrap();
+        let before = db.query(q).unwrap().canonical(&db.dict());
         let n_before = db.n_triples();
 
         // A lenient policy does not fire on two writes.
@@ -1172,11 +1865,23 @@ mod tests {
 
         let outcome = db.maybe_reorganize(&ReorgPolicy::eager()).unwrap();
         assert!(outcome.fired, "eager policy fires on any pending write");
+        assert!(
+            outcome.swapped,
+            "nothing raced: the fresh generation swapped in"
+        );
         assert!(outcome.report.is_some());
-        assert_eq!(outcome.irregular_ratio_after, Some(0.0), "delta fully clustered in");
+        assert_eq!(
+            outcome.irregular_ratio_after,
+            Some(0.0),
+            "delta fully clustered in"
+        );
         assert_eq!(db.n_triples(), n_before, "logical content unchanged");
         assert_eq!(db.drift_stats().n_delta_inserts, 0, "delta collapsed");
-        assert_eq!(db.query(q).unwrap().canonical(db.dict()), before, "results preserved");
+        assert_eq!(
+            db.query(q).unwrap().canonical(&db.dict()),
+            before,
+            "results preserved"
+        );
         // The new subject now lives in a class segment.
         let s = db.dict().iri_oid("http://ex/new1").unwrap();
         assert!(db.schema().unwrap().class_of(s).is_some());
@@ -1186,7 +1891,7 @@ mod tests {
 
     #[test]
     fn string_inserts_disable_oid_order_pushdown() {
-        let mut db = Database::in_temp_dir().unwrap();
+        let db = Database::in_temp_dir().unwrap();
         let mut triples = Vec::new();
         for (i, label) in ["apple", "banana", "cherry", "damson"].iter().enumerate() {
             let s = format!("http://ex/thing{i}");
@@ -1220,13 +1925,16 @@ mod tests {
 
     #[test]
     fn rebuilds_with_pending_writes_are_refused() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.build_baseline().unwrap();
         db.insert_ntriples(
             r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
         )
         .unwrap();
-        assert!(matches!(db.discover_schema(&SchemaConfig::default()), Err(Error::State(_))));
+        assert!(matches!(
+            db.discover_schema(&SchemaConfig::default()),
+            Err(Error::State(_))
+        ));
         assert!(matches!(db.build_cs_tables(), Err(Error::State(_))));
         // self_organize collapses the pending writes instead of refusing.
         db.self_organize().unwrap();
@@ -1238,7 +1946,7 @@ mod tests {
 
     #[test]
     fn reorganize_rebuilds_every_live_generation() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.self_organize().unwrap();
         db.build_cs_tables().unwrap();
         db.build_baseline().unwrap();
@@ -1249,8 +1957,11 @@ mod tests {
         )
         .unwrap();
         db.reorganize_now().unwrap();
-        for generation in [Generation::Baseline, Generation::CsParseOrder, Generation::Clustered]
-        {
+        for generation in [
+            Generation::Baseline,
+            Generation::CsParseOrder,
+            Generation::Clustered,
+        ] {
             let rs = db.query_with(q, generation, ExecConfig::default()).unwrap();
             assert_eq!(rs.len(), 6, "{generation:?} must survive the reorg");
         }
@@ -1258,7 +1969,7 @@ mod tests {
 
     #[test]
     fn baseline_generation_supports_writes() {
-        let mut db = sample_db();
+        let db = sample_db();
         db.build_baseline().unwrap();
         let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
         assert_eq!(db.query(q).unwrap().len(), 5);
@@ -1266,17 +1977,21 @@ mod tests {
             r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
         )
         .unwrap();
-        db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None).unwrap();
+        db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None)
+            .unwrap();
         assert_eq!(db.query(q).unwrap().len(), 5, "one in, one out");
         db.reorganize_now().unwrap();
         assert_eq!(db.query(q).unwrap().len(), 5, "rebuilt baseline agrees");
-        assert!(db.clustered_store().is_none(), "reorg does not force organization");
+        assert!(
+            db.clustered_store().is_none(),
+            "reorg does not force organization"
+        );
     }
 
     #[test]
     fn doc_example_compiles_and_runs() {
         // Mirror of the crate-level doc example.
-        let mut db = Database::in_temp_dir().unwrap();
+        let db = Database::in_temp_dir().unwrap();
         db.load_ntriples(
             r#"<http://ex/book1> <http://ex/has_author> <http://ex/author1> .
 <http://ex/book1> <http://ex/in_year> "1996"^^<http://www.w3.org/2001/XMLSchema#integer> .
@@ -1290,5 +2005,312 @@ mod tests {
             )
             .unwrap();
         assert_eq!(rs.len(), 1);
+    }
+
+    // ---- background reorganization -----------------------------------------
+
+    #[test]
+    fn async_reorg_swaps_and_preserves_answers() {
+        let db = sample_db();
+        db.self_organize().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/new1> <http://ex/sold> "1996-02-01"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+        )
+        .unwrap();
+        let before = db.query(q).unwrap().canonical(&db.dict());
+        let handle = db.reorganize_async().unwrap();
+        // Queries keep answering while the rebuild runs (pinned generation).
+        assert_eq!(db.query(q).unwrap().canonical(&db.dict()), before);
+        let outcome = handle.wait().unwrap();
+        assert!(outcome.fired && outcome.swapped);
+        assert_eq!(outcome.irregular_ratio_after, Some(0.0));
+        assert_eq!(
+            db.drift_stats().n_delta_inserts,
+            0,
+            "delta folded into the base"
+        );
+        assert_eq!(db.query(q).unwrap().canonical(&db.dict()), before);
+        assert!(!db.reorg_in_flight());
+        // Policy-gated async: nothing pending, nothing to do.
+        assert!(db
+            .maybe_reorganize_async(&ReorgPolicy::eager())
+            .unwrap()
+            .is_none());
+    }
+
+    /// The heart of the swap protocol, deterministically: pin + build, let
+    /// writes land *mid-rebuild*, then swap — the catch-up writes must be
+    /// folded into the fresh delta (re-encoded under the renumbered
+    /// dictionary) and stay visible, snapshots taken mid-rebuild included.
+    #[test]
+    fn catch_up_writes_fold_across_swap() {
+        let db = sample_db();
+        // Add a second class with a sorted string column, so the swap's
+        // string-pool handling is observable.
+        let mut labelled = Vec::new();
+        for (i, label) in ["apple", "banana", "cherry", "damson"].iter().enumerate() {
+            let s = format!("http://ex/thing{i}");
+            labelled.push(TermTriple::new(
+                Term::iri(s.clone()),
+                Term::iri("http://ex/label"),
+                Term::str(*label),
+            ));
+            labelled.push(TermTriple::new(
+                Term::iri(s),
+                Term::iri("http://ex/rank"),
+                Term::int(i as i64),
+            ));
+        }
+        db.load_terms(&labelled).unwrap();
+        db.self_organize().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        let lq = r#"SELECT ?s WHERE { ?s <http://ex/label> ?l . FILTER(?l < "banana") }"#;
+        assert_eq!(
+            db.query(lq).unwrap().len(),
+            1,
+            "only apple before any write"
+        );
+        db.insert_ntriples(
+            r#"<http://ex/pre1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/pre1> <http://ex/sold> "1996-02-02"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+        )
+        .unwrap();
+
+        // Pin and build — but do not swap yet.
+        let pin = begin_rebuild(&db.inner).unwrap();
+        let built = build_generation(&db.inner.dm, &pin);
+
+        // Writes that arrive *during* the rebuild: an insert with a fresh
+        // string literal (interned only in the old dictionary), a
+        // conforming insert, and a delete of a base triple.
+        db.insert_ntriples(
+            r#"<http://ex/mid1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/mid1> <http://ex/sold> "1996-02-03"^^<http://www.w3.org/2001/XMLSchema#date> .
+<http://ex/thing9> <http://ex/label> "azure" .
+<http://ex/thing9> <http://ex/rank> "9"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None)
+            .unwrap();
+        let mid_snap = db.snapshot();
+        let want = db.query(q).unwrap().canonical(&db.dict());
+
+        // Swap: catch-up fold must decode under the old dict, re-encode
+        // under the new one and replay in order.
+        assert!(finish_rebuild(&db.inner, pin, built).unwrap());
+
+        assert_eq!(
+            db.query(q).unwrap().canonical(&db.dict()),
+            want,
+            "post-swap sees catch-up"
+        );
+        let drift = db.drift_stats();
+        assert_eq!(
+            drift.n_delta_inserts, 4,
+            "mid-rebuild inserts pending in the fresh delta"
+        );
+        assert_eq!(
+            drift.n_tombstones, 2,
+            "item3's two triples replayed as tombstones"
+        );
+        assert_eq!(
+            drift.matched_subjects, 2,
+            "mid1 + thing9 routed against the *new* schema"
+        );
+        // "azure" was interned during the rebuild: string order pushdown
+        // must be disabled until the next reorg, so the filter still sees it.
+        assert_eq!(db.query(lq).unwrap().len(), 2, "apple and azure");
+        // The mid-rebuild snapshot survives the swap (sequence preserved).
+        assert_eq!(
+            db.query_snapshot(q, mid_snap)
+                .unwrap()
+                .canonical(&db.dict()),
+            want
+        );
+        // The pre-swap generation's data fully folded: one more reorg
+        // clusters the catch-up writes in and changes nothing.
+        db.reorganize_now().unwrap();
+        assert_eq!(db.query(q).unwrap().canonical(&db.dict()), want);
+        assert_eq!(db.query(lq).unwrap().len(), 2);
+        assert_eq!(db.drift_stats().n_delta_inserts, 0);
+    }
+
+    /// Regression: a class sub-ordered by a date column must not sort-key
+    /// narrow (or zone-map prune) on that column's *base* values while the
+    /// delta holds inserts for the predicate — a pending insert can fill a
+    /// NULL (or out-of-range) base value, and narrowing would silently drop
+    /// the row's exception bindings.
+    #[test]
+    fn delta_fill_survives_sort_key_narrowing() {
+        let db = Database::in_temp_dir().unwrap();
+        let mut triples = Vec::new();
+        for i in 0..40u64 {
+            let s = format!("http://ex/item{i}");
+            triples.push(TermTriple::new(
+                Term::iri(s.clone()),
+                Term::iri("http://ex/qty"),
+                Term::int(i as i64),
+            ));
+            // item39 misses its date: a NULL in the (sorted) date column.
+            if i < 39 {
+                triples.push(TermTriple::new(
+                    Term::iri(s),
+                    Term::iri("http://ex/sold"),
+                    Term::date(&format!("1996-01-{:02}", (i % 28) + 1)),
+                ));
+            }
+        }
+        db.load_terms(&triples).unwrap();
+        db.self_organize().unwrap();
+        // Fill the NULL through the delta with an in-range date.
+        db.insert_ntriples(
+            r#"<http://ex/item39> <http://ex/sold> "1996-01-05"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+        )
+        .unwrap();
+        let q = r#"SELECT ?s ?d WHERE { ?s <http://ex/qty> ?q . ?s <http://ex/sold> ?d .
+            FILTER(?d <= "1996-01-10"^^<http://www.w3.org/2001/XMLSchema#date>) }"#;
+        let reference = db
+            .query_with(
+                q,
+                Generation::Clustered,
+                ExecConfig {
+                    scheme: PlanScheme::Default,
+                    zonemaps: true,
+                },
+            )
+            .unwrap()
+            .canonical(&db.dict());
+        for zonemaps in [true, false] {
+            let exec = ExecConfig {
+                scheme: PlanScheme::RdfScanJoin,
+                zonemaps,
+            };
+            let got = db
+                .query_with(q, Generation::Clustered, exec)
+                .unwrap()
+                .canonical(&db.dict());
+            assert_eq!(got, reference, "zonemaps={zonemaps}");
+            assert!(
+                got.iter().any(|row| row.contains("item39")),
+                "delta-filled row must not be narrowed away (zonemaps={zonemaps})"
+            );
+        }
+        // The morsel-parallel path shares the prepared scan.
+        let par = db
+            .query_parallel(
+                q,
+                &ParallelConfig {
+                    workers: 2,
+                    min_morsel_pages: 1,
+                    min_morsel_rows: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(par.canonical(&db.dict()), reference);
+    }
+
+    #[test]
+    fn superseded_rebuild_is_abandoned() {
+        let db = sample_db();
+        db.self_organize().unwrap();
+        let pin = begin_rebuild(&db.inner).unwrap();
+        let built = build_generation(&db.inner.dm, &pin);
+        // A bulk load invalidates the pinned epoch: the swap must refuse.
+        db.load_ntriples(
+            r#"<http://ex/late> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        assert!(
+            !finish_rebuild(&db.inner, pin, built).unwrap(),
+            "superseded"
+        );
+        assert!(!db.reorg_in_flight());
+        db.self_organize().unwrap();
+        let rs = db
+            .query("SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }")
+            .unwrap();
+        assert_eq!(rs.len(), 6, "the load won; the stale rebuild left no trace");
+    }
+
+    /// Regression (review finding): holding a `DictPin` across a write on
+    /// the *same thread* must not deadlock — interning copy-on-writes the
+    /// dictionary instead of waiting for the pin. The pin keeps its
+    /// snapshot; a fresh pin sees the new terms.
+    #[test]
+    fn dict_pin_held_across_writes_does_not_deadlock() {
+        let db = sample_db();
+        db.self_organize().unwrap();
+        let pin = db.dict();
+        let n_before = pin.n_iris();
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None)
+            .unwrap();
+        db.load_ntriples(
+            r#"<http://ex/new2> <http://ex/qty> "4"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        // The open pin kept its snapshot; the live dictionary moved on.
+        assert_eq!(pin.n_iris(), n_before);
+        assert!(pin.iri_oid("http://ex/new1").is_none());
+        let fresh = db.dict();
+        assert!(fresh.iri_oid("http://ex/new1").is_some());
+        assert!(fresh.iri_oid("http://ex/new2").is_some());
+        drop(pin);
+        db.self_organize().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        // 5 originals − item3 (deleted) + new1 (inserted) = 5.
+        assert_eq!(db.query(q).unwrap().len(), 5, "writes all landed");
+    }
+
+    #[test]
+    fn only_one_rebuild_at_a_time() {
+        let db = sample_db();
+        db.self_organize().unwrap();
+        let pin = begin_rebuild(&db.inner).unwrap();
+        assert!(db.reorg_in_flight());
+        assert!(matches!(db.reorganize_async(), Err(Error::State(_))));
+        assert!(matches!(db.reorganize_now(), Err(Error::State(_))));
+        let built = build_generation(&db.inner.dm, &pin);
+        assert!(finish_rebuild(&db.inner, pin, built).unwrap());
+        assert!(!db.reorg_in_flight());
+        db.reorganize_now().unwrap();
+    }
+
+    #[test]
+    fn auto_reorg_thread_starts_fires_and_stops() {
+        let mut db = sample_db();
+        db.self_organize().unwrap();
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/new1> <http://ex/sold> "1996-02-04"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+        )
+        .unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        let want = db.query(q).unwrap().canonical(&db.dict());
+        db.start_auto_reorg(ReorgPolicy::eager(), Duration::from_millis(1))
+            .unwrap();
+        assert!(db.auto_reorg_running());
+        assert!(matches!(
+            db.start_auto_reorg(ReorgPolicy::eager(), Duration::from_millis(1)),
+            Err(Error::State(_))
+        ));
+        // The eager policy must fire and fold the delta within the timeout.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while db.drift_stats().n_delta_inserts > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "auto reorg never fired"
+            );
+            thread::sleep(Duration::from_millis(2));
+        }
+        db.stop_auto_reorg();
+        assert!(!db.auto_reorg_running());
+        db.stop_auto_reorg(); // idempotent
+        assert_eq!(db.query(q).unwrap().canonical(&db.dict()), want);
     }
 }

@@ -38,7 +38,11 @@ pub fn dblp_like(n_papers: u64, n_confs: u64) -> Vec<TermTriple> {
         add(s.clone(), rdf_type(), iri("inproceeding"));
         add(s.clone(), iri("creator"), iri(format!("author{}", i % 7)));
         add(s.clone(), iri("title"), Term::str(format!("Paper {i}")));
-        add(s.clone(), iri("partOf"), iri(format!("conf{}", i % n_confs)));
+        add(
+            s.clone(),
+            iri("partOf"),
+            iri(format!("conf{}", i % n_confs)),
+        );
     }
     // Fig. 2: inproc1 has creators {author3, author4}.
     if n_papers > 1 {
@@ -106,7 +110,11 @@ pub fn dirty(cfg: &DirtyConfig) -> Vec<TermTriple> {
     for class in 0..cfg.n_classes {
         for subj in 0..cfg.subjects_per_class {
             let s = iri(format!("c{class}_e{subj}"));
-            t.push(TermTriple::new(s.clone(), rdf_type(), iri(format!("Class{class}"))));
+            t.push(TermTriple::new(
+                s.clone(),
+                rdf_type(),
+                iri(format!("Class{class}")),
+            ));
             for prop in 0..cfg.props_per_class {
                 if rng.random_bool(cfg.p_missing) {
                     continue;
@@ -121,7 +129,11 @@ pub fn dirty(cfg: &DirtyConfig) -> Vec<TermTriple> {
             }
             if rng.random_bool(cfg.p_extra) {
                 let p = iri(format!("noise_p{}", rng.random_range(0..1000)));
-                t.push(TermTriple::new(s.clone(), p, Term::int(rng.random_range(0..100))));
+                t.push(TermTriple::new(
+                    s.clone(),
+                    p,
+                    Term::int(rng.random_range(0..100)),
+                ));
             }
         }
     }
@@ -139,7 +151,9 @@ fn dirty_value(rng: &mut StdRng, class: usize, prop: usize, p_noise: f64) -> Ter
     match kind {
         0 => Term::int(rng.random_range(0..10_000)),
         1 => Term::str(format!("v{}", rng.random_range(0..10_000))),
-        2 => Term::literal(sordf_model::Value::Date(9_000 + rng.random_range(0..2_000i64))),
+        2 => Term::literal(sordf_model::Value::Date(
+            9_000 + rng.random_range(0..2_000i64),
+        )),
         _ => Term::decimal_f64(rng.random_range(0.0..100.0)),
     }
 }
@@ -158,8 +172,10 @@ mod tests {
             .count();
         assert_eq!(creators, 2);
         // conf2 carries two types.
-        let types =
-            t.iter().filter(|x| x.s == iri("conf2") && x.p == rdf_type()).count();
+        let types = t
+            .iter()
+            .filter(|x| x.s == iri("conf2") && x.p == rdf_type())
+            .count();
         assert_eq!(types, 2);
         // webpage exists.
         assert!(t.iter().any(|x| x.s == iri("webpage1")));
@@ -183,8 +199,7 @@ mod tests {
         let mut ts = sordf_storage::TripleSet::new();
         ts.extend_terms(&triples).unwrap();
         let spo = ts.sorted_spo();
-        let schema =
-            sordf_schema::discover(&spo, &ts.dict, &sordf_schema::SchemaConfig::default());
+        let schema = sordf_schema::discover(&spo, &ts.dict, &sordf_schema::SchemaConfig::default());
         assert_eq!(schema.classes.len(), 8);
         assert!(schema.coverage > 0.999);
     }

@@ -77,7 +77,11 @@ pub struct ResultSet {
 impl ResultSet {
     /// An empty result with the given header.
     pub fn new(columns: Vec<String>) -> ResultSet {
-        ResultSet { columns, vals: Vec::new(), n_rows: 0 }
+        ResultSet {
+            columns,
+            vals: Vec::new(),
+            n_rows: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -109,14 +113,19 @@ impl ResultSet {
 
     /// Render all rows as strings (header excluded).
     pub fn render(&self, dict: &Dictionary) -> Vec<Vec<String>> {
-        self.rows().map(|r| r.iter().map(|v| v.render(dict)).collect()).collect()
+        self.rows()
+            .map(|r| r.iter().map(|v| v.render(dict)).collect())
+            .collect()
     }
 
     /// A canonical sorted text form for differential testing: two result
     /// sets are equivalent iff this matches.
     pub fn canonical(&self, dict: &Dictionary) -> Vec<String> {
-        let mut rows: Vec<String> =
-            self.render(dict).into_iter().map(|r| r.join("\t")).collect();
+        let mut rows: Vec<String> = self
+            .render(dict)
+            .into_iter()
+            .map(|r| r.join("\t"))
+            .collect();
         rows.sort();
         rows
     }
@@ -199,17 +208,17 @@ impl AggState {
                 }
             }
             AggState::Min(best) => {
-                let better = best
-                    .as_ref()
-                    .map_or(true, |b| cmp_outval(&out, b, dict) == std::cmp::Ordering::Less);
+                let better = best.as_ref().map_or(true, |b| {
+                    cmp_outval(&out, b, dict) == std::cmp::Ordering::Less
+                });
                 if better {
                     *best = Some(out);
                 }
             }
             AggState::Max(best) => {
-                let better = best
-                    .as_ref()
-                    .map_or(true, |b| cmp_outval(&out, b, dict) == std::cmp::Ordering::Greater);
+                let better = best.as_ref().map_or(true, |b| {
+                    cmp_outval(&out, b, dict) == std::cmp::Ordering::Greater
+                });
                 if better {
                     *best = Some(out);
                 }
@@ -229,17 +238,17 @@ impl AggState {
                 *n += m;
             }
             (AggState::Min(best), AggState::Min(Some(o))) => {
-                let better = best
-                    .as_ref()
-                    .map_or(true, |b| cmp_outval(&o, b, dict) == std::cmp::Ordering::Less);
+                let better = best.as_ref().map_or(true, |b| {
+                    cmp_outval(&o, b, dict) == std::cmp::Ordering::Less
+                });
                 if better {
                     *best = Some(o);
                 }
             }
             (AggState::Max(best), AggState::Max(Some(o))) => {
-                let better = best
-                    .as_ref()
-                    .map_or(true, |b| cmp_outval(&o, b, dict) == std::cmp::Ordering::Greater);
+                let better = best.as_ref().map_or(true, |b| {
+                    cmp_outval(&o, b, dict) == std::cmp::Ordering::Greater
+                });
                 if better {
                     *best = Some(o);
                 }
@@ -268,7 +277,11 @@ impl AggState {
 /// Effective select list: all pattern vars when empty.
 pub(crate) fn effective_select(query: &Query) -> Vec<SelectItem> {
     if query.select.is_empty() {
-        query.pattern_vars().into_iter().map(SelectItem::Var).collect()
+        query
+            .pattern_vars()
+            .into_iter()
+            .map(SelectItem::Var)
+            .collect()
     } else {
         query.select.clone()
     }
@@ -277,7 +290,12 @@ pub(crate) fn effective_select(query: &Query) -> Vec<SelectItem> {
 /// Dense VarId -> column map, resolved once — per-row lookups must not
 /// re-scan the table's variable list per access.
 pub(crate) fn var_col_map(table: &Table) -> Vec<Option<usize>> {
-    let n_var_ids = table.vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+    let n_var_ids = table
+        .vars
+        .iter()
+        .map(|v| v.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
     let mut var_col: Vec<Option<usize>> = vec![None; n_var_ids];
     for (c, v) in table.vars.iter().enumerate() {
         var_col[v.0 as usize] = Some(c);
@@ -331,7 +349,10 @@ pub(crate) fn single_group_result(
     select: &[SelectItem],
     states: Vec<AggState>,
 ) -> ResultSet {
-    let columns: Vec<String> = select.iter().map(|s| s.name(&query.vars).to_string()).collect();
+    let columns: Vec<String> = select
+        .iter()
+        .map(|s| s.name(&query.vars).to_string())
+        .collect();
     let mut rs = ResultSet::new(columns);
     let lk = |_: VarId| Oid::NULL;
     rs.push_row(select.iter().zip(states).map(|(s, state)| match s {
@@ -351,7 +372,10 @@ pub(crate) fn single_group_result(
 /// table.
 pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
     let select = effective_select(query);
-    let columns: Vec<String> = select.iter().map(|s| s.name(&query.vars).to_string()).collect();
+    let columns: Vec<String> = select
+        .iter()
+        .map(|s| s.name(&query.vars).to_string())
+        .collect();
 
     let var_col = var_col_map(table);
     let lookup_at = |i: usize| {
@@ -398,8 +422,12 @@ pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
         }
         for key in order {
             let states = groups.remove(&key).unwrap();
-            let kv: FxHashMap<VarId, Oid> =
-                query.group_by.iter().copied().zip(key.iter().copied()).collect();
+            let kv: FxHashMap<VarId, Oid> = query
+                .group_by
+                .iter()
+                .copied()
+                .zip(key.iter().copied())
+                .collect();
             let lk = |v: VarId| kv.get(&v).copied().unwrap_or(Oid::NULL);
             rs.push_row(select.iter().zip(states).map(|(s, state)| match s {
                 SelectItem::Agg { .. } => state.finish(),

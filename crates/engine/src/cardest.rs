@@ -10,9 +10,9 @@
 
 use crate::context::{ExecContext, StorageRef};
 use crate::expr::Expr;
+use crate::query::VarOrOid;
 use crate::scan::ORestrict;
 use crate::star::{restrict_for_var, Star};
-use crate::query::VarOrOid;
 use sordf_schema::ColStats;
 use sordf_storage::Order;
 
@@ -42,7 +42,9 @@ fn restrict_selectivity(r: &ORestrict, stats: &ColStats) -> f64 {
 /// CS-based estimate: sum over classes covering the whole star.
 /// Returns `None` on storage without a discovered schema.
 pub fn estimate_star_cs(cx: &ExecContext, star: &Star, filters: &[&Expr]) -> Option<f64> {
-    let StorageRef::Clustered { schema, .. } = &cx.storage else { return None };
+    let StorageRef::Clustered { schema, .. } = &cx.storage else {
+        return None;
+    };
     let strings_ordered = cx.strings_value_ordered();
     let mut total = 0.0;
     for class in &schema.classes {
@@ -82,11 +84,13 @@ pub fn estimate_star_independence(cx: &ExecContext, star: &Star, filters: &[&Exp
     for prop in &star.props {
         // |pattern| ≈ triples with this predicate × filter selectivity.
         let n_pred = match &cx.storage {
-            StorageRef::Baseline(store) => {
-                store.perm(Order::Pso).range1(cx.pool, prop.pred).len()
-            }
+            StorageRef::Baseline(store) => store.perm(Order::Pso).range1(cx.pool, prop.pred).len(),
             StorageRef::Clustered { store, schema } => {
-                let mut n = store.irregular.perm(Order::Pso).range1(cx.pool, prop.pred).len();
+                let mut n = store
+                    .irregular
+                    .perm(Order::Pso)
+                    .range1(cx.pool, prop.pred)
+                    .len();
                 for (class, ci) in schema.classes_with_column(prop.pred) {
                     n += schema.class(class).columns[ci].stats.n_nonnull as usize;
                 }
@@ -120,5 +124,6 @@ pub fn estimate_star_independence(cx: &ExecContext, star: &Star, filters: &[&Exp
 
 /// Best available estimate (CS when a schema exists).
 pub fn estimate_star(cx: &ExecContext, star: &Star, filters: &[&Expr]) -> f64 {
-    estimate_star_cs(cx, star, filters).unwrap_or_else(|| estimate_star_independence(cx, star, filters))
+    estimate_star_cs(cx, star, filters)
+        .unwrap_or_else(|| estimate_star_independence(cx, star, filters))
 }

@@ -5,6 +5,7 @@ use sordf_model::Dictionary;
 use sordf_schema::EmergentSchema;
 use sordf_storage::{BaselineStore, ClusteredStore, DeltaView};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Which plan scheme the planner uses for star patterns — the "Query Plan"
 /// axis of the paper's Table I.
@@ -27,7 +28,10 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> ExecConfig {
-        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true }
+        ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+        }
     }
 }
 
@@ -36,7 +40,10 @@ pub enum StorageRef<'a> {
     /// Exhaustive permutation indexes over all triples (ParseOrder).
     Baseline(&'a BaselineStore),
     /// CS segments + irregular remainder (ParseOrder-sparse or Clustered).
-    Clustered { store: &'a ClusteredStore, schema: &'a EmergentSchema },
+    Clustered {
+        store: &'a ClusteredStore,
+        schema: &'a EmergentSchema,
+    },
 }
 
 impl<'a> StorageRef<'a> {
@@ -136,13 +143,16 @@ pub struct ExecContext<'a> {
     pub pool: &'a BufferPool,
     pub dict: &'a Dictionary,
     pub storage: StorageRef<'a>,
-    /// The delta view this query reads (its write snapshot). `None` when no
-    /// writes are pending — every scan then skips all merge work. When set,
-    /// property scans union the view's insert runs with base storage and
-    /// filter its tombstones out of every base-resident value (the
-    /// merged-source contract shared by the sequential, parallel and
-    /// rowwise operators).
-    pub delta: Option<&'a DeltaView>,
+    /// The delta view this query reads (its write snapshot), *pinned*: the
+    /// context owns a share of the view, so the query stays consistent even
+    /// when a concurrent writer or generation swap moves the store on —
+    /// writers copy-on-write the cached view, they never mutate a pinned
+    /// one. `None` when no writes are pending — every scan then skips all
+    /// merge work. When set, property scans union the view's insert runs
+    /// with base storage and filter its tombstones out of every
+    /// base-resident value (the merged-source contract shared by the
+    /// sequential, parallel and rowwise operators).
+    delta: Option<Arc<DeltaView>>,
     pub config: ExecConfig,
     pub stats: ExecStats,
 }
@@ -170,14 +180,28 @@ impl<'a> ExecContext<'a> {
         storage: StorageRef<'a>,
         config: ExecConfig,
     ) -> ExecContext<'a> {
-        ExecContext { pool, dict, storage, delta: None, config, stats: ExecStats::default() }
+        ExecContext {
+            pool,
+            dict,
+            storage,
+            delta: None,
+            config,
+            stats: ExecStats::default(),
+        }
     }
 
-    /// Attach a delta view (the query's write snapshot). Empty views are
-    /// dropped so the scan paths keep their zero-cost no-delta fast path.
-    pub fn with_delta(mut self, delta: Option<&'a DeltaView>) -> ExecContext<'a> {
+    /// Pin a delta view (the query's write snapshot) to this context. Empty
+    /// views are dropped so the scan paths keep their zero-cost no-delta
+    /// fast path.
+    pub fn with_delta(mut self, delta: Option<Arc<DeltaView>>) -> ExecContext<'a> {
         self.delta = delta.filter(|d| !d.is_empty());
         self
+    }
+
+    /// The pinned delta view, if any (see [`ExecContext::with_delta`]).
+    #[inline]
+    pub fn delta(&self) -> Option<&DeltaView> {
+        self.delta.as_deref()
     }
 
     /// Are string OIDs ordered by value? True after clustering (the string
@@ -187,17 +211,19 @@ impl<'a> ExecContext<'a> {
         // Inserts after the last reorganization may have interned new
         // strings at the end of the pool, breaking the sorted order until
         // the next reorganization re-sorts it.
-        if self.delta.is_some_and(|d| d.strings_appended) {
+        if self.delta().is_some_and(|d| d.strings_appended) {
             return false;
         }
         // Sparse clustered stores keep parse-order string OIDs too; only the
         // reorganized (dense) store sorts the pool. We detect via segments.
         match &self.storage {
             StorageRef::Baseline(_) => false,
-            StorageRef::Clustered { store, .. } => store
-                .segments
-                .iter()
-                .all(|s| matches!(s.subjects, sordf_storage::clustered::SubjectIds::Dense { .. })),
+            StorageRef::Clustered { store, .. } => store.segments.iter().all(|s| {
+                matches!(
+                    s.subjects,
+                    sordf_storage::clustered::SubjectIds::Dense { .. }
+                )
+            }),
         }
     }
 }

@@ -142,7 +142,9 @@ impl Expr {
     /// If this expression is `var OP const` (or mirrored), return the
     /// normalized triple — the planner uses this for filter pushdown.
     pub fn as_var_cmp(&self) -> Option<(VarId, CmpOp, Oid)> {
-        let Expr::Cmp(l, op, r) = self else { return None };
+        let Expr::Cmp(l, op, r) = self else {
+            return None;
+        };
         match (l.as_ref(), r.as_ref()) {
             (Expr::Var(v), Expr::Const(c)) => Some((*v, *op, *c)),
             (Expr::Const(c), Expr::Var(v)) => {
@@ -276,11 +278,20 @@ mod tests {
     #[test]
     fn date_range_filter() {
         let d = Dictionary::new();
-        let date = |s: &str| Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap();
+        let date =
+            |s: &str| Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap();
         let lookup = |_: VarId| date("1996-06-15");
         let e = Expr::and(
-            Expr::cmp(Expr::Var(VarId(0)), CmpOp::Ge, Expr::Const(date("1996-01-01"))),
-            Expr::cmp(Expr::Var(VarId(0)), CmpOp::Lt, Expr::Const(date("1997-01-01"))),
+            Expr::cmp(
+                Expr::Var(VarId(0)),
+                CmpOp::Ge,
+                Expr::Const(date("1996-01-01")),
+            ),
+            Expr::cmp(
+                Expr::Var(VarId(0)),
+                CmpOp::Lt,
+                Expr::Const(date("1997-01-01")),
+            ),
         );
         assert_eq!(e.eval(&lookup, &d), EvalValue::Bool(true));
     }

@@ -15,7 +15,11 @@ pub fn merge_join_pairs(
     pairs: &[(Oid, Oid)],
     new_var: VarId,
 ) -> Table {
-    debug_assert_eq!(left.sorted_by, Some(jc), "left side must be sorted by the join column");
+    debug_assert_eq!(
+        left.sorted_by,
+        Some(jc),
+        "left side must be sorted by the join column"
+    );
     ExecStats::bump(&cx.stats.merge_joins, 1);
     let mut out_vars = left.vars.clone();
     out_vars.push(new_var);
@@ -29,8 +33,9 @@ pub fn merge_join_pairs(
             std::cmp::Ordering::Equal => {
                 let k = key[i];
                 let i_end = (i..key.len()).find(|&x| key[x] != k).unwrap_or(key.len());
-                let j_end =
-                    (j..pairs.len()).find(|&x| pairs[x].0 != k).unwrap_or(pairs.len());
+                let j_end = (j..pairs.len())
+                    .find(|&x| pairs[x].0 != k)
+                    .unwrap_or(pairs.len());
                 // Emit the run's cross product column-at-a-time: each left
                 // value is repeated run-length times in one resize, the pair
                 // objects appended as one batched extend per left row. Runs
@@ -106,7 +111,9 @@ pub fn hash_join(cx: &ExecContext, left: &Table, lc: usize, right: &Table, rc: u
     let mut out = Table::empty(out_vars);
 
     for (pi, &k) in probe.cols[pc].iter().enumerate() {
-        let Some(matches) = index.get(&k) else { continue };
+        let Some(matches) = index.get(&k) else {
+            continue;
+        };
         for &bi in matches {
             let (li, ri) = if build_is_left { (bi, pi) } else { (pi, bi) };
             for (oc, lcid) in out.cols.iter_mut().take(left.cols.len()).zip(0..) {
@@ -129,8 +136,12 @@ mod tests {
     use sordf_model::Dictionary;
     use std::sync::Arc;
 
-    fn test_cx() -> (Arc<DiskManager>, &'static BufferPool, &'static Dictionary, sordf_storage::BaselineStore)
-    {
+    fn test_cx() -> (
+        Arc<DiskManager>,
+        &'static BufferPool,
+        &'static Dictionary,
+        sordf_storage::BaselineStore,
+    ) {
         let dm = Arc::new(DiskManager::temp().unwrap());
         let store = sordf_storage::BaselineStore::build(&dm, &[]);
         let pool = Box::leak(Box::new(BufferPool::new(Arc::clone(&dm), 16)));
@@ -150,11 +161,19 @@ mod tests {
     #[test]
     fn merge_join_basic() {
         let (_dm, pool, dict, store) = test_cx();
-        let cx = ExecContext::new(pool, dict, StorageRef::Baseline(&store), ExecConfig::default());
+        let cx = ExecContext::new(
+            pool,
+            dict,
+            StorageRef::Baseline(&store),
+            ExecConfig::default(),
+        );
         let mut left = table(&[0], &[&[1], &[2], &[4]]);
         left.sorted_by = Some(0);
-        let pairs =
-            vec![(Oid::iri(1), Oid::iri(10)), (Oid::iri(3), Oid::iri(30)), (Oid::iri(4), Oid::iri(40))];
+        let pairs = vec![
+            (Oid::iri(1), Oid::iri(10)),
+            (Oid::iri(3), Oid::iri(30)),
+            (Oid::iri(4), Oid::iri(40)),
+        ];
         let out = merge_join_pairs(&cx, &left, 0, &pairs, VarId(1));
         assert_eq!(out.len(), 2);
         assert_eq!(out.cols[0], vec![Oid::iri(1), Oid::iri(4)]);
@@ -165,7 +184,12 @@ mod tests {
     #[test]
     fn merge_join_duplicates_cross_product() {
         let (_dm, pool, dict, store) = test_cx();
-        let cx = ExecContext::new(pool, dict, StorageRef::Baseline(&store), ExecConfig::default());
+        let cx = ExecContext::new(
+            pool,
+            dict,
+            StorageRef::Baseline(&store),
+            ExecConfig::default(),
+        );
         let mut left = table(&[0], &[&[1], &[1]]);
         left.sorted_by = Some(0);
         let pairs = vec![(Oid::iri(1), Oid::iri(10)), (Oid::iri(1), Oid::iri(11))];
@@ -182,13 +206,21 @@ mod tests {
         ];
         let cands = vec![Oid::iri(2), Oid::iri(3), Oid::iri(5)];
         let out = semi_join_pairs(&pairs, &cands);
-        assert_eq!(out, vec![(Oid::iri(2), Oid::iri(20)), (Oid::iri(5), Oid::iri(50))]);
+        assert_eq!(
+            out,
+            vec![(Oid::iri(2), Oid::iri(20)), (Oid::iri(5), Oid::iri(50))]
+        );
     }
 
     #[test]
     fn hash_join_drops_duplicate_join_col() {
         let (_dm, pool, dict, store) = test_cx();
-        let cx = ExecContext::new(pool, dict, StorageRef::Baseline(&store), ExecConfig::default());
+        let cx = ExecContext::new(
+            pool,
+            dict,
+            StorageRef::Baseline(&store),
+            ExecConfig::default(),
+        );
         let left = table(&[0, 1], &[&[1, 100], &[2, 200], &[3, 300]]);
         let right = table(&[2, 3], &[&[100, 7], &[300, 9]]);
         let out = hash_join(&cx, &left, 1, &right, 0);
@@ -203,7 +235,12 @@ mod tests {
     #[test]
     fn hash_join_builds_on_smaller_side_either_way() {
         let (_dm, pool, dict, store) = test_cx();
-        let cx = ExecContext::new(pool, dict, StorageRef::Baseline(&store), ExecConfig::default());
+        let cx = ExecContext::new(
+            pool,
+            dict,
+            StorageRef::Baseline(&store),
+            ExecConfig::default(),
+        );
         let big = table(&[0], &[&[1], &[2], &[3], &[4], &[5]]);
         let small = table(&[1], &[&[2], &[4]]);
         let a = hash_join(&cx, &big, 0, &small, 0);

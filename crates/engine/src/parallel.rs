@@ -57,7 +57,10 @@ pub struct ParallelConfig {
 impl Default for ParallelConfig {
     fn default() -> ParallelConfig {
         ParallelConfig {
-            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
             min_morsel_pages: 1,
             min_morsel_rows: 4096,
         }
@@ -67,7 +70,10 @@ impl Default for ParallelConfig {
 impl ParallelConfig {
     /// Default sizing with an explicit worker count.
     pub fn with_workers(workers: usize) -> ParallelConfig {
-        ParallelConfig { workers: workers.max(1), ..ParallelConfig::default() }
+        ParallelConfig {
+            workers: workers.max(1),
+            ..ParallelConfig::default()
+        }
     }
 }
 
@@ -118,8 +124,7 @@ fn run_tasks<'s, T: Send + 's>(workers: usize, tasks: &[Task<'s, T>]) -> Vec<T> 
     type TaskResult<T> = Result<T, Box<dyn std::any::Any + Send>>;
     let next = AtomicUsize::new(0);
     let failed = std::sync::atomic::AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<TaskResult<T>>>> =
-        tasks.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<TaskResult<T>>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers.min(tasks.len()) {
             s.spawn(|| loop {
@@ -170,11 +175,12 @@ pub fn execute_parallel(cx: &ExecContext, query: &Query, par: &ParallelConfig) -
     if par.workers <= 1 {
         return crate::planner::execute(cx, query);
     }
-    let eval = |cx: &ExecContext,
-                star: &Star,
-                filters: &[&Expr],
-                cands: Option<&[Oid]>,
-                s_range: SRange| eval_star_parallel(cx, star, filters, cands, s_range, par);
+    let eval =
+        |cx: &ExecContext,
+         star: &Star,
+         filters: &[&Expr],
+         cands: Option<&[Oid]>,
+         s_range: SRange| eval_star_parallel(cx, star, filters, cands, s_range, par);
     let (q, table) = execute_plan(cx, query, &eval as &StarEvalFn);
     finalize_parallel(cx, &q, &table, par)
 }
@@ -213,7 +219,10 @@ fn eval_star_default_parallel(
     let tasks: Vec<Task<PropStream>> = (0..star.props.len())
         .map(|i| {
             let task: Task<PropStream> = Box::new(move || {
-                (i, scan_star_prop(cx, star, i, filters, candidates, s_range, source))
+                (
+                    i,
+                    scan_star_prop(cx, star, i, filters, candidates, s_range, source),
+                )
             });
             task
         })
@@ -247,7 +256,15 @@ fn eval_star_rdfscan_parallel(
     par: &ParallelConfig,
 ) -> Table {
     let StorageRef::Clustered { store, schema } = &cx.storage else {
-        return eval_star_default_parallel(cx, star, filters, candidates, s_range, Source::Full, par);
+        return eval_star_default_parallel(
+            cx,
+            star,
+            filters,
+            candidates,
+            s_range,
+            Source::Full,
+            par,
+        );
     };
     let s_range = intersect_ranges(subject_filter_range(star, filters), s_range);
     let out_vars = star.output_vars();
@@ -271,7 +288,11 @@ fn eval_star_rdfscan_parallel(
                 split_range(0..p.n_rows(), par.workers * 2, par.min_morsel_rows)
             }
         };
-        morsels.extend(spans.into_iter().map(|span| Morsel::Class { prep: pi, span }));
+        morsels.extend(
+            spans
+                .into_iter()
+                .map(|span| Morsel::Class { prep: pi, span }),
+        );
     }
 
     let preps = &preps;
@@ -348,7 +369,14 @@ pub(crate) fn finalize_parallel(
             let span = span.clone();
             let task: Task<Vec<AggState>> = Box::new(move || {
                 let mut states = new_agg_states(select_ref);
-                accumulate_single_group(cx, select_ref, table, var_col_ref, span.clone(), &mut states);
+                accumulate_single_group(
+                    cx,
+                    select_ref,
+                    table,
+                    var_col_ref,
+                    span.clone(),
+                    &mut states,
+                );
                 states
             });
             task

@@ -56,7 +56,10 @@ fn find_link(bound: &[VarId], star: &Star) -> Link {
 /// Greedy star order: start from the smallest estimate; prefer connected
 /// stars thereafter.
 fn order_stars(cx: &ExecContext, stars: &[Star], filters: &[&Expr]) -> (Vec<usize>, Vec<f64>) {
-    let ests: Vec<f64> = stars.iter().map(|s| estimate_star(cx, s, filters)).collect();
+    let ests: Vec<f64> = stars
+        .iter()
+        .map(|s| estimate_star(cx, s, filters))
+        .collect();
     let mut remaining: Vec<usize> = (0..stars.len()).collect();
     let mut order = Vec::new();
     let mut bound: Vec<VarId> = Vec::new();
@@ -65,11 +68,17 @@ fn order_stars(cx: &ExecContext, stars: &[Star], filters: &[&Expr]) -> (Vec<usiz
             .iter()
             .enumerate()
             .min_by(|&(_, &a), &(_, &b)| {
-                let conn_a = !matches!(find_link(&bound, &stars[a]), Link::None) || bound.is_empty();
-                let conn_b = !matches!(find_link(&bound, &stars[b]), Link::None) || bound.is_empty();
+                let conn_a =
+                    !matches!(find_link(&bound, &stars[a]), Link::None) || bound.is_empty();
+                let conn_b =
+                    !matches!(find_link(&bound, &stars[b]), Link::None) || bound.is_empty();
                 conn_b
                     .cmp(&conn_a) // connected first
-                    .then(ests[a].partial_cmp(&ests[b]).unwrap_or(std::cmp::Ordering::Equal))
+                    .then(
+                        ests[a]
+                            .partial_cmp(&ests[b])
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
             })
             .map(|(i, _)| i)
             .unwrap();
@@ -168,10 +177,16 @@ pub(crate) fn execute_plan(cx: &ExecContext, query: &Query, eval: &StarEvalFn) -
                             if !vals.is_empty() {
                                 let lo = *vals.first().unwrap();
                                 let hi = *vals.last().unwrap();
-                                let ge =
-                                    Expr::cmp(Expr::Var(v), crate::expr::CmpOp::Ge, Expr::Const(lo));
-                                let le =
-                                    Expr::cmp(Expr::Var(v), crate::expr::CmpOp::Le, Expr::Const(hi));
+                                let ge = Expr::cmp(
+                                    Expr::Var(v),
+                                    crate::expr::CmpOp::Ge,
+                                    Expr::Const(lo),
+                                );
+                                let le = Expr::cmp(
+                                    Expr::Var(v),
+                                    crate::expr::CmpOp::Le,
+                                    Expr::Const(hi),
+                                );
                                 let mut narrowed: Vec<&Expr> = filter_refs.clone();
                                 narrowed.push(&ge);
                                 narrowed.push(&le);
@@ -255,9 +270,10 @@ pub fn explain(cx: &ExecContext, query: &Query) -> PlanInfo {
     let (order, estimates) = order_stars(cx, &stars, &filter_refs);
 
     let intra: u64 = match cx.config.scheme {
-        PlanScheme::Default => {
-            stars.iter().map(|s| s.props.len().saturating_sub(1) as u64).sum()
-        }
+        PlanScheme::Default => stars
+            .iter()
+            .map(|s| s.props.len().saturating_sub(1) as u64)
+            .sum(),
         PlanScheme::RdfScanJoin => 0,
     };
     let cross = stars.len().saturating_sub(1) as u64;
@@ -285,7 +301,10 @@ pub fn explain(cx: &ExecContext, query: &Query) -> PlanInfo {
             "  star {} [{}]: subject {}, {} patterns, est {:.1} rows",
             pos,
             op,
-            q.vars.get(star.subject_var.0 as usize).map(|s| s.as_str()).unwrap_or("?"),
+            q.vars
+                .get(star.subject_var.0 as usize)
+                .map(|s| s.as_str())
+                .unwrap_or("?"),
             star.props.len(),
             estimates[pos],
         );

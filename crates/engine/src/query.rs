@@ -38,7 +38,11 @@ pub enum SelectItem {
     /// A scalar expression with an output name.
     Expr { expr: Expr, name: String },
     /// An aggregate over the group.
-    Agg { func: AggFunc, expr: Expr, name: String },
+    Agg {
+        func: AggFunc,
+        expr: Expr,
+        name: String,
+    },
 }
 
 impl SelectItem {
@@ -92,7 +96,9 @@ impl Query {
 
     /// Does the SELECT list contain aggregates?
     pub fn has_aggregates(&self) -> bool {
-        self.select.iter().any(|s| matches!(s, SelectItem::Agg { .. }))
+        self.select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Agg { .. }))
     }
 
     /// All variables appearing in patterns, in first-use order.
@@ -132,7 +138,11 @@ mod tests {
         let mut q = Query::default();
         let s = q.var("s");
         let x = q.var("x");
-        q.patterns.push(TriplePattern { s: VarOrOid::Var(s), p: Oid::iri(1), o: VarOrOid::Var(x) });
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(s),
+            p: Oid::iri(1),
+            o: VarOrOid::Var(x),
+        });
         q.patterns.push(TriplePattern {
             s: VarOrOid::Var(x),
             p: Oid::iri(2),

@@ -69,13 +69,7 @@ fn range2_rw(idx: &PermIndex, pool: &BufferPool, a: Oid, b: Oid) -> Range<usize>
         ..upper_bound_rw(idx.col(1), pool, r, b.raw())
 }
 
-fn range2_between_rw(
-    idx: &PermIndex,
-    pool: &BufferPool,
-    a: Oid,
-    lo: Oid,
-    hi: Oid,
-) -> Range<usize> {
+fn range2_between_rw(idx: &PermIndex, pool: &BufferPool, a: Oid, lo: Oid, hi: Oid) -> Range<usize> {
     let r = range1_rw(idx, pool, a);
     let start = lower_bound_rw(idx.col(1), pool, r.clone(), lo.raw());
     let end = upper_bound_rw(idx.col(1), pool, r, hi.raw());
@@ -134,7 +128,14 @@ pub fn scan_property_rowwise(
         (StorageRef::Clustered { store, schema }, Source::Full) => {
             let mut pairs = Vec::new();
             for (class, coli) in schema.classes_with_column(p) {
-                scan_segment_column_rw(cx, store.segment(class), coli, restrict, s_range, &mut pairs);
+                scan_segment_column_rw(
+                    cx,
+                    store.segment(class),
+                    coli,
+                    restrict,
+                    s_range,
+                    &mut pairs,
+                );
             }
             for (class, mi) in schema.classes_with_multi(p) {
                 scan_multi_table_rw(cx, store.segment(class), mi, restrict, s_range, &mut pairs);
@@ -213,7 +214,12 @@ fn scan_segment_column_rw(
                 if hi_oid < Oid::iri(0) || lo_oid > Oid::iri(sordf_model::oid::PAYLOAD_MASK) {
                     return;
                 }
-                let lo_p = if lo_oid < Oid::iri(0) { 0 } else { lo_oid.payload() }.max(*base);
+                let lo_p = if lo_oid < Oid::iri(0) {
+                    0
+                } else {
+                    lo_oid.payload()
+                }
+                .max(*base);
                 let hi_p = if hi_oid > Oid::iri(sordf_model::oid::PAYLOAD_MASK) {
                     sordf_model::oid::PAYLOAD_MASK
                 } else {
@@ -237,7 +243,8 @@ fn scan_segment_column_rw(
     }
     let (olo, ohi) = restrict.bounds();
     if !restrict.is_none() && seg.sorted_by == Some(coli) {
-        let r = lower_bound_rw(col, pool, 0..col.len(), olo)..upper_bound_rw(col, pool, 0..col.len(), ohi);
+        let r = lower_bound_rw(col, pool, 0..col.len(), olo)
+            ..upper_bound_rw(col, pool, 0..col.len(), ohi);
         rows = rows.start.max(r.start)..rows.end.min(r.end);
     }
     if rows.start >= rows.end {
@@ -342,8 +349,10 @@ pub fn eval_star_default_rowwise(
                 ExecStats::bump(&cx.stats.merge_joins, 1);
                 let subjects: Vec<Oid> = pairs.iter().map(|&(s, _)| s).collect();
                 let key = table.cols[0].clone();
-                let mask: Vec<bool> =
-                    key.iter().map(|s| subjects.binary_search(s).is_ok()).collect();
+                let mask: Vec<bool> = key
+                    .iter()
+                    .map(|s| subjects.binary_search(s).is_ok())
+                    .collect();
                 table.retain_rows(&mask);
             }
         }
@@ -387,7 +396,10 @@ pub fn eval_star_rdfscan_rowwise(
                 }
             })
             .collect();
-        let n_covered = covered.iter().filter(|c| !matches!(c, Covered::Uncovered)).count();
+        let n_covered = covered
+            .iter()
+            .filter(|c| !matches!(c, Covered::Uncovered))
+            .count();
         if n_covered == 0 {
             continue;
         }
@@ -402,13 +414,23 @@ pub fn eval_star_rdfscan_rowwise(
         }
     }
 
-    let mut irr =
-        eval_star_default_rowwise(cx, star, filters, candidates, s_range, Source::IrregularOnly);
+    let mut irr = eval_star_default_rowwise(
+        cx,
+        star,
+        filters,
+        candidates,
+        s_range,
+        Source::IrregularOnly,
+    );
     if !irr.is_empty() {
         let sc = irr.col_of(star.subject_var).expect("subject col");
         let mask: Vec<bool> = irr.cols[sc]
             .iter()
-            .map(|&s| schema.class_of(s).map_or(true, |cid| !covering_classes[cid.0 as usize]))
+            .map(|&s| {
+                schema
+                    .class_of(s)
+                    .map_or(true, |cid| !covering_classes[cid.0 as usize])
+            })
             .collect();
         irr.retain_rows(&mask);
         if !irr.is_empty() {
@@ -473,7 +495,10 @@ fn scan_class_star_rw(
                     continue;
                 }
                 let restrict = prop_restrict(cx, &star.props[pi], filters);
-                if restrict.is_none() {
+                // Pending delta inserts for the predicate forbid narrowing
+                // on base values (see `star::delta_blocks_pruning`).
+                if restrict.is_none() || crate::star::delta_blocks_pruning(cx, star.props[pi].pred)
+                {
                     continue;
                 }
                 let (lo, hi) = restrict.bounds();
@@ -503,9 +528,18 @@ fn scan_class_star_rw(
     );
 
     enum Access {
-        Col { vals: Vec<u64>, exceptions: Vec<(Oid, Oid)>, restrict: ORestrict },
-        Multi { pairs: Vec<(Oid, Oid)>, exceptions: Vec<(Oid, Oid)> },
-        Irr { pairs: Vec<(Oid, Oid)> },
+        Col {
+            vals: Vec<u64>,
+            exceptions: Vec<(Oid, Oid)>,
+            restrict: ORestrict,
+        },
+        Multi {
+            pairs: Vec<(Oid, Oid)>,
+            exceptions: Vec<(Oid, Oid)>,
+        },
+        Irr {
+            pairs: Vec<(Oid, Oid)>,
+        },
     }
 
     let accesses: Vec<Access> = star
@@ -526,10 +560,12 @@ fn scan_class_star_rw(
             match cov {
                 Covered::Col(ci) => {
                     // Row-at-a-time gather: one pool request per row.
-                    let mut vals: Vec<u64> =
-                        rows.iter().map(|&r| seg.columns[*ci].value(pool, r)).collect();
+                    let mut vals: Vec<u64> = rows
+                        .iter()
+                        .map(|&r| seg.columns[*ci].value(pool, r))
+                        .collect();
                     // Tombstoned column values behave exactly like NULLs.
-                    if let Some(d) = cx.delta {
+                    if let Some(d) = cx.delta() {
                         if d.has_tombstones_for(prop.pred) {
                             for (ri, &row) in rows.iter().enumerate() {
                                 let v = vals[ri];
@@ -545,7 +581,11 @@ fn scan_class_star_rw(
                             }
                         }
                     }
-                    Access::Col { vals, exceptions: irr(), restrict }
+                    Access::Col {
+                        vals,
+                        exceptions: irr(),
+                        restrict,
+                    }
                 }
                 Covered::Multi(mi) => {
                     let table = &seg.multi[*mi];
@@ -560,12 +600,15 @@ fn scan_class_star_rw(
                         })
                         .filter(|&(s, o)| {
                             restrict.accepts(o.raw())
-                                && cx.delta.map_or(true, |d| {
-                                    !d.is_deleted(Triple::new(s, prop.pred, o))
-                                })
+                                && cx
+                                    .delta()
+                                    .map_or(true, |d| !d.is_deleted(Triple::new(s, prop.pred, o)))
                         })
                         .collect();
-                    Access::Multi { pairs, exceptions: irr() }
+                    Access::Multi {
+                        pairs,
+                        exceptions: irr(),
+                    }
                 }
                 Covered::Uncovered => Access::Irr { pairs: irr() },
             }
@@ -623,7 +666,11 @@ fn scan_class_star_rw(
             let list = &mut value_lists[pi];
             list.clear();
             match access {
-                Access::Col { vals, exceptions, restrict } => {
+                Access::Col {
+                    vals,
+                    exceptions,
+                    restrict,
+                } => {
                     let v = vals[ri];
                     if v != sordf_columnar::column::NULL_SENTINEL && restrict.accepts(v) {
                         list.push(Oid::from_raw(v));
@@ -664,7 +711,9 @@ fn prune_rows_zm_rw(
             continue;
         }
         let restrict = prop_restrict(cx, &star.props[pi], filters);
-        if restrict.is_none() {
+        // Pending delta inserts for the predicate forbid pruning on base
+        // values (see `star::delta_blocks_pruning`).
+        if restrict.is_none() || crate::star::delta_blocks_pruning(cx, star.props[pi].pred) {
             continue;
         }
         let (lo, hi) = restrict.bounds();

@@ -32,7 +32,10 @@ impl ORestrict {
     }
 
     pub fn eq(o: Oid) -> ORestrict {
-        ORestrict { eq: Some(o), range: None }
+        ORestrict {
+            eq: Some(o),
+            range: None,
+        }
     }
 
     pub fn is_none(&self) -> bool {
@@ -96,7 +99,14 @@ pub fn scan_property(
         (StorageRef::Clustered { store, schema }, Source::Full) => {
             let mut pairs = Vec::new();
             for (class, coli) in schema.classes_with_column(p) {
-                scan_segment_column(cx, store.segment(class), coli, restrict, s_range, &mut pairs);
+                scan_segment_column(
+                    cx,
+                    store.segment(class),
+                    coli,
+                    restrict,
+                    s_range,
+                    &mut pairs,
+                );
             }
             for (class, mi) in schema.classes_with_multi(p) {
                 scan_multi_table(cx, store.segment(class), mi, restrict, s_range, &mut pairs);
@@ -129,7 +139,7 @@ pub(crate) fn apply_delta_pairs(
     s_range: SRange,
     out: &mut Vec<(Oid, Oid)>,
 ) {
-    let Some(delta) = cx.delta else { return };
+    let Some(delta) = cx.delta() else { return };
     if delta.has_tombstones_for(p) {
         out.retain(|&(s, o)| !delta.is_deleted(Triple::new(s, p, o)));
     }
@@ -174,9 +184,7 @@ fn scan_baseline(
                 sc.values()
                     .iter()
                     .zip(oc.values())
-                    .filter(|&(&s, _)| {
-                        s_range.map_or(true, |(lo, hi)| s >= lo && s <= hi)
-                    })
+                    .filter(|&(&s, _)| s_range.map_or(true, |(lo, hi)| s >= lo && s <= hi))
                     .map(|(&s, &o)| (Oid::from_raw(s), Oid::from_raw(o))),
             );
         });
@@ -215,7 +223,12 @@ fn scan_segment_column(
                 if hi_oid < Oid::iri(0) || lo_oid > Oid::iri(sordf_model::oid::PAYLOAD_MASK) {
                     return;
                 }
-                let lo_p = if lo_oid < Oid::iri(0) { 0 } else { lo_oid.payload() }.max(*base);
+                let lo_p = if lo_oid < Oid::iri(0) {
+                    0
+                } else {
+                    lo_oid.payload()
+                }
+                .max(*base);
                 let hi_p = if hi_oid > Oid::iri(sordf_model::oid::PAYLOAD_MASK) {
                     sordf_model::oid::PAYLOAD_MASK
                 } else {
@@ -350,7 +363,11 @@ mod tests {
             .unwrap();
         };
         for i in 0..200u64 {
-            add(format!("http://e/item{i}"), "qty", Term::int((i % 50) as i64));
+            add(
+                format!("http://e/item{i}"),
+                "qty",
+                Term::int((i % 50) as i64),
+            );
             add(
                 format!("http://e/item{i}"),
                 "sold",
@@ -371,12 +388,22 @@ mod tests {
         let baseline = sordf_storage::BaselineStore::build(&dm, &spo);
         let clustered = build_clustered(&dm, &spo, &mut schema, &spec, true);
         let pool = BufferPool::new(Arc::clone(&dm), 1024);
-        Fixture { _dm: dm, pool, ts, baseline, clustered, schema }
+        Fixture {
+            _dm: dm,
+            pool,
+            ts,
+            baseline,
+            clustered,
+            schema,
+        }
     }
 
     fn cx<'a>(f: &'a Fixture, clustered: bool) -> ExecContext<'a> {
         let storage = if clustered {
-            StorageRef::Clustered { store: &f.clustered, schema: &f.schema }
+            StorageRef::Clustered {
+                store: &f.clustered,
+                schema: &f.schema,
+            }
         } else {
             StorageRef::Baseline(&f.baseline)
         };
@@ -384,7 +411,10 @@ mod tests {
             &f.pool,
             &f.ts.dict,
             storage,
-            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+            ExecConfig {
+                scheme: PlanScheme::RdfScanJoin,
+                zonemaps: true,
+            },
         )
     }
 
@@ -419,10 +449,15 @@ mod tests {
         let sold = f.ts.dict.iri_oid("http://e/sold").unwrap();
         let lo = Oid::from_date_days(sordf_model::date::parse_date("1996-03-01").unwrap()).unwrap();
         let hi = Oid::from_date_days(sordf_model::date::parse_date("1996-04-30").unwrap()).unwrap();
-        let r = ORestrict { eq: None, range: Some((lo.raw(), hi.raw())) };
+        let r = ORestrict {
+            eq: None,
+            range: Some((lo.raw(), hi.raw())),
+        };
         let pairs = scan_property(&c, sold, &r, None, Source::Full);
         // Months 3 and 4 -> 2/12 of 200 ≈ 33 subjects (months cycle i%12).
-        let expect = (0..200u64).filter(|i| (i % 12) + 1 == 3 || (i % 12) + 1 == 4).count();
+        let expect = (0..200u64)
+            .filter(|i| (i % 12) + 1 == 3 || (i % 12) + 1 == 4)
+            .count();
         assert_eq!(pairs.len(), expect);
         assert!(pairs.iter().all(|&(_, o)| o >= lo && o <= hi));
     }
@@ -435,11 +470,14 @@ mod tests {
             .map(|&clu| {
                 let c = cx(&f, clu);
                 let sold = f.ts.dict.iri_oid("http://e/sold").unwrap();
-                let lo =
-                    Oid::from_date_days(sordf_model::date::parse_date("1996-06-01").unwrap()).unwrap();
-                let hi =
-                    Oid::from_date_days(sordf_model::date::parse_date("1996-06-30").unwrap()).unwrap();
-                let r = ORestrict { eq: None, range: Some((lo.raw(), hi.raw())) };
+                let lo = Oid::from_date_days(sordf_model::date::parse_date("1996-06-01").unwrap())
+                    .unwrap();
+                let hi = Oid::from_date_days(sordf_model::date::parse_date("1996-06-30").unwrap())
+                    .unwrap();
+                let r = ORestrict {
+                    eq: None,
+                    range: Some((lo.raw(), hi.raw())),
+                };
                 scan_property(&c, sold, &r, None, Source::Full).len()
             })
             .collect();
@@ -454,9 +492,16 @@ mod tests {
         let all = scan_property(&c, qty, &ORestrict::none(), None, Source::Full);
         let mid_lo = all[50].0.raw();
         let mid_hi = all[99].0.raw();
-        let some =
-            scan_property(&c, qty, &ORestrict::none(), Some((mid_lo, mid_hi)), Source::Full);
-        assert!(some.iter().all(|&(s, _)| s.raw() >= mid_lo && s.raw() <= mid_hi));
+        let some = scan_property(
+            &c,
+            qty,
+            &ORestrict::none(),
+            Some((mid_lo, mid_hi)),
+            Source::Full,
+        );
+        assert!(some
+            .iter()
+            .all(|&(s, _)| s.raw() >= mid_lo && s.raw() <= mid_hi));
         assert_eq!(some.len(), 50);
     }
 
@@ -485,17 +530,23 @@ mod tests {
         let seven = Oid::from_int(7).unwrap();
         let mut delta = sordf_storage::DeltaStore::new();
         delta.delete(&[Triple::new(s0, qty, o0)]);
-        delta.insert_run(vec![Triple::new(new_s, qty, seven), Triple::new(s1, qty, seven)]);
-        let view = delta.current_view().unwrap().clone();
+        delta.insert_run(vec![
+            Triple::new(new_s, qty, seven),
+            Triple::new(s1, qty, seven),
+        ]);
+        let view = delta.current_view_arc().unwrap();
 
         for clustered in [false, true] {
-            let c = cx(&f, clustered).with_delta(Some(&view));
+            let c = cx(&f, clustered).with_delta(Some(view.clone()));
             let merged = scan_property(&c, qty, &ORestrict::none(), None, Source::Full);
             assert_eq!(merged.len(), base.len() + 1, "clustered={clustered}");
             assert!(!merged.contains(&(s0, o0)), "tombstone filtered");
             assert!(merged.contains(&(new_s, seven)), "insert unioned");
             assert!(merged.contains(&(s1, seven)), "second value unioned");
-            assert!(merged.windows(2).all(|w| w[0] <= w[1]), "still (s,o)-sorted");
+            assert!(
+                merged.windows(2).all(|w| w[0] <= w[1]),
+                "still (s,o)-sorted"
+            );
             // The rowwise reference sees the identical merged source.
             let rw = crate::rowwise::scan_property_rowwise(
                 &c,
@@ -520,7 +571,7 @@ mod tests {
             assert!(!none.contains(&(new_s, seven)));
         }
         // Delta triples are logically irregular: IrregularOnly sees them.
-        let c = cx(&f, true).with_delta(Some(&view));
+        let c = cx(&f, true).with_delta(Some(view.clone()));
         let irr = scan_property(&c, qty, &ORestrict::none(), None, Source::IrregularOnly);
         assert!(irr.contains(&(new_s, seven)));
         assert!(irr.contains(&(s1, seven)));
@@ -536,7 +587,10 @@ mod tests {
         let _ = sold;
         let qty = f.ts.dict.iri_oid("http://e/qty").unwrap();
         let v = Oid::from_int(3).unwrap();
-        let r = ORestrict { eq: None, range: Some((v.raw(), v.raw())) };
+        let r = ORestrict {
+            eq: None,
+            range: Some((v.raw(), v.raw())),
+        };
         let pairs = scan_property(&c, qty, &r, None, Source::Full);
         assert_eq!(pairs.len(), 4);
         // 200 rows fit in one page, so nothing skippable here — just make

@@ -95,8 +95,8 @@ pub fn stars_of(query: &mut Query) -> (Vec<Star>, Vec<Expr>) {
         let star = &mut stars[star_idx];
         let o = match pat.o {
             VarOrOid::Var(v) => {
-                let clash = v == star.subject_var
-                    || star.props.iter().any(|p| p.o == VarOrOid::Var(v));
+                let clash =
+                    v == star.subject_var || star.props.iter().any(|p| p.o == VarOrOid::Var(v));
                 if clash {
                     let fresh = query.var(&format!("_eq{}_{}", star_idx, star.props.len()));
                     extra_filters.push(Expr::cmp(Expr::Var(fresh), CmpOp::Eq, Expr::Var(v)));
@@ -130,7 +130,9 @@ pub fn restrict_for_var(filters: &[&Expr], v: VarId, strings_ordered: bool) -> O
     let mut hi = u64::MAX;
     let mut eq: Option<Oid> = None;
     for f in filters {
-        let Some((fv, op, c)) = f.as_var_cmp() else { continue };
+        let Some((fv, op, c)) = f.as_var_cmp() else {
+            continue;
+        };
         if fv != v || c.is_null() {
             continue;
         }
@@ -150,18 +152,27 @@ pub fn restrict_for_var(filters: &[&Expr], v: VarId, strings_ordered: bool) -> O
     }
     if eq == Some(Oid::NULL) {
         // Conflicting equalities: empty restriction.
-        return ORestrict { eq: None, range: Some((1, 0)) };
+        return ORestrict {
+            eq: None,
+            range: Some((1, 0)),
+        };
     }
     if let Some(c) = eq {
         if c.raw() < lo || c.raw() > hi {
-            return ORestrict { eq: None, range: Some((1, 0)) };
+            return ORestrict {
+                eq: None,
+                range: Some((1, 0)),
+            };
         }
         return ORestrict::eq(c);
     }
     if lo == 0 && hi == u64::MAX {
         ORestrict::none()
     } else {
-        ORestrict { eq: None, range: Some((lo, hi)) }
+        ORestrict {
+            eq: None,
+            range: Some((lo, hi)),
+        }
     }
 }
 
@@ -171,6 +182,16 @@ pub(crate) fn prop_restrict(cx: &ExecContext, prop: &StarProp, filters: &[&Expr]
         VarOrOid::Const(c) => ORestrict::eq(c),
         VarOrOid::Var(v) => restrict_for_var(filters, v, cx.strings_value_ordered()),
     }
+}
+
+/// Do pending delta inserts forbid base-value narrowing/pruning (sort-key
+/// row ranges, zone-map page skips) for `pred`'s column? A pending insert
+/// may supply the matching value for a subject whose base column value is
+/// NULL or out of range; dropping that row on base evidence would drop the
+/// exception bindings with it. Shared by the vectorized and rowwise star
+/// paths — their byte-identity contract depends on pruning identically.
+pub(crate) fn delta_blocks_pruning(cx: &ExecContext, pred: Oid) -> bool {
+    cx.delta().is_some_and(|d| d.has_inserts_for(pred))
 }
 
 /// Apply filters to a table (post-filtering; always sound).
@@ -186,7 +207,10 @@ pub fn apply_filters(cx: &ExecContext, table: &mut Table, filters: &[&Expr]) {
     let mut mask = vec![true; n];
     for (i, keep) in mask.iter_mut().enumerate() {
         let lookup = |v: VarId| {
-            table.col_of(v).map(|c| table.cols[c][i]).unwrap_or(Oid::NULL)
+            table
+                .col_of(v)
+                .map(|c| table.cols[c][i])
+                .unwrap_or(Oid::NULL)
         };
         for f in &applicable {
             if !f.eval(&lookup, cx.dict).as_bool() {
@@ -325,7 +349,12 @@ pub fn eval_star_default(
 ) -> Table {
     let s_range = default_scan_range(star, filters, s_range);
     let streams: Vec<(usize, Vec<(Oid, Oid)>)> = (0..star.props.len())
-        .map(|i| (i, scan_star_prop(cx, star, i, filters, candidates, s_range, source)))
+        .map(|i| {
+            (
+                i,
+                scan_star_prop(cx, star, i, filters, candidates, s_range, source),
+            )
+        })
         .collect();
     join_star_streams(cx, star, filters, streams)
 }
@@ -339,10 +368,7 @@ pub(crate) enum Covered {
 
 /// How each star property maps onto `class`, plus how many properties the
 /// class covers at all. Shared by the sequential and parallel RDFscan paths.
-pub(crate) fn class_coverage(
-    class: &sordf_schema::ClassDef,
-    star: &Star,
-) -> (Vec<Covered>, usize) {
+pub(crate) fn class_coverage(class: &sordf_schema::ClassDef, star: &Star) -> (Vec<Covered>, usize) {
     let covered: Vec<Covered> = star
         .props
         .iter()
@@ -356,7 +382,10 @@ pub(crate) fn class_coverage(
             }
         })
         .collect();
-    let n_covered = covered.iter().filter(|c| !matches!(c, Covered::Uncovered)).count();
+    let n_covered = covered
+        .iter()
+        .filter(|c| !matches!(c, Covered::Uncovered))
+        .count();
     (covered, n_covered)
 }
 
@@ -373,14 +402,25 @@ pub(crate) fn irregular_star_table(
     covering_classes: &[bool],
     out_vars: &[VarId],
 ) -> Table {
-    let mut irr = eval_star_default(cx, star, filters, candidates, s_range, Source::IrregularOnly);
+    let mut irr = eval_star_default(
+        cx,
+        star,
+        filters,
+        candidates,
+        s_range,
+        Source::IrregularOnly,
+    );
     if irr.is_empty() {
         return Table::empty(out_vars.to_vec());
     }
     let sc = irr.col_of(star.subject_var).expect("subject col");
     let mask: Vec<bool> = irr.cols[sc]
         .iter()
-        .map(|&s| schema.class_of(s).map_or(true, |cid| !covering_classes[cid.0 as usize]))
+        .map(|&s| {
+            schema
+                .class_of(s)
+                .map_or(true, |cid| !covering_classes[cid.0 as usize])
+        })
         .collect();
     irr.retain_rows(&mask);
     if irr.is_empty() {
@@ -506,9 +546,17 @@ pub fn eval_star_rdfscan(
 /// aligned column values.
 pub(crate) enum Access {
     /// Aligned column + sorted exceptions + tombstoned pairs.
-    Col { ci: usize, exceptions: Vec<(Oid, Oid)>, deleted: Vec<(Oid, Oid)>, restrict: ORestrict },
+    Col {
+        ci: usize,
+        exceptions: Vec<(Oid, Oid)>,
+        deleted: Vec<(Oid, Oid)>,
+        restrict: ORestrict,
+    },
     /// Multi table pairs in subject range (sorted by s) + exceptions.
-    Multi { pairs: Vec<(Oid, Oid)>, exceptions: Vec<(Oid, Oid)> },
+    Multi {
+        pairs: Vec<(Oid, Oid)>,
+        exceptions: Vec<(Oid, Oid)>,
+    },
     /// Only irregular pairs (uncovered property).
     Irr { pairs: Vec<(Oid, Oid)> },
 }
@@ -536,20 +584,29 @@ fn build_accesses(
         .map(|(prop, cov)| {
             let restrict = prop_restrict(cx, prop, filters);
             let irr = || {
-                scan_property(cx, prop.pred, &restrict, Some((s_lo, s_hi)), Source::IrregularOnly)
+                scan_property(
+                    cx,
+                    prop.pred,
+                    &restrict,
+                    Some((s_lo, s_hi)),
+                    Source::IrregularOnly,
+                )
             };
             // Tombstoned (s, o) pairs for this predicate in the subject
             // range — the kernels filter these out of base column values.
-            let deleted = || match cx.delta {
+            let deleted = || match cx.delta() {
                 Some(d) if d.has_tombstones_for(prop.pred) => {
                     d.deleted_pairs_for(prop.pred, s_lo, s_hi)
                 }
                 _ => Vec::new(),
             };
             match cov {
-                Covered::Col(ci) => {
-                    Access::Col { ci: *ci, exceptions: irr(), deleted: deleted(), restrict }
-                }
+                Covered::Col(ci) => Access::Col {
+                    ci: *ci,
+                    exceptions: irr(),
+                    deleted: deleted(),
+                    restrict,
+                },
                 Covered::Multi(mi) => {
                     let table = &seg.multi[*mi];
                     let lo = table.s.lower_bound(pool, s_lo);
@@ -574,7 +631,10 @@ fn build_accesses(
                             );
                         },
                     );
-                    Access::Multi { pairs, exceptions: irr() }
+                    Access::Multi {
+                        pairs,
+                        exceptions: irr(),
+                    }
                 }
                 Covered::Uncovered => Access::Irr { pairs: irr() },
             }
@@ -642,9 +702,11 @@ pub(crate) fn prepare_row_scan<'a>(
     let out_pos = out_positions(star, &out_vars);
     let pure_columns = star_filters.is_empty()
         && accesses.iter().all(|a| match a {
-            Access::Col { exceptions, deleted, .. } => {
-                exceptions.is_empty() && deleted.is_empty()
-            }
+            Access::Col {
+                exceptions,
+                deleted,
+                ..
+            } => exceptions.is_empty() && deleted.is_empty(),
             _ => false,
         });
     Some(RowScanPrep {
@@ -665,7 +727,11 @@ pub(crate) fn prepare_row_scan<'a>(
 /// touched page). Concatenating the outputs of consecutive ranges yields
 /// exactly the full-range table — the order-stability contract morsels
 /// rely on.
-pub(crate) fn scan_row_range(cx: &ExecContext, prep: &RowScanPrep, rr: std::ops::Range<usize>) -> Table {
+pub(crate) fn scan_row_range(
+    cx: &ExecContext,
+    prep: &RowScanPrep,
+    rr: std::ops::Range<usize>,
+) -> Table {
     let pool = cx.pool;
     let star = prep.star;
     let seg = prep.seg;
@@ -721,7 +787,12 @@ pub(crate) fn scan_row_range(cx: &ExecContext, prep: &RowScanPrep, rr: std::ops:
             let list = &mut value_lists[pi];
             list.clear();
             match access {
-                Access::Col { exceptions, deleted, restrict, .. } => {
+                Access::Col {
+                    exceptions,
+                    deleted,
+                    restrict,
+                    ..
+                } => {
                     let v = gathered[pi].as_ref().unwrap()[ri];
                     if v != sordf_columnar::column::NULL_SENTINEL
                         && restrict.accepts(v)
@@ -808,14 +879,19 @@ pub(crate) fn prepare_chunk_scan<'a>(
         }
     }
     // Sort-key narrowing: if the segment is sub-ordered by a column this
-    // star restricts, binary-search the row range.
+    // star restricts, binary-search the row range. Unsound while the delta
+    // holds inserts for the predicate — a pending insert can supply the
+    // matching value for a row whose *base* value is NULL or out of range,
+    // and narrowing would drop that row's exception bindings — so those
+    // predicates scan the full range until a reorganization folds them in.
+    // (The rowwise reference applies the identical rule; byte-identity.)
     for (pi, cov) in covered.iter().enumerate() {
         let Covered::Col(ci) = cov else { continue };
         if seg.sorted_by != Some(*ci) {
             continue;
         }
         let restrict = prop_restrict(cx, &star.props[pi], filters);
-        if restrict.is_none() {
+        if restrict.is_none() || delta_blocks_pruning(cx, star.props[pi].pred) {
             continue;
         }
         let (lo, hi) = restrict.bounds();
@@ -846,9 +922,11 @@ pub(crate) fn prepare_chunk_scan<'a>(
     // data, and the code path that makes RDFscan "CPU efficient".
     let pure_columns = star_filters.is_empty()
         && accesses.iter().all(|a| match a {
-            Access::Col { exceptions, deleted, .. } => {
-                exceptions.is_empty() && deleted.is_empty()
-            }
+            Access::Col {
+                exceptions,
+                deleted,
+                ..
+            } => exceptions.is_empty() && deleted.is_empty(),
             _ => false,
         });
 
@@ -861,11 +939,18 @@ pub(crate) fn prepare_chunk_scan<'a>(
     let prune_cols: Vec<(usize, u64, u64)> = if !zm_on {
         Vec::new()
     } else {
+        // A pruned page suppresses that page's exception bindings too, so a
+        // column whose predicate has pending delta inserts must not prune
+        // (same rule as sort-key narrowing above; mirrored in the rowwise
+        // reference).
         let mut cols: Vec<(usize, u64, u64)> = accesses
             .iter()
-            .filter_map(|a| match a {
+            .enumerate()
+            .filter_map(|(pi, a)| match a {
                 Access::Col { ci, restrict, .. }
-                    if !restrict.is_none() && seg.sorted_by != Some(*ci) =>
+                    if !restrict.is_none()
+                        && seg.sorted_by != Some(*ci)
+                        && !delta_blocks_pruning(cx, star.props[pi].pred) =>
                 {
                     let (lo, hi) = restrict.bounds();
                     Some((*ci, lo, hi))
@@ -966,9 +1051,7 @@ pub(crate) fn scan_chunk_pages(
         rows_scanned += chunk_len as u64;
         let subj_chunk = match &seg.subjects {
             SubjectIds::Dense { .. } => None,
-            SubjectIds::Sparse { subjects } => {
-                Some(subjects.pin_page_in(pool, p, range.clone()))
-            }
+            SubjectIds::Sparse { subjects } => Some(subjects.pin_page_in(pool, p, range.clone())),
         };
         let subject_of = |i: usize| -> Oid {
             match (&seg.subjects, &subj_chunk) {
@@ -984,9 +1067,7 @@ pub(crate) fn scan_chunk_pages(
                 .zip(&chunks)
                 .zip(out_pos)
                 .map(|((a, c), &pos)| match a {
-                    Access::Col { restrict, .. } => {
-                        (c.as_ref().unwrap().values(), restrict, pos)
-                    }
+                    Access::Col { restrict, .. } => (c.as_ref().unwrap().values(), restrict, pos),
                     _ => unreachable!(),
                 })
                 .collect();
@@ -1009,15 +1090,22 @@ pub(crate) fn scan_chunk_pages(
 
         // General path: per-row value lists over the pinned slices (hoisted
         // out of the row loop once per page).
-        let col_slices: Vec<Option<&[u64]>> =
-            chunks.iter().map(|c| c.as_ref().map(|c| c.values())).collect();
+        let col_slices: Vec<Option<&[u64]>> = chunks
+            .iter()
+            .map(|c| c.as_ref().map(|c| c.values()))
+            .collect();
         'rows: for i in 0..chunk_len {
             let s = subject_of(i);
             for (pi, access) in accesses.iter().enumerate() {
                 let list = &mut value_lists[pi];
                 list.clear();
                 match access {
-                    Access::Col { exceptions, deleted, restrict, .. } => {
+                    Access::Col {
+                        exceptions,
+                        deleted,
+                        restrict,
+                        ..
+                    } => {
                         let v = col_slices[pi].unwrap()[i];
                         if v != sordf_columnar::column::NULL_SENTINEL
                             && restrict.accepts(v)
@@ -1150,18 +1238,25 @@ pub(crate) fn emit_combinations(
 /// `var CMP const` (non-`!=`, and not an ordered comparison on unsorted
 /// string OIDs) on a variable bound by exactly one property — the scan layer
 /// already applied these via [`ORestrict`] / subject ranges.
-pub(crate) fn residual_filters<'f>(cx: &ExecContext, star: &Star, filters: &[&'f Expr]) -> Vec<&'f Expr> {
+pub(crate) fn residual_filters<'f>(
+    cx: &ExecContext,
+    star: &Star,
+    filters: &[&'f Expr],
+) -> Vec<&'f Expr> {
     filters_bound_by_refs(filters, &star.bound_vars())
         .into_iter()
         .filter(|f| match f.as_var_cmp() {
             Some((v, op, c)) => {
                 let enforced_cmp = !(c.is_null()
-                    || (c.tag() == TypeTag::Str
-                        && !cx.strings_value_ordered()
-                        && op != CmpOp::Eq))
+                    || (c.tag() == TypeTag::Str && !cx.strings_value_ordered() && op != CmpOp::Eq))
                     && op != CmpOp::Ne;
                 let single_binding = v == star.subject_var
-                    || star.props.iter().filter(|p| p.o == VarOrOid::Var(v)).count() == 1;
+                    || star
+                        .props
+                        .iter()
+                        .filter(|p| p.o == VarOrOid::Var(v))
+                        .count()
+                        == 1;
                 !(enforced_cmp && single_binding)
             }
             None => true,

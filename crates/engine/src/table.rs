@@ -22,7 +22,11 @@ impl Table {
     /// An empty table binding the given variables.
     pub fn empty(vars: Vec<VarId>) -> Table {
         let cols = vars.iter().map(|_| Vec::new()).collect();
-        Table { vars, cols, sorted_by: None }
+        Table {
+            vars,
+            cols,
+            sorted_by: None,
+        }
     }
 
     /// Number of rows.
@@ -85,8 +89,10 @@ impl Table {
 
     /// Project to a subset of variables (must exist).
     pub fn project(&self, vars: &[VarId]) -> Table {
-        let idx: Vec<usize> =
-            vars.iter().map(|&v| self.col_of(v).expect("projection var missing")).collect();
+        let idx: Vec<usize> = vars
+            .iter()
+            .map(|&v| self.col_of(v).expect("projection var missing"))
+            .collect();
         Table {
             vars: vars.to_vec(),
             cols: idx.iter().map(|&i| self.cols[i].clone()).collect(),

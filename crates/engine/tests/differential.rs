@@ -10,25 +10,39 @@ use sordf_engine::{
 };
 use sordf_model::{Dictionary, Oid, Term, TermTriple};
 use sordf_schema::{EmergentSchema, SchemaConfig};
-use sordf_storage::{build_clustered, reorganize, BaselineStore, ClusterSpec, ClusteredStore, TripleSet};
+use sordf_storage::{
+    build_clustered, reorganize, BaselineStore, ClusterSpec, ClusteredStore, TripleSet,
+};
 use std::sync::Arc;
 
 /// The test workload: items referencing orders, with noise.
 fn build_terms() -> Vec<TermTriple> {
     let mut triples = Vec::new();
     let mut add = |s: String, p: &str, o: Term| {
-        triples.push(TermTriple::new(Term::iri(s), Term::iri(format!("http://e/{p}")), o));
+        triples.push(TermTriple::new(
+            Term::iri(s),
+            Term::iri(format!("http://e/{p}")),
+            o,
+        ));
     };
     for i in 0..120u64 {
         let s = format!("http://e/item{i}");
         add(s.clone(), "qty", Term::int((i % 30) as i64));
-        add(s.clone(), "price", Term::decimal_f64(10.0 + (i % 7) as f64 * 2.5));
+        add(
+            s.clone(),
+            "price",
+            Term::decimal_f64(10.0 + (i % 7) as f64 * 2.5),
+        );
         add(
             s.clone(),
             "sold",
             Term::date(&format!("1996-{:02}-{:02}", (i % 12) + 1, (i * 7 % 28) + 1)),
         );
-        add(s.clone(), "ok", Term::iri(format!("http://e/order{}", i % 25)));
+        add(
+            s.clone(),
+            "ok",
+            Term::iri(format!("http://e/order{}", i % 25)),
+        );
         if i % 3 == 0 {
             // nullable attribute, present on a third of subjects
             add(s.clone(), "flag", Term::str(format!("F{}", i % 2)));
@@ -36,8 +50,16 @@ fn build_terms() -> Vec<TermTriple> {
     }
     for o in 0..25u64 {
         let s = format!("http://e/order{o}");
-        add(s.clone(), "odate", Term::date(&format!("1996-{:02}-15", (o % 12) + 1)));
-        add(s.clone(), "status", Term::str(if o % 2 == 0 { "open" } else { "closed" }));
+        add(
+            s.clone(),
+            "odate",
+            Term::date(&format!("1996-{:02}-15", (o % 12) + 1)),
+        );
+        add(
+            s.clone(),
+            "status",
+            Term::str(if o % 2 == 0 { "open" } else { "closed" }),
+        );
     }
     // Noise: one fully irregular subject and one type exception.
     add("http://e/weird".into(), "zzz", Term::str("irregular"));
@@ -118,24 +140,30 @@ fn assert_all_agree(f: &Fixture, make_query: impl Fn(&mut Dictionary) -> Query) 
         let query = make_query(&mut dict);
         let storage_ref = match storage {
             0 => StorageRef::Baseline(&f.baseline),
-            1 => StorageRef::Clustered { store: &f.sparse, schema: &f.po_schema },
-            _ => StorageRef::Clustered { store: &f.dense, schema: &f.cl_schema },
+            1 => StorageRef::Clustered {
+                store: &f.sparse,
+                schema: &f.po_schema,
+            },
+            _ => StorageRef::Clustered {
+                store: &f.dense,
+                schema: &f.cl_schema,
+            },
         };
         let cx = ExecContext::new(
             &f.pool,
             &dict,
             storage_ref,
-            ExecConfig { scheme, zonemaps: zm },
+            ExecConfig {
+                scheme,
+                zonemaps: zm,
+            },
         );
         let rs = execute(&cx, &query);
         let canon = rs.canonical(&dict);
         match &reference {
             None => reference = Some((name.to_string(), canon)),
             Some((ref_name, ref_canon)) => {
-                assert_eq!(
-                    &canon, ref_canon,
-                    "config {name} disagrees with {ref_name}"
-                );
+                assert_eq!(&canon, ref_canon, "config {name} disagrees with {ref_name}");
             }
         }
     }
@@ -147,7 +175,11 @@ fn var(q: &mut Query, name: &str) -> VarOrOid {
 }
 
 fn add_pat(q: &mut Query, s: &str, dict: &mut Dictionary, p: &str, o: VarOrOid) {
-    let tp = TriplePattern { s: var(q, s), p: dict.encode_iri(&format!("http://e/{p}")), o };
+    let tp = TriplePattern {
+        s: var(q, s),
+        p: dict.encode_iri(&format!("http://e/{p}")),
+        o,
+    };
     q.patterns.push(tp);
 }
 
@@ -192,8 +224,10 @@ fn star_with_date_range_filter() {
         let lo = Oid::from_date_days(sordf_model::date::parse_date("1996-03-01").unwrap()).unwrap();
         let hi = Oid::from_date_days(sordf_model::date::parse_date("1996-05-31").unwrap()).unwrap();
         let sold_v = q.var("sold");
-        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Ge, Expr::Const(lo)));
-        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Le, Expr::Const(hi)));
+        q.filters
+            .push(Expr::cmp(Expr::Var(sold_v), CmpOp::Ge, Expr::Const(lo)));
+        q.filters
+            .push(Expr::cmp(Expr::Var(sold_v), CmpOp::Le, Expr::Const(hi)));
         q
     });
     // Months 3..5 -> 30 items (i%12 in {2,3,4}).
@@ -253,13 +287,20 @@ fn fk_join_with_selective_filters_on_both_stars() {
             p: dict.encode_iri("http://e/odate"),
             o: odate,
         });
-        let date = |s: &str| {
-            Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap()
-        };
+        let date =
+            |s: &str| Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap();
         let sold_v = q.var("sold");
         let odate_v = q.var("odate");
-        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Lt, Expr::Const(date("1996-04-01"))));
-        q.filters.push(Expr::cmp(Expr::Var(odate_v), CmpOp::Ge, Expr::Const(date("1996-06-01"))));
+        q.filters.push(Expr::cmp(
+            Expr::Var(sold_v),
+            CmpOp::Lt,
+            Expr::Const(date("1996-04-01")),
+        ));
+        q.filters.push(Expr::cmp(
+            Expr::Var(odate_v),
+            CmpOp::Ge,
+            Expr::Const(date("1996-06-01")),
+        ));
         q
     });
     assert!(!rows.is_empty());
@@ -297,7 +338,10 @@ fn aggregation_group_by_status() {
             },
         ];
         q.group_by = vec![status_v];
-        q.order_by = vec![sordf_engine::query::OrderKey { output: 0, ascending: true }];
+        q.order_by = vec![sordf_engine::query::OrderKey {
+            output: 0,
+            ascending: true,
+        }];
         q
     });
     assert_eq!(rows.len(), 2, "two status groups");
@@ -375,15 +419,26 @@ fn q6_style_aggregate() {
         add_pat(&mut q, "s", dict, "price", price);
         add_pat(&mut q, "s", dict, "qty", qty);
         add_pat(&mut q, "s", dict, "sold", sold);
-        let date = |s: &str| {
-            Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap()
-        };
+        let date =
+            |s: &str| Oid::from_date_days(sordf_model::date::parse_date(s).unwrap()).unwrap();
         let sold_v = q.var("sold");
         let qty_v = q.var("qty");
         let price_v = q.var("price");
-        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Ge, Expr::Const(date("1996-01-01"))));
-        q.filters.push(Expr::cmp(Expr::Var(sold_v), CmpOp::Lt, Expr::Const(date("1996-07-01"))));
-        q.filters.push(Expr::cmp(Expr::Var(qty_v), CmpOp::Lt, Expr::Const(Oid::from_int(20).unwrap())));
+        q.filters.push(Expr::cmp(
+            Expr::Var(sold_v),
+            CmpOp::Ge,
+            Expr::Const(date("1996-01-01")),
+        ));
+        q.filters.push(Expr::cmp(
+            Expr::Var(sold_v),
+            CmpOp::Lt,
+            Expr::Const(date("1996-07-01")),
+        ));
+        q.filters.push(Expr::cmp(
+            Expr::Var(qty_v),
+            CmpOp::Lt,
+            Expr::Const(Oid::from_int(20).unwrap()),
+        ));
         q.select = vec![SelectItem::Agg {
             func: sordf_engine::AggFunc::Sum,
             expr: Expr::Arith(
@@ -410,26 +465,44 @@ fn explain_join_counts_match_fig4() {
         let o = var(&mut q, &format!("o{i}"));
         add_pat(&mut q, "s", &mut dict, p, o);
     }
-    let storage = StorageRef::Clustered { store: &f.dense, schema: &f.cl_schema };
+    let storage = StorageRef::Clustered {
+        store: &f.dense,
+        schema: &f.cl_schema,
+    };
     let cx_default = ExecContext::new(
         &f.pool,
         &dict,
         storage,
-        ExecConfig { scheme: PlanScheme::Default, zonemaps: false },
+        ExecConfig {
+            scheme: PlanScheme::Default,
+            zonemaps: false,
+        },
     );
     let plan = explain(&cx_default, &q);
-    assert_eq!(plan.intra_star_joins, 3, "IdxScan plan: 3 merge joins for 4 patterns");
+    assert_eq!(
+        plan.intra_star_joins, 3,
+        "IdxScan plan: 3 merge joins for 4 patterns"
+    );
     assert_eq!(plan.cross_star_joins, 0);
 
-    let storage = StorageRef::Clustered { store: &f.dense, schema: &f.cl_schema };
+    let storage = StorageRef::Clustered {
+        store: &f.dense,
+        schema: &f.cl_schema,
+    };
     let cx_rdf = ExecContext::new(
         &f.pool,
         &dict,
         storage,
-        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+        ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+        },
     );
     let plan = explain(&cx_rdf, &q);
-    assert_eq!(plan.intra_star_joins, 0, "RDFscan eliminates intra-star joins");
+    assert_eq!(
+        plan.intra_star_joins, 0,
+        "RDFscan eliminates intra-star joins"
+    );
 }
 
 #[test]
@@ -444,10 +517,20 @@ fn rdfscan_stats_record_operator_use() {
     let cx = ExecContext::new(
         &f.pool,
         &dict,
-        StorageRef::Clustered { store: &f.dense, schema: &f.cl_schema },
-        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+        StorageRef::Clustered {
+            store: &f.dense,
+            schema: &f.cl_schema,
+        },
+        ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+        },
     );
     let _ = execute(&cx, &q);
     assert!(cx.stats.snapshot().rdf_scans >= 1);
-    assert_eq!(cx.stats.snapshot().merge_joins, 0, "no self-joins in RDFscan plans");
+    assert_eq!(
+        cx.stats.snapshot().merge_joins,
+        0,
+        "no self-joins in RDFscan plans"
+    );
 }

@@ -8,8 +8,8 @@ use sordf_engine::cardest::{estimate_star_cs, estimate_star_independence};
 use sordf_engine::query::OrderKey;
 use sordf_engine::star::stars_of;
 use sordf_engine::{
-    execute, explain, AggFunc, CmpOp, ExecConfig, ExecContext, Expr, PlanScheme, Query,
-    SelectItem, StorageRef, Table, TriplePattern, VarId, VarOrOid,
+    execute, explain, AggFunc, CmpOp, ExecConfig, ExecContext, Expr, PlanScheme, Query, SelectItem,
+    StorageRef, Table, TriplePattern, VarId, VarOrOid,
 };
 use sordf_model::{Dictionary, Oid, Term, TermTriple};
 use sordf_schema::SchemaConfig;
@@ -30,8 +30,12 @@ fn fixture() -> Fix {
     for i in 0..60u64 {
         let s = format!("http://e/prod{i}");
         let mut add = |p: &str, o: Term| {
-            ts.add(&TermTriple::new(Term::iri(s.clone()), Term::iri(format!("http://e/{p}")), o))
-                .unwrap();
+            ts.add(&TermTriple::new(
+                Term::iri(s.clone()),
+                Term::iri(format!("http://e/{p}")),
+                o,
+            ))
+            .unwrap();
         };
         add("group", Term::str(format!("g{}", i % 6)));
         add("price", Term::int((i % 10) as i64 * 5));
@@ -45,15 +49,27 @@ fn fixture() -> Fix {
     let spo = ts.sorted_spo();
     let store = build_clustered(&dm, &spo, &mut schema, &spec, true);
     let pool = BufferPool::new(Arc::clone(&dm), 256);
-    Fix { _dm: dm, pool, ts, store, schema }
+    Fix {
+        _dm: dm,
+        pool,
+        ts,
+        store,
+        schema,
+    }
 }
 
 fn cx(f: &Fix) -> ExecContext<'_> {
     ExecContext::new(
         &f.pool,
         &f.ts.dict,
-        StorageRef::Clustered { store: &f.store, schema: &f.schema },
-        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+        StorageRef::Clustered {
+            store: &f.store,
+            schema: &f.schema,
+        },
+        ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+        },
     )
 }
 
@@ -84,14 +100,37 @@ fn group_by_with_all_aggregates() {
     let p = q.var("p");
     q.select = vec![
         SelectItem::Var(g),
-        SelectItem::Agg { func: AggFunc::Count, expr: Expr::Num(1.0), name: "n".into() },
-        SelectItem::Agg { func: AggFunc::Sum, expr: Expr::Var(p), name: "sum".into() },
-        SelectItem::Agg { func: AggFunc::Avg, expr: Expr::Var(p), name: "avg".into() },
-        SelectItem::Agg { func: AggFunc::Min, expr: Expr::Var(p), name: "min".into() },
-        SelectItem::Agg { func: AggFunc::Max, expr: Expr::Var(p), name: "max".into() },
+        SelectItem::Agg {
+            func: AggFunc::Count,
+            expr: Expr::Num(1.0),
+            name: "n".into(),
+        },
+        SelectItem::Agg {
+            func: AggFunc::Sum,
+            expr: Expr::Var(p),
+            name: "sum".into(),
+        },
+        SelectItem::Agg {
+            func: AggFunc::Avg,
+            expr: Expr::Var(p),
+            name: "avg".into(),
+        },
+        SelectItem::Agg {
+            func: AggFunc::Min,
+            expr: Expr::Var(p),
+            name: "min".into(),
+        },
+        SelectItem::Agg {
+            func: AggFunc::Max,
+            expr: Expr::Var(p),
+            name: "max".into(),
+        },
     ];
     q.group_by = vec![g];
-    q.order_by = vec![OrderKey { output: 0, ascending: true }];
+    q.order_by = vec![OrderKey {
+        output: 0,
+        ascending: true,
+    }];
     let rs = execute(&cx(&f), &q);
     assert_eq!(rs.len(), 6);
     let rows = rs.render(&f.ts.dict);
@@ -111,7 +150,10 @@ fn order_by_desc_with_limit() {
     let p = q.var("p");
     let s = q.var("s");
     q.select = vec![SelectItem::Var(s), SelectItem::Var(p)];
-    q.order_by = vec![OrderKey { output: 1, ascending: false }];
+    q.order_by = vec![OrderKey {
+        output: 1,
+        ascending: false,
+    }];
     q.limit = Some(5);
     let rs = execute(&cx(&f), &q);
     assert_eq!(rs.len(), 5);
@@ -129,8 +171,11 @@ fn global_aggregate_without_group_by() {
     let f = fixture();
     let mut q = base_query(&f);
     let p = q.var("p");
-    q.select =
-        vec![SelectItem::Agg { func: AggFunc::Count, expr: Expr::Var(p), name: "n".into() }];
+    q.select = vec![SelectItem::Agg {
+        func: AggFunc::Count,
+        expr: Expr::Var(p),
+        name: "n".into(),
+    }];
     let rs = execute(&cx(&f), &q);
     assert_eq!(rs.len(), 1);
     assert_eq!(rs.render(&f.ts.dict)[0][0], "60");
@@ -169,7 +214,11 @@ fn outval_ordering_null_last_and_strings_textual() {
         std::cmp::Ordering::Greater
     );
     assert_eq!(
-        cmp_outval(&OutVal::Num(2.0), &OutVal::Oid(Oid::from_int(3).unwrap()), &dict),
+        cmp_outval(
+            &OutVal::Num(2.0),
+            &OutVal::Oid(Oid::from_int(3).unwrap()),
+            &dict
+        ),
         std::cmp::Ordering::Less
     );
 }
@@ -199,7 +248,10 @@ fn cs_estimate_beats_independence_on_correlated_star() {
         qerr(cs) <= qerr(ind) + 1e-9,
         "CS estimate ({cs}) should not be worse than independence ({ind})"
     );
-    assert!(qerr(cs) < 1.05, "CS estimate should be nearly exact, got {cs}");
+    assert!(
+        qerr(cs) < 1.05,
+        "CS estimate should be nearly exact, got {cs}"
+    );
 }
 
 #[test]
@@ -210,7 +262,11 @@ fn estimate_accounts_for_filters() {
     let (stars, _) = stars_of(&mut q);
     let c = cx(&f);
     let unfiltered = estimate_star_cs(&c, &stars[0], &[]).unwrap();
-    let filter = Expr::cmp(Expr::Var(p), CmpOp::Eq, Expr::Const(Oid::from_int(5).unwrap()));
+    let filter = Expr::cmp(
+        Expr::Var(p),
+        CmpOp::Eq,
+        Expr::Const(Oid::from_int(5).unwrap()),
+    );
     let refs = vec![&filter];
     let filtered = estimate_star_cs(&c, &stars[0], &refs).unwrap();
     assert!(filtered < unfiltered, "{filtered} !< {unfiltered}");
@@ -230,8 +286,14 @@ fn explain_structure() {
     let c2 = ExecContext::new(
         &f.pool,
         &f.ts.dict,
-        StorageRef::Clustered { store: &f.store, schema: &f.schema },
-        ExecConfig { scheme: PlanScheme::Default, zonemaps: false },
+        StorageRef::Clustered {
+            store: &f.store,
+            schema: &f.schema,
+        },
+        ExecConfig {
+            scheme: PlanScheme::Default,
+            zonemaps: false,
+        },
     );
     let plan2 = explain(&c2, &q);
     assert_eq!(plan2.intra_star_joins, 1, "2 patterns -> 1 merge join");
@@ -246,8 +308,16 @@ fn duplicate_object_vars_are_rewritten_not_lost() {
     let s = q.var("s");
     let x = q.var("x");
     let pred = |name: &str| f.ts.dict.iri_oid(&format!("http://e/{name}")).unwrap();
-    q.patterns.push(TriplePattern { s: VarOrOid::Var(s), p: pred("price"), o: VarOrOid::Var(x) });
-    q.patterns.push(TriplePattern { s: VarOrOid::Var(s), p: pred("stock"), o: VarOrOid::Var(x) });
+    q.patterns.push(TriplePattern {
+        s: VarOrOid::Var(s),
+        p: pred("price"),
+        o: VarOrOid::Var(x),
+    });
+    q.patterns.push(TriplePattern {
+        s: VarOrOid::Var(s),
+        p: pred("stock"),
+        o: VarOrOid::Var(x),
+    });
     let rs = execute(&cx(&f), &q);
     // price == stock requires (i%10)*5 == i: i in {0, 45} -> 45*? check:
     // i=0: price 0, stock 0 ✓; i=45: price (45%10)*5=25, stock 45 ✗.

@@ -139,20 +139,32 @@ fn contexts<'a>(
     scheme: PlanScheme,
     zonemaps: bool,
 ) -> Vec<(&'static str, ExecContext<'a>, &'a sordf_model::Dictionary)> {
-    let mk = |storage, dict| {
-        ExecContext::new(&g.pool, dict, storage, ExecConfig { scheme, zonemaps })
-    };
+    let mk =
+        |storage, dict| ExecContext::new(&g.pool, dict, storage, ExecConfig { scheme, zonemaps });
     vec![
-        ("baseline", mk(StorageRef::Baseline(&g.baseline), &g.dict), &g.dict),
+        (
+            "baseline",
+            mk(StorageRef::Baseline(&g.baseline), &g.dict),
+            &g.dict,
+        ),
         (
             "sparse-cs",
-            mk(StorageRef::Clustered { store: &g.sparse, schema: &g.sparse_schema }, &g.dict),
+            mk(
+                StorageRef::Clustered {
+                    store: &g.sparse,
+                    schema: &g.sparse_schema,
+                },
+                &g.dict,
+            ),
             &g.dict,
         ),
         (
             "dense-cs",
             mk(
-                StorageRef::Clustered { store: &g.dense, schema: &g.dense_schema },
+                StorageRef::Clustered {
+                    store: &g.dense,
+                    schema: &g.dense_schema,
+                },
                 &g.dense_dict,
             ),
             &g.dense_dict,
@@ -180,33 +192,75 @@ fn rowwise_eval(
 
 /// A star query over subject props, optionally linked to the tag star
 /// (cross-star hash join driving RDFjoin), optionally aggregated.
-fn make_query(dict: &sordf_model::Dictionary, width: usize, link: bool, agg: bool, lo: i64) -> Option<Query> {
+fn make_query(
+    dict: &sordf_model::Dictionary,
+    width: usize,
+    link: bool,
+    agg: bool,
+    lo: i64,
+) -> Option<Query> {
     let mut q = Query::default();
     let s = q.var("s");
     let preds = ["qty", "price", "date"];
     for p in preds.iter().take(width) {
         let oid = dict.iri_oid(&format!("http://t/{p}"))?;
         let v = q.var(&format!("o_{p}"));
-        q.patterns.push(TriplePattern { s: VarOrOid::Var(s), p: oid, o: VarOrOid::Var(v) });
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(s),
+            p: oid,
+            o: VarOrOid::Var(v),
+        });
     }
     if link {
         let tag = dict.iri_oid("http://t/tag")?;
         let label = dict.iri_oid("http://t/label")?;
         let t = q.var("t");
         let l = q.var("l");
-        q.patterns.push(TriplePattern { s: VarOrOid::Var(s), p: tag, o: VarOrOid::Var(t) });
-        q.patterns.push(TriplePattern { s: VarOrOid::Var(t), p: label, o: VarOrOid::Var(l) });
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(s),
+            p: tag,
+            o: VarOrOid::Var(t),
+        });
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(t),
+            p: label,
+            o: VarOrOid::Var(l),
+        });
     }
     // A pushable range filter on qty.
     let qty = q.var("o_qty");
-    q.filters.push(Expr::cmp(Expr::Var(qty), CmpOp::Ge, Expr::Const(Oid::from_int(lo).unwrap())));
+    q.filters.push(Expr::cmp(
+        Expr::Var(qty),
+        CmpOp::Ge,
+        Expr::Const(Oid::from_int(lo).unwrap()),
+    ));
     if agg {
         q.select = vec![
-            SelectItem::Agg { func: AggFunc::Count, expr: Expr::Var(s), name: "n".into() },
-            SelectItem::Agg { func: AggFunc::Sum, expr: Expr::Var(qty), name: "sum".into() },
-            SelectItem::Agg { func: AggFunc::Avg, expr: Expr::Var(qty), name: "avg".into() },
-            SelectItem::Agg { func: AggFunc::Min, expr: Expr::Var(qty), name: "min".into() },
-            SelectItem::Agg { func: AggFunc::Max, expr: Expr::Var(qty), name: "max".into() },
+            SelectItem::Agg {
+                func: AggFunc::Count,
+                expr: Expr::Var(s),
+                name: "n".into(),
+            },
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                expr: Expr::Var(qty),
+                name: "sum".into(),
+            },
+            SelectItem::Agg {
+                func: AggFunc::Avg,
+                expr: Expr::Var(qty),
+                name: "avg".into(),
+            },
+            SelectItem::Agg {
+                func: AggFunc::Min,
+                expr: Expr::Var(qty),
+                name: "min".into(),
+            },
+            SelectItem::Agg {
+                func: AggFunc::Max,
+                expr: Expr::Var(qty),
+                name: "max".into(),
+            },
         ];
     }
     Some(q)

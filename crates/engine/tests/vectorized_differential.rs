@@ -21,7 +21,7 @@ use std::sync::Arc;
 /// columns, side tables, and the irregular store are all exercised.
 fn arb_graph() -> impl Strategy<Value = Vec<TermTriple>> {
     (
-        2usize..40,                                   // subjects
+        2usize..40,                                          // subjects
         proptest::collection::vec((0u32..5, 0u8..4), 0..60), // (subject, quirk) noise
     )
         .prop_map(|(n, noise)| {
@@ -123,7 +123,10 @@ fn contexts<'a>(g: &'a Gen, zonemaps: bool) -> Vec<(&'static str, ExecContext<'a
             &g.pool,
             dict,
             storage,
-            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps },
+            ExecConfig {
+                scheme: PlanScheme::RdfScanJoin,
+                zonemaps,
+            },
         )
     };
     vec![
@@ -131,14 +134,20 @@ fn contexts<'a>(g: &'a Gen, zonemaps: bool) -> Vec<(&'static str, ExecContext<'a
         (
             "sparse-cs",
             mk(
-                StorageRef::Clustered { store: &g.sparse, schema: &g.sparse_schema },
+                StorageRef::Clustered {
+                    store: &g.sparse,
+                    schema: &g.sparse_schema,
+                },
                 &g.dict,
             ),
         ),
         (
             "dense-cs",
             mk(
-                StorageRef::Clustered { store: &g.dense, schema: &g.dense_schema },
+                StorageRef::Clustered {
+                    store: &g.dense,
+                    schema: &g.dense_schema,
+                },
                 &g.dense_dict,
             ),
         ),

@@ -120,7 +120,7 @@ mod tests {
     fn datetime_roundtrip() {
         let t = parse_datetime("1996-07-04T12:34:56Z").unwrap();
         assert_eq!(format_datetime(t), "1996-07-04T12:34:56Z");
-        assert!(parse_datetime("1996-07-04") .is_err());
+        assert!(parse_datetime("1996-07-04").is_err());
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl Pool {
 
     /// Reorder entries so entry `old` moves to position `new_of_old[old]`.
     fn permute(&mut self, new_of_old: &[u64]) {
-        assert_eq!(new_of_old.len(), self.entries.len(), "permutation size mismatch");
+        assert_eq!(
+            new_of_old.len(),
+            self.entries.len(),
+            "permutation size mismatch"
+        );
         let mut reordered = vec![String::new(); self.entries.len()];
         for (old, s) in self.entries.drain(..).enumerate() {
             reordered[new_of_old[old] as usize] = s;
@@ -102,9 +106,9 @@ impl Dictionary {
     /// Encode a literal value. Inlinable types never touch the pools.
     pub fn encode_value(&mut self, v: &Value) -> Result<Oid, ModelError> {
         match v {
-            Value::Str { lexical, lang } => {
-                Ok(Oid::string(self.strings.intern(&str_key(lexical, lang.as_deref()))))
-            }
+            Value::Str { lexical, lang } => Ok(Oid::string(
+                self.strings.intern(&str_key(lexical, lang.as_deref())),
+            )),
             Value::Int(i) => Oid::from_int(*i),
             Value::Decimal(u) => Oid::from_decimal_unscaled(*u),
             Value::Date(d) => Oid::from_date_days(*d),
@@ -154,7 +158,9 @@ impl Dictionary {
     /// The IRI string behind an IRI OID.
     pub fn iri_str(&self, oid: Oid) -> Result<&str, ModelError> {
         debug_assert_eq!(oid.tag(), TypeTag::Iri);
-        self.iris.get(oid.payload()).ok_or(ModelError::UnknownOid(oid.raw()))
+        self.iris
+            .get(oid.payload())
+            .ok_or(ModelError::UnknownOid(oid.raw()))
     }
 
     /// Decode any OID back to a term.
@@ -164,10 +170,18 @@ impl Dictionary {
         }
         let missing = || ModelError::UnknownOid(oid.raw());
         Ok(match oid.tag() {
-            TypeTag::Iri => Term::Iri(self.iris.get(oid.payload()).ok_or_else(missing)?.to_string()),
-            TypeTag::Blank => {
-                Term::Blank(self.blanks.get(oid.payload()).ok_or_else(missing)?.to_string())
-            }
+            TypeTag::Iri => Term::Iri(
+                self.iris
+                    .get(oid.payload())
+                    .ok_or_else(missing)?
+                    .to_string(),
+            ),
+            TypeTag::Blank => Term::Blank(
+                self.blanks
+                    .get(oid.payload())
+                    .ok_or_else(missing)?
+                    .to_string(),
+            ),
             TypeTag::Str => {
                 let key = self.strings.get(oid.payload()).ok_or_else(missing)?;
                 let (lex, lang) = split_str_key(key);
@@ -271,10 +285,16 @@ mod tests {
     fn lang_tags_distinguish_literals() {
         let mut d = Dictionary::new();
         let plain = d
-            .encode_value(&Value::Str { lexical: "chat".into(), lang: None })
+            .encode_value(&Value::Str {
+                lexical: "chat".into(),
+                lang: None,
+            })
             .unwrap();
         let fr = d
-            .encode_value(&Value::Str { lexical: "chat".into(), lang: Some("fr".into()) })
+            .encode_value(&Value::Str {
+                lexical: "chat".into(),
+                lang: Some("fr".into()),
+            })
             .unwrap();
         assert_ne!(plain, fr);
     }
@@ -320,9 +340,6 @@ mod tests {
         assert_eq!(d.term_oid(&Term::iri("nope")), None);
         assert_eq!(d.n_iris(), 0);
         // Inline literals are found without dictionary state.
-        assert_eq!(
-            d.term_oid(&Term::int(7)),
-            Some(Oid::from_int(7).unwrap())
-        );
+        assert_eq!(d.term_oid(&Term::int(7)), Some(Oid::from_int(7).unwrap()));
     }
 }

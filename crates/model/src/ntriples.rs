@@ -30,7 +30,10 @@ pub fn parse_document(text: &str) -> Result<Vec<TermTriple>, ModelError> {
 pub fn parse_reader<R: BufRead>(reader: R) -> Result<Vec<TermTriple>, ModelError> {
     let mut out = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| ModelError::Parse { line: lineno + 1, msg: e.to_string() })?;
+        let line = line.map_err(|e| ModelError::Parse {
+            line: lineno + 1,
+            msg: e.to_string(),
+        })?;
         if let Some(t) = parse_line(&line, lineno + 1)? {
             out.push(t);
         }
@@ -40,7 +43,11 @@ pub fn parse_reader<R: BufRead>(reader: R) -> Result<Vec<TermTriple>, ModelError
 
 /// Parse one line. Returns `None` for comments and blank lines.
 pub fn parse_line(line: &str, lineno: usize) -> Result<Option<TermTriple>, ModelError> {
-    let mut p = Parser { bytes: line.as_bytes(), pos: 0, line: lineno };
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+        line: lineno,
+    };
     p.skip_ws();
     if p.at_end() || p.peek() == b'#' {
         return Ok(None);
@@ -67,7 +74,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> ModelError {
-        ModelError::Parse { line: self.line, msg: msg.to_string() }
+        ModelError::Parse {
+            line: self.line,
+            msg: msg.to_string(),
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -212,7 +222,9 @@ impl<'a> Parser<'a> {
                 lang: Some(lang),
             })));
         }
-        if self.pos + 1 < self.bytes.len() && self.peek() == b'^' && self.bytes[self.pos + 1] == b'^'
+        if self.pos + 1 < self.bytes.len()
+            && self.peek() == b'^'
+            && self.bytes[self.pos + 1] == b'^'
         {
             self.pos += 2;
             let dt = self.parse_iri()?;
@@ -245,7 +257,10 @@ fn utf8_len(first: u8) -> usize {
 
 /// Map a (lexical, datatype IRI) pair to a typed [`Value`].
 fn typed_value(lexical: String, datatype: &str, line: usize) -> Result<Value, ModelError> {
-    let parse_err = |msg: &str| ModelError::Parse { line, msg: format!("{msg}: {lexical:?}") };
+    let parse_err = |msg: &str| ModelError::Parse {
+        line,
+        msg: format!("{msg}: {lexical:?}"),
+    };
     Ok(match datatype {
         vocab::XSD_INTEGER
         | "http://www.w3.org/2001/XMLSchema#int"
@@ -264,7 +279,10 @@ fn typed_value(lexical: String, datatype: &str, line: usize) -> Result<Value, Mo
             _ => return Err(parse_err("bad boolean")),
         },
         // Unknown datatypes (including xsd:string) degrade to plain strings.
-        _ => Value::Str { lexical, lang: None },
+        _ => Value::Str {
+            lexical,
+            lang: None,
+        },
     })
 }
 
@@ -293,7 +311,10 @@ pub fn write_term(out: &mut String, term: &Term) {
                 }
             }
             out.push('"');
-            if let Value::Str { lang: Some(lang), .. } = &lit.value {
+            if let Value::Str {
+                lang: Some(lang), ..
+            } = &lit.value
+            {
                 out.push('@');
                 out.push_str(lang);
             } else if let Some(dt) = lit.value.datatype() {

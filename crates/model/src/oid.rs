@@ -264,7 +264,11 @@ impl std::fmt::Debug for Oid {
         match self.tag() {
             TypeTag::Int => write!(f, "Oid(int {})", self.as_int()),
             TypeTag::Dec => write!(f, "Oid(dec {})", self.as_decimal_unscaled()),
-            TypeTag::Date => write!(f, "Oid(date {})", crate::date::format_date(self.as_date_days())),
+            TypeTag::Date => write!(
+                f,
+                "Oid(date {})",
+                crate::date::format_date(self.as_date_days())
+            ),
             TypeTag::DateTime => write!(f, "Oid(dt {})", self.as_datetime_secs()),
             TypeTag::Bool => write!(f, "Oid(bool {})", self.as_bool()),
             t => write!(f, "Oid({} #{})", t.name(), self.payload()),

@@ -9,7 +9,10 @@ use crate::vocab;
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// Plain or `xsd:string` literal, with optional language tag.
-    Str { lexical: String, lang: Option<String> },
+    Str {
+        lexical: String,
+        lang: Option<String>,
+    },
     /// `xsd:integer` (and the narrower integer types).
     Int(i64),
     /// `xsd:decimal` / `xsd:double` at fixed scale 4: `unscaled * 10^-4`.
@@ -25,7 +28,10 @@ pub enum Value {
 impl Value {
     /// Build a plain string value.
     pub fn str(s: impl Into<String>) -> Value {
-        Value::Str { lexical: s.into(), lang: None }
+        Value::Str {
+            lexical: s.into(),
+            lang: None,
+        }
     }
 
     /// Build a decimal from an f64 (rounded to scale 4).
@@ -90,7 +96,11 @@ pub fn parse_decimal(s: &str) -> Option<i64> {
     if int_part.is_empty() && frac_part.is_empty() {
         return None;
     }
-    let int: i64 = if int_part.is_empty() { 0 } else { int_part.parse().ok()? };
+    let int: i64 = if int_part.is_empty() {
+        0
+    } else {
+        int_part.parse().ok()?
+    };
     let mut frac: i64 = 0;
     for (i, c) in frac_part.bytes().enumerate() {
         if i >= DECIMAL_SCALE as usize {
@@ -101,7 +111,8 @@ pub fn parse_decimal(s: &str) -> Option<i64> {
         }
         frac = frac * 10 + (c - b'0') as i64;
     }
-    let missing = (DECIMAL_SCALE as usize).saturating_sub(frac_part.len().min(DECIMAL_SCALE as usize));
+    let missing =
+        (DECIMAL_SCALE as usize).saturating_sub(frac_part.len().min(DECIMAL_SCALE as usize));
     frac *= 10i64.pow(missing as u32);
     Some(sign * (int.checked_mul(DECIMAL_ONE)? + frac))
 }
@@ -159,7 +170,9 @@ impl Term {
     }
 
     pub fn date(s: &str) -> Term {
-        Term::literal(Value::Date(date::parse_date(s).expect("valid date literal")))
+        Term::literal(Value::Date(
+            date::parse_date(s).expect("valid date literal"),
+        ))
     }
 
     pub fn decimal_f64(v: f64) -> Term {
@@ -188,7 +201,16 @@ mod tests {
 
     #[test]
     fn decimal_parse_format_roundtrip() {
-        for s in ["0", "1", "-1", "12.34", "-12.34", "0.0001", "5", "1234567.8901"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "12.34",
+            "-12.34",
+            "0.0001",
+            "5",
+            "1234567.8901",
+        ] {
             let u = parse_decimal(s).unwrap();
             assert_eq!(format_decimal(u), s, "roundtrip {s}");
         }
@@ -206,7 +228,10 @@ mod tests {
 
     #[test]
     fn local_name_extraction() {
-        assert_eq!(Term::local_name("http://ex.org/schema#hasAuthor"), "hasAuthor");
+        assert_eq!(
+            Term::local_name("http://ex.org/schema#hasAuthor"),
+            "hasAuthor"
+        );
         assert_eq!(Term::local_name("http://ex.org/schema/title"), "title");
         assert_eq!(Term::local_name("urn:isbn"), "isbn");
         assert_eq!(Term::local_name("plain"), "plain");

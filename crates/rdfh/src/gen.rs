@@ -24,7 +24,10 @@ impl Default for RdfhConfig {
 
 impl RdfhConfig {
     pub fn new(sf: f64) -> RdfhConfig {
-        RdfhConfig { sf, ..Default::default() }
+        RdfhConfig {
+            sf,
+            ..Default::default()
+        }
     }
 
     pub fn n_region(&self) -> u64 {
@@ -60,14 +63,25 @@ pub struct RdfhData {
     pub n_customer: u64,
 }
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
 const RETURNFLAGS: [&str; 3] = ["A", "N", "R"];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
-const TYPES: [&str; 6] =
-    ["ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "MEDIUM POLISHED COPPER",
-     "PROMO BURNISHED NICKEL", "SMALL PLATED TIN", "STANDARD POLISHED BRASS"];
+const TYPES: [&str; 6] = [
+    "ECONOMY ANODIZED STEEL",
+    "LARGE BRUSHED BRASS",
+    "MEDIUM POLISHED COPPER",
+    "PROMO BURNISHED NICKEL",
+    "SMALL PLATED TIN",
+    "STANDARD POLISHED BRASS",
+];
 
 /// First day of the TPC-H date range, as days since the epoch.
 fn startdate() -> i64 {
@@ -103,20 +117,40 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
     for r in 0..cfg.n_region() {
         let s = iri("region", r);
         push(&s, rdf_type.clone(), type_of("region"), &mut triples);
-        push(&s, pred("region_name"), Term::str(REGIONS[r as usize]), &mut triples);
+        push(
+            &s,
+            pred("region_name"),
+            Term::str(REGIONS[r as usize]),
+            &mut triples,
+        );
     }
     // nation
     for n in 0..cfg.n_nation() {
         let s = iri("nation", n);
         push(&s, rdf_type.clone(), type_of("nation"), &mut triples);
-        push(&s, pred("nation_name"), Term::str(format!("NATION{n:02}")), &mut triples);
-        push(&s, pred("nation_regionkey"), iri("region", n % 5), &mut triples);
+        push(
+            &s,
+            pred("nation_name"),
+            Term::str(format!("NATION{n:02}")),
+            &mut triples,
+        );
+        push(
+            &s,
+            pred("nation_regionkey"),
+            iri("region", n % 5),
+            &mut triples,
+        );
     }
     // supplier
     for sk in 0..cfg.n_supplier() {
         let s = iri("supplier", sk);
         push(&s, rdf_type.clone(), type_of("supplier"), &mut triples);
-        push(&s, pred("supplier_name"), Term::str(format!("Supplier#{sk:09}")), &mut triples);
+        push(
+            &s,
+            pred("supplier_name"),
+            Term::str(format!("Supplier#{sk:09}")),
+            &mut triples,
+        );
         push(
             &s,
             pred("supplier_nationkey"),
@@ -134,11 +168,20 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
     for pk in 0..cfg.n_part() {
         let s = iri("part", pk);
         push(&s, rdf_type.clone(), type_of("part"), &mut triples);
-        push(&s, pred("part_name"), Term::str(format!("part {pk}")), &mut triples);
+        push(
+            &s,
+            pred("part_name"),
+            Term::str(format!("part {pk}")),
+            &mut triples,
+        );
         push(
             &s,
             pred("part_brand"),
-            Term::str(format!("Brand#{}{}", rng.random_range(1..6), rng.random_range(1..6))),
+            Term::str(format!(
+                "Brand#{}{}",
+                rng.random_range(1..6),
+                rng.random_range(1..6)
+            )),
             &mut triples,
         );
         push(
@@ -147,7 +190,12 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
             Term::str(TYPES[rng.random_range(0..TYPES.len())]),
             &mut triples,
         );
-        push(&s, pred("part_size"), Term::int(rng.random_range(1..51)), &mut triples);
+        push(
+            &s,
+            pred("part_size"),
+            Term::int(rng.random_range(1..51)),
+            &mut triples,
+        );
         push(
             &s,
             pred("part_retailprice"),
@@ -159,7 +207,12 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
     for ck in 0..cfg.n_customer() {
         let s = iri("customer", ck);
         push(&s, rdf_type.clone(), type_of("customer"), &mut triples);
-        push(&s, pred("customer_name"), Term::str(format!("Customer#{ck:09}")), &mut triples);
+        push(
+            &s,
+            pred("customer_name"),
+            Term::str(format!("Customer#{ck:09}")),
+            &mut triples,
+        );
         push(
             &s,
             pred("customer_mktsegment"),
@@ -193,7 +246,12 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
             iri("customer", rng.random_range(0..cfg.n_customer())),
             &mut triples,
         );
-        push(&s, pred("order_orderdate"), Term::literal(Value::Date(orderdate)), &mut triples);
+        push(
+            &s,
+            pred("order_orderdate"),
+            Term::literal(Value::Date(orderdate)),
+            &mut triples,
+        );
         push(
             &s,
             pred("order_orderpriority"),
@@ -226,7 +284,12 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
             total += extendedprice * (1.0 - discount);
 
             push(&li, rdf_type.clone(), type_of("lineitem"), &mut triples);
-            push(&li, pred("lineitem_orderkey"), iri("order", ok), &mut triples);
+            push(
+                &li,
+                pred("lineitem_orderkey"),
+                iri("order", ok),
+                &mut triples,
+            );
             push(
                 &li,
                 pred("lineitem_partkey"),
@@ -239,11 +302,36 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
                 iri("supplier", rng.random_range(0..cfg.n_supplier())),
                 &mut triples,
             );
-            push(&li, pred("lineitem_linenumber"), Term::int(ln as i64 + 1), &mut triples);
-            push(&li, pred("lineitem_quantity"), Term::int(quantity), &mut triples);
-            push(&li, pred("lineitem_extendedprice"), Term::decimal_f64(extendedprice), &mut triples);
-            push(&li, pred("lineitem_discount"), Term::decimal_f64(discount), &mut triples);
-            push(&li, pred("lineitem_tax"), Term::decimal_f64(tax), &mut triples);
+            push(
+                &li,
+                pred("lineitem_linenumber"),
+                Term::int(ln as i64 + 1),
+                &mut triples,
+            );
+            push(
+                &li,
+                pred("lineitem_quantity"),
+                Term::int(quantity),
+                &mut triples,
+            );
+            push(
+                &li,
+                pred("lineitem_extendedprice"),
+                Term::decimal_f64(extendedprice),
+                &mut triples,
+            );
+            push(
+                &li,
+                pred("lineitem_discount"),
+                Term::decimal_f64(discount),
+                &mut triples,
+            );
+            push(
+                &li,
+                pred("lineitem_tax"),
+                Term::decimal_f64(tax),
+                &mut triples,
+            );
             push(
                 &li,
                 pred("lineitem_returnflag"),
@@ -256,9 +344,24 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
                 Term::str(if shipdate > start + 2160 { "O" } else { "F" }),
                 &mut triples,
             );
-            push(&li, pred("lineitem_shipdate"), Term::literal(Value::Date(shipdate)), &mut triples);
-            push(&li, pred("lineitem_commitdate"), Term::literal(Value::Date(commitdate)), &mut triples);
-            push(&li, pred("lineitem_receiptdate"), Term::literal(Value::Date(receiptdate)), &mut triples);
+            push(
+                &li,
+                pred("lineitem_shipdate"),
+                Term::literal(Value::Date(shipdate)),
+                &mut triples,
+            );
+            push(
+                &li,
+                pred("lineitem_commitdate"),
+                Term::literal(Value::Date(commitdate)),
+                &mut triples,
+            );
+            push(
+                &li,
+                pred("lineitem_receiptdate"),
+                Term::literal(Value::Date(receiptdate)),
+                &mut triples,
+            );
             push(
                 &li,
                 pred("lineitem_shipmode"),
@@ -266,10 +369,20 @@ pub fn generate(cfg: &RdfhConfig) -> RdfhData {
                 &mut triples,
             );
         }
-        push(&s, pred("order_totalprice"), Term::decimal_f64(total), &mut triples);
+        push(
+            &s,
+            pred("order_totalprice"),
+            Term::decimal_f64(total),
+            &mut triples,
+        );
     }
 
-    RdfhData { triples, n_lineitem, n_orders: cfg.n_orders(), n_customer: cfg.n_customer() }
+    RdfhData {
+        triples,
+        n_lineitem,
+        n_orders: cfg.n_orders(),
+        n_customer: cfg.n_customer(),
+    }
 }
 
 #[cfg(test)]
@@ -297,7 +410,10 @@ mod tests {
 
     #[test]
     fn shipdate_trails_orderdate() {
-        let d = generate(&RdfhConfig { sf: 0.0005, seed: 1 });
+        let d = generate(&RdfhConfig {
+            sf: 0.0005,
+            seed: 1,
+        });
         // Collect per-order orderdate and per-lineitem (orderkey, shipdate).
         let mut orderdates = std::collections::HashMap::new();
         let mut pairs = Vec::new();
@@ -332,13 +448,19 @@ mod tests {
         for (li, ok) in pairs {
             let od = orderdates[&ok];
             let sd = shipdates[&li];
-            assert!(sd > od && sd <= od + 121, "shipdate within (orderdate, +121]");
+            assert!(
+                sd > od && sd <= od + 121,
+                "shipdate within (orderdate, +121]"
+            );
         }
     }
 
     #[test]
     fn all_subjects_typed() {
-        let d = generate(&RdfhConfig { sf: 0.0005, seed: 3 });
+        let d = generate(&RdfhConfig {
+            sf: 0.0005,
+            seed: 3,
+        });
         let typed: std::collections::HashSet<_> = d
             .triples
             .iter()

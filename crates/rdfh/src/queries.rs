@@ -18,8 +18,14 @@ pub enum QueryId {
 }
 
 /// All provided queries.
-pub const ALL_QUERIES: [QueryId; 6] =
-    [QueryId::Q1, QueryId::Q3, QueryId::Q5, QueryId::Q6, QueryId::Q10, QueryId::Q14];
+pub const ALL_QUERIES: [QueryId; 6] = [
+    QueryId::Q1,
+    QueryId::Q3,
+    QueryId::Q5,
+    QueryId::Q6,
+    QueryId::Q10,
+    QueryId::Q14,
+];
 
 impl QueryId {
     pub fn name(self) -> &'static str {
@@ -38,7 +44,8 @@ impl QueryId {
 pub fn query(id: QueryId) -> &'static str {
     match id {
         // Q1: pricing summary report (big scan + aggregation).
-        QueryId::Q1 => r#"
+        QueryId::Q1 => {
+            r#"
 PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
 SELECT ?returnflag ?linestatus
        (SUM(?quantity) AS ?sum_qty)
@@ -59,9 +66,11 @@ WHERE {
 }
 GROUP BY ?returnflag ?linestatus
 ORDER BY ?returnflag ?linestatus
-"#,
+"#
+        }
         // Q3: shipping priority (customer ⨝ orders ⨝ lineitem).
-        QueryId::Q3 => r#"
+        QueryId::Q3 => {
+            r#"
 PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
 SELECT ?o (SUM(?extendedprice * (1 - ?discount)) AS ?revenue) ?orderdate ?shippriority
 WHERE {
@@ -78,9 +87,11 @@ WHERE {
 GROUP BY ?o ?orderdate ?shippriority
 ORDER BY DESC(?revenue) ?orderdate
 LIMIT 10
-"#,
+"#
+        }
         // Q5: local supplier volume (customer ⨝ orders ⨝ lineitem ⨝ nation).
-        QueryId::Q5 => r#"
+        QueryId::Q5 => {
+            r#"
 PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
 SELECT ?nname (SUM(?extendedprice * (1 - ?discount)) AS ?revenue)
 WHERE {
@@ -95,9 +106,11 @@ WHERE {
 }
 GROUP BY ?nname
 ORDER BY DESC(?revenue)
-"#,
+"#
+        }
         // Q6: forecasting revenue change (the paper's scan-heavy query).
-        QueryId::Q6 => r#"
+        QueryId::Q6 => {
+            r#"
 PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
 SELECT (SUM(?extendedprice * ?discount) AS ?revenue)
 WHERE {
@@ -108,9 +121,11 @@ WHERE {
   FILTER(?shipdate >= "1994-01-01"^^xsd:date && ?shipdate < "1995-01-01"^^xsd:date
          && ?discount >= 0.05 && ?discount <= 0.07 && ?quantity < 24)
 }
-"#,
+"#
+        }
         // Q10: returned item reporting.
-        QueryId::Q10 => r#"
+        QueryId::Q10 => {
+            r#"
 PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
 SELECT ?c ?cname (SUM(?extendedprice * (1 - ?discount)) AS ?revenue)
 WHERE {
@@ -126,9 +141,11 @@ WHERE {
 GROUP BY ?c ?cname
 ORDER BY DESC(?revenue)
 LIMIT 20
-"#,
+"#
+        }
         // Q14: promotion effect (lineitem ⨝ part).
-        QueryId::Q14 => r#"
+        QueryId::Q14 => {
+            r#"
 PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
 SELECT (SUM(?extendedprice * (1 - ?discount)) AS ?promo_revenue) (COUNT(*) AS ?n)
 WHERE {
@@ -139,7 +156,8 @@ WHERE {
   ?p rdfh:part_type "PROMO BURNISHED NICKEL" .
   FILTER(?shipdate >= "1995-09-01"^^xsd:date && ?shipdate < "1995-10-01"^^xsd:date)
 }
-"#,
+"#
+        }
     }
 }
 

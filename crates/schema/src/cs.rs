@@ -28,7 +28,9 @@ impl ExactCs {
 /// and the subject → CS-index assignment.
 pub fn extract(triples_spo: &[Triple]) -> (Vec<ExactCs>, FxHashMap<Oid, u32>) {
     debug_assert!(
-        triples_spo.windows(2).all(|w| w[0].key_spo() <= w[1].key_spo()),
+        triples_spo
+            .windows(2)
+            .all(|w| w[0].key_spo() <= w[1].key_spo()),
         "input must be SPO-sorted"
     );
     let mut by_props: FxHashMap<Vec<Oid>, Vec<Oid>> = FxHashMap::default();

@@ -56,14 +56,21 @@ pub fn shape_multiplicity(
         n_multi: u64,
         n_matching: u64,
     }
-    let mut stats: Vec<Vec<MultStats>> =
-        typed.iter().map(|c| vec![MultStats::default(); c.props.len()]).collect();
+    let mut stats: Vec<Vec<MultStats>> = typed
+        .iter()
+        .map(|c| vec![MultStats::default(); c.props.len()])
+        .collect();
 
     walk_sp_groups(triples_spo, |s, p, objects| {
         let Some(&ci) = assign.get(&s) else { return };
-        let Some(&pi) = prop_idx[ci as usize].get(&p) else { return };
+        let Some(&pi) = prop_idx[ci as usize].get(&p) else {
+            return;
+        };
         let ty = typed[ci as usize].col_types[pi];
-        let matching = objects.iter().filter(|o| !o.is_null() && o.tag() == ty).count() as u64;
+        let matching = objects
+            .iter()
+            .filter(|o| !o.is_null() && o.tag() == ty)
+            .count() as u64;
         if matching > 0 {
             let st = &mut stats[ci as usize][pi];
             st.n_with += 1;
@@ -84,10 +91,16 @@ pub fn shape_multiplicity(
                 .enumerate()
                 .map(|(pi, &pred)| {
                     let st = stats[ci][pi];
-                    let mean =
-                        if st.n_with == 0 { 0.0 } else { st.n_matching as f64 / st.n_with as f64 };
-                    let frac_multi =
-                        if st.n_with == 0 { 0.0 } else { st.n_multi as f64 / st.n_with as f64 };
+                    let mean = if st.n_with == 0 {
+                        0.0
+                    } else {
+                        st.n_matching as f64 / st.n_with as f64
+                    };
+                    let frac_multi = if st.n_with == 0 {
+                        0.0
+                    } else {
+                        st.n_multi as f64 / st.n_with as f64
+                    };
                     ShapedProp {
                         pred,
                         ty: c.col_types[pi],
@@ -97,7 +110,10 @@ pub fn shape_multiplicity(
                     }
                 })
                 .collect();
-            ShapedClass { props, subjects: c.subjects }
+            ShapedClass {
+                props,
+                subjects: c.subjects,
+            }
         })
         .collect()
 }
@@ -167,7 +183,11 @@ mod tests {
         let q = Oid::iri(101);
         let mut triples = Vec::new();
         for s in 0..100u64 {
-            triples.push(Triple::new(Oid::iri(s), p, Oid::from_int(s as i64).unwrap()));
+            triples.push(Triple::new(
+                Oid::iri(s),
+                p,
+                Oid::from_int(s as i64).unwrap(),
+            ));
             triples.push(Triple::new(Oid::iri(s), q, Oid::from_int(0).unwrap()));
         }
         // minority string noise on p for 10 subjects

@@ -53,26 +53,44 @@ pub fn discover_fks(
     }
     let prop_idx: Vec<FxHashMap<Oid, usize>> = classes
         .iter()
-        .map(|c| c.props.iter().enumerate().map(|(i, p)| (p.pred, i)).collect())
+        .map(|c| {
+            c.props
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.pred, i))
+                .collect()
+        })
         .collect();
 
-    let mut stats: Vec<Vec<RefStats>> =
-        classes.iter().map(|c| vec![RefStats::default(); c.props.len()]).collect();
-    let mut distinct: Vec<Vec<FxHashSet<Oid>>> =
-        classes.iter().map(|c| vec![FxHashSet::default(); c.props.len()]).collect();
+    let mut stats: Vec<Vec<RefStats>> = classes
+        .iter()
+        .map(|c| vec![RefStats::default(); c.props.len()])
+        .collect();
+    let mut distinct: Vec<Vec<FxHashSet<Oid>>> = classes
+        .iter()
+        .map(|c| vec![FxHashSet::default(); c.props.len()])
+        .collect();
 
     walk_sp_groups(triples_spo, |s, p, objects| {
         let Some(&ci) = assign.get(&s) else { return };
-        let Some(&pi) = prop_idx[ci as usize].get(&p) else { return };
+        let Some(&pi) = prop_idx[ci as usize].get(&p) else {
+            return;
+        };
         let prop = &classes[ci as usize].props[pi];
         if prop.ty != TypeTag::Iri {
             return;
         }
         // Placement rule: single-valued -> first (smallest) matching object;
         // multi-valued -> all matching objects.
-        let matching = objects.iter().copied().filter(|o| !o.is_null() && o.tag() == TypeTag::Iri);
-        let placed: Vec<Oid> =
-            if prop.multi { matching.collect() } else { matching.take(1).collect() };
+        let matching = objects
+            .iter()
+            .copied()
+            .filter(|o| !o.is_null() && o.tag() == TypeTag::Iri);
+        let placed: Vec<Oid> = if prop.multi {
+            matching.collect()
+        } else {
+            matching.take(1).collect()
+        };
         let st = &mut stats[ci as usize][pi];
         for o in placed {
             st.n_refs += 1;
@@ -93,7 +111,10 @@ pub fn discover_fks(
             if st.n_refs == 0 {
                 continue;
             }
-            let Some((&target, &n)) = st.per_target.iter().max_by_key(|&(t, &n)| (n, u32::MAX - *t))
+            let Some((&target, &n)) = st
+                .per_target
+                .iter()
+                .max_by_key(|&(t, &n)| (n, u32::MAX - *t))
             else {
                 continue;
             };
@@ -111,7 +132,11 @@ pub fn discover_fks(
                 && n == st.n_refs
                 && st.n_distinct == st.n_refs
                 && st.n_refs == classes[target as usize].subjects.len() as u64;
-            edges[ci][pi] = Some(FkEdge { target, strength, one_to_one });
+            edges[ci][pi] = Some(FkEdge {
+                target,
+                strength,
+                one_to_one,
+            });
         }
     }
     (edges, incoming, stats)
@@ -146,8 +171,16 @@ mod tests {
         let p_name = Oid::iri(5002);
         let mut triples = Vec::new();
         for s in 0..n_orders {
-            triples.push(Triple::new(Oid::iri(s), p_cust, Oid::iri(1000 + s % n_cust)));
-            triples.push(Triple::new(Oid::iri(s), p_date, Oid::from_date_days(s as i64).unwrap()));
+            triples.push(Triple::new(
+                Oid::iri(s),
+                p_cust,
+                Oid::iri(1000 + s % n_cust),
+            ));
+            triples.push(Triple::new(
+                Oid::iri(s),
+                p_date,
+                Oid::from_date_days(s as i64).unwrap(),
+            ));
         }
         for c in 0..n_cust {
             triples.push(Triple::new(Oid::iri(1000 + c), p_name, Oid::string(c)));
@@ -185,7 +218,11 @@ mod tests {
             .enumerate()
             .find(|(_, c)| c.props.iter().any(|p| p.pred == Oid::iri(5000)))
             .unwrap();
-        let pi = shaped[oi].props.iter().position(|p| p.pred == Oid::iri(5000)).unwrap();
+        let pi = shaped[oi]
+            .props
+            .iter()
+            .position(|p| p.pred == Oid::iri(5000))
+            .unwrap();
         assert!(edges[oi][pi].unwrap().one_to_one);
     }
 
@@ -199,13 +236,21 @@ mod tests {
         for s in 0..40u64 {
             let target = if s % 2 == 0 { 1000 + s } else { 2000 + s };
             triples.push(Triple::new(Oid::iri(s), p_ref, Oid::iri(target)));
-            triples.push(Triple::new(Oid::iri(s), Oid::iri(5009), Oid::from_int(1).unwrap()));
+            triples.push(Triple::new(
+                Oid::iri(s),
+                Oid::iri(5009),
+                Oid::from_int(1).unwrap(),
+            ));
         }
         for s in 0..40u64 {
             if s % 2 == 0 {
                 triples.push(Triple::new(Oid::iri(1000 + s), p_b, Oid::string(s)));
             } else {
-                triples.push(Triple::new(Oid::iri(2000 + s), p_c, Oid::from_int(2).unwrap()));
+                triples.push(Triple::new(
+                    Oid::iri(2000 + s),
+                    p_c,
+                    Oid::from_int(2).unwrap(),
+                ));
             }
         }
         let (shaped, edges, _) = pipeline(&mut triples, &SchemaConfig::default());
@@ -214,7 +259,11 @@ mod tests {
             .enumerate()
             .find(|(_, c)| c.props.iter().any(|p| p.pred == p_ref))
             .unwrap();
-        let pi = shaped[oi].props.iter().position(|p| p.pred == p_ref).unwrap();
+        let pi = shaped[oi]
+            .props
+            .iter()
+            .position(|p| p.pred == p_ref)
+            .unwrap();
         assert_eq!(edges[oi][pi], None);
     }
 

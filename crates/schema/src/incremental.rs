@@ -60,25 +60,30 @@ impl IncrementalAssigner {
         if props.is_empty() {
             return None;
         }
-        debug_assert!(props.windows(2).all(|w| w[0] < w[1]), "props must be sorted+dedup");
+        debug_assert!(
+            props.windows(2).all(|w| w[0] < w[1]),
+            "props must be sorted+dedup"
+        );
         let mut best: Option<(usize, f64, usize)> = None; // (class, score, class size)
         for (ci, cprops) in self.class_props.iter().enumerate() {
             let inter = sorted_intersection_len(props, cprops);
             let containment = inter as f64 / props.len() as f64;
             let union_size = props.len() + cprops.len() - inter;
-            let jaccard = if union_size == 0 { 0.0 } else { inter as f64 / union_size as f64 };
+            let jaccard = if union_size == 0 {
+                0.0
+            } else {
+                inter as f64 / union_size as f64
+            };
             let score = containment.max(jaccard);
-            let admissible = containment + 1e-9 >= cfg.merge_overlap
-                || jaccard + 1e-9 >= cfg.merge_jaccard;
+            let admissible =
+                containment + 1e-9 >= cfg.merge_overlap || jaccard + 1e-9 >= cfg.merge_jaccard;
             if !admissible {
                 continue;
             }
             let size = cprops.len();
             let better = match best {
                 None => true,
-                Some((_, bs, bn)) => {
-                    score > bs + 1e-9 || ((score - bs).abs() <= 1e-9 && size > bn)
-                }
+                Some((_, bs, bn)) => score > bs + 1e-9 || ((score - bs).abs() <= 1e-9 && size > bn),
             };
             if better {
                 best = Some((ci, score, size));
@@ -135,7 +140,11 @@ impl DriftStats {
     /// Write volume relative to the base: (inserts + tombstones) / base.
     pub fn delta_ratio(&self) -> f64 {
         if self.n_base_triples == 0 {
-            return if self.n_delta_inserts + self.n_tombstones > 0 { 1.0 } else { 0.0 };
+            return if self.n_delta_inserts + self.n_tombstones > 0 {
+                1.0
+            } else {
+                0.0
+            };
         }
         (self.n_delta_inserts + self.n_tombstones) as f64 / self.n_base_triples as f64
     }
@@ -245,7 +254,10 @@ mod tests {
     #[test]
     fn best_score_wins() {
         let a = IncrementalAssigner::new(&schema());
-        let cfg = SchemaConfig { merge_overlap: 0.5, ..SchemaConfig::default() };
+        let cfg = SchemaConfig {
+            merge_overlap: 0.5,
+            ..SchemaConfig::default()
+        };
         // {2, 3, 4, 77}: containment 0.75 in class 0, 0 in class 1.
         assert_eq!(a.route(&oids(&[2, 3, 4, 77]), &cfg), Some(ClassId(0)));
         // {1, 2, 10, 11}: both classes score 0.5 (containment) — the tie

@@ -53,8 +53,8 @@ pub fn generalize(css: Vec<ExactCs>, cfg: &SchemaConfig) -> Vec<MergedClass> {
             let union_size = cs.props.len() + g.union.len() - inter;
             let jaccard = inter as f64 / union_size as f64;
             let frac = containment.max(jaccard);
-            let admissible = containment + 1e-9 >= cfg.merge_overlap
-                || jaccard + 1e-9 >= cfg.merge_jaccard;
+            let admissible =
+                containment + 1e-9 >= cfg.merge_overlap || jaccard + 1e-9 >= cfg.merge_jaccard;
             if !admissible {
                 continue;
             }
@@ -118,7 +118,9 @@ mod tests {
     fn cs(props: &[u64], n_subjects: u64, first_subject: u64) -> ExactCs {
         ExactCs {
             props: props.iter().map(|&p| Oid::iri(p)).collect(),
-            subjects: (first_subject..first_subject + n_subjects).map(Oid::iri).collect(),
+            subjects: (first_subject..first_subject + n_subjects)
+                .map(Oid::iri)
+                .collect(),
         }
     }
 
@@ -156,7 +158,11 @@ mod tests {
         let merged = generalize(css, &SchemaConfig::default());
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].props, vec![Oid::iri(1), Oid::iri(2), Oid::iri(7)]);
-        let idx7 = merged[0].props.iter().position(|&p| p == Oid::iri(7)).unwrap();
+        let idx7 = merged[0]
+            .props
+            .iter()
+            .position(|&p| p == Oid::iri(7))
+            .unwrap();
         assert_eq!(merged[0].presence[idx7], 30);
     }
 
@@ -178,7 +184,10 @@ mod tests {
     #[test]
     fn prefers_group_with_higher_overlap() {
         // {1,2,3,4} and {5,6,7,8} exist; {1,2,3,9} overlaps 3/4 with first.
-        let cfg = SchemaConfig { merge_overlap: 0.7, ..SchemaConfig::default() };
+        let cfg = SchemaConfig {
+            merge_overlap: 0.7,
+            ..SchemaConfig::default()
+        };
         let css = vec![
             cs(&[1, 2, 3, 4], 100, 0),
             cs(&[5, 6, 7, 8], 100, 200),

@@ -57,8 +57,11 @@ pub fn assign_names(schema: &mut EmergentSchema, triples_spo: &[Triple], dict: &
     schema.type_pred = type_pred;
 
     // Majority rdf:type object per class.
-    let mut type_counts: Vec<FxHashMap<Oid, u64>> =
-        schema.classes.iter().map(|_| FxHashMap::default()).collect();
+    let mut type_counts: Vec<FxHashMap<Oid, u64>> = schema
+        .classes
+        .iter()
+        .map(|_| FxHashMap::default())
+        .collect();
     if let Some(tp) = type_pred {
         for t in triples_spo {
             if t.p == tp && t.o.is_iri() {
@@ -100,7 +103,9 @@ pub fn assign_names(schema: &mut EmergentSchema, triples_spo: &[Triple], dict: &
             let raw = if Some(col.pred) == type_pred {
                 "type".to_string()
             } else {
-                dict.iri_str(col.pred).map(|iri| Term::local_name(iri).to_string()).unwrap_or_default()
+                dict.iri_str(col.pred)
+                    .map(|iri| Term::local_name(iri).to_string())
+                    .unwrap_or_default()
             };
             col.name = uniquify(sanitize_identifier(&raw), &mut used_cols);
         }

@@ -11,7 +11,9 @@ use sordf_model::{Dictionary, FxHashMap, Triple};
 /// loader keeps an SPO permutation anyway, so discovery costs no extra sort.
 pub fn discover(triples_spo: &[Triple], dict: &Dictionary, cfg: &SchemaConfig) -> EmergentSchema {
     debug_assert!(
-        triples_spo.windows(2).all(|w| w[0].key_spo() <= w[1].key_spo()),
+        triples_spo
+            .windows(2)
+            .all(|w| w[0].key_spo() <= w[1].key_spo()),
         "discover() requires SPO-sorted triples"
     );
 
@@ -178,9 +180,19 @@ mod tests {
         for i in 0..12 {
             let s = format!("inproc{i}");
             add(&mut dict, &s, "type", Term::iri(ex("inproceeding")));
-            add(&mut dict, &s, "creator", Term::iri(ex(&format!("author{}", i % 5))));
+            add(
+                &mut dict,
+                &s,
+                "creator",
+                Term::iri(ex(&format!("author{}", i % 5))),
+            );
             add(&mut dict, &s, "title", Term::str(format!("Paper {i}")));
-            add(&mut dict, &s, "partOf", Term::iri(ex(&format!("conf{}", i % 3))));
+            add(
+                &mut dict,
+                &s,
+                "partOf",
+                Term::iri(ex(&format!("conf{}", i % 3))),
+            );
         }
         // Multi-valued creator on one paper (Fig. 2's {author3, author4}).
         add(&mut dict, "inproc0", "creator", Term::iri(ex("author4")));
@@ -202,10 +214,17 @@ mod tests {
         let (triples, dict) = dblp_like();
         let schema = discover(&triples, &dict, &SchemaConfig::default());
         // Two main classes: inproceeding and conference.
-        assert!(schema.classes.len() >= 2, "classes: {:?}",
-            schema.classes.iter().map(|c| &c.name).collect::<Vec<_>>());
-        let inproc = schema.class_by_name("inproceeding").expect("inproceeding table");
-        let conf = schema.class_by_name("conference").expect("conference table");
+        assert!(
+            schema.classes.len() >= 2,
+            "classes: {:?}",
+            schema.classes.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+        let inproc = schema
+            .class_by_name("inproceeding")
+            .expect("inproceeding table");
+        let conf = schema
+            .class_by_name("conference")
+            .expect("conference table");
         assert_eq!(inproc.n_subjects, 12);
         assert_eq!(conf.n_subjects, 3);
         // partOf is an FK from inproceeding to conference.
@@ -220,7 +239,11 @@ mod tests {
         let issued = conf.columns.iter().find(|c| c.name == "issued").unwrap();
         assert_eq!(issued.ty, TypeTag::Int);
         // Coverage is high but below 1.0 (irregular webpage/homepage triples).
-        assert!(schema.coverage > 0.8 && schema.coverage < 1.0, "coverage {}", schema.coverage);
+        assert!(
+            schema.coverage > 0.8 && schema.coverage < 1.0,
+            "coverage {}",
+            schema.coverage
+        );
     }
 
     #[test]
@@ -249,7 +272,9 @@ mod tests {
         }
         for t in 0..2u64 {
             let subj = dict.encode_iri(&format!("http://e/t{t}"));
-            let o = dict.encode_value(&Value::str(format!("target{t}"))).unwrap();
+            let o = dict
+                .encode_value(&Value::str(format!("target{t}")))
+                .unwrap();
             triples.push(Triple::new(subj, p_b, o));
         }
         triples.sort_by_key(|t| t.key_spo());
@@ -272,7 +297,11 @@ mod tests {
         for s in 0..100u64 {
             let subj = dict.encode_iri(&format!("http://e/s{s}"));
             triples.push(Triple::new(subj, p1, Oid::from_int(s as i64).unwrap()));
-            triples.push(Triple::new(subj, p2, Oid::from_date_days(s as i64).unwrap()));
+            triples.push(Triple::new(
+                subj,
+                p2,
+                Oid::from_date_days(s as i64).unwrap(),
+            ));
         }
         triples.sort_by_key(|t| t.key_spo());
         let schema = discover(&triples, &dict, &SchemaConfig::default());
@@ -300,8 +329,11 @@ mod tests {
         let schema = discover(&triples, &dict, &SchemaConfig::default());
         let summary = crate::summary::summarize(&schema, 1, &["inproceeding"]);
         // inproceeding seeds; conference pulled in via partOf FK.
-        let names: Vec<&str> =
-            summary.selected.iter().map(|&c| schema.class(c).name.as_str()).collect();
+        let names: Vec<&str> = summary
+            .selected
+            .iter()
+            .map(|&c| schema.class(c).name.as_str())
+            .collect();
         assert!(names.contains(&"inproceeding"));
         assert!(names.contains(&"conference"));
         let rendered = summary.render(&schema, &dict);

@@ -23,7 +23,12 @@ pub struct KmvSketch {
 
 impl KmvSketch {
     pub fn new(k: usize) -> KmvSketch {
-        KmvSketch { k, heap: BinaryHeap::new(), n_inserted: 0, exact: Default::default() }
+        KmvSketch {
+            k,
+            heap: BinaryHeap::new(),
+            n_inserted: 0,
+            exact: Default::default(),
+        }
     }
 
     /// Insert one value.
@@ -74,7 +79,12 @@ pub fn compute_stats(schema: &mut EmergentSchema, triples_spo: &[Triple]) {
     }
     impl Acc {
         fn new() -> Acc {
-            Acc { n: 0, min: u64::MAX, max: 0, sketch: KmvSketch::new(K) }
+            Acc {
+                n: 0,
+                min: u64::MAX,
+                max: 0,
+                sketch: KmvSketch::new(K),
+            }
         }
         fn add(&mut self, o: Oid) {
             self.n += 1;
@@ -92,8 +102,11 @@ pub fn compute_stats(schema: &mut EmergentSchema, triples_spo: &[Triple]) {
         }
     }
 
-    let mut col_acc: Vec<Vec<Acc>> =
-        schema.classes.iter().map(|c| c.columns.iter().map(|_| Acc::new()).collect()).collect();
+    let mut col_acc: Vec<Vec<Acc>> = schema
+        .classes
+        .iter()
+        .map(|c| c.columns.iter().map(|_| Acc::new()).collect())
+        .collect();
     let mut multi_acc: Vec<Vec<Acc>> = schema
         .classes
         .iter()

@@ -32,8 +32,12 @@ pub fn summarize(schema: &EmergentSchema, min_support: u64, keywords: &[&str]) -
         let name = c.name.to_ascii_lowercase();
         lowered.iter().any(|k| {
             name.contains(k)
-                || c.columns.iter().any(|col| col.name.to_ascii_lowercase().contains(k))
-                || c.multi_props.iter().any(|m| m.name.to_ascii_lowercase().contains(k))
+                || c.columns
+                    .iter()
+                    .any(|col| col.name.to_ascii_lowercase().contains(k))
+                || c.multi_props
+                    .iter()
+                    .any(|m| m.name.to_ascii_lowercase().contains(k))
         })
     };
 
@@ -77,7 +81,11 @@ impl SchemaSummary {
             if !keep.contains(&c.id) {
                 continue;
             }
-            let seed = if self.seeds.contains(&c.id) { "" } else { " (via FK)" };
+            let seed = if self.seeds.contains(&c.id) {
+                ""
+            } else {
+                " (via FK)"
+            };
             let _ = writeln!(out, "TABLE {}{} -- {} subjects", c.name, seed, c.n_subjects);
             for col in &c.columns {
                 let fk = col

@@ -98,9 +98,18 @@ impl ClassDef {
     /// Rebuild the predicate lookup maps after column predicates change
     /// (e.g. after OID reorganization remaps predicate OIDs).
     pub fn reindex(&mut self) {
-        self.col_index = self.columns.iter().enumerate().map(|(i, c)| (c.pred, i)).collect();
-        self.multi_index =
-            self.multi_props.iter().enumerate().map(|(i, m)| (m.pred, i)).collect();
+        self.col_index = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.pred, i))
+            .collect();
+        self.multi_index = self
+            .multi_props
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.pred, i))
+            .collect();
     }
 }
 
@@ -157,7 +166,9 @@ impl EmergentSchema {
 
     /// Find a class by (case-insensitive) name.
     pub fn class_by_name(&self, name: &str) -> Option<&ClassDef> {
-        self.classes.iter().find(|c| c.name.eq_ignore_ascii_case(name))
+        self.classes
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Decide where each triple lives. `triples_spo` must be sorted by
@@ -221,7 +232,11 @@ impl EmergentSchema {
         use std::fmt::Write;
         let mut out = String::new();
         for c in &self.classes {
-            let _ = writeln!(out, "CREATE TABLE {} ( -- {} subjects", c.name, c.n_subjects);
+            let _ = writeln!(
+                out,
+                "CREATE TABLE {} ( -- {} subjects",
+                c.name, c.n_subjects
+            );
             let _ = writeln!(out, "  subject IRI PRIMARY KEY,");
             for (i, col) in c.columns.iter().enumerate() {
                 let null = if col.nullable { " NULL" } else { " NOT NULL" };
@@ -233,7 +248,11 @@ impl EmergentSchema {
                     ),
                     None => String::new(),
                 };
-                let comma = if i + 1 < c.columns.len() || !c.multi_props.is_empty() { "," } else { "" };
+                let comma = if i + 1 < c.columns.len() || !c.multi_props.is_empty() {
+                    ","
+                } else {
+                    ""
+                };
                 let pred = dict.iri_str(col.pred).unwrap_or("?");
                 let _ = writeln!(
                     out,
@@ -339,7 +358,9 @@ mod tests {
         let author = Oid::iri(12);
         let other = Oid::iri(13);
         let mut dict = sordf_model::Dictionary::new();
-        let t_hello = dict.encode_value(&sordf_model::Value::str("hello")).unwrap();
+        let t_hello = dict
+            .encode_value(&sordf_model::Value::str("hello"))
+            .unwrap();
         let mut triples = vec![
             // subject 0: title (str, ok), year twice (first stored, second irregular),
             // author twice (both multi), unknown prop (irregular)
@@ -359,9 +380,27 @@ mod tests {
         s.place_triples(&triples, |t, h| homes.push((t, h)));
         assert_eq!(homes.len(), triples.len());
         let count = |want: TripleHome| homes.iter().filter(|(_, h)| *h == want).count();
-        assert_eq!(count(TripleHome::Column { class: ClassId(0), col: 0 }), 1);
-        assert_eq!(count(TripleHome::Column { class: ClassId(0), col: 1 }), 1);
-        assert_eq!(count(TripleHome::Multi { class: ClassId(0), mp: 0 }), 2);
+        assert_eq!(
+            count(TripleHome::Column {
+                class: ClassId(0),
+                col: 0
+            }),
+            1
+        );
+        assert_eq!(
+            count(TripleHome::Column {
+                class: ClassId(0),
+                col: 1
+            }),
+            1
+        );
+        assert_eq!(
+            count(TripleHome::Multi {
+                class: ClassId(0),
+                mp: 0
+            }),
+            2
+        );
         assert_eq!(count(TripleHome::Irregular), 4);
         // The stored year is the first (smallest) one.
         let stored_year = homes

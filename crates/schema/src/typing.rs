@@ -58,7 +58,10 @@ impl TagHist {
             .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
             .unwrap();
         let total = self.total().max(1);
-        (TypeTag::from_u8(best as u8).unwrap(), n as f64 / total as f64)
+        (
+            TypeTag::from_u8(best as u8).unwrap(),
+            n as f64 / total as f64,
+        )
     }
 }
 
@@ -99,11 +102,15 @@ pub fn type_classes(
         .collect();
 
     // Pass A: per (class, prop) tag histogram over triples.
-    let mut hists: Vec<Vec<TagHist>> =
-        merged.iter().map(|c| vec![TagHist::default(); c.props.len()]).collect();
+    let mut hists: Vec<Vec<TagHist>> = merged
+        .iter()
+        .map(|c| vec![TagHist::default(); c.props.len()])
+        .collect();
     walk_sp_groups(triples_spo, |s, p, objects| {
         let Some(&ci) = assign.get(&s) else { return };
-        let Some(&pi) = prop_idx[ci as usize].get(&p) else { return };
+        let Some(&pi) = prop_idx[ci as usize].get(&p) else {
+            return;
+        };
         for &o in objects {
             if !o.is_null() {
                 hists[ci as usize][pi].add(o.tag(), 1);
@@ -144,10 +151,17 @@ fn split_variants(
     cfg: &SchemaConfig,
 ) -> Vec<TypedClass> {
     let members: FxHashMap<Oid, ()> = class.subjects.iter().map(|&s| (s, ())).collect();
-    let prop_idx: FxHashMap<Oid, usize> =
-        class.props.iter().enumerate().map(|(i, &p)| (p, i)).collect();
-    let conflict_slot: FxHashMap<usize, usize> =
-        conflicted.iter().enumerate().map(|(slot, &pi)| (pi, slot)).collect();
+    let prop_idx: FxHashMap<Oid, usize> = class
+        .props
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i))
+        .collect();
+    let conflict_slot: FxHashMap<usize, usize> = conflicted
+        .iter()
+        .enumerate()
+        .map(|(slot, &pi)| (pi, slot))
+        .collect();
 
     // Pass B: per-subject signature over conflicted props. Missing props
     // default to the dominant tag, so sparse subjects join the main variant.
@@ -158,7 +172,9 @@ fn split_variants(
             return;
         }
         let Some(&pi) = prop_idx.get(&p) else { return };
-        let Some(&slot) = conflict_slot.get(&pi) else { return };
+        let Some(&slot) = conflict_slot.get(&pi) else {
+            return;
+        };
         if let Some(tag) = group_majority_tag(objects) {
             sig_of.entry(s).or_insert_with(|| default_sig.clone())[slot] = tag as u8;
         }
@@ -167,7 +183,10 @@ fn split_variants(
     // Group subjects by signature.
     let mut groups: FxHashMap<Vec<u8>, Vec<Oid>> = FxHashMap::default();
     for &s in &class.subjects {
-        let sig = sig_of.get(&s).cloned().unwrap_or_else(|| default_sig.clone());
+        let sig = sig_of
+            .get(&s)
+            .cloned()
+            .unwrap_or_else(|| default_sig.clone());
         groups.entry(sig).or_default().push(s);
     }
     let mut groups: Vec<(Vec<u8>, Vec<Oid>)> = groups.into_iter().collect();
@@ -195,9 +214,14 @@ fn split_variants(
             variant_of.insert(s, vi as u32);
         }
     }
-    let mut presence: Vec<Vec<u64>> = variants.iter().map(|_| vec![0u64; class.props.len()]).collect();
+    let mut presence: Vec<Vec<u64>> = variants
+        .iter()
+        .map(|_| vec![0u64; class.props.len()])
+        .collect();
     walk_sp_groups(triples_spo, |s, p, _objects| {
-        let Some(&vi) = variant_of.get(&s) else { return };
+        let Some(&vi) = variant_of.get(&s) else {
+            return;
+        };
         if let Some(&pi) = prop_idx.get(&p) {
             presence[vi as usize][pi] += 1;
         }
@@ -247,7 +271,11 @@ mod tests {
         let mut triples = Vec::new();
         for s in 0..20 {
             triples.push(Triple::new(Oid::iri(s), p_name, str_oid(s)));
-            triples.push(Triple::new(Oid::iri(s), p_age, Oid::from_int(s as i64).unwrap()));
+            triples.push(Triple::new(
+                Oid::iri(s),
+                p_age,
+                Oid::from_int(s as i64).unwrap(),
+            ));
         }
         let typed = run(&mut triples, &SchemaConfig::default());
         assert_eq!(typed.len(), 1);
@@ -261,7 +289,11 @@ mod tests {
         let p = Oid::iri(100);
         let mut triples = Vec::new();
         for s in 0..95 {
-            triples.push(Triple::new(Oid::iri(s), p, Oid::from_int(s as i64).unwrap()));
+            triples.push(Triple::new(
+                Oid::iri(s),
+                p,
+                Oid::from_int(s as i64).unwrap(),
+            ));
         }
         for s in 95..100 {
             triples.push(Triple::new(Oid::iri(s), p, str_oid(s)));
@@ -279,7 +311,11 @@ mod tests {
         let q = Oid::iri(101); // common prop keeps them in one merged class
         let mut triples = Vec::new();
         for s in 0..60 {
-            triples.push(Triple::new(Oid::iri(s), p, Oid::from_date_days(s as i64).unwrap()));
+            triples.push(Triple::new(
+                Oid::iri(s),
+                p,
+                Oid::from_date_days(s as i64).unwrap(),
+            ));
             triples.push(Triple::new(Oid::iri(s), q, str_oid(s)));
         }
         for s in 60..100 {
@@ -288,8 +324,14 @@ mod tests {
         }
         let typed = run(&mut triples, &SchemaConfig::default());
         assert_eq!(typed.len(), 2, "should split into two variants");
-        let date_variant = typed.iter().find(|t| t.col_types[0] == TypeTag::Date).unwrap();
-        let str_variant = typed.iter().find(|t| t.col_types[0] == TypeTag::Str).unwrap();
+        let date_variant = typed
+            .iter()
+            .find(|t| t.col_types[0] == TypeTag::Date)
+            .unwrap();
+        let str_variant = typed
+            .iter()
+            .find(|t| t.col_types[0] == TypeTag::Str)
+            .unwrap();
         assert_eq!(date_variant.support(), 60);
         assert_eq!(str_variant.support(), 40);
         // The non-conflicted column keeps its type in both variants.
@@ -309,7 +351,10 @@ mod tests {
         for s in 97..100 {
             triples.push(Triple::new(Oid::iri(s), p, str_oid(s)));
         }
-        let cfg = SchemaConfig { type_dominance: 0.99, ..SchemaConfig::default() };
+        let cfg = SchemaConfig {
+            type_dominance: 0.99,
+            ..SchemaConfig::default()
+        };
         let typed = run(&mut triples, &cfg);
         assert_eq!(typed.len(), 1);
         assert_eq!(typed[0].support(), 100);
@@ -333,9 +378,15 @@ mod tests {
         for s in 80..100 {
             triples.push(Triple::new(Oid::iri(s), q, str_oid(s)));
         }
-        let cfg = SchemaConfig { nullable_min_presence: 0.05, ..SchemaConfig::default() };
+        let cfg = SchemaConfig {
+            nullable_min_presence: 0.05,
+            ..SchemaConfig::default()
+        };
         let typed = run(&mut triples, &cfg);
-        let int_variant = typed.iter().find(|t| t.col_types[0] == TypeTag::Int).unwrap();
+        let int_variant = typed
+            .iter()
+            .find(|t| t.col_types[0] == TypeTag::Int)
+            .unwrap();
         assert_eq!(int_variant.support(), 70); // 50 int + 20 missing
     }
 }

@@ -62,7 +62,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
     let b = src.as_bytes();
     let mut i = 0usize;
     let mut out = Vec::new();
-    let err = |pos: usize, msg: &str| LexError { pos, msg: msg.to_string() };
+    let err = |pos: usize, msg: &str| LexError {
+        pos,
+        msg: msg.to_string(),
+    };
     while i < b.len() {
         let c = b[i];
         match c {
@@ -140,7 +143,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 j += 1; // closing quote
-                // Language tag?
+                        // Language tag?
                 let mut lang = None;
                 if b.get(j) == Some(&b'@') {
                     let start = j + 1;
@@ -252,8 +255,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             _ if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
                 let mut j = i;
-                while j < b.len()
-                    && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'-')
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'-')
                 {
                     j += 1;
                 }
@@ -321,12 +323,16 @@ fn lex_number(src: &str, i: usize) -> Result<(Token, usize), LexError> {
     }
     let text = &src[i..j];
     if is_dec {
-        let unscaled = sordf_model::term::parse_decimal(text)
-            .ok_or(LexError { pos: i, msg: format!("bad decimal {text}") })?;
+        let unscaled = sordf_model::term::parse_decimal(text).ok_or(LexError {
+            pos: i,
+            msg: format!("bad decimal {text}"),
+        })?;
         Ok((Token::Dec(unscaled), j))
     } else {
-        let v: i64 =
-            text.parse().map_err(|_| LexError { pos: i, msg: format!("bad integer {text}") })?;
+        let v: i64 = text.parse().map_err(|_| LexError {
+            pos: i,
+            msg: format!("bad integer {text}"),
+        })?;
         Ok((Token::Int(v), j))
     }
 }

@@ -35,9 +35,14 @@ pub fn parse_sparql(src: &str, dict: &Dictionary) -> Result<Query, ParseError> {
         prefixes: FxHashMap::default(),
         query: Query::default(),
     };
-    p.prefixes.insert("xsd".to_string(), "http://www.w3.org/2001/XMLSchema#".to_string());
-    p.prefixes
-        .insert("rdf".to_string(), "http://www.w3.org/1999/02/22-rdf-syntax-ns#".to_string());
+    p.prefixes.insert(
+        "xsd".to_string(),
+        "http://www.w3.org/2001/XMLSchema#".to_string(),
+    );
+    p.prefixes.insert(
+        "rdf".to_string(),
+        "http://www.w3.org/1999/02/22-rdf-syntax-ns#".to_string(),
+    );
     p.parse_query()?;
     Ok(p.query)
 }
@@ -175,7 +180,11 @@ impl<'d> Parser<'d> {
                 let Token::Var(alias) = self.bump() else {
                     return self.err("expected alias variable");
                 };
-                return Ok(SelectItem::Agg { func, expr, name: alias });
+                return Ok(SelectItem::Agg {
+                    func,
+                    expr,
+                    name: alias,
+                });
             }
         }
         let expr = self.parse_expr()?;
@@ -282,12 +291,8 @@ impl<'d> Parser<'d> {
                 let iri = self.expand_pname(&prefix, &local)?;
                 Ok(self.resolve_iri(&iri))
             }
-            Token::Int(v) => {
-                Oid::from_int(v).map_err(|e| ParseError(e.to_string()))
-            }
-            Token::Dec(u) => {
-                Oid::from_decimal_unscaled(u).map_err(|e| ParseError(e.to_string()))
-            }
+            Token::Int(v) => Oid::from_int(v).map_err(|e| ParseError(e.to_string())),
+            Token::Dec(u) => Oid::from_decimal_unscaled(u).map_err(|e| ParseError(e.to_string())),
             Token::Str(s, lang) => {
                 if *self.peek() == Token::DtMarker {
                     self.bump();
@@ -345,16 +350,23 @@ impl<'d> Parser<'d> {
 
     /// IRIs unknown to the store become impossible OIDs (match nothing).
     fn resolve_iri(&self, iri: &str) -> Oid {
-        self.dict
-            .iri_oid(iri)
-            .unwrap_or(Oid::new(sordf_model::TypeTag::Iri, sordf_model::oid::PAYLOAD_MASK))
+        self.dict.iri_oid(iri).unwrap_or(Oid::new(
+            sordf_model::TypeTag::Iri,
+            sordf_model::oid::PAYLOAD_MASK,
+        ))
     }
 
     fn resolve_str(&self, s: &str, lang: Option<&str>) -> Oid {
-        let value = Value::Str { lexical: s.to_string(), lang: lang.map(str::to_string) };
+        let value = Value::Str {
+            lexical: s.to_string(),
+            lang: lang.map(str::to_string),
+        };
         self.dict
             .term_oid(&Term::literal(value))
-            .unwrap_or(Oid::new(sordf_model::TypeTag::Str, sordf_model::oid::PAYLOAD_MASK))
+            .unwrap_or(Oid::new(
+                sordf_model::TypeTag::Str,
+                sordf_model::oid::PAYLOAD_MASK,
+            ))
     }
 
     // ---- expressions -------------------------------------------------------
@@ -436,7 +448,11 @@ impl<'d> Parser<'d> {
             Token::Minus => {
                 self.bump();
                 let inner = self.parse_unary()?;
-                Ok(Expr::Arith(Box::new(Expr::Num(0.0)), ArithOp::Sub, Box::new(inner)))
+                Ok(Expr::Arith(
+                    Box::new(Expr::Num(0.0)),
+                    ArithOp::Sub,
+                    Box::new(inner),
+                ))
             }
             _ => self.parse_primary(),
         }
@@ -542,7 +558,9 @@ impl<'d> Parser<'d> {
                 return Ok(i);
             }
         }
-        Err(ParseError(format!("ORDER BY variable ?{name} is not in the SELECT list")))
+        Err(ParseError(format!(
+            "ORDER BY variable ?{name} is not in the SELECT list"
+        )))
     }
 }
 
@@ -583,7 +601,10 @@ mod tests {
         .unwrap();
         assert_eq!(q.patterns.len(), 3);
         assert_eq!(q.select.len(), 2);
-        assert_eq!(q.patterns[1].o, VarOrOid::Const(Oid::from_int(1996).unwrap()));
+        assert_eq!(
+            q.patterns[1].o,
+            VarOrOid::Const(Oid::from_int(1996).unwrap())
+        );
         // All three patterns share subject ?b.
         assert!(q.patterns.iter().all(|p| p.s == q.patterns[0].s));
     }
@@ -615,7 +636,10 @@ mod tests {
         assert_eq!(q.patterns[0].p, dict.iri_oid(vocab::RDF_TYPE).unwrap());
         assert_eq!(
             q.patterns[0].o,
-            VarOrOid::Const(dict.iri_oid("http://lod2.eu/schemas/rdfh#lineitem").unwrap())
+            VarOrOid::Const(
+                dict.iri_oid("http://lod2.eu/schemas/rdfh#lineitem")
+                    .unwrap()
+            )
         );
     }
 
@@ -636,7 +660,13 @@ mod tests {
         .unwrap();
         assert_eq!(q.patterns.len(), 3);
         assert_eq!(q.filters.len(), 1);
-        assert!(matches!(q.select[0], SelectItem::Agg { func: AggFunc::Sum, .. }));
+        assert!(matches!(
+            q.select[0],
+            SelectItem::Agg {
+                func: AggFunc::Sum,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -668,8 +698,7 @@ mod tests {
     #[test]
     fn distinct_flag() {
         let dict = dict_with_iris(&["http://e/p"]);
-        let q =
-            parse_sparql("SELECT DISTINCT ?o WHERE { ?s <http://e/p> ?o . }", &dict).unwrap();
+        let q = parse_sparql("SELECT DISTINCT ?o WHERE { ?s <http://e/p> ?o . }", &dict).unwrap();
         assert!(q.distinct);
     }
 

@@ -65,14 +65,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Tok>, String> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-                {
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
                         i += 1;
                     }
-                    let u = sordf_model::term::parse_decimal(&src[start..i])
-                        .ok_or("bad decimal")?;
+                    let u =
+                        sordf_model::term::parse_decimal(&src[start..i]).ok_or("bad decimal")?;
                     out.push(Tok::Dec(u));
                 } else {
                     out.push(Tok::Int(src[start..i].parse().map_err(|_| "bad integer")?));

@@ -150,7 +150,9 @@ impl<'a> Compiler<'a> {
             }
         }
         if self.eat_kw("LIMIT") {
-            let Tok::Int(n) = self.bump() else { return Err("expected LIMIT count".into()) };
+            let Tok::Int(n) = self.bump() else {
+                return Err("expected LIMIT count".into());
+            };
             self.query.limit = Some(n.max(0) as usize);
         }
         if *self.peek() != Tok::Eof {
@@ -177,7 +179,9 @@ impl<'a> Compiler<'a> {
     // ---- tables ------------------------------------------------------------
 
     fn parse_table(&mut self, is_join: bool) -> Result<(), String> {
-        let Tok::Ident(name) = self.bump() else { return Err("expected table name".into()) };
+        let Tok::Ident(name) = self.bump() else {
+            return Err("expected table name".into());
+        };
         let class = self
             .schema
             .class_by_name(&name)
@@ -186,7 +190,9 @@ impl<'a> Compiler<'a> {
         // optional [AS] alias
         let mut alias = name.clone();
         if self.eat_kw("AS") {
-            let Tok::Ident(a) = self.bump() else { return Err("expected alias".into()) };
+            let Tok::Ident(a) = self.bump() else {
+                return Err("expected alias".into());
+            };
             alias = a;
         } else if let Tok::Ident(w) = self.peek().clone() {
             if !is_reserved(&w) {
@@ -195,7 +201,11 @@ impl<'a> Compiler<'a> {
             }
         }
         let subject_var = self.query.var(&alias);
-        self.tables.push(TableRef { alias, class, subject_var });
+        self.tables.push(TableRef {
+            alias,
+            class,
+            subject_var,
+        });
         if is_join {
             self.expect_kw("ON")?;
             let left = self.parse_ref()?;
@@ -219,9 +229,11 @@ impl<'a> Compiler<'a> {
                 let subject = self.tables[o].subject_var;
                 match self.col_vars.get(&(t, pred)) {
                     Some(&existing) => {
-                        self.query
-                            .filters
-                            .push(Expr::cmp(Expr::Var(existing), CmpOp::Eq, Expr::Var(subject)));
+                        self.query.filters.push(Expr::cmp(
+                            Expr::Var(existing),
+                            CmpOp::Eq,
+                            Expr::Var(subject),
+                        ));
                     }
                     None => {
                         self.col_vars.insert((t, pred), subject);
@@ -237,12 +249,16 @@ impl<'a> Compiler<'a> {
             }
             (a @ (Column(..) | Multi(..)), b @ (Column(..) | Multi(..))) => {
                 let (va, vb) = (self.var_of(a), self.var_of(b));
-                self.query.filters.push(Expr::cmp(Expr::Var(va), CmpOp::Eq, Expr::Var(vb)));
+                self.query
+                    .filters
+                    .push(Expr::cmp(Expr::Var(va), CmpOp::Eq, Expr::Var(vb)));
                 Ok(())
             }
             (Subject(a), Subject(b)) => {
                 let (va, vb) = (self.tables[a].subject_var, self.tables[b].subject_var);
-                self.query.filters.push(Expr::cmp(Expr::Var(va), CmpOp::Eq, Expr::Var(vb)));
+                self.query
+                    .filters
+                    .push(Expr::cmp(Expr::Var(va), CmpOp::Eq, Expr::Var(vb)));
                 Ok(())
             }
             (Multi(t, m), Subject(o)) | (Subject(o), Multi(t, m)) => {
@@ -250,9 +266,11 @@ impl<'a> Compiler<'a> {
                 let subject = self.tables[o].subject_var;
                 match self.col_vars.get(&(t, pred)) {
                     Some(&existing) => {
-                        self.query
-                            .filters
-                            .push(Expr::cmp(Expr::Var(existing), CmpOp::Eq, Expr::Var(subject)));
+                        self.query.filters.push(Expr::cmp(
+                            Expr::Var(existing),
+                            CmpOp::Eq,
+                            Expr::Var(subject),
+                        ));
                     }
                     None => {
                         self.col_vars.insert((t, pred), subject);
@@ -322,14 +340,24 @@ impl<'a> Compiler<'a> {
             return Ok(RefKind::Subject(t));
         }
         let class = self.schema.class(self.tables[t].class);
-        if let Some(ci) = class.columns.iter().position(|c| c.name.eq_ignore_ascii_case(col)) {
+        if let Some(ci) = class
+            .columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(col))
+        {
             return Ok(RefKind::Column(t, ci));
         }
-        if let Some(mi) = class.multi_props.iter().position(|m| m.name.eq_ignore_ascii_case(col))
+        if let Some(mi) = class
+            .multi_props
+            .iter()
+            .position(|m| m.name.eq_ignore_ascii_case(col))
         {
             return Ok(RefKind::Multi(t, mi));
         }
-        Err(format!("no column '{col}' in table '{}'", self.tables[t].alias))
+        Err(format!(
+            "no column '{col}' in table '{}'",
+            self.tables[t].alias
+        ))
     }
 
     /// The engine variable bound to a reference, creating the pattern lazily.
@@ -347,23 +375,26 @@ impl<'a> Compiler<'a> {
         }
     }
 
-    fn pattern_var(
-        &mut self,
-        t: usize,
-        pred: Oid,
-        idx: usize,
-        multi: bool,
-    ) -> sordf_engine::VarId {
+    fn pattern_var(&mut self, t: usize, pred: Oid, idx: usize, multi: bool) -> sordf_engine::VarId {
         if let Some(&v) = self.col_vars.get(&(t, pred)) {
             return v;
         }
         let class = self.schema.class(self.tables[t].class);
-        let col_name =
-            if multi { &class.multi_props[idx].name } else { &class.columns[idx].name };
-        let v = self.query.var(&format!("{}__{}", self.tables[t].alias, col_name));
+        let col_name = if multi {
+            &class.multi_props[idx].name
+        } else {
+            &class.columns[idx].name
+        };
+        let v = self
+            .query
+            .var(&format!("{}__{}", self.tables[t].alias, col_name));
         self.col_vars.insert((t, pred), v);
         let s = VarOrOid::Var(self.tables[t].subject_var);
-        self.query.patterns.push(TriplePattern { s, p: pred, o: VarOrOid::Var(v) });
+        self.query.patterns.push(TriplePattern {
+            s,
+            p: pred,
+            o: VarOrOid::Var(v),
+        });
         v
     }
 
@@ -404,7 +435,9 @@ impl<'a> Compiler<'a> {
                     if self.bump() != Tok::RParen {
                         return Err("expected ')'".into());
                     }
-                    let name = self.parse_alias()?.unwrap_or_else(|| w.to_ascii_lowercase());
+                    let name = self
+                        .parse_alias()?
+                        .unwrap_or_else(|| w.to_ascii_lowercase());
                     return Ok(SelectItem::Agg { func, expr, name });
                 }
             }
@@ -452,7 +485,10 @@ impl<'a> Compiler<'a> {
                 SelectItem::Var(v) => {
                     let vname = &self.query.vars[v.0 as usize];
                     vname.eq_ignore_ascii_case(&name)
-                        || vname.split("__").last().is_some_and(|c| c.eq_ignore_ascii_case(&name))
+                        || vname
+                            .split("__")
+                            .last()
+                            .is_some_and(|c| c.eq_ignore_ascii_case(&name))
                 }
             };
             if matches {
@@ -564,15 +600,22 @@ impl<'a> Compiler<'a> {
                 let oid = self
                     .dict
                     .term_oid(&Term::literal(Value::str(s)))
-                    .unwrap_or(Oid::new(sordf_model::TypeTag::Str, sordf_model::oid::PAYLOAD_MASK));
+                    .unwrap_or(Oid::new(
+                        sordf_model::TypeTag::Str,
+                        sordf_model::oid::PAYLOAD_MASK,
+                    ));
                 Ok(Expr::Const(oid))
             }
             Tok::Ident(w) if w.eq_ignore_ascii_case("DATE") => {
                 self.bump();
-                let Tok::Str(s) = self.bump() else { return Err("expected DATE 'x'".into()) };
+                let Tok::Str(s) = self.bump() else {
+                    return Err("expected DATE 'x'".into());
+                };
                 let days =
                     sordf_model::date::parse_date(&s).map_err(|e| format!("bad date: {e}"))?;
-                Ok(Expr::Const(Oid::from_date_days(days).map_err(|e| e.to_string())?))
+                Ok(Expr::Const(
+                    Oid::from_date_days(days).map_err(|e| e.to_string())?,
+                ))
             }
             Tok::Ident(w) if w.eq_ignore_ascii_case("NOT") => {
                 self.bump();

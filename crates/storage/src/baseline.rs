@@ -20,8 +20,14 @@ pub struct BaselineStore {
 impl BaselineStore {
     /// Build all six projections.
     pub fn build(disk: &DiskManager, triples: &[Triple]) -> BaselineStore {
-        let perms = Order::ALL.iter().map(|&o| PermIndex::build(disk, triples, o)).collect();
-        BaselineStore { perms, n_triples: triples.len() }
+        let perms = Order::ALL
+            .iter()
+            .map(|&o| PermIndex::build(disk, triples, o))
+            .collect();
+        BaselineStore {
+            perms,
+            n_triples: triples.len(),
+        }
     }
 
     /// Number of stored triples.
@@ -54,7 +60,11 @@ impl BaselineStore {
     pub fn subjects_pq(&self, pool: &BufferPool, p: Oid, o: Oid) -> Vec<Oid> {
         let idx = self.perm(Order::Pos);
         let r = idx.range2(pool, p, o);
-        idx.col(2).to_vec(pool, r).into_iter().map(Oid::from_raw).collect()
+        idx.col(2)
+            .to_vec(pool, r)
+            .into_iter()
+            .map(Oid::from_raw)
+            .collect()
     }
 }
 
@@ -82,14 +92,22 @@ mod tests {
         assert!(store.contains(&pool, &triples[0]));
         assert!(!store.contains(&pool, &t(9, 9, 9)));
         let scan = store.scan_p(&pool, Oid::iri(10));
-        assert_eq!(scan, vec![(Oid::iri(1), Oid::iri(100)), (Oid::iri(2), Oid::iri(101))]);
+        assert_eq!(
+            scan,
+            vec![(Oid::iri(1), Oid::iri(100)), (Oid::iri(2), Oid::iri(101))]
+        );
     }
 
     #[test]
     fn pos_lookup() {
         let triples = vec![t(1, 10, 100), t(2, 10, 100), t(3, 10, 101)];
         let (_dm, pool, store) = setup(&triples);
-        assert_eq!(store.subjects_pq(&pool, Oid::iri(10), Oid::iri(100)), vec![Oid::iri(1), Oid::iri(2)]);
-        assert!(store.subjects_pq(&pool, Oid::iri(10), Oid::iri(999)).is_empty());
+        assert_eq!(
+            store.subjects_pq(&pool, Oid::iri(10), Oid::iri(100)),
+            vec![Oid::iri(1), Oid::iri(2)]
+        );
+        assert!(store
+            .subjects_pq(&pool, Oid::iri(10), Oid::iri(999))
+            .is_empty());
     }
 }

@@ -77,12 +77,12 @@ impl ClassSegment {
     /// candidate-driven scans.
     pub fn subjects_at(&self, pool: &BufferPool, rows: &[usize]) -> Vec<Oid> {
         match &self.subjects {
-            SubjectIds::Dense { base } => {
-                rows.iter().map(|&r| Oid::iri(base + r as u64)).collect()
-            }
-            SubjectIds::Sparse { subjects } => {
-                subjects.gather(pool, rows).into_iter().map(Oid::from_raw).collect()
-            }
+            SubjectIds::Dense { base } => rows.iter().map(|&r| Oid::iri(base + r as u64)).collect(),
+            SubjectIds::Sparse { subjects } => subjects
+                .gather(pool, rows)
+                .into_iter()
+                .map(Oid::from_raw)
+                .collect(),
         }
     }
 
@@ -177,7 +177,9 @@ pub fn build_clustered(
     dense: bool,
 ) -> ClusteredStore {
     debug_assert!(
-        triples_spo.windows(2).all(|w| w[0].key_spo() <= w[1].key_spo()),
+        triples_spo
+            .windows(2)
+            .all(|w| w[0].key_spo() <= w[1].key_spo()),
         "build_clustered() requires SPO-sorted triples"
     );
     let n_classes = schema.classes.len();
@@ -193,10 +195,15 @@ pub fn build_clustered(
     // row lookup: subject raw -> row (sparse needs a map; dense arithmetic).
     let row_of = |_class: usize, s: Oid, subjects: &[u64]| -> usize {
         if dense {
-            let base = subjects.first().map(|&x| Oid::from_raw(x).payload()).unwrap_or(0);
+            let base = subjects
+                .first()
+                .map(|&x| Oid::from_raw(x).payload())
+                .unwrap_or(0);
             (s.payload() - base) as usize
         } else {
-            subjects.binary_search(&s.raw()).expect("assigned subject missing")
+            subjects
+                .binary_search(&s.raw())
+                .expect("assigned subject missing")
         }
     };
     if dense {
@@ -219,8 +226,10 @@ pub fn build_clustered(
         .iter()
         .enumerate()
         .map(|(ci, c)| {
-            vec![vec![sordf_columnar::column::NULL_SENTINEL; subjects_per_class[ci].len()];
-                c.columns.len()]
+            vec![
+                vec![sordf_columnar::column::NULL_SENTINEL; subjects_per_class[ci].len()];
+                c.columns.len()
+            ]
         })
         .collect();
     let mut multi_data: Vec<Vec<Vec<(u64, u64)>>> = schema
@@ -251,10 +260,15 @@ pub fn build_clustered(
         let subs = &subjects_per_class[ci];
         let n = subs.len();
         let subjects = if dense {
-            let base = subs.first().map(|&x| Oid::from_raw(x).payload()).unwrap_or(0);
+            let base = subs
+                .first()
+                .map(|&x| Oid::from_raw(x).payload())
+                .unwrap_or(0);
             SubjectIds::Dense { base }
         } else {
-            SubjectIds::Sparse { subjects: Column::from_slice(disk, subs) }
+            SubjectIds::Sparse {
+                subjects: Column::from_slice(disk, subs),
+            }
         };
         let mut columns = Vec::with_capacity(class.columns.len());
         for (coli, data) in col_data[ci].iter().enumerate() {
@@ -269,8 +283,10 @@ pub fn build_clustered(
         let mut multi = Vec::with_capacity(class.multi_props.len());
         for (mi, pairs) in multi_data[ci].iter_mut().enumerate() {
             pairs.sort_unstable();
-            let s_col = Column::from_slice(disk, &pairs.iter().map(|&(s, _)| s).collect::<Vec<_>>());
-            let o_col = Column::from_slice(disk, &pairs.iter().map(|&(_, o)| o).collect::<Vec<_>>());
+            let s_col =
+                Column::from_slice(disk, &pairs.iter().map(|&(s, _)| s).collect::<Vec<_>>());
+            let o_col =
+                Column::from_slice(disk, &pairs.iter().map(|&(_, o)| o).collect::<Vec<_>>());
             let stats = &mut class.multi_props[mi].stats;
             stats.n_nonnull = pairs.len() as u64;
             stats.min = o_col.zonemap().global_min();
@@ -278,15 +294,29 @@ pub fn build_clustered(
             multi.push(MultiTable { s: s_col, o: o_col });
         }
         let sorted_by = if dense {
-            spec.sort_keys.get(&class.id).copied().filter(|&c| c < columns.len())
+            spec.sort_keys
+                .get(&class.id)
+                .copied()
+                .filter(|&c| c < columns.len())
         } else {
             None
         };
-        segments.push(ClassSegment { class: class.id, n, subjects, columns, multi, sorted_by });
+        segments.push(ClassSegment {
+            class: class.id,
+            n,
+            subjects,
+            columns,
+            multi,
+            sorted_by,
+        });
     }
 
     let irregular_store = BaselineStore::build(disk, &irregular);
-    ClusteredStore { segments, irregular: irregular_store, n_regular }
+    ClusteredStore {
+        segments,
+        irregular: irregular_store,
+        n_regular,
+    }
 }
 
 #[cfg(test)]
@@ -309,24 +339,56 @@ mod tests {
             .unwrap();
         };
         for i in 0..20u64 {
-            add(format!("http://e/item{i}"), "price", Term::int(i as i64 * 10));
-            add(format!("http://e/item{i}"), "sold", Term::date(&format!("1996-01-{:02}", (i % 28) + 1)));
+            add(
+                format!("http://e/item{i}"),
+                "price",
+                Term::int(i as i64 * 10),
+            );
+            add(
+                format!("http://e/item{i}"),
+                "sold",
+                Term::date(&format!("1996-01-{:02}", (i % 28) + 1)),
+            );
             if i % 5 == 0 {
                 // type-noise second value for price -> irregular exception
-                add(format!("http://e/item{i}"), "price", Term::str(format!("n/a-{i}")));
+                add(
+                    format!("http://e/item{i}"),
+                    "price",
+                    Term::str(format!("n/a-{i}")),
+                );
             }
             if i % 2 == 0 {
                 // multi-valued tags (>10% of subjects have 2) -> side table
-                add(format!("http://e/item{i}"), "tag", Term::iri(format!("http://e/t{}", i % 3)));
-                add(format!("http://e/item{i}"), "tag", Term::iri(format!("http://e/t{}", (i + 1) % 3)));
+                add(
+                    format!("http://e/item{i}"),
+                    "tag",
+                    Term::iri(format!("http://e/t{}", i % 3)),
+                );
+                add(
+                    format!("http://e/item{i}"),
+                    "tag",
+                    Term::iri(format!("http://e/t{}", (i + 1) % 3)),
+                );
             } else {
-                add(format!("http://e/item{i}"), "tag", Term::iri(format!("http://e/t{}", i % 3)));
+                add(
+                    format!("http://e/item{i}"),
+                    "tag",
+                    Term::iri(format!("http://e/t{}", i % 3)),
+                );
             }
         }
         ts
     }
 
-    fn build(dense: bool) -> (Arc<DiskManager>, BufferPool, EmergentSchema, ClusteredStore, TripleSet) {
+    fn build(
+        dense: bool,
+    ) -> (
+        Arc<DiskManager>,
+        BufferPool,
+        EmergentSchema,
+        ClusteredStore,
+        TripleSet,
+    ) {
         let mut ts = make_ts();
         let spo = ts.sorted_spo();
         let mut schema = sordf_schema::discover(&spo, &ts.dict, &SchemaConfig::default());
@@ -377,16 +439,25 @@ mod tests {
     fn sorted_segment_supports_range_rows() {
         let (_dm, pool, schema, store, ts) = build(true);
         let sold = ts.dict.iri_oid("http://e/sold").unwrap();
-        let class = schema.classes.iter().find(|c| c.column_of(sold).is_some()).unwrap();
+        let class = schema
+            .classes
+            .iter()
+            .find(|c| c.column_of(sold).is_some())
+            .unwrap();
         let col = class.column_of(sold).unwrap();
         let seg = store.segment(class.id);
         assert_eq!(seg.sorted_by, Some(col));
         let lo = Oid::from_date_days(sordf_model::date::parse_date("1996-01-05").unwrap()).unwrap();
         let hi = Oid::from_date_days(sordf_model::date::parse_date("1996-01-10").unwrap()).unwrap();
-        let rows = seg.sorted_row_range(&pool, col, lo.raw(), hi.raw()).unwrap();
+        let rows = seg
+            .sorted_row_range(&pool, col, lo.raw(), hi.raw())
+            .unwrap();
         // Verify against a full scan.
         let vals = seg.columns[col].to_vec(&pool, 0..seg.n);
-        let expect = vals.iter().filter(|&&v| v >= lo.raw() && v <= hi.raw()).count();
+        let expect = vals
+            .iter()
+            .filter(|&&v| v >= lo.raw() && v <= hi.raw())
+            .count();
         assert_eq!(rows.len(), expect);
         assert!(expect > 0);
         // All values inside the range, sorted.
@@ -399,7 +470,11 @@ mod tests {
     fn multi_table_lookup() {
         let (_dm, pool, schema, store, ts) = build(true);
         let tag = ts.dict.iri_oid("http://e/tag").unwrap();
-        let class = schema.classes.iter().find(|c| c.multi_of(tag).is_some()).expect("tag class");
+        let class = schema
+            .classes
+            .iter()
+            .find(|c| c.multi_of(tag).is_some())
+            .expect("tag class");
         let mp = class.multi_of(tag).unwrap();
         let seg = store.segment(class.id);
         let table = &seg.multi[mp];
@@ -420,6 +495,8 @@ mod tests {
         // The 4 string-typed price values are exceptions to the INT column.
         let exceptions = store.irregular.scan_p(&pool, price);
         assert_eq!(exceptions.len(), 4);
-        assert!(exceptions.iter().all(|&(_, o)| o.tag() == sordf_model::TypeTag::Str));
+        assert!(exceptions
+            .iter()
+            .all(|&(_, o)| o.tag() == sordf_model::TypeTag::Str));
     }
 }

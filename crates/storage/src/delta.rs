@@ -29,6 +29,7 @@
 //! pay the merge — and builds historical views on demand.
 
 use sordf_model::{FxHashMap, FxHashSet, Oid, Triple};
+use std::sync::Arc;
 
 /// A point in the write sequence. Obtained from [`DeltaStore::snapshot`];
 /// queries pinned to a snapshot see exactly the writes applied up to it.
@@ -105,6 +106,15 @@ impl DeltaView {
         !slice_for(&self.tombs_pso, p, None).is_empty()
     }
 
+    /// Any visible inserts for predicate `p`? While this is true, star
+    /// scans must not narrow or prune on `p`'s *base* column values (sort
+    /// key ranges, zone maps): a delta insert may supply the matching value
+    /// for a subject whose base value is NULL or out of range, and dropping
+    /// the row would drop its exception bindings with it.
+    pub fn has_inserts_for(&self, p: Oid) -> bool {
+        !slice_for(&self.inserts_pso, p, None).is_empty()
+    }
+
     /// Tombstoned `(s, o)` pairs of predicate `p` with subject in
     /// `[s_lo, s_hi]`, sorted by (s, o). Used by the star-scan kernels to
     /// filter aligned column values.
@@ -122,7 +132,9 @@ impl DeltaView {
         p: Oid,
         s_range: Option<(u64, u64)>,
     ) -> impl Iterator<Item = (Oid, Oid)> + '_ {
-        slice_for(&self.inserts_pso, p, s_range).iter().map(|t| (t.s, t.o))
+        slice_for(&self.inserts_pso, p, s_range)
+            .iter()
+            .map(|t| (t.s, t.o))
     }
 
     /// All visible inserted triples, sorted by (p, s, o).
@@ -179,6 +191,18 @@ fn slice_for(pso: &[Triple], p: Oid, s_range: Option<(u64, u64)>) -> &[Triple] {
     slice
 }
 
+/// One write batch, as replayed across a generation swap: the catch-up fold
+/// decodes these under the old dictionary, re-encodes them under the new
+/// generation's (renumbered) dictionary and replays them into the fresh
+/// delta store in sequence order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaWrite {
+    /// One insert batch (a whole [`DeltaStore::insert_run`] call).
+    Insert(Vec<Triple>),
+    /// One delete batch (a whole [`DeltaStore::delete`] call).
+    Delete(Vec<Triple>),
+}
+
 /// Sorted in-memory insert runs + a tombstone set, with snapshot
 /// sequencing. See the [module docs](self).
 #[derive(Debug, Default)]
@@ -186,13 +210,21 @@ pub struct DeltaStore {
     runs: Vec<DeltaRun>,
     /// Tombstones in application order: (seq, triple).
     tombstones: Vec<(u64, Triple)>,
-    /// Sequence of the latest applied write batch (0 = none).
+    /// Sequence of the latest applied write batch (== `base_seq` while the
+    /// store holds no writes).
     seq: u64,
+    /// The sequence this store starts at: every write folded into the base
+    /// generation carries a sequence `<= base_seq`. 0 for a store over a
+    /// bulk-loaded base; a store installed by a generation swap continues
+    /// the pre-swap numbering so snapshots taken at or after the rebuild
+    /// pin stay meaningful across the swap.
+    base_seq: u64,
     /// Set by the owner when inserts interned new string literals (see
     /// [`DeltaView::strings_appended`]).
     strings_appended: bool,
-    /// Cached view of the current sequence (`None` while empty).
-    current: Option<DeltaView>,
+    /// Cached view of the current sequence (`None` while empty), shared
+    /// with in-flight queries that pinned it (copy-on-write under them).
+    current: Option<Arc<DeltaView>>,
 }
 
 impl DeltaStore {
@@ -200,9 +232,25 @@ impl DeltaStore {
         DeltaStore::default()
     }
 
+    /// A store whose sequence numbering continues from `base_seq` — the
+    /// delta installed by a generation swap, whose base already contains
+    /// every write up to (and including) `base_seq`.
+    pub fn with_base_seq(base_seq: u64) -> DeltaStore {
+        DeltaStore {
+            seq: base_seq,
+            base_seq,
+            ..DeltaStore::default()
+        }
+    }
+
     /// The current sequence number.
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// The sequence this store starts at (see [`DeltaStore::with_base_seq`]).
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
     }
 
     /// A snapshot of the current state.
@@ -230,7 +278,7 @@ impl DeltaStore {
     pub fn set_strings_appended(&mut self) {
         self.strings_appended = true;
         if let Some(v) = &mut self.current {
-            v.strings_appended = true;
+            Arc::make_mut(v).strings_appended = true;
         }
     }
 
@@ -273,8 +321,11 @@ impl DeltaStore {
         cur.seq = seq;
         let dead: FxHashSet<Triple> = triples.iter().copied().collect();
         cur.inserts_pso.retain(|t| !dead.contains(t));
-        let mut fresh: Vec<Triple> =
-            triples.iter().copied().filter(|t| cur.tomb_set.insert(*t)).collect();
+        let mut fresh: Vec<Triple> = triples
+            .iter()
+            .copied()
+            .filter(|t| cur.tomb_set.insert(*t))
+            .collect();
         fresh.sort_unstable_by_key(|t| t.key_pso());
         fresh.dedup();
         cur.tombs_pso = merge_pso(std::mem::take(&mut cur.tombs_pso), fresh);
@@ -282,24 +333,38 @@ impl DeltaStore {
     }
 
     /// The cached current view, created on first write. Callers assign its
-    /// `seq` right after their own sequence bump.
+    /// `seq` right after their own sequence bump. Copy-on-write: a view
+    /// pinned by an in-flight query is cloned, never mutated under it.
     fn current_mut(&mut self) -> &mut DeltaView {
         let strings_appended = self.strings_appended;
-        self.current
-            .get_or_insert_with(|| DeltaView { strings_appended, ..DeltaView::default() })
+        Arc::make_mut(self.current.get_or_insert_with(|| {
+            Arc::new(DeltaView {
+                strings_appended,
+                ..DeltaView::default()
+            })
+        }))
     }
 
     /// The cached view of the current sequence (`None` while the store is
     /// empty — queries then skip all delta work).
     pub fn current_view(&self) -> Option<&DeltaView> {
-        self.current.as_ref()
+        self.current.as_deref()
     }
 
-    /// Build the view of an arbitrary snapshot (clamped to the current
-    /// sequence). O(delta size); the current sequence is served from the
-    /// cache by [`DeltaStore::current_view`].
+    /// The cached current view as a shared handle — what a query *pins* at
+    /// query start: later writes copy-on-write the cache and never mutate
+    /// the pinned view.
+    pub fn current_view_arc(&self) -> Option<Arc<DeltaView>> {
+        self.current.clone()
+    }
+
+    /// Build the view of an arbitrary snapshot (clamped to this store's
+    /// sequence range — history at or before `base_seq` has been folded
+    /// into the base generation and cannot be subtracted back out).
+    /// O(delta size); the current sequence is served from the cache by
+    /// [`DeltaStore::current_view`].
     pub fn view_at(&self, snap: Snapshot) -> DeltaView {
-        let seq = snap.seq().min(self.seq);
+        let seq = snap.seq().min(self.seq).max(self.base_seq);
         // Per triple: ascending tombstone sequences (within the snapshot).
         let mut tomb_seqs: FxHashMap<Triple, Vec<u64>> = FxHashMap::default();
         for &(tseq, t) in &self.tombstones {
@@ -354,6 +419,35 @@ impl DeltaStore {
         }
         out
     }
+
+    /// Every write batch applied after sequence `seq`, in sequence order —
+    /// the writes a generation swap must fold into the fresh delta store
+    /// (the rebuild pinned `seq`; everything later arrived *during* the
+    /// rebuild). Each batch keeps its original sequence number, so a replay
+    /// into [`DeltaStore::with_base_seq`]`(seq)` reproduces the numbering
+    /// exactly (every write bumps the sequence by one).
+    pub fn writes_since(&self, seq: u64) -> Vec<(u64, DeltaWrite)> {
+        let mut out: Vec<(u64, DeltaWrite)> = self
+            .runs
+            .iter()
+            .filter(|r| r.seq > seq)
+            .map(|r| (r.seq, DeltaWrite::Insert(r.triples.clone())))
+            .collect();
+        let mut batch: Vec<Triple> = Vec::new();
+        let mut batch_seq = 0u64;
+        for &(tseq, t) in self.tombstones.iter().filter(|&&(s, _)| s > seq) {
+            if tseq != batch_seq && !batch.is_empty() {
+                out.push((batch_seq, DeltaWrite::Delete(std::mem::take(&mut batch))));
+            }
+            batch_seq = tseq;
+            batch.push(t);
+        }
+        if !batch.is_empty() {
+            out.push((batch_seq, DeltaWrite::Delete(batch)));
+        }
+        out.sort_by_key(|&(s, _)| s);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -382,7 +476,10 @@ mod tests {
         let v = d.current_view().unwrap();
         assert_eq!(v.n_inserts(), 3);
         let pairs: Vec<_> = v.insert_pairs_for(Oid::iri(10), None).collect();
-        assert_eq!(pairs, vec![(Oid::iri(1), Oid::iri(4)), (Oid::iri(2), Oid::iri(5))]);
+        assert_eq!(
+            pairs,
+            vec![(Oid::iri(1), Oid::iri(4)), (Oid::iri(2), Oid::iri(5))]
+        );
         // Subject-range narrowing.
         let narrowed: Vec<_> = v
             .insert_pairs_for(Oid::iri(10), Some((Oid::iri(2).raw(), Oid::iri(2).raw())))
@@ -474,6 +571,47 @@ mod tests {
         assert_eq!(cached.inserts_pso, rebuilt.inserts_pso);
         assert_eq!(cached.tombs_pso, rebuilt.tombs_pso);
         assert_eq!(cached.tomb_set, rebuilt.tomb_set);
+    }
+
+    #[test]
+    fn writes_since_replays_into_base_seq_store() {
+        let mut d = DeltaStore::new();
+        d.insert_run(vec![t(1, 10, 2)]); // seq 1
+        d.delete(&[t(1, 10, 2), t(5, 10, 9)]); // seq 2
+        d.insert_run(vec![t(3, 10, 4)]); // seq 3
+        d.insert_run(vec![t(4, 10, 4)]); // seq 4
+
+        // Everything after seq 1, in order, with original sequence numbers.
+        let writes = d.writes_since(1);
+        assert_eq!(
+            writes,
+            vec![
+                (2, DeltaWrite::Delete(vec![t(1, 10, 2), t(5, 10, 9)])),
+                (3, DeltaWrite::Insert(vec![t(3, 10, 4)])),
+                (4, DeltaWrite::Insert(vec![t(4, 10, 4)])),
+            ]
+        );
+        assert!(d.writes_since(4).is_empty());
+
+        // Replaying into a base-seq store reproduces the numbering, so
+        // snapshots taken at or after the pin survive the swap.
+        let mut replay = DeltaStore::with_base_seq(1);
+        assert_eq!(replay.base_seq(), 1);
+        for (seq, w) in writes {
+            match w {
+                DeltaWrite::Insert(ts) => assert_eq!(replay.insert_run(ts).seq(), seq),
+                DeltaWrite::Delete(ts) => assert_eq!(replay.delete(&ts).seq(), seq),
+            }
+        }
+        assert_eq!(replay.seq(), d.seq());
+        let v3 = replay.view_at(Snapshot(3));
+        assert_eq!(
+            v3.n_inserts(),
+            1,
+            "seq-3 insert visible, seq-1 folded into base"
+        );
+        // History at or before the base is clamped up to the base.
+        assert_eq!(replay.view_at(Snapshot(0)).seq(), 1);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Generation pinning: the immutable unit a query executes against.
+//!
+//! A [`StoreGeneration`] bundles everything one *physical generation* of the
+//! store consists of — the dictionary, the base triples and whichever store
+//! layouts have been built over them. It is immutable once published, with
+//! one carefully-scoped exception: the dictionary keeps growing *within* a
+//! generation (inserts intern new terms, strictly append-only, behind the
+//! generation's own `RwLock`), which never invalidates an OID a reader
+//! already holds.
+//!
+//! Queries pin a [`GenerationHandle`] (an `Arc` clone) plus a delta view at
+//! query start and never look back at shared mutable state: a concurrent
+//! reorganization builds a *new* `StoreGeneration` — with its own,
+//! renumbered dictionary — and swaps the handle; in-flight queries keep the
+//! old generation alive until they drop their pins. Readers therefore never
+//! block on a rebuild; the only reader-visible locking is the dictionary
+//! read lock, contended only by interning writers for the duration of one
+//! batch.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard};
+use sordf_model::{Dictionary, Triple};
+use sordf_schema::EmergentSchema;
+
+use crate::baseline::BaselineStore;
+use crate::clustered::ClusteredStore;
+use crate::delta::DeltaView;
+use crate::reorg::{ClusterSpec, ReorgReport};
+use crate::triple_set::TripleSet;
+
+/// One physical generation of the store. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct StoreGeneration {
+    /// The dictionary this generation's OIDs are numbered by. Append-only
+    /// within the generation (interning takes the write lock); replaced
+    /// wholesale — never renumbered in place — by a generation swap.
+    pub dict: Arc<RwLock<Dictionary>>,
+    /// Base triples (parse order), encoded under `dict`'s numbering.
+    pub triples: Arc<Vec<Triple>>,
+    /// Exhaustive permutation indexes (ParseOrder scheme), if built.
+    pub baseline: Option<Arc<BaselineStore>>,
+    /// The frozen emergent schema, if discovered.
+    pub schema: Option<Arc<EmergentSchema>>,
+    /// Sparse CS tables over parse-order OIDs (with the schema they use).
+    pub cs_parse_order: Option<(Arc<ClusteredStore>, Arc<EmergentSchema>)>,
+    /// The fully self-organized store (clustered OIDs, dense segments).
+    pub clustered: Option<Arc<ClusteredStore>>,
+    /// Clustering spec used for the clustered build (kept for reporting).
+    pub spec: ClusterSpec,
+    /// The clustering report, if self-organized.
+    pub reorg_report: Option<ReorgReport>,
+    /// String-pool size at the last string sort: interning past this
+    /// watermark breaks string-OID value order until the next swap.
+    pub strings_sorted_len: usize,
+}
+
+/// The shared handle queries clone at query start and a swap replaces
+/// atomically (under the owner's state lock).
+pub type GenerationHandle = Arc<StoreGeneration>;
+
+impl StoreGeneration {
+    /// A staging generation: dictionary + triples, nothing built yet.
+    pub fn staging(dict: Dictionary, triples: Vec<Triple>) -> StoreGeneration {
+        StoreGeneration {
+            dict: Arc::new(RwLock::new(dict)),
+            triples: Arc::new(triples),
+            baseline: None,
+            schema: None,
+            cs_parse_order: None,
+            clustered: None,
+            spec: ClusterSpec::none(),
+            reorg_report: None,
+            strings_sorted_len: 0,
+        }
+    }
+
+    /// Has any store layout been built over this generation?
+    pub fn any_built(&self) -> bool {
+        self.baseline.is_some() || self.cs_parse_order.is_some() || self.clustered.is_some()
+    }
+
+    /// Pin this generation's dictionary for reading (shared with other
+    /// readers; interning writers wait for the pin to drop).
+    pub fn pin_dict(&self) -> DictPin {
+        DictPin::read(Arc::clone(&self.dict))
+    }
+
+    /// Materialize the logical triple set this generation + `view` describe:
+    /// a clone of the dictionary and the base triples with the view's
+    /// tombstones filtered out and its visible inserts appended. This is
+    /// the input a background rebuild works from — fully owned, so the
+    /// rebuild touches no shared state while it runs.
+    pub fn fold_into_triple_set(&self, view: Option<&DeltaView>) -> TripleSet {
+        let dict = self.dict.read().clone();
+        let triples = match view {
+            None => self.triples.as_ref().clone(),
+            Some(v) => {
+                let mut t: Vec<Triple> = if v.n_tombstones() == 0 {
+                    self.triples.as_ref().clone()
+                } else {
+                    self.triples
+                        .iter()
+                        .filter(|t| !v.is_deleted(**t))
+                        .copied()
+                        .collect()
+                };
+                t.extend_from_slice(v.inserts());
+                t
+            }
+        };
+        TripleSet { dict, triples }
+    }
+}
+
+/// An owned read guard on a generation's dictionary: keeps the dictionary
+/// `Arc` alive and holds its read lock for the guard's lifetime, so a query
+/// can carry one pinned `&Dictionary` through parsing and execution without
+/// borrowing from the database's internal state.
+pub struct DictPin {
+    // SAFETY invariant: `guard` borrows the `RwLock` inside `_dict`'s heap
+    // allocation, which `_dict` keeps alive for as long as this struct
+    // exists. Field order matters — `guard` is declared first so it drops
+    // (releasing the lock) before the `Arc`.
+    guard: RwLockReadGuard<'static, Dictionary>,
+    _dict: Arc<RwLock<Dictionary>>,
+}
+
+impl DictPin {
+    /// Acquire a read pin on `dict`.
+    pub fn read(dict: Arc<RwLock<Dictionary>>) -> DictPin {
+        let guard = dict.read();
+        // SAFETY: the guard's 'static lifetime is a lie we immediately
+        // contain: the referent lives inside `dict`'s allocation, `_dict`
+        // holds that allocation for the guard's whole lifetime, and the
+        // declaration order above drops the guard first. The guard never
+        // escapes this struct with the forged lifetime.
+        let guard: RwLockReadGuard<'static, Dictionary> =
+            unsafe { std::mem::transmute::<RwLockReadGuard<'_, Dictionary>, _>(guard) };
+        DictPin { guard, _dict: dict }
+    }
+}
+
+impl Deref for DictPin {
+    type Target = Dictionary;
+
+    fn deref(&self) -> &Dictionary {
+        &self.guard
+    }
+}
+
+impl std::fmt::Debug for DictPin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DictPin").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sordf_model::{Oid, Term, TermTriple};
+
+    fn sample_generation() -> StoreGeneration {
+        let mut ts = TripleSet::new();
+        for i in 0..4u64 {
+            ts.add(&TermTriple::new(
+                Term::iri(format!("http://e/s{i}")),
+                Term::iri("http://e/p"),
+                Term::int(i as i64),
+            ))
+            .unwrap();
+        }
+        StoreGeneration::staging(ts.dict, ts.triples)
+    }
+
+    #[test]
+    fn dict_pin_outlives_generation_handle() {
+        let gen = Arc::new(sample_generation());
+        let pin = gen.pin_dict();
+        let s0 = pin.iri_oid("http://e/s0").unwrap();
+        // Drop every other handle: the pin alone keeps the dictionary alive.
+        drop(gen);
+        assert_eq!(pin.iri_oid("http://e/s0"), Some(s0));
+    }
+
+    #[test]
+    fn concurrent_pins_share_the_lock() {
+        let gen = sample_generation();
+        let a = gen.pin_dict();
+        let b = gen.pin_dict();
+        assert_eq!(a.n_iris(), b.n_iris());
+    }
+
+    #[test]
+    fn fold_applies_tombstones_and_inserts() {
+        let gen = sample_generation();
+        let p = gen.dict.read().iri_oid("http://e/p").unwrap();
+        let s0 = gen.dict.read().iri_oid("http://e/s0").unwrap();
+        let mut delta = crate::delta::DeltaStore::new();
+        let extra = Triple::new(s0, p, Oid::from_int(99).unwrap());
+        delta.insert_run(vec![extra]);
+        delta.delete(&[Triple::new(s0, p, Oid::from_int(0).unwrap())]);
+        let folded = gen.fold_into_triple_set(delta.current_view());
+        assert_eq!(folded.triples.len(), 4, "one deleted, one inserted");
+        assert!(folded.triples.contains(&extra));
+        // No view: a plain clone.
+        assert_eq!(gen.fold_into_triple_set(None).triples.len(), 4);
+    }
+}

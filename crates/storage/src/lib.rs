@@ -29,13 +29,15 @@
 pub mod baseline;
 pub mod clustered;
 pub mod delta;
+pub mod generation;
 pub mod perm;
 pub mod reorg;
 pub mod triple_set;
 
 pub use baseline::BaselineStore;
 pub use clustered::{build_clustered, ClassSegment, ClusteredStore, MultiTable};
-pub use delta::{DeltaStore, DeltaView, Snapshot};
+pub use delta::{DeltaStore, DeltaView, DeltaWrite, Snapshot};
+pub use generation::{DictPin, GenerationHandle, StoreGeneration};
 pub use perm::{Order, PermIndex};
 pub use reorg::{reorganize, ClusterSpec, ReorgReport};
-pub use triple_set::TripleSet;
+pub use triple_set::{encode_term_skolemized, encode_triple_skolemized, TripleSet};

@@ -24,7 +24,14 @@ pub enum Order {
 
 impl Order {
     /// All six orders (the "exhaustive indexing" set).
-    pub const ALL: [Order; 6] = [Order::Spo, Order::Sop, Order::Pso, Order::Pos, Order::Osp, Order::Ops];
+    pub const ALL: [Order; 6] = [
+        Order::Spo,
+        Order::Sop,
+        Order::Pso,
+        Order::Pos,
+        Order::Osp,
+        Order::Ops,
+    ];
 
     /// The sort key of a triple under this order.
     #[inline]
@@ -77,7 +84,11 @@ impl PermIndex {
             builders[2].push(c.raw());
         }
         let [b0, b1, b2] = builders;
-        PermIndex { order, cols: [b0.finish(), b1.finish(), b2.finish()], len: keys.len() }
+        PermIndex {
+            order,
+            cols: [b0.finish(), b1.finish(), b2.finish()],
+            len: keys.len(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -168,7 +179,10 @@ mod tests {
             vec![(Oid::iri(1), Oid::iri(100)), (Oid::iri(2), Oid::iri(101))]
         );
         let r11 = idx.range1(&pool, Oid::iri(11));
-        assert_eq!(idx.pairs(&pool, r11), vec![(Oid::iri(1), Oid::iri(103)), (Oid::iri(3), Oid::iri(102))]);
+        assert_eq!(
+            idx.pairs(&pool, r11),
+            vec![(Oid::iri(1), Oid::iri(103)), (Oid::iri(3), Oid::iri(102))]
+        );
         assert!(idx.range1(&pool, Oid::iri(99)).is_empty());
     }
 
@@ -191,8 +205,14 @@ mod tests {
         let triples = vec![t(1, 10, 5), t(1, 10, 6), t(1, 11, 7), t(2, 10, 5)];
         let (_dm, pool, idx) = setup(&triples, Order::Spo);
         assert_eq!(idx.range2(&pool, Oid::iri(1), Oid::iri(10)).len(), 2);
-        assert_eq!(idx.range3(&pool, Oid::iri(1), Oid::iri(10), Oid::iri(6)).len(), 1);
-        assert!(idx.range3(&pool, Oid::iri(1), Oid::iri(10), Oid::iri(7)).is_empty());
+        assert_eq!(
+            idx.range3(&pool, Oid::iri(1), Oid::iri(10), Oid::iri(6))
+                .len(),
+            1
+        );
+        assert!(idx
+            .range3(&pool, Oid::iri(1), Oid::iri(10), Oid::iri(7))
+            .is_empty());
     }
 
     #[test]

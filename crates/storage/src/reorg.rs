@@ -57,7 +57,9 @@ impl ClusterSpec {
                 class
                     .columns
                     .iter()
-                    .position(|c| c.ty == ty && Some(c.pred) != schema.type_pred && c.presence > 0.99)
+                    .position(|c| {
+                        c.ty == ty && Some(c.pred) != schema.type_pred && c.presence > 0.99
+                    })
                     .or_else(|| {
                         class
                             .columns
@@ -114,8 +116,12 @@ pub fn reorganize(
             }
         }
         for t in &ts.triples {
-            let Some(class) = schema.class_of(t.s) else { continue };
-            let Some(&ty) = keyed.get(&(class, t.p)) else { continue };
+            let Some(class) = schema.class_of(t.s) else {
+                continue;
+            };
+            let Some(&ty) = keyed.get(&(class, t.p)) else {
+                continue;
+            };
             if !t.o.is_null() && t.o.tag() == ty {
                 key_of
                     .entry(t.s)
@@ -129,7 +135,10 @@ pub fn reorganize(
     let n_classes = schema.classes.len();
     let mut per_class: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n_classes];
     for (&s, &class) in &schema.assignment {
-        assert!(s.is_iri(), "subjects must be (skolemized) IRIs for clustering");
+        assert!(
+            s.is_iri(),
+            "subjects must be (skolemized) IRIs for clustering"
+        );
         let key = key_of.get(&s).copied().unwrap_or(u64::MAX);
         per_class[class.0 as usize].push((key, s.payload()));
     }
@@ -182,7 +191,10 @@ pub fn reorganize(
     //    predicate of each column/side table (predicates are IRIs and were
     //    renumbered like everything else), and stale IRI/string stats.
     let old_assignment = std::mem::take(&mut schema.assignment);
-    schema.assignment = old_assignment.into_iter().map(|(s, c)| (remap(s), c)).collect();
+    schema.assignment = old_assignment
+        .into_iter()
+        .map(|(s, c)| (remap(s), c))
+        .collect();
     schema.type_pred = schema.type_pred.map(remap);
     for class in schema.classes.iter_mut() {
         for col in class.columns.iter_mut() {
@@ -220,19 +232,31 @@ mod tests {
     fn make_ts() -> TripleSet {
         let mut ts = TripleSet::new();
         let mut add = |s: String, p: &str, o: Term| {
-            ts.add(&sordf_model::TermTriple::new(Term::iri(s), Term::iri(format!("http://e/{p}")), o))
-                .unwrap();
+            ts.add(&sordf_model::TermTriple::new(
+                Term::iri(s),
+                Term::iri(format!("http://e/{p}")),
+                o,
+            ))
+            .unwrap();
         };
         // Interleave items and tags so parse order is maximally unhelpful;
         // give items *descending* dates so sub-ordering must reorder them.
         for i in 0..10u64 {
-            add(format!("http://e/item{i}"), "price", Term::int(100 - i as i64));
+            add(
+                format!("http://e/item{i}"),
+                "price",
+                Term::int(100 - i as i64),
+            );
             add(
                 format!("http://e/item{i}"),
                 "sold",
                 Term::date(&format!("1996-01-{:02}", 28 - i * 2)),
             );
-            add(format!("http://e/tag{i}"), "label", Term::str(format!("tag-{}", 9 - i)));
+            add(
+                format!("http://e/tag{i}"),
+                "label",
+                Term::str(format!("tag-{}", 9 - i)),
+            );
         }
         ts
     }
@@ -311,7 +335,10 @@ mod tests {
             .map(|t| (t.s.payload(), t.o.raw()))
             .collect();
         dates.sort_unstable();
-        assert!(dates.windows(2).all(|w| w[0].1 <= w[1].1), "dates ascend with subject OID");
+        assert!(
+            dates.windows(2).all(|w| w[0].1 <= w[1].1),
+            "dates ascend with subject OID"
+        );
     }
 
     #[test]

@@ -38,17 +38,7 @@ impl TripleSet {
     /// (new IRIs/strings are interned; the triple itself lands in a delta
     /// run, not in the base set).
     pub fn encode(&mut self, t: &TermTriple) -> Result<Triple, ModelError> {
-        let s = self.encode_skolemized(&t.s)?;
-        let p = self.encode_skolemized(&t.p)?;
-        let o = self.encode_skolemized(&t.o)?;
-        Ok(Triple::new(s, p, o))
-    }
-
-    fn encode_skolemized(&mut self, t: &Term) -> Result<sordf_model::Oid, ModelError> {
-        match t {
-            Term::Blank(label) => Ok(self.dict.encode_iri(&Term::skolem_blank_iri(label))),
-            other => self.dict.encode_term(other),
-        }
+        encode_triple_skolemized(&mut self.dict, t)
     }
 
     /// Load an N-Triples document.
@@ -86,6 +76,32 @@ impl TripleSet {
         self.triples.sort_unstable_by_key(|t| t.key_spo());
         self.triples.dedup();
     }
+}
+
+/// Encode one term against a bare dictionary, skolemizing blank nodes into
+/// IRIs the same way [`TripleSet::add`] does — the write path of a live
+/// generation interns against the generation's dictionary directly, without
+/// owning a `TripleSet`.
+pub fn encode_term_skolemized(
+    dict: &mut Dictionary,
+    t: &Term,
+) -> Result<sordf_model::Oid, ModelError> {
+    match t {
+        Term::Blank(label) => Ok(dict.encode_iri(&Term::skolem_blank_iri(label))),
+        other => dict.encode_term(other),
+    }
+}
+
+/// Encode one term triple against a bare dictionary (see
+/// [`encode_term_skolemized`]).
+pub fn encode_triple_skolemized(
+    dict: &mut Dictionary,
+    t: &TermTriple,
+) -> Result<Triple, ModelError> {
+    let s = encode_term_skolemized(dict, &t.s)?;
+    let p = encode_term_skolemized(dict, &t.p)?;
+    let o = encode_term_skolemized(dict, &t.o)?;
+    Ok(Triple::new(s, p, o))
 }
 
 #[cfg(test)]

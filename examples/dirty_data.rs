@@ -8,10 +8,13 @@ use sordf::Database;
 use sordf_datagen::{dirty, DirtyConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<14} {:>9} {:>9} {:>10} {:>10}", "irregularity", "triples", "classes", "coverage", "irregular");
+    println!(
+        "{:<14} {:>9} {:>9} {:>10} {:>10}",
+        "irregularity", "triples", "classes", "coverage", "irregular"
+    );
     for irregularity in [0.0, 0.15, 0.3, 0.5] {
         let triples = dirty(&DirtyConfig::with_irregularity(irregularity, 1_500));
-        let mut db = Database::in_temp_dir()?;
+        let db = Database::in_temp_dir()?;
         db.load_terms(&triples)?;
         db.self_organize()?;
         let schema = db.schema().unwrap();

@@ -7,7 +7,7 @@
 use sordf::Database;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::in_temp_dir()?;
+    let db = Database::in_temp_dir()?;
 
     // A small library dataset, straight N-Triples.
     let mut doc = String::new();
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ?b <http://ex/isbn_no> ?n }"#,
     )?;
     println!("books from 1996 ({} results):", rs.len());
-    for row in rs.render(db.dict()) {
+    for row in rs.render(&db.dict()) {
         println!("  author={}  isbn={}", row[0], row[1]);
     }
 

@@ -10,7 +10,7 @@ use sordf_schema::summarize;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let triples = sordf_datagen::dblp_like(60, 5);
-    let mut db = Database::in_temp_dir()?;
+    let db = Database::in_temp_dir()?;
     db.load_terms(&triples)?;
     db.self_organize()?;
 
@@ -26,8 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Schema summarization: keyword search + FK closure.
     println!("== summarized schema for keyword 'inproceeding' ==");
-    let summary = summarize(schema, 1, &["inproceeding"]);
-    println!("{}", summary.render(schema, db.dict()));
+    let summary = summarize(&schema, 1, &["inproceeding"]);
+    println!("{}", summary.render(&schema, &db.dict()));
 
     // And the discovered FK is queryable.
     let rs = db.query(
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } LIMIT 5"#,
     )?;
     println!("papers in conferences issued >= 2011 (first 5):");
-    for row in rs.render(db.dict()) {
+    for row in rs.render(&db.dict()) {
         println!("  {} @ {}", row[0], row[1]);
     }
     Ok(())

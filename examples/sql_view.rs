@@ -10,7 +10,7 @@ use sordf_rdfh::{generate, RdfhConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = generate(&RdfhConfig::new(0.002));
-    let mut db = Database::in_temp_dir()?;
+    let db = Database::in_temp_dir()?;
     db.load_terms(&data.triples)?;
     db.self_organize()?;
 
@@ -27,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  AND lineitem_discount BETWEEN 0.05 AND 0.07 AND lineitem_quantity < 24";
     let rs_sql = db.sql(sql)?;
 
-    let a = rs_sparql.render(db.dict());
-    let b = rs_sql.render(db.dict());
+    let a = rs_sparql.render(&db.dict());
+    let b = rs_sql.render(&db.dict());
     println!("Q6 via SPARQL: revenue = {}", a[0][0]);
     println!("Q6 via SQL   : revenue = {}", b[0][0]);
     assert_eq!(a[0][0], b[0][0], "the two frontends must agree");
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          GROUP BY customer_mktsegment ORDER BY volume DESC",
     )?;
     println!("\norder volume by market segment (SQL over FK join):");
-    for row in rs.render(db.dict()) {
+    for row in rs.render(&db.dict()) {
         println!("  {:<12} n={:<6} volume={}", row[0], row[1], row[2]);
     }
     Ok(())

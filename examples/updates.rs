@@ -9,7 +9,7 @@ use sordf::{Database, ReorgPolicy};
 use sordf_model::Term;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut db = Database::in_temp_dir()?;
+    let db = Database::in_temp_dir()?;
 
     // Bulk-load a small product catalog and self-organize it.
     let mut doc = String::new();
@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     db.load_ntriples(&doc)?;
     db.self_organize()?;
-    println!("organized {} triples into {} class(es)", db.n_triples(), db.schema().unwrap().classes.len());
+    println!(
+        "organized {} triples into {} class(es)",
+        db.n_triples(),
+        db.schema().unwrap().classes.len()
+    );
 
     let q = "SELECT ?s ?p WHERE { ?s <http://ex/price> ?p . FILTER(?p >= 135) }";
     println!("items priced >= 135: {}", db.query(q)?.len());
@@ -45,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("deleted {n} triples of item3");
 
     println!("items priced >= 135 (live): {}", db.query(q)?.len());
-    println!("items priced >= 135 (at snapshot): {}", db.query_snapshot(q, snap)?.len());
+    println!(
+        "items priced >= 135 (at snapshot): {}",
+        db.query_snapshot(q, snap)?.len()
+    );
 
     // ---- drift: how far has the live data diverged? ----------------------
     let drift = db.drift_stats();
@@ -68,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.reason.as_deref().unwrap_or("-"),
         outcome.irregular_ratio_after.unwrap_or(0.0)
     );
-    println!("classes after reorg: {}", db.schema().unwrap().classes.len());
+    println!(
+        "classes after reorg: {}",
+        db.schema().unwrap().classes.len()
+    );
     println!("items priced >= 135 (after reorg): {}", db.query(q)?.len());
     Ok(())
 }

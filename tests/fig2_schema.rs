@@ -5,18 +5,26 @@ use sordf::Database;
 
 #[test]
 fn fig2_structure_via_facade() {
-    let mut db = Database::in_temp_dir().unwrap();
+    let db = Database::in_temp_dir().unwrap();
     db.load_terms(&sordf_datagen::dblp_like(40, 4)).unwrap();
     db.self_organize().unwrap();
     let schema = db.schema().unwrap();
 
-    let inproc = schema.class_by_name("inproceeding").expect("inproceeding table");
-    let conf = schema.class_by_name("conference").expect("conference table");
+    let inproc = schema
+        .class_by_name("inproceeding")
+        .expect("inproceeding table");
+    let conf = schema
+        .class_by_name("conference")
+        .expect("conference table");
     assert_eq!(inproc.n_subjects, 40);
     assert_eq!(conf.n_subjects, 4);
 
     // The partOf foreign key of Fig. 2.
-    let partof = inproc.columns.iter().find(|c| c.name == "partof").expect("partof column");
+    let partof = inproc
+        .columns
+        .iter()
+        .find(|c| c.name == "partof")
+        .expect("partof column");
     let fk = partof.fk.expect("partOf is a foreign key");
     assert_eq!(schema.class(fk.target).name, "conference");
     assert!(fk.strength > 0.99);
@@ -28,32 +36,36 @@ fn fig2_structure_via_facade() {
         .query("SELECT ?u WHERE { ?w <http://example.org/url> ?u . }")
         .unwrap();
     assert_eq!(rs.len(), 1);
-    assert_eq!(rs.render(db.dict())[0][0], "index.php");
+    assert_eq!(rs.render(&db.dict())[0][0], "index.php");
 }
 
 #[test]
 fn fig2_summary_contains_fk_closure() {
-    let mut db = Database::in_temp_dir().unwrap();
+    let db = Database::in_temp_dir().unwrap();
     db.load_terms(&sordf_datagen::dblp_like(40, 4)).unwrap();
     db.self_organize().unwrap();
     let schema = db.schema().unwrap();
-    let summary = sordf_schema::summarize(schema, 1, &["inproceeding"]);
-    let names: Vec<&str> =
-        summary.selected.iter().map(|&c| schema.class(c).name.as_str()).collect();
+    let summary = sordf_schema::summarize(&schema, 1, &["inproceeding"]);
+    let names: Vec<&str> = summary
+        .selected
+        .iter()
+        .map(|&c| schema.class(c).name.as_str())
+        .collect();
     assert!(names.contains(&"inproceeding"));
-    assert!(names.contains(&"conference"), "FK closure pulls in conference");
+    assert!(
+        names.contains(&"conference"),
+        "FK closure pulls in conference"
+    );
 }
 
 #[test]
 fn multi_valued_creator_is_preserved() {
     // Fig. 2: inproc1 has creators {author3, author4}; both must be bound.
-    let mut db = Database::in_temp_dir().unwrap();
+    let db = Database::in_temp_dir().unwrap();
     db.load_terms(&sordf_datagen::dblp_like(40, 4)).unwrap();
     db.self_organize().unwrap();
     let rs = db
-        .query(
-            "SELECT ?a WHERE { <http://example.org/inproc1> <http://example.org/creator> ?a . }",
-        )
+        .query("SELECT ?a WHERE { <http://example.org/inproc1> <http://example.org/creator> ?a . }")
         .unwrap();
     assert_eq!(rs.len(), 2, "both creators must survive self-organization");
 }

@@ -15,14 +15,17 @@ struct Rig {
 
 fn rig() -> Rig {
     let data = generate(&RdfhConfig::new(0.001));
-    let mut parse_order = Database::in_temp_dir().unwrap();
+    let parse_order = Database::in_temp_dir().unwrap();
     parse_order.load_terms(&data.triples).unwrap();
     parse_order.build_baseline().unwrap();
     parse_order.build_cs_tables().unwrap();
-    let mut clustered = Database::in_temp_dir().unwrap();
+    let clustered = Database::in_temp_dir().unwrap();
     clustered.load_terms(&data.triples).unwrap();
     clustered.self_organize().unwrap();
-    Rig { parse_order, clustered }
+    Rig {
+        parse_order,
+        clustered,
+    }
 }
 
 /// The three storage generations under their natural plan scheme.
@@ -32,19 +35,28 @@ fn configs(rig: &Rig) -> Vec<(&'static str, &Database, Generation, ExecConfig)> 
             "baseline",
             &rig.parse_order,
             Generation::Baseline,
-            ExecConfig { scheme: PlanScheme::Default, zonemaps: true },
+            ExecConfig {
+                scheme: PlanScheme::Default,
+                zonemaps: true,
+            },
         ),
         (
             "cs-parse-order",
             &rig.parse_order,
             Generation::CsParseOrder,
-            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+            ExecConfig {
+                scheme: PlanScheme::RdfScanJoin,
+                zonemaps: true,
+            },
         ),
         (
             "clustered",
             &rig.clustered,
             Generation::Clustered,
-            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+            ExecConfig {
+                scheme: PlanScheme::RdfScanJoin,
+                zonemaps: true,
+            },
         ),
     ]
 }
@@ -63,7 +75,7 @@ fn star_join_suite_is_stable_under_4_threads_and_parallel_operators() {
                 .map(|&qid| {
                     db.query_with(query(qid), *generation, *exec)
                         .unwrap()
-                        .canonical(db.dict())
+                        .canonical(&db.dict())
                 })
                 .collect()
         })
@@ -87,7 +99,7 @@ fn star_join_suite_is_stable_under_4_threads_and_parallel_operators() {
                             .query_with(query(qid), *generation, *exec)
                             .unwrap_or_else(|e| panic!("{name}/{}: {e}", qid.name()));
                         assert_eq!(
-                            seq.canonical(db.dict()),
+                            seq.canonical(&db.dict()),
                             reference[ci][qi],
                             "thread {thread}: sequential {} on {name} diverged",
                             qid.name()
@@ -103,7 +115,7 @@ fn star_join_suite_is_stable_under_4_threads_and_parallel_operators() {
                                 .unwrap_or_else(|e| panic!("{name}/{}: {e}", qid.name()))
                                 .results;
                             assert_eq!(
-                                rs.canonical(db.dict()),
+                                rs.canonical(&db.dict()),
                                 reference[ci][qi],
                                 "thread {thread}: parallel({workers}) {} on {name} diverged",
                                 qid.name()
@@ -126,7 +138,13 @@ fn parallel_query_facade_defaults_work() {
     let rs_seq = rig.clustered.query(query(sordf_rdfh::QueryId::Q6)).unwrap();
     let rs_par = rig
         .clustered
-        .query_parallel(query(sordf_rdfh::QueryId::Q6), &ParallelConfig::with_workers(4))
+        .query_parallel(
+            query(sordf_rdfh::QueryId::Q6),
+            &ParallelConfig::with_workers(4),
+        )
         .unwrap();
-    assert_eq!(rs_seq.canonical(rig.clustered.dict()), rs_par.canonical(rig.clustered.dict()));
+    assert_eq!(
+        rs_seq.canonical(&rig.clustered.dict()),
+        rs_par.canonical(&rig.clustered.dict())
+    );
 }

@@ -120,11 +120,11 @@ proptest! {
         // A two-pattern star on the most common predicates.
         let q = "SELECT ?s ?a ?b WHERE { ?s <http://t/p0> ?a . ?s <http://t/p1> ?b . }";
 
-        let mut po = Database::in_temp_dir().unwrap();
+        let po = Database::in_temp_dir().unwrap();
         po.load_terms(&triples).unwrap();
         po.build_baseline().unwrap();
         po.build_cs_tables().unwrap();
-        let mut cl = Database::in_temp_dir().unwrap();
+        let cl = Database::in_temp_dir().unwrap();
         cl.load_terms(&triples).unwrap();
         cl.self_organize().unwrap();
 
@@ -139,7 +139,7 @@ proptest! {
         for (db, generation, scheme, zm) in runs {
             let exec = ExecConfig { scheme, zonemaps: zm };
             let rs = db.query_with(q, generation, exec).unwrap();
-            let canon = rs.canonical(db.dict());
+            let canon = rs.canonical(&db.dict());
             match &reference {
                 None => reference = Some(canon),
                 Some(r) => prop_assert_eq!(&canon, r),

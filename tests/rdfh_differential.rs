@@ -11,35 +11,71 @@ struct Rig {
 
 fn rig() -> Rig {
     let data = generate(&RdfhConfig::new(0.001));
-    let mut parse_order = Database::in_temp_dir().unwrap();
+    let parse_order = Database::in_temp_dir().unwrap();
     parse_order.load_terms(&data.triples).unwrap();
     parse_order.build_baseline().unwrap();
     parse_order.build_cs_tables().unwrap();
-    let mut clustered = Database::in_temp_dir().unwrap();
+    let clustered = Database::in_temp_dir().unwrap();
     clustered.load_terms(&data.triples).unwrap();
     clustered.self_organize().unwrap();
-    Rig { parse_order, clustered }
+    Rig {
+        parse_order,
+        clustered,
+    }
 }
 
 #[test]
 fn all_catalog_queries_agree_across_configs() {
     let rig = rig();
     let configs: Vec<(&Database, Generation, PlanScheme, bool)> = vec![
-        (&rig.parse_order, Generation::Baseline, PlanScheme::Default, false),
-        (&rig.parse_order, Generation::CsParseOrder, PlanScheme::RdfScanJoin, false),
-        (&rig.clustered, Generation::Clustered, PlanScheme::Default, false),
-        (&rig.clustered, Generation::Clustered, PlanScheme::Default, true),
-        (&rig.clustered, Generation::Clustered, PlanScheme::RdfScanJoin, false),
-        (&rig.clustered, Generation::Clustered, PlanScheme::RdfScanJoin, true),
+        (
+            &rig.parse_order,
+            Generation::Baseline,
+            PlanScheme::Default,
+            false,
+        ),
+        (
+            &rig.parse_order,
+            Generation::CsParseOrder,
+            PlanScheme::RdfScanJoin,
+            false,
+        ),
+        (
+            &rig.clustered,
+            Generation::Clustered,
+            PlanScheme::Default,
+            false,
+        ),
+        (
+            &rig.clustered,
+            Generation::Clustered,
+            PlanScheme::Default,
+            true,
+        ),
+        (
+            &rig.clustered,
+            Generation::Clustered,
+            PlanScheme::RdfScanJoin,
+            false,
+        ),
+        (
+            &rig.clustered,
+            Generation::Clustered,
+            PlanScheme::RdfScanJoin,
+            true,
+        ),
     ];
     for qid in ALL_QUERIES {
         let mut reference: Option<Vec<String>> = None;
         for (i, (db, generation, scheme, zonemaps)) in configs.iter().enumerate() {
-            let exec = ExecConfig { scheme: *scheme, zonemaps: *zonemaps };
+            let exec = ExecConfig {
+                scheme: *scheme,
+                zonemaps: *zonemaps,
+            };
             let rs = db
                 .query_with(query(qid), *generation, exec)
                 .unwrap_or_else(|e| panic!("{} config {i}: {e}", qid.name()));
-            let canon = rs.canonical(db.dict());
+            let canon = rs.canonical(&db.dict());
             match &reference {
                 None => reference = Some(canon),
                 Some(r) => assert_eq!(
@@ -61,7 +97,7 @@ fn q6_revenue_is_plausible() {
     let rig = rig();
     let rs = rig.clustered.query(query(sordf_rdfh::QueryId::Q6)).unwrap();
     assert_eq!(rs.len(), 1);
-    let revenue: f64 = rs.render(rig.clustered.dict())[0][0].parse().unwrap();
+    let revenue: f64 = rs.render(&rig.clustered.dict())[0][0].parse().unwrap();
     // ~1500 orders * ~4 lineitems; the Q6 filters keep ~2% of lineitems,
     // each contributing price*discount ≈ 27000*0.06 ≈ 1600.
     assert!(revenue > 10_000.0, "revenue {revenue} suspiciously small");
@@ -75,7 +111,10 @@ fn rdfscan_answers_q6_without_joins() {
         .query_traced(
             query(sordf_rdfh::QueryId::Q6),
             Generation::Clustered,
-            ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
+            ExecConfig {
+                scheme: PlanScheme::RdfScanJoin,
+                zonemaps: true,
+            },
         )
         .unwrap();
     assert_eq!(traced.stats.merge_joins, 0);
@@ -87,7 +126,9 @@ fn rdfscan_answers_q6_without_joins() {
 fn schema_discovers_tpch_tables() {
     let rig = rig();
     let schema = rig.clustered.schema().unwrap();
-    for table in ["lineitem", "order", "customer", "part", "supplier", "nation", "region"] {
+    for table in [
+        "lineitem", "order", "customer", "part", "supplier", "nation", "region",
+    ] {
         assert!(
             schema.class_by_name(table).is_some(),
             "missing emergent table {table}; got {:?}",
@@ -97,6 +138,10 @@ fn schema_discovers_tpch_tables() {
     assert!(schema.coverage > 0.999, "RDF-H is fully regular");
     // FK chain: lineitem -> order -> customer -> nation -> region.
     let li = schema.class_by_name("lineitem").unwrap();
-    let ok_col = li.columns.iter().find(|c| c.name == "lineitem_orderkey").unwrap();
+    let ok_col = li
+        .columns
+        .iter()
+        .find(|c| c.name == "lineitem_orderkey")
+        .unwrap();
     assert_eq!(schema.class(ok_col.fk.unwrap().target).name, "order");
 }

@@ -1,0 +1,213 @@
+//! Background-reorganization stress differential: queries must be
+//! completely undisturbed by concurrent generation swaps.
+//!
+//! Phase 1 — **swap storm under readers**: the live database holds a fixed
+//! logical triple set (base A organized + B pending in the delta), several
+//! query threads hammer every RDF-H catalog query under both plan schemes
+//! (one thread morsel-parallel), while the main thread forces full
+//! background reorganizations in a loop. Each swap renumbers every OID,
+//! replaces the dictionary and collapses the delta — yet every single
+//! result, before, during and after any swap, must be canonically identical
+//! to a quiesced reference database, because each query pins its generation
+//! (dict + stores + delta view) at query start.
+//!
+//! Phase 2 — **catch-up fold**: writes land *while* a background rebuild is
+//! running; after the swap the database must answer exactly like a fresh
+//! bulk load of the final logical set (the catch-up writes were decoded
+//! under the old dictionary, re-encoded under the new one and replayed into
+//! the fresh delta).
+
+use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme};
+use sordf_model::TermTriple;
+use sordf_rdfh::{generate, query, RdfhConfig, ALL_QUERIES};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Deterministic subject bucketing (FNV-1a over the subject's debug form).
+fn subject_bucket(t: &TermTriple, buckets: u64) -> u64 {
+    let key = format!("{:?}", t.s);
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h % buckets
+}
+
+fn organized(triples: &[TermTriple]) -> Database {
+    let db = Database::in_temp_dir().unwrap();
+    db.load_terms(triples).unwrap();
+    db.self_organize().unwrap();
+    db
+}
+
+fn schemes() -> [ExecConfig; 2] {
+    [
+        ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+        },
+        ExecConfig {
+            scheme: PlanScheme::Default,
+            zonemaps: true,
+        },
+    ]
+}
+
+/// Canonical answers for every catalog query under one configuration.
+/// Decodes each result under the dictionary pin of the very execution that
+/// produced it — under concurrent swaps the current dictionary may already
+/// be a renumbered one.
+fn answers(db: &Database, exec: ExecConfig, parallel: Option<&ParallelConfig>) -> Vec<Vec<String>> {
+    ALL_QUERIES
+        .iter()
+        .map(|qid| {
+            let (rs, dict) = db
+                .query_pinned(query(*qid), Generation::Clustered, exec, parallel)
+                .unwrap_or_else(|e| panic!("{}: {e}", qid.name()));
+            rs.canonical(&dict)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_reorgs_preserve_all_answers() {
+    let data = generate(&RdfhConfig::new(0.001));
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for t in &data.triples {
+        if subject_bucket(t, 5) == 0 {
+            b.push(t.clone());
+        } else {
+            a.push(t.clone());
+        }
+    }
+    // Split the delta pool: B1 is pending before the swap storm, B2 lands
+    // mid-rebuild in phase 2.
+    let b2: Vec<TermTriple> = b.iter().skip(1).step_by(3).cloned().collect();
+    let b2_set: HashSet<&TermTriple> = b2.iter().collect();
+    let b1: Vec<TermTriple> = b.iter().filter(|t| !b2_set.contains(t)).cloned().collect();
+    assert!(!b1.is_empty() && !b2.is_empty());
+
+    // Live: A organized, B1 pending in the delta store.
+    let live = organized(&a);
+    live.insert_terms(&b1).unwrap();
+    let phase1: Vec<TermTriple> = a.iter().chain(b1.iter()).cloned().collect();
+    let ref1 = organized(&phase1);
+    let reference: Vec<Vec<Vec<String>>> = schemes()
+        .iter()
+        .map(|exec| answers(&ref1, *exec, None))
+        .collect();
+
+    // ---- phase 1: swap storm under 3 reader threads --------------------
+    let stop = AtomicBool::new(false);
+    let passes = AtomicUsize::new(0);
+    let par = ParallelConfig {
+        workers: 2,
+        min_morsel_pages: 1,
+        min_morsel_rows: 64,
+    };
+    std::thread::scope(|scope| {
+        for reader in 0..3 {
+            let (live, stop, passes, reference, par) = (&live, &stop, &passes, &reference, &par);
+            scope.spawn(move || {
+                // Thread 0: RDFscan. Thread 1: Default scheme. Thread 2:
+                // RDFscan, morsel-parallel.
+                let si = if reader == 2 { 0 } else { reader };
+                let exec = schemes()[si];
+                let parallel = (reader == 2).then_some(par);
+                let want = &reference[si];
+                loop {
+                    let got = answers(live, exec, parallel);
+                    for (qi, qid) in ALL_QUERIES.iter().enumerate() {
+                        assert_eq!(
+                            got[qi],
+                            want[qi],
+                            "{} diverged mid-swap (reader {reader})",
+                            qid.name()
+                        );
+                        assert!(!got[qi].is_empty(), "{} returned nothing", qid.name());
+                    }
+                    passes.fetch_add(1, Ordering::Relaxed);
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+            });
+        }
+        // Force full background reorganizations while the readers hammer.
+        // The first swap folds B1 into the base; later ones keep swapping
+        // renumbered generations in under the readers.
+        for round in 0..3 {
+            let outcome = live.reorganize_async().unwrap().wait().unwrap();
+            assert!(
+                outcome.swapped,
+                "round {round}: nothing raced, the swap must land"
+            );
+        }
+        assert_eq!(
+            live.drift_stats().n_delta_inserts,
+            0,
+            "B1 folded by the first swap"
+        );
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(
+        passes.load(Ordering::Relaxed) >= 3,
+        "every reader finished at least one pass"
+    );
+
+    // ---- phase 2: writes land mid-rebuild, the swap folds them ---------
+    let mut seen: HashSet<&TermTriple> = HashSet::new();
+    let deletions: Vec<TermTriple> = phase1
+        .iter()
+        .step_by(13)
+        .filter(|t| seen.insert(*t))
+        .cloned()
+        .collect();
+    let handle = live.reorganize_async().unwrap();
+    // These writes arrive while the rebuild is (very likely still) running;
+    // whether they beat the swap or not, the result must be identical.
+    for chunk in b2.chunks(b2.len().div_ceil(3).max(1)) {
+        live.insert_terms(chunk).unwrap();
+    }
+    let n_deleted = live.delete_triples(&deletions).unwrap();
+    assert_eq!(
+        n_deleted,
+        deletions.len(),
+        "every sampled triple was visible"
+    );
+    let outcome = handle.wait().unwrap();
+    assert!(outcome.fired && outcome.swapped);
+
+    let dead: HashSet<&TermTriple> = deletions.iter().collect();
+    let final_set: Vec<TermTriple> = phase1
+        .iter()
+        .filter(|t| !dead.contains(t))
+        .chain(b2.iter())
+        .cloned()
+        .collect();
+    let ref_final = organized(&final_set);
+    assert_eq!(live.n_triples(), ref_final.n_triples());
+    for exec in schemes() {
+        let want = answers(&ref_final, exec, None);
+        for parallel in [None, Some(&par)] {
+            let got = answers(&live, exec, parallel);
+            for (qi, qid) in ALL_QUERIES.iter().enumerate() {
+                assert_eq!(
+                    got[qi],
+                    want[qi],
+                    "{} differs from fresh bulk load after the catch-up fold \
+                     ({exec:?}, parallel={})",
+                    qid.name(),
+                    parallel.is_some()
+                );
+            }
+        }
+    }
+
+    // One more reorg clusters the folded writes in; nothing may change.
+    live.reorganize_now().unwrap();
+    assert_eq!(live.drift_stats().n_delta_inserts, 0);
+    let want = answers(&ref_final, ExecConfig::default(), None);
+    assert_eq!(answers(&live, ExecConfig::default(), None), want);
+}

@@ -8,13 +8,21 @@ use sordf_model::{Term, TermTriple};
 fn db_with_two_tables() -> Database {
     let mut triples = Vec::new();
     let mut add = |s: String, p: &str, o: Term| {
-        triples.push(TermTriple::new(Term::iri(s), Term::iri(format!("http://e/{p}")), o));
+        triples.push(TermTriple::new(
+            Term::iri(s),
+            Term::iri(format!("http://e/{p}")),
+            o,
+        ));
     };
     for i in 0..40u64 {
         let s = format!("http://e/item{i}");
         add(s.clone(), "qty", Term::int((i % 10) as i64));
         add(s.clone(), "price", Term::decimal_f64(1.5 * (i % 8) as f64));
-        add(s.clone(), "owner", Term::iri(format!("http://e/user{}", i % 5)));
+        add(
+            s.clone(),
+            "owner",
+            Term::iri(format!("http://e/user{}", i % 5)),
+        );
         add(s.clone(), "label", Term::str(format!("item-{i}")));
     }
     for u in 0..5u64 {
@@ -22,7 +30,7 @@ fn db_with_two_tables() -> Database {
         add(s.clone(), "name", Term::str(format!("user{u}")));
         add(s.clone(), "age", Term::int(20 + u as i64));
     }
-    let mut db = Database::in_temp_dir().unwrap();
+    let db = Database::in_temp_dir().unwrap();
     db.load_terms(&triples).unwrap();
     db.self_organize().unwrap();
     db
@@ -36,7 +44,7 @@ fn select_where_order_limit() {
         .unwrap();
     assert_eq!(rs.columns, vec!["cs_label__label", "cs_label__qty"]);
     assert_eq!(rs.len(), 3);
-    let rows = rs.render(db.dict());
+    let rows = rs.render(&db.dict());
     assert!(rows.iter().all(|r| r[1].parse::<i64>().unwrap() >= 8));
     // label-sorted ascending
     assert!(rows.windows(2).all(|w| w[0][0] <= w[1][0]));
@@ -49,8 +57,11 @@ fn aggregates_and_group_by() {
         .sql("SELECT qty, COUNT(*) AS n, AVG(price) AS avg_price FROM cs_label GROUP BY qty")
         .unwrap();
     assert_eq!(rs.len(), 10);
-    let total: f64 =
-        rs.render(db.dict()).iter().map(|r| r[1].parse::<f64>().unwrap()).sum();
+    let total: f64 = rs
+        .render(&db.dict())
+        .iter()
+        .map(|r| r[1].parse::<f64>().unwrap())
+        .sum();
     assert_eq!(total, 40.0);
 }
 
@@ -75,7 +86,7 @@ fn join_on_fk_subject() {
         ))
         .unwrap();
     assert_eq!(rs.len(), 5);
-    assert!(rs.render(db.dict()).iter().all(|r| r[1] == "8"));
+    assert!(rs.render(&db.dict()).iter().all(|r| r[1] == "8"));
 }
 
 #[test]
@@ -97,7 +108,9 @@ fn distinct_works() {
 #[test]
 fn table_alias_and_qualified_refs() {
     let db = db_with_two_tables();
-    let rs = db.sql("SELECT t.qty FROM cs_label t WHERE t.qty = 3").unwrap();
+    let rs = db
+        .sql("SELECT t.qty FROM cs_label t WHERE t.qty = 3")
+        .unwrap();
     assert_eq!(rs.len(), 4);
 }
 
@@ -105,7 +118,7 @@ fn table_alias_and_qualified_refs() {
 fn unknown_identifiers_error_cleanly() {
     let db = db_with_two_tables();
     for bad in [
-        "SELECT * FROM cs_label",                      // '*' projection unsupported
+        "SELECT * FROM cs_label", // '*' projection unsupported
         "SELECT qty FROM missing_table",
         "SELECT missing_col FROM cs_label",
         "SELECT qty FROM cs_label WHERE",
@@ -117,8 +130,9 @@ fn unknown_identifiers_error_cleanly() {
 
 #[test]
 fn sql_requires_self_organization() {
-    let mut db = Database::in_temp_dir().unwrap();
-    db.load_ntriples("<http://e/a> <http://e/p> <http://e/b> .").unwrap();
+    let db = Database::in_temp_dir().unwrap();
+    db.load_ntriples("<http://e/a> <http://e/p> <http://e/b> .")
+        .unwrap();
     db.build_baseline().unwrap();
     assert!(db.sql("SELECT p FROM t").is_err());
     let _ = db.query_with(

@@ -6,7 +6,7 @@ use sordf_rdfh::{generate, RdfhConfig};
 
 fn rdfh_db() -> Database {
     let data = generate(&RdfhConfig::new(0.001));
-    let mut db = Database::in_temp_dir().unwrap();
+    let db = Database::in_temp_dir().unwrap();
     db.load_terms(&data.triples).unwrap();
     db.self_organize().unwrap();
     db
@@ -15,7 +15,9 @@ fn rdfh_db() -> Database {
 #[test]
 fn q6_sql_equals_sparql() {
     let db = rdfh_db();
-    let sparql = db.query(sordf_rdfh::query(sordf_rdfh::QueryId::Q6)).unwrap();
+    let sparql = db
+        .query(sordf_rdfh::query(sordf_rdfh::QueryId::Q6))
+        .unwrap();
     let sql = db
         .sql(
             "SELECT SUM(lineitem_extendedprice * lineitem_discount) AS revenue \
@@ -26,7 +28,7 @@ fn q6_sql_equals_sparql() {
                AND lineitem_quantity < 24",
         )
         .unwrap();
-    assert_eq!(sparql.render(db.dict()), sql.render(db.dict()));
+    assert_eq!(sparql.render(&db.dict()), sql.render(&db.dict()));
 }
 
 #[test]
@@ -48,8 +50,8 @@ fn fk_join_counts_agree() {
              WHERE customer_mktsegment = 'BUILDING'",
         )
         .unwrap();
-    assert_eq!(sparql.render(db.dict()), sql.render(db.dict()));
-    let n: f64 = sparql.render(db.dict())[0][0].parse().unwrap();
+    assert_eq!(sparql.render(&db.dict()), sql.render(&db.dict()));
+    let n: f64 = sparql.render(&db.dict())[0][0].parse().unwrap();
     assert!(n > 0.0, "the join must find orders");
 }
 

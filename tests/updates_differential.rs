@@ -51,14 +51,18 @@ fn fixture() -> Fixture {
     assert!(!a.is_empty() && !b.is_empty());
     // Deletion sample: individual triples from the organized base (every
     // 13th of A) and from the freshly inserted delta (every 7th of B).
-    let mut deletions: Vec<TermTriple> =
-        a.iter().step_by(13).cloned().chain(b.iter().step_by(7).cloned()).collect();
+    let mut deletions: Vec<TermTriple> = a
+        .iter()
+        .step_by(13)
+        .cloned()
+        .chain(b.iter().step_by(7).cloned())
+        .collect();
     deletions.dedup();
     Fixture { a, b, deletions }
 }
 
 fn organized(triples: &[TermTriple]) -> Database {
-    let mut db = Database::in_temp_dir().unwrap();
+    let db = Database::in_temp_dir().unwrap();
     db.load_terms(triples).unwrap();
     db.self_organize().unwrap();
     db
@@ -71,7 +75,11 @@ fn minus(all: &[TermTriple], remove: &[TermTriple]) -> Vec<TermTriple> {
 
 fn par_config() -> ParallelConfig {
     // Small morsels so even the tiny test scale exercises real splitting.
-    ParallelConfig { workers: 3, min_morsel_pages: 1, min_morsel_rows: 64 }
+    ParallelConfig {
+        workers: 3,
+        min_morsel_pages: 1,
+        min_morsel_rows: 64,
+    }
 }
 
 /// Canonical answers of one database for all catalog queries under one
@@ -88,7 +96,7 @@ fn answers(db: &Database, exec: ExecConfig, parallel: bool) -> Vec<Vec<String>> 
                 db.query_with(query(*qid), Generation::Clustered, exec)
                     .unwrap_or_else(|e| panic!("{}: {e}", qid.name()))
             };
-            rs.canonical(db.dict())
+            rs.canonical(&db.dict())
         })
         .collect()
 }
@@ -101,7 +109,7 @@ fn updates_match_fresh_bulk_load() {
     let ref_final = organized(&minus(&full, &fx.deletions));
 
     // The live database: organize A, then write B and the deletions.
-    let mut live = organized(&fx.a);
+    let live = organized(&fx.a);
     let n_batches = 3;
     let chunk = fx.b.len().div_ceil(n_batches);
     for batch in fx.b.chunks(chunk) {
@@ -109,15 +117,28 @@ fn updates_match_fresh_bulk_load() {
     }
     let pre_delete = live.snapshot();
     let n_deleted = live.delete_triples(&fx.deletions).unwrap();
-    assert_eq!(n_deleted, fx.deletions.len(), "every sampled triple was visible");
+    assert_eq!(
+        n_deleted,
+        fx.deletions.len(),
+        "every sampled triple was visible"
+    );
     assert_eq!(live.n_triples(), ref_final.n_triples());
 
     let reference = answers(&ref_final, ExecConfig::default(), false);
 
     let configs = [
-        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: true },
-        ExecConfig { scheme: PlanScheme::RdfScanJoin, zonemaps: false },
-        ExecConfig { scheme: PlanScheme::Default, zonemaps: true },
+        ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+        },
+        ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: false,
+        },
+        ExecConfig {
+            scheme: PlanScheme::Default,
+            zonemaps: true,
+        },
     ];
     for exec in configs {
         for parallel in [false, true] {
@@ -140,7 +161,7 @@ fn updates_match_fresh_bulk_load() {
     for (qi, qid) in ALL_QUERIES.iter().enumerate() {
         let rs = live.query_snapshot(query(*qid), pre_delete).unwrap();
         assert_eq!(
-            rs.canonical(live.dict()),
+            rs.canonical(&live.dict()),
             full_reference[qi],
             "{} at the pre-delete snapshot differs from the pre-delete bulk load",
             qid.name()

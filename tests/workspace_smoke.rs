@@ -20,7 +20,7 @@ const BOOKS: &str = r#"
 
 #[test]
 fn load_organize_query_sparql_and_sql() {
-    let mut db = Database::in_temp_dir().unwrap();
+    let db = Database::in_temp_dir().unwrap();
     assert_eq!(db.load_ntriples(BOOKS).unwrap(), 9);
     assert_eq!(db.n_triples(), 9);
 
@@ -33,9 +33,11 @@ fn load_organize_query_sparql_and_sql() {
     assert_eq!(sparql.len(), 2);
 
     let table = &db.schema().unwrap().classes[0].name;
-    let sql = db.sql(&format!("SELECT in_year FROM {table} ORDER BY in_year")).unwrap();
+    let sql = db
+        .sql(&format!("SELECT in_year FROM {table} ORDER BY in_year"))
+        .unwrap();
     assert_eq!(
-        sql.canonical(db.dict()),
+        sql.canonical(&db.dict()),
         vec!["1996".to_string(), "1997".to_string(), "1998".to_string()]
     );
 }

@@ -23,11 +23,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -119,11 +123,17 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn run(&mut self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
-        let mut bencher = Bencher { mode: Mode::WarmUp(self.warm_up_time), samples: Vec::new() };
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp(self.warm_up_time),
+            samples: Vec::new(),
+        };
         f(&mut bencher);
 
         let per_sample = self.measurement_time.div_f64(self.sample_size as f64);
-        bencher.mode = Mode::Measure { per_sample, samples: self.sample_size };
+        bencher.mode = Mode::Measure {
+            per_sample,
+            samples: self.sample_size,
+        };
         bencher.samples.clear();
         f(&mut bencher);
 
@@ -180,13 +190,18 @@ impl IntoBenchmarkId for BenchmarkId {
 
 impl IntoBenchmarkId for &str {
     fn into_benchmark_id(self) -> BenchmarkId {
-        BenchmarkId { label: self.to_string() }
+        BenchmarkId {
+            label: self.to_string(),
+        }
     }
 }
 
 enum Mode {
     WarmUp(Duration),
-    Measure { per_sample: Duration, samples: usize },
+    Measure {
+        per_sample: Duration,
+        samples: usize,
+    },
 }
 
 pub struct Bencher {
@@ -204,7 +219,10 @@ impl Bencher {
                     black_box(f());
                 }
             }
-            Mode::Measure { per_sample, samples } => {
+            Mode::Measure {
+                per_sample,
+                samples,
+            } => {
                 for _ in 0..samples {
                     let sample_start = Instant::now();
                     let mut iters = 0u64;

@@ -99,7 +99,9 @@ pub mod strategy {
             let (alphabet, lo, hi) = parse_class_pattern(self)
                 .unwrap_or_else(|| panic!("unsupported regex-lite pattern: {self:?}"));
             let len = rng.random_range(lo..hi + 1);
-            (0..len).map(|_| alphabet[rng.random_range(0..alphabet.len())]).collect()
+            (0..len)
+                .map(|_| alphabet[rng.random_range(0..alphabet.len())])
+                .collect()
         }
     }
 
@@ -173,7 +175,10 @@ pub mod strategy {
     }
 
     pub fn union_of<T>(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
         Union { options }
     }
 

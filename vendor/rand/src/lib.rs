@@ -46,7 +46,9 @@ pub mod rngs {
         fn seed_from_u64(seed: u64) -> Self {
             // Pre-scramble so that small consecutive seeds produce unrelated
             // streams from the very first draw.
-            let mut rng = StdRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 };
+            let mut rng = StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            };
             let _ = super::Rng::next_u64(&mut rng);
             rng
         }
