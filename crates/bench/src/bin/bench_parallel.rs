@@ -122,6 +122,9 @@ fn concurrent_clients_qps(
     min_secs: f64,
     min_iters: u64,
 ) -> f64 {
+    // ordering: Relaxed for `stop` and `total` throughout — both are
+    // benchmark control/progress flags with no data published through them;
+    // the final count is made exact by the scope join.
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
     let t0 = Instant::now();

@@ -70,6 +70,9 @@ impl<'a> ColumnBuilder<'a> {
         let id = self.disk.alloc_page();
         self.disk
             .write_page(id, &self.buf)
+            // sordf-lint: allow(L3) — push() is an infallible bulk-load API
+            // by design; a failed page write during a build is fatal (the
+            // half-built column could never be read back).
             .expect("column page write failed");
         self.pages.push(id);
         self.stats.push(self.cur);
@@ -271,6 +274,8 @@ impl Column {
         debug_assert_eq!(a.len, b.len, "paired columns must share page geometry");
         let mut bc = b.chunks(pool, range.clone());
         for ac in a.chunks(pool, range) {
+            // sordf-lint: allow(L3) — the debug_assert above states the
+            // invariant: equal-length columns yield equal chunk sequences.
             let bc = bc.next().expect("paired columns share page geometry");
             f(&ac, &bc);
         }

@@ -59,6 +59,8 @@ impl DiskManager {
     /// when the manager drops. Used by tests, examples and benches.
     pub fn temp() -> io::Result<DiskManager> {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // ordering: Relaxed — fetch_add's atomicity alone guarantees unique
+        // temp-file names; no memory is published through the counter.
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let path = std::env::temp_dir().join(format!("sordf-{}-{}.db", std::process::id(), n));
         let mut dm = DiskManager::create(&path)?;
@@ -73,16 +75,22 @@ impl DiskManager {
 
     /// Number of pages allocated so far.
     pub fn n_pages(&self) -> u64 {
+        // ordering: Relaxed — an informational snapshot of the allocation
+        // counter; page *contents* are published by write_page's file I/O.
         self.next_page.load(Ordering::Relaxed)
     }
 
     /// Allocate a fresh page id.
     pub fn alloc_page(&self) -> PageId {
+        // ordering: Relaxed — allocation needs only fetch_add's atomicity
+        // for uniqueness; nothing is read through the returned id until a
+        // write_page/read_page pair synchronizes the data itself.
         PageId(self.next_page.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Write a full page of values. `vals` may be shorter than a page
     /// (the final page of a column); the remainder is zero-filled.
+    // lock-order: acquires(disk_write)
     pub fn write_page(&self, id: PageId, vals: &[u64]) -> io::Result<()> {
         assert!(vals.len() <= VALS_PER_PAGE, "page overflow");
         let mut buf = vec![0u8; PAGE_BYTES];
@@ -98,8 +106,10 @@ impl DiskManager {
         let mut buf = vec![0u8; PAGE_BYTES];
         self.read_at(&mut buf, id.0 * PAGE_BYTES as u64)?;
         let mut vals = vec![0u64; VALS_PER_PAGE];
-        for (i, v) in vals.iter_mut().enumerate() {
-            *v = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        for (v, chunk) in vals.iter_mut().zip(buf.chunks_exact(8)) {
+            let mut le = [0u8; 8];
+            le.copy_from_slice(chunk);
+            *v = u64::from_le_bytes(le);
         }
         Ok(vals)
     }

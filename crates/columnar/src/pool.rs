@@ -66,6 +66,7 @@ impl PoolStats {
 /// A pinned page: wraps the page buffer and derefs to its full value slice.
 /// Holding a guard does not block eviction — the data simply stays alive
 /// until the last guard drops.
+#[must_use = "dropping a PageGuard releases the pin; bind it for the scan's lifetime"]
 pub struct PageGuard {
     data: Arc<Vec<u64>>,
 }
@@ -164,6 +165,8 @@ impl BufferPool {
 
     /// Configure synthetic per-miss latency (models a disk for cold runs).
     pub fn set_read_latency_ns(&self, ns: u64) {
+        // ordering: Relaxed — a standalone config knob; readers only need to
+        // see *some* recent value, nothing else is published through it.
         self.read_latency_ns.store(ns, Ordering::Relaxed);
     }
 
@@ -200,13 +203,19 @@ impl BufferPool {
     /// read fails one query, not the process).
     pub fn get(&self, id: PageId) -> Arc<Vec<u64>> {
         self.try_get(id)
+            // sordf-lint: allow(L3) — the documented contract of this API:
+            // infallible callers opt into the panic; fallible ones use try_get.
             .unwrap_or_else(|e| panic!("buffer pool: {e}"))
     }
 
     /// Fetch a page, surfacing read failures as [`ModelError::PageRead`]
     /// after a short retry loop (transient I/O errors are retried rather
     /// than poisoning any pool state — no lock is held across the read).
+    // lock-order: acquires(pool_shard)
     pub fn try_get(&self, id: PageId) -> Result<Arc<Vec<u64>>, ModelError> {
+        // ordering: Relaxed — hits/misses/evictions are monotone statistics
+        // counters, read only via saturating deltas; the shard mutex carries
+        // every happens-before edge the cache state itself needs.
         let shard = self.shard_of(id);
         {
             let mut inner = shard.inner.lock();
@@ -296,6 +305,7 @@ impl BufferPool {
     }
 
     /// Drop every cached page — the next run is *cold*.
+    // lock-order: acquires(pool_shard)
     pub fn clear(&self) {
         for shard in self.shards.iter() {
             let mut inner = shard.inner.lock();
@@ -306,6 +316,8 @@ impl BufferPool {
 
     /// Current counters.
     pub fn stats(&self) -> PoolStats {
+        // ordering: Relaxed — statistics snapshot; the three loads need not
+        // be mutually consistent (PoolStats::since clamps at zero for that).
         PoolStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -314,6 +326,7 @@ impl BufferPool {
     }
 
     /// Number of pages currently cached.
+    // lock-order: acquires(pool_shard)
     pub fn cached_pages(&self) -> usize {
         self.shards
             .iter()
@@ -333,8 +346,10 @@ impl BufferPool {
 
     /// Assert the internal invariants of every shard (debug/test hook):
     /// `frames` and `lru` describe the same page set, every LRU entry carries
-    /// the live recency of its frame, and no shard exceeds its capacity
-    /// slice. Panics with a description on violation.
+    /// the live recency of its frame, no recency tick exceeds the shard's
+    /// clock, every cached page hashes to the shard caching it, and no shard
+    /// exceeds its capacity slice. Panics with a description on violation.
+    // lock-order: acquires(pool_shard)
     pub fn check_invariants(&self) {
         for (si, shard) in self.shards.iter().enumerate() {
             let inner = shard.inner.lock();
@@ -352,14 +367,29 @@ impl BufferPool {
                 shard.capacity
             );
             for &(t, id) in &inner.lru {
-                let frame = inner
-                    .frames
-                    .get(&id)
-                    .unwrap_or_else(|| panic!("shard {si}: dangling LRU entry for page {id:?}"));
+                let frame_tick = inner.frames.get(&id).map(|f| f.last_used);
                 assert_eq!(
-                    frame.last_used, t,
-                    "shard {si}: LRU tick {t} stale for page {id:?} (frame tick {})",
-                    frame.last_used
+                    frame_tick,
+                    Some(t),
+                    "shard {si}: LRU entry ({t}, {id:?}) diverged from frames \
+                     (frame tick {frame_tick:?})"
+                );
+                assert!(
+                    t <= inner.tick,
+                    "shard {si}: LRU tick {t} is ahead of the shard clock {}",
+                    inner.tick
+                );
+                assert!(
+                    std::ptr::eq(self.shard_of(id), shard),
+                    "shard {si}: caches page {id:?} that hashes to another shard"
+                );
+            }
+            for (id, frame) in &inner.frames {
+                assert!(
+                    frame.last_used <= inner.tick,
+                    "shard {si}: frame {id:?} tick {} is ahead of the shard clock {}",
+                    frame.last_used,
+                    inner.tick
                 );
             }
         }

@@ -421,6 +421,7 @@ pub fn finalize(cx: &ExecContext, query: &Query, table: &Table) -> ResultSet {
             }
         }
         for key in order {
+            // sordf-lint: allow(L3) — `order` holds exactly the keys of `groups`, each removed once.
             let states = groups.remove(&key).unwrap();
             let kv: FxHashMap<VarId, Oid> = query
                 .group_by

@@ -78,11 +78,16 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    // ordering: Relaxed for every counter access in this impl — these are
+    // independent statistics with no cross-counter consistency requirement;
+    // per-query totals become exact at the thread joins (scope exit), which
+    // synchronize for us.
     pub fn bump(counter: &AtomicU64, by: u64) {
         counter.fetch_add(by, Ordering::Relaxed);
     }
 
     /// Read one counter (tests, ad-hoc reporting).
+    // ordering: Relaxed — see the impl-top note.
     pub fn get(counter: &AtomicU64) -> u64 {
         counter.load(Ordering::Relaxed)
     }
@@ -92,6 +97,8 @@ impl ExecStats {
         self.snapshot().total_joins()
     }
 
+    // ordering: Relaxed — see the impl-top note; reset races with nothing
+    // (callers reset between queries, not during one).
     pub fn reset(&self) {
         self.merge_joins.store(0, Ordering::Relaxed);
         self.hash_joins.store(0, Ordering::Relaxed);
@@ -104,6 +111,8 @@ impl ExecStats {
     }
 
     /// A plain-old-data copy of the counters.
+    // ordering: Relaxed — see the impl-top note; a snapshot taken after the
+    // query's worker scope exits observes every bump via the joins.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             merge_joins: self.merge_joins.load(Ordering::Relaxed),

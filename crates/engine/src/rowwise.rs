@@ -423,6 +423,7 @@ pub fn eval_star_rdfscan_rowwise(
         Source::IrregularOnly,
     );
     if !irr.is_empty() {
+        // sordf-lint: allow(L3) — every irregular star table carries the star's subject var.
         let sc = irr.col_of(star.subject_var).expect("subject col");
         let mask: Vec<bool> = irr.cols[sc]
             .iter()
@@ -524,6 +525,7 @@ fn scan_class_star_rw(
 
     let (s_lo, s_hi) = (
         subject_at_rw(seg, pool, rows[0]).raw(),
+        // sordf-lint: allow(L3) — callers pass a non-empty candidate row list (rows[0] read above).
         subject_at_rw(seg, pool, *rows.last().unwrap()).raw(),
     );
 

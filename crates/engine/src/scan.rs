@@ -529,8 +529,8 @@ mod tests {
         let new_s = Oid::iri(900_000);
         let seven = Oid::from_int(7).unwrap();
         let mut delta = sordf_storage::DeltaStore::new();
-        delta.delete(&[Triple::new(s0, qty, o0)]);
-        delta.insert_run(vec![
+        let _ = delta.delete(&[Triple::new(s0, qty, o0)]);
+        let _ = delta.insert_run(vec![
             Triple::new(new_s, qty, seven),
             Triple::new(s1, qty, seven),
         ]);

@@ -413,6 +413,7 @@ pub(crate) fn irregular_star_table(
     if irr.is_empty() {
         return Table::empty(out_vars.to_vec());
     }
+    // sordf-lint: allow(L3) — every irregular star table carries the star's subject var.
     let sc = irr.col_of(star.subject_var).expect("subject col");
     let mask: Vec<bool> = irr.cols[sc]
         .iter()
@@ -694,6 +695,7 @@ pub(crate) fn prepare_row_scan<'a>(
     // Batched subject materialization (one pin per subject page on sparse
     // segments — previously one pool request per row).
     let subjects = seg.subjects_at(pool, &rows);
+    // sordf-lint: allow(L3) — `rows` is non-empty on this path, so `subjects` is too.
     let (s_lo, s_hi) = (subjects[0].raw(), subjects.last().unwrap().raw());
     let accesses = build_accesses(cx, star, filters, seg, covered, s_lo, s_hi);
 
@@ -759,6 +761,7 @@ pub(crate) fn scan_row_range(
             .zip(&gathered)
             .zip(out_pos)
             .map(|((a, g), &pos)| match a {
+                // sordf-lint: allow(L3) — gather always fills the slot of a Col access (same match arms).
                 Access::Col { restrict, .. } => (g.as_ref().unwrap(), restrict, pos),
                 _ => unreachable!(),
             })
@@ -793,6 +796,7 @@ pub(crate) fn scan_row_range(
                     restrict,
                     ..
                 } => {
+                    // sordf-lint: allow(L3) — gather always fills the slot of a Col access (same match arms).
                     let v = gathered[pi].as_ref().unwrap()[ri];
                     if v != sordf_columnar::column::NULL_SENTINEL
                         && restrict.accepts(v)
@@ -1067,6 +1071,7 @@ pub(crate) fn scan_chunk_pages(
                 .zip(&chunks)
                 .zip(out_pos)
                 .map(|((a, c), &pos)| match a {
+                    // sordf-lint: allow(L3) — a chunk is fetched for every Col access (same match arms).
                     Access::Col { restrict, .. } => (c.as_ref().unwrap().values(), restrict, pos),
                     _ => unreachable!(),
                 })
@@ -1106,6 +1111,7 @@ pub(crate) fn scan_chunk_pages(
                         restrict,
                         ..
                     } => {
+                        // sordf-lint: allow(L3) — a slice is built for every Col access (same match arms).
                         let v = col_slices[pi].unwrap()[i];
                         if v != sordf_columnar::column::NULL_SENTINEL
                             && restrict.accepts(v)
@@ -1179,6 +1185,7 @@ pub(crate) fn emit_combinations(
                 VarOrOid::Var(var) => {
                     // Respect the canonical layout (vars may repeat... they
                     // don't — stars_of rewrites duplicates).
+                    // sordf-lint: allow(L3) — stars_of rewrites duplicate vars, so the var appears in out.vars.
                     let pos = out.vars.iter().position(|&x| x == var).unwrap();
                     if pos == row.len() {
                         row.push(v);

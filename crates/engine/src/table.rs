@@ -83,6 +83,7 @@ impl Table {
         debug_assert_eq!(mask.len(), self.len());
         for c in self.cols.iter_mut() {
             let mut keep = mask.iter();
+            // sordf-lint: allow(L3) — debug-asserted above: mask has one entry per row.
             c.retain(|_| *keep.next().unwrap());
         }
     }
@@ -91,6 +92,7 @@ impl Table {
     pub fn project(&self, vars: &[VarId]) -> Table {
         let idx: Vec<usize> = vars
             .iter()
+            // sordf-lint: allow(L3) — the documented contract: projection vars must exist in the table.
             .map(|&v| self.col_of(v).expect("projection var missing"))
             .collect();
         Table {

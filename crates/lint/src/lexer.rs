@@ -1,0 +1,413 @@
+//! A minimal Rust lexer: enough to tokenize this workspace reliably.
+//!
+//! Produces a code-token stream (identifiers, punctuation, opaque literals,
+//! lifetimes) plus a separate comment stream, both carrying 1-based line
+//! numbers. Comments are kept apart because the rules consume them
+//! differently: the allow / lock-order / ordering directives live in
+//! comments, while every structural check walks the
+//! code tokens only — so an `unwrap()` inside a doc example or a string
+//! literal is never mistaken for code.
+
+/// One code token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the scanner distinguishes them by value).
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// String/char/byte/number literal; the content is irrelevant to every
+    /// rule, so it is not retained.
+    Lit,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body without the `//` / `/*` markers, trimmed.
+    pub text: String,
+    /// Line the comment starts on.
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.char_indices().collect(),
+            src,
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn byte_offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(i, _)| i)
+            .unwrap_or(self.src.len())
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src`. Never fails: unrecognized bytes become `Punct` tokens,
+/// unterminated literals run to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                let start = cur.byte_offset();
+                while let Some(c) = cur.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                let text = cur.src[start..cur.byte_offset()]
+                    .trim_start_matches('/')
+                    .trim_start_matches('!')
+                    .trim();
+                out.comments.push(Comment {
+                    text: text.to_string(),
+                    line,
+                });
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                let start = cur.byte_offset();
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let raw = &cur.src[start..cur.byte_offset()];
+                let text = raw
+                    .trim_start_matches('/')
+                    .trim_start_matches('*')
+                    .trim_end_matches('/')
+                    .trim_end_matches('*')
+                    .trim();
+                out.comments.push(Comment {
+                    text: text.to_string(),
+                    line,
+                });
+            }
+            '"' => {
+                lex_string(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&cur) => {
+                lex_raw_or_byte_literal(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            '\'' => {
+                if lex_char_or_lifetime(&mut cur) {
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                } else {
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = cur.byte_offset();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(cur.src[start..cur.byte_offset()].to_string()),
+                    line,
+                });
+            }
+            c => {
+                cur.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// At an `r` or `b`: does a raw string (`r"`, `r#`), byte string (`b"`),
+/// byte char (`b'`) or raw byte string (`br`) start here (rather than an
+/// ordinary identifier)?
+fn starts_raw_or_byte_literal(cur: &Cursor<'_>) -> bool {
+    match (cur.peek(0), cur.peek(1)) {
+        (Some('r'), Some('"')) | (Some('r'), Some('#')) => {
+            // `r"..."` / `r#"..."#` raw string; but `r#ident` is a raw
+            // identifier, not a string.
+            if cur.peek(1) == Some('#') {
+                let mut i = 1;
+                while cur.peek(i) == Some('#') {
+                    i += 1;
+                }
+                cur.peek(i) == Some('"')
+            } else {
+                true
+            }
+        }
+        (Some('b'), Some('"')) | (Some('b'), Some('\'')) => true,
+        (Some('b'), Some('r')) => matches!(cur.peek(2), Some('"') | Some('#')),
+        _ => false,
+    }
+}
+
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+fn lex_raw_or_byte_literal(cur: &mut Cursor<'_>) {
+    // Consume the `r` / `b` / `br` prefix.
+    if cur.peek(0) == Some('b') {
+        cur.bump();
+    }
+    if cur.peek(0) == Some('r') {
+        cur.bump();
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some('#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        'outer: while let Some(c) = cur.bump() {
+            if c == '"' {
+                for _ in 0..hashes {
+                    if cur.peek(0) == Some('#') {
+                        cur.bump();
+                    } else {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+    } else if cur.peek(0) == Some('\'') {
+        lex_char_body(cur);
+    } else {
+        lex_string(cur);
+    }
+}
+
+/// Returns `true` if this was a char literal, `false` for a lifetime.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> bool {
+    // `'\...'` is always a char; `'x'` is a char; `'ident` is a lifetime.
+    if cur.peek(1) == Some('\\') {
+        lex_char_body(cur);
+        return true;
+    }
+    if cur.peek(1).is_some_and(is_ident_start) && cur.peek(2) == Some('\'') {
+        lex_char_body(cur);
+        return true;
+    }
+    if cur.peek(1).is_some_and(|c| !is_ident_start(c)) {
+        // e.g. `'0'` or a stray quote: treat as char-ish literal.
+        lex_char_body(cur);
+        return true;
+    }
+    // Lifetime: consume `'` + identifier.
+    cur.bump();
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    false
+}
+
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    while cur
+        .peek(0)
+        .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        cur.bump();
+    }
+    // Simple float continuation: `1.5` but not the range `1..5`.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            cur.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn code_in_comments_and_strings_is_invisible() {
+        let src = r##"
+            // calls .unwrap() in prose
+            /* block .expect("x") */
+            let s = "panic!(no)";
+            let r = r#"unwrap"#;
+            let c = 'u';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+        let lits = lexed.tokens.iter().filter(|t| t.tok == Tok::Lit).count();
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still */ after");
+        assert_eq!(lexed.comments.len(), 1);
+        let ids = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Ident(_)))
+            .count();
+        assert_eq!(ids, 1);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let lexed = lex("for i in 0..10 {}");
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! `sordf_lint` CLI.
+//!
+//! ```text
+//! cargo run -p sordf_lint -- --workspace      # lint the whole tree (CI gate)
+//! cargo run -p sordf_lint -- path/to/file.rs  # lint explicit files, all rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 when any diagnostic fired, 2 on usage or
+//! I/O errors.
+
+use std::process::ExitCode;
+
+use sordf_lint::{lint_sources, lint_workspace, workspace_root, Scope};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: sordf_lint --workspace | <file.rs>...");
+        return ExitCode::from(2);
+    }
+
+    let result = if args.iter().any(|a| a == "--workspace") {
+        let root = workspace_root();
+        match lint_workspace(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("sordf-lint: failed to scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut sources = Vec::new();
+        for path in &args {
+            match std::fs::read_to_string(path) {
+                Ok(src) => sources.push((path.clone(), src)),
+                Err(e) => {
+                    eprintln!("sordf-lint: cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        // Explicit files get the full rule set regardless of location.
+        lint_sources(&sources, Some(Scope::all()))
+    };
+
+    for d in &result {
+        println!("{d}");
+    }
+    if result.is_empty() {
+        println!("sordf-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sordf-lint: {} diagnostic(s)", result.len());
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,17 @@
+//! L1 fixture: pin-discipline violations.
+//!
+//! `mixes_pinned_and_live` takes the live dictionary while decoding a
+//! pinned result; `pin_across_write` holds a dictionary pin across a
+//! write entry point.
+
+fn mixes_pinned_and_live(db: &Database, snap: Snapshot) -> usize {
+    let rows = db.query_pinned("SELECT ?s WHERE { ?s ?p ?o }", snap);
+    let live = db.dict();
+    live.n_strings() + rows.len()
+}
+
+fn pin_across_write(db: &Database) {
+    let pin = db.dict();
+    db.insert_terms(&[("iri", "a")]);
+    drop(pin);
+}

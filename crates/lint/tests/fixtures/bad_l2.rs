@@ -1,0 +1,22 @@
+//! L2 fixture: lock-order violations — an undeclared ranked acquisition,
+//! and a declared function that can reach a lower-ranked acquisition
+//! through the call graph.
+
+struct Store;
+
+impl Store {
+    fn undeclared_acquire(&self) {
+        let _g = self.state.lock();
+    }
+}
+
+// lock-order: acquires(dict)
+fn holds_dict_then_descends(s: &Store) {
+    let _d = s.dict.read();
+    reenter_db_state(s);
+}
+
+// lock-order: acquires(db_state)
+fn reenter_db_state(s: &Store) {
+    let _g = s.state.lock();
+}

@@ -1,0 +1,18 @@
+//! L3 fixture: panic paths in non-test code; test regions are exempt.
+
+fn panics_on_none(x: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    if v > 3 {
+        panic!("boom");
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

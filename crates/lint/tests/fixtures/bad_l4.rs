@@ -1,0 +1,9 @@
+//! L4 fixture: banned `std::sync` primitives (the vendored `parking_lot`
+//! shim is the only sanctioned lock provider).
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
+
+fn shared_counter() -> Arc<Mutex<u32>> {
+    Arc::new(Mutex::new(0))
+}

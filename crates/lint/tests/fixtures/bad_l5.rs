@@ -1,0 +1,11 @@
+//! L5 fixture: a guard type without `#[must_use]`; an annotated pin type
+//! is clean.
+
+pub struct ScanGuard {
+    page: u32,
+}
+
+#[must_use]
+pub struct HeldPin {
+    slot: u32,
+}

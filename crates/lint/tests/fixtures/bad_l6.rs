@@ -1,0 +1,13 @@
+//! L6 fixture: an atomic ordering without a justification comment; the
+//! second function carries one and is clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn justified_load(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed — monotone counter, no data published through it.
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,23 @@
+//! Clean fixture: ranked locking, guards, atomics and fallible code all
+//! follow the repo rules — must produce zero diagnostics under every rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Store;
+
+// lock-order: acquires(db_state)
+fn declared_acquire(s: &Store) -> u64 {
+    let _g = s.state.lock();
+    // ordering: Relaxed — diagnostic counter, no publication through it.
+    s.hits.fetch_add(1, Ordering::Relaxed)
+}
+
+#[must_use]
+pub struct FrameGuard {
+    page: u32,
+}
+
+fn suppressed(x: Option<u32>) -> u32 {
+    // sordf-lint: allow(L3) — fixture: presence guaranteed by construction.
+    x.unwrap()
+}

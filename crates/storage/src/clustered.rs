@@ -203,6 +203,7 @@ pub fn build_clustered(
         } else {
             subjects
                 .binary_search(&s.raw())
+                // sordf-lint: allow(L3) — the router assigned `s` to this segment, so membership is guaranteed.
                 .expect("assigned subject missing")
         }
     };

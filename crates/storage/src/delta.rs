@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 /// A point in the write sequence. Obtained from [`DeltaStore::snapshot`];
 /// queries pinned to a snapshot see exactly the writes applied up to it.
+#[must_use = "a Snapshot identifies the writes a reader may see; bind it (or `let _ =` it) rather than silently dropping the visibility point"]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Snapshot(u64);
 
@@ -302,6 +303,8 @@ impl DeltaStore {
         cur.seq = seq;
         cur.inserts_pso = merge_pso(std::mem::take(&mut cur.inserts_pso), run_pso);
         self.runs.push(DeltaRun { seq, triples });
+        #[cfg(debug_assertions)]
+        self.debug_validate();
         self.snapshot()
     }
 
@@ -329,7 +332,70 @@ impl DeltaStore {
         fresh.sort_unstable_by_key(|t| t.key_pso());
         fresh.dedup();
         cur.tombs_pso = merge_pso(std::mem::take(&mut cur.tombs_pso), fresh);
+        #[cfg(debug_assertions)]
+        self.debug_validate();
         self.snapshot()
+    }
+
+    /// Check the store's structural invariants; panics (via `assert!`) on
+    /// violation. One O(delta) pass — debug builds run it after every write
+    /// batch, stress tests call it directly.
+    pub fn debug_validate(&self) {
+        assert!(
+            self.seq >= self.base_seq,
+            "sequence {} ran behind base_seq {}",
+            self.seq,
+            self.base_seq
+        );
+        let mut prev_seq = self.base_seq;
+        for run in &self.runs {
+            assert!(
+                run.seq > prev_seq && run.seq <= self.seq,
+                "run seq {} outside the ascending range ({}, {}]",
+                run.seq,
+                prev_seq,
+                self.seq
+            );
+            prev_seq = run.seq;
+            assert!(
+                run.triples
+                    .windows(2)
+                    .all(|w| w[0].key_spo() <= w[1].key_spo()),
+                "run {} is not SPO-sorted",
+                run.seq
+            );
+        }
+        let mut prev_tomb = self.base_seq;
+        for &(tseq, _) in &self.tombstones {
+            assert!(
+                tseq >= prev_tomb && tseq > self.base_seq && tseq <= self.seq,
+                "tombstone seq {} outside the non-decreasing range ({}, {}]",
+                tseq,
+                self.base_seq,
+                self.seq
+            );
+            prev_tomb = tseq;
+        }
+        if let Some(cur) = &self.current {
+            assert_eq!(cur.seq, self.seq, "cached view lags the store's sequence");
+            assert!(
+                cur.inserts_pso
+                    .windows(2)
+                    .all(|w| w[0].key_pso() <= w[1].key_pso()),
+                "cached view inserts are not PSO-sorted"
+            );
+            assert!(
+                cur.tombs_pso
+                    .windows(2)
+                    .all(|w| w[0].key_pso() < w[1].key_pso()),
+                "cached view tombstones are not strictly PSO-sorted"
+            );
+            assert_eq!(
+                cur.tombs_pso.len(),
+                cur.tomb_set.len(),
+                "cached tombstone list and set disagree"
+            );
+        }
     }
 
     /// The cached current view, created on first write. Callers assign its
@@ -491,14 +557,14 @@ mod tests {
     fn tombstones_filter_base_but_not_later_inserts() {
         let mut d = DeltaStore::new();
         let base_triple = t(7, 10, 3);
-        d.delete(&[base_triple]); // seq 1
+        let _ = d.delete(&[base_triple]); // seq 1
         let v1 = d.current_view().unwrap().clone();
         assert!(v1.is_deleted(base_triple));
         assert!(v1.has_tombstones_for(Oid::iri(10)));
         assert!(!v1.has_tombstones_for(Oid::iri(11)));
 
         // Re-insert after the delete: visible again as a delta insert.
-        d.insert_run(vec![base_triple]); // seq 2
+        let _ = d.insert_run(vec![base_triple]); // seq 2
         let v2 = d.current_view().unwrap();
         assert_eq!(v2.n_inserts(), 1);
         // The tombstone still applies to the *base* occurrence.
@@ -508,8 +574,8 @@ mod tests {
     #[test]
     fn tombstone_kills_earlier_delta_insert() {
         let mut d = DeltaStore::new();
-        d.insert_run(vec![t(1, 10, 2)]); // seq 1
-        d.delete(&[t(1, 10, 2)]); // seq 2
+        let _ = d.insert_run(vec![t(1, 10, 2)]); // seq 1
+        let _ = d.delete(&[t(1, 10, 2)]); // seq 2
         let v = d.current_view().unwrap();
         assert_eq!(v.n_inserts(), 0, "insert at seq 1 deleted at seq 2");
         assert!(v.is_deleted(t(1, 10, 2)));
@@ -542,7 +608,7 @@ mod tests {
     #[test]
     fn deleted_pairs_for_range() {
         let mut d = DeltaStore::new();
-        d.delete(&[t(3, 10, 1), t(5, 10, 2), t(4, 11, 9)]);
+        let _ = d.delete(&[t(3, 10, 1), t(5, 10, 2), t(4, 11, 9)]);
         let v = d.current_view().unwrap();
         let pairs = v.deleted_pairs_for(Oid::iri(10), Oid::iri(4).raw(), u64::MAX);
         assert_eq!(pairs, vec![(Oid::iri(5), Oid::iri(2))]);
@@ -551,7 +617,7 @@ mod tests {
     #[test]
     fn duplicates_are_kept() {
         let mut d = DeltaStore::new();
-        d.insert_run(vec![t(1, 10, 2), t(1, 10, 2)]);
+        let _ = d.insert_run(vec![t(1, 10, 2), t(1, 10, 2)]);
         assert_eq!(d.current_view().unwrap().n_inserts(), 2);
     }
 
@@ -560,11 +626,11 @@ mod tests {
     #[test]
     fn cached_view_matches_rebuild() {
         let mut d = DeltaStore::new();
-        d.insert_run(vec![t(3, 10, 1), t(1, 11, 2), t(2, 10, 9)]);
-        d.delete(&[t(1, 11, 2), t(9, 9, 9)]); // one delta kill, one base-only
-        d.insert_run(vec![t(1, 11, 2), t(1, 10, 5)]); // re-insert + new
-        d.delete(&[t(2, 10, 9)]);
-        d.insert_run(vec![t(2, 10, 9), t(2, 10, 9)]); // re-insert duplicated
+        let _ = d.insert_run(vec![t(3, 10, 1), t(1, 11, 2), t(2, 10, 9)]);
+        let _ = d.delete(&[t(1, 11, 2), t(9, 9, 9)]); // one delta kill, one base-only
+        let _ = d.insert_run(vec![t(1, 11, 2), t(1, 10, 5)]); // re-insert + new
+        let _ = d.delete(&[t(2, 10, 9)]);
+        let _ = d.insert_run(vec![t(2, 10, 9), t(2, 10, 9)]); // re-insert duplicated
         let cached = d.current_view().unwrap();
         let rebuilt = d.view_at(d.snapshot());
         assert_eq!(cached.seq(), rebuilt.seq());
@@ -576,10 +642,10 @@ mod tests {
     #[test]
     fn writes_since_replays_into_base_seq_store() {
         let mut d = DeltaStore::new();
-        d.insert_run(vec![t(1, 10, 2)]); // seq 1
-        d.delete(&[t(1, 10, 2), t(5, 10, 9)]); // seq 2
-        d.insert_run(vec![t(3, 10, 4)]); // seq 3
-        d.insert_run(vec![t(4, 10, 4)]); // seq 4
+        let _ = d.insert_run(vec![t(1, 10, 2)]); // seq 1
+        let _ = d.delete(&[t(1, 10, 2), t(5, 10, 9)]); // seq 2
+        let _ = d.insert_run(vec![t(3, 10, 4)]); // seq 3
+        let _ = d.insert_run(vec![t(4, 10, 4)]); // seq 4
 
         // Everything after seq 1, in order, with original sequence numbers.
         let writes = d.writes_since(1);
@@ -617,11 +683,11 @@ mod tests {
     #[test]
     fn strings_appended_propagates() {
         let mut d = DeltaStore::new();
-        d.insert_run(vec![t(1, 10, 2)]);
+        let _ = d.insert_run(vec![t(1, 10, 2)]);
         assert!(!d.current_view().unwrap().strings_appended);
         d.set_strings_appended();
         assert!(d.current_view().unwrap().strings_appended);
-        d.insert_run(vec![t(2, 10, 2)]);
+        let _ = d.insert_run(vec![t(2, 10, 2)]);
         assert!(d.current_view().unwrap().strings_appended);
     }
 }

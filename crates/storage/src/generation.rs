@@ -83,6 +83,7 @@ impl StoreGeneration {
 
     /// Pin this generation's dictionary for reading (shared with other
     /// readers; interning writers wait for the pin to drop).
+    // lock-order: acquires(dict)
     pub fn pin_dict(&self) -> DictPin {
         DictPin::read(Arc::clone(&self.dict))
     }
@@ -92,6 +93,7 @@ impl StoreGeneration {
     /// tombstones filtered out and its visible inserts appended. This is
     /// the input a background rebuild works from — fully owned, so the
     /// rebuild touches no shared state while it runs.
+    // lock-order: acquires(dict)
     pub fn fold_into_triple_set(&self, view: Option<&DeltaView>) -> TripleSet {
         let dict = self.dict.read().clone();
         let triples = match view {
@@ -112,12 +114,62 @@ impl StoreGeneration {
         };
         TripleSet { dict, triples }
     }
+
+    /// Check this generation's cross-structure invariants; panics (via
+    /// `assert!`) on violation. Debug/stress builds call this after every
+    /// build and swap — it is deliberately cheap enough (no per-triple work
+    /// beyond one count) to run there unconditionally.
+    // lock-order: acquires(dict)
+    pub fn debug_validate(&self) {
+        let dict = self.dict.read();
+        assert!(
+            self.strings_sorted_len <= dict.n_strings(),
+            "strings_sorted_len {} exceeds string pool size {} — the sort \
+             watermark may only lag the (append-only) pool, never lead it",
+            self.strings_sorted_len,
+            dict.n_strings()
+        );
+        drop(dict);
+        for (store, label) in [
+            (
+                self.cs_parse_order.as_ref().map(|(c, _)| c),
+                "cs_parse_order",
+            ),
+            (self.clustered.as_ref(), "clustered"),
+        ] {
+            let Some(store) = store else { continue };
+            assert_eq!(
+                store.n_triples(),
+                self.triples.len(),
+                "{label} store triple count must match the base triple set \
+                 (regular + irregular partitions are exhaustive)"
+            );
+            let n_classes = match label {
+                "cs_parse_order" => self
+                    .cs_parse_order
+                    .as_ref()
+                    .map(|(_, s)| s.classes.len())
+                    .unwrap_or(0),
+                _ => self.schema.as_ref().map(|s| s.classes.len()).unwrap_or(0),
+            };
+            for seg in &store.segments {
+                assert!(
+                    (seg.class.0 as usize) < n_classes,
+                    "{label} segment references class {} outside its schema \
+                     ({} classes)",
+                    seg.class.0,
+                    n_classes
+                );
+            }
+        }
+    }
 }
 
 /// An owned read guard on a generation's dictionary: keeps the dictionary
 /// `Arc` alive and holds its read lock for the guard's lifetime, so a query
 /// can carry one pinned `&Dictionary` through parsing and execution without
 /// borrowing from the database's internal state.
+#[must_use = "dropping a DictPin releases the dictionary read lock; bind it for the query's lifetime"]
 pub struct DictPin {
     // SAFETY invariant: `guard` borrows the `RwLock` inside `_dict`'s heap
     // allocation, which `_dict` keeps alive for as long as this struct
@@ -129,6 +181,7 @@ pub struct DictPin {
 
 impl DictPin {
     /// Acquire a read pin on `dict`.
+    // lock-order: acquires(dict)
     pub fn read(dict: Arc<RwLock<Dictionary>>) -> DictPin {
         let guard = dict.read();
         // SAFETY: the guard's 'static lifetime is a lie we immediately
@@ -199,8 +252,8 @@ mod tests {
         let s0 = gen.dict.read().iri_oid("http://e/s0").unwrap();
         let mut delta = crate::delta::DeltaStore::new();
         let extra = Triple::new(s0, p, Oid::from_int(99).unwrap());
-        delta.insert_run(vec![extra]);
-        delta.delete(&[Triple::new(s0, p, Oid::from_int(0).unwrap())]);
+        let _ = delta.insert_run(vec![extra]);
+        let _ = delta.delete(&[Triple::new(s0, p, Oid::from_int(0).unwrap())]);
         let folded = gen.fold_into_triple_set(delta.current_view());
         assert_eq!(folded.triples.len(), 4, "one deleted, one inserted");
         assert!(folded.triples.contains(&extra));

@@ -127,9 +127,18 @@ fn star_join_suite_is_stable_under_4_threads_and_parallel_operators() {
         }
     });
 
-    // The shared pools survived the stampede with coherent internals.
-    rig.parse_order.buffer_pool().check_invariants();
-    rig.clustered.buffer_pool().check_invariants();
+    // The shared pools survived the stampede with coherent internals, and
+    // so did the storage generations and delta stores behind them.
+    rig.parse_order.validate_invariants();
+    rig.clustered.validate_invariants();
+
+    // Under the armed lock-order checker the stampede must have recorded
+    // real acquisition edges without tripping the cycle detector.
+    #[cfg(feature = "lock_order_check")]
+    assert!(
+        parking_lot::lock_order::edge_count() > 0,
+        "lock-order checker armed but no acquisition edges recorded"
+    );
 }
 
 #[test]

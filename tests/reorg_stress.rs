@@ -210,4 +210,17 @@ fn concurrent_reorgs_preserve_all_answers() {
     assert_eq!(live.drift_stats().n_delta_inserts, 0);
     let want = answers(&ref_final, ExecConfig::default(), None);
     assert_eq!(answers(&live, ExecConfig::default(), None), want);
+
+    // The swap storm left every structural invariant intact — checked
+    // explicitly so release-mode CI stress runs exercise the checkers that
+    // debug builds run on the write path.
+    live.validate_invariants();
+
+    // With the runtime lock-order checker armed, the storm must have
+    // recorded real acquisition edges (and panicked on no inversion).
+    #[cfg(feature = "lock_order_check")]
+    assert!(
+        parking_lot::lock_order::edge_count() > 0,
+        "lock-order checker armed but no acquisition edges recorded"
+    );
 }

@@ -3,38 +3,266 @@
 //! Wraps `std::sync` primitives and strips lock poisoning, matching the
 //! `parking_lot` API surface this workspace uses (`Mutex::lock` returning a
 //! guard directly, not a `Result`).
+//!
+//! # Lock-order checking (`--features lock_order_check`)
+//!
+//! With the `lock_order_check` cargo feature enabled, every blocking
+//! acquisition through this shim is recorded in a global acquisition-order
+//! graph (one node per lock *instance*, one edge per observed
+//! held-before-acquired pair). An acquisition that would close a cycle in
+//! that graph — i.e. that inverts an order some other code path has already
+//! established, the classic two-lock deadlock recipe — panics immediately
+//! with both lock ids, instead of deadlocking some unlucky future run.
+//! Re-locking a lock the same thread already holds also panics (except
+//! shared `read()` re-acquisition, which `std::sync::RwLock` permits and the
+//! store's pin model relies on). `try_*` acquisitions never block, hence
+//! can never deadlock; they only register the held lock so that *later*
+//! blocking acquisitions see it.
+//!
+//! The feature is compiled into the stress/CI builds only; the default
+//! build keeps the zero-cost type aliases below.
 
 use std::sync::PoisonError;
 
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+#[cfg(feature = "lock_order_check")]
+use std::sync::atomic::AtomicU64;
 
+#[cfg(feature = "lock_order_check")]
+pub mod lock_order {
+    //! The global acquisition-order graph behind `lock_order_check`.
+
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    /// How a lock is held; shared read re-acquisition is tolerated.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub(crate) enum Kind {
+        Read,
+        Excl,
+    }
+
+    // ordering: Relaxed everywhere in this module — the counters only need
+    // atomicity (unique ids, monotone edge count); the graph itself is
+    // synchronized by `GRAPH`'s own mutex.
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    static EDGE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+    /// `held-id -> {acquired-while-held ids}`, global across threads. Guarded
+    /// by a raw std mutex on purpose: the checker must not recurse into the
+    /// instrumented shim types.
+    static GRAPH: StdMutex<BTreeMap<u64, BTreeSet<u64>>> = StdMutex::new(BTreeMap::new());
+
+    thread_local! {
+        /// Locks the current thread holds, in acquisition order.
+        static HELD: RefCell<Vec<(u64, Kind)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Number of distinct ordered pairs observed so far. Stress tests assert
+    /// this is non-zero to prove the detector was actually armed.
+    pub fn edge_count() -> usize {
+        EDGE_COUNT.load(Ordering::Relaxed)
+    }
+
+    /// Lazily assign a process-unique id to a lock instance (slot starts 0;
+    /// losing a racing first acquisition keeps the winner's id).
+    pub(crate) fn lock_id(slot: &AtomicU64) -> u64 {
+        let cur = slot.load(Ordering::Relaxed);
+        if cur != 0 {
+            return cur;
+        }
+        let new = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match slot.compare_exchange(0, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => new,
+            Err(existing) => existing,
+        }
+    }
+
+    /// Record a blocking acquisition *before* it blocks: panic if the thread
+    /// already holds the lock (non-shared) or if the new held→acquired edges
+    /// would close a cycle in the global graph.
+    pub(crate) fn acquire_blocking(id: u64, kind: Kind) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            for &(hid, hkind) in held.iter() {
+                if hid == id {
+                    if hkind == Kind::Read && kind == Kind::Read {
+                        continue;
+                    }
+                    panic!(
+                        "lock-order violation: thread re-locks lock #{id} it already holds \
+                         ({hkind:?} held, {kind:?} requested)"
+                    );
+                }
+                record_edge(hid, id);
+            }
+            held.push((id, kind));
+        });
+    }
+
+    /// Register a successful `try_*` acquisition: it can never deadlock (it
+    /// never blocked), so it only joins the held set.
+    pub(crate) fn register_try(id: u64, kind: Kind) {
+        HELD.with(|h| h.borrow_mut().push((id, kind)));
+    }
+
+    /// A guard dropped: release the most recent held entry for `id`.
+    pub(crate) fn release(id: u64) {
+        // try_with: a guard dropped during thread teardown must not panic.
+        let _ = HELD.try_with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(hid, _)| hid == id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    fn record_edge(from: u64, to: u64) {
+        let mut g = GRAPH.lock().unwrap_or_else(PoisonedGraph::recover);
+        if g.get(&from).is_some_and(|s| s.contains(&to)) {
+            return;
+        }
+        // Inserting from→to closes a cycle iff `from` is already reachable
+        // from `to`.
+        if reachable(&g, to, from) {
+            panic!(
+                "lock-order violation: acquiring lock #{to} while holding lock #{from} \
+                 inverts an acquisition order established elsewhere (cycle in the \
+                 global lock-order graph)"
+            );
+        }
+        g.entry(from).or_default().insert(to);
+        EDGE_COUNT.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn reachable(g: &BTreeMap<u64, BTreeSet<u64>>, from: u64, to: u64) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = g.get(&n) {
+                for &m in next {
+                    if m == to {
+                        return true;
+                    }
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// The graph mutex may be poisoned by a deliberate violation panic
+    /// (tests catch those); the map itself is always left consistent.
+    struct PoisonedGraph;
+    impl PoisonedGraph {
+        fn recover<T>(p: std::sync::PoisonError<T>) -> T {
+            p.into_inner()
+        }
+    }
+}
+
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock_order_check")]
+    order_id: AtomicU64,
+    inner: std::sync::Mutex<T>,
+}
+
+#[cfg(not(feature = "lock_order_check"))]
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+#[cfg(feature = "lock_order_check")]
+pub struct MutexGuard<'a, T: ?Sized> {
+    order_id: u64,
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+#[cfg(feature = "lock_order_check")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::release(self.order_id);
+    }
+}
+
+#[cfg(feature = "lock_order_check")]
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "lock_order_check")]
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "lock_order_check")]
+            order_id: AtomicU64::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lock_order_check")]
+        {
+            let id = lock_order::lock_id(&self.order_id);
+            lock_order::acquire_blocking(id, lock_order::Kind::Excl);
+            MutexGuard {
+                order_id: id,
+                inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+        #[cfg(not(feature = "lock_order_check"))]
+        {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
+        let g = match self.inner.try_lock() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lock_order_check")]
+        {
+            g.map(|g| {
+                let id = lock_order::lock_id(&self.order_id);
+                lock_order::register_try(id, lock_order::Kind::Excl);
+                MutexGuard {
+                    order_id: id,
+                    inner: g,
+                }
+            })
+        }
+        #[cfg(not(feature = "lock_order_check"))]
+        {
+            g
         }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -46,52 +274,167 @@ impl<T: Default> Default for Mutex<T> {
 
 impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
     }
 }
 
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock_order_check")]
+    order_id: AtomicU64,
+    inner: std::sync::RwLock<T>,
+}
 
+#[cfg(not(feature = "lock_order_check"))]
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+#[cfg(not(feature = "lock_order_check"))]
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+#[cfg(feature = "lock_order_check")]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    order_id: u64,
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(feature = "lock_order_check")]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    order_id: u64,
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(feature = "lock_order_check")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::release(self.order_id);
+    }
+}
+
+#[cfg(feature = "lock_order_check")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::release(self.order_id);
+    }
+}
+
+#[cfg(feature = "lock_order_check")]
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "lock_order_check")]
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(feature = "lock_order_check")]
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
-        RwLock(std::sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "lock_order_check")]
+            order_id: AtomicU64::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lock_order_check")]
+        {
+            let id = lock_order::lock_id(&self.order_id);
+            lock_order::acquire_blocking(id, lock_order::Kind::Read);
+            RwLockReadGuard {
+                order_id: id,
+                inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+        #[cfg(not(feature = "lock_order_check"))]
+        {
+            self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        #[cfg(feature = "lock_order_check")]
+        {
+            let id = lock_order::lock_id(&self.order_id);
+            lock_order::acquire_blocking(id, lock_order::Kind::Excl);
+            RwLockWriteGuard {
+                order_id: id,
+                inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+        #[cfg(not(feature = "lock_order_check"))]
+        {
+            self.inner.write().unwrap_or_else(PoisonError::into_inner)
+        }
     }
 
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
+        let g = match self.inner.try_read() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lock_order_check")]
+        {
+            g.map(|g| {
+                let id = lock_order::lock_id(&self.order_id);
+                lock_order::register_try(id, lock_order::Kind::Read);
+                RwLockReadGuard {
+                    order_id: id,
+                    inner: g,
+                }
+            })
+        }
+        #[cfg(not(feature = "lock_order_check"))]
+        {
+            g
         }
     }
 
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
+        let g = match self.inner.try_write() {
             Ok(g) => Some(g),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
             Err(std::sync::TryLockError::WouldBlock) => None,
+        };
+        #[cfg(feature = "lock_order_check")]
+        {
+            g.map(|g| {
+                let id = lock_order::lock_id(&self.order_id);
+                lock_order::register_try(id, lock_order::Kind::Excl);
+                RwLockWriteGuard {
+                    order_id: id,
+                    inner: g,
+                }
+            })
+        }
+        #[cfg(not(feature = "lock_order_check"))]
+        {
+            g
         }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -103,6 +446,88 @@ impl<T: Default> Default for RwLock<T> {
 
 impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.0.fmt(f)
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(all(test, feature = "lock_order_check"))]
+mod lock_order_tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn consistent_order_is_quiet_and_counted() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        let before = lock_order::edge_count();
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        assert!(
+            lock_order::edge_count() > before,
+            "ordered acquisition must record at least one edge"
+        );
+    }
+
+    #[test]
+    fn inversion_panics() {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let _gb = b.lock();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _ga = a.lock();
+        }));
+        let msg = *r
+            .expect_err("a→b then b→a must panic")
+            .downcast::<String>()
+            .unwrap();
+        assert!(msg.contains("lock-order violation"), "got: {msg}");
+    }
+
+    #[test]
+    fn relocking_a_held_mutex_panics() {
+        let m = Mutex::new(0u32);
+        let _g = m.lock();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _g2 = m.lock();
+        }));
+        assert!(r.is_err(), "self-relock must be reported, not deadlock");
+    }
+
+    #[test]
+    fn shared_read_reacquisition_is_allowed() {
+        let l = RwLock::new(7u32);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+    }
+
+    #[test]
+    fn write_after_read_on_same_lock_panics() {
+        let l = RwLock::new(0u32);
+        let _r = l.read();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _w = l.write();
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn try_lock_never_panics_on_inversion() {
+        let a = RwLock::new(0u32);
+        let b = RwLock::new(0u32);
+        {
+            let _ga = a.write();
+            let _gb = b.write();
+        }
+        // Reverse order via try_*: cannot deadlock, must not panic.
+        let _gb = b.write();
+        let got = a.try_write();
+        assert!(got.is_some());
     }
 }
