@@ -19,7 +19,10 @@
 //!   observed during it. The point of the swap protocol is
 //!   `insert_max_ms << reorg_ms`: writers pay at most the short swap +
 //!   catch-up fold, never the rebuild,
-//! * `post_reorg` query throughput (should recover the 0%-delta numbers).
+//! * `post_reorg` query throughput (should recover the 0%-delta numbers),
+//! * `wal_overhead`: single-pass delta insert throughput into fresh stores
+//!   under each durability policy (`Never` / `IntervalMs(50)` / `Always`)
+//!   next to the non-durable baseline — the write-path price of the WAL.
 //!
 //! Before timing, the 20%-delta results are checked canonically identical
 //! to a fresh bulk load of base + delta (sequential and 4-worker parallel),
@@ -33,7 +36,9 @@
 //! Usage:
 //!   bench_updates [--sf F] [--out PATH] [--smoke]
 
-use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme, ReorgPolicy};
+use sordf::{
+    Database, ExecConfig, Generation, ParallelConfig, PlanScheme, ReorgPolicy, SyncPolicy,
+};
 use sordf_bench::cli::{render_object, time_loop, BenchArgs, BenchJson};
 use sordf_model::TermTriple;
 use sordf_rdfh::{generate, RdfhConfig};
@@ -221,6 +226,40 @@ fn concurrent_reorg_scenario(db: &Database, pool: &[TermTriple]) -> ConcurrentRe
     }
 }
 
+/// Insert throughput of `pool` into a fresh store under one durability
+/// configuration: `None` is the in-memory baseline, `Some(policy)` a
+/// durable store logging every write to the WAL under that sync policy.
+/// A single pass (inserts aren't repeatable, so no `time_loop`); the WAL
+/// tail is flushed before the clock stops so deferred-sync policies don't
+/// get credit for bytes still sitting in the page cache.
+fn wal_insert_tps(
+    label: &str,
+    base: &[TermTriple],
+    pool: &[TermTriple],
+    policy: Option<SyncPolicy>,
+) -> f64 {
+    let dir = std::env::temp_dir().join(format!("sordf-bench-wal-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = match policy {
+        None => Database::in_temp_dir().expect("baseline db"),
+        Some(p) => Database::create_durable(&dir, p).expect("durable db"),
+    };
+    db.load_terms(base).expect("load base");
+    db.self_organize().expect("organize");
+    let t0 = Instant::now();
+    let mut done = 0usize;
+    while done < pool.len() {
+        let end = (done + 512).min(pool.len());
+        db.insert_terms(&pool[done..end]).expect("insert");
+        done = end;
+    }
+    db.flush_wal().expect("flush wal");
+    let tps = pool.len() as f64 / t0.elapsed().as_secs_f64();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    tps
+}
+
 fn main() {
     let args = BenchArgs::parse("BENCH_updates.json");
     let (min_secs, min_iters) = (args.min_secs, args.min_iters);
@@ -315,6 +354,25 @@ fn main() {
     );
     samples.push(post);
 
+    // WAL overhead: re-run the delta insert into fresh stores, once per
+    // durability policy, against the non-durable baseline. Deepest-level
+    // slice only — enough batches to amortize setup, small enough to keep
+    // the fsync-per-batch run bounded.
+    let wal_slice = &pool[..inserted];
+    let wal_policies: &[(&'static str, Option<SyncPolicy>)] = &[
+        ("baseline", None),
+        ("wal_never", Some(SyncPolicy::Never)),
+        ("wal_interval_50ms", Some(SyncPolicy::IntervalMs(50))),
+        ("wal_always", Some(SyncPolicy::Always)),
+    ];
+    let mut wal_rows: Vec<(&'static str, f64)> = Vec::new();
+    for &(label, policy) in wal_policies {
+        let tps = wal_insert_tps(label, &base, wal_slice, policy);
+        println!("wal_overhead {label:<18} insert {tps:>10.0} t/s");
+        wal_rows.push((label, tps));
+    }
+    let wal_baseline_tps = wal_rows[0].1.max(1e-9);
+
     let mut j = BenchJson::new("updates", args.sf);
     j.int("n_base_triples", n_base as u64);
     j.num("insert_tps", insert_tps, 0);
@@ -355,6 +413,18 @@ fn main() {
             con.query_mean_ms,
             con.insert_max_ms / con.reorg_ms.max(1e-9)
         ),
+    );
+    j.raw(
+        "wal_overhead",
+        render_object(wal_rows.iter().map(|(label, tps)| {
+            (
+                *label,
+                format!(
+                    "{{ \"insert_tps\": {tps:.0}, \"relative\": {:.4} }}",
+                    tps / wal_baseline_tps
+                ),
+            )
+        })),
     );
     j.write(&args.out_path);
 }

@@ -173,6 +173,13 @@ impl Column {
         self.pages.len()
     }
 
+    /// The backing page ids, in column order. Used by store builders to
+    /// assemble a [`crate::PageLease`] so a dropped store returns its
+    /// extents to the disk manager's free list.
+    pub fn page_ids(&self) -> &[PageId] {
+        &self.pages
+    }
+
     /// The column's zone map (one entry per page).
     pub fn zonemap(&self) -> &ZoneMap {
         &self.zonemap

@@ -3,12 +3,29 @@
 //! A [`DiskManager`] owns one database file and hands out fixed-size pages.
 //! Pages hold 8192 little-endian u64 values (64 KiB) — all sordf columns are
 //! u64-typed (tagged OIDs), so one page type suffices.
+//!
+//! Pages are recycled, not leaked: [`DiskManager::free_pages`] returns dead
+//! extents to a free list that [`DiskManager::alloc_page`] drains before
+//! growing the file, and a [`PageLease`] ties a built structure's pages to
+//! its lifetime so a swapped-out store generation gives its extents back
+//! when the last pin on it drops. Crash consistency of *logical* data is
+//! the job of the WAL + manifest layer in `sordf-storage`; this layer's
+//! contract is narrower: page writes either complete fully or surface an
+//! `io::Error`, short transfers and `EINTR` are retried, and
+//! [`DiskManager::flush`] surfaces `fsync` failures instead of swallowing
+//! them.
+//!
+//! For fault-injection tests a [`DiskFault`] shim can be installed with
+//! [`DiskManager::set_fault`]: it can fail reads transiently, tear a write
+//! mid-page, or truncate individual transfers to exercise the retry loops.
 
+use crate::fault::{DiskFault, WriteFault};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 #[cfg(unix)]
 use std::os::unix::fs::FileExt;
@@ -22,18 +39,34 @@ pub const PAGE_BYTES: usize = VALS_PER_PAGE * 8;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PageId(pub u64);
 
-/// Owns the database file; allocates, writes and reads pages.
+/// A cache-invalidation callback registered by a buffer pool: called with
+/// the page ids being freed; returns `false` when the pool is gone and the
+/// hook should be dropped.
+pub type InvalidateHook = Box<dyn Fn(&[PageId]) -> bool + Send + Sync>;
+
+/// Owns the database file; allocates, writes, reads and recycles pages.
 ///
 /// Writing happens only during bulk load / reorganization (columns are
-/// immutable once built), so there is no write-ahead logging — crash
-/// consistency is out of scope for this reproduction, as it is for the
-/// paper's experiments.
+/// immutable once built). Logical crash consistency lives a layer up (the
+/// WAL + manifest in `sordf-storage`); this type guarantees only physical
+/// honesty: full transfers or surfaced errors, and an explicit
+/// [`flush`](DiskManager::flush) for durability barriers.
 pub struct DiskManager {
     file: File,
     path: PathBuf,
     next_page: AtomicU64,
     /// Guards against interleaved allocation+write races during parallel load.
     write_lock: Mutex<()>,
+    /// Freed page ids, reused by `alloc_page` before the file grows.
+    free: Mutex<Vec<u64>>,
+    /// Pool invalidation callbacks, run before a page id is recycled.
+    hooks: Mutex<Vec<InvalidateHook>>,
+    /// Fast-path flag: a fault shim is installed.
+    // ordering: Relaxed — the flag only gates an optional test shim; the
+    // shim Arc itself is published by the `fault` mutex.
+    fault_armed: AtomicBool,
+    /// The installed fault shim, if any (tests only).
+    fault: Mutex<Option<Arc<dyn DiskFault>>>,
     delete_on_drop: bool,
 }
 
@@ -51,6 +84,10 @@ impl DiskManager {
             path: path.to_path_buf(),
             next_page: AtomicU64::new(0),
             write_lock: Mutex::new(()),
+            free: Mutex::new(Vec::new()),
+            hooks: Mutex::new(Vec::new()),
+            fault_armed: AtomicBool::new(false),
+            fault: Mutex::new(None),
             delete_on_drop: false,
         })
     }
@@ -73,19 +110,70 @@ impl DiskManager {
         &self.path
     }
 
-    /// Number of pages allocated so far.
+    /// Number of pages ever allocated (the file's high-water mark in
+    /// pages). Freed-and-reused pages do not advance this.
     pub fn n_pages(&self) -> u64 {
         // ordering: Relaxed — an informational snapshot of the allocation
         // counter; page *contents* are published by write_page's file I/O.
         self.next_page.load(Ordering::Relaxed)
     }
 
-    /// Allocate a fresh page id.
+    /// Number of freed pages currently awaiting reuse.
+    pub fn n_free_pages(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Allocate a page id, preferring the free list over file growth.
     pub fn alloc_page(&self) -> PageId {
+        if let Some(id) = self.free.lock().pop() {
+            return PageId(id);
+        }
         // ordering: Relaxed — allocation needs only fetch_add's atomicity
         // for uniqueness; nothing is read through the returned id until a
         // write_page/read_page pair synchronizes the data itself.
         PageId(self.next_page.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Return dead pages to the free list for reuse. Registered buffer
+    /// pools are invalidated first so no stale cached frame can ever be
+    /// served for a recycled id.
+    pub fn free_pages(&self, pages: &[PageId]) {
+        if pages.is_empty() {
+            return;
+        }
+        self.hooks.lock().retain(|hook| hook(pages));
+        let mut free = self.free.lock();
+        free.extend(pages.iter().map(|p| p.0));
+    }
+
+    /// Register a cache-invalidation hook (see [`InvalidateHook`]). Buffer
+    /// pools call this on construction; hooks returning `false` are pruned.
+    pub fn register_invalidate_hook(&self, hook: InvalidateHook) {
+        self.hooks.lock().push(hook);
+    }
+
+    /// Install (or clear) a fault-injection shim. Testing only: every page
+    /// read and write consults the shim while one is installed.
+    pub fn set_fault(&self, fault: Option<Arc<dyn DiskFault>>) {
+        // ordering: Relaxed — the mutex below publishes the shim; the flag
+        // is a best-effort fast path that tolerates staleness either way.
+        self.fault_armed.store(fault.is_some(), Ordering::Relaxed);
+        *self.fault.lock() = fault;
+    }
+
+    fn current_fault(&self) -> Option<Arc<dyn DiskFault>> {
+        // ordering: Relaxed — see set_fault; a racing reader that misses
+        // the flag flip just takes one more fault-free I/O.
+        if !self.fault_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.fault.lock().clone()
+    }
+
+    /// Durability barrier: flush file contents and metadata to stable
+    /// storage, surfacing the `fsync` error instead of swallowing it.
+    pub fn flush(&self) -> io::Result<()> {
+        self.file.sync_all()
     }
 
     /// Write a full page of values. `vals` may be shorter than a page
@@ -98,13 +186,13 @@ impl DiskManager {
             buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
         }
         let _guard = self.write_lock.lock();
-        self.write_at(&buf, id.0 * PAGE_BYTES as u64)
+        self.write_at(&buf, id.0 * PAGE_BYTES as u64, id)
     }
 
     /// Read a page into a freshly allocated value buffer.
     pub fn read_page(&self, id: PageId) -> io::Result<Vec<u64>> {
         let mut buf = vec![0u8; PAGE_BYTES];
-        self.read_at(&mut buf, id.0 * PAGE_BYTES as u64)?;
+        self.read_at(&mut buf, id.0 * PAGE_BYTES as u64, id)?;
         let mut vals = vec![0u64; VALS_PER_PAGE];
         for (v, chunk) in vals.iter_mut().zip(buf.chunks_exact(8)) {
             let mut le = [0u8; 8];
@@ -114,26 +202,95 @@ impl DiskManager {
         Ok(vals)
     }
 
+    /// Positional write that loops on short transfers and `EINTR` instead
+    /// of assuming the kernel moves the whole buffer in one call.
     #[cfg(unix)]
-    fn write_at(&self, buf: &[u8], off: u64) -> io::Result<()> {
-        self.file.write_all_at(buf, off)
+    fn write_at(&self, buf: &[u8], off: u64, id: PageId) -> io::Result<()> {
+        let fault = self.current_fault();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let mut limit = buf.len();
+            if let Some(f) = fault.as_ref() {
+                match f.write_fault(id) {
+                    Some(WriteFault::Error(kind)) => {
+                        return Err(io::Error::new(kind, "injected write fault"));
+                    }
+                    Some(WriteFault::Torn { bytes, kind }) => {
+                        // Tear the page: persist a prefix, then fail as if
+                        // the process died mid-write.
+                        let end = (done + bytes).min(buf.len());
+                        while done < end {
+                            match self.file.write_at(&buf[done..end], off + done as u64) {
+                                Ok(n) => done += n,
+                                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        return Err(io::Error::new(kind, "injected torn write"));
+                    }
+                    Some(WriteFault::Short(n)) => limit = (done + n.max(1)).min(buf.len()),
+                    None => {}
+                }
+            }
+            match self.file.write_at(&buf[done..limit], off + done as u64) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "write_at returned 0 bytes",
+                    ));
+                }
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
+    /// Positional read that loops on short transfers and `EINTR`. A true
+    /// EOF inside a page means corruption and surfaces `UnexpectedEof`.
     #[cfg(unix)]
-    fn read_at(&self, buf: &mut [u8], off: u64) -> io::Result<()> {
-        // The file is created by us with whole-page writes, so short reads
-        // only happen on corruption; surface them as errors.
-        self.file.read_exact_at(buf, off)
+    fn read_at(&self, buf: &mut [u8], off: u64, id: PageId) -> io::Result<()> {
+        if let Some(f) = self.current_fault() {
+            if let Some(kind) = f.read_fault(id) {
+                return Err(io::Error::new(kind, "injected read fault"));
+            }
+        }
+        let mut done = 0usize;
+        while done < buf.len() {
+            match self.file.read_at(&mut buf[done..], off + done as u64) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "page truncated: EOF inside a page",
+                    ));
+                }
+                Ok(n) => done += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     #[cfg(not(unix))]
-    fn write_at(&self, _buf: &[u8], _off: u64) -> io::Result<()> {
+    fn write_at(&self, _buf: &[u8], _off: u64, _id: PageId) -> io::Result<()> {
         Err(unsupported_platform())
     }
 
     #[cfg(not(unix))]
-    fn read_at(&self, _buf: &mut [u8], _off: u64) -> io::Result<()> {
+    fn read_at(&self, _buf: &mut [u8], _off: u64, _id: PageId) -> io::Result<()> {
         Err(unsupported_platform())
+    }
+}
+
+impl std::fmt::Debug for DiskManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskManager")
+            .field("path", &self.path)
+            .field("n_pages", &self.n_pages())
+            .field("n_free_pages", &self.n_free_pages())
+            .finish_non_exhaustive()
     }
 }
 
@@ -151,14 +308,53 @@ fn unsupported_platform() -> io::Error {
 impl Drop for DiskManager {
     fn drop(&mut self) {
         if self.delete_on_drop {
+            // sordf-lint: allow(L7) — best-effort temp-file cleanup in Drop;
+            // there is no caller to surface the error to and the data is
+            // disposable by construction.
             let _ = std::fs::remove_file(&self.path);
         }
+    }
+}
+
+/// Ties a built structure's pages to its lifetime: when the last clone of
+/// the lease drops (i.e. the last `Arc<StoreGeneration>` pin on a
+/// swapped-out generation), the pages return to the manager's free list.
+/// This is what bounds file growth across background reorganization swaps.
+pub struct PageLease {
+    dm: Arc<DiskManager>,
+    pages: Vec<PageId>,
+}
+
+impl PageLease {
+    /// Lease `pages` from `dm`; they are freed when the lease drops.
+    pub fn new(dm: Arc<DiskManager>, pages: Vec<PageId>) -> PageLease {
+        PageLease { dm, pages }
+    }
+
+    /// Number of leased pages.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl Drop for PageLease {
+    fn drop(&mut self) {
+        self.dm.free_pages(&self.pages);
+    }
+}
+
+impl std::fmt::Debug for PageLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageLease")
+            .field("n_pages", &self.pages.len())
+            .finish_non_exhaustive()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::CountingFault;
 
     #[test]
     fn page_roundtrip() {
@@ -197,5 +393,95 @@ mod tests {
         for (i, &id) in ids.iter().enumerate() {
             assert_eq!(dm.read_page(id).unwrap()[0], i as u64);
         }
+    }
+
+    #[test]
+    fn freed_pages_are_reused_before_growth() {
+        let dm = DiskManager::temp().unwrap();
+        let ids: Vec<PageId> = (0..8).map(|_| dm.alloc_page()).collect();
+        assert_eq!(dm.n_pages(), 8);
+        dm.free_pages(&ids[2..6]);
+        assert_eq!(dm.n_free_pages(), 4);
+        for _ in 0..4 {
+            let id = dm.alloc_page();
+            assert!(ids[2..6].contains(&id), "free list drained first");
+        }
+        assert_eq!(dm.n_free_pages(), 0);
+        assert_eq!(dm.n_pages(), 8, "no file growth while frees are pending");
+        assert_eq!(dm.alloc_page(), PageId(8), "then the file grows again");
+    }
+
+    #[test]
+    fn page_lease_returns_pages_on_last_drop() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let pages: Vec<PageId> = (0..3).map(|_| dm.alloc_page()).collect();
+        let lease = Arc::new(PageLease::new(Arc::clone(&dm), pages));
+        let clone = Arc::clone(&lease);
+        drop(lease);
+        assert_eq!(dm.n_free_pages(), 0, "a live clone still holds the lease");
+        drop(clone);
+        assert_eq!(dm.n_free_pages(), 3, "last drop frees the extent");
+    }
+
+    #[test]
+    fn invalidate_hooks_run_and_prune() {
+        use std::sync::atomic::AtomicUsize;
+        let dm = DiskManager::temp().unwrap();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        dm.register_invalidate_hook(Box::new(move |pages| {
+            // ordering: Relaxed — test counter only.
+            seen2.fetch_add(pages.len(), Ordering::Relaxed);
+            true
+        }));
+        dm.register_invalidate_hook(Box::new(|_| false));
+        dm.free_pages(&[PageId(0), PageId(1)]);
+        // ordering: Relaxed — test counter only.
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        dm.free_pages(&[PageId(2)]);
+        assert_eq!(seen.load(Ordering::Relaxed), 3, "live hook keeps firing");
+    }
+
+    #[test]
+    fn transient_read_fault_surfaces_and_clears() {
+        let dm = DiskManager::temp().unwrap();
+        let id = dm.alloc_page();
+        dm.write_page(id, &[7; 4]).unwrap();
+        let fault = Arc::new(CountingFault::fail_reads(2, io::ErrorKind::Other));
+        dm.set_fault(Some(fault));
+        assert!(dm.read_page(id).is_err());
+        assert!(dm.read_page(id).is_err());
+        assert_eq!(dm.read_page(id).unwrap()[0], 7, "fault budget exhausted");
+        dm.set_fault(None);
+        assert_eq!(dm.read_page(id).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn short_writes_are_retried_to_completion() {
+        let dm = DiskManager::temp().unwrap();
+        let id = dm.alloc_page();
+        let vals: Vec<u64> = (0..VALS_PER_PAGE as u64).map(|i| i ^ 0xabcd).collect();
+        dm.set_fault(Some(Arc::new(CountingFault::short_writes(512))));
+        dm.write_page(id, &vals).unwrap();
+        dm.set_fault(None);
+        assert_eq!(dm.read_page(id).unwrap(), vals, "looped to a full page");
+    }
+
+    #[test]
+    fn torn_write_surfaces_an_error() {
+        let dm = DiskManager::temp().unwrap();
+        let id = dm.alloc_page();
+        dm.write_page(id, &[1; VALS_PER_PAGE]).unwrap();
+        dm.set_fault(Some(Arc::new(CountingFault::torn_writes(
+            1,
+            100,
+            io::ErrorKind::Other,
+        ))));
+        let err = dm.write_page(id, &[2; VALS_PER_PAGE]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        dm.set_fault(None);
+        let back = dm.read_page(id).unwrap();
+        assert_eq!(&back[..12], &[2; 12], "a torn prefix did land");
+        assert_eq!(back[VALS_PER_PAGE - 1], 1, "the tail kept the old data");
     }
 }

@@ -21,13 +21,15 @@
 pub mod bitmap;
 pub mod column;
 pub mod disk;
+pub mod fault;
 pub mod pool;
 pub mod zonemap;
 
 pub use bitmap::Bitmap;
 pub use column::Chunk;
 pub use column::{Column, ColumnBuilder};
-pub use disk::{DiskManager, PageId, PAGE_BYTES, VALS_PER_PAGE};
+pub use disk::{DiskManager, PageId, PageLease, PAGE_BYTES, VALS_PER_PAGE};
+pub use fault::{CountingFault, DiskFault, WriteFault};
 pub use pool::{BufferPool, PageGuard, PoolStats, DEFAULT_POOL_SHARDS, MIN_PAGES_PER_SHARD};
 pub use zonemap::{PageStats, ZoneMap};
 

@@ -17,13 +17,23 @@
 //! page reads happen outside any lock; when two threads miss on the same page
 //! simultaneously, both read it and the loser adopts the winner's frame
 //! (never leaving a stale LRU entry behind — see `try_get`).
+//!
+//! # Page recycling
+//!
+//! Page ids are recycled by generation GC ([`DiskManager::free_pages`]), so
+//! a cached frame for a freed id would silently serve stale data once the id
+//! is reallocated. The pool therefore registers an invalidation hook with
+//! its disk manager on construction: freed pages are dropped from the cache
+//! *before* they enter the free list. The pool's internals live behind an
+//! `Arc` so the hook holds only a `Weak` — a dropped pool prunes itself from
+//! the manager's hook list instead of leaking.
 
 use crate::disk::{DiskManager, PageId};
 use parking_lot::Mutex;
 use sordf_model::ModelError;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use sordf_model::fxhash::FxHashMap;
 
@@ -111,8 +121,11 @@ impl Shard {
     }
 }
 
-/// The sharded LRU page cache. See the [module docs](self).
-pub struct BufferPool {
+/// The shared pool state. Lives behind an `Arc` so the disk manager's
+/// free-page invalidation hook can hold a `Weak` reference (see the
+/// [module docs](self)); all real logic lives here, [`BufferPool`] is the
+/// thin public handle.
+struct PoolInner {
     disk: Arc<DiskManager>,
     capacity: usize,
     shards: Box<[Shard]>,
@@ -121,6 +134,12 @@ pub struct BufferPool {
     evictions: AtomicU64,
     /// Synthetic extra latency per page read, in nanoseconds (0 = off).
     read_latency_ns: AtomicU64,
+}
+
+/// The sharded LRU page cache. See the [module docs](self). Cheap to pass
+/// by reference; internally one `Arc` to the shared state.
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
 }
 
 impl BufferPool {
@@ -147,36 +166,38 @@ impl BufferPool {
         let shards: Box<[Shard]> = (0..n_shards)
             .map(|i| Shard::new(base + usize::from(i < rem)))
             .collect();
-        BufferPool {
-            disk,
+        let inner = Arc::new(PoolInner {
+            disk: Arc::clone(&disk),
             capacity,
             shards,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             read_latency_ns: AtomicU64::new(0),
-        }
+        });
+        // Freed (recyclable) pages must leave the cache before their ids are
+        // reused; the Weak lets a dropped pool prune itself from the hook list.
+        let weak: Weak<PoolInner> = Arc::downgrade(&inner);
+        disk.register_invalidate_hook(Box::new(move |pages| match weak.upgrade() {
+            Some(pool) => {
+                pool.invalidate(pages);
+                true
+            }
+            None => false,
+        }));
+        BufferPool { inner }
     }
 
     /// The disk manager this pool reads from.
     pub fn disk(&self) -> &Arc<DiskManager> {
-        &self.disk
+        &self.inner.disk
     }
 
     /// Configure synthetic per-miss latency (models a disk for cold runs).
     pub fn set_read_latency_ns(&self, ns: u64) {
         // ordering: Relaxed — a standalone config knob; readers only need to
         // see *some* recent value, nothing else is published through it.
-        self.read_latency_ns.store(ns, Ordering::Relaxed);
-    }
-
-    /// The shard owning a page. Fibonacci hashing spreads sequential page
-    /// ids (columns allocate pages contiguously) across shards, so one
-    /// scanning worker cycles through locks instead of hammering one.
-    #[inline]
-    fn shard_of(&self, id: PageId) -> &Shard {
-        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
-        &self.shards[(h as usize) % self.shards.len()]
+        self.inner.read_latency_ns.store(ns, Ordering::Relaxed);
     }
 
     /// Pin a page for slice access. One pin per page is the contract of
@@ -209,10 +230,126 @@ impl BufferPool {
     }
 
     /// Fetch a page, surfacing read failures as [`ModelError::PageRead`]
-    /// after a short retry loop (transient I/O errors are retried rather
-    /// than poisoning any pool state — no lock is held across the read).
+    /// after a bounded, capped-exponential-backoff retry loop (transient
+    /// I/O errors are retried rather than poisoning any pool state — no
+    /// lock is held across the read).
     // lock-order: acquires(pool_shard)
     pub fn try_get(&self, id: PageId) -> Result<Arc<Vec<u64>>, ModelError> {
+        self.inner.try_get(id)
+    }
+
+    /// Drop every cached page — the next run is *cold*.
+    // lock-order: acquires(pool_shard)
+    pub fn clear(&self) {
+        for shard in self.inner.shards.iter() {
+            let mut inner = shard.inner.lock();
+            inner.frames.clear();
+            inner.lru.clear();
+        }
+    }
+
+    /// Drop the cached frames of exactly `pages` (recycled ids). Called via
+    /// the disk manager's free-page hook; also usable directly by tests.
+    // lock-order: acquires(pool_shard)
+    pub fn invalidate(&self, pages: &[PageId]) {
+        self.inner.invalidate(pages);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        // ordering: Relaxed — statistics snapshot; the three loads need not
+        // be mutually consistent (PoolStats::since clamps at zero for that).
+        PoolStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of pages currently cached.
+    // lock-order: acquires(pool_shard)
+    pub fn cached_pages(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.inner.lock().frames.len())
+            .sum()
+    }
+
+    /// Pool capacity in pages (summed across shards).
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of lock shards.
+    pub fn n_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Assert the internal invariants of every shard (debug/test hook):
+    /// `frames` and `lru` describe the same page set, every LRU entry carries
+    /// the live recency of its frame, no recency tick exceeds the shard's
+    /// clock, every cached page hashes to the shard caching it, and no shard
+    /// exceeds its capacity slice. Panics with a description on violation.
+    // lock-order: acquires(pool_shard)
+    pub fn check_invariants(&self) {
+        for (si, shard) in self.inner.shards.iter().enumerate() {
+            let inner = shard.inner.lock();
+            assert_eq!(
+                inner.frames.len(),
+                inner.lru.len(),
+                "shard {si}: frames ({}) and lru ({}) diverged",
+                inner.frames.len(),
+                inner.lru.len()
+            );
+            assert!(
+                inner.frames.len() <= shard.capacity.max(1),
+                "shard {si}: {} frames exceed shard capacity {}",
+                inner.frames.len(),
+                shard.capacity
+            );
+            for &(t, id) in &inner.lru {
+                let frame_tick = inner.frames.get(&id).map(|f| f.last_used);
+                assert_eq!(
+                    frame_tick,
+                    Some(t),
+                    "shard {si}: LRU entry ({t}, {id:?}) diverged from frames \
+                     (frame tick {frame_tick:?})"
+                );
+                assert!(
+                    t <= inner.tick,
+                    "shard {si}: LRU tick {t} is ahead of the shard clock {}",
+                    inner.tick
+                );
+                assert!(
+                    std::ptr::eq(self.inner.shard_of(id), shard),
+                    "shard {si}: caches page {id:?} that hashes to another shard"
+                );
+            }
+            for (id, frame) in &inner.frames {
+                assert!(
+                    frame.last_used <= inner.tick,
+                    "shard {si}: frame {id:?} tick {} is ahead of the shard clock {}",
+                    frame.last_used,
+                    inner.tick
+                );
+            }
+        }
+    }
+}
+
+impl PoolInner {
+    /// The shard owning a page. Fibonacci hashing spreads sequential page
+    /// ids (columns allocate pages contiguously) across shards, so one
+    /// scanning worker cycles through locks instead of hammering one.
+    #[inline]
+    fn shard_of(&self, id: PageId) -> &Shard {
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    // lock-order: acquires(pool_shard)
+    fn try_get(&self, id: PageId) -> Result<Arc<Vec<u64>>, ModelError> {
         // ordering: Relaxed — hits/misses/evictions are monotone statistics
         // counters, read only via saturating deltas; the shard mutex carries
         // every happens-before edge the cache state itself needs.
@@ -277,10 +414,17 @@ impl BufferPool {
         Ok(data)
     }
 
+    /// Read a page with a *bounded* retry loop: transient errors back off
+    /// exponentially (100 µs doubling, capped at 5 ms) so a persistently
+    /// failing page surfaces [`ModelError::PageRead`] after ~6 attempts in
+    /// well under a second instead of spinning a query thread, while a
+    /// genuinely transient hiccup gets room to clear.
     fn read_page_retrying(&self, id: PageId) -> Result<Vec<u64>, ModelError> {
-        const ATTEMPTS: usize = 3;
+        const ATTEMPTS: u32 = 6;
+        const BASE_BACKOFF_US: u64 = 100;
+        const MAX_BACKOFF_US: u64 = 5_000;
         let mut last_err = None;
-        for _ in 0..ATTEMPTS {
+        for attempt in 0..ATTEMPTS {
             match self.disk.read_page(id) {
                 Ok(vals) => return Ok(vals),
                 Err(e) => {
@@ -295,6 +439,10 @@ impl BufferPool {
                     if !transient {
                         break;
                     }
+                    if attempt + 1 < ATTEMPTS {
+                        let us = (BASE_BACKOFF_US << attempt).min(MAX_BACKOFF_US);
+                        std::thread::sleep(std::time::Duration::from_micros(us));
+                    }
                 }
             }
         }
@@ -304,93 +452,13 @@ impl BufferPool {
         })
     }
 
-    /// Drop every cached page — the next run is *cold*.
     // lock-order: acquires(pool_shard)
-    pub fn clear(&self) {
-        for shard in self.shards.iter() {
+    fn invalidate(&self, pages: &[PageId]) {
+        for &id in pages {
+            let shard = self.shard_of(id);
             let mut inner = shard.inner.lock();
-            inner.frames.clear();
-            inner.lru.clear();
-        }
-    }
-
-    /// Current counters.
-    pub fn stats(&self) -> PoolStats {
-        // ordering: Relaxed — statistics snapshot; the three loads need not
-        // be mutually consistent (PoolStats::since clamps at zero for that).
-        PoolStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Number of pages currently cached.
-    // lock-order: acquires(pool_shard)
-    pub fn cached_pages(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.inner.lock().frames.len())
-            .sum()
-    }
-
-    /// Pool capacity in pages (summed across shards).
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of lock shards.
-    pub fn n_shards(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Assert the internal invariants of every shard (debug/test hook):
-    /// `frames` and `lru` describe the same page set, every LRU entry carries
-    /// the live recency of its frame, no recency tick exceeds the shard's
-    /// clock, every cached page hashes to the shard caching it, and no shard
-    /// exceeds its capacity slice. Panics with a description on violation.
-    // lock-order: acquires(pool_shard)
-    pub fn check_invariants(&self) {
-        for (si, shard) in self.shards.iter().enumerate() {
-            let inner = shard.inner.lock();
-            assert_eq!(
-                inner.frames.len(),
-                inner.lru.len(),
-                "shard {si}: frames ({}) and lru ({}) diverged",
-                inner.frames.len(),
-                inner.lru.len()
-            );
-            assert!(
-                inner.frames.len() <= shard.capacity.max(1),
-                "shard {si}: {} frames exceed shard capacity {}",
-                inner.frames.len(),
-                shard.capacity
-            );
-            for &(t, id) in &inner.lru {
-                let frame_tick = inner.frames.get(&id).map(|f| f.last_used);
-                assert_eq!(
-                    frame_tick,
-                    Some(t),
-                    "shard {si}: LRU entry ({t}, {id:?}) diverged from frames \
-                     (frame tick {frame_tick:?})"
-                );
-                assert!(
-                    t <= inner.tick,
-                    "shard {si}: LRU tick {t} is ahead of the shard clock {}",
-                    inner.tick
-                );
-                assert!(
-                    std::ptr::eq(self.shard_of(id), shard),
-                    "shard {si}: caches page {id:?} that hashes to another shard"
-                );
-            }
-            for (id, frame) in &inner.frames {
-                assert!(
-                    frame.last_used <= inner.tick,
-                    "shard {si}: frame {id:?} tick {} is ahead of the shard clock {}",
-                    frame.last_used,
-                    inner.tick
-                );
+            if let Some(frame) = inner.frames.remove(&id) {
+                inner.lru.remove(&(frame.last_used, id));
             }
         }
     }
@@ -409,6 +477,7 @@ fn spin_wait_ns(ns: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::CountingFault;
 
     fn pool_with_pages(n_pages: u64, capacity: usize) -> (BufferPool, Vec<PageId>) {
         let dm = Arc::new(DiskManager::temp().unwrap());
@@ -519,9 +588,10 @@ mod tests {
         let pool = BufferPool::with_shards(dm, 10, 4);
         assert_eq!(pool.capacity(), 10);
         assert_eq!(pool.n_shards(), 4);
-        let per_shard: usize = pool.shards.iter().map(|s| s.capacity).sum();
+        let per_shard: usize = pool.inner.shards.iter().map(|s| s.capacity).sum();
         assert_eq!(per_shard, 10);
         assert!(pool
+            .inner
             .shards
             .iter()
             .all(|s| s.capacity == 2 || s.capacity == 3));
@@ -568,6 +638,93 @@ mod tests {
         // The failure left no partial state behind.
         assert_eq!(pool.cached_pages(), 0);
         pool.check_invariants();
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_with_backoff() {
+        let (pool, ids) = pool_with_pages(1, 4);
+        // Two transient failures, then success: the bounded backoff loop
+        // must absorb them without surfacing an error.
+        pool.disk()
+            .set_fault(Some(Arc::new(CountingFault::fail_reads(
+                2,
+                std::io::ErrorKind::WouldBlock,
+            ))));
+        assert_eq!(pool.get(ids[0])[0], 0);
+        pool.disk().set_fault(None);
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn persistent_read_fault_surfaces_bounded_page_read_error() {
+        let (pool, ids) = pool_with_pages(1, 4);
+        // More transient failures than the retry budget: the loop must give
+        // up with PageRead instead of spinning, and consume exactly its
+        // bounded attempt budget.
+        let fault = Arc::new(CountingFault::fail_reads(
+            1_000,
+            std::io::ErrorKind::WouldBlock,
+        ));
+        pool.disk().set_fault(Some(fault));
+        let t0 = std::time::Instant::now();
+        let err = pool.try_get(ids[0]).unwrap_err();
+        assert!(matches!(err, ModelError::PageRead { .. }));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(2),
+            "retry loop must be bounded"
+        );
+        pool.disk().set_fault(None);
+        assert_eq!(pool.get(ids[0])[0], 0, "recovers once the fault clears");
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn non_transient_read_fault_fails_fast() {
+        let (pool, ids) = pool_with_pages(1, 4);
+        pool.disk()
+            .set_fault(Some(Arc::new(CountingFault::fail_reads(
+                1,
+                std::io::ErrorKind::NotFound,
+            ))));
+        let err = pool.try_get(ids[0]).unwrap_err();
+        assert!(matches!(err, ModelError::PageRead { .. }));
+        // A single injected fault consumed: no retries burned the budget.
+        pool.disk().set_fault(None);
+        assert_eq!(pool.get(ids[0])[0], 0);
+    }
+
+    #[test]
+    fn freed_pages_are_invalidated_through_the_hook() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let pool = BufferPool::new(Arc::clone(&dm), 8);
+        let id = dm.alloc_page();
+        dm.write_page(id, &[41]).unwrap();
+        assert_eq!(pool.get(id)[0], 41);
+        assert_eq!(pool.cached_pages(), 1);
+        // Free + reallocate the id with different content: the hook must
+        // have dropped the stale frame, so the pool re-reads from disk.
+        dm.free_pages(&[id]);
+        assert_eq!(pool.cached_pages(), 0, "freed page left the cache");
+        let id2 = dm.alloc_page();
+        assert_eq!(id2, id, "the id was recycled");
+        dm.write_page(id2, &[42]).unwrap();
+        assert_eq!(pool.get(id2)[0], 42, "no stale frame served");
+        pool.check_invariants();
+    }
+
+    #[test]
+    fn dropped_pool_prunes_its_hook() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let id = dm.alloc_page();
+        dm.write_page(id, &[7]).unwrap();
+        {
+            let pool = BufferPool::new(Arc::clone(&dm), 8);
+            pool.get(id);
+        }
+        // The pool is gone; freeing must not fire into a dead hook (the
+        // Weak upgrade fails and the hook self-prunes).
+        dm.free_pages(&[id]);
+        dm.free_pages(&[dm.alloc_page()]);
     }
 
     /// The PR-3 regression: two threads missing on the same page both insert;

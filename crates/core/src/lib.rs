@@ -67,9 +67,26 @@
 //! catch-up fold, never for the rebuild itself. Synchronous
 //! [`Database::reorganize_now`] / [`Database::maybe_reorganize`] run the
 //! same pin → build → swap protocol inline on the calling thread.
+//!
+//! ## Durability
+//!
+//! [`Database::create_durable`] / [`Database::open`] put the whole
+//! lifecycle on disk: every acknowledged write batch is write-ahead
+//! logged (and, under [`SyncPolicy::Always`], fsynced) *before* any
+//! in-memory structure sees it; [`Database::checkpoint`] snapshots the
+//! visible triples and rotates the log; the background swap rotates the
+//! snapshot/WAL pair along with the generation; and [`Database::open`]
+//! recovers the exact acknowledged prefix after a crash at any point —
+//! snapshot load, torn-frame-truncating WAL replay, layouts rebuilt as a
+//! derived cache. Recovery is *logical* (snapshot and log hold N-Triples
+//! text): OIDs may renumber across a reopen exactly as they do across a
+//! background swap, while decoded results are identical. The labeled
+//! [`CRASH_POINTS`] and the `crash_points` cargo feature arm the
+//! fault-injection harness behind `tests/recovery_differential.rs`.
 
+use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 // sordf-lint: allow(L4) — the auto-reorg stop handshake needs a Condvar,
 // which the vendored shim does not provide; this std Mutex+Condvar pair
 // guards only the stop flag and handles poisoning inline.
@@ -78,6 +95,7 @@ use std::thread;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
+use sordf_columnar::crash_point;
 use sordf_columnar::{BufferPool, DiskManager, PoolStats};
 use sordf_engine::agg::ResultSet;
 use sordf_engine::context::StatsSnapshot;
@@ -91,9 +109,30 @@ use sordf_schema::{ClassId, IncrementalAssigner};
 pub use sordf_schema::{DriftStats, EmergentSchema, SchemaConfig};
 use sordf_storage::{
     build_clustered, encode_triple_skolemized, reorganize, BaselineStore, ClusterSpec,
-    ClusteredStore, DeltaStore, DeltaView, DeltaWrite, GenerationHandle, ReorgReport, TripleSet,
+    ClusteredStore, DeltaStore, DeltaView, DeltaWrite, GenerationHandle, LayoutFlags, Manifest,
+    ReorgReport, StoreSnapshot, TripleSet, WalRecord, WalWriter,
 };
-pub use sordf_storage::{DictPin, Snapshot, StoreGeneration};
+pub use sordf_storage::{DictPin, Snapshot, StoreGeneration, SyncPolicy};
+
+/// Every labeled crash point in the durable write paths, in rough lifecycle
+/// order. The fault-injection harness iterates this catalog, killing a
+/// writer process at each point (`SORDF_CRASH_POINT=<label>`, requires the
+/// `crash_points` cargo feature) and asserting recovery loses no
+/// acknowledged write. See `sordf_columnar::crash_point`.
+pub const CRASH_POINTS: &[&str] = &[
+    "wal.pre_append",
+    "wal.post_append",
+    "wal.pre_sync",
+    "wal.post_sync",
+    "snap.pre_sync",
+    "snap.post_sync",
+    "manifest.pre_rename",
+    "manifest.post_rename",
+    "checkpoint.pre_manifest",
+    "checkpoint.post_manifest",
+    "swap.pre_manifest",
+    "swap.post_manifest",
+];
 
 /// Errors surfaced by the facade.
 #[derive(Debug)]
@@ -266,6 +305,28 @@ struct WriteState {
     per_class_fill: Vec<u64>,
 }
 
+/// The durable side of a database opened with [`Database::open`] /
+/// [`Database::create_durable`]: the live write-ahead log plus manifest
+/// bookkeeping. Lives inside the state lock, so logging an applied write
+/// and applying it are one atomic step with respect to other writers.
+struct DurableState {
+    /// The durable directory (MANIFEST, `snap.<N>`, `wal.<N>`, data.db).
+    dir: PathBuf,
+    /// The live log (`wal.<wal_file>`), positioned to append.
+    wal: WalWriter,
+    /// When appends are fsync'd (the acknowledgment barrier).
+    policy: SyncPolicy,
+    /// Number of the live snapshot file.
+    snap_file: u64,
+    /// Number of the live WAL file.
+    wal_file: u64,
+    /// Log sequence of the last appended record. Advances by exactly one
+    /// per applied write batch, in lockstep with the delta sequence while
+    /// the store is organized — the generation swap relies on that to
+    /// rotate the WAL down to exactly the catch-up suffix.
+    seq: u64,
+}
+
 /// The mutable core the state lock protects. Everything a query needs is
 /// cloned *out* of here at query start (generation handle + delta view);
 /// writers mutate under the lock; a generation swap replaces `gen` and
@@ -290,6 +351,10 @@ struct State {
     /// The epoch claimed by an in-flight rebuild (`None` when idle). At
     /// most one rebuild runs at a time.
     rebuild: Option<u64>,
+    /// WAL + manifest when the database is durable; `None` for in-memory /
+    /// cache-only databases (and during recovery replay, so replaying
+    /// logged writes does not re-log them).
+    durable: Option<DurableState>,
 }
 
 /// Shared interior of [`Database`]: everything queries, writers and the
@@ -380,11 +445,193 @@ impl Database {
                     schema_cfg: SchemaConfig::default(),
                     epoch: 0,
                     rebuild: None,
+                    durable: None,
                 }),
             }),
             config: ExecConfig::default(),
             auto: None,
         }
+    }
+
+    // ---- durability --------------------------------------------------------
+
+    /// Open (or create) a **durable** database in `dir` with the strictest
+    /// policy, [`SyncPolicy::Always`]: every write batch is fsync'd to the
+    /// write-ahead log before the call returns, so an acknowledged write
+    /// survives any crash. An existing directory is recovered: the live
+    /// checkpoint snapshot is reloaded, its layouts are rebuilt, and every
+    /// intact WAL record after the checkpoint is replayed (the log is
+    /// truncated at the first torn or corrupt frame).
+    pub fn open(dir: &Path) -> Result<Database, Error> {
+        Database::open_with_policy(dir, SyncPolicy::Always)
+    }
+
+    /// [`Database::open`] with an explicit durability policy.
+    pub fn open_with_policy(dir: &Path, policy: SyncPolicy) -> Result<Database, Error> {
+        fs::create_dir_all(dir)?;
+        match Manifest::read(dir)? {
+            None => Database::init_durable(dir, policy),
+            Some(m) => Database::recover(dir, m, policy),
+        }
+    }
+
+    /// Create a **fresh** durable database in `dir` (which must not already
+    /// hold one). Use [`Database::open`] to recover an existing directory.
+    pub fn create_durable(dir: &Path, policy: SyncPolicy) -> Result<Database, Error> {
+        fs::create_dir_all(dir)?;
+        if Manifest::path(dir).exists() {
+            return Err(Error::State(format!(
+                "{} already holds a durable database; use Database::open",
+                dir.display()
+            )));
+        }
+        Database::init_durable(dir, policy)
+    }
+
+    /// Commit the empty initial checkpoint (`snap.0` + `wal.0` + MANIFEST)
+    /// so any later crash finds a committed state to recover to.
+    // lock-order: acquires(db_state)
+    fn init_durable(dir: &Path, policy: SyncPolicy) -> Result<Database, Error> {
+        let db = Database::with_disk(Arc::new(DiskManager::create(&dir.join("data.db"))?));
+        let snap = StoreSnapshot {
+            base_seq: 0,
+            flags: LayoutFlags::default(),
+            schema_cfg: SchemaConfig::default(),
+            triples: Vec::new(),
+        };
+        snap.write_to(&Manifest::snap_path(dir, 0))?;
+        let wal = WalWriter::create(&Manifest::wal_path(dir, 0))?;
+        let m = Manifest {
+            snap_file: 0,
+            wal_file: 0,
+            base_seq: 0,
+        };
+        m.commit(dir)?;
+        // A half-created directory may hold leftovers from a crash before
+        // the first commit.
+        m.remove_orphans(dir)?;
+        db.inner.state.lock().durable = Some(DurableState {
+            dir: dir.to_path_buf(),
+            wal,
+            policy,
+            snap_file: 0,
+            wal_file: 0,
+            seq: 0,
+        });
+        Ok(db)
+    }
+
+    /// Recovery: reload the live checkpoint, rebuild its layouts in the
+    /// deterministic order `self_organize` → `build_cs_tables` →
+    /// `build_baseline`, then replay the WAL suffix through the public
+    /// write paths. The durable handle is installed only *after* the
+    /// replay, so replayed writes are not logged a second time.
+    // lock-order: acquires(db_state)
+    fn recover(dir: &Path, m: Manifest, policy: SyncPolicy) -> Result<Database, Error> {
+        let snap = StoreSnapshot::read_from(&Manifest::snap_path(dir, m.snap_file))?;
+        let (wal, records) = WalWriter::open_recover(&Manifest::wal_path(dir, m.wal_file))?;
+        // The page file is a derived cache: recovery rebuilds every column
+        // from the logical snapshot, so it starts from scratch.
+        let db = Database::with_disk(Arc::new(DiskManager::create(&dir.join("data.db"))?));
+        if !snap.triples.is_empty() {
+            db.load_terms(&snap.triples)?;
+        }
+        db.inner.state.lock().schema_cfg = snap.schema_cfg.clone();
+        if snap.flags.clustered {
+            db.self_organize()?;
+        }
+        if snap.flags.cs_parse_order {
+            db.build_cs_tables()?;
+        }
+        if snap.flags.baseline {
+            db.build_baseline()?;
+        }
+        if snap.flags.schema && !snap.flags.clustered && !snap.flags.cs_parse_order {
+            db.discover_schema(&snap.schema_cfg)?;
+        }
+        let mut last_seq = m.base_seq;
+        for (_lsn, seq, record) in records {
+            if seq <= m.base_seq {
+                continue; // already folded into the snapshot
+            }
+            match &record {
+                WalRecord::Insert(t) => {
+                    db.insert_terms(t)?;
+                }
+                WalRecord::Delete(t) => {
+                    db.delete_triples(t)?;
+                }
+                WalRecord::Load(t) => {
+                    db.load_terms(t)?;
+                }
+            }
+            last_seq = seq;
+        }
+        db.inner.state.lock().durable = Some(DurableState {
+            dir: dir.to_path_buf(),
+            wal,
+            policy,
+            snap_file: m.snap_file,
+            wal_file: m.wal_file,
+            seq: last_seq,
+        });
+        Ok(db)
+    }
+
+    /// Is this database durable (opened via [`Database::open`] /
+    /// [`Database::create_durable`])?
+    // lock-order: acquires(db_state)
+    pub fn is_durable(&self) -> bool {
+        self.inner.state.lock().durable.is_some()
+    }
+
+    /// Force any policy-deferred WAL tail to stable storage (a no-op under
+    /// [`SyncPolicy::Always`], and on non-durable databases).
+    // lock-order: acquires(db_state)
+    pub fn flush_wal(&self) -> Result<(), Error> {
+        if let Some(d) = self.inner.state.lock().durable.as_mut() {
+            d.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Write a full checkpoint: snapshot the current visible triples (base
+    /// merged with the delta), rotate to a fresh empty WAL and commit the
+    /// manifest, bounding both recovery replay time and log size. The
+    /// in-memory state is untouched — on recovery the checkpointed delta
+    /// simply starts out folded into the base, which is logically
+    /// equivalent. Errors on non-durable databases.
+    // lock-order: acquires(db_state, dict)
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        let mut st = self.inner.state.lock();
+        if st.durable.is_none() {
+            return Err(Error::State("not a durable database".into()));
+        }
+        checkpoint_locked(&mut st)
+    }
+
+    /// Merge the delta store's insert runs into one, physically dropping
+    /// run triples already killed by tombstones (which are kept — they
+    /// still filter the base). Off the write path: run it from a
+    /// maintenance thread when [`Database::delta_runs`] grows. Historical
+    /// snapshots below the current sequence are clamped up to it afterwards
+    /// (exactly like a reorganization folds history into the base).
+    /// Returns `false` (without compacting) while a rebuild is in flight —
+    /// the swap's catch-up fold needs the original per-batch runs.
+    // lock-order: acquires(db_state)
+    pub fn compact_delta(&self) -> Result<bool, Error> {
+        let mut st = self.inner.state.lock();
+        if st.rebuild.is_some() || st.delta.n_runs() <= 1 {
+            return Ok(false);
+        }
+        st.delta.compact_runs();
+        Ok(true)
+    }
+
+    /// Number of insert runs currently in the delta store.
+    // lock-order: acquires(db_state)
+    pub fn delta_runs(&self) -> usize {
+        self.inner.state.lock().delta.n_runs()
     }
 
     // ---- loading -----------------------------------------------------------
@@ -474,6 +721,11 @@ impl Database {
             }
             Ok(encoded)
         })?;
+        // Write-ahead: the batch reaches the log (and, under Always, the
+        // disk) before any in-memory structure sees it.
+        if st.durable.is_some() {
+            log_write(st, &WalRecord::Insert(triples.to_vec()))?;
+        }
         route_inserts(
             &mut st.write,
             st.gen.schema.as_deref(),
@@ -704,6 +956,15 @@ impl Database {
                         if let Ok(pin) = begin_rebuild(&inner) {
                             let _ = run_rebuild(&inner, pin, Some(reason), drift);
                         }
+                    } else {
+                        // Below the reorg thresholds: keep the delta lean by
+                        // merging accumulated small insert runs off the
+                        // write path (never mid-rebuild — the swap's
+                        // catch-up fold needs the per-batch runs).
+                        let mut st = inner.state.lock();
+                        if st.rebuild.is_none() && st.delta.n_runs() >= COMPACT_RUNS_THRESHOLD {
+                            st.delta.compact_runs();
+                        }
                     }
                 }
             })
@@ -741,6 +1002,7 @@ impl Database {
         let store = BaselineStore::build(&self.inner.dm, &spo);
         Arc::make_mut(&mut st.gen).baseline = Some(Arc::new(store));
         st.epoch += 1;
+        checkpoint_locked(&mut st)?;
         Ok(())
     }
 
@@ -748,7 +1010,12 @@ impl Database {
     // lock-order: acquires(db_state)
     pub fn discover_schema(&self, cfg: &SchemaConfig) -> Result<f64, Error> {
         let mut st = self.inner.state.lock();
-        discover_schema_locked(&mut st, cfg)
+        let epoch = st.epoch;
+        let coverage = discover_schema_locked(&mut st, cfg)?;
+        if st.epoch != epoch {
+            checkpoint_locked(&mut st)?;
+        }
+        Ok(coverage)
     }
 
     /// Build CS tables *without* renumbering OIDs (sparse segments) — the
@@ -756,7 +1023,12 @@ impl Database {
     // lock-order: acquires(db_state)
     pub fn build_cs_tables(&self) -> Result<(), Error> {
         let mut st = self.inner.state.lock();
-        build_cs_tables_locked(&mut st, &self.inner.dm)
+        let epoch = st.epoch;
+        build_cs_tables_locked(&mut st, &self.inner.dm)?;
+        if st.epoch != epoch {
+            checkpoint_locked(&mut st)?;
+        }
+        Ok(())
     }
 
     /// Self-organize: discover the schema (if not yet done), cluster subject
@@ -766,14 +1038,24 @@ impl Database {
     // lock-order: acquires(db_state)
     pub fn self_organize(&self) -> Result<Arc<EmergentSchema>, Error> {
         let mut st = self.inner.state.lock();
-        self_organize_locked(&mut st, &self.inner.dm, None)
+        let epoch = st.epoch;
+        let schema = self_organize_locked(&mut st, &self.inner.dm, None)?;
+        if st.epoch != epoch {
+            checkpoint_locked(&mut st)?;
+        }
+        Ok(schema)
     }
 
     /// Self-organize with an explicit clustering spec.
     // lock-order: acquires(db_state)
     pub fn self_organize_with(&self, spec: ClusterSpec) -> Result<Arc<EmergentSchema>, Error> {
         let mut st = self.inner.state.lock();
-        self_organize_locked(&mut st, &self.inner.dm, Some(spec))
+        let epoch = st.epoch;
+        let schema = self_organize_locked(&mut st, &self.inner.dm, Some(spec))?;
+        if st.epoch != epoch {
+            checkpoint_locked(&mut st)?;
+        }
+        Ok(schema)
     }
 
     /// The discovered schema, if any.
@@ -826,6 +1108,15 @@ impl Database {
     /// Buffer pool statistics.
     pub fn pool_stats(&self) -> PoolStats {
         self.inner.pool.stats()
+    }
+
+    /// Page-file occupancy as `(high-water page count, free-listed pages)`.
+    /// The difference is the pages holding live column data — the number
+    /// the generation GC keeps bounded across rebuild swaps (a swapped-out
+    /// generation's extents return to the free list when its last pin
+    /// drops, and new builds reuse them).
+    pub fn disk_pages(&self) -> (u64, usize) {
+        (self.inner.dm.n_pages(), self.inner.dm.n_free_pages())
     }
 
     /// The underlying buffer pool (advanced use: custom execution contexts,
@@ -1003,9 +1294,20 @@ impl Database {
     }
 }
 
+/// Insert-run count at which the auto-reorg thread compacts the delta
+/// between reorganizations (see [`Database::compact_delta`]).
+const COMPACT_RUNS_THRESHOLD: usize = 32;
+
 impl Drop for Database {
+    // lock-order: acquires(db_state)
     fn drop(&mut self) {
         self.stop_auto_reorg();
+        // A clean shutdown flushes any policy-deferred WAL tail; a failure
+        // here only widens the loss window back to what the policy already
+        // allowed, so it is not surfaced from Drop.
+        if let Some(d) = self.inner.state.lock().durable.as_mut() {
+            let _ = d.wal.sync();
+        }
     }
 }
 
@@ -1084,6 +1386,118 @@ fn drift_stats_locked(st: &State) -> DriftStats {
         unmatched_subjects: pending.saturating_sub(matched),
         per_class_fill: fill,
     }
+}
+
+/// Decode one encoded triple back to terms.
+fn decode_triple(dict: &Dictionary, t: Triple) -> Result<TermTriple, Error> {
+    Ok(TermTriple::new(
+        dict.decode(t.s)?,
+        dict.decode(t.p)?,
+        dict.decode(t.o)?,
+    ))
+}
+
+/// Decode encoded triples back to terms for WAL logging; `None` when the
+/// database is not durable (skips the decode entirely).
+// lock-order: acquires(dict)
+fn decode_for_log(st: &State, triples: &[Triple]) -> Result<Option<Vec<TermTriple>>, Error> {
+    if st.durable.is_none() {
+        return Ok(None);
+    }
+    let dict = st.gen.dict.read();
+    let mut out = Vec::with_capacity(triples.len());
+    for &t in triples {
+        out.push(decode_triple(&dict, t)?);
+    }
+    Ok(Some(out))
+}
+
+/// Append one write batch to the WAL *before* it is applied in-memory,
+/// honoring the sync policy (under [`SyncPolicy::Always`] the return IS the
+/// durability acknowledgment). No-op on non-durable databases. On failure
+/// the write is rejected and durability is disabled for the rest of the
+/// process: the record may or may not have reached the log, so continuing
+/// to log around it could silently diverge the log from the applied state —
+/// the caller sees the error, the in-memory store stays usable, and the
+/// on-disk state remains a consistent (possibly stale) prefix.
+fn log_write(st: &mut State, record: &WalRecord) -> Result<(), Error> {
+    let Some(d) = st.durable.as_mut() else {
+        return Ok(());
+    };
+    let seq = d.seq + 1;
+    match d
+        .wal
+        .append(seq, record)
+        .and_then(|_| d.wal.maybe_sync(d.policy))
+    {
+        Ok(()) => {
+            d.seq = seq;
+            Ok(())
+        }
+        Err(e) => {
+            st.durable = None;
+            Err(Error::Io(e))
+        }
+    }
+}
+
+/// Write a full checkpoint of the current state (see
+/// [`Database::checkpoint`]): snapshot = the *visible* triples (base minus
+/// tombstones plus delta inserts) decoded to terms, `base_seq` = the
+/// current log sequence; then a fresh WAL and an atomic manifest commit.
+/// A failure at any step leaves the previous snapshot + WAL pair live and
+/// consistent — the error is returned, durability stays enabled.
+// lock-order: acquires(dict)
+fn checkpoint_locked(st: &mut State) -> Result<(), Error> {
+    let triples = {
+        let Some(_) = st.durable.as_ref() else {
+            return Ok(());
+        };
+        let dict = st.gen.dict.read();
+        let view = st.delta.current_view();
+        let mut out = Vec::with_capacity(st.gen.triples.len() + view.map_or(0, |v| v.n_inserts()));
+        for &t in st.gen.triples.iter() {
+            if view.is_some_and(|v| v.is_deleted(t)) {
+                continue;
+            }
+            out.push(decode_triple(&dict, t)?);
+        }
+        for t in st.delta.visible_inserts() {
+            out.push(decode_triple(&dict, t)?);
+        }
+        out
+    };
+    let flags = LayoutFlags {
+        baseline: st.gen.baseline.is_some(),
+        cs_parse_order: st.gen.cs_parse_order.is_some(),
+        clustered: st.gen.clustered.is_some(),
+        schema: st.gen.schema.is_some(),
+    };
+    // sordf-lint: allow(L3) — the durable-handle check above returned early.
+    let d = st.durable.as_mut().unwrap();
+    let snap_n = d.snap_file + 1;
+    let wal_n = d.wal_file + 1;
+    let snap = StoreSnapshot {
+        base_seq: d.seq,
+        flags,
+        schema_cfg: st.schema_cfg.clone(),
+        triples,
+    };
+    snap.write_to(&Manifest::snap_path(&d.dir, snap_n))?;
+    let wal = WalWriter::create(&Manifest::wal_path(&d.dir, wal_n))?;
+    crash_point!("checkpoint.pre_manifest");
+    let m = Manifest {
+        snap_file: snap_n,
+        wal_file: wal_n,
+        base_seq: d.seq,
+    };
+    m.commit(&d.dir)?;
+    crash_point!("checkpoint.post_manifest");
+    d.wal = wal;
+    d.snap_file = snap_n;
+    d.wal_file = wal_n;
+    m.remove_orphans(&d.dir)?;
+    Ok(())
 }
 
 /// Pending delta writes make a *partial* rebuild unsound (the new store
@@ -1168,6 +1582,12 @@ fn load_terms_locked(st: &mut State, triples: &[TermTriple]) -> Result<usize, Er
         }
         Ok(enc)
     })?;
+    // Log after the encode proves the batch well-formed (so recovery can
+    // never trip over a record the live path rejected) but before any
+    // visible mutation. The collapse above is logically invisible.
+    if st.durable.is_some() {
+        log_write(st, &WalRecord::Load(triples.to_vec()))?;
+    }
     let gen = Arc::make_mut(&mut st.gen);
     Arc::make_mut(&mut gen.triples).extend(encoded);
     gen.baseline = None;
@@ -1187,6 +1607,9 @@ fn delete_encoded_locked(st: &mut State, targets: Vec<Triple>) -> Result<usize, 
     }
     if !st.gen.any_built() {
         // Staging mode: remove from the base set directly.
+        if let Some(terms) = decode_for_log(st, &targets)? {
+            log_write(st, &WalRecord::Delete(terms))?;
+        }
         let set: FxHashSet<Triple> = targets.into_iter().collect();
         let gen = Arc::make_mut(&mut st.gen);
         let triples = Arc::make_mut(&mut gen.triples);
@@ -1220,6 +1643,13 @@ fn delete_encoded_locked(st: &mut State, targets: Vec<Triple>) -> Result<usize, 
     };
     if visible.is_empty() {
         return Ok(0);
+    }
+    // Log the *resolved* visible triples: replay from the same state
+    // re-resolves to exactly this set, and zero-match deletes (skipped
+    // above) never consume a log sequence — keeping the log and the delta
+    // advancing in lockstep.
+    if let Some(terms) = decode_for_log(st, &visible)? {
+        log_write(st, &WalRecord::Delete(terms))?;
     }
     let n = visible.len();
     let _ = st.delta.delete(&visible);
@@ -1393,7 +1823,26 @@ struct RebuildPin {
     pin_seq: u64,
     epoch: u64,
     schema_cfg: SchemaConfig,
+    /// Durable bookkeeping captured at the pin (`None` on non-durable
+    /// databases): the directory and the log sequence the pinned fold
+    /// covers. The rebuild serializes its output as a snapshot *off-lock*
+    /// (to `snap.tmp` — the final numbered name is only known at swap
+    /// time) so the swap itself stays O(catch-up).
+    durable: Option<DurablePin>,
 }
+
+/// See [`RebuildPin::durable`].
+#[must_use]
+struct DurablePin {
+    dir: PathBuf,
+    /// Log sequence at the pin: the pre-swap snapshot folds exactly the
+    /// writes up to it, and the rotated WAL carries exactly the records
+    /// after it.
+    pin_log_seq: u64,
+}
+
+/// The staging name a rebuild's pre-swap snapshot is written under.
+const SNAP_TMP: &str = "snap.tmp";
 
 /// The output of a rebuild, before the swap wraps it into a published
 /// [`StoreGeneration`] (the dictionary stays unwrapped so the catch-up fold
@@ -1428,6 +1877,10 @@ fn begin_rebuild(inner: &DbInner) -> Result<RebuildPin, Error> {
         pin_seq: st.delta.seq(),
         epoch: st.epoch,
         schema_cfg: st.schema_cfg.clone(),
+        durable: st.durable.as_ref().map(|d| DurablePin {
+            dir: d.dir.clone(),
+            pin_log_seq: d.seq,
+        }),
     })
 }
 
@@ -1494,24 +1947,87 @@ fn build_generation(dm: &Arc<DiskManager>, pin: &RebuildPin) -> BuiltGeneration 
     out
 }
 
-/// Decode `triples` under the old generation's dictionary and re-encode
-/// them under the new (renumbered) one, interning terms first seen during
-/// the rebuild.
-fn reencode_triples(
-    old_dict: &Dictionary,
-    new_dict: &mut Dictionary,
-    triples: &[Triple],
-) -> Result<Vec<Triple>, Error> {
+/// Decode `triples` under a dictionary into term triples.
+fn decode_triples(dict: &Dictionary, triples: &[Triple]) -> Result<Vec<TermTriple>, Error> {
     let mut out = Vec::with_capacity(triples.len());
-    for t in triples {
-        let term = TermTriple::new(
-            old_dict.decode(t.s)?,
-            old_dict.decode(t.p)?,
-            old_dict.decode(t.o)?,
-        );
-        out.push(encode_triple_skolemized(new_dict, &term)?);
+    for &t in triples {
+        out.push(decode_triple(dict, t)?);
     }
     Ok(out)
+}
+
+/// Encode term triples under the new (renumbered) dictionary, interning
+/// terms first seen during the rebuild.
+fn encode_terms(new_dict: &mut Dictionary, terms: &[TermTriple]) -> Result<Vec<Triple>, Error> {
+    let mut out = Vec::with_capacity(terms.len());
+    for t in terms {
+        out.push(encode_triple_skolemized(new_dict, t)?);
+    }
+    Ok(out)
+}
+
+/// Serialize the built generation as the pre-swap checkpoint snapshot,
+/// off-lock, under the staging name [`SNAP_TMP`] (the swap renames it to
+/// its final number under the state lock, where the number is decided).
+fn write_rebuild_snapshot(
+    dp: &DurablePin,
+    pin: &RebuildPin,
+    built: &BuiltGeneration,
+) -> Result<(), Error> {
+    let triples = decode_triples(&built.ts.dict, &built.ts.triples)?;
+    let snap = StoreSnapshot {
+        base_seq: dp.pin_log_seq,
+        flags: LayoutFlags {
+            baseline: built.baseline.is_some(),
+            cs_parse_order: built.cs_parse_order.is_some(),
+            clustered: built.clustered.is_some(),
+            schema: built.schema.is_some(),
+        },
+        schema_cfg: pin.schema_cfg.clone(),
+        triples,
+    };
+    snap.write_to(&dp.dir.join(SNAP_TMP))?;
+    Ok(())
+}
+
+/// The durable half of the swap, under the state lock: rename the
+/// pre-written snapshot to its final number, rotate the WAL down to
+/// exactly the catch-up records, and commit the manifest atomically. A
+/// failure at any step leaves the previous snapshot + WAL pair live and
+/// mutually consistent (the caller then abandons the swap).
+fn commit_swap_durable(
+    dp: &DurablePin,
+    d: &mut DurableState,
+    records: &[WalRecord],
+) -> io::Result<()> {
+    let snap_n = d.snap_file + 1;
+    let wal_n = d.wal_file + 1;
+    fs::rename(dp.dir.join(SNAP_TMP), Manifest::snap_path(&d.dir, snap_n))?;
+    let mut wal = WalWriter::create(&Manifest::wal_path(&d.dir, wal_n))?;
+    let mut seq = dp.pin_log_seq;
+    for rec in records {
+        seq += 1;
+        wal.append(seq, rec)?;
+    }
+    wal.sync()?;
+    crash_point!("swap.pre_manifest");
+    let m = Manifest {
+        snap_file: snap_n,
+        wal_file: wal_n,
+        base_seq: dp.pin_log_seq,
+    };
+    m.commit(&d.dir)?;
+    crash_point!("swap.post_manifest");
+    debug_assert_eq!(
+        d.seq, seq,
+        "catch-up records must cover every logged write since the pin"
+    );
+    d.wal = wal;
+    d.snap_file = snap_n;
+    d.wal_file = wal_n;
+    d.seq = seq;
+    m.remove_orphans(&d.dir)?;
+    Ok(())
 }
 
 /// The swap: install the built generation, folding every write that
@@ -1526,6 +2042,11 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
         st.rebuild = None;
     }
     if st.epoch != pin.epoch {
+        if let Some(dp) = &pin.durable {
+            // Best-effort: the orphaned staging snapshot is simply
+            // overwritten by the next rebuild.
+            let _ = fs::remove_file(dp.dir.join(SNAP_TMP));
+        }
         return Ok(false);
     }
     let st = &mut *st;
@@ -1533,6 +2054,11 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
     let mut new_dict = built.ts.dict;
     let mut new_delta = DeltaStore::with_base_seq(pin.pin_seq);
     let mut new_write: Option<WriteState> = None;
+    // Re-serialize the catch-up writes (term-level) for the rotated WAL.
+    // Skipped when durability lapsed mid-rebuild (a failed log append
+    // disables it) — the disk then keeps its last consistent state.
+    let durable_live = pin.durable.is_some() && st.durable.is_some();
+    let mut catch_up_records: Vec<WalRecord> = Vec::new();
     {
         // Decode under the *current* generation's dictionary — it extends
         // the pinned one (same numbering, possibly COW-replaced by an
@@ -1546,7 +2072,11 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
         for (seq, w) in catch_up {
             let applied = match w {
                 DeltaWrite::Insert(triples) => {
-                    let enc = reencode_triples(&old_dict, &mut new_dict, &triples)?;
+                    let terms = decode_triples(&old_dict, &triples)?;
+                    let enc = encode_terms(&mut new_dict, &terms)?;
+                    if durable_live {
+                        catch_up_records.push(WalRecord::Insert(terms));
+                    }
                     route_inserts(
                         &mut new_write,
                         built.schema.as_deref(),
@@ -1556,7 +2086,11 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
                     new_delta.insert_run(enc)
                 }
                 DeltaWrite::Delete(triples) => {
-                    let enc = reencode_triples(&old_dict, &mut new_dict, &triples)?;
+                    let terms = decode_triples(&old_dict, &triples)?;
+                    let enc = encode_terms(&mut new_dict, &terms)?;
+                    if durable_live {
+                        catch_up_records.push(WalRecord::Delete(terms));
+                    }
                     new_delta.delete(&enc)
                 }
             };
@@ -1570,6 +2104,16 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
     if built.clustered.is_some() && new_dict.n_strings() > built.strings_sorted_len {
         // Catch-up inserts interned strings past the freshly sorted pool.
         new_delta.set_strings_appended();
+    }
+    if durable_live {
+        // Durable commit before the in-memory install: on failure the swap
+        // is abandoned wholesale — old generation, old snapshot + WAL pair,
+        // everything stays live and mutually consistent.
+        // sordf-lint: allow(L3) — durable_live checked both sides above.
+        let dp = pin.durable.as_ref().unwrap();
+        // sordf-lint: allow(L3) — durable_live checked both sides above.
+        let d = st.durable.as_mut().unwrap();
+        commit_swap_durable(dp, d, &catch_up_records)?;
     }
     st.gen = Arc::new(StoreGeneration {
         dict: Arc::new(RwLock::new(new_dict)),
@@ -1610,6 +2154,14 @@ fn run_rebuild(
             return Err(Error::Exec(panic_message(payload)));
         }
     };
+    // Serialize the pre-swap checkpoint while still off-lock, so the swap
+    // itself stays O(catch-up) — never O(data).
+    if let Some(dp) = &pin.durable {
+        if let Err(e) = write_rebuild_snapshot(dp, &pin, &built) {
+            release_rebuild_claim(inner, pin.epoch);
+            return Err(e);
+        }
+    }
     let irregular_ratio_after = built
         .clustered
         .as_ref()
@@ -1724,8 +2276,7 @@ mod tests {
     use super::*;
     use sordf_model::Term;
 
-    fn sample_db() -> Database {
-        let db = Database::in_temp_dir().unwrap();
+    fn sample_triples() -> Vec<TermTriple> {
         let mut triples = Vec::new();
         for i in 0..50u64 {
             let s = format!("http://ex/item{i}");
@@ -1740,7 +2291,12 @@ mod tests {
                 Term::date(&format!("1996-01-{:02}", (i % 28) + 1)),
             ));
         }
-        db.load_terms(&triples).unwrap();
+        triples
+    }
+
+    fn sample_db() -> Database {
+        let db = Database::in_temp_dir().unwrap();
+        db.load_terms(&sample_triples()).unwrap();
         db
     }
 
@@ -2374,5 +2930,154 @@ mod tests {
         assert!(!db.auto_reorg_running());
         db.stop_auto_reorg(); // idempotent
         assert_eq!(db.query(q).unwrap().canonical(&db.dict()), want);
+    }
+
+    // ---- durability ---------------------------------------------------------
+
+    fn durable_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // ordering: Relaxed — unique temp names only.
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("sordf-core-{tag}-{}-{n}", std::process::id()))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            // sordf-lint: allow(L7) — best-effort temp cleanup in a test.
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    const DQ: &str = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+
+    #[test]
+    fn durable_writes_survive_reopen() {
+        let dir = durable_dir("reopen");
+        let _c = Cleanup(dir.clone());
+        let want = {
+            let db = Database::create_durable(&dir, SyncPolicy::Always).unwrap();
+            assert!(db.is_durable());
+            db.load_terms(&sample_triples()).unwrap();
+            db.self_organize().unwrap();
+            db.insert_ntriples(
+                r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/new1> <http://ex/sold> "1996-02-01"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+            )
+            .unwrap();
+            let victim = TermTriple::new(
+                Term::iri("http://ex/item3"),
+                Term::iri("http://ex/qty"),
+                Term::int(3),
+            );
+            assert_eq!(db.delete_triples(std::slice::from_ref(&victim)).unwrap(), 1);
+            db.query(DQ).unwrap().canonical(&db.dict())
+        };
+        // Re-open from disk: the checkpoint restores the organized base and
+        // the WAL suffix replays the insert and the delete.
+        let db = Database::open(&dir).unwrap();
+        assert!(db.is_durable());
+        assert_eq!(db.query(DQ).unwrap().canonical(&db.dict()), want);
+        // The recovered database accepts (and logs) further writes.
+        db.insert_ntriples(
+            r#"<http://ex/new2> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        assert_eq!(db.query(DQ).unwrap().len(), want.len() + 1);
+    }
+
+    #[test]
+    fn checkpoint_rotates_the_wal_and_bounds_replay() {
+        let dir = durable_dir("checkpoint");
+        let _c = Cleanup(dir.clone());
+        let want = {
+            let db = Database::create_durable(&dir, SyncPolicy::Always).unwrap();
+            db.load_terms(&sample_triples()).unwrap();
+            db.build_baseline().unwrap();
+            // build_baseline checkpointed: the pair rotated past (0, 0).
+            let m = Manifest::read(&dir).unwrap().unwrap();
+            assert!(m.snap_file >= 1 && m.wal_file >= 1);
+            db.insert_ntriples(
+                r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+            )
+            .unwrap();
+            db.checkpoint().unwrap();
+            let m2 = Manifest::read(&dir).unwrap().unwrap();
+            assert_eq!(m2.snap_file, m.snap_file + 1);
+            assert_eq!(m2.wal_file, m.wal_file + 1);
+            // Post-checkpoint writes land in the fresh WAL.
+            db.insert_ntriples(
+                r#"<http://ex/new2> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+            )
+            .unwrap();
+            db.query(DQ).unwrap().canonical(&db.dict())
+        };
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.query(DQ).unwrap().canonical(&db.dict()), want);
+    }
+
+    #[test]
+    fn background_swap_rotates_the_durable_pair() {
+        let dir = durable_dir("swap");
+        let _c = Cleanup(dir.clone());
+        let want = {
+            let db = Database::create_durable(&dir, SyncPolicy::Always).unwrap();
+            db.load_terms(&sample_triples()).unwrap();
+            db.self_organize().unwrap();
+            let m = Manifest::read(&dir).unwrap().unwrap();
+            db.insert_ntriples(
+                r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/new1> <http://ex/sold> "1996-02-02"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+            )
+            .unwrap();
+            db.reorganize_now().unwrap();
+            // The swap committed a fresh snapshot + WAL pair.
+            let m2 = Manifest::read(&dir).unwrap().unwrap();
+            assert_eq!(m2.snap_file, m.snap_file + 1);
+            assert_eq!(m2.wal_file, m.wal_file + 1);
+            assert!(!dir.join(SNAP_TMP).exists(), "staging file renamed away");
+            db.query(DQ).unwrap().canonical(&db.dict())
+        };
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.query(DQ).unwrap().canonical(&db.dict()), want);
+        assert!(
+            db.clustered_store().is_some(),
+            "recovery rebuilt the organized layout"
+        );
+    }
+
+    #[test]
+    fn create_durable_refuses_an_existing_store() {
+        let dir = durable_dir("refuse");
+        let _c = Cleanup(dir.clone());
+        drop(Database::create_durable(&dir, SyncPolicy::Always).unwrap());
+        assert!(matches!(
+            Database::create_durable(&dir, SyncPolicy::Always),
+            Err(Error::State(_))
+        ));
+        // But open recovers it fine.
+        Database::open(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_delta_merges_runs_and_preserves_answers() {
+        let db = sample_db();
+        db.self_organize().unwrap();
+        for i in 0..3 {
+            db.insert_ntriples(&format!(
+                r#"<http://ex/extra{i}> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#
+            ))
+            .unwrap();
+        }
+        db.delete_matching(Some(&Term::iri("http://ex/extra1")), None, None)
+            .unwrap();
+        assert_eq!(db.delta_runs(), 3);
+        let before = db.query(DQ).unwrap().canonical(&db.dict());
+        assert!(db.compact_delta().unwrap());
+        assert_eq!(db.delta_runs(), 1, "runs merged");
+        assert_eq!(db.query(DQ).unwrap().canonical(&db.dict()), before);
+        // Idempotent: a single run with no pending work compacts to nothing.
+        assert!(!db.compact_delta().unwrap());
     }
 }

@@ -24,6 +24,7 @@
 //! | L4 | std-sync ban: `std::sync::{Mutex, RwLock, Condvar, ...}` are forbidden — use the vendored `parking_lot` shim |
 //! | L5 | guard hygiene: structs named `*Guard`/`*Pin`/`*Handle` (and the known handle types) must be `#[must_use]` |
 //! | L6 | atomic-ordering audit: every `Ordering::Relaxed`/`Acquire`/… needs an `// ordering:` justification comment in its function |
+//! | L7 | durable-write discipline: in the WAL/manifest/page-file write paths an I/O `Result` must not be silently discarded (`let _ = …` or a trailing `.ok();`) |
 
 pub mod lexer;
 
@@ -65,6 +66,7 @@ pub struct Scope {
     pub l4: bool,
     pub l5: bool,
     pub l6: bool,
+    pub l7: bool,
 }
 
 impl Scope {
@@ -76,6 +78,7 @@ impl Scope {
             l4: true,
             l5: true,
             l6: true,
+            l7: true,
         }
     }
 }
@@ -105,6 +108,16 @@ pub fn classify(rel: &str) -> Option<Scope> {
             s.l2 = true;
             s.l3 = true;
         }
+    }
+    // The durable write paths additionally get the discarded-io::Result
+    // rule: an error swallowed there silently forfeits the crash guarantee.
+    if matches!(
+        rel.as_str(),
+        "crates/storage/src/wal.rs"
+            | "crates/storage/src/manifest.rs"
+            | "crates/columnar/src/disk.rs"
+    ) {
+        s.l7 = true;
     }
     Some(s)
 }
@@ -139,9 +152,10 @@ const MUST_USE_SUFFIXES: [&str; 3] = ["Guard", "Pin", "Handle"];
 const MUST_USE_EXTRA: [&str; 2] = ["BackgroundReorg", "Snapshot"];
 /// Method names too generic to resolve by bare name in the call graph
 /// (qualified `Type::name` calls still resolve).
-const GENERIC_METHODS: [&str; 22] = [
-    "read", "write", "lock", "get", "new", "len", "insert", "remove", "push", "next", "iter",
-    "clone", "drop", "fmt", "eq", "cmp", "hash", "default", "from", "into", "as_ref", "index",
+const GENERIC_METHODS: [&str; 23] = [
+    "read", "write", "open", "lock", "get", "new", "len", "insert", "remove", "push", "next",
+    "iter", "clone", "drop", "fmt", "eq", "cmp", "hash", "default", "from", "into", "as_ref",
+    "index",
 ];
 const KEYWORDS: [&str; 28] = [
     "if", "while", "match", "for", "loop", "return", "move", "in", "as", "let", "else", "ref",
@@ -214,6 +228,7 @@ pub fn lint_sources(files: &[(String, String)], force_scope: Option<Scope>) -> V
         check_l4(fd, &mut diags);
         check_l5(fd, &mut diags);
         check_l6(fi, fd, &fns, &mut diags);
+        check_l7(fd, &mut diags);
     }
     check_l1(&data, &fns, &mut diags);
     check_l2(&data, &fns, &mut diags);
@@ -267,9 +282,9 @@ fn parse_allows(comments: &[Comment], path: &str, diags: &mut Vec<Diagnostic>) -
         let valid = !rules.is_empty()
             && rules
                 .iter()
-                .all(|r| matches!(r.as_str(), "L1" | "L2" | "L3" | "L4" | "L5" | "L6"));
+                .all(|r| matches!(r.as_str(), "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7"));
         if !valid {
-            malformed(diags, "unknown rule id (expected L1..L6)");
+            malformed(diags, "unknown rule id (expected L1..L7)");
             continue;
         }
         let reason = after
@@ -1078,6 +1093,110 @@ fn check_l6(fi: usize, fd: &FileData, fns: &[FnInfo], diags: &mut Vec<Diagnostic
                      in the enclosing function"
                 ),
             });
+        }
+    }
+}
+
+/// Fallible write-path I/O operations whose `io::Result` L7 requires to be
+/// handled (by name, followed by a call's `(`).
+const IO_WRITE_CALLS: [&str; 13] = [
+    "write",
+    "write_all",
+    "sync_all",
+    "sync_data",
+    "flush",
+    "rename",
+    "remove_file",
+    "remove_dir_all",
+    "set_len",
+    "create",
+    "create_new",
+    "create_dir_all",
+    "truncate",
+];
+
+fn is_io_call(toks: &[Token], i: usize) -> bool {
+    matches!(&toks[i].tok, Tok::Ident(name)
+        if IO_WRITE_CALLS.contains(&name.as_str()) && is_punct(toks, i + 1, '('))
+}
+
+fn check_l7(fd: &FileData, diags: &mut Vec<Diagnostic>) {
+    if !fd.scope.l7 {
+        return;
+    }
+    let toks = &fd.lexed.tokens;
+    let flag = |name: &str, line: u32, diags: &mut Vec<Diagnostic>| {
+        diags.push(Diagnostic {
+            file: fd.path.clone(),
+            line,
+            rule: "L7",
+            msg: format!(
+                "`{name}` result discarded on the durable write path — a swallowed I/O \
+                 error silently forfeits the crash guarantee; propagate it, or add \
+                 `// sordf-lint: allow(L7) — <reason>`"
+            ),
+        });
+    };
+    for i in 0..toks.len() {
+        if in_regions(&fd.test_regions, i) {
+            continue;
+        }
+        // `let _ = <expr containing a write call>;`
+        if ident(toks, i) == Some("let")
+            && ident(toks, i + 1) == Some("_")
+            && is_punct(toks, i + 2, '=')
+        {
+            let mut depth = 0usize;
+            let mut j = i + 3;
+            while j < toks.len() {
+                match toks[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                        depth = depth.saturating_sub(1)
+                    }
+                    Tok::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                if is_io_call(toks, j) {
+                    flag(ident(toks, j).unwrap_or("?"), toks[i].line, diags);
+                    break;
+                }
+                j += 1;
+            }
+        }
+        // `<expr with a write call>.ok();` — result dropped on the floor.
+        if ident(toks, i) == Some("ok")
+            && i >= 1
+            && is_punct(toks, i - 1, '.')
+            && is_punct(toks, i + 1, '(')
+            && is_punct(toks, i + 2, ')')
+            && is_punct(toks, i + 3, ';')
+        {
+            // Walk the receiver chain back to the statement start, looking
+            // for a write call at the chain's own nesting level.
+            let mut depth = 0usize;
+            let mut j = i - 1;
+            loop {
+                match toks[j].tok {
+                    Tok::Punct(')') | Tok::Punct(']') => depth += 1,
+                    Tok::Punct('(') | Tok::Punct('[') => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') if depth == 0 => break,
+                    _ => {}
+                }
+                if depth == 0 && is_io_call(toks, j) {
+                    flag(ident(toks, j).unwrap_or("?"), toks[i].line, diags);
+                    break;
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
         }
     }
 }

@@ -1,0 +1,31 @@
+//! L7 fixture: discarded write-path I/O results; the propagating function,
+//! the reasoned allow, and test regions are clean.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+
+fn discards_sync(f: &mut File) {
+    let _ = f.sync_all();
+}
+
+fn swallows_rename(a: &std::path::Path, b: &std::path::Path) {
+    fs::rename(a, b).ok();
+}
+
+fn propagates(f: &mut File, buf: &[u8]) -> io::Result<()> {
+    f.write_all(buf)?;
+    f.sync_data()
+}
+
+fn allowed_cleanup(p: &std::path::Path) {
+    // sordf-lint: allow(L7) — best-effort cleanup, no caller to notify.
+    let _ = fs::remove_file(p);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let _ = std::fs::remove_file("scratch");
+    }
+}

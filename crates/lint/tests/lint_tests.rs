@@ -79,6 +79,17 @@ fn l6_flags_unjustified_ordering_only() {
 }
 
 #[test]
+fn l7_flags_discarded_write_path_io_results() {
+    let diags = lint_fixture("bad_l7.rs");
+    assert_eq!(lines(&diags, "L7"), vec![8, 12], "{diags:#?}");
+    assert_eq!(
+        diags.len(),
+        2,
+        "propagating / allowed / test code is clean: {diags:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_produces_no_diagnostics() {
     let diags = lint_fixture("clean.rs");
     assert!(diags.is_empty(), "{diags:#?}");
@@ -102,6 +113,9 @@ fn classify_scopes_rules_by_tree_location() {
     // Concurrency-critical crates get the full rule set.
     let core = classify("crates/core/src/lib.rs").expect("core is in scope");
     assert!(core.l1 && core.l2 && core.l3 && core.l4 && core.l5 && core.l6);
+    assert!(!core.l7, "L7 is reserved for the durable write-path files");
+    let wal = classify("crates/storage/src/wal.rs").expect("wal is in scope");
+    assert!(wal.l7 && wal.l2 && wal.l3);
     // Bench binaries keep the API-hygiene rules but not the panic/lock-graph
     // rules reserved for the concurrent store itself.
     let bench = classify("crates/bench/src/bin/bench_parallel.rs").expect("bench is in scope");

@@ -1,8 +1,9 @@
 //! The exhaustive-indexing baseline store (MonetDB+HSP / RDF-3X layout).
 
 use crate::perm::{Order, PermIndex};
-use sordf_columnar::{BufferPool, DiskManager};
+use sordf_columnar::{BufferPool, DiskManager, PageLease};
 use sordf_model::{Oid, Triple};
+use std::sync::Arc;
 
 /// All six sorted permutation projections over one triple table.
 ///
@@ -15,18 +16,30 @@ use sordf_model::{Oid, Triple};
 pub struct BaselineStore {
     perms: Vec<PermIndex>,
     n_triples: usize,
+    /// Leases this store's pages from the disk manager: when the last clone
+    /// (i.e. the last generation pin referencing this store) drops, the
+    /// pages return to the free list. Shared across clones so the extent is
+    /// freed exactly once.
+    _lease: Arc<PageLease>,
 }
 
 impl BaselineStore {
     /// Build all six projections.
-    pub fn build(disk: &DiskManager, triples: &[Triple]) -> BaselineStore {
-        let perms = Order::ALL
+    pub fn build(disk: &Arc<DiskManager>, triples: &[Triple]) -> BaselineStore {
+        let perms: Vec<PermIndex> = Order::ALL
             .iter()
             .map(|&o| PermIndex::build(disk, triples, o))
             .collect();
+        let mut pages = Vec::new();
+        for perm in &perms {
+            for i in 0..3 {
+                pages.extend_from_slice(perm.col(i).page_ids());
+            }
+        }
         BaselineStore {
             perms,
             n_triples: triples.len(),
+            _lease: Arc::new(PageLease::new(Arc::clone(disk), pages)),
         }
     }
 

@@ -137,6 +137,10 @@ pub struct ClusteredStore {
     pub irregular: BaselineStore,
     /// Triples stored in segments (columns + side tables).
     pub n_regular: usize,
+    /// Leases the *segment* pages (the irregular store leases its own):
+    /// freed when the last clone drops. Shared across clones so the extent
+    /// is freed exactly once.
+    _lease: std::sync::Arc<sordf_columnar::PageLease>,
 }
 
 impl ClusteredStore {
@@ -170,7 +174,7 @@ impl ClusteredStore {
 /// Refreshes `schema` column statistics (min/max/non-null) from the built
 /// columns' zone maps, so stats stay valid after reorganization.
 pub fn build_clustered(
-    disk: &DiskManager,
+    disk: &std::sync::Arc<DiskManager>,
     triples_spo: &[Triple],
     schema: &mut EmergentSchema,
     spec: &ClusterSpec,
@@ -313,10 +317,27 @@ pub fn build_clustered(
     }
 
     let irregular_store = BaselineStore::build(disk, &irregular);
+    let mut pages = Vec::new();
+    for seg in &segments {
+        if let SubjectIds::Sparse { subjects } = &seg.subjects {
+            pages.extend_from_slice(subjects.page_ids());
+        }
+        for col in &seg.columns {
+            pages.extend_from_slice(col.page_ids());
+        }
+        for mt in &seg.multi {
+            pages.extend_from_slice(mt.s.page_ids());
+            pages.extend_from_slice(mt.o.page_ids());
+        }
+    }
     ClusteredStore {
         segments,
         irregular: irregular_store,
         n_regular,
+        _lease: std::sync::Arc::new(sordf_columnar::PageLease::new(
+            std::sync::Arc::clone(disk),
+            pages,
+        )),
     }
 }
 

@@ -30,14 +30,18 @@ pub mod baseline;
 pub mod clustered;
 pub mod delta;
 pub mod generation;
+pub mod manifest;
 pub mod perm;
 pub mod reorg;
 pub mod triple_set;
+pub mod wal;
 
 pub use baseline::BaselineStore;
 pub use clustered::{build_clustered, ClassSegment, ClusteredStore, MultiTable};
 pub use delta::{DeltaStore, DeltaView, DeltaWrite, Snapshot};
 pub use generation::{DictPin, GenerationHandle, StoreGeneration};
+pub use manifest::{LayoutFlags, Manifest, StoreSnapshot};
 pub use perm::{Order, PermIndex};
 pub use reorg::{reorganize, ClusterSpec, ReorgReport};
 pub use triple_set::{encode_term_skolemized, encode_triple_skolemized, TripleSet};
+pub use wal::{SyncPolicy, WalRecord, WalWriter};

@@ -1,0 +1,490 @@
+//! The durable directory: manifest + checkpoint snapshots.
+//!
+//! A durable database lives in one directory:
+//!
+//! ```text
+//! <dir>/MANIFEST    which snapshot + WAL are live (atomically replaced)
+//! <dir>/snap.<N>    checkpoint: the base generation as a logical dump
+//! <dir>/wal.<N>     write-ahead log of batches since that checkpoint
+//! <dir>/data.db     page file — a *derived cache*, rebuilt on recovery
+//! ```
+//!
+//! The commit protocol is the classic atomic-replace dance: write the new
+//! snapshot, fsync it, write `MANIFEST.tmp`, fsync it, rename over
+//! `MANIFEST`, fsync the directory. A crash before the rename leaves the
+//! old manifest pointing at the old snapshot + WAL (both still present);
+//! a crash after it leaves the new pair live — there is no intermediate
+//! state. Stale `snap.*`/`wal.*` files are deleted only after the rename.
+//!
+//! Snapshots are **logical**: the decoded base triples in N-Triples text,
+//! plus which layouts were built and the schema configuration, checksummed
+//! as one frame. Recovery reloads the triples and rebuilds the layouts
+//! deterministically — OID numbering may differ from the pre-crash store
+//! (exactly as it would after a reorganization), logical content does not.
+
+use sordf_columnar::crash_point;
+use sordf_model::{ntriples, TermTriple};
+use sordf_schema::SchemaConfig;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::wal::crc32;
+
+const SNAP_MAGIC: &[u8; 8] = b"SORDFSNP";
+const SNAP_VERSION: u32 = 1;
+
+/// The manifest file name inside a durable directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Which snapshot + WAL pair is live, plus the base sequence number the
+/// snapshot folds up to (replayed WAL records with `seq <= base_seq` are
+/// already inside the snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Manifest {
+    /// `snap.<N>` holds the live checkpoint.
+    pub snap_file: u64,
+    /// `wal.<N>` holds the live log.
+    pub wal_file: u64,
+    /// Delta sequence number the snapshot covers.
+    pub base_seq: u64,
+}
+
+impl Manifest {
+    /// Path of the manifest inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// Path of snapshot `n` inside `dir`.
+    pub fn snap_path(dir: &Path, n: u64) -> PathBuf {
+        dir.join(format!("snap.{n}"))
+    }
+
+    /// Path of WAL `n` inside `dir`.
+    pub fn wal_path(dir: &Path, n: u64) -> PathBuf {
+        dir.join(format!("wal.{n}"))
+    }
+
+    /// Read the manifest, or `None` if the directory has none (a fresh or
+    /// never-committed directory). A malformed manifest is an error — the
+    /// atomic-replace protocol never leaves one behind, so damage means
+    /// something external happened and silently starting empty would be
+    /// data loss.
+    pub fn read(dir: &Path) -> io::Result<Option<Manifest>> {
+        let path = Manifest::path(dir);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let corrupt =
+            |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {msg}"));
+        let text = std::str::from_utf8(&bytes).map_err(|_| corrupt("not UTF-8"))?;
+        let mut snap = None;
+        let mut wal = None;
+        let mut base_seq = None;
+        let mut crc_line = None;
+        let mut body_len = 0usize;
+        for line in text.lines() {
+            if let Some(v) = line.strip_prefix("crc = ") {
+                crc_line = Some(v.trim().to_string());
+                break;
+            }
+            body_len += line.len() + 1;
+            let Some((k, v)) = line.split_once(" = ") else {
+                continue;
+            };
+            let v: u64 = v.trim().parse().map_err(|_| corrupt("bad number"))?;
+            match k.trim() {
+                "snap" => snap = Some(v),
+                "wal" => wal = Some(v),
+                "base_seq" => base_seq = Some(v),
+                _ => {}
+            }
+        }
+        let crc_line = crc_line.ok_or_else(|| corrupt("missing crc"))?;
+        let want = u32::from_str_radix(&crc_line, 16).map_err(|_| corrupt("bad crc"))?;
+        if crc32(&bytes[..body_len.min(bytes.len())]) != want {
+            return Err(corrupt("checksum mismatch"));
+        }
+        match (snap, wal, base_seq) {
+            (Some(snap_file), Some(wal_file), Some(base_seq)) => Ok(Some(Manifest {
+                snap_file,
+                wal_file,
+                base_seq,
+            })),
+            _ => Err(corrupt("missing field")),
+        }
+    }
+
+    /// Atomically replace the manifest in `dir` with this one: tmp file +
+    /// fsync + rename + directory fsync.
+    pub fn commit(&self, dir: &Path) -> io::Result<()> {
+        let mut body = String::new();
+        body.push_str("sordf-manifest v1\n");
+        body.push_str(&format!("snap = {}\n", self.snap_file));
+        body.push_str(&format!("wal = {}\n", self.wal_file));
+        body.push_str(&format!("base_seq = {}\n", self.base_seq));
+        let crc = crc32(body.as_bytes());
+        let full = format!("{body}crc = {crc:08x}\n");
+        let tmp = dir.join("MANIFEST.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(full.as_bytes())?;
+            f.sync_data()?;
+        }
+        crash_point!("manifest.pre_rename");
+        fs::rename(&tmp, Manifest::path(dir))?;
+        crash_point!("manifest.post_rename");
+        sync_dir(dir)
+    }
+
+    /// Delete every `snap.*`/`wal.*` in `dir` other than the live pair.
+    /// Called after a successful commit; failures to unlink an orphan are
+    /// returned but harmless to retry (recovery ignores orphans).
+    pub fn remove_orphans(&self, dir: &Path) -> io::Result<()> {
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let stale = match name.split_once('.') {
+                // A rebuild stages its snapshot at `snap.tmp` before the
+                // rename; one left behind belongs to a crashed swap.
+                Some(("snap", "tmp")) => true,
+                Some(("snap", n)) => n
+                    .parse::<u64>()
+                    .map(|n| n != self.snap_file)
+                    .unwrap_or(false),
+                Some(("wal", n)) => n
+                    .parse::<u64>()
+                    .map(|n| n != self.wal_file)
+                    .unwrap_or(false),
+                Some(("MANIFEST", "tmp")) => true,
+                _ => false,
+            };
+            if stale {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fsync a directory so a rename inside it is durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Which store layouts a snapshot's generation had built (recovery rebuilds
+/// the same set, in the deterministic order `self_organize` →
+/// `build_cs_tables` → `build_baseline`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayoutFlags {
+    pub baseline: bool,
+    pub cs_parse_order: bool,
+    pub clustered: bool,
+    pub schema: bool,
+}
+
+impl LayoutFlags {
+    fn to_byte(self) -> u8 {
+        (self.baseline as u8)
+            | (self.cs_parse_order as u8) << 1
+            | (self.clustered as u8) << 2
+            | (self.schema as u8) << 3
+    }
+
+    fn from_byte(b: u8) -> LayoutFlags {
+        LayoutFlags {
+            baseline: b & 1 != 0,
+            cs_parse_order: b & 2 != 0,
+            clustered: b & 4 != 0,
+            schema: b & 8 != 0,
+        }
+    }
+}
+
+/// A checkpoint: the logical content of the base generation plus everything
+/// needed to rebuild its physical layouts deterministically.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    /// Delta sequence number this snapshot folds up to.
+    pub base_seq: u64,
+    /// Layouts to rebuild on recovery.
+    pub flags: LayoutFlags,
+    /// Schema-discovery configuration the layouts were built with.
+    pub schema_cfg: SchemaConfig,
+    /// The base triples, decoded to terms.
+    pub triples: Vec<TermTriple>,
+}
+
+impl StoreSnapshot {
+    /// Write the snapshot to `path` and fsync it. Layout: magic + version,
+    /// then one CRC-framed body (config, flags, base_seq, N-Triples text).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&self.base_seq.to_le_bytes());
+        body.push(self.flags.to_byte());
+        encode_schema_cfg(&self.schema_cfg, &mut body);
+        let mut text = Vec::new();
+        ntriples::write_document(&mut text, &self.triples)?;
+        body.extend_from_slice(&(text.len() as u64).to_le_bytes());
+        body.extend_from_slice(&text);
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        f.write_all(SNAP_MAGIC)?;
+        f.write_all(&SNAP_VERSION.to_le_bytes())?;
+        f.write_all(&(body.len() as u64).to_le_bytes())?;
+        f.write_all(&crc32(&body).to_le_bytes())?;
+        f.write_all(&body)?;
+        crash_point!("snap.pre_sync");
+        f.sync_data()?;
+        crash_point!("snap.post_sync");
+        Ok(())
+    }
+
+    /// Read and verify a snapshot. Any damage is an error: a snapshot is
+    /// only ever referenced by a manifest *after* being fully written and
+    /// fsynced, so a bad one means external corruption, not a torn write.
+    pub fn read_from(path: &Path) -> io::Result<StoreSnapshot> {
+        let corrupt =
+            |msg: &str| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {msg}"));
+        let mut f = File::open(path)?;
+        let mut header = [0u8; 24];
+        f.read_exact(&mut header)?;
+        if &header[..8] != SNAP_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if u32::from_le_bytes([header[8], header[9], header[10], header[11]]) != SNAP_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let body_len = u64::from_le_bytes([
+            header[12], header[13], header[14], header[15], header[16], header[17], header[18],
+            header[19],
+        ]);
+        let want_crc = u32::from_le_bytes([header[20], header[21], header[22], header[23]]);
+        let mut body = Vec::new();
+        f.read_to_end(&mut body)?;
+        if body.len() as u64 != body_len {
+            return Err(corrupt("length mismatch"));
+        }
+        if crc32(&body) != want_crc {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut off = 0usize;
+        let base_seq = read_u64(&body, &mut off).ok_or_else(|| corrupt("truncated"))?;
+        let flags = LayoutFlags::from_byte(*body.get(off).ok_or_else(|| corrupt("truncated"))?);
+        off += 1;
+        let schema_cfg = decode_schema_cfg(&body, &mut off).ok_or_else(|| corrupt("bad config"))?;
+        let text_len = read_u64(&body, &mut off).ok_or_else(|| corrupt("truncated"))? as usize;
+        let text = body
+            .get(off..off + text_len)
+            .ok_or_else(|| corrupt("truncated"))?;
+        let text = std::str::from_utf8(text).map_err(|_| corrupt("not UTF-8"))?;
+        let triples = ntriples::parse_document(text)
+            .map_err(|e| corrupt(&format!("unparseable triples: {e}")))?;
+        Ok(StoreSnapshot {
+            base_seq,
+            flags,
+            schema_cfg,
+            triples,
+        })
+    }
+}
+
+fn read_u64(body: &[u8], off: &mut usize) -> Option<u64> {
+    let bytes = body.get(*off..*off + 8)?;
+    *off += 8;
+    Some(u64::from_le_bytes([
+        bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+    ]))
+}
+
+/// Serialize every `SchemaConfig` field in a fixed order; floats as raw
+/// bits so the round trip is exact.
+fn encode_schema_cfg(cfg: &SchemaConfig, out: &mut Vec<u8>) {
+    out.extend_from_slice(&cfg.min_support.to_le_bytes());
+    for f in [
+        cfg.nullable_min_presence,
+        cfg.merge_overlap,
+        cfg.merge_jaccard,
+        cfg.type_dominance,
+        cfg.variant_min_frac,
+        cfg.fk_threshold,
+        cfg.multi_split_frac,
+        cfg.multi_split_mean,
+    ] {
+        out.extend_from_slice(&f.to_bits().to_le_bytes());
+    }
+    out.push(cfg.unify_one_to_one as u8);
+}
+
+fn decode_schema_cfg(body: &[u8], off: &mut usize) -> Option<SchemaConfig> {
+    let min_support = read_u64(body, off)?;
+    let mut floats = [0f64; 8];
+    for f in floats.iter_mut() {
+        *f = f64::from_bits(read_u64(body, off)?);
+    }
+    let unify = *body.get(*off)?;
+    *off += 1;
+    Some(SchemaConfig {
+        min_support,
+        nullable_min_presence: floats[0],
+        merge_overlap: floats[1],
+        merge_jaccard: floats[2],
+        type_dominance: floats[3],
+        variant_min_frac: floats[4],
+        fk_threshold: floats[5],
+        multi_split_frac: floats[6],
+        multi_split_mean: floats[7],
+        unify_one_to_one: unify != 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sordf_model::Term;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // ordering: Relaxed — unique temp names only.
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("sordf-manifest-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            // sordf-lint: allow(L7) — best-effort temp cleanup in a test.
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_missing() {
+        let dir = temp_dir("roundtrip");
+        let _c = Cleanup(dir.clone());
+        assert!(Manifest::read(&dir).unwrap().is_none());
+        let m = Manifest {
+            snap_file: 3,
+            wal_file: 7,
+            base_seq: 42,
+        };
+        m.commit(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), Some(m));
+        // Replace: the new manifest fully supersedes the old.
+        let m2 = Manifest {
+            snap_file: 4,
+            wal_file: 8,
+            base_seq: 50,
+        };
+        m2.commit(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), Some(m2));
+    }
+
+    #[test]
+    fn tampered_manifest_is_an_error_not_empty() {
+        let dir = temp_dir("tamper");
+        let _c = Cleanup(dir.clone());
+        let m = Manifest {
+            snap_file: 1,
+            wal_file: 1,
+            base_seq: 0,
+        };
+        m.commit(&dir).unwrap();
+        let path = Manifest::path(&dir);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("snap = 1", "snap = 2")).unwrap();
+        assert!(Manifest::read(&dir).is_err(), "checksum must catch edits");
+    }
+
+    #[test]
+    fn remove_orphans_keeps_the_live_pair() {
+        let dir = temp_dir("orphans");
+        let _c = Cleanup(dir.clone());
+        for n in [1u64, 2] {
+            fs::write(Manifest::snap_path(&dir, n), b"s").unwrap();
+            fs::write(Manifest::wal_path(&dir, n), b"w").unwrap();
+        }
+        fs::write(dir.join("snap.tmp"), b"staged").unwrap();
+        let m = Manifest {
+            snap_file: 2,
+            wal_file: 2,
+            base_seq: 0,
+        };
+        m.remove_orphans(&dir).unwrap();
+        assert!(!Manifest::snap_path(&dir, 1).exists());
+        assert!(!Manifest::wal_path(&dir, 1).exists());
+        assert!(!dir.join("snap.tmp").exists());
+        assert!(Manifest::snap_path(&dir, 2).exists());
+        assert!(Manifest::wal_path(&dir, 2).exists());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = temp_dir("snap");
+        let _c = Cleanup(dir.clone());
+        let triples: Vec<TermTriple> = (0..5)
+            .map(|i| {
+                TermTriple::new(
+                    Term::iri(format!("http://e/s{i}")),
+                    Term::iri("http://e/p"),
+                    Term::int(i),
+                )
+            })
+            .collect();
+        let snap = StoreSnapshot {
+            base_seq: 9,
+            flags: LayoutFlags {
+                baseline: true,
+                cs_parse_order: false,
+                clustered: true,
+                schema: true,
+            },
+            schema_cfg: SchemaConfig {
+                min_support: 5,
+                ..SchemaConfig::default()
+            },
+            triples: triples.clone(),
+        };
+        let path = Manifest::snap_path(&dir, 0);
+        snap.write_to(&path).unwrap();
+        let back = StoreSnapshot::read_from(&path).unwrap();
+        assert_eq!(back.base_seq, 9);
+        assert_eq!(back.flags, snap.flags);
+        assert_eq!(back.schema_cfg.min_support, 5);
+        assert_eq!(back.triples, triples);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let dir = temp_dir("snapbad");
+        let _c = Cleanup(dir.clone());
+        let snap = StoreSnapshot {
+            base_seq: 0,
+            flags: LayoutFlags::default(),
+            schema_cfg: SchemaConfig::default(),
+            triples: vec![TermTriple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/p"),
+                Term::int(1),
+            )],
+        };
+        let path = Manifest::snap_path(&dir, 0);
+        snap.write_to(&path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert!(StoreSnapshot::read_from(&path).is_err());
+    }
+}

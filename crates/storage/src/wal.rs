@@ -1,0 +1,499 @@
+//! The per-database write-ahead log.
+//!
+//! Every `insert`/`delete`/`load` batch appends one length+checksum-framed
+//! record *before* it is applied to the in-memory
+//! [`DeltaStore`](crate::DeltaStore); recovery replays intact records in
+//! order and
+//! truncates the log at the first torn or corrupt frame. Records carry the
+//! batch's delta **sequence number** and the triples in N-Triples text —
+//! term-level, not OID-level, because a generation swap renumbers the
+//! dictionary and OIDs in a log would go stale.
+//!
+//! ## File format
+//!
+//! ```text
+//! [magic "SORDFWAL"][version u32 LE][reserved u32]
+//! frame*: [len u32 LE][crc32 u32 LE][payload: len bytes]
+//! payload: [seq u64 LE][kind u8][N-Triples UTF-8 text]
+//! ```
+//!
+//! The CRC (IEEE 802.3, same polynomial as gzip) covers the payload only;
+//! `len` is sanity-bounded before allocation so a corrupt length can't ask
+//! for gigabytes. A *torn* frame — short header, short payload, CRC
+//! mismatch, or unparseable text — ends recovery: everything before it is
+//! replayed, the file is truncated back to the last intact frame, and new
+//! appends continue from there. An fsync'd (acknowledged) record is never
+//! behind a torn one, so acknowledged writes are never dropped.
+//!
+//! ## Durability policy
+//!
+//! [`SyncPolicy`] decides when appends reach stable storage: `Always`
+//! fsyncs every batch (each return from a write IS the acknowledgment),
+//! `IntervalMs(n)` fsyncs at most every `n` ms (bounded loss window),
+//! `Never` leaves it to the OS (crash loses the tail; recovery still gets
+//! a consistent prefix).
+
+use sordf_columnar::crash_point;
+use sordf_model::{ntriples, TermTriple};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const MAGIC: &[u8; 8] = b"SORDFWAL";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+/// Sanity bound on one frame's payload (a batch of N-Triples text).
+const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// IEEE 802.3 CRC-32, table-driven; the table is built at compile time so
+/// the crate stays dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// When WAL appends reach stable storage. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// fsync after every batch: zero acknowledged-write loss.
+    Always,
+    /// fsync at most every `n` milliseconds (checked on the write path —
+    /// no background flusher thread): bounded loss window.
+    IntervalMs(u64),
+    /// Never fsync explicitly; the OS flushes eventually.
+    Never,
+}
+
+/// One logged write batch, in term (not OID) space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An `insert_terms` batch.
+    Insert(Vec<TermTriple>),
+    /// A `delete_triples`/`delete_matching` batch (the resolved triples).
+    Delete(Vec<TermTriple>),
+    /// A `load_terms` batch (pre-organization staging writes: collapses
+    /// into the base instead of the delta on replay, like the original).
+    Load(Vec<TermTriple>),
+}
+
+impl WalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::Insert(_) => 0,
+            WalRecord::Delete(_) => 1,
+            WalRecord::Load(_) => 2,
+        }
+    }
+
+    fn triples(&self) -> &[TermTriple] {
+        match self {
+            WalRecord::Insert(t) | WalRecord::Delete(t) | WalRecord::Load(t) => t,
+        }
+    }
+
+    fn from_kind(kind: u8, triples: Vec<TermTriple>) -> Option<WalRecord> {
+        match kind {
+            0 => Some(WalRecord::Insert(triples)),
+            1 => Some(WalRecord::Delete(triples)),
+            2 => Some(WalRecord::Load(triples)),
+            _ => None,
+        }
+    }
+}
+
+/// One record recovered from the log: `(lsn, seq, record)`, `lsn` being
+/// the file offset just *after* the record's frame.
+pub type RecoveredRecord = (u64, u64, WalRecord);
+
+/// Append side of the log. Construct via [`WalWriter::create`] (fresh log)
+/// or [`WalWriter::open_recover`] (replay + truncate-at-first-tear).
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    /// Byte offset of the log end == the LSN of the next record.
+    end: u64,
+    /// Unsynced appends are pending.
+    dirty: bool,
+    last_sync: Instant,
+}
+
+impl WalWriter {
+    /// Create (truncate) a fresh log at `path` and fsync its header, so a
+    /// crash right after creation recovers an empty log, not a missing one.
+    pub fn create(path: &Path) -> io::Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            end: HEADER_LEN,
+            dirty: false,
+            last_sync: Instant::now(),
+        })
+    }
+
+    /// Open an existing log (or create one if missing), replaying every
+    /// intact record and truncating the file back to the last intact frame.
+    /// Returns the writer positioned to append, plus the recovered records
+    /// as `(lsn, seq, record)` — `lsn` being the offset *after* the frame.
+    pub fn open_recover(path: &Path) -> io::Result<(WalWriter, Vec<RecoveredRecord>)> {
+        if !path.exists() {
+            return Ok((WalWriter::create(path)?, Vec::new()));
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        let header_ok = {
+            let mut read = 0usize;
+            loop {
+                match file.read(&mut header[read..]) {
+                    Ok(0) => break read == header.len(),
+                    Ok(n) => {
+                        read += n;
+                        if read == header.len() {
+                            break true;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        };
+        if !header_ok
+            || &header[..8] != MAGIC
+            || u32::from_le_bytes([header[8], header[9], header[10], header[11]]) != VERSION
+        {
+            // The header itself is damaged: nothing in the file can be
+            // trusted, start over with an empty log.
+            drop(file);
+            return Ok((WalWriter::create(path)?, Vec::new()));
+        }
+        let mut records = Vec::new();
+        let mut good_end = HEADER_LEN;
+        let mut buf = Vec::new();
+        loop {
+            let mut frame_header = [0u8; 8];
+            if !read_exact_or_eof(&mut file, &mut frame_header)? {
+                break;
+            }
+            let len = u32::from_le_bytes([
+                frame_header[0],
+                frame_header[1],
+                frame_header[2],
+                frame_header[3],
+            ]);
+            let crc = u32::from_le_bytes([
+                frame_header[4],
+                frame_header[5],
+                frame_header[6],
+                frame_header[7],
+            ]);
+            if !(9..=MAX_FRAME_LEN).contains(&len) {
+                break;
+            }
+            buf.clear();
+            buf.resize(len as usize, 0);
+            if !read_exact_or_eof(&mut file, &mut buf)? {
+                break;
+            }
+            if crc32(&buf) != crc {
+                break;
+            }
+            let seq = u64::from_le_bytes([
+                buf[0], buf[1], buf[2], buf[3], buf[4], buf[5], buf[6], buf[7],
+            ]);
+            let kind = buf[8];
+            let Ok(text) = std::str::from_utf8(&buf[9..]) else {
+                break;
+            };
+            let Ok(triples) = ntriples::parse_document(text) else {
+                break;
+            };
+            let Some(record) = WalRecord::from_kind(kind, triples) else {
+                break;
+            };
+            good_end += 8 + len as u64;
+            records.push((good_end, seq, record));
+        }
+        // Truncate the torn/corrupt tail so appends continue from the last
+        // intact frame (and a later recovery never re-reads the tear).
+        file.set_len(good_end)?;
+        file.sync_data()?;
+        file.seek(SeekFrom::Start(good_end))?;
+        Ok((
+            WalWriter {
+                file,
+                path: path.to_path_buf(),
+                end: good_end,
+                dirty: false,
+                last_sync: Instant::now(),
+            },
+            records,
+        ))
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The current end-of-log offset (the next record's LSN).
+    pub fn lsn(&self) -> u64 {
+        self.end
+    }
+
+    /// Append one record; returns its LSN (offset after the frame). The
+    /// record is in the OS page cache after this returns — call
+    /// [`WalWriter::sync`] (or let [`WalWriter::maybe_sync`] decide) to
+    /// make it crash-durable.
+    pub fn append(&mut self, seq: u64, record: &WalRecord) -> io::Result<u64> {
+        let mut payload = Vec::with_capacity(64 * record.triples().len() + 9);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        payload.push(record.kind());
+        ntriples::write_document(&mut payload, record.triples())?;
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_FRAME_LEN)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "WAL batch too large"))?;
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        crash_point!("wal.pre_append");
+        self.file.write_all(&frame)?;
+        crash_point!("wal.post_append");
+        self.end += frame.len() as u64;
+        self.dirty = true;
+        Ok(self.end)
+    }
+
+    /// Force appended records to stable storage (the acknowledgment
+    /// barrier). No-op when nothing is pending.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        crash_point!("wal.pre_sync");
+        self.file.sync_data()?;
+        crash_point!("wal.post_sync");
+        self.dirty = false;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Apply the durability policy after an append.
+    pub fn maybe_sync(&mut self, policy: SyncPolicy) -> io::Result<()> {
+        match policy {
+            SyncPolicy::Always => self.sync(),
+            SyncPolicy::IntervalMs(ms) => {
+                if self.dirty && self.last_sync.elapsed().as_millis() >= u128::from(ms) {
+                    self.sync()
+                } else {
+                    Ok(())
+                }
+            }
+            SyncPolicy::Never => Ok(()),
+        }
+    }
+}
+
+/// Read exactly `buf.len()` bytes from the current position; `Ok(false)` on
+/// a clean or mid-buffer EOF (a torn tail), `Err` on real I/O failure.
+fn read_exact_or_eof(file: &mut File, buf: &mut [u8]) -> io::Result<bool> {
+    let mut read = 0usize;
+    while read < buf.len() {
+        match file.read(&mut buf[read..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => read += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sordf_model::Term;
+
+    fn tt(i: u64) -> TermTriple {
+        TermTriple::new(
+            Term::iri(format!("http://e/s{i}")),
+            Term::iri("http://e/p"),
+            Term::int(i as i64),
+        )
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // ordering: Relaxed — unique temp names only.
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("sordf-wal-{tag}-{}-{n}.wal", std::process::id()))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            // sordf-lint: allow(L7) — best-effort temp cleanup in a test.
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_recover_roundtrip() {
+        let path = temp_path("roundtrip");
+        let _c = Cleanup(path.clone());
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(1, &WalRecord::Insert(vec![tt(0), tt(1)]))
+            .unwrap();
+        wal.append(2, &WalRecord::Delete(vec![tt(0)])).unwrap();
+        wal.append(3, &WalRecord::Load(vec![tt(2)])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (wal, records) = WalWriter::open_recover(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].1, 1);
+        assert_eq!(records[0].2, WalRecord::Insert(vec![tt(0), tt(1)]));
+        assert_eq!(records[1].2, WalRecord::Delete(vec![tt(0)]));
+        assert_eq!(records[2].2, WalRecord::Load(vec![tt(2)]));
+        assert_eq!(records[2].0, wal.lsn(), "last record's lsn is the log end");
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let path = temp_path("torn");
+        let _c = Cleanup(path.clone());
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(1, &WalRecord::Insert(vec![tt(0)])).unwrap();
+        let good_end = wal.append(2, &WalRecord::Insert(vec![tt(1)])).unwrap();
+        wal.append(3, &WalRecord::Insert(vec![tt(2)])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Tear the last frame: chop 3 bytes off the file.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let (wal, records) = WalWriter::open_recover(&path).unwrap();
+        assert_eq!(records.len(), 2, "the torn record is dropped");
+        assert_eq!(records.last().unwrap().1, 2);
+        assert_eq!(
+            wal.lsn(),
+            good_end,
+            "file truncated to the last intact frame"
+        );
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_end);
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected_and_later_frames_dropped() {
+        let path = temp_path("corrupt");
+        let _c = Cleanup(path.clone());
+        let mut wal = WalWriter::create(&path).unwrap();
+        let end1 = wal.append(1, &WalRecord::Insert(vec![tt(0)])).unwrap();
+        wal.append(2, &WalRecord::Insert(vec![tt(1)])).unwrap();
+        wal.append(3, &WalRecord::Insert(vec![tt(2)])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Flip one payload byte of the second record: its CRC must reject
+        // it, and record 3 (though intact on disk) must not be replayed —
+        // the log is only trustworthy up to the first tear.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = end1 as usize + 8 + 9; // second frame's first text byte
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (wal, records) = WalWriter::open_recover(&path).unwrap();
+        assert_eq!(records.len(), 1, "only the prefix before the tear");
+        assert_eq!(wal.lsn(), end1);
+    }
+
+    #[test]
+    fn appends_continue_after_recovery() {
+        let path = temp_path("continue");
+        let _c = Cleanup(path.clone());
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(1, &WalRecord::Insert(vec![tt(0)])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (mut wal, _) = WalWriter::open_recover(&path).unwrap();
+        wal.append(2, &WalRecord::Insert(vec![tt(1)])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, records) = WalWriter::open_recover(&path).unwrap();
+        assert_eq!(records.iter().map(|r| r.1).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn damaged_header_restarts_the_log() {
+        let path = temp_path("header");
+        let _c = Cleanup(path.clone());
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(1, &WalRecord::Insert(vec![tt(0)])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        let (mut wal, records) = WalWriter::open_recover(&path).unwrap();
+        assert!(records.is_empty(), "an untrusted header empties the log");
+        assert_eq!(wal.lsn(), HEADER_LEN);
+        wal.append(1, &WalRecord::Insert(vec![tt(9)])).unwrap();
+        wal.sync().unwrap();
+    }
+
+    #[test]
+    fn interval_policy_bounds_sync_frequency() {
+        let path = temp_path("interval");
+        let _c = Cleanup(path.clone());
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(1, &WalRecord::Insert(vec![tt(0)])).unwrap();
+        // A huge interval: maybe_sync leaves the record unsynced...
+        wal.maybe_sync(SyncPolicy::IntervalMs(3_600_000)).unwrap();
+        // ...while Always forces it out.
+        wal.maybe_sync(SyncPolicy::Always).unwrap();
+        // A zero interval syncs immediately on the next append.
+        wal.append(2, &WalRecord::Insert(vec![tt(1)])).unwrap();
+        wal.maybe_sync(SyncPolicy::IntervalMs(0)).unwrap();
+    }
+}

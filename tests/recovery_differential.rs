@@ -1,0 +1,346 @@
+//! Crash-recovery differential suite: a durable database killed at random
+//! points (and, with `--features crash_points`, at *every* labeled
+//! WAL/snapshot/manifest boundary) must recover to a state that equals a
+//! prefix of the write history — and the prefix must cover every write that
+//! was acknowledged before the kill.
+//!
+//! Mechanics: the parent test re-execs its own test binary to run
+//! [`child_writer_process`] against a shared directory. The child opens
+//! (recovering on every respawn), organizes on first contact, then appends
+//! deterministic batches — each one `insert_terms` call, so one WAL record —
+//! printing `ACK <i>` only after the call returns (under
+//! [`SyncPolicy::Always`] that means the record is fsync'd). Interleaved
+//! `reorganize_now` and `checkpoint` calls exercise the swap and rotation
+//! protocols under fire. The parent SIGKILLs the child after a ramped
+//! delay, reopens the directory, and checks the invariant:
+//!
+//! * recovered batches form a contiguous prefix `0..k`;
+//! * `k` is at least one past the highest acknowledged batch;
+//! * the triple count is exactly what that prefix implies (nothing torn,
+//!   nothing duplicated — replaying a `Load`/`Insert` record twice would
+//!   show up here).
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use sordf::{Database, SyncPolicy};
+use sordf_model::{Term, TermTriple};
+
+const MARKER: &str = "http://ex/recovery/marker";
+const N_BATCHES: usize = 60;
+/// Triples per batch besides the marker.
+const FILLERS: usize = 5;
+const CHILD_ENV: &str = "SORDF_RECOVERY_CHILD";
+
+fn base_data() -> Vec<TermTriple> {
+    let mut triples = Vec::new();
+    for i in 0..40u64 {
+        let s = format!("http://ex/item{i}");
+        triples.push(TermTriple::new(
+            Term::iri(s.clone()),
+            Term::iri("http://ex/qty"),
+            Term::int((i % 10) as i64),
+        ));
+        triples.push(TermTriple::new(
+            Term::iri(s),
+            Term::iri("http://ex/sold"),
+            Term::date(&format!("1996-01-{:02}", (i % 28) + 1)),
+        ));
+    }
+    triples
+}
+
+fn batch(i: usize) -> Vec<TermTriple> {
+    // Zero-padded so no subject IRI is a prefix of another (the contiguity
+    // check below matches rendered rows by substring).
+    let s = format!("http://ex/recovery/b{i:04}");
+    let mut out = vec![TermTriple::new(
+        Term::iri(s.clone()),
+        Term::iri(MARKER),
+        Term::int(i as i64),
+    )];
+    for j in 0..FILLERS {
+        out.push(TermTriple::new(
+            Term::iri(s.clone()),
+            Term::iri(format!("http://ex/recovery/p{j}")),
+            Term::int((i * FILLERS + j) as i64),
+        ));
+    }
+    out
+}
+
+/// Count of recovered batches, asserting they form a contiguous prefix and
+/// that the store holds exactly the triples that prefix implies.
+fn verify_prefix(db: &Database, min_batches: i64) -> usize {
+    if db.schema().is_none() {
+        // Killed before the first self_organize checkpoint committed: no
+        // layouts recovered, so no batch can have been acknowledged yet.
+        assert!(
+            min_batches < 0,
+            "acknowledged batches but no organized layout recovered"
+        );
+        return 0;
+    }
+    let rs = db
+        .query(&format!("SELECT ?s ?i WHERE {{ ?s <{MARKER}> ?i . }}"))
+        .expect("marker query");
+    let k = rs.len();
+    let rows = rs.canonical(&db.dict());
+    for i in 0..k {
+        let s = format!("http://ex/recovery/b{i:04}");
+        assert!(
+            rows.iter().any(|r| r.contains(&s)),
+            "batches are not a contiguous prefix: {k} markers but batch {i} missing\n{rows:?}"
+        );
+    }
+    assert!(
+        (k as i64) > min_batches,
+        "lost acknowledged writes: {} acked, only {k} batches recovered",
+        min_batches + 1
+    );
+    assert_eq!(
+        db.n_triples(),
+        base_data().len() + k * (1 + FILLERS),
+        "triple count disagrees with a clean prefix of {k} batches"
+    );
+    k
+}
+
+/// The re-exec'd writer. A no-op unless [`CHILD_ENV`] points at the target
+/// directory (so plain `cargo test` skips it).
+#[test]
+fn child_writer_process() {
+    let Ok(dir) = std::env::var(CHILD_ENV) else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let db = Database::open(&dir).expect("child open");
+    if db.schema().is_none() {
+        if db.n_triples() == 0 {
+            db.load_terms(&base_data()).expect("child base load");
+        }
+        db.self_organize().expect("child organize");
+        println!("ORG");
+    }
+    let done = db
+        .query(&format!("SELECT ?s WHERE {{ ?s <{MARKER}> ?i . }}"))
+        .expect("child marker query")
+        .len();
+    for i in done..N_BATCHES {
+        db.insert_terms(&batch(i)).expect("child insert");
+        // Acknowledged: under SyncPolicy::Always the WAL record is on disk.
+        println!("ACK {i}");
+        if i % 6 == 2 {
+            db.reorganize_now().expect("child reorganize");
+        }
+        if i % 9 == 4 {
+            db.checkpoint().expect("child checkpoint");
+        }
+    }
+    println!("DONE");
+}
+
+enum Event {
+    Ack(i64),
+    Done,
+    Eof,
+}
+
+fn spawn_child(dir: &Path, crash_point: Option<&str>) -> (Child, mpsc::Receiver<Event>) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("child_writer_process")
+        .arg("--exact")
+        .arg("--nocapture")
+        .env(CHILD_ENV, dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    match crash_point {
+        Some(label) => cmd
+            .env("SORDF_CRASH_POINT", label)
+            .env("SORDF_CRASH_HITS", "1"),
+        None => cmd
+            .env_remove("SORDF_CRASH_POINT")
+            .env_remove("SORDF_CRASH_HITS"),
+    };
+    let mut child = cmd.spawn().expect("spawn child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let reader = std::io::BufReader::new(stdout);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if let Some(n) = line.strip_prefix("ACK ") {
+                if let Ok(n) = n.trim().parse::<i64>() {
+                    let _ = tx.send(Event::Ack(n));
+                }
+            } else if line.trim() == "DONE" {
+                let _ = tx.send(Event::Done);
+            }
+        }
+        let _ = tx.send(Event::Eof);
+    });
+    (child, rx)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    // ordering: Relaxed — unique temp names only.
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sordf-recovery-{tag}-{}-{n}", std::process::id()))
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The crash loop: SIGKILL the writer at pseudo-random (schedule-jittered)
+/// points, verifying the prefix invariant after every kill. A killed
+/// writer is respawned and resumes from the recovered prefix; once it
+/// completes, the directory is wiped and a fresh cycle starts, until
+/// enough mid-run kills have been witnessed. The delay ramps slowly so a
+/// completion (and thus termination) is guaranteed.
+#[test]
+fn crash_loop_loses_no_acknowledged_write() {
+    let dir = temp_dir("loop");
+    let _c = Cleanup(dir.clone());
+    let mut max_ack: i64 = -1;
+    let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut kills = 0u32;
+    let mut completions = 0u32;
+    for iter in 0u64.. {
+        assert!(iter < 150, "crash loop made no progress ({kills} kills)");
+        if kills >= 5 && completions >= 1 {
+            break;
+        }
+        let (mut child, rx) = spawn_child(&dir, None);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let delay = 5 + (lcg >> 33) % 50 + 2 * iter;
+        std::thread::sleep(Duration::from_millis(delay));
+        child.kill().expect("kill child");
+        child.wait().expect("reap child");
+        let mut done = false;
+        // Drain everything the child got out before the kill.
+        while let Ok(ev) = rx.recv_timeout(Duration::from_secs(10)) {
+            match ev {
+                Event::Ack(n) => max_ack = max_ack.max(n),
+                Event::Done => done = true,
+                Event::Eof => break,
+            }
+        }
+        let db = Database::open(&dir).expect("parent reopen");
+        let k = verify_prefix(&db, max_ack);
+        drop(db);
+        if done {
+            assert_eq!(k, N_BATCHES, "DONE printed but batches missing");
+            completions += 1;
+            // Fresh cycle: wipe so the next writer starts from zero (a
+            // resumed writer has ever less work and outruns the kill).
+            std::fs::remove_dir_all(&dir).expect("wipe between cycles");
+            max_ack = -1;
+        } else {
+            // The next spawn resumes from k; keep the floor monotone.
+            max_ack = max_ack.max(k as i64 - 1);
+            kills += 1;
+        }
+    }
+    assert!(
+        kills >= 5 && completions >= 1,
+        "kills={kills} completions={completions}"
+    );
+}
+
+/// Deterministic fault coverage: abort the writer at every labeled crash
+/// point (WAL append/sync, snapshot sync, manifest rename, checkpoint and
+/// swap commit), then recover and verify, then let it run to completion.
+/// Needs the `crash_points` feature, which compiles the labels in.
+#[cfg(feature = "crash_points")]
+#[test]
+fn every_crash_point_recovers() {
+    for &label in sordf::CRASH_POINTS {
+        let dir = temp_dir(&label.replace('.', "-"));
+        let _c = Cleanup(dir.clone());
+        let (mut child, rx) = spawn_child(&dir, Some(label));
+        let status = child.wait().expect("reap child");
+        let mut max_ack: i64 = -1;
+        while let Ok(ev) = rx.recv_timeout(Duration::from_secs(60)) {
+            match ev {
+                Event::Ack(n) => max_ack = max_ack.max(n),
+                Event::Done | Event::Eof => break,
+            }
+        }
+        assert!(
+            !status.success(),
+            "crash point {label} was never hit (writer exited cleanly)"
+        );
+        {
+            let db = Database::open(&dir)
+                .unwrap_or_else(|e| panic!("recovery after abort at {label}: {e}"));
+            verify_prefix(&db, max_ack);
+        }
+        // A clean rerun must finish the job from wherever the abort left it.
+        let (mut child, rx) = spawn_child(&dir, None);
+        let status = child.wait().expect("reap clean child");
+        assert!(status.success(), "clean rerun after {label} failed");
+        drop(rx);
+        let db = Database::open(&dir).expect("final open");
+        let k = verify_prefix(&db, max_ack);
+        assert_eq!(
+            k, N_BATCHES,
+            "clean rerun after {label} left batches missing"
+        );
+    }
+}
+
+/// Generation GC: sustained write → reorganize cycles must not grow the
+/// page file without bound. The swapped-out generation's extents return to
+/// the free list when its last pin drops, and the next build reuses them —
+/// so the high-water mark plateaus after the first couple of swaps.
+#[test]
+fn generation_gc_bounds_page_file_growth() {
+    let db = Database::in_temp_dir().unwrap();
+    db.load_terms(&base_data()).unwrap();
+    db.self_organize().unwrap();
+    let mut high_water = Vec::new();
+    for round in 0..7usize {
+        db.insert_terms(&batch(round)).unwrap();
+        db.reorganize_now().unwrap();
+        high_water.push(db.disk_pages().0);
+    }
+    let after_two = high_water[1];
+    let final_hw = *high_water.last().unwrap();
+    assert!(
+        final_hw <= after_two + 8,
+        "page file grows without bound across swaps: {high_water:?}"
+    );
+    let (hw, free) = db.disk_pages();
+    assert!(
+        free > 0 && (free as u64) < hw,
+        "free list should hold the retired generation's pages: hw={hw} free={free}"
+    );
+    // The durable round-trip of that same churn: open a durable store, do
+    // the cycles, and make sure recovery agrees with the live answers.
+    let dir = temp_dir("gc-durable");
+    let _c = Cleanup(dir.clone());
+    let want = {
+        let db = Database::create_durable(&dir, SyncPolicy::Always).unwrap();
+        db.load_terms(&base_data()).unwrap();
+        db.self_organize().unwrap();
+        for round in 0..5usize {
+            db.insert_terms(&batch(round)).unwrap();
+            db.reorganize_now().unwrap();
+        }
+        db.n_triples()
+    };
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(db.n_triples(), want, "durable churn survived reopen");
+}
