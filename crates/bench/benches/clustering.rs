@@ -26,6 +26,7 @@ SELECT ?li ?price WHERE {
         let exec = ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
+            ..Default::default()
         };
         let db = rig.db(generation);
         group.bench_with_input(BenchmarkId::from_parameter(label), q, |b, q| {

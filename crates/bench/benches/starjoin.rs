@@ -32,6 +32,7 @@ fn bench_starjoin(c: &mut Criterion) {
             let exec = ExecConfig {
                 scheme,
                 zonemaps: true,
+                ..Default::default()
             };
             let db = rig.db(Generation::Clustered);
             group.bench_with_input(BenchmarkId::new(label, width), &q, |b, q| {

@@ -22,6 +22,7 @@ fn bench_table1(c: &mut Criterion) {
             let exec = sordf::ExecConfig {
                 scheme: cfg.scheme,
                 zonemaps: cfg.zonemaps,
+                ..Default::default()
             };
             group.bench_with_input(
                 BenchmarkId::from_parameter(cfg.label.trim()),

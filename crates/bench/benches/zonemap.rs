@@ -28,6 +28,7 @@ SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
             let exec = ExecConfig {
                 scheme: PlanScheme::RdfScanJoin,
                 zonemaps: zm,
+                ..Default::default()
             };
             let db = rig.db(Generation::Clustered);
             group.bench_with_input(BenchmarkId::new(label, months), &q, |b, q| {

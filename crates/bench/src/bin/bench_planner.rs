@@ -1,0 +1,204 @@
+//! Cost-based planner benchmark: how good are the optimizer's choices on
+//! chained-star (path-shaped) RDF-H queries?
+//!
+//! For a family of queries walking the lineitem → order → customer → nation
+//! chain (including `/` sequence-path sugar and star-width variants), this
+//! reports:
+//!
+//! * **q-error** — per query, the worst-step ratio between the optimizer's
+//!   estimated and actual bound rows (`max(est/actual, actual/est)` over
+//!   the plan's steps, via EXPLAIN ANALYZE),
+//! * **plan quality** — the chosen plan's cost against the best cost over
+//!   *all* star-order permutations (`explain_orders`); the acceptance bar
+//!   is chosen ≤ 1.5× best on ≥ 90% of the family,
+//! * **optimizer overhead** — mean wall-clock of a full re-optimization
+//!   (parse + prepare + cost-based search) next to mean execution time,
+//! * **plan-cache hit rate** — each query is run several times through the
+//!   facade; steady state should be all hits.
+//!
+//! The host's `available_parallelism` is recorded as `host_cpus`.
+//!
+//! Usage:
+//!   bench_planner [--sf F] [--out PATH] [--smoke]
+
+use sordf::{Database, ExecConfig, PlanScheme};
+use sordf_bench::cli::{render_object, time_loop, BenchArgs, BenchJson};
+use sordf_rdfh::{generate, RdfhConfig};
+
+const PREFIX: &str = "PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>\n";
+
+/// The chained-star family: progressively longer walks up the RDF-H
+/// foreign-key chain, plus path-sugar and filtered variants.
+fn family() -> Vec<(&'static str, String)> {
+    let chain2 = format!(
+        "{PREFIX}SELECT ?li ?od WHERE {{
+  ?li rdfh:lineitem_orderkey ?o ; rdfh:lineitem_quantity ?q .
+  ?o rdfh:order_orderdate ?od .
+}}"
+    );
+    let chain3 = format!(
+        "{PREFIX}SELECT ?li ?c WHERE {{
+  ?li rdfh:lineitem_orderkey ?o ; rdfh:lineitem_extendedprice ?p .
+  ?o rdfh:order_custkey ?c .
+  ?c rdfh:customer_mktsegment ?seg .
+}}"
+    );
+    let chain4 = format!(
+        "{PREFIX}SELECT ?li ?nname WHERE {{
+  ?li rdfh:lineitem_orderkey ?o ; rdfh:lineitem_quantity ?q .
+  ?o rdfh:order_custkey ?c .
+  ?c rdfh:customer_nationkey ?n .
+  ?n rdfh:nation_name ?nname .
+}}"
+    );
+    // The same 4-hop walk written with `/` sequence paths: the parser
+    // desugars it into the chain above through fresh internal variables.
+    let path4 = format!(
+        "{PREFIX}SELECT ?li ?nname WHERE {{
+  ?li rdfh:lineitem_orderkey/rdfh:order_custkey/rdfh:customer_nationkey ?n .
+  ?n rdfh:nation_name ?nname .
+}}"
+    );
+    let chain3_filter = format!(
+        "{PREFIX}SELECT ?li ?od WHERE {{
+  ?li rdfh:lineitem_orderkey ?o ; rdfh:lineitem_quantity ?q ;
+      rdfh:lineitem_shipdate ?sd .
+  ?o rdfh:order_orderdate ?od .
+  FILTER(?sd >= \"1995-01-01\"^^xsd:date)
+}}"
+    );
+    let wide_star = format!(
+        "{PREFIX}SELECT ?li WHERE {{
+  ?li rdfh:lineitem_orderkey ?o ; rdfh:lineitem_quantity ?q ;
+      rdfh:lineitem_extendedprice ?p ; rdfh:lineitem_discount ?d .
+  ?o rdfh:order_custkey ?c ; rdfh:order_orderdate ?od .
+  ?c rdfh:customer_nationkey ?n .
+}}"
+    );
+    vec![
+        ("chain2", chain2),
+        ("chain3", chain3),
+        ("chain4", chain4),
+        ("path4", path4),
+        ("chain3_filter", chain3_filter),
+        ("wide_star", wide_star),
+    ]
+}
+
+struct Row {
+    name: &'static str,
+    n_stars: usize,
+    qerror: f64,
+    chosen_cost: f64,
+    best_cost: f64,
+    n_orders: usize,
+    opt_ms: f64,
+    exec_ms: f64,
+}
+
+fn main() {
+    let args = BenchArgs::parse("BENCH_planner.json");
+    let data = generate(&RdfhConfig::new(args.sf));
+    let mut db = Database::in_temp_dir().unwrap();
+    db.load_terms(&data.triples).unwrap();
+    db.self_organize().unwrap();
+    db.set_config(ExecConfig {
+        scheme: PlanScheme::RdfScanJoin,
+        zonemaps: true,
+        ..Default::default()
+    });
+
+    let mut rows = Vec::new();
+    for (name, sparql) in family() {
+        // Estimation quality: worst-step q-error from EXPLAIN ANALYZE.
+        let (info, _rs) = db.explain_analyze(&sparql).expect(name);
+        let mut qerror = 1.0f64;
+        for step in &info.steps {
+            let actual = step.actual_rows.unwrap_or(0).max(1) as f64;
+            let est = step.est_rows.max(1.0);
+            qerror = qerror.max((est / actual).max(actual / est));
+        }
+
+        // Plan quality: chosen cost vs the best of all star orders.
+        let orders = db.explain_orders(&sparql).expect(name);
+        let best_cost = orders.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        let chosen_cost = info.total_cost;
+
+        // Optimizer overhead (full re-optimization) vs execution time.
+        let opt_qps = time_loop(args.min_secs.min(0.5), args.min_iters, || {
+            let _ = db.explain(&sparql).expect(name);
+        });
+        let exec_qps = time_loop(args.min_secs.min(0.5), args.min_iters, || {
+            let _ = db.query(&sparql).expect(name);
+        });
+
+        rows.push(Row {
+            name,
+            n_stars: info.n_stars,
+            qerror,
+            chosen_cost,
+            best_cost,
+            n_orders: orders.len(),
+            opt_ms: 1000.0 / opt_qps.max(1e-9),
+            exec_ms: 1000.0 / exec_qps.max(1e-9),
+        });
+    }
+
+    // Plan-cache steady state over the whole family.
+    let before = db.plan_cache_stats();
+    for _ in 0..5 {
+        for (name, sparql) in family() {
+            let _ = db.query(&sparql).expect(name);
+        }
+    }
+    let after = db.plan_cache_stats();
+    let lookups = (after.hits - before.hits) + (after.misses - before.misses);
+    let hit_rate = (after.hits - before.hits) as f64 / (lookups.max(1)) as f64;
+
+    let within = rows
+        .iter()
+        .filter(|r| r.chosen_cost <= r.best_cost * 1.5)
+        .count();
+    let frac_within = within as f64 / rows.len() as f64;
+    let mut qerrors: Vec<f64> = rows.iter().map(|r| r.qerror).collect();
+    qerrors.sort_by(|a, b| a.total_cmp(b));
+    let qerr_median = qerrors[qerrors.len() / 2];
+    let qerr_max = *qerrors.last().unwrap();
+
+    let mut j = BenchJson::new("planner", args.sf);
+    j.int("n_queries", rows.len() as u64);
+    j.num("frac_within_1_5x_best", frac_within, 4);
+    j.num("qerror_median", qerr_median, 3);
+    j.num("qerror_max", qerr_max, 3);
+    j.num("plan_cache_hit_rate", hit_rate, 4);
+    j.int("plan_cache_entries", after.entries);
+    j.raw(
+        "queries",
+        render_object(rows.iter().map(|r| {
+            (
+                r.name,
+                format!(
+                    "{{ \"n_stars\": {}, \"qerror\": {:.3}, \"chosen_cost\": {:.1}, \
+                     \"best_cost\": {:.1}, \"cost_ratio\": {:.4}, \"n_orders\": {}, \
+                     \"optimize_ms\": {:.4}, \"exec_ms\": {:.4} }}",
+                    r.n_stars,
+                    r.qerror,
+                    r.chosen_cost,
+                    r.best_cost,
+                    r.chosen_cost / r.best_cost.max(1e-9),
+                    r.n_orders,
+                    r.opt_ms,
+                    r.exec_ms
+                ),
+            )
+        })),
+    );
+    j.write(&args.out_path);
+
+    assert!(
+        frac_within >= 0.9,
+        "optimizer picked a plan > 1.5x the best order on {}/{} queries",
+        rows.len() - within,
+        rows.len()
+    );
+}

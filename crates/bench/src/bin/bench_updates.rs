@@ -99,6 +99,7 @@ fn measure_level(
     let exec = ExecConfig {
         scheme: PlanScheme::RdfScanJoin,
         zonemaps: true,
+        ..Default::default()
     };
     let star = star_query(4);
     let q6 = q6_query();
@@ -128,6 +129,7 @@ fn assert_differential(db: &Database, base: &[TermTriple], delta: &[TermTriple],
     let exec = ExecConfig {
         scheme: PlanScheme::RdfScanJoin,
         zonemaps: true,
+        ..Default::default()
     };
     let par = ParallelConfig::with_workers(4);
     for q in [star_query(4), q6_query()] {
@@ -172,6 +174,7 @@ fn concurrent_reorg_scenario(db: &Database, pool: &[TermTriple]) -> ConcurrentRe
     let exec = ExecConfig {
         scheme: PlanScheme::RdfScanJoin,
         zonemaps: true,
+        ..Default::default()
     };
     let star = star_query(4);
     let mut insert_lat = Vec::new();

@@ -74,10 +74,12 @@ fn scenarios() -> Vec<Scenario> {
     let rdfscan = ExecConfig {
         scheme: PlanScheme::RdfScanJoin,
         zonemaps: true,
+        ..Default::default()
     };
     let default = ExecConfig {
         scheme: PlanScheme::Default,
         zonemaps: true,
+        ..Default::default()
     };
     vec![
         Scenario {

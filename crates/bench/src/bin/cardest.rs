@@ -61,6 +61,7 @@ fn main() {
             ExecConfig {
                 scheme: PlanScheme::RdfScanJoin,
                 zonemaps: true,
+                ..Default::default()
             },
         );
         let cs = estimate_star_cs(&cx, &stars[0], &[]).unwrap_or(0.0);

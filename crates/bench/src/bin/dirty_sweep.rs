@@ -41,6 +41,7 @@ fn main() {
             let exec = ExecConfig {
                 scheme: *scheme,
                 zonemaps: true,
+                ..Default::default()
             };
             let _ = db.query_with(q, Generation::Clustered, exec).unwrap(); // warm
             let t0 = Instant::now();

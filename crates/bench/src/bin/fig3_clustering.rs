@@ -60,6 +60,7 @@ SELECT ?li ?price WHERE {
         let exec = ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
+            ..Default::default()
         };
         db.drop_cache();
         db.set_read_latency_ns(page_ns);

@@ -54,6 +54,7 @@ SELECT ?o1 ?o2 ?o3 WHERE {
             let exec = ExecConfig {
                 scheme,
                 zonemaps: true,
+                ..Default::default()
             };
             let db = rig.db(Generation::Clustered);
             let t0 = std::time::Instant::now();

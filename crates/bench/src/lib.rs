@@ -146,6 +146,7 @@ pub fn measure(rig: &Rig, cfg: &Config, sparql: &str, page_ns: u64) -> Measureme
     let exec = ExecConfig {
         scheme: cfg.scheme,
         zonemaps: cfg.zonemaps,
+        ..Default::default()
     };
 
     // Warm up process-level state (code paths, allocator) so the cold

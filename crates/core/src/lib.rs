@@ -99,9 +99,9 @@ use sordf_columnar::crash_point;
 use sordf_columnar::{BufferPool, DiskManager, PoolStats};
 use sordf_engine::agg::ResultSet;
 use sordf_engine::context::StatsSnapshot;
-use sordf_engine::planner::PlanInfo;
+pub use sordf_engine::planner::{PlanInfo, StepInfo};
 pub use sordf_engine::{ExecConfig, ParallelConfig, PlanScheme};
-use sordf_engine::{ExecContext, StorageRef};
+use sordf_engine::{ExecContext, PhysicalPlan, StorageRef};
 use sordf_model::{
     ntriples, Dictionary, FxHashMap, FxHashSet, ModelError, Oid, Term, TermTriple, Triple,
 };
@@ -113,6 +113,7 @@ use sordf_storage::{
     ReorgReport, StoreSnapshot, TripleSet, WalRecord, WalWriter,
 };
 pub use sordf_storage::{DictPin, Snapshot, StoreGeneration, SyncPolicy};
+use std::collections::HashMap;
 
 /// Every labeled crash point in the durable write paths, in rough lifecycle
 /// order. The fault-injection harness iterates this catalog, killing a
@@ -364,6 +365,40 @@ struct DbInner {
     dm: Arc<DiskManager>,
     pool: BufferPool,
     state: Mutex<State>,
+    /// Optimized physical plans keyed on query *shape* (normalized BGP +
+    /// select/filter structure with constants abstracted + generation +
+    /// scheme + zone maps). Epoch-stamped: a generation swap or base change
+    /// bumps [`State::epoch`], and the first lookup under the new epoch
+    /// clears the cache — cached plans reference OIDs of the pinned
+    /// dictionary, which a swap renumbers. Pending delta writes do *not*
+    /// bump the epoch: a cached plan stays correct under writes (the plan
+    /// is executable against any snapshot), merely possibly stale-optimal
+    /// until the next swap re-plans with drift-adjusted statistics.
+    plans: Mutex<PlanCache>,
+}
+
+/// See [`DbInner::plans`].
+#[derive(Default)]
+struct PlanCache {
+    /// The [`State::epoch`] the cached plans were optimized under.
+    epoch: u64,
+    map: HashMap<String, Arc<PhysicalPlan>>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+/// Plan-cache counters (see [`Database::plan_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Cached plans currently held.
+    pub entries: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the optimizer.
+    pub misses: u64,
+    /// Whole-cache invalidations (epoch bumps observed).
+    pub invalidations: u64,
 }
 
 /// What one query pins at query start: a generation handle, a read pin on
@@ -374,6 +409,8 @@ struct Pin {
     gen: GenerationHandle,
     dict: DictPin,
     delta: Option<Arc<DeltaView>>,
+    /// The [`State::epoch`] observed at pin time (plan-cache stamping).
+    epoch: u64,
 }
 
 impl DbInner {
@@ -382,7 +419,7 @@ impl DbInner {
     /// two `Arc`s (plus O(delta) when materializing a historical view).
     // lock-order: acquires(db_state, dict)
     fn pin(&self, snap: Option<Snapshot>) -> Pin {
-        let (gen, delta) = {
+        let (gen, delta, epoch) = {
             let st = self.state.lock();
             let delta = match snap {
                 Some(s) if s.seq() != st.delta.seq() => {
@@ -395,10 +432,50 @@ impl DbInner {
                 }
                 _ => st.delta.current_view_arc(),
             };
-            (Arc::clone(&st.gen), delta)
+            (Arc::clone(&st.gen), delta, st.epoch)
         };
         let dict = gen.pin_dict();
-        Pin { gen, dict, delta }
+        Pin {
+            gen,
+            dict,
+            delta,
+            epoch,
+        }
+    }
+
+    /// Fetch a cached plan for `key` (stamped `epoch`), or optimize via
+    /// `make` and cache the result. An epoch change clears the whole cache
+    /// first — every cached plan references the superseded dictionary.
+    ///
+    /// The `plans` mutex is unranked and leaf-only: held just for the map
+    /// access, never across `pin()`/`state` acquisitions or the optimizer.
+    fn cached_plan(
+        &self,
+        key: String,
+        epoch: u64,
+        make: impl FnOnce() -> PhysicalPlan,
+    ) -> Arc<PhysicalPlan> {
+        {
+            let mut pc = self.plans.lock();
+            if pc.epoch != epoch {
+                pc.map.clear();
+                pc.epoch = epoch;
+                pc.invalidations += 1;
+            }
+            if let Some(pp) = pc.map.get(&key).map(Arc::clone) {
+                pc.hits += 1;
+                return pp;
+            }
+            pc.misses += 1;
+        }
+        // Optimize outside the lock — concurrent same-shape queries may
+        // both optimize; last insert wins, both plans are valid.
+        let pp = Arc::new(make());
+        let mut pc = self.plans.lock();
+        if pc.epoch == epoch {
+            pc.map.insert(key, Arc::clone(&pp));
+        }
+        pp
     }
 
     // lock-order: acquires(db_state)
@@ -438,6 +515,7 @@ impl Database {
             inner: Arc::new(DbInner {
                 dm,
                 pool,
+                plans: Mutex::new(PlanCache::default()),
                 state: Mutex::new(State {
                     gen: Arc::new(StoreGeneration::staging(Dictionary::new(), Vec::new())),
                     delta: DeltaStore::new(),
@@ -1229,12 +1307,19 @@ impl Database {
         let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, config)
             .with_delta(pin.delta.clone());
         let pool_before = self.inner.pool.stats();
+        let key = plan_cache_key(&query, generation, config);
         // Query-boundary fault isolation: an engine panic (e.g. a page read
         // that keeps failing after the pool's retries) fails this query, not
         // the process — the next query sees intact immutable storage.
-        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match parallel {
-            None => sordf_engine::execute(&cx, &query),
-            Some(par) => sordf_engine::execute_parallel(&cx, &query, par),
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (q, lp) = sordf_engine::prepare(&query);
+            let pp = self
+                .inner
+                .cached_plan(key, pin.epoch, || sordf_engine::optimize(&cx, &lp));
+            match parallel {
+                None => sordf_engine::execute_physical_seq(&cx, &q, &lp, &pp),
+                Some(par) => sordf_engine::execute_physical_parallel(&cx, &q, &lp, &pp, par),
+            }
         }))
         .map_err(|payload| Error::Exec(panic_message(payload)))?;
         let traced = Traced {
@@ -1264,14 +1349,91 @@ impl Database {
         Ok((traced.results, dict))
     }
 
-    /// Explain the plan a SPARQL query would get.
+    /// Explain the plan a SPARQL query would get: star order, the physical
+    /// operator and join strategy per step, per-step cost and estimated
+    /// cardinality. Always re-optimizes (never served from the plan cache),
+    /// so it shows what the optimizer would pick *now*.
     pub fn explain(&self, sparql: &str) -> Result<PlanInfo, Error> {
+        let pin = self.inner.pin(None);
+        self.explain_pinned(&pin, sparql, newest_generation(&pin.gen)?, self.config)
+    }
+
+    /// [`Database::explain`] against an explicit generation and exec config
+    /// (the EXPLAIN counterpart of [`Database::query_with`]).
+    pub fn explain_with(
+        &self,
+        sparql: &str,
+        generation: Generation,
+        config: ExecConfig,
+    ) -> Result<PlanInfo, Error> {
+        let pin = self.inner.pin(None);
+        self.explain_pinned(&pin, sparql, generation, config)
+    }
+
+    fn explain_pinned(
+        &self,
+        pin: &Pin,
+        sparql: &str,
+        generation: Generation,
+        config: ExecConfig,
+    ) -> Result<PlanInfo, Error> {
+        let query = sordf_sparql::parse_sparql(sparql, &pin.dict)?;
+        let storage = storage_for(&pin.gen, generation)?;
+        let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, config)
+            .with_delta(pin.delta.clone());
+        Ok(sordf_engine::explain(&cx, &query))
+    }
+
+    /// EXPLAIN ANALYZE: execute the query and report the plan with per-step
+    /// *actual* bound-row counts alongside the optimizer's estimates.
+    pub fn explain_analyze(&self, sparql: &str) -> Result<(PlanInfo, ResultSet), Error> {
         let pin = self.inner.pin(None);
         let query = sordf_sparql::parse_sparql(sparql, &pin.dict)?;
         let storage = storage_for(&pin.gen, newest_generation(&pin.gen)?)?;
         let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, self.config)
             .with_delta(pin.delta.clone());
-        Ok(sordf_engine::explain(&cx, &query))
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sordf_engine::explain_analyze(&cx, &query)
+        }))
+        .map_err(|payload| Error::Exec(panic_message(payload)))
+    }
+
+    /// Cost every star-order permutation of a query: `(order, total cost)`,
+    /// with the per-edge operator choices re-optimized inside each forced
+    /// order. Diagnostics for the optimizer itself (is the chosen order
+    /// near the best one?); factorial in the star count, so refused beyond
+    /// 8 stars.
+    pub fn explain_orders(&self, sparql: &str) -> Result<Vec<(Vec<usize>, f64)>, Error> {
+        let pin = self.inner.pin(None);
+        let query = sordf_sparql::parse_sparql(sparql, &pin.dict)?;
+        let storage = storage_for(&pin.gen, newest_generation(&pin.gen)?)?;
+        let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, self.config)
+            .with_delta(pin.delta.clone());
+        let (_q, lp) = sordf_engine::prepare(&query);
+        let n = lp.stars.len();
+        if n > 8 {
+            return Err(Error::State(format!(
+                "explain_orders is factorial; {n} stars exceeds the 8-star limit"
+            )));
+        }
+        let mut out = Vec::new();
+        let mut order: Vec<usize> = (0..n).collect();
+        permutations(&mut order, 0, &mut |perm| {
+            let pp = sordf_engine::optimize_with_order(&cx, &lp, perm);
+            out.push((perm.to_vec(), pp.total_cost));
+        });
+        Ok(out)
+    }
+
+    /// Plan-cache counters: entries, hits, misses, and epoch invalidations.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        let pc = self.inner.plans.lock();
+        PlanCacheStats {
+            entries: pc.map.len() as u64,
+            hits: pc.hits,
+            misses: pc.misses,
+            invalidations: pc.invalidations,
+        }
     }
 
     /// Run a SQL query against the emergent relational schema (requires
@@ -1312,6 +1474,133 @@ impl Drop for Database {
 }
 
 // ---- state helpers (all run under the state lock) --------------------------
+
+/// Visit every permutation of `items` (recursive Heap-style enumeration;
+/// callers bound the length).
+fn permutations(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permutations(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// The plan-cache key: generation + engine config + the structural shape of
+/// the parsed query. Variables keep their ids (plan steps reference them,
+/// and ids depend on the full parse order — so the *whole* query shape is
+/// serialized, not just the BGP); predicates keep their OIDs (they decide
+/// the plan); object and filter constants are abstracted to `C`/`N` so one
+/// cached plan serves a query family differing only in literals.
+fn plan_cache_key(
+    query: &sordf_engine::Query,
+    generation: Generation,
+    config: ExecConfig,
+) -> String {
+    use sordf_engine::{Expr, SelectItem, VarOrOid};
+    use std::fmt::Write;
+    fn expr(out: &mut String, e: &Expr) {
+        match e {
+            Expr::Var(v) => {
+                let _ = write!(out, "?{}", v.0);
+            }
+            Expr::Const(_) => out.push('C'),
+            Expr::Num(_) => out.push('N'),
+            Expr::Cmp(a, op, b) => {
+                let _ = write!(out, "({op:?} ");
+                expr(out, a);
+                out.push(' ');
+                expr(out, b);
+                out.push(')');
+            }
+            Expr::Arith(a, op, b) => {
+                let _ = write!(out, "({op:?} ");
+                expr(out, a);
+                out.push(' ');
+                expr(out, b);
+                out.push(')');
+            }
+            Expr::And(a, b) => {
+                out.push_str("(and ");
+                expr(out, a);
+                out.push(' ');
+                expr(out, b);
+                out.push(')');
+            }
+            Expr::Or(a, b) => {
+                out.push_str("(or ");
+                expr(out, a);
+                out.push(' ');
+                expr(out, b);
+                out.push(')');
+            }
+            Expr::Not(a) => {
+                out.push_str("(not ");
+                expr(out, a);
+                out.push(')');
+            }
+        }
+    }
+    let pos = |out: &mut String, v: VarOrOid| match v {
+        VarOrOid::Var(v) => {
+            let _ = write!(out, "?{}", v.0);
+        }
+        VarOrOid::Const(_) => out.push('C'),
+    };
+    let mut out = format!(
+        "{generation:?}|{:?}|zm{}|v{}|",
+        config.scheme,
+        config.zonemaps,
+        query.vars.len()
+    );
+    for p in &query.patterns {
+        pos(&mut out, p.s);
+        let _ = write!(out, " {} ", p.p.raw());
+        pos(&mut out, p.o);
+        out.push('.');
+    }
+    out.push('|');
+    for f in &query.filters {
+        expr(&mut out, f);
+    }
+    out.push('|');
+    for item in &query.select {
+        match item {
+            SelectItem::Var(v) => {
+                let _ = write!(out, "?{},", v.0);
+            }
+            SelectItem::Expr { expr: e, .. } => {
+                out.push_str("e:");
+                expr(&mut out, e);
+                out.push(',');
+            }
+            SelectItem::Agg { func, expr: e, .. } => {
+                let _ = write!(out, "a{func:?}:");
+                expr(&mut out, e);
+                out.push(',');
+            }
+        }
+    }
+    out.push('|');
+    for g in &query.group_by {
+        let _ = write!(out, "?{},", g.0);
+    }
+    let _ = write!(
+        out,
+        "|o{:?}|l{:?}|d{}",
+        query
+            .order_by
+            .iter()
+            .map(|k| (k.output, k.ascending))
+            .collect::<Vec<_>>(),
+        query.limit,
+        query.distinct
+    );
+    out
+}
 
 /// The newest generation built in `gen`.
 fn newest_generation(gen: &StoreGeneration) -> Result<Generation, Error> {
@@ -2311,6 +2600,7 @@ mod tests {
                 ExecConfig {
                     scheme: PlanScheme::Default,
                     zonemaps: false,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -2358,6 +2648,54 @@ mod tests {
         let ddl = db.ddl().unwrap();
         assert!(ddl.contains("CREATE TABLE"), "{ddl}");
         assert!(ddl.contains("qty"), "{ddl}");
+    }
+
+    #[test]
+    fn plan_cache_hits_shapes_and_swap_invalidation() {
+        let db = sample_db();
+        db.self_organize().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
+        let s0 = db.plan_cache_stats();
+        db.query(q).unwrap();
+        db.query(q).unwrap();
+        let s1 = db.plan_cache_stats();
+        assert_eq!(s1.misses - s0.misses, 1, "first run optimizes");
+        assert!(s1.hits > s0.hits, "second run is a cache hit");
+        assert!(s1.entries >= 1);
+
+        // Same shape, different constant: constants are abstracted out of
+        // the cache key, so this reuses the cached plan.
+        db.query("SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 7) }")
+            .unwrap();
+        let s2 = db.plan_cache_stats();
+        assert_eq!(s2.misses, s1.misses, "same shape never re-optimizes");
+        assert!(s2.hits > s1.hits);
+
+        // A delta write does NOT invalidate (cached plans stay correct,
+        // possibly stale-optimal)...
+        db.insert_ntriples(
+            r#"<http://ex/itemX> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/itemX> <http://ex/sold> "1996-03-01"^^<http://www.w3.org/2001/XMLSchema#date> ."#,
+        )
+        .unwrap();
+        db.query(q).unwrap();
+        let s3 = db.plan_cache_stats();
+        assert_eq!(s3.invalidations, s2.invalidations);
+        assert!(s3.hits > s2.hits);
+
+        // ...but a background generation swap bumps the epoch and the next
+        // lookup clears the cache and re-optimizes.
+        let outcome = db.reorganize_async().unwrap().wait().unwrap();
+        assert!(outcome.swapped, "nothing raced, the swap must land");
+        db.query(q).unwrap();
+        let s4 = db.plan_cache_stats();
+        assert_eq!(
+            s4.invalidations,
+            s3.invalidations + 1,
+            "swap invalidates the plan cache"
+        );
+        assert_eq!(s4.misses, s3.misses + 1, "post-swap run re-optimizes");
+        assert_eq!(db.query(q).unwrap().len(), 6, "3 old + new itemX");
     }
 
     #[test]
@@ -2790,6 +3128,7 @@ mod tests {
                 ExecConfig {
                     scheme: PlanScheme::Default,
                     zonemaps: true,
+                    ..Default::default()
                 },
             )
             .unwrap()
@@ -2798,6 +3137,7 @@ mod tests {
             let exec = ExecConfig {
                 scheme: PlanScheme::RdfScanJoin,
                 zonemaps,
+                ..Default::default()
             };
             let got = db
                 .query_with(q, Generation::Clustered, exec)

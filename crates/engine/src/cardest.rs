@@ -13,11 +13,12 @@ use crate::expr::Expr;
 use crate::query::VarOrOid;
 use crate::scan::ORestrict;
 use crate::star::{restrict_for_var, Star};
-use sordf_schema::ColStats;
+use crate::table::VarId;
+use sordf_schema::{ColStats, StatsView};
 use sordf_storage::Order;
 
 /// Selectivity of a pushed restriction against column statistics.
-fn restrict_selectivity(r: &ORestrict, stats: &ColStats) -> f64 {
+pub(crate) fn restrict_selectivity(r: &ORestrict, stats: &ColStats) -> f64 {
     if r.is_none() {
         return 1.0;
     }
@@ -126,4 +127,86 @@ pub fn estimate_star_independence(cx: &ExecContext, star: &Star, filters: &[&Exp
 pub fn estimate_star(cx: &ExecContext, star: &Star, filters: &[&Expr]) -> f64 {
     estimate_star_cs(cx, star, filters)
         .unwrap_or_else(|| estimate_star_independence(cx, star, filters))
+}
+
+// ---- optimizer-facing estimates (drift-adjusted via StatsView) -------------
+
+/// The statistics snapshot the optimizer costs a query against: the pinned
+/// generation's schema statistics plus the per-predicate pending-insert
+/// counts of the query's delta view (drift adjustment — pending writes
+/// inflate the estimates).
+pub fn stats_view<'a>(cx: &'a ExecContext) -> StatsView<'a> {
+    let sv = StatsView::new(cx.storage.schema());
+    match cx.delta() {
+        Some(d) => sv.with_pending(d.insert_counts_by_pred()),
+        None => sv,
+    }
+}
+
+/// Triples carrying `pred` visible to this query: base storage (clustered
+/// class columns + irregular remainder, or the baseline PSO index) plus the
+/// delta view's pending inserts.
+pub fn pred_cardinality(cx: &ExecContext, sv: &StatsView, pred: sordf_model::Oid) -> f64 {
+    let base = match &cx.storage {
+        StorageRef::Baseline(store) => store.perm(Order::Pso).range1(cx.pool, pred).len() as u64,
+        StorageRef::Clustered { store, .. } => {
+            store.irregular.perm(Order::Pso).range1(cx.pool, pred).len() as u64
+                + sv.regular_pred_cardinality(pred)
+        }
+    };
+    (base + sv.pending_for(pred)) as f64
+}
+
+/// [`estimate_star`] inflated by the delta: a pending subject can only
+/// satisfy the whole star if every property got a pending (or base) value,
+/// so the scarcest pending predicate bounds the extra rows.
+pub fn estimate_star_with(cx: &ExecContext, sv: &StatsView, star: &Star, filters: &[&Expr]) -> f64 {
+    let base = estimate_star(cx, star, filters);
+    let bonus = star
+        .props
+        .iter()
+        .map(|p| sv.pending_for(p.pred) as f64)
+        .fold(f64::INFINITY, f64::min);
+    base + if bonus.is_finite() { bonus } else { 0.0 }
+}
+
+/// Estimated distinct values a star binds for `v`, clamped to `[1, rows]`.
+/// The subject variable is near-unique per row; an object variable gets the
+/// summed per-class `n_distinct` of its column (plus pending inserts). On
+/// schemaless storage the row estimate itself is the only bound.
+pub fn estimate_distinct(
+    cx: &ExecContext,
+    sv: &StatsView,
+    star: &Star,
+    v: VarId,
+    star_rows: f64,
+) -> f64 {
+    let rows = star_rows.max(1.0);
+    if v == star.subject_var {
+        return rows;
+    }
+    if cx.storage.schema().is_some() {
+        let mut d = 0.0f64;
+        for prop in &star.props {
+            if prop.o == VarOrOid::Var(v) {
+                d += sv.distinct_for_pred(prop.pred) as f64;
+            }
+        }
+        if d > 0.0 {
+            return d.clamp(1.0, rows);
+        }
+    }
+    rows
+}
+
+/// Join hit ratio from CS column statistics: for each shared variable the
+/// containment assumption (`|L ⋈ R| = |L|·|R| / max(d_L, d_R)`) divides the
+/// cross product by the larger distinct count — the "per-class presence ×
+/// n_distinct overlap" estimate the structural correlations make accurate.
+pub fn estimate_join_rows(l_rows: f64, r_rows: f64, key_distincts: &[(f64, f64)]) -> f64 {
+    let mut j = l_rows.max(0.0) * r_rows.max(0.0);
+    for &(dl, dr) in key_distincts {
+        j /= dl.max(dr).max(1.0);
+    }
+    j
 }

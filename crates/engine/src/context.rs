@@ -24,6 +24,11 @@ pub struct ExecConfig {
     /// Use zone maps: page skipping within scans and min/max restriction
     /// pushdown across star joins (the "ZoneMaps" axis of Table I).
     pub zonemaps: bool,
+    /// Maximum `|left| * |right|` a cartesian product (disconnected BGP)
+    /// may materialize before the query fails. A cross join is almost
+    /// always an authoring mistake; the budget turns a silent O(n·m) blowup
+    /// into an explicit error naming the fix.
+    pub cross_join_budget: u64,
 }
 
 impl Default for ExecConfig {
@@ -31,6 +36,7 @@ impl Default for ExecConfig {
         ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
+            cross_join_budget: 1_000_000,
         }
     }
 }

@@ -128,6 +128,70 @@ pub fn hash_join(cx: &ExecContext, left: &Table, lc: usize, right: &Table, rc: u
     out
 }
 
+/// Hash-join two tables on equality of **every** variable in `keys` (each
+/// must be bound by both sides). Output binds all of left's variables plus
+/// right's minus the key columns (which would duplicate left's). Builds on
+/// the smaller side. Joining on all shared variables — not just a primary
+/// link — is what keeps stars that share several variables consistent.
+pub fn hash_join_on(cx: &ExecContext, left: &Table, right: &Table, keys: &[VarId]) -> Table {
+    debug_assert!(!keys.is_empty(), "use cross_join for keyless joins");
+    if keys.len() == 1 {
+        // sordf-lint: allow(L3) — callers pass keys bound by both sides.
+        let lc = left.col_of(keys[0]).unwrap();
+        // sordf-lint: allow(L3) — callers pass keys bound by both sides.
+        let rc = right.col_of(keys[0]).unwrap();
+        return hash_join(cx, left, lc, right, rc);
+    }
+    ExecStats::bump(&cx.stats.hash_joins, 1);
+    let lks: Vec<usize> = keys
+        .iter()
+        // sordf-lint: allow(L3) — callers pass keys bound by both sides.
+        .map(|&v| left.col_of(v).unwrap())
+        .collect();
+    let rks: Vec<usize> = keys
+        .iter()
+        // sordf-lint: allow(L3) — callers pass keys bound by both sides.
+        .map(|&v| right.col_of(v).unwrap())
+        .collect();
+    // Normalize: build on the smaller input, probe the bigger.
+    let (build, bks, probe, pks, build_is_left) = if left.len() <= right.len() {
+        (left, &lks, right, &rks, true)
+    } else {
+        (right, &rks, left, &lks, false)
+    };
+    let mut index: FxHashMap<Vec<Oid>, Vec<usize>> = FxHashMap::default();
+    for i in 0..build.len() {
+        let key: Vec<Oid> = bks.iter().map(|&c| build.cols[c][i]).collect();
+        index.entry(key).or_default().push(i);
+    }
+
+    // Output layout: left vars, then right vars except the key columns.
+    let right_keep: Vec<usize> = (0..right.cols.len()).filter(|i| !rks.contains(i)).collect();
+    let mut out_vars = left.vars.clone();
+    out_vars.extend(right_keep.iter().map(|&i| right.vars[i]));
+    let mut out = Table::empty(out_vars);
+
+    let mut probe_key = Vec::with_capacity(pks.len());
+    for pi in 0..probe.len() {
+        probe_key.clear();
+        probe_key.extend(pks.iter().map(|&c| probe.cols[c][pi]));
+        let Some(matches) = index.get(&probe_key) else {
+            continue;
+        };
+        for &bi in matches {
+            let (li, ri) = if build_is_left { (bi, pi) } else { (pi, bi) };
+            for (oc, lcid) in out.cols.iter_mut().take(left.cols.len()).zip(0..) {
+                oc.push(left.cols[lcid][li]);
+            }
+            for (slot, &rcid) in right_keep.iter().enumerate() {
+                out.cols[left.cols.len() + slot].push(right.cols[rcid][ri]);
+            }
+        }
+    }
+    ExecStats::bump(&cx.stats.rows_emitted, out.len() as u64);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +294,33 @@ mod tests {
         rows.sort();
         assert_eq!(rows[0], vec![Oid::iri(1), Oid::iri(100), Oid::iri(7)]);
         assert_eq!(rows[1], vec![Oid::iri(3), Oid::iri(300), Oid::iri(9)]);
+    }
+
+    #[test]
+    fn hash_join_on_all_shared_vars() {
+        let (_dm, pool, dict, store) = test_cx();
+        let cx = ExecContext::new(
+            pool,
+            dict,
+            StorageRef::Baseline(&store),
+            ExecConfig::default(),
+        );
+        // Two tables sharing vars 0 and 2: a single-key join on var 0 would
+        // accept rows that disagree on var 2.
+        let left = table(&[0, 1, 2], &[&[1, 10, 5], &[2, 20, 6], &[3, 30, 7]]);
+        let right = table(&[0, 2, 3], &[&[1, 5, 100], &[2, 9, 200], &[3, 7, 300]]);
+        let out = hash_join_on(&cx, &left, &right, &[VarId(0), VarId(2)]);
+        assert_eq!(out.vars, vec![VarId(0), VarId(1), VarId(2), VarId(3)]);
+        let mut rows: Vec<Vec<Oid>> = (0..out.len()).map(|i| out.row(i)).collect();
+        rows.sort();
+        // (2, _, 6) vs (2, 9, _) disagrees on var 2 and must be dropped.
+        assert_eq!(
+            rows,
+            vec![
+                vec![Oid::iri(1), Oid::iri(10), Oid::iri(5), Oid::iri(100)],
+                vec![Oid::iri(3), Oid::iri(30), Oid::iri(7), Oid::iri(300)],
+            ]
+        );
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub mod cardest;
 pub mod context;
 pub mod expr;
 pub mod join;
+pub mod optimizer;
 pub mod parallel;
+pub mod plan;
 pub mod planner;
 pub mod query;
 pub mod rowwise;
@@ -32,7 +34,12 @@ pub mod table;
 
 pub use context::{ExecConfig, ExecContext, ExecStats, PlanScheme, StorageRef};
 pub use expr::{AggFunc, CmpOp, Expr};
-pub use parallel::{execute_parallel, ParallelConfig};
-pub use planner::{execute, execute_with, explain, StarEvalFn};
+pub use optimizer::{optimize, optimize_with_order};
+pub use parallel::{execute_parallel, execute_physical_parallel, ParallelConfig};
+pub use plan::{prepare, JoinStrategy, LogicalOp, LogicalPlan, PhysicalPlan, StarAccess};
+pub use planner::{
+    execute, execute_physical, execute_physical_seq, execute_with, explain, explain_analyze,
+    StarEvalFn,
+};
 pub use query::{Query, SelectItem, TriplePattern, VarOrOid};
 pub use table::{Table, VarId};

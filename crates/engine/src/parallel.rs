@@ -26,9 +26,10 @@ use crate::agg::{
     accumulate_single_group, apply_modifiers, effective_select, finalize, new_agg_states,
     single_group_result, var_col_map, AggState, ResultSet,
 };
-use crate::context::{ExecContext, PlanScheme, StorageRef};
+use crate::context::{ExecContext, StorageRef};
 use crate::expr::Expr;
-use crate::planner::{execute_plan, StarEvalFn};
+use crate::plan::{LogicalPlan, PhysicalPlan, StarAccess};
+use crate::planner::{execute_physical, execute_plan, StarEvalFn};
 use crate::query::Query;
 use crate::scan::{SRange, Source};
 use crate::star::{
@@ -179,28 +180,55 @@ pub fn execute_parallel(cx: &ExecContext, query: &Query, par: &ParallelConfig) -
     if par.workers <= 1 {
         return crate::planner::execute(cx, query);
     }
-    let eval =
-        |cx: &ExecContext,
-         star: &Star,
-         filters: &[&Expr],
-         cands: Option<&[Oid]>,
-         s_range: SRange| eval_star_parallel(cx, star, filters, cands, s_range, par);
+    let eval = |cx: &ExecContext,
+                star: &Star,
+                access: StarAccess,
+                filters: &[&Expr],
+                cands: Option<&[Oid]>,
+                s_range: SRange| {
+        eval_star_parallel(cx, star, access, filters, cands, s_range, par)
+    };
     let (q, table) = execute_plan(cx, query, &eval as &StarEvalFn);
     finalize_parallel(cx, &q, &table, par)
 }
 
-/// Evaluate one star with the parallel operator matching the configured
-/// plan scheme (the parallel counterpart of the planner's star evaluator).
+/// Execute an already-optimized physical plan with the morsel-parallel
+/// operators and a merging aggregation (the plan-cache fast path).
+pub fn execute_physical_parallel(
+    cx: &ExecContext,
+    q: &Query,
+    lp: &LogicalPlan,
+    pp: &PhysicalPlan,
+    par: &ParallelConfig,
+) -> ResultSet {
+    if par.workers <= 1 {
+        return crate::planner::execute_physical_seq(cx, q, lp, pp);
+    }
+    let eval = |cx: &ExecContext,
+                star: &Star,
+                access: StarAccess,
+                filters: &[&Expr],
+                cands: Option<&[Oid]>,
+                s_range: SRange| {
+        eval_star_parallel(cx, star, access, filters, cands, s_range, par)
+    };
+    let table = execute_physical(cx, lp, pp, &eval as &StarEvalFn, None);
+    finalize_parallel(cx, q, &table, par)
+}
+
+/// Evaluate one star with the parallel operator matching the plan's chosen
+/// access path (the parallel counterpart of the planner's star evaluator).
 pub fn eval_star_parallel(
     cx: &ExecContext,
     star: &Star,
+    access: StarAccess,
     filters: &[&Expr],
     candidates: Option<&[Oid]>,
     s_range: SRange,
     par: &ParallelConfig,
 ) -> Table {
-    match (cx.config.scheme, &cx.storage) {
-        (PlanScheme::RdfScanJoin, StorageRef::Clustered { .. }) => {
+    match (access, &cx.storage) {
+        (StarAccess::RdfScan, StorageRef::Clustered { .. }) => {
             eval_star_rdfscan_parallel(cx, star, filters, candidates, s_range, par)
         }
         _ => eval_star_default_parallel(cx, star, filters, candidates, s_range, Source::Full, par),

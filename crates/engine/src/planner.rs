@@ -1,104 +1,82 @@
-//! The planner: star ordering, link detection, cross-star joins and the
-//! zone-map cross-table pushdown of §II-D.
+//! The executor of physical plans: candidate-driven RDFjoins, zone-map
+//! cross-table pushdown (§II-D), multi-variable hash joins and guarded
+//! cross products — driven by the cost-based [`crate::optimizer`].
+//!
+//! The pipeline is prepare → optimize → execute: [`crate::plan::prepare`]
+//! normalizes the query into a [`LogicalPlan`], [`crate::optimizer::optimize`]
+//! lowers it to a [`PhysicalPlan`] (star order, access path and join
+//! strategy per step), and [`execute_physical`] interprets the steps
+//! against a pluggable star evaluator ([`StarEvalFn`]) — which is how the
+//! sequential operators, the morsel-parallel operators and the rowwise
+//! reference operators all run the *same* plan.
 
 use crate::agg::{finalize, ResultSet};
-use crate::cardest::estimate_star;
-use crate::context::{ExecContext, PlanScheme};
+use crate::context::ExecContext;
 use crate::expr::Expr;
-use crate::query::{Query, VarOrOid};
+use crate::optimizer::optimize;
+use crate::plan::{prepare, JoinStrategy, LogicalPlan, PhysicalPlan, StarAccess};
+use crate::query::Query;
 use crate::scan::{SRange, Source};
-use crate::star::{
-    apply_filters, eval_star_default, eval_star_rdfscan, filters_bound_by, stars_of, Star,
-};
-use crate::table::{Table, VarId};
+use crate::star::{apply_filters, eval_star_default, eval_star_rdfscan, filters_bound_by, Star};
+use crate::table::Table;
 use sordf_model::Oid;
 
-/// A description of the chosen plan (Fig. 4's join-effort numbers).
+/// One step of an explained plan: the operator choices and the optimizer's
+/// expectations, plus (after EXPLAIN ANALYZE) what actually happened.
+#[derive(Debug, Clone)]
+pub struct StepInfo {
+    /// Star index (into the logical plan's star list).
+    pub star: usize,
+    /// The star's subject variable name.
+    pub subject: String,
+    /// Triple patterns in the star.
+    pub n_props: usize,
+    /// Chosen access path (EXPLAIN operator name).
+    pub access: &'static str,
+    /// Chosen join strategy (EXPLAIN operator name).
+    pub join: &'static str,
+    /// All join variables (names), not just the primary link.
+    pub join_vars: Vec<String>,
+    /// Estimated rows of the star's own scan.
+    pub est_star_rows: f64,
+    /// Estimated rows bound after joining with the prefix.
+    pub est_rows: f64,
+    /// Cost the optimizer charged to this step.
+    pub cost: f64,
+    /// Rows actually bound after this step (EXPLAIN ANALYZE only).
+    pub actual_rows: Option<u64>,
+}
+
+/// A description of the chosen plan (Fig. 4's join-effort numbers plus the
+/// optimizer's per-step choices).
 #[derive(Debug, Clone)]
 pub struct PlanInfo {
-    pub scheme: PlanScheme,
+    pub scheme: crate::context::PlanScheme,
     pub n_stars: usize,
     /// Index order in which stars are evaluated.
     pub star_order: Vec<usize>,
-    /// Merge self-joins inside stars (Default scheme pays these).
+    /// Merge self-joins inside stars (paid by IdxScan+MergeJoin steps).
     pub intra_star_joins: u64,
     /// Joins linking stars (both schemes pay these).
     pub cross_star_joins: u64,
     /// Estimated cardinality per star, in evaluation order.
     pub estimates: Vec<f64>,
+    /// Per-step operator choices, in evaluation order.
+    pub steps: Vec<StepInfo>,
+    /// Total cost of the chosen plan (the quantity the optimizer minimized).
+    pub total_cost: f64,
     /// Human-readable plan text.
     pub text: String,
 }
 
-/// Link between an evaluated result and the next star.
-enum Link {
-    /// Result column binds the next star's subject.
-    Subject(VarId),
-    /// Result column binds one of the next star's object vars.
-    Object(VarId),
-    None,
-}
-
-fn find_link(bound: &[VarId], star: &Star) -> Link {
-    if bound.contains(&star.subject_var) {
-        return Link::Subject(star.subject_var);
-    }
-    for p in &star.props {
-        if let VarOrOid::Var(v) = p.o {
-            if bound.contains(&v) {
-                return Link::Object(v);
-            }
-        }
-    }
-    Link::None
-}
-
-/// Greedy star order: start from the smallest estimate; prefer connected
-/// stars thereafter.
-fn order_stars(cx: &ExecContext, stars: &[Star], filters: &[&Expr]) -> (Vec<usize>, Vec<f64>) {
-    let ests: Vec<f64> = stars
-        .iter()
-        .map(|s| estimate_star(cx, s, filters))
-        .collect();
-    let mut remaining: Vec<usize> = (0..stars.len()).collect();
-    let mut order = Vec::new();
-    let mut bound: Vec<VarId> = Vec::new();
-    while !remaining.is_empty() {
-        let pick = remaining
-            .iter()
-            .enumerate()
-            .min_by(|&(_, &a), &(_, &b)| {
-                let conn_a =
-                    !matches!(find_link(&bound, &stars[a]), Link::None) || bound.is_empty();
-                let conn_b =
-                    !matches!(find_link(&bound, &stars[b]), Link::None) || bound.is_empty();
-                conn_b
-                    .cmp(&conn_a) // connected first
-                    .then(
-                        ests[a]
-                            .partial_cmp(&ests[b])
-                            .unwrap_or(std::cmp::Ordering::Equal),
-                    )
-            })
-            .map(|(i, _)| i)
-            // sordf-lint: allow(L3) — the loop runs only while `remaining` is non-empty, so min_by_key yields a pick.
-            .unwrap();
-        let star_idx = remaining.remove(pick);
-        bound.extend(stars[star_idx].bound_vars());
-        order.push(star_idx);
-    }
-    let ordered_ests = order.iter().map(|&i| ests[i]).collect();
-    (order, ordered_ests)
-}
-
-/// A star evaluator: how one star (with filters, optional candidate
-/// subjects, and a subject range) becomes a binding table. The planner is
-/// parameterized over this so the same plan logic drives the sequential
-/// operators, the morsel-parallel operators ([`crate::parallel`]), and the
-/// value-at-a-time reference operators ([`crate::rowwise`]) in differential
-/// tests.
+/// A star evaluator: how one star (with a chosen access path, filters,
+/// optional candidate subjects, and a subject range) becomes a binding
+/// table. The executor is parameterized over this so the same physical plan
+/// drives the sequential operators, the morsel-parallel operators
+/// ([`crate::parallel`]), and the value-at-a-time reference operators
+/// ([`crate::rowwise`]) in differential tests.
 pub type StarEvalFn<'f> =
-    dyn Fn(&ExecContext, &Star, &[&Expr], Option<&[Oid]>, SRange) -> Table + Sync + 'f;
+    dyn Fn(&ExecContext, &Star, StarAccess, &[&Expr], Option<&[Oid]>, SRange) -> Table + Sync + 'f;
 
 /// Execute a query end to end, returning the finalized result set.
 pub fn execute(cx: &ExecContext, query: &Query) -> ResultSet {
@@ -111,148 +89,170 @@ pub fn execute_with(cx: &ExecContext, query: &Query, eval: &StarEvalFn) -> Resul
     finalize(cx, &q, &table)
 }
 
-/// Run the planning + join pipeline, returning the normalized query (fresh
+/// Execute an already-optimized physical plan with the sequential operators
+/// and finalize (the plan-cache fast path: prepare and optimize skipped).
+pub fn execute_physical_seq(
+    cx: &ExecContext,
+    q: &Query,
+    lp: &LogicalPlan,
+    pp: &PhysicalPlan,
+) -> ResultSet {
+    let table = execute_physical(cx, lp, pp, &eval_one_star, None);
+    finalize(cx, q, &table)
+}
+
+/// Run prepare → optimize → execute, returning the normalized query (fresh
 /// variables introduced by star rewriting) and the final binding table,
 /// ready for [`finalize`]. Shared by [`execute`] and the parallel executor
 /// (which finalizes with a merging aggregation).
 pub(crate) fn execute_plan(cx: &ExecContext, query: &Query, eval: &StarEvalFn) -> (Query, Table) {
-    let mut q = query.clone();
-    let (stars, extra_filters) = stars_of(&mut q);
-    // Flatten conjunctions so every `var OP const` conjunct is individually
-    // visible to pushdown and the enforced-filter analysis.
-    let mut all_filters: Vec<Expr> = Vec::new();
-    for f in q.filters.iter().chain(extra_filters.iter()) {
-        for c in f.conjuncts() {
-            all_filters.push(c.clone());
-        }
-    }
-    let filter_refs: Vec<&Expr> = all_filters.iter().collect();
+    let (q, lp) = prepare(query);
+    let pp = optimize(cx, &lp);
+    let table = execute_physical(cx, &lp, &pp, eval, None);
+    (q, table)
+}
 
-    if stars.is_empty() {
-        return (q, Table::default());
-    }
-
-    let (order, _ests) = order_stars(cx, &stars, &filter_refs);
+/// Execute an already-optimized physical plan against a star evaluator.
+/// For a fixed plan the output table is byte-identical across evaluators.
+/// `actuals`, when given, receives the bound row count after every step
+/// (EXPLAIN ANALYZE); steps short-circuited by an empty prefix record 0.
+pub fn execute_physical(
+    cx: &ExecContext,
+    lp: &LogicalPlan,
+    pp: &PhysicalPlan,
+    eval: &StarEvalFn,
+    mut actuals: Option<&mut Vec<u64>>,
+) -> Table {
+    let filter_refs: Vec<&Expr> = lp.filters.iter().collect();
     let mut result: Option<Table> = None;
 
-    for &si in &order {
-        let star = &stars[si];
-        let star_table = match &result {
-            None => eval(cx, star, &filter_refs, None, None),
-            Some(res) => {
-                match find_link(&res.vars, star) {
-                    Link::Subject(v) => {
-                        // sordf-lint: allow(L3) — find_link returned a var that is present in `res.vars`.
-                        let lc = res.col_of(v).unwrap();
-                        let link_vals = res.distinct_col(lc);
-                        match cx.config.scheme {
-                            PlanScheme::RdfScanJoin => {
-                                // RDFjoin: candidate-driven star evaluation.
-                                eval(cx, star, &filter_refs, Some(&link_vals), None)
-                            }
-                            PlanScheme::Default => {
-                                // Zone-map pushdown: restrict the probed
-                                // star's scans to the candidate OID range.
-                                let s_range = if cx.config.zonemaps && !link_vals.is_empty() {
-                                    Some((
-                                        // sordf-lint: allow(L3) — guarded by !link_vals.is_empty() above.
-                                        link_vals.first().unwrap().raw(),
-                                        // sordf-lint: allow(L3) — guarded by !link_vals.is_empty() above.
-                                        link_vals.last().unwrap().raw(),
-                                    ))
-                                } else {
-                                    None
-                                };
-                                eval(cx, star, &filter_refs, None, s_range)
-                            }
-                        }
-                    }
-                    Link::Object(v) => {
-                        // Zone-map sideways information passing (§II-D): the
-                        // link variable is an object column of this star
-                        // (typically an FK). Restrict it to the [min, max]
-                        // of the already-bound values; the scan layer turns
-                        // this into POS ranges / zone-map page skipping —
-                        // e.g. a shipdate restriction on LINEITEM reaching
-                        // ORDERS through l_orderkey's zone maps.
-                        if cx.config.zonemaps {
-                            // sordf-lint: allow(L3) — find_link returned a var that is present in `res.vars`.
-                            let lc = res.col_of(v).unwrap();
-                            let vals = res.distinct_col(lc);
-                            if !vals.is_empty() {
-                                // sordf-lint: allow(L3) — guarded by !vals.is_empty() above.
-                                let lo = *vals.first().unwrap();
-                                // sordf-lint: allow(L3) — guarded by !vals.is_empty() above.
-                                let hi = *vals.last().unwrap();
-                                let ge = Expr::cmp(
-                                    Expr::Var(v),
-                                    crate::expr::CmpOp::Ge,
-                                    Expr::Const(lo),
-                                );
-                                let le = Expr::cmp(
-                                    Expr::Var(v),
-                                    crate::expr::CmpOp::Le,
-                                    Expr::Const(hi),
-                                );
-                                let mut narrowed: Vec<&Expr> = filter_refs.clone();
-                                narrowed.push(&ge);
-                                narrowed.push(&le);
-                                eval(cx, star, &narrowed, None, None)
-                            } else {
-                                eval(cx, star, &filter_refs, None, None)
-                            }
-                        } else {
-                            eval(cx, star, &filter_refs, None, None)
-                        }
-                    }
-                    Link::None => eval(cx, star, &filter_refs, None, None),
+    for step in &pp.steps {
+        let star = &lp.stars[step.star];
+        let star_table = match (&result, &step.join) {
+            (None, _) => eval(cx, star, step.access, &filter_refs, None, None),
+            (Some(res), JoinStrategy::Candidates { var }) => {
+                // RDFjoin: the prefix's distinct link values drive the
+                // star's evaluation directly.
+                // sordf-lint: allow(L3) — the optimizer only picks a link var bound by the prefix.
+                let lc = res.col_of(*var).unwrap();
+                let link_vals = res.distinct_col(lc);
+                eval(cx, star, step.access, &filter_refs, Some(&link_vals), None)
+            }
+            (Some(res), JoinStrategy::SubjectRange { var }) => {
+                // Zone-map pushdown: restrict the probed star's scans to
+                // the candidate OID range.
+                // sordf-lint: allow(L3) — the optimizer only picks a link var bound by the prefix.
+                let lc = res.col_of(*var).unwrap();
+                let link_vals = res.distinct_col(lc);
+                let s_range = if link_vals.is_empty() {
+                    None
+                } else {
+                    Some((
+                        // sordf-lint: allow(L3) — guarded by !link_vals.is_empty() above.
+                        link_vals.first().unwrap().raw(),
+                        // sordf-lint: allow(L3) — guarded by !link_vals.is_empty() above.
+                        link_vals.last().unwrap().raw(),
+                    ))
+                };
+                eval(cx, star, step.access, &filter_refs, None, s_range)
+            }
+            (Some(res), JoinStrategy::ObjectRange { var }) => {
+                // Zone-map sideways information passing (§II-D): the link
+                // variable is an object column of this star (typically an
+                // FK). Restrict it to the [min, max] of the already-bound
+                // values; the scan layer turns this into POS ranges /
+                // zone-map page skipping — e.g. a shipdate restriction on
+                // LINEITEM reaching ORDERS through l_orderkey's zone maps.
+                // sordf-lint: allow(L3) — the optimizer only picks a link var bound by the prefix.
+                let lc = res.col_of(*var).unwrap();
+                let vals = res.distinct_col(lc);
+                if vals.is_empty() {
+                    eval(cx, star, step.access, &filter_refs, None, None)
+                } else {
+                    // sordf-lint: allow(L3) — guarded by !vals.is_empty() above.
+                    let lo = *vals.first().unwrap();
+                    // sordf-lint: allow(L3) — guarded by !vals.is_empty() above.
+                    let hi = *vals.last().unwrap();
+                    let ge = Expr::cmp(Expr::Var(*var), crate::expr::CmpOp::Ge, Expr::Const(lo));
+                    let le = Expr::cmp(Expr::Var(*var), crate::expr::CmpOp::Le, Expr::Const(hi));
+                    let mut narrowed: Vec<&Expr> = filter_refs.clone();
+                    narrowed.push(&ge);
+                    narrowed.push(&le);
+                    eval(cx, star, step.access, &narrowed, None, None)
                 }
             }
+            (Some(_), _) => eval(cx, star, step.access, &filter_refs, None, None),
         };
 
         result = Some(match result {
             None => star_table,
-            Some(res) => match find_link(&res.vars, star) {
-                Link::Subject(v) | Link::Object(v) => {
-                    // sordf-lint: allow(L3) — find_link returned a var present in both tables' vars.
-                    let lc = res.col_of(v).unwrap();
-                    // sordf-lint: allow(L3) — find_link returned a var present in both tables' vars.
-                    let rc = star_table.col_of(v).unwrap();
-                    crate::join::hash_join(cx, &res, lc, &star_table, rc)
+            Some(res) => {
+                if step.join_vars.is_empty() {
+                    cross_join(cx, &res, &star_table)
+                } else {
+                    // Join on *all* shared variables — stars sharing both
+                    // subject and object variables must agree on every one.
+                    crate::join::hash_join_on(cx, &res, &star_table, &step.join_vars)
                 }
-                Link::None => cross_join(&res, &star_table),
-            },
+            }
         });
         // sordf-lint: allow(L3) — `result` was assigned Some(..) directly above.
-        if result.as_ref().unwrap().is_empty() {
+        let cur = result.as_ref().unwrap();
+        if let Some(a) = actuals.as_deref_mut() {
+            a.push(cur.len() as u64);
+        }
+        if cur.is_empty() {
             break;
         }
+    }
+    if let Some(a) = actuals {
+        // An empty prefix short-circuits: the skipped joins bind 0 rows.
+        a.resize(pp.steps.len(), 0);
     }
 
     let mut table = result.unwrap_or_default();
     // Remaining (cross-star) filters.
-    let remaining = filters_bound_by(&all_filters, &table.vars);
+    let remaining = filters_bound_by(&lp.filters, &table.vars);
     apply_filters(cx, &mut table, &remaining);
-    (q, table)
+    table
 }
 
-fn eval_one_star(
+/// The sequential star evaluator: dispatches on the plan's chosen access
+/// path (not the scheme — the optimizer already folded the scheme and the
+/// storage layout into that choice).
+pub(crate) fn eval_one_star(
     cx: &ExecContext,
     star: &Star,
+    access: StarAccess,
     filters: &[&Expr],
     candidates: Option<&[Oid]>,
     s_range: SRange,
 ) -> Table {
-    match cx.config.scheme {
-        PlanScheme::Default => {
+    match access {
+        StarAccess::PropMerge => {
             eval_star_default(cx, star, filters, candidates, s_range, Source::Full)
         }
-        PlanScheme::RdfScanJoin => eval_star_rdfscan(cx, star, filters, candidates, s_range),
+        StarAccess::RdfScan => eval_star_rdfscan(cx, star, filters, candidates, s_range),
     }
 }
 
-/// Cartesian product for disconnected BGPs (rare; kept simple).
-fn cross_join(left: &Table, right: &Table) -> Table {
+/// Cartesian product for disconnected BGPs, guarded by
+/// [`crate::context::ExecConfig::cross_join_budget`]: a disconnected BGP
+/// multiplies result sizes, so an oversized product fails the query instead
+/// of silently going O(n·m).
+fn cross_join(cx: &ExecContext, left: &Table, right: &Table) -> Table {
+    let pairs = left.len() as u128 * right.len() as u128;
+    if pairs > cx.config.cross_join_budget as u128 {
+        // sordf-lint: allow(L3) — deliberate query-boundary failure; the
+        // facade's catch_unwind turns this into Error::Exec.
+        panic!(
+            "cross join of {} x {} rows exceeds cross_join_budget={}; \
+             connect the patterns with a shared variable or raise the budget",
+            left.len(),
+            right.len(),
+            cx.config.cross_join_budget
+        );
+    }
     let mut vars = left.vars.clone();
     vars.extend(&right.vars);
     let mut out = Table::empty(vars);
@@ -266,66 +266,161 @@ fn cross_join(left: &Table, right: &Table) -> Table {
     out
 }
 
-/// Describe the plan without executing it.
-pub fn explain(cx: &ExecContext, query: &Query) -> PlanInfo {
-    let mut q = query.clone();
-    let (stars, extra_filters) = stars_of(&mut q);
-    let mut all_filters: Vec<Expr> = Vec::new();
-    for f in q.filters.iter().chain(extra_filters.iter()) {
-        for c in f.conjuncts() {
-            all_filters.push(c.clone());
-        }
-    }
-    let filter_refs: Vec<&Expr> = all_filters.iter().collect();
-    let (order, estimates) = order_stars(cx, &stars, &filter_refs);
-
-    let intra: u64 = match cx.config.scheme {
-        PlanScheme::Default => stars
-            .iter()
-            .map(|s| s.props.len().saturating_sub(1) as u64)
-            .sum(),
-        PlanScheme::RdfScanJoin => 0,
+/// Build the EXPLAIN description of an optimized plan. `actuals`, when
+/// given, carries the per-step bound row counts of an actual execution.
+fn plan_info(q: &Query, lp: &LogicalPlan, pp: &PhysicalPlan, actuals: Option<&[u64]>) -> PlanInfo {
+    let var_name = |v: crate::table::VarId| {
+        q.vars
+            .get(v.0 as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("?")
+            .to_string()
     };
-    let cross = stars.len().saturating_sub(1) as u64;
+    let steps: Vec<StepInfo> = pp
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(pos, st)| StepInfo {
+            star: st.star,
+            subject: var_name(lp.stars[st.star].subject_var),
+            n_props: lp.stars[st.star].props.len(),
+            access: st.access.label(),
+            join: st.join.label(),
+            join_vars: st.join_vars.iter().map(|&v| var_name(v)).collect(),
+            est_star_rows: st.est_star_rows,
+            est_rows: st.est_rows,
+            cost: st.cost,
+            actual_rows: actuals.and_then(|a| a.get(pos).copied()),
+        })
+        .collect();
+
+    // Fig. 4's join-effort accounting: every IdxScan+MergeJoin step pays
+    // props-1 merge self-joins; RDFscan steps pay none.
+    let intra: u64 = steps
+        .iter()
+        .filter(|s| s.access == StarAccess::PropMerge.label())
+        .map(|s| s.n_props.saturating_sub(1) as u64)
+        .sum();
+    let cross = lp.stars.len().saturating_sub(1) as u64;
 
     let mut text = String::new();
     use std::fmt::Write;
     let _ = writeln!(
         text,
-        "plan: {:?}, zonemaps={}, {} star(s), {} intra-star join(s), {} cross-star join(s)",
-        cx.config.scheme,
-        cx.config.zonemaps,
-        stars.len(),
+        "plan: {:?}, zonemaps={}, {} star(s), {} intra-star join(s), {} cross-star join(s), cost {:.1}",
+        pp.scheme,
+        pp.zonemaps,
+        lp.stars.len(),
         intra,
-        cross
+        cross,
+        pp.total_cost,
     );
-    for (pos, &si) in order.iter().enumerate() {
-        let star = &stars[si];
-        let op = match (cx.config.scheme, pos) {
-            (PlanScheme::Default, _) => "IdxScan+MergeJoin",
-            (PlanScheme::RdfScanJoin, 0) => "RDFscan",
-            (PlanScheme::RdfScanJoin, _) => "RDFjoin",
+    for (pos, s) in steps.iter().enumerate() {
+        let join = if s.join_vars.is_empty() {
+            s.join.to_string()
+        } else {
+            format!("{}(?{})", s.join, s.join_vars.join(", ?"))
         };
-        let _ = writeln!(
+        let _ = write!(
             text,
-            "  star {} [{}]: subject {}, {} patterns, est {:.1} rows",
-            pos,
-            op,
-            q.vars
-                .get(star.subject_var.0 as usize)
-                .map(|s| s.as_str())
-                .unwrap_or("?"),
-            star.props.len(),
-            estimates[pos],
+            "  star {} [{}]: subject {}, {} patterns, join {}, cost {:.1}, est {:.1} rows",
+            pos, s.access, s.subject, s.n_props, join, s.cost, s.est_rows,
         );
+        match s.actual_rows {
+            Some(n) => {
+                let _ = writeln!(text, ", actual {n} rows");
+            }
+            None => {
+                let _ = writeln!(text);
+            }
+        }
     }
+
     PlanInfo {
-        scheme: cx.config.scheme,
-        n_stars: stars.len(),
-        star_order: order,
+        scheme: pp.scheme,
+        n_stars: lp.stars.len(),
+        star_order: pp.star_order(),
         intra_star_joins: intra,
         cross_star_joins: cross,
-        estimates,
+        estimates: steps.iter().map(|s| s.est_star_rows).collect(),
+        steps,
+        total_cost: pp.total_cost,
         text,
+    }
+}
+
+/// Describe the chosen plan without executing it.
+pub fn explain(cx: &ExecContext, query: &Query) -> PlanInfo {
+    let (q, lp) = prepare(query);
+    let pp = optimize(cx, &lp);
+    plan_info(&q, &lp, &pp, None)
+}
+
+/// Execute the chosen plan and describe it with per-step actual
+/// cardinalities alongside the estimates (EXPLAIN ANALYZE).
+pub fn explain_analyze(cx: &ExecContext, query: &Query) -> (PlanInfo, ResultSet) {
+    let (q, lp) = prepare(query);
+    let pp = optimize(cx, &lp);
+    let mut actuals = Vec::with_capacity(pp.steps.len());
+    let table = execute_physical(cx, &lp, &pp, &eval_one_star, Some(&mut actuals));
+    let info = plan_info(&q, &lp, &pp, Some(&actuals));
+    let rs = finalize(cx, &q, &table);
+    (info, rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{ExecConfig, StorageRef};
+    use crate::table::VarId;
+    use sordf_columnar::{BufferPool, DiskManager};
+    use sordf_model::Dictionary;
+    use std::sync::Arc;
+
+    fn small_table(var: u16, n: u64) -> Table {
+        let mut t = Table::empty(vec![VarId(var)]);
+        for i in 0..n {
+            t.push_row(&[Oid::iri(i + 1)]);
+        }
+        t
+    }
+
+    #[test]
+    fn cross_join_within_budget_and_over_budget() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let store = sordf_storage::BaselineStore::build(&dm, &[]);
+        let pool = Box::leak(Box::new(BufferPool::new(Arc::clone(&dm), 16)));
+        let dict = Box::leak(Box::new(Dictionary::new()));
+        let cx = ExecContext::new(
+            pool,
+            dict,
+            StorageRef::Baseline(&store),
+            ExecConfig {
+                cross_join_budget: 12,
+                ..ExecConfig::default()
+            },
+        );
+        let left = small_table(0, 3);
+        let right = small_table(1, 4);
+        // 3 x 4 = 12 pairs: exactly at the budget — allowed.
+        let out = cross_join(&cx, &left, &right);
+        assert_eq!(out.len(), 12);
+        assert_eq!(out.vars, vec![VarId(0), VarId(1)]);
+
+        // 3 x 5 = 15 pairs: over budget — fails loudly instead of running.
+        let right5 = small_table(1, 5);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cross_join(&cx, &left, &right5)
+        }));
+        assert!(err.is_err(), "over-budget cross join must not run");
+        let msg = err
+            .unwrap_err()
+            .downcast::<String>()
+            .map(|b| *b)
+            .unwrap_or_default();
+        assert!(
+            msg.contains("cross_join_budget"),
+            "panic names the budget: {msg}"
+        );
     }
 }

@@ -291,6 +291,27 @@ fn scan_multi_table_rw(
     }
 }
 
+/// Value-at-a-time star evaluator dispatching on the physical plan's
+/// chosen access path — the rowwise counterpart of the planner's
+/// `eval_one_star`, pluggable as a [`crate::planner::StarEvalFn`].
+pub fn eval_star_rowwise(
+    cx: &ExecContext,
+    star: &Star,
+    access: crate::plan::StarAccess,
+    filters: &[&Expr],
+    candidates: Option<&[Oid]>,
+    s_range: SRange,
+) -> Table {
+    match access {
+        crate::plan::StarAccess::PropMerge => {
+            eval_star_default_rowwise(cx, star, filters, candidates, s_range, Source::Full)
+        }
+        crate::plan::StarAccess::RdfScan => {
+            eval_star_rdfscan_rowwise(cx, star, filters, candidates, s_range)
+        }
+    }
+}
+
 /// Value-at-a-time [`crate::star::eval_star_default`].
 pub fn eval_star_default_rowwise(
     cx: &ExecContext,

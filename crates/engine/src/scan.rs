@@ -414,6 +414,7 @@ mod tests {
             ExecConfig {
                 scheme: PlanScheme::RdfScanJoin,
                 zonemaps: true,
+                ..Default::default()
             },
         )
     }

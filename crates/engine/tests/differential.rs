@@ -156,6 +156,7 @@ fn assert_all_agree(f: &Fixture, make_query: impl Fn(&mut Dictionary) -> Query) 
             ExecConfig {
                 scheme,
                 zonemaps: zm,
+                ..Default::default()
             },
         );
         let rs = execute(&cx, &query);
@@ -476,6 +477,7 @@ fn explain_join_counts_match_fig4() {
         ExecConfig {
             scheme: PlanScheme::Default,
             zonemaps: false,
+            ..Default::default()
         },
     );
     let plan = explain(&cx_default, &q);
@@ -496,6 +498,7 @@ fn explain_join_counts_match_fig4() {
         ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
+            ..Default::default()
         },
     );
     let plan = explain(&cx_rdf, &q);
@@ -524,6 +527,7 @@ fn rdfscan_stats_record_operator_use() {
         ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
+            ..Default::default()
         },
     );
     let _ = execute(&cx, &q);

@@ -69,6 +69,7 @@ fn cx(f: &Fix) -> ExecContext<'_> {
         ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
+            ..Default::default()
         },
     )
 }
@@ -293,6 +294,7 @@ fn explain_structure() {
         ExecConfig {
             scheme: PlanScheme::Default,
             zonemaps: false,
+            ..Default::default()
         },
     );
     let plan2 = explain(&c2, &q);
@@ -325,6 +327,87 @@ fn duplicate_object_vars_are_rewritten_not_lost() {
     let expected = (0..60u64).filter(|i| (i % 10) * 5 == *i).count();
     assert_eq!(rs.len(), expected);
     assert!(expected >= 2, "fixture should have matches (0 and 25)");
+}
+
+#[test]
+fn cross_star_join_uses_all_shared_vars() {
+    // Two stars sharing BOTH the subject-link var ?t and a second var ?s
+    // (star B points back at star A's subject). Joining on ?t alone — the
+    // old single-link behavior — would admit the poison row t1 -back-> s2.
+    let mut ts = TripleSet::new();
+    let mut add = |s: &str, p: &str, o: Term| {
+        ts.add(&TermTriple::new(
+            Term::iri(format!("http://e/{s}")),
+            Term::iri(format!("http://e/{p}")),
+            o,
+        ))
+        .unwrap();
+    };
+    let iri = |n: &str| Term::iri(format!("http://e/{n}"));
+    add("s1", "knows", iri("t1"));
+    add("s1", "val", Term::int(1));
+    add("s2", "knows", iri("t2"));
+    add("s2", "val", Term::int(2));
+    add("t1", "back", iri("s1"));
+    add("t1", "back", iri("s2")); // matches on ?t but not ?s: must be dropped
+    add("t1", "tag", Term::str("X"));
+    add("t2", "back", iri("s2"));
+    add("t2", "tag", Term::str("Y"));
+
+    let dm = Arc::new(DiskManager::temp().unwrap());
+    let spo = ts.sorted_spo();
+    let mut schema = sordf_schema::discover(&spo, &ts.dict, &SchemaConfig::default());
+    let spec = ClusterSpec::auto(&schema);
+    let store = build_clustered(&dm, &spo, &mut schema, &spec, false);
+    let pool = BufferPool::new(Arc::clone(&dm), 64);
+
+    let mut q = Query::default();
+    let s = q.var("s");
+    let t = q.var("t");
+    let v = q.var("v");
+    let g = q.var("g");
+    let pred = |name: &str| ts.dict.iri_oid(&format!("http://e/{name}")).unwrap();
+    for (sv, p, ov) in [
+        (s, "knows", t),
+        (s, "val", v),
+        (t, "back", s),
+        (t, "tag", g),
+    ] {
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(sv),
+            p: pred(p),
+            o: VarOrOid::Var(ov),
+        });
+    }
+
+    for scheme in [PlanScheme::Default, PlanScheme::RdfScanJoin] {
+        let cx = ExecContext::new(
+            &pool,
+            &ts.dict,
+            StorageRef::Clustered {
+                store: &store,
+                schema: &schema,
+            },
+            ExecConfig {
+                scheme,
+                zonemaps: true,
+                ..Default::default()
+            },
+        );
+        let rs = execute(&cx, &q);
+        assert_eq!(
+            rs.len(),
+            2,
+            "{scheme:?}: only mutually-consistent (s,t) pairs survive"
+        );
+        let rows = rs.canonical(&ts.dict);
+        assert!(rows.iter().any(|r| r.contains("s1") && r.contains("X")));
+        assert!(rows.iter().any(|r| r.contains("s2") && r.contains("Y")));
+        assert!(
+            !rows.iter().any(|r| r.contains("s2") && r.contains("X")),
+            "{scheme:?}: poison row joined on ?t only"
+        );
+    }
 }
 
 #[test]

@@ -10,7 +10,6 @@ use proptest::prelude::*;
 use sordf_columnar::{BufferPool, DiskManager};
 use sordf_engine::parallel::{execute_parallel, ParallelConfig};
 use sordf_engine::rowwise;
-use sordf_engine::scan::Source;
 use sordf_engine::star::Star;
 use sordf_engine::{
     execute, execute_with, AggFunc, CmpOp, ExecConfig, ExecContext, Expr, PlanScheme, Query,
@@ -139,8 +138,18 @@ fn contexts<'a>(
     scheme: PlanScheme,
     zonemaps: bool,
 ) -> Vec<(&'static str, ExecContext<'a>, &'a sordf_model::Dictionary)> {
-    let mk =
-        |storage, dict| ExecContext::new(&g.pool, dict, storage, ExecConfig { scheme, zonemaps });
+    let mk = |storage, dict| {
+        ExecContext::new(
+            &g.pool,
+            dict,
+            storage,
+            ExecConfig {
+                scheme,
+                zonemaps,
+                ..Default::default()
+            },
+        )
+    };
     vec![
         (
             "baseline",
@@ -176,18 +185,12 @@ fn contexts<'a>(
 fn rowwise_eval(
     cx: &ExecContext,
     star: &Star,
+    access: sordf_engine::StarAccess,
     filters: &[&Expr],
     cands: Option<&[Oid]>,
     s_range: sordf_engine::scan::SRange,
 ) -> sordf_engine::Table {
-    match cx.config.scheme {
-        PlanScheme::Default => {
-            rowwise::eval_star_default_rowwise(cx, star, filters, cands, s_range, Source::Full)
-        }
-        PlanScheme::RdfScanJoin => {
-            rowwise::eval_star_rdfscan_rowwise(cx, star, filters, cands, s_range)
-        }
-    }
+    rowwise::eval_star_rowwise(cx, star, access, filters, cands, s_range)
 }
 
 /// A star query over subject props, optionally linked to the tag star

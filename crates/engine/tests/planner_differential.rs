@@ -1,0 +1,321 @@
+//! Optimizer differential: the cost-based plan picked by
+//! [`sordf_engine::optimize`] must return results **canonically identical**
+//! to every forced star-order permutation ([`optimize_with_order`]), across
+//! the sequential, morsel-parallel, and value-at-a-time executors, both plan
+//! schemes, every storage generation, and with or without pending delta
+//! writes. Cost-based planning is a pure choice among equivalent plans —
+//! never a semantic change.
+
+use proptest::prelude::*;
+use sordf_columnar::{BufferPool, DiskManager};
+use sordf_engine::parallel::{execute_physical_parallel, ParallelConfig};
+use sordf_engine::rowwise;
+use sordf_engine::{
+    execute_physical_seq, execute_with, optimize, optimize_with_order, prepare, CmpOp, ExecConfig,
+    ExecContext, Expr, PlanScheme, Query, StorageRef, TriplePattern, VarOrOid,
+};
+use sordf_model::{Oid, Term, TermTriple, Triple};
+use sordf_schema::SchemaConfig;
+use sordf_storage::{
+    build_clustered, reorganize, BaselineStore, ClusterSpec, DeltaStore, TripleSet,
+};
+use std::sync::Arc;
+
+/// A random mostly-regular graph with two entity kinds (subjects and tags)
+/// so multi-star queries have real foreign-key links, plus irregular noise.
+fn arb_graph() -> impl Strategy<Value = Vec<TermTriple>> {
+    (
+        2usize..30,
+        proptest::collection::vec((0u32..5, 0u8..3), 0..40),
+    )
+        .prop_map(|(n, noise)| {
+            let mut triples = Vec::new();
+            for t in 0..3u64 {
+                triples.push(TermTriple::new(
+                    Term::iri(format!("http://t/tag{t}")),
+                    Term::iri("http://t/label"),
+                    Term::int(t as i64 * 11),
+                ));
+            }
+            for i in 0..n as u64 {
+                let s = Term::iri(format!("http://t/s{i}"));
+                triples.push(TermTriple::new(
+                    s.clone(),
+                    Term::iri("http://t/qty"),
+                    Term::int((i % 13) as i64),
+                ));
+                if i % 4 != 0 {
+                    triples.push(TermTriple::new(
+                        s.clone(),
+                        Term::iri("http://t/price"),
+                        Term::int((i % 7) as i64 * 10),
+                    ));
+                }
+                triples.push(TermTriple::new(
+                    s,
+                    Term::iri("http://t/tag"),
+                    Term::iri(format!("http://t/tag{}", i % 3)),
+                ));
+            }
+            for (si, quirk) in noise {
+                let s = Term::iri(format!("http://t/s{}", si as u64 % n as u64));
+                match quirk {
+                    0 => triples.push(TermTriple::new(
+                        s,
+                        Term::iri("http://t/qty"),
+                        Term::str("exception"),
+                    )),
+                    1 => triples.push(TermTriple::new(
+                        s,
+                        Term::iri("http://t/tag"),
+                        Term::iri(format!("http://t/tag{}", si % 3)),
+                    )),
+                    _ => triples.push(TermTriple::new(
+                        s,
+                        Term::iri("http://t/rare"),
+                        Term::int(si as i64),
+                    )),
+                }
+            }
+            triples
+        })
+}
+
+struct Gen {
+    _dm: Arc<DiskManager>,
+    pool: BufferPool,
+    dict: sordf_model::Dictionary,
+    baseline: BaselineStore,
+    sparse: sordf_storage::ClusteredStore,
+    sparse_schema: sordf_schema::EmergentSchema,
+    dense: sordf_storage::ClusteredStore,
+    dense_schema: sordf_schema::EmergentSchema,
+    dense_dict: sordf_model::Dictionary,
+}
+
+fn build(triples: &[TermTriple]) -> Gen {
+    let mut ts = TripleSet::new();
+    ts.extend_terms(triples).unwrap();
+    let dm = Arc::new(DiskManager::temp().unwrap());
+    let spo = ts.sorted_spo();
+    let baseline = BaselineStore::build(&dm, &spo);
+    let mut sparse_schema = sordf_schema::discover(&spo, &ts.dict, &SchemaConfig::default());
+    let spec = ClusterSpec::auto(&sparse_schema);
+    let sparse = build_clustered(&dm, &spo, &mut sparse_schema, &spec, false);
+    let dict = ts.dict.clone();
+
+    let mut dense_schema = sparse_schema.clone();
+    reorganize(&mut ts, &mut dense_schema, &spec);
+    let spo = ts.sorted_spo();
+    let dense = build_clustered(&dm, &spo, &mut dense_schema, &spec, true);
+    let pool = BufferPool::new(Arc::clone(&dm), 512);
+    Gen {
+        _dm: dm,
+        pool,
+        dict,
+        baseline,
+        sparse,
+        sparse_schema,
+        dense,
+        dense_schema,
+        dense_dict: ts.dict,
+    }
+}
+
+fn contexts<'a>(
+    g: &'a Gen,
+    scheme: PlanScheme,
+    zonemaps: bool,
+) -> Vec<(&'static str, ExecContext<'a>, &'a sordf_model::Dictionary)> {
+    let mk = |storage, dict| {
+        ExecContext::new(
+            &g.pool,
+            dict,
+            storage,
+            ExecConfig {
+                scheme,
+                zonemaps,
+                ..Default::default()
+            },
+        )
+    };
+    vec![
+        (
+            "baseline",
+            mk(StorageRef::Baseline(&g.baseline), &g.dict),
+            &g.dict,
+        ),
+        (
+            "sparse-cs",
+            mk(
+                StorageRef::Clustered {
+                    store: &g.sparse,
+                    schema: &g.sparse_schema,
+                },
+                &g.dict,
+            ),
+            &g.dict,
+        ),
+        (
+            "dense-cs",
+            mk(
+                StorageRef::Clustered {
+                    store: &g.dense,
+                    schema: &g.dense_schema,
+                },
+                &g.dense_dict,
+            ),
+            &g.dense_dict,
+        ),
+    ]
+}
+
+/// A pending write batch for one generation's dictionary: a fresh subject
+/// with the regular star, plus one extra `qty` on an existing subject.
+/// Returns `None` for dictionaries missing the needed OIDs.
+fn delta_for(dict: &sordf_model::Dictionary) -> Option<DeltaStore> {
+    let p = |n: &str| dict.iri_oid(&format!("http://t/{n}"));
+    let s0 = dict.iri_oid("http://t/s0")?;
+    let tag0 = dict.iri_oid("http://t/tag0")?;
+    let qty = p("qty")?;
+    let tag = p("tag")?;
+    let mut ds = DeltaStore::new();
+    let _ = ds.insert_run(vec![
+        Triple {
+            s: s0,
+            p: qty,
+            o: Oid::from_int(99).unwrap(),
+        },
+        Triple {
+            s: tag0,
+            p: tag,
+            o: Oid::from_int(7).unwrap(),
+        },
+    ]);
+    Some(ds)
+}
+
+/// A chained multi-star BGP: the subject star (1-3 props), optionally the
+/// tag star reached through `?s tag ?t`, with a range filter on qty.
+fn make_query(dict: &sordf_model::Dictionary, width: usize, link: bool, lo: i64) -> Option<Query> {
+    let mut q = Query::default();
+    let s = q.var("s");
+    let preds = ["qty", "price", "date"];
+    for p in preds.iter().take(width) {
+        let oid = dict.iri_oid(&format!("http://t/{p}"))?;
+        let v = q.var(&format!("o_{p}"));
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(s),
+            p: oid,
+            o: VarOrOid::Var(v),
+        });
+    }
+    if link {
+        let tag = dict.iri_oid("http://t/tag")?;
+        let label = dict.iri_oid("http://t/label")?;
+        let t = q.var("t");
+        let l = q.var("l");
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(s),
+            p: tag,
+            o: VarOrOid::Var(t),
+        });
+        q.patterns.push(TriplePattern {
+            s: VarOrOid::Var(t),
+            p: label,
+            o: VarOrOid::Var(l),
+        });
+    }
+    let qty = q.var("o_qty");
+    q.filters.push(Expr::cmp(
+        Expr::Var(qty),
+        CmpOp::Ge,
+        Expr::Const(Oid::from_int(lo).unwrap()),
+    ));
+    Some(q)
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == items.len() {
+            out.push(items.clone());
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            rec(items, k + 1, out);
+            items.swap(k, i);
+        }
+    }
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    rec(&mut items, 0, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn optimizer_plan_matches_every_forced_order(
+        triples in arb_graph(),
+        width in 1usize..4,
+        link in any::<bool>(),
+        lo in 0i64..12,
+        zonemaps in any::<bool>(),
+        scheme_pick in any::<bool>(),
+        with_delta in any::<bool>(),
+    ) {
+        let g = build(&triples);
+        let scheme = if scheme_pick { PlanScheme::RdfScanJoin } else { PlanScheme::Default };
+        for (name, mut cx, dict) in contexts(&g, scheme, zonemaps) {
+            let delta = if with_delta {
+                let Some(ds) = delta_for(dict) else { continue };
+                ds.current_view_arc()
+            } else {
+                None
+            };
+            cx = cx.with_delta(delta);
+            let Some(q) = make_query(dict, width, link, lo) else { continue };
+            let (q, lp) = prepare(&q);
+
+            // The optimizer's pick, through all three executors.
+            let pp = optimize(&cx, &lp);
+            let chosen = execute_physical_seq(&cx, &q, &lp, &pp).canonical(dict);
+            let row = execute_with(&cx, &q, &|cx, star, access, filters, cands, s_range| {
+                rowwise::eval_star_rowwise(cx, star, access, filters, cands, s_range)
+            });
+            prop_assert_eq!(
+                &chosen, &row.canonical(dict),
+                "optimizer plan: sequential vs rowwise on {} ({:?}, zm={}, delta={})",
+                name, scheme, zonemaps, with_delta
+            );
+            let par = ParallelConfig { workers: 3, min_morsel_pages: 1, min_morsel_rows: 1 };
+            let par_rs = execute_physical_parallel(&cx, &q, &lp, &pp, &par);
+            prop_assert_eq!(
+                &chosen, &par_rs.canonical(dict),
+                "optimizer plan: sequential vs parallel on {} ({:?}, zm={}, delta={})",
+                name, scheme, zonemaps, with_delta
+            );
+
+            // Every forced star-order permutation must agree with the pick —
+            // and the optimizer's cost must be the minimum over all orders.
+            let mut best_forced = f64::INFINITY;
+            for perm in permutations(lp.stars.len()) {
+                let forced = optimize_with_order(&cx, &lp, &perm);
+                best_forced = best_forced.min(forced.total_cost);
+                let rs = execute_physical_seq(&cx, &q, &lp, &forced);
+                prop_assert_eq!(
+                    &chosen, &rs.canonical(dict),
+                    "forced order {:?} diverged on {} ({:?}, zm={}, delta={})",
+                    perm, name, scheme, zonemaps, with_delta
+                );
+            }
+            prop_assert!(
+                pp.total_cost <= best_forced * (1.0 + 1e-9),
+                "optimizer cost {} above best forced order {} on {}",
+                pp.total_cost, best_forced, name
+            );
+        }
+    }
+}

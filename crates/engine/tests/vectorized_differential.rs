@@ -126,6 +126,7 @@ fn contexts<'a>(g: &'a Gen, zonemaps: bool) -> Vec<(&'static str, ExecContext<'a
             ExecConfig {
                 scheme: PlanScheme::RdfScanJoin,
                 zonemaps,
+                ..Default::default()
             },
         )
     };

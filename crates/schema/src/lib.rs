@@ -37,6 +37,7 @@ pub mod incremental;
 pub mod merge;
 pub mod naming;
 pub mod stats;
+pub mod statsview;
 pub mod summary;
 pub mod types;
 pub mod typing;
@@ -46,6 +47,7 @@ mod pipeline;
 pub use config::SchemaConfig;
 pub use incremental::{DriftStats, IncrementalAssigner};
 pub use pipeline::discover;
+pub use statsview::StatsView;
 pub use summary::{summarize, SchemaSummary};
 pub use types::{
     ClassDef, ClassId, ColStats, ColumnDef, EmergentSchema, ForeignKey, MultiPropDef, TripleHome,

@@ -34,6 +34,7 @@ pub fn parse_sparql(src: &str, dict: &Dictionary) -> Result<Query, ParseError> {
         dict,
         prefixes: FxHashMap::default(),
         query: Query::default(),
+        path_seq: 0,
     };
     p.prefixes.insert(
         "xsd".to_string(),
@@ -53,6 +54,8 @@ struct Parser<'d> {
     dict: &'d Dictionary,
     prefixes: FxHashMap<String, String>,
     query: Query,
+    /// Fresh-variable counter for desugared property paths.
+    path_seq: usize,
 }
 
 impl<'d> Parser<'d> {
@@ -221,14 +224,14 @@ impl<'d> Parser<'d> {
         }
     }
 
-    /// subject (predicate object (, object)* (; predicate object...)*)? '.'
+    /// subject (path object (, object)* (; path object...)*)? '.'
     fn parse_triples_block(&mut self) -> Result<(), ParseError> {
         let s = self.parse_var_or_term()?;
         loop {
-            let p = self.parse_predicate()?;
+            let path = self.parse_path()?;
             loop {
                 let o = self.parse_var_or_term()?;
-                self.query.patterns.push(TriplePattern { s, p, o });
+                self.push_path(s, &path, o);
                 if *self.peek() == Token::Comma {
                     self.bump();
                     continue;
@@ -249,6 +252,50 @@ impl<'d> Parser<'d> {
             self.bump();
         }
         Ok(())
+    }
+
+    /// A property path: `p1/p2/.../pn` (sequence paths only — the shape
+    /// chained-star analytics need). A one-element path is a plain
+    /// predicate.
+    fn parse_path(&mut self) -> Result<Vec<Oid>, ParseError> {
+        let mut path = vec![self.parse_predicate()?];
+        while *self.peek() == Token::Slash {
+            self.bump();
+            path.push(self.parse_predicate()?);
+        }
+        Ok(path)
+    }
+
+    /// Desugar `s p1/p2/.../pn o` into a chain of triple patterns through
+    /// fresh intermediate variables: `s p1 ?__path0 . ?__path0 p2 ... o`.
+    /// The fresh variables join consecutive stars, so a path query plans as
+    /// a chained multi-star BGP.
+    fn push_path(&mut self, s: VarOrOid, path: &[Oid], o: VarOrOid) {
+        let mut subj = s;
+        for (i, &p) in path.iter().enumerate() {
+            let obj = if i + 1 == path.len() {
+                o
+            } else {
+                VarOrOid::Var(self.fresh_path_var())
+            };
+            self.query
+                .patterns
+                .push(TriplePattern { s: subj, p, o: obj });
+            subj = obj;
+        }
+    }
+
+    /// A variable name no user variable can collide with (SPARQL variable
+    /// names cannot start with `_` in this parser's lexer; the loop guards
+    /// against pathological registries anyway).
+    fn fresh_path_var(&mut self) -> sordf_engine::VarId {
+        loop {
+            let name = format!("__path{}", self.path_seq);
+            self.path_seq += 1;
+            if !self.query.vars.iter().any(|v| v == &name) {
+                return self.query.var(&name);
+            }
+        }
     }
 
     fn parse_predicate(&mut self) -> Result<Oid, ParseError> {
@@ -713,6 +760,39 @@ mod tests {
         ] {
             assert!(parse_sparql(bad, &dict).is_err(), "should reject {bad}");
         }
+    }
+
+    #[test]
+    fn sequence_path_desugars_to_chained_patterns() {
+        let dict = dict_with_iris(&["http://e/p", "http://e/q", "http://e/r"]);
+        let q = parse_sparql(
+            "SELECT ?s ?o WHERE { ?s <http://e/p>/<http://e/q>/<http://e/r> ?o . }",
+            &dict,
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 3, "3-segment path -> 3 patterns");
+        // Chain: s -p-> ?__path0 -q-> ?__path1 -r-> o.
+        assert_eq!(q.patterns[0].o, q.patterns[1].s, "fresh var links 1->2");
+        assert_eq!(q.patterns[1].o, q.patterns[2].s, "fresh var links 2->3");
+        let end = q.patterns[2].o.as_var().unwrap();
+        assert_eq!(q.vars[end.0 as usize], "o", "path ends at the object");
+        let mid = q.patterns[0].o.as_var().unwrap();
+        assert!(q.vars[mid.0 as usize].starts_with("__path"));
+        // Fresh vars are internal: not in the SELECT list.
+        assert_eq!(q.select.len(), 2);
+    }
+
+    #[test]
+    fn path_mixes_with_predicate_object_lists() {
+        let dict = dict_with_iris(&["http://e/p", "http://e/q", "http://e/x"]);
+        let q = parse_sparql(
+            "SELECT ?s WHERE { ?s <http://e/x> ?v ; <http://e/p>/<http://e/q> ?o . }",
+            &dict,
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 3);
+        // The path tail shares the block's subject.
+        assert_eq!(q.patterns[0].s, q.patterns[1].s);
     }
 
     #[test]

@@ -153,6 +153,21 @@ impl DeltaView {
         }
         out
     }
+
+    /// Visible insert counts per predicate, ascending by predicate — the
+    /// drift adjustment the optimizer's statistics view folds into its
+    /// cardinality estimates (pending writes inflate per-predicate counts).
+    /// One ordered walk over the PSO-sorted inserts.
+    pub fn insert_counts_by_pred(&self) -> Vec<(Oid, u64)> {
+        let mut out: Vec<(Oid, u64)> = Vec::new();
+        for t in &self.inserts_pso {
+            match out.last_mut() {
+                Some((p, n)) if *p == t.p => *n += 1,
+                _ => out.push((t.p, 1)),
+            }
+        }
+        out
+    }
 }
 
 /// Union of two (p, s, o)-sorted triple lists, order preserved.

@@ -1,0 +1,94 @@
+//! Golden EXPLAIN snapshots: the optimizer's plan choice for every RDF-H
+//! catalog query, per plan scheme, rendered without cost floats (operator
+//! names, star order, join strategies, join variables) so the files are
+//! stable across cost-model tuning that does not change the *choice*.
+//!
+//! A diff here means the optimizer picked a different plan — either an
+//! intended cost-model improvement (regenerate with
+//! `SORDF_UPDATE_GOLDEN=1 cargo test --test explain_snapshots`) or a
+//! regression to catch.
+
+use sordf::{Database, ExecConfig, PlanInfo, PlanScheme};
+use sordf_rdfh::{generate, query, RdfhConfig, ALL_QUERIES};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Float-free structural rendering of a plan: everything EXPLAIN commits to
+/// except costs and cardinality estimates.
+fn render(info: &PlanInfo) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scheme={:?} stars={} order={:?} intra={} cross={}",
+        info.scheme, info.n_stars, info.star_order, info.intra_star_joins, info.cross_star_joins
+    );
+    for (i, s) in info.steps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "step {i}: star {} subject=?{} props={} access={} join={} on={:?}",
+            s.star, s.subject, s.n_props, s.access, s.join, s.join_vars
+        );
+    }
+    out
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("explain")
+}
+
+#[test]
+fn rdfh_plans_match_golden_snapshots() {
+    let data = generate(&RdfhConfig::new(0.001));
+    let db = Database::in_temp_dir().unwrap();
+    db.load_terms(&data.triples).unwrap();
+    db.self_organize().unwrap();
+
+    let update = std::env::var("SORDF_UPDATE_GOLDEN").is_ok();
+    let dir = golden_dir();
+    let mut diffs = Vec::new();
+    for qid in ALL_QUERIES {
+        for (tag, scheme) in [
+            ("default", PlanScheme::Default),
+            ("rdfscan", PlanScheme::RdfScanJoin),
+        ] {
+            let info = db
+                .explain_with(
+                    query(qid),
+                    sordf::Generation::Clustered,
+                    ExecConfig {
+                        scheme,
+                        zonemaps: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{} ({tag}): {e}", qid.name()));
+            let got = render(&info);
+            let path = dir.join(format!("{}_{tag}.txt", qid.name()));
+            if update {
+                std::fs::create_dir_all(&dir).unwrap();
+                std::fs::write(&path, &got).unwrap();
+                continue;
+            }
+            let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: missing golden file (run with SORDF_UPDATE_GOLDEN=1 to create): {e}",
+                    path.display()
+                )
+            });
+            if got != want {
+                diffs.push(format!(
+                    "--- {} ---\nexpected:\n{want}\ngot:\n{got}",
+                    path.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        diffs.is_empty(),
+        "EXPLAIN drifted from golden snapshots (SORDF_UPDATE_GOLDEN=1 regenerates):\n{}",
+        diffs.join("\n")
+    );
+}

@@ -38,6 +38,7 @@ fn configs(rig: &Rig) -> Vec<(&'static str, &Database, Generation, ExecConfig)> 
             ExecConfig {
                 scheme: PlanScheme::Default,
                 zonemaps: true,
+                ..Default::default()
             },
         ),
         (
@@ -47,6 +48,7 @@ fn configs(rig: &Rig) -> Vec<(&'static str, &Database, Generation, ExecConfig)> 
             ExecConfig {
                 scheme: PlanScheme::RdfScanJoin,
                 zonemaps: true,
+                ..Default::default()
             },
         ),
         (
@@ -56,6 +58,7 @@ fn configs(rig: &Rig) -> Vec<(&'static str, &Database, Generation, ExecConfig)> 
             ExecConfig {
                 scheme: PlanScheme::RdfScanJoin,
                 zonemaps: true,
+                ..Default::default()
             },
         ),
     ]

@@ -137,7 +137,7 @@ proptest! {
         ];
         let mut reference: Option<Vec<String>> = None;
         for (db, generation, scheme, zm) in runs {
-            let exec = ExecConfig { scheme, zonemaps: zm };
+            let exec = ExecConfig { scheme, zonemaps: zm, ..Default::default() };
             let rs = db.query_with(q, generation, exec).unwrap();
             let canon = rs.canonical(&db.dict());
             match &reference {

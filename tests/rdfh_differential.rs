@@ -71,6 +71,7 @@ fn all_catalog_queries_agree_across_configs() {
             let exec = ExecConfig {
                 scheme: *scheme,
                 zonemaps: *zonemaps,
+                ..Default::default()
             };
             let rs = db
                 .query_with(query(qid), *generation, exec)
@@ -114,6 +115,7 @@ fn rdfscan_answers_q6_without_joins() {
             ExecConfig {
                 scheme: PlanScheme::RdfScanJoin,
                 zonemaps: true,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -46,10 +46,12 @@ fn schemes() -> [ExecConfig; 2] {
         ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
+            ..Default::default()
         },
         ExecConfig {
             scheme: PlanScheme::Default,
             zonemaps: true,
+            ..Default::default()
         },
     ]
 }

@@ -130,14 +130,17 @@ fn updates_match_fresh_bulk_load() {
         ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
+            ..Default::default()
         },
         ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: false,
+            ..Default::default()
         },
         ExecConfig {
             scheme: PlanScheme::Default,
             zonemaps: true,
+            ..Default::default()
         },
     ];
     for exec in configs {
