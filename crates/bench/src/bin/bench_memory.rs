@@ -1,0 +1,200 @@
+//! Memory-footprint benchmark: scan-on-compressed vs plain storage.
+//!
+//! Builds the full rig (baseline + CS tables + clustered store) twice from
+//! the same RDF-H generation run — once with `ColumnEncoding::Plain`, once
+//! with the default compressed pages — and reports:
+//!
+//! * resident bytes per triple (total, and the column/scan-resident subset),
+//! * the compression ratio per column class (baseline permutations,
+//!   CS-table segments, clustered segments, irregular remainders) and for
+//!   the front-coded dictionary string run,
+//! * compressed-vs-plain queries/sec on every `bench_vectorized` scenario.
+//!
+//! Non-smoke runs enforce the scan-on-compressed contract: the clustered
+//! column footprint must shrink at least 3x, and no scenario may lose more
+//! than 20% throughput against the plain build.
+//!
+//! Usage:
+//!   bench_memory [--sf F] [--out PATH] [--smoke]
+
+use sordf::ColumnEncoding;
+use sordf_bench::cli::time_loop;
+use sordf_bench::cli::{render_object, BenchArgs, BenchJson};
+use sordf_bench::scenarios::{self, Scenario};
+use sordf_bench::Rig;
+use sordf_rdfh::{generate, RdfhConfig};
+
+/// Combined per-encoding footprint of a rig's two databases.
+struct Footprint {
+    total_bytes: u64,
+    column_bytes: u64,
+    /// `(name, encoded, plain)` per column class, summed across databases.
+    classes: Vec<(&'static str, u64, u64)>,
+    dict_string_bytes: u64,
+    dict_string_plain_bytes: u64,
+    n_triples: u64,
+}
+
+fn footprint(rig: &Rig) -> Footprint {
+    let po = rig.parse_order.memory_stats();
+    let cl = rig.clustered.memory_stats();
+    let classes = po
+        .classes
+        .iter()
+        .zip(cl.classes.iter())
+        .map(|(a, b)| {
+            assert_eq!(a.name, b.name);
+            (a.name, a.encoded + b.encoded, a.plain + b.plain)
+        })
+        .collect();
+    Footprint {
+        // One logical store: count the shared base (dict + triples) once —
+        // the two databases exist only because parse-order and clustered
+        // OID schemes cannot coexist in one store.
+        total_bytes: cl.total_bytes() + po.column_bytes,
+        column_bytes: po.column_bytes + cl.column_bytes,
+        classes,
+        dict_string_bytes: cl.dict_string_bytes,
+        dict_string_plain_bytes: cl.dict_string_plain_bytes,
+        n_triples: cl.n_triples,
+    }
+}
+
+fn qps(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> f64 {
+    let db = rig.db(sc.generation);
+    // Warm the pool and code paths; steady-state throughput is the metric.
+    db.query_with(&sc.query, sc.generation, sc.exec)
+        .expect("warmup");
+    time_loop(min_secs, min_iters, || {
+        db.query_with(&sc.query, sc.generation, sc.exec)
+            .expect("query");
+    })
+}
+
+fn main() {
+    let args = BenchArgs::parse("BENCH_memory.json");
+
+    let data = generate(&RdfhConfig::new(args.sf));
+    eprintln!("rdfh sf={}: {} triples", args.sf, data.triples.len());
+    let plain_rig = sordf_bench::rig_from(&data.triples, ColumnEncoding::Plain);
+    let comp_rig = sordf_bench::rig_from(&data.triples, ColumnEncoding::Compressed);
+
+    let plain = footprint(&plain_rig);
+    let comp = footprint(&comp_rig);
+    assert_eq!(plain.n_triples, comp.n_triples);
+    let n = comp.n_triples as f64;
+
+    let column_ratio = plain.column_bytes as f64 / comp.column_bytes.max(1) as f64;
+    let total_ratio = plain.total_bytes as f64 / comp.total_bytes.max(1) as f64;
+    println!(
+        "resident bytes/triple: total {:.1} -> {:.1} ({total_ratio:.2}x)  columns {:.1} -> {:.1} ({column_ratio:.2}x)",
+        plain.total_bytes as f64 / n,
+        comp.total_bytes as f64 / n,
+        plain.column_bytes as f64 / n,
+        comp.column_bytes as f64 / n,
+    );
+    let class_ratio = |encoded: u64, plain_bytes: u64| {
+        if encoded == 0 {
+            1.0
+        } else {
+            plain_bytes as f64 / encoded as f64
+        }
+    };
+    for (name, encoded, plain_bytes) in &comp.classes {
+        let ratio = class_ratio(*encoded, *plain_bytes);
+        println!("  {name:<10} {encoded:>12} B  (plain {plain_bytes:>12} B, {ratio:.2}x)");
+    }
+    let dict_ratio = comp.dict_string_plain_bytes as f64 / comp.dict_string_bytes.max(1) as f64;
+    println!(
+        "  {:<10} {:>12} B  (plain {:>12} B, {dict_ratio:.2}x)",
+        "dict_str", comp.dict_string_bytes, comp.dict_string_plain_bytes
+    );
+
+    let mut scenario_rows: Vec<(&'static str, f64, f64)> = Vec::new();
+    for sc in scenarios::all() {
+        // Interleaved best-of-3: each build's measurement windows are spread
+        // across the scenario's wall-clock span, so host scheduler drift
+        // hits both sides instead of silently taxing whichever build ran
+        // second — the <= 20% bar compares codecs, not CPU weather.
+        let (mut p, mut c) = (0.0f64, 0.0f64);
+        for _ in 0..3 {
+            p = p.max(qps(&plain_rig, &sc, args.min_secs, args.min_iters));
+            c = c.max(qps(&comp_rig, &sc, args.min_secs, args.min_iters));
+        }
+        println!(
+            "{:<20} plain {p:>9.2} q/s  compressed {c:>9.2} q/s  ({:.2}x)",
+            sc.name,
+            c / p
+        );
+        scenario_rows.push((sc.name, p, c));
+    }
+
+    let mut j = BenchJson::new("memory", args.sf);
+    j.int("n_triples", comp.n_triples);
+    j.num("plain_bytes_per_triple", plain.total_bytes as f64 / n, 2);
+    j.num(
+        "compressed_bytes_per_triple",
+        comp.total_bytes as f64 / n,
+        2,
+    );
+    j.num("total_compression_ratio", total_ratio, 2);
+    j.num(
+        "plain_column_bytes_per_triple",
+        plain.column_bytes as f64 / n,
+        2,
+    );
+    j.num(
+        "compressed_column_bytes_per_triple",
+        comp.column_bytes as f64 / n,
+        2,
+    );
+    j.num("column_compression_ratio", column_ratio, 2);
+    j.raw(
+        "column_classes",
+        render_object(comp.classes.iter().map(|(name, encoded, plain_bytes)| {
+            (
+                *name,
+                format!(
+                    "{{ \"encoded_bytes\": {encoded}, \"plain_bytes\": {plain_bytes}, \"ratio\": {:.2} }}",
+                    class_ratio(*encoded, *plain_bytes)
+                ),
+            )
+        })),
+    );
+    j.raw(
+        "dict_strings",
+        format!(
+            "{{ \"encoded_bytes\": {}, \"plain_bytes\": {}, \"ratio\": {dict_ratio:.2} }}",
+            comp.dict_string_bytes, comp.dict_string_plain_bytes
+        ),
+    );
+    j.raw(
+        "scenarios",
+        render_object(scenario_rows.iter().map(|(name, p, c)| {
+            (
+                *name,
+                format!(
+                    "{{ \"plain_qps\": {p:.2}, \"compressed_qps\": {c:.2}, \"ratio\": {:.2} }}",
+                    c / p
+                ),
+            )
+        })),
+    );
+    j.write(&args.out_path);
+
+    // Smoke runs (tiny scale, 0.1 s loops) are too noisy to gate on; the
+    // full run enforces the scan-on-compressed acceptance bars.
+    if !args.smoke {
+        assert!(
+            column_ratio >= 3.0,
+            "column footprint must shrink >= 3x, got {column_ratio:.2}x"
+        );
+        for (name, p, c) in &scenario_rows {
+            assert!(
+                c / p >= 0.8,
+                "{name}: compressed q/s regressed more than 20% ({c:.2} vs {p:.2})"
+            );
+        }
+        println!("asserts passed: column ratio {column_ratio:.2}x >= 3x, all scenarios within 20%");
+    }
+}

@@ -16,18 +16,10 @@
 //! trajectory across PRs (`BENCH_baseline.json` holds the pre-vectorization
 //! numbers).
 
-use sordf::{ExecConfig, Generation, PlanScheme};
 use sordf_bench::cli::{extract_scenario_field, render_object, BenchArgs, BenchJson};
+use sordf_bench::scenarios::{self, Scenario};
 use sordf_bench::{build_rig, Rig};
-use std::fmt::Write as _;
 use std::time::Instant;
-
-struct Scenario {
-    name: &'static str,
-    query: String,
-    generation: Generation,
-    exec: ExecConfig,
-}
 
 #[derive(Debug, Clone)]
 struct Sample {
@@ -38,81 +30,6 @@ struct Sample {
     rows_scanned_per_query: u64,
     result_rows: usize,
     iters: u64,
-}
-
-fn star_query(width: usize) -> String {
-    let props = [
-        "lineitem_quantity",
-        "lineitem_extendedprice",
-        "lineitem_discount",
-        "lineitem_tax",
-        "lineitem_shipmode",
-        "lineitem_returnflag",
-    ];
-    let mut body = String::new();
-    for p in &props[..width] {
-        let _ = writeln!(body, "?s <http://lod2.eu/schemas/rdfh#{p}> ?o_{p} .");
-    }
-    format!("SELECT ?s WHERE {{ {body} }}")
-}
-
-fn q6_query(months: u32) -> String {
-    let end_year = 1994 + months / 12;
-    let end_month = months % 12 + 1;
-    format!(
-        r#"PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
-SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
-  ?li rdfh:lineitem_shipdate ?d .
-  ?li rdfh:lineitem_extendedprice ?price .
-  ?li rdfh:lineitem_discount ?disc .
-  FILTER(?d >= "1994-01-01"^^xsd:date && ?d < "{end_year}-{end_month:02}-01"^^xsd:date)
-}}"#
-    )
-}
-
-fn scenarios() -> Vec<Scenario> {
-    let rdfscan = ExecConfig {
-        scheme: PlanScheme::RdfScanJoin,
-        zonemaps: true,
-        ..Default::default()
-    };
-    let default = ExecConfig {
-        scheme: PlanScheme::Default,
-        zonemaps: true,
-        ..Default::default()
-    };
-    vec![
-        Scenario {
-            name: "starjoin6_rdfscan",
-            query: star_query(6),
-            generation: Generation::Clustered,
-            exec: rdfscan,
-        },
-        Scenario {
-            name: "starjoin6_default",
-            query: star_query(6),
-            generation: Generation::Clustered,
-            exec: default,
-        },
-        Scenario {
-            name: "starjoin4_sparse",
-            query: star_query(4),
-            generation: Generation::CsParseOrder,
-            exec: rdfscan,
-        },
-        Scenario {
-            name: "zonemap_q6_3mo",
-            query: q6_query(3),
-            generation: Generation::Clustered,
-            exec: rdfscan,
-        },
-        Scenario {
-            name: "zonemap_q6_36mo",
-            query: q6_query(36),
-            generation: Generation::Clustered,
-            exec: rdfscan,
-        },
-    ]
 }
 
 fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Sample {
@@ -196,7 +113,7 @@ fn main() {
     let args = BenchArgs::parse("BENCH_vectorized.json");
 
     let rig = build_rig(args.sf);
-    let samples: Vec<Sample> = scenarios()
+    let samples: Vec<Sample> = scenarios::all()
         .iter()
         .map(|sc| run_scenario(&rig, sc, args.min_secs, args.min_iters))
         .collect();

@@ -104,19 +104,28 @@ pub fn build_rig(sf: f64) -> Rig {
         data.n_orders,
         data.n_customer
     );
+    rig_from(&data.triples, sordf::ColumnEncoding::default())
+}
+
+/// [`build_rig`] with an explicit page-encoding scheme, from pre-generated
+/// triples — `bench_memory` builds the plain and compressed rigs from the
+/// same data so the comparison sees identical content.
+pub fn rig_from(triples: &[sordf_model::TermTriple], encoding: sordf::ColumnEncoding) -> Rig {
     let parse_order = Database::in_temp_dir().expect("temp db");
-    parse_order.load_terms(&data.triples).expect("load");
+    parse_order.set_encoding(encoding);
+    parse_order.load_terms(triples).expect("load");
     parse_order.build_baseline().expect("baseline");
     parse_order.build_cs_tables().expect("cs tables");
 
     let clustered = Database::in_temp_dir().expect("temp db");
-    clustered.load_terms(&data.triples).expect("load");
+    clustered.set_encoding(encoding);
+    clustered.load_terms(triples).expect("load");
     clustered.self_organize().expect("self organize");
 
     Rig {
         parse_order,
         clustered,
-        n_triples: data.triples.len(),
+        n_triples: triples.len(),
     }
 }
 
@@ -127,6 +136,101 @@ impl Rig {
             Generation::Baseline | Generation::CsParseOrder => &self.parse_order,
             Generation::Clustered => &self.clustered,
         }
+    }
+}
+
+/// The hot scan-path scenarios measured by `bench_vectorized` and re-run
+/// compressed-vs-plain by `bench_memory` (its ≤20% regression gate covers
+/// every scenario here, so the two bins must agree on the list).
+pub mod scenarios {
+    use sordf::{ExecConfig, Generation, PlanScheme};
+    use std::fmt::Write as _;
+
+    /// One hot-path scenario: a query pinned to a generation + exec config.
+    pub struct Scenario {
+        pub name: &'static str,
+        pub query: String,
+        pub generation: Generation,
+        pub exec: ExecConfig,
+    }
+
+    /// A width-`width` star over lineitem properties.
+    pub fn star_query(width: usize) -> String {
+        let props = [
+            "lineitem_quantity",
+            "lineitem_extendedprice",
+            "lineitem_discount",
+            "lineitem_tax",
+            "lineitem_shipmode",
+            "lineitem_returnflag",
+        ];
+        let mut body = String::new();
+        for p in &props[..width] {
+            let _ = writeln!(body, "?s <http://lod2.eu/schemas/rdfh#{p}> ?o_{p} .");
+        }
+        format!("SELECT ?s WHERE {{ {body} }}")
+    }
+
+    /// Q6 with a widened shipdate window (`months` of 1994+) — the zone-map
+    /// selectivity knob.
+    pub fn q6_query(months: u32) -> String {
+        let end_year = 1994 + months / 12;
+        let end_month = months % 12 + 1;
+        format!(
+            r#"PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
+  ?li rdfh:lineitem_shipdate ?d .
+  ?li rdfh:lineitem_extendedprice ?price .
+  ?li rdfh:lineitem_discount ?disc .
+  FILTER(?d >= "1994-01-01"^^xsd:date && ?d < "{end_year}-{end_month:02}-01"^^xsd:date)
+}}"#
+        )
+    }
+
+    /// The vectorized-bench scenario list.
+    pub fn all() -> Vec<Scenario> {
+        let rdfscan = ExecConfig {
+            scheme: PlanScheme::RdfScanJoin,
+            zonemaps: true,
+            ..Default::default()
+        };
+        let default = ExecConfig {
+            scheme: PlanScheme::Default,
+            zonemaps: true,
+            ..Default::default()
+        };
+        vec![
+            Scenario {
+                name: "starjoin6_rdfscan",
+                query: star_query(6),
+                generation: Generation::Clustered,
+                exec: rdfscan,
+            },
+            Scenario {
+                name: "starjoin6_default",
+                query: star_query(6),
+                generation: Generation::Clustered,
+                exec: default,
+            },
+            Scenario {
+                name: "starjoin4_sparse",
+                query: star_query(4),
+                generation: Generation::CsParseOrder,
+                exec: rdfscan,
+            },
+            Scenario {
+                name: "zonemap_q6_3mo",
+                query: q6_query(3),
+                generation: Generation::Clustered,
+                exec: rdfscan,
+            },
+            Scenario {
+                name: "zonemap_q6_36mo",
+                query: q6_query(36),
+                generation: Generation::Clustered,
+                exec: rdfscan,
+            },
+        ]
     }
 }
 

@@ -5,6 +5,7 @@
 //! `u64::MAX` as the NULL sentinel. Zone maps are collected during the build
 //! at zero extra cost.
 
+use crate::compress::{self, PageEnc};
 use crate::disk::{DiskManager, PageId, VALS_PER_PAGE};
 use crate::pool::{BufferPool, PageGuard};
 use crate::zonemap::{PageStats, ZoneMap};
@@ -20,12 +21,29 @@ pub const NULL_SENTINEL: u64 = u64::MAX;
 /// served from here without a buffer-pool request.
 static NULL_PAGE: [u64; VALS_PER_PAGE] = [NULL_SENTINEL; VALS_PER_PAGE];
 
+/// Column-level encoding scheme: whether the builder may compress pages.
+/// The per-page choice (FOR vs constant vs plain) stays with the size
+/// heuristic in [`crate::compress`]; this knob only disables it wholesale —
+/// for the plain arm of differential tests and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ColumnEncoding {
+    /// Raw 64-bit values on every page (the pre-compression layout).
+    Plain,
+    /// Per-page size heuristic: FOR/const where they shrink the page,
+    /// plain otherwise.
+    #[default]
+    Compressed,
+}
+
 /// Append-only builder; call [`ColumnBuilder::finish`] to seal the column.
 pub struct ColumnBuilder<'a> {
     disk: &'a DiskManager,
+    encoding: ColumnEncoding,
     buf: Vec<u64>,
     pages: Vec<PageId>,
     stats: Vec<PageStats>,
+    encs: Vec<PageEnc>,
+    used_words: usize,
     cur: PageStats,
     len: usize,
     n_nulls: usize,
@@ -33,11 +51,19 @@ pub struct ColumnBuilder<'a> {
 
 impl<'a> ColumnBuilder<'a> {
     pub fn new(disk: &'a DiskManager) -> ColumnBuilder<'a> {
+        ColumnBuilder::new_with(disk, ColumnEncoding::default())
+    }
+
+    /// A builder with an explicit encoding scheme.
+    pub fn new_with(disk: &'a DiskManager, encoding: ColumnEncoding) -> ColumnBuilder<'a> {
         ColumnBuilder {
             disk,
+            encoding,
             buf: Vec::with_capacity(VALS_PER_PAGE),
             pages: Vec::new(),
             stats: Vec::new(),
+            encs: Vec::new(),
+            used_words: 0,
             cur: PageStats::empty(),
             len: 0,
             n_nulls: 0,
@@ -67,15 +93,23 @@ impl<'a> ColumnBuilder<'a> {
     }
 
     fn flush_page(&mut self) {
+        // Per-page encoding choice: the size heuristic picks the layout,
+        // and the encoded image (when one exists) is what hits the disk.
+        let (enc, image) = match self.encoding {
+            ColumnEncoding::Plain => (PageEnc::Plain, None),
+            ColumnEncoding::Compressed => compress::choose(&self.buf),
+        };
+        self.used_words += enc.used_words(self.buf.len());
         let id = self.disk.alloc_page();
         self.disk
-            .write_page(id, &self.buf)
+            .write_page(id, image.as_deref().unwrap_or(&self.buf))
             // sordf-lint: allow(L3) — push() is an infallible bulk-load API
             // by design; a failed page write during a build is fatal (the
             // half-built column could never be read back).
             .expect("column page write failed");
         self.pages.push(id);
         self.stats.push(self.cur);
+        self.encs.push(enc);
         self.cur = PageStats::empty();
         self.buf.clear();
     }
@@ -87,6 +121,8 @@ impl<'a> ColumnBuilder<'a> {
         }
         Column {
             pages: Arc::new(self.pages),
+            encs: Arc::new(self.encs),
+            used_words: self.used_words,
             len: self.len,
             n_nulls: self.n_nulls,
             zonemap: Arc::new(ZoneMap::new(self.stats)),
@@ -99,16 +135,68 @@ impl<'a> ColumnBuilder<'a> {
 #[derive(Debug, Clone)]
 pub struct Column {
     pages: Arc<Vec<PageId>>,
+    /// Per-page encoding, aligned with `pages`.
+    encs: Arc<Vec<PageEnc>>,
+    /// Total 64-bit words the pages actually use (compressed footprint).
+    used_words: usize,
     len: usize,
     n_nulls: usize,
     zonemap: Arc<ZoneMap>,
 }
 
-/// Backing storage of a [`Chunk`]: a pinned pool page, or the shared NULL
-/// buffer for pages the zone map proves are entirely NULL.
+/// Backing storage of a [`Chunk`]: a pinned pool page (plain layout), a
+/// block decoded from an encoded page, or the shared NULL buffer for pages
+/// the zone map proves are entirely NULL.
 enum ChunkData {
     Pinned(PageGuard),
+    /// The decode-into-register-block path: values of a FOR or constant
+    /// page materialized for this chunk's local range.
+    Decoded(Vec<u64>),
     AllNull,
+}
+
+std::thread_local! {
+    /// Reusable decode buffers for encoded chunks. Scan loops materialize
+    /// one page per chunk; without reuse every chunk pays a 64 KiB
+    /// alloc + free, which on hot scans costs as much as the decode itself.
+    /// Buffers return here when their [`Chunk`] drops (capped so an
+    /// occasional burst of live chunks cannot pin memory forever).
+    static DECODE_SCRATCH: std::cell::RefCell<Vec<Vec<u64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Most chunks a scan holds live at once is one per joined column; 16
+/// covers the widest star the engine plans with headroom.
+const DECODE_SCRATCH_MAX: usize = 16;
+
+fn scratch_take() -> Vec<u64> {
+    DECODE_SCRATCH
+        .with(|s| s.borrow_mut().pop())
+        .map(|mut v| {
+            v.clear();
+            v
+        })
+        .unwrap_or_default()
+}
+
+fn scratch_put(v: Vec<u64>) {
+    if v.capacity() == 0 {
+        return;
+    }
+    DECODE_SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.len() < DECODE_SCRATCH_MAX {
+            s.push(v);
+        }
+    });
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        if let ChunkData::Decoded(v) = std::mem::replace(&mut self.data, ChunkData::AllNull) {
+            scratch_put(v);
+        }
+    }
 }
 
 /// One page worth of column values, with its global position.
@@ -125,6 +213,7 @@ impl Chunk {
     pub fn values(&self) -> &[u64] {
         match &self.data {
             ChunkData::Pinned(g) => &g[self.local.clone()],
+            ChunkData::Decoded(v) => v,
             ChunkData::AllNull => &NULL_PAGE[self.local.clone()],
         }
     }
@@ -140,7 +229,12 @@ impl Chunk {
 impl Column {
     /// Build a column directly from a slice (convenience for loading).
     pub fn from_slice(disk: &DiskManager, vals: &[u64]) -> Column {
-        let mut b = ColumnBuilder::new(disk);
+        Column::from_slice_with(disk, vals, ColumnEncoding::default())
+    }
+
+    /// [`Column::from_slice`] with an explicit encoding scheme.
+    pub fn from_slice_with(disk: &DiskManager, vals: &[u64], encoding: ColumnEncoding) -> Column {
+        let mut b = ColumnBuilder::new_with(disk, encoding);
         b.extend_from_slice(vals);
         b.finish()
     }
@@ -149,6 +243,8 @@ impl Column {
     pub fn empty() -> Column {
         Column {
             pages: Arc::new(Vec::new()),
+            encs: Arc::new(Vec::new()),
+            used_words: 0,
             len: 0,
             n_nulls: 0,
             zonemap: Arc::new(ZoneMap::default()),
@@ -185,6 +281,36 @@ impl Column {
         &self.zonemap
     }
 
+    /// Encoding of page `p`.
+    pub fn page_enc(&self, p: usize) -> PageEnc {
+        self.encs[p]
+    }
+
+    /// Bytes the column's pages actually use — the compressed footprint a
+    /// full scan must read, as opposed to `n_pages() * PAGE_BYTES` of
+    /// allocated extent.
+    pub fn used_bytes(&self) -> usize {
+        self.used_words * 8
+    }
+
+    /// Bytes the same values would use uncompressed (8 per value).
+    pub fn plain_bytes(&self) -> usize {
+        self.len * 8
+    }
+
+    /// Page counts by encoding: `(plain, for, const)`.
+    pub fn encoding_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0usize, 0usize, 0usize);
+        for e in self.encs.iter() {
+            match e {
+                PageEnc::Plain => counts.0 += 1,
+                PageEnc::For { .. } => counts.1 += 1,
+                PageEnc::Const { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
     /// Random access to one value. Prefer [`Column::chunks`] in hot paths.
     #[inline]
     pub fn value(&self, pool: &BufferPool, idx: usize) -> u64 {
@@ -193,8 +319,14 @@ impl Column {
             "column index {idx} out of bounds (len {})",
             self.len
         );
-        let page = pool.get(self.pages[idx / VALS_PER_PAGE]);
-        page[idx % VALS_PER_PAGE]
+        let p = idx / VALS_PER_PAGE;
+        match self.encs[p] {
+            PageEnc::Plain => pool.get(self.pages[p])[idx % VALS_PER_PAGE],
+            PageEnc::Const { value } => value,
+            PageEnc::For { base, width } => {
+                compress::for_get(&pool.get(self.pages[p]), base, width, idx % VALS_PER_PAGE)
+            }
+        }
     }
 
     /// Global row range covered by page `p`, clamped to the column length.
@@ -205,13 +337,32 @@ impl Column {
     }
 
     /// Pin the part of page `p` covering local rows `local`, serving all-NULL
-    /// pages from the shared sentinel buffer without touching the pool.
+    /// pages from the shared sentinel buffer — and constant pages from
+    /// column metadata — without touching the pool. Encoded pages decode
+    /// their local range into a register block here; plain pages hand out
+    /// the pinned slice directly.
     fn pin_local(&self, pool: &BufferPool, p: usize, local: Range<usize>) -> Chunk {
         let start = p * VALS_PER_PAGE + local.start;
-        let data = if self.zonemap.page(p).n_nonnull == 0 {
-            ChunkData::AllNull
-        } else {
-            ChunkData::Pinned(pool.pin(self.pages[p]))
+        if self.zonemap.page(p).n_nonnull == 0 {
+            return Chunk {
+                start,
+                data: ChunkData::AllNull,
+                local,
+            };
+        }
+        let data = match self.encs[p] {
+            PageEnc::Plain => ChunkData::Pinned(pool.pin(self.pages[p])),
+            PageEnc::Const { value } => {
+                let mut vals = scratch_take();
+                vals.resize(local.len(), value);
+                ChunkData::Decoded(vals)
+            }
+            PageEnc::For { base, width } => {
+                let page = pool.pin(self.pages[p]);
+                let mut vals = scratch_take();
+                compress::for_decode_range(&page, base, width, local.start, local.end, &mut vals);
+                ChunkData::Decoded(vals)
+            }
         };
         Chunk { start, data, local }
     }
@@ -323,16 +474,31 @@ impl Column {
         let mut out = Vec::with_capacity(rows.len());
         let mut cur_page = usize::MAX;
         let mut page: Option<PageGuard> = None;
+        let mut enc = PageEnc::Plain;
         for &r in rows {
             debug_assert!(r < self.len);
             let p = r / VALS_PER_PAGE;
             if p != cur_page {
                 cur_page = p;
-                page = (self.zonemap.page(p).n_nonnull > 0).then(|| pool.pin(self.pages[p]));
+                // All-NULL pages answer from the zone map, constant pages
+                // from encoding metadata; only plain/FOR pages need a pin.
+                enc = if self.zonemap.page(p).n_nonnull == 0 {
+                    PageEnc::Const {
+                        value: NULL_SENTINEL,
+                    }
+                } else {
+                    self.encs[p]
+                };
+                page = (!matches!(enc, PageEnc::Const { .. })).then(|| pool.pin(self.pages[p]));
             }
-            out.push(match &page {
-                Some(g) => g[r % VALS_PER_PAGE],
-                None => NULL_SENTINEL,
+            out.push(match (enc, &page) {
+                (PageEnc::Const { value }, _) => value,
+                (PageEnc::Plain, Some(g)) => g[r % VALS_PER_PAGE],
+                (PageEnc::For { base, width }, Some(g)) => {
+                    compress::for_get(g, base, width, r % VALS_PER_PAGE)
+                }
+                // A page is pinned exactly when its encoding needs one.
+                _ => unreachable!("unpinned non-constant page in gather"),
             });
         }
         out
@@ -754,6 +920,96 @@ mod tests {
             col.lower_bound_in(&pool, 0..col.len() + 999, u64::MAX),
             col.len()
         );
+    }
+
+    #[test]
+    fn sorted_runs_compress_and_read_back() {
+        // Clustered-OID shape: sorted, small per-page range → FOR pages.
+        let vals: Vec<u64> = (0..3 * VALS_PER_PAGE as u64 + 500)
+            .map(|i| 1_000_000 + i)
+            .collect();
+        let (_dm, pool, col) = setup(&vals);
+        let (plain, forp, cst) = col.encoding_counts();
+        assert_eq!((plain, cst), (0, 0), "sorted runs should all pack");
+        assert_eq!(forp, col.n_pages());
+        assert!(
+            col.used_bytes() * 3 < col.plain_bytes(),
+            "FOR should shrink a dense run >= 3x: {} vs {}",
+            col.used_bytes(),
+            col.plain_bytes()
+        );
+        // Every access path decodes transparently.
+        assert_eq!(col.to_vec(&pool, 0..vals.len()), vals);
+        assert_eq!(
+            col.value(&pool, VALS_PER_PAGE + 17),
+            vals[VALS_PER_PAGE + 17]
+        );
+        let rows = [
+            0usize,
+            5,
+            VALS_PER_PAGE - 1,
+            VALS_PER_PAGE,
+            3 * VALS_PER_PAGE + 499,
+        ];
+        assert_eq!(
+            col.gather(&pool, &rows),
+            rows.iter().map(|&r| vals[r]).collect::<Vec<_>>()
+        );
+        assert_eq!(col.lower_bound(&pool, 1_000_000 + 12345), 12345);
+    }
+
+    #[test]
+    fn plain_encoding_knob_disables_compression() {
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let vals: Vec<u64> = (0..2 * VALS_PER_PAGE as u64).collect();
+        let col = Column::from_slice_with(&dm, &vals, ColumnEncoding::Plain);
+        assert_eq!(col.encoding_counts(), (col.n_pages(), 0, 0));
+        assert_eq!(col.used_bytes(), col.plain_bytes());
+        let pool = BufferPool::new(Arc::clone(&dm), 64);
+        assert_eq!(col.to_vec(&pool, 0..vals.len()), vals);
+    }
+
+    #[test]
+    fn constant_pages_skip_the_pool() {
+        // A full page of one repeated value is served from metadata.
+        let vals = vec![99u64; VALS_PER_PAGE + 10];
+        let (_dm, pool, col) = setup(&vals);
+        let (_, _, cst) = col.encoding_counts();
+        assert_eq!(cst, 2);
+        let before = pool.stats();
+        assert_eq!(col.to_vec(&pool, 0..vals.len()), vals);
+        assert_eq!(col.value(&pool, 3), 99);
+        assert_eq!(col.gather(&pool, &[0, VALS_PER_PAGE + 1]), vec![99, 99]);
+        let d = pool.stats().since(&before);
+        assert_eq!(d.hits + d.misses, 0, "constant pages never hit the pool");
+    }
+
+    #[test]
+    fn compressed_matches_plain_on_mixed_content() {
+        // NULL-ridden, unsorted, with wide outliers: every page class at once.
+        let mut vals = Vec::new();
+        for i in 0..(2 * VALS_PER_PAGE + 700) as u64 {
+            vals.push(match i % 7 {
+                0 => NULL_SENTINEL,
+                1 => 5,
+                2 => u64::MAX - 2 - i, // wide range → plain page
+                _ => 1_000 + (i % 50),
+            });
+        }
+        let dm = Arc::new(DiskManager::temp().unwrap());
+        let pool = BufferPool::new(Arc::clone(&dm), 64);
+        let plain = Column::from_slice_with(&dm, &vals, ColumnEncoding::Plain);
+        let comp = Column::from_slice_with(&dm, &vals, ColumnEncoding::Compressed);
+        assert_eq!(
+            comp.to_vec(&pool, 0..vals.len()),
+            plain.to_vec(&pool, 0..vals.len())
+        );
+        assert_eq!(comp.n_nulls(), plain.n_nulls());
+        let rows: Vec<usize> = (0..vals.len()).step_by(97).collect();
+        assert_eq!(comp.gather(&pool, &rows), plain.gather(&pool, &rows));
+        for idx in [0, 1, VALS_PER_PAGE, 2 * VALS_PER_PAGE + 699] {
+            assert_eq!(comp.value(&pool, idx), plain.value(&pool, idx));
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod bitmap;
 pub mod column;
+pub mod compress;
 pub mod disk;
 pub mod fault;
 pub mod pool;
@@ -27,7 +28,8 @@ pub mod zonemap;
 
 pub use bitmap::Bitmap;
 pub use column::Chunk;
-pub use column::{Column, ColumnBuilder};
+pub use column::{Column, ColumnBuilder, ColumnEncoding};
+pub use compress::PageEnc;
 pub use disk::{DiskManager, PageId, PageLease, PAGE_BYTES, VALS_PER_PAGE};
 pub use fault::{CountingFault, DiskFault, WriteFault};
 pub use pool::{BufferPool, PageGuard, PoolStats, DEFAULT_POOL_SHARDS, MIN_PAGES_PER_SHARD};

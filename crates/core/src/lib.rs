@@ -94,8 +94,9 @@ use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread;
 use std::time::Duration;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use sordf_columnar::crash_point;
+pub use sordf_columnar::ColumnEncoding;
 use sordf_columnar::{BufferPool, DiskManager, PoolStats};
 use sordf_engine::agg::ResultSet;
 use sordf_engine::context::StatsSnapshot;
@@ -108,11 +109,11 @@ use sordf_model::{
 use sordf_schema::{ClassId, IncrementalAssigner};
 pub use sordf_schema::{DriftStats, EmergentSchema, SchemaConfig};
 use sordf_storage::{
-    build_clustered, encode_triple_skolemized, reorganize, BaselineStore, ClusterSpec,
+    build_clustered_with, encode_triple_skolemized, reorganize, BaselineStore, ClusterSpec,
     ClusteredStore, DeltaStore, DeltaView, DeltaWrite, GenerationHandle, LayoutFlags, Manifest,
     ReorgReport, StoreSnapshot, TripleSet, WalRecord, WalWriter,
 };
-pub use sordf_storage::{DictPin, Snapshot, StoreGeneration, SyncPolicy};
+pub use sordf_storage::{DictPin, Snapshot, StoreGeneration, SyncPolicy, WalFormat};
 use std::collections::HashMap;
 
 /// Every labeled crash point in the durable write paths, in rough lifecycle
@@ -356,6 +357,9 @@ struct State {
     /// cache-only databases (and during recovery replay, so replaying
     /// logged writes does not re-log them).
     durable: Option<DurableState>,
+    /// Page-encoding scheme for the *next* build/reorganization (already
+    /// built generations keep the scheme recorded on them).
+    encoding: ColumnEncoding,
 }
 
 /// Shared interior of [`Database`]: everything queries, writers and the
@@ -401,10 +405,93 @@ pub struct PlanCacheStats {
     pub invalidations: u64,
 }
 
-/// What one query pins at query start: a generation handle, a read pin on
-/// that generation's dictionary and the delta view of its write snapshot.
+/// Per-component resident-byte accounting (see [`Database::memory_stats`]).
+/// Approximate by design: page bytes and pool contents are exact, hash-index
+/// and allocator overheads are estimated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Dictionary pools: IRIs, blank nodes and string literals, including
+    /// their hash indexes and the front-coded frozen string run.
+    pub dict_bytes: u64,
+    /// The base triple set (parse-order `Vec<Triple>`).
+    pub base_triples_bytes: u64,
+    /// Encoded column/index pages across every built layout (baseline
+    /// permutations, CS tables, clustered segments and their irregular
+    /// remainders) — the bytes a full scan must touch.
+    pub column_bytes: u64,
+    /// What those same pages would occupy under plain (uncompressed)
+    /// encoding; `column_plain_bytes / column_bytes` is the column-store
+    /// compression ratio.
+    pub column_plain_bytes: u64,
+    /// Pending delta writes (insert runs + tombstones).
+    pub delta_bytes: u64,
+    /// Visible triples backing the `bytes_per_triple` ratio.
+    pub n_triples: u64,
+    /// Column bytes split by layout family (`column_bytes` is their sum):
+    /// baseline permutations, CS-table segments, clustered segments, and
+    /// the irregular remainders of both table stores.
+    pub classes: [ClassBytes; 4],
+    /// Resident bytes of the front-coded frozen string run — the
+    /// dictionary-side analogue of `column_bytes` (0 before the first
+    /// string sort).
+    pub dict_string_bytes: u64,
+    /// What that frozen run would occupy stored as plain `String`s.
+    pub dict_string_plain_bytes: u64,
+}
+
+/// Encoded vs plain-counterfactual bytes of one column layout family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassBytes {
+    /// Layout family: `baseline`, `cs_tables`, `clustered` or `irregular`.
+    pub name: &'static str,
+    /// Bytes the encoded pages occupy.
+    pub encoded: u64,
+    /// Bytes the same pages would occupy unencoded.
+    pub plain: u64,
+}
+
+impl ClassBytes {
+    /// Compression ratio (`plain / encoded`); 1.0 when the class is empty.
+    pub fn ratio(&self) -> f64 {
+        if self.encoded == 0 {
+            1.0
+        } else {
+            self.plain as f64 / self.encoded as f64
+        }
+    }
+}
+
+impl MemoryStats {
+    /// Everything accounted, summed.
+    pub fn total_bytes(&self) -> u64 {
+        self.dict_bytes + self.base_triples_bytes + self.column_bytes + self.delta_bytes
+    }
+
+    /// Resident bytes per visible triple (the paper's headline storage
+    /// metric); 0.0 on an empty store.
+    pub fn bytes_per_triple(&self) -> f64 {
+        if self.n_triples == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.n_triples as f64
+        }
+    }
+
+    /// Column-store compression ratio (`plain / encoded`); 1.0 when nothing
+    /// is built.
+    pub fn column_compression_ratio(&self) -> f64 {
+        if self.column_bytes == 0 {
+            1.0
+        } else {
+            self.column_plain_bytes as f64 / self.column_bytes as f64
+        }
+    }
+}
+
+/// What one query pins at query start: a generation handle, a pin on that
+/// generation's dictionary and the delta view of its write snapshot.
 /// Everything is owned/shared — a concurrent swap cannot invalidate it.
-#[must_use = "dropping a Pin releases the generation and its dictionary read lock"]
+#[must_use = "bind the Pin for the query's lifetime; it keeps the pinned generation alive"]
 struct Pin {
     gen: GenerationHandle,
     dict: DictPin,
@@ -524,6 +611,7 @@ impl Database {
                     epoch: 0,
                     rebuild: None,
                     durable: None,
+                    encoding: ColumnEncoding::default(),
                 }),
             }),
             config: ExecConfig::default(),
@@ -614,7 +702,12 @@ impl Database {
         if !snap.triples.is_empty() {
             db.load_terms(&snap.triples)?;
         }
-        db.inner.state.lock().schema_cfg = snap.schema_cfg.clone();
+        {
+            let mut st = db.inner.state.lock();
+            st.schema_cfg = snap.schema_cfg.clone();
+            // Restore the recorded scheme before any rebuild below.
+            st.encoding = snap.flags.encoding();
+        }
         if snap.flags.clustered {
             db.self_organize()?;
         }
@@ -654,6 +747,47 @@ impl Database {
             seq: last_seq,
         });
         Ok(db)
+    }
+
+    /// Set the page-encoding scheme for **subsequently built** generations
+    /// (compressed frame-of-reference pages by default). Already-built
+    /// layouts keep their scheme until the next build or reorganization
+    /// rebuilds them; call [`Database::reorganize_now`] to re-encode in
+    /// place. The scheme is persisted in the manifest and restored by
+    /// recovery.
+    // lock-order: acquires(db_state)
+    pub fn set_encoding(&self, encoding: ColumnEncoding) {
+        self.inner.state.lock().encoding = encoding;
+    }
+
+    /// The page-encoding scheme of the current generation's layouts.
+    // lock-order: acquires(db_state)
+    pub fn encoding(&self) -> ColumnEncoding {
+        self.inner.state.lock().gen.encoding
+    }
+
+    /// Set the WAL record encoding for subsequent write batches (N-Triples
+    /// text by default). Takes effect immediately and survives WAL
+    /// rotations (checkpoints, generation swaps); already-written records
+    /// keep their encoding — recovery auto-detects per record, so a log may
+    /// mix both. No-op on a non-durable database.
+    // lock-order: acquires(db_state)
+    pub fn set_wal_format(&self, format: WalFormat) {
+        if let Some(d) = self.inner.state.lock().durable.as_mut() {
+            d.wal.set_format(format);
+        }
+    }
+
+    /// The WAL record encoding of subsequent appends; `None` when not
+    /// durable.
+    // lock-order: acquires(db_state)
+    pub fn wal_format(&self) -> Option<WalFormat> {
+        self.inner
+            .state
+            .lock()
+            .durable
+            .as_ref()
+            .map(|d| d.wal.format())
     }
 
     /// Is this database durable (opened via [`Database::open`] /
@@ -753,14 +887,14 @@ impl Database {
         }
     }
 
-    /// Pin the current generation's dictionary for reading. Holding a pin
-    /// never blocks (or deadlocks) anything: writers interning new terms
-    /// while a pin is open copy-on-write the dictionary instead of waiting
-    /// for the lock, and a generation swap installs a new dictionary
-    /// outright. A long-lived pin only keeps its snapshot's memory alive —
-    /// it just won't see terms interned after it was taken; take a fresh
-    /// pin to observe later writes.
-    // lock-order: acquires(db_state, dict)
+    /// Pin the current generation's dictionary. Holding a pin never blocks
+    /// (or deadlocks) anything: the dictionary interns through `&self`
+    /// (append-only pools, lock-free reads), so writers grow it in place
+    /// while pins are open, and a generation swap installs a new dictionary
+    /// outright. A pin observes terms interned into its generation after it
+    /// was taken (the OIDs it already resolved never move); it stops
+    /// following the live store only once a swap replaces the generation.
+    // lock-order: acquires(db_state)
     pub fn dict(&self) -> DictPin {
         let gen = Arc::clone(&self.inner.state.lock().gen);
         gen.pin_dict()
@@ -826,12 +960,12 @@ impl Database {
         let mut st = self.inner.state.lock();
         let mut targets = Vec::with_capacity(triples.len());
         {
-            let dict = st.gen.dict.read();
+            let dict = st.gen.dict.as_ref();
             for t in triples {
                 let (Some(s), Some(p), Some(o)) = (
-                    term_oid_skolemized(&dict, &t.s),
-                    term_oid_skolemized(&dict, &t.p),
-                    term_oid_skolemized(&dict, &t.o),
+                    term_oid_skolemized(dict, &t.s),
+                    term_oid_skolemized(dict, &t.p),
+                    term_oid_skolemized(dict, &t.o),
                 ) else {
                     continue;
                 };
@@ -854,11 +988,11 @@ impl Database {
     ) -> Result<usize, Error> {
         let mut st = self.inner.state.lock();
         let (s, p, o) = {
-            let dict = st.gen.dict.read();
+            let dict = st.gen.dict.as_ref();
             let enc = |t: Option<&Term>| -> Result<Option<Oid>, ()> {
                 match t {
                     None => Ok(None),
-                    Some(term) => match term_oid_skolemized(&dict, term) {
+                    Some(term) => match term_oid_skolemized(dict, term) {
                         Some(oid) => Ok(Some(oid)),
                         None => Err(()), // unknown term: nothing can match
                     },
@@ -917,6 +1051,51 @@ impl Database {
     /// diverged from the organized base generation.
     pub fn drift_stats(&self) -> DriftStats {
         self.inner.drift_stats()
+    }
+
+    /// Per-component resident-byte accounting of the current state: the
+    /// dictionary, the base triple set, every built layout's encoded pages
+    /// (with their plain-encoding counterfactual for the compression
+    /// ratio) and the pending delta. See [`MemoryStats`].
+    // lock-order: acquires(db_state)
+    pub fn memory_stats(&self) -> MemoryStats {
+        let st = self.inner.state.lock();
+        let triple = std::mem::size_of::<Triple>() as u64;
+        let class = |name, encoded: usize, plain: usize| ClassBytes {
+            name,
+            encoded: encoded as u64,
+            plain: plain as u64,
+        };
+        let mut classes = [
+            class("baseline", 0, 0),
+            class("cs_tables", 0, 0),
+            class("clustered", 0, 0),
+            class("irregular", 0, 0),
+        ];
+        if let Some(b) = &st.gen.baseline {
+            classes[0] = class("baseline", b.used_bytes(), b.plain_bytes());
+        }
+        let cs = st.gen.cs_parse_order.iter().map(|(s, _)| (1usize, s));
+        let clustered = st.gen.clustered.iter().map(|s| (2usize, s));
+        for (i, store) in cs.chain(clustered) {
+            classes[i].encoded += store.segment_used_bytes() as u64;
+            classes[i].plain += store.segment_plain_bytes() as u64;
+            classes[3].encoded += store.irregular.used_bytes() as u64;
+            classes[3].plain += store.irregular.plain_bytes() as u64;
+        }
+        let (dict_enc, dict_plain) = st.gen.dict.string_front_coding_bytes();
+        MemoryStats {
+            dict_bytes: st.gen.dict.approx_bytes().total(),
+            base_triples_bytes: st.gen.triples.len() as u64 * triple,
+            column_bytes: classes.iter().map(|c| c.encoded).sum(),
+            column_plain_bytes: classes.iter().map(|c| c.plain).sum(),
+            delta_bytes: st.delta.approx_bytes(),
+            n_triples: st.gen.triples.len() as u64
+                + st.delta.current_view().map_or(0, |v| v.n_inserts() as u64),
+            classes,
+            dict_string_bytes: dict_enc,
+            dict_string_plain_bytes: dict_plain,
+        }
     }
 
     // ---- reorganization ----------------------------------------------------
@@ -1077,8 +1256,11 @@ impl Database {
         }
         ensure_no_pending_writes(&st, "build_baseline()")?;
         let spo = sorted_spo(&st.gen.triples);
-        let store = BaselineStore::build(&self.inner.dm, &spo);
-        Arc::make_mut(&mut st.gen).baseline = Some(Arc::new(store));
+        let store = BaselineStore::build_with(&self.inner.dm, &spo, st.encoding);
+        let encoding = st.encoding;
+        let gen = Arc::make_mut(&mut st.gen);
+        gen.baseline = Some(Arc::new(store));
+        gen.encoding = encoding;
         st.epoch += 1;
         checkpoint_locked(&mut st)?;
         Ok(())
@@ -1307,7 +1489,7 @@ impl Database {
         let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, config)
             .with_delta(pin.delta.clone());
         let pool_before = self.inner.pool.stats();
-        let key = plan_cache_key(&query, generation, config);
+        let key = plan_cache_key(&query, generation, config, pin.gen.encoding);
         // Query-boundary fault isolation: an engine panic (e.g. a page read
         // that keeps failing after the pool's retries) fails this query, not
         // the process — the next query sees intact immutable storage.
@@ -1499,6 +1681,7 @@ fn plan_cache_key(
     query: &sordf_engine::Query,
     generation: Generation,
     config: ExecConfig,
+    encoding: ColumnEncoding,
 ) -> String {
     use sordf_engine::{Expr, SelectItem, VarOrOid};
     use std::fmt::Write;
@@ -1551,7 +1734,7 @@ fn plan_cache_key(
         VarOrOid::Const(_) => out.push('C'),
     };
     let mut out = format!(
-        "{generation:?}|{:?}|zm{}|v{}|",
+        "{generation:?}|{encoding:?}|{:?}|zm{}|v{}|",
         config.scheme,
         config.zonemaps,
         query.vars.len()
@@ -1688,15 +1871,14 @@ fn decode_triple(dict: &Dictionary, t: Triple) -> Result<TermTriple, Error> {
 
 /// Decode encoded triples back to terms for WAL logging; `None` when the
 /// database is not durable (skips the decode entirely).
-// lock-order: acquires(dict)
 fn decode_for_log(st: &State, triples: &[Triple]) -> Result<Option<Vec<TermTriple>>, Error> {
     if st.durable.is_none() {
         return Ok(None);
     }
-    let dict = st.gen.dict.read();
+    let dict = st.gen.dict.as_ref();
     let mut out = Vec::with_capacity(triples.len());
     for &t in triples {
-        out.push(decode_triple(&dict, t)?);
+        out.push(decode_triple(dict, t)?);
     }
     Ok(Some(out))
 }
@@ -1736,32 +1918,33 @@ fn log_write(st: &mut State, record: &WalRecord) -> Result<(), Error> {
 /// current log sequence; then a fresh WAL and an atomic manifest commit.
 /// A failure at any step leaves the previous snapshot + WAL pair live and
 /// consistent — the error is returned, durability stays enabled.
-// lock-order: acquires(dict)
 fn checkpoint_locked(st: &mut State) -> Result<(), Error> {
     let triples = {
         let Some(_) = st.durable.as_ref() else {
             return Ok(());
         };
-        let dict = st.gen.dict.read();
+        let dict = st.gen.dict.as_ref();
         let view = st.delta.current_view();
         let mut out = Vec::with_capacity(st.gen.triples.len() + view.map_or(0, |v| v.n_inserts()));
         for &t in st.gen.triples.iter() {
             if view.is_some_and(|v| v.is_deleted(t)) {
                 continue;
             }
-            out.push(decode_triple(&dict, t)?);
+            out.push(decode_triple(dict, t)?);
         }
         for t in st.delta.visible_inserts() {
-            out.push(decode_triple(&dict, t)?);
+            out.push(decode_triple(dict, t)?);
         }
         out
     };
-    let flags = LayoutFlags {
+    let mut flags = LayoutFlags {
         baseline: st.gen.baseline.is_some(),
         cs_parse_order: st.gen.cs_parse_order.is_some(),
         clustered: st.gen.clustered.is_some(),
         schema: st.gen.schema.is_some(),
+        plain_encoding: false,
     };
+    flags.record_encoding(st.gen.encoding);
     // sordf-lint: allow(L3) — the durable-handle check above returned early.
     let d = st.durable.as_mut().unwrap();
     let snap_n = d.snap_file + 1;
@@ -1773,7 +1956,7 @@ fn checkpoint_locked(st: &mut State) -> Result<(), Error> {
         triples,
     };
     snap.write_to(&Manifest::snap_path(&d.dir, snap_n))?;
-    let wal = WalWriter::create(&Manifest::wal_path(&d.dir, wal_n))?;
+    let wal = WalWriter::create_with(&Manifest::wal_path(&d.dir, wal_n), d.wal.format())?;
     crash_point!("checkpoint.pre_manifest");
     let m = Manifest {
         snap_file: snap_n,
@@ -1825,38 +2008,21 @@ fn collapse_delta_into_base(st: &mut State) -> bool {
     true
 }
 
-/// Intern a write batch into the current generation's dictionary without
-/// ever waiting on open dictionary pins — so a pin held anywhere (even on
-/// the writing thread itself) can never block or deadlock a writer. Fast
-/// path: no pin is open, the batch appends in place. Contended path: the
-/// dictionary is cloned, extended and swapped into a fresh generation
-/// handle; pinned readers keep their snapshot, which remains sufficient
-/// for everything their paired delta view can show them. Returns the
+/// Intern a write batch into the current generation's dictionary. The
+/// dictionary interns through `&self` (append-only pools behind short
+/// internal writer locks, lock-free reads), so a pin held anywhere — even
+/// on the writing thread itself — can never block or deadlock a writer:
+/// the pools grow in place and pinned readers simply observe the appended
+/// entries, while every OID they already resolved stays put. Returns the
 /// closure's output plus whether string literals now extend past the
 /// sorted prefix (the pushdown-disabling watermark check).
-// lock-order: acquires(dict)
 fn intern_batch<T>(
     st: &mut State,
-    f: impl FnOnce(&mut Dictionary) -> Result<T, Error>,
+    f: impl FnOnce(&Dictionary) -> Result<T, Error>,
 ) -> Result<(T, bool), Error> {
-    let past_watermark = |gen: &StoreGeneration, dict: &Dictionary| {
-        gen.clustered.is_some() && dict.n_strings() > gen.strings_sorted_len
-    };
-    if let Some(mut dict) = st.gen.dict.try_write() {
-        let out = f(&mut dict)?;
-        let sa = past_watermark(&st.gen, &dict);
-        return Ok((out, sa));
-    }
-    // Writers own the state lock, so the lock is only ever held by read
-    // pins here: a shared read cannot block.
-    let mut cloned = st.gen.dict.read().clone();
-    let out = f(&mut cloned)?;
-    let sa = past_watermark(&st.gen, &cloned);
-    // Replacing the dictionary does not bump the epoch: the new dictionary
-    // is an append-extension of the old one (same numbering), so a pinned
-    // rebuild's snapshot is still valid — the swap decodes catch-up writes
-    // under the *current* generation's dictionary.
-    Arc::make_mut(&mut st.gen).dict = Arc::new(RwLock::new(cloned));
+    let dict = st.gen.dict.as_ref();
+    let out = f(dict)?;
+    let sa = st.gen.clustered.is_some() && dict.n_strings() > st.gen.strings_sorted_len;
     Ok((out, sa))
 }
 
@@ -2002,7 +2168,6 @@ fn route_inserts(
     }
 }
 
-// lock-order: acquires(dict)
 fn discover_schema_locked(st: &mut State, cfg: &SchemaConfig) -> Result<f64, Error> {
     if st.gen.clustered.is_some() {
         return Err(Error::State(
@@ -2011,10 +2176,7 @@ fn discover_schema_locked(st: &mut State, cfg: &SchemaConfig) -> Result<f64, Err
     }
     ensure_no_pending_writes(st, "discover_schema()")?;
     let spo = sorted_spo(&st.gen.triples);
-    let schema = {
-        let dict = st.gen.dict.read();
-        sordf_schema::discover(&spo, &dict, cfg)
-    };
+    let schema = sordf_schema::discover(&spo, &st.gen.dict, cfg);
     let coverage = schema.coverage;
     Arc::make_mut(&mut st.gen).schema = Some(Arc::new(schema));
     st.schema_cfg = cfg.clone();
@@ -2035,13 +2197,14 @@ fn build_cs_tables_locked(st: &mut State, dm: &Arc<DiskManager>) -> Result<(), E
     let mut schema = st.gen.schema.as_deref().unwrap().clone();
     let spo = sorted_spo(&st.gen.triples);
     let spec = ClusterSpec::auto(&schema);
-    let store = build_clustered(dm, &spo, &mut schema, &spec, false);
-    Arc::make_mut(&mut st.gen).cs_parse_order = Some((Arc::new(store), Arc::new(schema)));
+    let store = build_clustered_with(dm, &spo, &mut schema, &spec, false, st.encoding);
+    let gen = Arc::make_mut(&mut st.gen);
+    gen.cs_parse_order = Some((Arc::new(store), Arc::new(schema)));
+    gen.encoding = st.encoding;
     st.epoch += 1;
     Ok(())
 }
 
-// lock-order: acquires(dict)
 fn self_organize_locked(
     st: &mut State,
     dm: &Arc<DiskManager>,
@@ -2070,20 +2233,20 @@ fn self_organize_locked(
     // generation keep a consistent (dict, store) pair — the old dictionary
     // is never renumbered in place.
     let mut ts = TripleSet {
-        dict: st.gen.dict.read().clone(),
+        dict: st.gen.dict.as_ref().clone(),
         triples: st.gen.triples.as_ref().clone(),
     };
     // sordf-lint: allow(L3) — ensured Some by the discover_schema_locked call above.
     let mut schema = st.gen.schema.as_deref().unwrap().clone();
     let report = reorganize(&mut ts, &mut schema, &spec);
     let spo = ts.sorted_spo();
-    let store = build_clustered(dm, &spo, &mut schema, &spec, true);
+    let store = build_clustered_with(dm, &spo, &mut schema, &spec, true, st.encoding);
     // The string pool was just sorted: OID order equals value order for
     // everything interned so far.
     let strings_sorted_len = ts.dict.n_strings();
     let schema = Arc::new(schema);
     st.gen = Arc::new(StoreGeneration {
-        dict: Arc::new(RwLock::new(ts.dict)),
+        dict: Arc::new(ts.dict),
         triples: Arc::new(ts.triples),
         // Parse-order generations hold stale OIDs now.
         baseline: None,
@@ -2093,6 +2256,7 @@ fn self_organize_locked(
         spec,
         reorg_report: Some(report),
         strings_sorted_len,
+        encoding: st.encoding,
     });
     #[cfg(debug_assertions)]
     st.gen.debug_validate();
@@ -2118,6 +2282,9 @@ struct RebuildPin {
     /// (to `snap.tmp` — the final numbered name is only known at swap
     /// time) so the swap itself stays O(catch-up).
     durable: Option<DurablePin>,
+    /// The scheme the rebuild's layouts are encoded with ([`State::encoding`]
+    /// at pin time — so a `set_encoding` + reorg re-encodes the store).
+    encoding: ColumnEncoding,
 }
 
 /// See [`RebuildPin::durable`].
@@ -2145,6 +2312,7 @@ struct BuiltGeneration {
     spec: ClusterSpec,
     report: Option<ReorgReport>,
     strings_sorted_len: usize,
+    encoding: ColumnEncoding,
 }
 
 /// Claim the (single) rebuild slot and pin the rebuild's input.
@@ -2170,6 +2338,7 @@ fn begin_rebuild(inner: &DbInner) -> Result<RebuildPin, Error> {
             dir: d.dir.clone(),
             pin_log_seq: d.seq,
         }),
+        encoding: st.encoding,
     })
 }
 
@@ -2197,6 +2366,7 @@ fn build_generation(dm: &Arc<DiskManager>, pin: &RebuildPin) -> BuiltGeneration 
         spec: ClusterSpec::none(),
         report: None,
         strings_sorted_len: pin.gen.strings_sorted_len,
+        encoding: pin.encoding,
     };
     let mut frozen: Option<Arc<EmergentSchema>> = None;
     // One SPO copy serves every builder; clustering renumbers the OIDs, so
@@ -2207,7 +2377,7 @@ fn build_generation(dm: &Arc<DiskManager>, pin: &RebuildPin) -> BuiltGeneration 
         let spec = ClusterSpec::auto(&schema);
         let report = reorganize(&mut ts, &mut schema, &spec);
         spo = ts.sorted_spo();
-        let store = build_clustered(dm, &spo, &mut schema, &spec, true);
+        let store = build_clustered_with(dm, &spo, &mut schema, &spec, true, pin.encoding);
         out.strings_sorted_len = ts.dict.n_strings();
         out.clustered = Some(store);
         out.spec = spec;
@@ -2224,12 +2394,12 @@ fn build_generation(dm: &Arc<DiskManager>, pin: &RebuildPin) -> BuiltGeneration 
         };
         let mut schema = (*base).clone();
         let spec = ClusterSpec::auto(&schema);
-        let store = build_clustered(dm, &spo, &mut schema, &spec, false);
+        let store = build_clustered_with(dm, &spo, &mut schema, &spec, false, pin.encoding);
         out.cs_parse_order = Some((store, Arc::new(schema)));
         frozen.get_or_insert(base);
     }
     if pin.gen.baseline.is_some() {
-        out.baseline = Some(BaselineStore::build(dm, &spo));
+        out.baseline = Some(BaselineStore::build_with(dm, &spo, pin.encoding));
     }
     out.schema = frozen;
     out.ts = ts;
@@ -2247,7 +2417,7 @@ fn decode_triples(dict: &Dictionary, triples: &[Triple]) -> Result<Vec<TermTripl
 
 /// Encode term triples under the new (renumbered) dictionary, interning
 /// terms first seen during the rebuild.
-fn encode_terms(new_dict: &mut Dictionary, terms: &[TermTriple]) -> Result<Vec<Triple>, Error> {
+fn encode_terms(new_dict: &Dictionary, terms: &[TermTriple]) -> Result<Vec<Triple>, Error> {
     let mut out = Vec::with_capacity(terms.len());
     for t in terms {
         out.push(encode_triple_skolemized(new_dict, t)?);
@@ -2264,14 +2434,17 @@ fn write_rebuild_snapshot(
     built: &BuiltGeneration,
 ) -> Result<(), Error> {
     let triples = decode_triples(&built.ts.dict, &built.ts.triples)?;
+    let mut flags = LayoutFlags {
+        baseline: built.baseline.is_some(),
+        cs_parse_order: built.cs_parse_order.is_some(),
+        clustered: built.clustered.is_some(),
+        schema: built.schema.is_some(),
+        plain_encoding: false,
+    };
+    flags.record_encoding(built.encoding);
     let snap = StoreSnapshot {
         base_seq: dp.pin_log_seq,
-        flags: LayoutFlags {
-            baseline: built.baseline.is_some(),
-            cs_parse_order: built.cs_parse_order.is_some(),
-            clustered: built.clustered.is_some(),
-            schema: built.schema.is_some(),
-        },
+        flags,
         schema_cfg: pin.schema_cfg.clone(),
         triples,
     };
@@ -2292,7 +2465,7 @@ fn commit_swap_durable(
     let snap_n = d.snap_file + 1;
     let wal_n = d.wal_file + 1;
     fs::rename(dp.dir.join(SNAP_TMP), Manifest::snap_path(&d.dir, snap_n))?;
-    let mut wal = WalWriter::create(&Manifest::wal_path(&d.dir, wal_n))?;
+    let mut wal = WalWriter::create_with(&Manifest::wal_path(&d.dir, wal_n), d.wal.format())?;
     let mut seq = dp.pin_log_seq;
     for rec in records {
         seq += 1;
@@ -2340,7 +2513,7 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
     }
     let st = &mut *st;
     let catch_up = st.delta.writes_since(pin.pin_seq);
-    let mut new_dict = built.ts.dict;
+    let new_dict = built.ts.dict;
     let mut new_delta = DeltaStore::with_base_seq(pin.pin_seq);
     let mut new_write: Option<WriteState> = None;
     // Re-serialize the catch-up writes (term-level) for the rotated WAL.
@@ -2349,20 +2522,16 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
     let durable_live = pin.durable.is_some() && st.durable.is_some();
     let mut catch_up_records: Vec<WalRecord> = Vec::new();
     {
-        // Decode under the *current* generation's dictionary — it extends
-        // the pinned one (same numbering, possibly COW-replaced by an
-        // intern while a read pin was open) and is the only snapshot
-        // guaranteed to contain terms interned during the rebuild.
-        // Read-locking cannot deadlock: writers that take it exclusively
-        // do so under the state lock we already hold, and query pins are
-        // plain shared readers.
-        let cur_dict = Arc::clone(&st.gen.dict);
-        let old_dict = cur_dict.read();
+        // Decode under the *current* generation's dictionary — it is the
+        // same append-only dictionary the rebuild pinned (grown in place by
+        // concurrent interns) and is guaranteed to contain every term
+        // interned during the rebuild. No locking: decode is lock-free.
+        let old_dict = st.gen.dict.as_ref();
         for (seq, w) in catch_up {
             let applied = match w {
                 DeltaWrite::Insert(triples) => {
-                    let terms = decode_triples(&old_dict, &triples)?;
-                    let enc = encode_terms(&mut new_dict, &terms)?;
+                    let terms = decode_triples(old_dict, &triples)?;
+                    let enc = encode_terms(&new_dict, &terms)?;
                     if durable_live {
                         catch_up_records.push(WalRecord::Insert(terms));
                     }
@@ -2375,8 +2544,8 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
                     new_delta.insert_run(enc)
                 }
                 DeltaWrite::Delete(triples) => {
-                    let terms = decode_triples(&old_dict, &triples)?;
-                    let enc = encode_terms(&mut new_dict, &terms)?;
+                    let terms = decode_triples(old_dict, &triples)?;
+                    let enc = encode_terms(&new_dict, &terms)?;
                     if durable_live {
                         catch_up_records.push(WalRecord::Delete(terms));
                     }
@@ -2405,7 +2574,7 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
         commit_swap_durable(dp, d, &catch_up_records)?;
     }
     st.gen = Arc::new(StoreGeneration {
-        dict: Arc::new(RwLock::new(new_dict)),
+        dict: Arc::new(new_dict),
         triples: Arc::new(built.ts.triples),
         baseline: built.baseline.map(Arc::new),
         schema: built.schema,
@@ -2414,6 +2583,7 @@ fn finish_rebuild(inner: &DbInner, pin: RebuildPin, built: BuiltGeneration) -> R
         spec: built.spec,
         reorg_report: built.report,
         strings_sorted_len: built.strings_sorted_len,
+        encoding: built.encoding,
     });
     st.delta = new_delta;
     st.write = new_write;
@@ -2696,6 +2866,113 @@ mod tests {
         );
         assert_eq!(s4.misses, s3.misses + 1, "post-swap run re-optimizes");
         assert_eq!(db.query(q).unwrap().len(), 6, "3 old + new itemX");
+    }
+
+    #[test]
+    fn plan_cache_key_includes_encoding() {
+        let db = sample_db();
+        db.self_organize().unwrap();
+        assert_eq!(
+            db.encoding(),
+            ColumnEncoding::Compressed,
+            "compression is the default build scheme"
+        );
+
+        // The key itself must differ by scheme. A generation swap already
+        // clears the cache through the epoch; keying on the encoding is the
+        // belt-and-braces guarantee that a plan costed against one page
+        // encoding is never served to a store built under another.
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q }";
+        let dict = db.dict();
+        let query = sordf_sparql::parse_sparql(q, &dict).unwrap();
+        let compressed = plan_cache_key(
+            &query,
+            Generation::Clustered,
+            ExecConfig::default(),
+            ColumnEncoding::Compressed,
+        );
+        let plain = plan_cache_key(
+            &query,
+            Generation::Clustered,
+            ExecConfig::default(),
+            ColumnEncoding::Plain,
+        );
+        assert_ne!(compressed, plain, "encoding is part of the plan identity");
+        drop(dict);
+
+        // End to end: rebuilding under the plain scheme re-optimizes the
+        // same query shape instead of reusing the compressed-era plan.
+        db.query(q).unwrap();
+        db.query(q).unwrap();
+        let s1 = db.plan_cache_stats();
+        db.set_encoding(ColumnEncoding::Plain);
+        db.reorganize_now().unwrap();
+        assert_eq!(
+            db.encoding(),
+            ColumnEncoding::Plain,
+            "rebuild adopts the scheme"
+        );
+        let rows = db.query(q).unwrap().len();
+        let s2 = db.plan_cache_stats();
+        assert_eq!(s2.misses, s1.misses + 1, "plain rebuild re-optimizes");
+        assert_eq!(db.query(q).unwrap().len(), rows, "cached plan agrees");
+    }
+
+    #[test]
+    fn memory_stats_accounts_components() {
+        let db = sample_db();
+        // String literals so the front-coded dictionary run is non-trivial.
+        let labels: Vec<TermTriple> = (0..50u64)
+            .map(|i| {
+                TermTriple::new(
+                    Term::iri(format!("http://ex/item{i}")),
+                    Term::iri("http://ex/label"),
+                    Term::str(format!("common-prefix-label-{i:04}")),
+                )
+            })
+            .collect();
+        db.load_terms(&labels).unwrap();
+        let staged = db.memory_stats();
+        assert!(staged.dict_bytes > 0, "staged dictionary accounted");
+        assert!(staged.base_triples_bytes > 0, "base triples accounted");
+        assert_eq!(staged.column_bytes, 0, "nothing built yet");
+        assert_eq!(staged.column_compression_ratio(), 1.0);
+
+        db.self_organize().unwrap();
+        let built = db.memory_stats();
+        assert!(built.column_bytes > 0, "clustered segments accounted");
+        assert!(
+            built.column_plain_bytes >= built.column_bytes,
+            "encoded pages never exceed their plain counterfactual"
+        );
+        assert_eq!(
+            built.classes.iter().map(|c| c.encoded).sum::<u64>(),
+            built.column_bytes,
+            "classes partition the column bytes"
+        );
+        let clustered = built.classes[2];
+        assert_eq!(clustered.name, "clustered");
+        assert!(clustered.encoded > 0 && clustered.ratio() >= 1.0);
+        assert_eq!(built.classes[0].encoded, 0, "no baseline built here");
+        assert!(
+            built.dict_string_bytes > 0 && built.dict_string_bytes < built.dict_string_plain_bytes,
+            "front-coded strings accounted and smaller than plain"
+        );
+        assert!(built.bytes_per_triple() > 0.0);
+        assert_eq!(built.n_triples as usize, db.n_triples());
+        assert_eq!(built.delta_bytes, 0, "no pending writes");
+
+        db.insert_ntriples(
+            r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
+        )
+        .unwrap();
+        let m = db.memory_stats();
+        assert!(m.delta_bytes > 0, "pending writes accounted");
+        assert_eq!(m.n_triples as usize, db.n_triples());
+        assert_eq!(
+            m.total_bytes(),
+            m.dict_bytes + m.base_triples_bytes + m.column_bytes + m.delta_bytes
+        );
     }
 
     #[test]
@@ -3187,39 +3464,44 @@ mod tests {
     }
 
     /// Regression (review finding): holding a `DictPin` across a write on
-    /// the *same thread* must not deadlock — interning copy-on-writes the
-    /// dictionary instead of waiting for the pin. The pin keeps its
-    /// snapshot; a fresh pin sees the new terms.
+    /// the *same thread* must not deadlock — the dictionary interns through
+    /// `&self`, so the pools grow in place under an open pin. The pin
+    /// observes the appended terms (its generation's dictionary is append-
+    /// only), and a generation swap never waits on it.
     #[test]
     fn dict_pin_held_across_writes_does_not_deadlock() {
         let db = sample_db();
         db.self_organize().unwrap();
         let pin = db.dict();
         let n_before = pin.n_iris();
+        let item3 = pin.iri_oid("http://ex/item3").unwrap();
         // sordf-lint: allow(L1) — this regression test deliberately holds the pin
-        // across writes to assert the copy-on-write interning contract.
+        // across writes to assert the wait-free interning contract.
         db.insert_ntriples(
             r#"<http://ex/new1> <http://ex/qty> "3"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
         )
         .unwrap();
-        // sordf-lint: allow(L1) — deliberate: same COW-interning regression check.
+        // sordf-lint: allow(L1) — deliberate: same wait-free-interning regression check.
         db.delete_matching(Some(&Term::iri("http://ex/item3")), None, None)
             .unwrap();
-        // sordf-lint: allow(L1) — deliberate: same COW-interning regression check.
+        // sordf-lint: allow(L1) — deliberate: same wait-free-interning regression check.
         db.load_ntriples(
             r#"<http://ex/new2> <http://ex/qty> "4"^^<http://www.w3.org/2001/XMLSchema#integer> ."#,
         )
         .unwrap();
-        // The open pin kept its snapshot; the live dictionary moved on.
-        assert_eq!(pin.n_iris(), n_before);
-        assert!(pin.iri_oid("http://ex/new1").is_none());
-        let fresh = db.dict();
-        assert!(fresh.iri_oid("http://ex/new1").is_some());
-        assert!(fresh.iri_oid("http://ex/new2").is_some());
+        // The generation's dictionary grew in place: the open pin sees the
+        // appended terms, and every OID it already resolved stayed put.
+        assert_eq!(pin.n_iris(), n_before + 2);
+        assert!(pin.iri_oid("http://ex/new1").is_some());
+        assert_eq!(pin.iri_oid("http://ex/item3"), Some(item3));
         drop(pin);
+        let fresh = db.dict();
         // sordf-lint: allow(L1) — deliberate: reorganizing while `fresh` is held
-        // asserts the swap never waits on an existing read pin.
+        // asserts the swap never waits on an existing pin.
         db.self_organize().unwrap();
+        // The swap installed a renumbered dictionary; `fresh` kept its
+        // pre-swap snapshot alive and consistent.
+        assert!(fresh.iri_oid("http://ex/new2").is_some());
         let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }";
         // 5 originals − item3 (deleted) + new1 (inserted) = 5.
         assert_eq!(db.query(q).unwrap().len(), 5, "writes all landed");

@@ -29,6 +29,10 @@ pub struct ExecConfig {
     /// always an authoring mistake; the budget turns a silent O(n·m) blowup
     /// into an explicit error naming the fix.
     pub cross_join_budget: u64,
+    /// Evaluate stars through the scalar rowwise oracle instead of the
+    /// vectorized kernels. Byte-identical results, far slower — the
+    /// differential-testing executor, not a production path.
+    pub rowwise: bool,
 }
 
 impl Default for ExecConfig {
@@ -37,6 +41,7 @@ impl Default for ExecConfig {
             scheme: PlanScheme::RdfScanJoin,
             zonemaps: true,
             cross_join_budget: 1_000_000,
+            rowwise: false,
         }
     }
 }

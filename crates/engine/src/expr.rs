@@ -233,7 +233,7 @@ mod tests {
     use sordf_model::Value;
 
     fn dict_with(strings: &[&str]) -> Dictionary {
-        let mut d = Dictionary::new();
+        let d = Dictionary::new();
         for s in strings {
             d.encode_value(&Value::str(*s)).unwrap();
         }

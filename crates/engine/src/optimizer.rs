@@ -272,13 +272,18 @@ fn star_stats(cx: &ExecContext, sv: &StatsView, star: &Star, filters: &[&Expr]) 
     let rows = estimate_star_with(cx, sv, star, filters).max(0.0);
     let strings_ordered = cx.strings_value_ordered();
 
-    // IdxScan+MergeJoin: every property stream is scanned end to end.
+    // IdxScan+MergeJoin: every property stream is scanned end to end. Scans
+    // over compressed pages charge a per-row decode surcharge
+    // ([`StatsView::scan_cpu_factor`]) — they touch fewer bytes but spend
+    // CPU unpacking them.
+    let cpu = sv.scan_cpu_factor();
     let scan_prop: f64 = star
         .props
         .iter()
         .map(|p| pred_cardinality(cx, sv, p.pred))
         .sum::<f64>()
-        .max(1.0);
+        .max(1.0)
+        * cpu;
 
     // RDFscan: covered segment rows (zone-map-narrowed) + the irregular and
     // pending remainders of every property.
@@ -323,7 +328,7 @@ fn star_stats(cx: &ExecContext, sv: &StatsView, star: &Star, filters: &[&Expr]) 
                     .len() as f64
                     + sv.pending_for(p.pred) as f64;
             }
-            Some(cost.max(1.0))
+            Some(cost.max(1.0) * cpu)
         }
     };
 

@@ -228,6 +228,9 @@ pub(crate) fn eval_one_star(
     candidates: Option<&[Oid]>,
     s_range: SRange,
 ) -> Table {
+    if cx.config.rowwise {
+        return crate::rowwise::eval_star_rowwise(cx, star, access, filters, candidates, s_range);
+    }
     match access {
         StarAccess::PropMerge => {
             eval_star_default(cx, star, filters, candidates, s_range, Source::Full)

@@ -203,7 +203,7 @@ fn select_expression_projection() {
 
 #[test]
 fn outval_ordering_null_last_and_strings_textual() {
-    let mut dict = Dictionary::new();
+    let dict = Dictionary::new();
     let zebra = dict.encode_term(&Term::str("zebra")).unwrap();
     let apple = dict.encode_term(&Term::str("apple")).unwrap();
     assert_eq!(

@@ -25,6 +25,7 @@
 //! | L5 | guard hygiene: structs named `*Guard`/`*Pin`/`*Handle` (and the known handle types) must be `#[must_use]` |
 //! | L6 | atomic-ordering audit: every `Ordering::Relaxed`/`Acquire`/… needs an `// ordering:` justification comment in its function |
 //! | L7 | durable-write discipline: in the WAL/manifest/page-file write paths an I/O `Result` must not be silently discarded (`let _ = …` or a trailing `.ok();`) |
+//! | L8 | page-layout confinement: raw page-word access (`.data[..]` indexing, `for_get`/`for_decode_range`/`for_partition_point`/`compress::choose` calls) is an error outside `compress.rs`/`column.rs` — everything else reads through `Chunk` and the column accessors |
 
 pub mod lexer;
 
@@ -67,6 +68,7 @@ pub struct Scope {
     pub l5: bool,
     pub l6: bool,
     pub l7: bool,
+    pub l8: bool,
 }
 
 impl Scope {
@@ -79,6 +81,7 @@ impl Scope {
             l5: true,
             l6: true,
             l7: true,
+            l8: true,
         }
     }
 }
@@ -93,9 +96,11 @@ pub fn classify(rel: &str) -> Option<Scope> {
     let mut s = Scope {
         // Pin discipline and the std-sync ban hold everywhere, including
         // integration tests and benches — tests are the main *users* of
-        // `query_pinned`.
+        // `query_pinned`. Page-layout confinement likewise applies anywhere
+        // a pinned page buffer could leak.
         l1: true,
         l4: true,
+        l8: true,
         ..Scope::default()
     };
     let in_crate_src = rel.starts_with("crates/") && rel.contains("/src/");
@@ -118,6 +123,17 @@ pub fn classify(rel: &str) -> Option<Scope> {
             | "crates/columnar/src/disk.rs"
     ) {
         s.l7 = true;
+    }
+    // The FOR page format may be known only to the codec, the chunk/accessor
+    // layer built directly on it, and the codec's own property test; every
+    // other file must stay behind the column accessors (L8).
+    if matches!(
+        rel.as_str(),
+        "crates/columnar/src/compress.rs"
+            | "crates/columnar/src/column.rs"
+            | "crates/columnar/tests/compress_prop.rs"
+    ) {
+        s.l8 = false;
     }
     Some(s)
 }
@@ -229,6 +245,7 @@ pub fn lint_sources(files: &[(String, String)], force_scope: Option<Scope>) -> V
         check_l5(fd, &mut diags);
         check_l6(fi, fd, &fns, &mut diags);
         check_l7(fd, &mut diags);
+        check_l8(fd, &mut diags);
     }
     check_l1(&data, &fns, &mut diags);
     check_l2(&data, &fns, &mut diags);
@@ -280,11 +297,14 @@ fn parse_allows(comments: &[Comment], path: &str, diags: &mut Vec<Diagnostic>) -
             .filter(|r| !r.is_empty())
             .collect();
         let valid = !rules.is_empty()
-            && rules
-                .iter()
-                .all(|r| matches!(r.as_str(), "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7"));
+            && rules.iter().all(|r| {
+                matches!(
+                    r.as_str(),
+                    "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8"
+                )
+            });
         if !valid {
-            malformed(diags, "unknown rule id (expected L1..L7)");
+            malformed(diags, "unknown rule id (expected L1..L8)");
             continue;
         }
         let reason = after
@@ -1201,6 +1221,59 @@ fn check_l7(fd: &FileData, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// The FOR/bit-packing word-layout primitives. A call site outside the
+/// sanctioned modules means raw page words escaped the decode layer, and the
+/// caller has hard-coded the page format.
+const PAGE_LAYOUT_FNS: [&str; 3] = ["for_get", "for_decode_range", "for_partition_point"];
+
+fn check_l8(fd: &FileData, diags: &mut Vec<Diagnostic>) {
+    if !fd.scope.l8 {
+        return;
+    }
+    let toks = &fd.lexed.tokens;
+    for i in 0..toks.len() {
+        // Raw page-buffer field indexing: `<expr>.data[...]`.
+        if is_punct(toks, i, '.')
+            && ident(toks, i + 1) == Some("data")
+            && is_punct(toks, i + 2, '[')
+        {
+            diags.push(Diagnostic {
+                file: fd.path.clone(),
+                line: toks[i + 1].line,
+                rule: "L8",
+                msg: "raw `.data[..]` page-buffer indexing — page layout belongs to \
+                      `compress.rs`/`column.rs`; read through `Chunk` or the column \
+                      accessors, or add `// sordf-lint: allow(L8) — <reason>`"
+                    .to_string(),
+            });
+        }
+        // A page-layout primitive call, bare or `compress::`-qualified.
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        let qualified_choose = name == "choose"
+            && i >= 3
+            && is_punct(toks, i - 1, ':')
+            && is_punct(toks, i - 2, ':')
+            && ident(toks, i - 3) == Some("compress");
+        if (PAGE_LAYOUT_FNS.contains(&name.as_str()) || qualified_choose)
+            && is_punct(toks, i + 1, '(')
+        {
+            diags.push(Diagnostic {
+                file: fd.path.clone(),
+                line: toks[i].line,
+                rule: "L8",
+                msg: format!(
+                    "`{name}` decodes raw page words outside the sanctioned layout modules \
+                     — only `compress.rs`/`column.rs` may know the FOR page format; read \
+                     through `Chunk`/column accessors, or add \
+                     `// sordf-lint: allow(L8) — <reason>`"
+                ),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // filesystem front end
 // ---------------------------------------------------------------------------
@@ -1347,6 +1420,28 @@ fn h(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b) }
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, "L4");
         assert!(d[0].msg.contains("Mutex"));
+    }
+
+    #[test]
+    fn l8_flags_page_layout_access_and_classify_carves_out_codec() {
+        let src = "\
+fn peek(p: &PageGuard) -> u64 { p.data[0] }
+fn one(w: &[u64]) -> u64 { for_get(w, 0, 8, 0) }
+fn enc(v: &[u64]) { let _ = compress::choose(v); }
+fn fine(c: &Column) -> u64 { c.value(0) }
+";
+        let d = run(src);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "L8"), "{d:?}");
+        assert_eq!(
+            d.iter().map(|d| d.line).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "{d:?}"
+        );
+        // The codec and its accessor layer are the sanctioned exceptions.
+        assert!(!classify("crates/columnar/src/compress.rs").unwrap().l8);
+        assert!(!classify("crates/columnar/src/column.rs").unwrap().l8);
+        assert!(classify("crates/engine/src/exec.rs").unwrap().l8);
     }
 
     #[test]

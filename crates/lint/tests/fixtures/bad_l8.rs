@@ -1,0 +1,14 @@
+//! L8: raw page-layout access outside `compress.rs`/`column.rs`.
+
+fn peek_header(page: &PageGuard) -> u64 {
+    page.data[0]
+}
+
+fn decode_one(words: &[u64], base: u64, width: u8) -> u64 {
+    for_get(words, base, width, 0)
+}
+
+fn ok_via_accessor(col: &Column, row: usize) -> u64 {
+    // Reading through the column accessor keeps the page format opaque.
+    col.value(row)
+}

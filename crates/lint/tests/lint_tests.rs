@@ -90,6 +90,17 @@ fn l7_flags_discarded_write_path_io_results() {
 }
 
 #[test]
+fn l8_flags_raw_page_layout_access() {
+    let diags = lint_fixture("bad_l8.rs");
+    assert_eq!(lines(&diags, "L8"), vec![4, 8], "{diags:#?}");
+    assert_eq!(
+        diags.len(),
+        2,
+        "the accessor-based read is clean: {diags:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_produces_no_diagnostics() {
     let diags = lint_fixture("clean.rs");
     assert!(diags.is_empty(), "{diags:#?}");
@@ -121,6 +132,17 @@ fn classify_scopes_rules_by_tree_location() {
     let bench = classify("crates/bench/src/bin/bench_parallel.rs").expect("bench is in scope");
     assert!(bench.l1 && bench.l4 && bench.l5 && bench.l6);
     assert!(!bench.l2 && !bench.l3);
+    // Page-layout confinement holds everywhere except the codec itself, the
+    // chunk/accessor layer, and the codec's own property test.
+    assert!(core.l8 && bench.l8);
+    assert!(!classify("crates/columnar/src/compress.rs").unwrap().l8);
+    assert!(!classify("crates/columnar/src/column.rs").unwrap().l8);
+    assert!(
+        !classify("crates/columnar/tests/compress_prop.rs")
+            .unwrap()
+            .l8
+    );
+    assert!(classify("crates/columnar/src/disk.rs").unwrap().l8);
 }
 
 /// The CI gate, in test form: the real tree must lint clean. Any diagnostic

@@ -8,58 +8,542 @@
 //! sorts the string pool so that string OID order equals lexicographic
 //! order; [`Dictionary::apply_iri_permutation`] and
 //! [`Dictionary::sort_strings`] implement those reorganizations.
+//!
+//! # Physical layout
+//!
+//! Each pool is split into a **frozen prefix** rebuilt at reorganization
+//! time and a **concurrent append-only tail** for everything interned after
+//! it:
+//!
+//! * The IRI/blank frozen prefix is a plain shared `Vec<String>` (IRI order
+//!   is cluster order, not lexicographic — nothing to delta-encode against).
+//! * The string-literal frozen prefix is **front-coded** (`FrontCoded`):
+//!   the sorted run is chopped into groups of [`FC_GROUP`], each group
+//!   storing its leader in full and every follower as (shared-prefix-length,
+//!   suffix). Lookups binary-search the group leaders, so the sorted prefix
+//!   needs *no* hash index at all — the dominant dictionary structure after
+//!   a reorganization costs its compressed bytes and nothing else.
+//! * The tail (`AppendTail`) is a chunked spine whose published entries
+//!   never move: readers resolve OIDs **without taking any lock**, and
+//!   interning appends behind a short per-pool writer lock. A reader
+//!   holding a pinned dictionary snapshot therefore never blocks an
+//!   interning writer and vice versa — the pool grows in place.
+//!
+//! Interning consequently takes `&self`: the dictionary is shared as a
+//! plain `Arc` and mutated through interior mutability, with the writer
+//! lock ordered *after* the store's state lock (`db_state → dict →
+//! pool_shard`).
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
 
 use crate::error::ModelError;
 use crate::fxhash::FxHashMap;
 use crate::oid::{Oid, TypeTag};
 use crate::term::{Literal, Term, Value};
 
-/// One interning pool: values are indices into `entries`.
-#[derive(Debug, Default, Clone)]
-struct Pool {
-    entries: Vec<String>,
-    index: FxHashMap<String, u64>,
+// ---- varint helpers (front-coded group framing) ----------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
 }
 
-impl Pool {
-    fn intern(&mut self, s: &str) -> u64 {
-        if let Some(&i) = self.index.get(s) {
-            return i;
+fn read_varint(bytes: &[u8], mut pos: usize) -> (u64, usize) {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[pos];
+        pos += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return (v, pos);
         }
-        let i = self.entries.len() as u64;
-        self.entries.push(s.to_string());
-        self.index.insert(s.to_string(), i);
-        i
+        shift += 7;
     }
+}
 
-    fn lookup(&self, s: &str) -> Option<u64> {
-        self.index.get(s).copied()
-    }
+/// Entries per front-coded group: one full leader + `FC_GROUP - 1`
+/// prefix-delta followers. Small enough that positional decode (walk the
+/// group) stays a handful of byte copies, large enough that the leader
+/// overhead amortizes.
+pub const FC_GROUP: usize = 16;
 
-    fn get(&self, i: u64) -> Option<&str> {
-        self.entries.get(i as usize).map(|s| s.as_str())
+/// A frozen, sorted, front-coded string run. See the [module docs](self).
+#[derive(Debug, Default, Clone)]
+struct FrontCoded {
+    /// Concatenated group images: leader as `varint(len) bytes`, followers
+    /// as `varint(shared) varint(suffix_len) suffix_bytes`.
+    arena: Arc<Vec<u8>>,
+    /// Byte offset of each group image in `arena`.
+    groups: Arc<Vec<u32>>,
+    len: usize,
+    /// Total decoded bytes (the plain `Vec<String>` cost), for ratio
+    /// reporting.
+    plain_bytes: u64,
+}
+
+impl FrontCoded {
+    /// Build from a lexicographically sorted, duplicate-free run.
+    fn build(entries: &[String]) -> FrontCoded {
+        debug_assert!(entries.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        let mut arena = Vec::new();
+        let mut groups = Vec::with_capacity(entries.len().div_ceil(FC_GROUP));
+        for chunk in entries.chunks(FC_GROUP) {
+            assert!(
+                arena.len() <= u32::MAX as usize,
+                "front-coded arena overflow"
+            );
+            groups.push(arena.len() as u32);
+            let leader = chunk[0].as_bytes();
+            write_varint(&mut arena, leader.len() as u64);
+            arena.extend_from_slice(leader);
+            let mut prev = leader;
+            for e in &chunk[1..] {
+                let e = e.as_bytes();
+                let shared = prev.iter().zip(e).take_while(|(a, b)| a == b).count();
+                write_varint(&mut arena, shared as u64);
+                write_varint(&mut arena, (e.len() - shared) as u64);
+                arena.extend_from_slice(&e[shared..]);
+                prev = e;
+            }
+        }
+        FrontCoded {
+            arena: Arc::new(arena),
+            groups: Arc::new(groups),
+            len: entries.len(),
+            plain_bytes: entries.iter().map(|e| e.len() as u64).sum(),
+        }
     }
 
     fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
-    /// Reorder entries so entry `old` moves to position `new_of_old[old]`.
+    /// The group leader, borrowed straight from the arena (stored verbatim).
+    fn leader(&self, g: usize) -> &str {
+        let (len, pos) = read_varint(&self.arena, self.groups[g] as usize);
+        std::str::from_utf8(&self.arena[pos..pos + len as usize])
+            .expect("front-coded leader is the original UTF-8 string")
+    }
+
+    /// Positional decode: walk the group up to entry `i`.
+    fn get(&self, i: usize) -> Option<Cow<'_, str>> {
+        if i >= self.len {
+            return None;
+        }
+        let (g, r) = (i / FC_GROUP, i % FC_GROUP);
+        let (len, mut pos) = read_varint(&self.arena, self.groups[g] as usize);
+        let leader = &self.arena[pos..pos + len as usize];
+        pos += len as usize;
+        if r == 0 {
+            let s = std::str::from_utf8(leader)
+                .expect("front-coded leader is the original UTF-8 string");
+            return Some(Cow::Borrowed(s));
+        }
+        let mut cur = leader.to_vec();
+        for _ in 0..r {
+            let (shared, p) = read_varint(&self.arena, pos);
+            let (slen, p) = read_varint(&self.arena, p);
+            cur.truncate(shared as usize);
+            cur.extend_from_slice(&self.arena[p..p + slen as usize]);
+            pos = p + slen as usize;
+        }
+        let s = String::from_utf8(cur)
+            .expect("front-coded deltas reconstruct the original UTF-8 string");
+        Some(Cow::Owned(s))
+    }
+
+    /// Binary search the sorted run: group leaders first, then a linear
+    /// delta walk inside the one candidate group.
+    fn search(&self, key: &str) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        // First group whose leader is > key; the candidate group precedes it.
+        let g = self.groups.len()
+            - (0..self.groups.len())
+                .rev()
+                .take_while(|&g| self.leader(g) > key)
+                .count();
+        // (partition_point over an index range — spelled out because the
+        // leaders are decoded, not stored in a sliceable array)
+        let mut lo = 0usize;
+        let mut hi = g;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.leader(mid) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            return None;
+        }
+        let g = lo - 1;
+        let (len, mut pos) = read_varint(&self.arena, self.groups[g] as usize);
+        let leader = &self.arena[pos..pos + len as usize];
+        pos += len as usize;
+        if leader == key.as_bytes() {
+            return Some((g * FC_GROUP) as u64);
+        }
+        let in_group = (self.len - g * FC_GROUP).min(FC_GROUP);
+        let mut cur = leader.to_vec();
+        for r in 1..in_group {
+            let (shared, p) = read_varint(&self.arena, pos);
+            let (slen, p) = read_varint(&self.arena, p);
+            cur.truncate(shared as usize);
+            cur.extend_from_slice(&self.arena[p..p + slen as usize]);
+            pos = p + slen as usize;
+            // The run is sorted: stop as soon as we pass the key.
+            match cur.as_slice().cmp(key.as_bytes()) {
+                std::cmp::Ordering::Equal => return Some((g * FC_GROUP + r) as u64),
+                std::cmp::Ordering::Greater => return None,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        None
+    }
+
+    /// Resident bytes of the encoded image.
+    fn encoded_bytes(&self) -> u64 {
+        (self.arena.len() + self.groups.len() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+// ---- the concurrent append tail --------------------------------------------
+
+/// Chunk-doubling spine: chunk `k` holds `TAIL_FIRST << k` slots, so entries
+/// never move once published and 40 chunks cover ~7·10¹³ entries.
+const TAIL_FIRST: usize = 64;
+const TAIL_SPINE: usize = 40;
+
+/// Append-only string storage with lock-free readers. Writers must be
+/// externally serialized (the owning pool's writer lock); readers only need
+/// `&self` and never block. See the [module docs](self).
+struct AppendTail {
+    spine: [OnceLock<Box<[OnceLock<String>]>>; TAIL_SPINE],
+    /// Entries `< published` are fully written and immutable.
+    published: AtomicU64,
+}
+
+impl Default for AppendTail {
+    fn default() -> AppendTail {
+        AppendTail {
+            spine: std::array::from_fn(|_| OnceLock::new()),
+            published: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for AppendTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppendTail")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Clone for AppendTail {
+    fn clone(&self) -> AppendTail {
+        let out = AppendTail::default();
+        for t in 0..self.len() {
+            // The source entry below `published` is immutable; the clone is
+            // exclusively owned here, satisfying push's writer contract.
+            if let Some(s) = self.get(t) {
+                out.push(s.to_string());
+            }
+        }
+        out
+    }
+}
+
+impl AppendTail {
+    fn locate(t: u64) -> (usize, usize) {
+        let n = t / TAIL_FIRST as u64 + 1;
+        let k = (u64::BITS - 1 - n.leading_zeros()) as usize;
+        let start = TAIL_FIRST as u64 * ((1u64 << k) - 1);
+        (k, (t - start) as usize)
+    }
+
+    fn len(&self) -> u64 {
+        // ordering: Acquire — pairs with the Release in `push`; any entry
+        // below the loaded count is fully initialized.
+        self.published.load(Ordering::Acquire)
+    }
+
+    fn get(&self, t: u64) -> Option<&str> {
+        // ordering: Acquire — pairs with the Release in `push`; the bound
+        // guarantees the chunk and slot reads below see initialized data.
+        if t >= self.published.load(Ordering::Acquire) {
+            return None;
+        }
+        let (k, off) = Self::locate(t);
+        self.spine[k]
+            .get()
+            .and_then(|c| c[off].get())
+            .map(String::as_str)
+    }
+
+    /// Append one entry, returning its tail index. Callers must hold the
+    /// pool's writer lock — `push` assumes it is the only writer.
+    fn push(&self, s: String) -> u64 {
+        // ordering: Relaxed — the pool writer lock serializes all pushes;
+        // this thread either published the current count itself or observed
+        // it through the lock's critical section.
+        let t = self.published.load(Ordering::Relaxed);
+        let (k, off) = Self::locate(t);
+        let chunk = self.spine[k].get_or_init(|| {
+            (0..TAIL_FIRST << k)
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        let set = chunk[off].set(s);
+        debug_assert!(set.is_ok(), "tail slot {t} written twice");
+        // ordering: Release — publishes the entry written above to readers
+        // that Acquire-load a count > t.
+        self.published.store(t + 1, Ordering::Release);
+        t
+    }
+
+    /// Approximate resident bytes: entry content plus slot overhead of the
+    /// allocated chunks.
+    fn approx_bytes(&self) -> u64 {
+        let mut b = 0u64;
+        for t in 0..self.len() {
+            if let Some(s) = self.get(t) {
+                b += s.len() as u64;
+            }
+        }
+        for (k, slot) in self.spine.iter().enumerate() {
+            if slot.get().is_some() {
+                b += ((TAIL_FIRST << k) * std::mem::size_of::<OnceLock<String>>()) as u64;
+            }
+        }
+        b
+    }
+}
+
+// ---- pools -----------------------------------------------------------------
+
+/// Rough per-entry overhead of the hash index (key heap bytes are counted
+/// separately): hash + index + bucket slack.
+const INDEX_ENTRY_OVERHEAD: u64 = 24;
+
+/// An interning pool whose frozen prefix is a plain shared vector (IRIs,
+/// blank nodes — order is cluster order, so every lookup needs the hash
+/// index anyway).
+#[derive(Debug)]
+struct Pool {
+    frozen: Arc<Vec<String>>,
+    tail: AppendTail,
+    /// `entry -> index` over frozen *and* tail entries. Writer lock for
+    /// interning; plain reads for lookups.
+    index: RwLock<FxHashMap<String, u64>>,
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool {
+            frozen: Arc::new(Vec::new()),
+            tail: AppendTail::default(),
+            index: RwLock::new(FxHashMap::default()),
+        }
+    }
+}
+
+impl Clone for Pool {
+    fn clone(&self) -> Pool {
+        // Locking the index excludes interning writers, so `tail` and the
+        // map are cloned as one coherent snapshot.
+        // lock-order: acquires(pool_shard)
+        let index = self.index.read();
+        Pool {
+            frozen: Arc::clone(&self.frozen),
+            tail: self.tail.clone(),
+            index: RwLock::new(index.clone()),
+        }
+    }
+}
+
+impl Pool {
+    /// Intern with `&self`: the writer lock covers the map insert and the
+    /// tail publish; readers resolve published indices without any lock.
+    // lock-order: acquires(pool_shard)
+    fn intern(&self, s: &str) -> u64 {
+        if let Some(&i) = self.index.read().get(s) {
+            return i;
+        }
+        let mut index = self.index.write();
+        if let Some(&i) = index.get(s) {
+            return i;
+        }
+        let i = self.frozen.len() as u64 + self.tail.push(s.to_string());
+        index.insert(s.to_string(), i);
+        i
+    }
+
+    // lock-order: acquires(pool_shard)
+    fn lookup(&self, s: &str) -> Option<u64> {
+        self.index.read().get(s).copied()
+    }
+
+    /// Lock-free decode.
+    fn get(&self, i: u64) -> Option<&str> {
+        let f = self.frozen.len() as u64;
+        if i < f {
+            Some(self.frozen[i as usize].as_str())
+        } else {
+            self.tail.get(i - f)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.frozen.len() + self.tail.len() as usize
+    }
+
+    /// Reorder entries so entry `old` moves to position `new_of_old[old]`,
+    /// folding the tail into a fresh frozen prefix.
     fn permute(&mut self, new_of_old: &[u64]) {
-        assert_eq!(
-            new_of_old.len(),
-            self.entries.len(),
-            "permutation size mismatch"
-        );
-        let mut reordered = vec![String::new(); self.entries.len()];
-        for (old, s) in self.entries.drain(..).enumerate() {
+        let n = self.len();
+        assert_eq!(new_of_old.len(), n, "permutation size mismatch");
+        let mut reordered = vec![String::new(); n];
+        for old in 0..n {
+            // sordf-lint: allow(L3) — old < len, so the entry exists.
+            let s = self.get(old as u64).expect("entry below len").to_string();
             reordered[new_of_old[old] as usize] = s;
         }
-        self.entries = reordered;
-        self.index.clear();
-        for (i, s) in self.entries.iter().enumerate() {
-            self.index.insert(s.clone(), i as u64);
+        let index = self.index.get_mut();
+        index.clear();
+        for (i, s) in reordered.iter().enumerate() {
+            index.insert(s.clone(), i as u64);
         }
+        self.frozen = Arc::new(reordered);
+        self.tail = AppendTail::default();
+    }
+
+    /// Approximate resident bytes: entry content (counted twice — pool +
+    /// index key) plus vector and index overhead.
+    fn approx_bytes(&self) -> u64 {
+        let frozen: u64 = self
+            .frozen
+            .iter()
+            .map(|s| (s.len() + std::mem::size_of::<String>()) as u64)
+            .sum();
+        // lock-order: acquires(pool_shard)
+        let index = self.index.read();
+        let idx: u64 = index
+            .keys()
+            .map(|k| k.len() as u64 + INDEX_ENTRY_OVERHEAD)
+            .sum();
+        frozen + self.tail.approx_bytes() + idx
+    }
+}
+
+/// The string-literal pool: the frozen prefix is sorted and front-coded, so
+/// it is searched by binary search and carries **no** hash-index entries —
+/// only tail strings (interned since the last sort) are hash-indexed.
+#[derive(Debug, Default)]
+struct StrPool {
+    frozen: FrontCoded,
+    tail: AppendTail,
+    /// `entry -> index` over *tail* entries only.
+    index: RwLock<FxHashMap<String, u64>>,
+}
+
+impl Clone for StrPool {
+    fn clone(&self) -> StrPool {
+        // lock-order: acquires(pool_shard)
+        let index = self.index.read();
+        StrPool {
+            frozen: self.frozen.clone(),
+            tail: self.tail.clone(),
+            index: RwLock::new(index.clone()),
+        }
+    }
+}
+
+impl StrPool {
+    // lock-order: acquires(pool_shard)
+    fn intern(&self, s: &str) -> u64 {
+        if let Some(i) = self.frozen.search(s) {
+            return i;
+        }
+        if let Some(&i) = self.index.read().get(s) {
+            return i;
+        }
+        let mut index = self.index.write();
+        if let Some(&i) = index.get(s) {
+            return i;
+        }
+        let i = self.frozen.len() as u64 + self.tail.push(s.to_string());
+        index.insert(s.to_string(), i);
+        i
+    }
+
+    // lock-order: acquires(pool_shard)
+    fn lookup(&self, s: &str) -> Option<u64> {
+        self.frozen
+            .search(s)
+            .or_else(|| self.index.read().get(s).copied())
+    }
+
+    /// Lock-free decode. Front-coded followers reconstruct (allocate); group
+    /// leaders and tail entries borrow.
+    fn get(&self, i: u64) -> Option<Cow<'_, str>> {
+        let f = self.frozen.len() as u64;
+        if i < f {
+            self.frozen.get(i as usize)
+        } else {
+            self.tail.get(i - f).map(Cow::Borrowed)
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.frozen.len() + self.tail.len() as usize
+    }
+
+    /// Sort all entries lexicographically and rebuild the frozen prefix
+    /// front-coded; returns `new_of_old`.
+    fn rebuild_sorted(&mut self) -> Vec<u64> {
+        let n = self.len();
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            // sordf-lint: allow(L3) — i < len, so the entry exists.
+            entries.push(self.get(i as u64).expect("entry below len").into_owned());
+        }
+        let mut order: Vec<u64> = (0..n as u64).collect();
+        order.sort_unstable_by(|&a, &b| entries[a as usize].cmp(&entries[b as usize]));
+        let mut new_of_old = vec![0u64; n];
+        for (new, &old) in order.iter().enumerate() {
+            new_of_old[old as usize] = new as u64;
+        }
+        let sorted: Vec<String> = order
+            .iter()
+            .map(|&old| std::mem::take(&mut entries[old as usize]))
+            .collect();
+        self.frozen = FrontCoded::build(&sorted);
+        self.tail = AppendTail::default();
+        *self.index.get_mut() = FxHashMap::default();
+        new_of_old
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        // lock-order: acquires(pool_shard)
+        let index = self.index.read();
+        let idx: u64 = index
+            .keys()
+            .map(|k| k.len() as u64 + INDEX_ENTRY_OVERHEAD)
+            .sum();
+        self.frozen.encoded_bytes() + self.tail.approx_bytes() + idx
     }
 }
 
@@ -80,12 +564,32 @@ fn split_str_key(key: &str) -> (&str, Option<&str>) {
     }
 }
 
+/// Per-pool resident-byte accounting (approximate: hash-index overhead is
+/// estimated, allocator slack is not counted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DictMemory {
+    pub iris: u64,
+    pub blanks: u64,
+    pub strings: u64,
+}
+
+impl DictMemory {
+    pub fn total(&self) -> u64 {
+        self.iris + self.blanks + self.strings
+    }
+}
+
 /// Bidirectional term ↔ OID mapping. See the [module docs](self).
+///
+/// Interning takes `&self` — the dictionary is designed to be shared via
+/// `Arc` and grown in place while readers hold clones of that `Arc`; an OID
+/// a reader resolved once stays resolvable forever (pools are append-only
+/// between the explicit reorganization calls, which take `&mut self`).
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
     iris: Pool,
     blanks: Pool,
-    strings: Pool,
+    strings: StrPool,
 }
 
 impl Dictionary {
@@ -94,17 +598,17 @@ impl Dictionary {
     }
 
     /// Intern an IRI, returning its OID (ParseOrder assignment on first use).
-    pub fn encode_iri(&mut self, iri: &str) -> Oid {
+    pub fn encode_iri(&self, iri: &str) -> Oid {
         Oid::iri(self.iris.intern(iri))
     }
 
     /// Intern a blank node label.
-    pub fn encode_blank(&mut self, label: &str) -> Oid {
+    pub fn encode_blank(&self, label: &str) -> Oid {
         Oid::blank(self.blanks.intern(label))
     }
 
     /// Encode a literal value. Inlinable types never touch the pools.
-    pub fn encode_value(&mut self, v: &Value) -> Result<Oid, ModelError> {
+    pub fn encode_value(&self, v: &Value) -> Result<Oid, ModelError> {
         match v {
             Value::Str { lexical, lang } => Ok(Oid::string(
                 self.strings.intern(&str_key(lexical, lang.as_deref())),
@@ -118,7 +622,7 @@ impl Dictionary {
     }
 
     /// Encode any term.
-    pub fn encode_term(&mut self, t: &Term) -> Result<Oid, ModelError> {
+    pub fn encode_term(&self, t: &Term) -> Result<Oid, ModelError> {
         match t {
             Term::Iri(iri) => Ok(self.encode_iri(iri)),
             Term::Blank(label) => Ok(self.encode_blank(label)),
@@ -146,11 +650,8 @@ impl Dictionary {
                     .strings
                     .lookup(&str_key(lexical, lang.as_deref()))
                     .map(Oid::string),
-                // Inline values encode without mutating state; reuse encode.
-                other => {
-                    let mut tmp = Dictionary::new();
-                    tmp.encode_value(other).ok()
-                }
+                // Inline values encode without dictionary state.
+                other => Dictionary::new().encode_value(other).ok(),
             },
         }
     }
@@ -184,7 +685,7 @@ impl Dictionary {
             ),
             TypeTag::Str => {
                 let key = self.strings.get(oid.payload()).ok_or_else(missing)?;
-                let (lex, lang) = split_str_key(key);
+                let (lex, lang) = split_str_key(&key);
                 Term::Literal(Literal::new(Value::Str {
                     lexical: lex.to_string(),
                     lang: lang.map(str::to_string),
@@ -215,6 +716,25 @@ impl Dictionary {
         self.strings.len()
     }
 
+    /// Approximate resident bytes per pool (see [`DictMemory`]).
+    pub fn approx_bytes(&self) -> DictMemory {
+        DictMemory {
+            iris: self.iris.approx_bytes(),
+            blanks: self.blanks.approx_bytes(),
+            strings: self.strings.approx_bytes(),
+        }
+    }
+
+    /// `(encoded, plain)` resident bytes of the front-coded (frozen) string
+    /// run — the dictionary-side compression ratio the benches report.
+    /// `(0, 0)` before the first [`Dictionary::sort_strings`].
+    pub fn string_front_coding_bytes(&self) -> (u64, u64) {
+        (
+            self.strings.frozen.encoded_bytes(),
+            self.strings.frozen.plain_bytes,
+        )
+    }
+
     /// Apply a subject-clustering permutation to the IRI pool:
     /// `new_of_old[old_index] = new_index`. Every existing IRI OID `Oid::iri(i)`
     /// must afterwards be rewritten to `Oid::iri(new_of_old[i])` by the caller
@@ -224,21 +744,11 @@ impl Dictionary {
     }
 
     /// Sort the string-literal pool lexicographically so that string OID
-    /// order equals value order (enabling range predicates on string OIDs).
-    /// Returns `new_of_old` mapping for the caller to rewrite stored OIDs.
+    /// order equals value order (enabling range predicates on string OIDs),
+    /// rebuilding it front-coded. Returns `new_of_old` for the caller to
+    /// rewrite stored OIDs.
     pub fn sort_strings(&mut self) -> Vec<u64> {
-        let n = self.strings.len();
-        let mut order: Vec<u64> = (0..n as u64).collect();
-        order.sort_by(|&a, &b| {
-            self.strings.entries[a as usize].cmp(&self.strings.entries[b as usize])
-        });
-        // order[new] = old; invert to new_of_old[old] = new.
-        let mut new_of_old = vec![0u64; n];
-        for (new, &old) in order.iter().enumerate() {
-            new_of_old[old as usize] = new as u64;
-        }
-        self.strings.permute(&new_of_old);
-        new_of_old
+        self.strings.rebuild_sorted()
     }
 }
 
@@ -248,7 +758,7 @@ mod tests {
 
     #[test]
     fn iri_interning_is_stable() {
-        let mut d = Dictionary::new();
+        let d = Dictionary::new();
         let a = d.encode_iri("http://ex.org/a");
         let b = d.encode_iri("http://ex.org/b");
         let a2 = d.encode_iri("http://ex.org/a");
@@ -260,7 +770,7 @@ mod tests {
 
     #[test]
     fn term_roundtrip() {
-        let mut d = Dictionary::new();
+        let d = Dictionary::new();
         let terms = [
             Term::iri("http://ex.org/x"),
             Term::blank("b0"),
@@ -283,7 +793,7 @@ mod tests {
 
     #[test]
     fn lang_tags_distinguish_literals() {
-        let mut d = Dictionary::new();
+        let d = Dictionary::new();
         let plain = d
             .encode_value(&Value::Str {
                 lexical: "chat".into(),
@@ -341,5 +851,105 @@ mod tests {
         assert_eq!(d.n_iris(), 0);
         // Inline literals are found without dictionary state.
         assert_eq!(d.term_oid(&Term::int(7)), Some(Oid::from_int(7).unwrap()));
+    }
+
+    #[test]
+    fn front_coding_roundtrips_and_searches() {
+        // Multiple groups, shared prefixes, a leader-only last group.
+        let entries: Vec<String> = (0..FC_GROUP * 3 + 1)
+            .map(|i| format!("http://example.org/entity/node{i:05}"))
+            .collect();
+        let mut sorted = entries.clone();
+        sorted.sort();
+        let fc = FrontCoded::build(&sorted);
+        assert_eq!(fc.len(), sorted.len());
+        for (i, e) in sorted.iter().enumerate() {
+            assert_eq!(fc.get(i).unwrap().as_ref(), e, "decode {i}");
+            assert_eq!(fc.search(e), Some(i as u64), "search {e}");
+        }
+        assert_eq!(fc.search("http://example.org/aaa"), None);
+        assert_eq!(fc.search("zzz"), None);
+        assert_eq!(fc.search(""), None);
+        assert!(fc.get(sorted.len()).is_none());
+        // Shared prefixes compress: the encoded image is smaller than plain.
+        assert!(fc.encoded_bytes() < fc.plain_bytes);
+    }
+
+    #[test]
+    fn front_coded_pool_still_interns_after_sort() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            d.encode_value(&Value::str(format!("value-{i:03}")))
+                .unwrap();
+        }
+        d.sort_strings();
+        // Known strings resolve through the front-coded run, not the tail.
+        let o = d.string_oid("value-042").unwrap();
+        assert_eq!(d.decode(o).unwrap(), Term::str("value-042"));
+        // New strings land in the tail and resolve too.
+        let n = d.encode_value(&Value::str("aaa-new")).unwrap();
+        assert_eq!(d.decode(n).unwrap(), Term::str("aaa-new"));
+        assert_eq!(d.encode_value(&Value::str("aaa-new")).unwrap(), n);
+        assert_eq!(d.n_strings(), 101);
+        let (enc, plain) = d.string_front_coding_bytes();
+        assert!(
+            enc > 0 && enc < plain,
+            "front coding shrinks ({enc} vs {plain})"
+        );
+    }
+
+    #[test]
+    fn append_tail_chunk_boundaries() {
+        let tail = AppendTail::default();
+        // Cross the first two chunk boundaries (64, 192).
+        for i in 0..300u64 {
+            assert_eq!(tail.push(format!("e{i}")), i);
+        }
+        assert_eq!(tail.len(), 300);
+        for i in 0..300u64 {
+            assert_eq!(tail.get(i), Some(format!("e{i}").as_str()));
+        }
+        assert_eq!(tail.get(300), None);
+    }
+
+    #[test]
+    fn shared_interning_is_concurrent() {
+        // Interning through a shared Arc: readers decode while writers
+        // intern; no locks are held across the API boundary.
+        let d = Arc::new(Dictionary::new());
+        let base = d.encode_iri("http://ex.org/base");
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let oid = d.encode_iri(&format!("http://ex.org/t{}/{}", t, i % 50));
+                        assert!(d.iri_str(oid).is_ok());
+                        assert_eq!(d.iri_str(base).unwrap(), "http://ex.org/base");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 4 threads × 50 distinct + base.
+        assert_eq!(d.n_iris(), 201);
+    }
+
+    #[test]
+    fn dict_memory_accounting_is_positive() {
+        let mut d = Dictionary::new();
+        d.encode_iri("http://ex.org/a");
+        d.encode_blank("b0");
+        d.encode_value(&Value::str("hello")).unwrap();
+        let m = d.approx_bytes();
+        assert!(m.iris > 0 && m.blanks > 0 && m.strings > 0);
+        assert_eq!(m.total(), m.iris + m.blanks + m.strings);
+        // Sorting shrinks the string pool: the hash index over the frozen
+        // run disappears entirely.
+        let before = d.approx_bytes().strings;
+        d.sort_strings();
+        assert!(d.approx_bytes().strings < before);
     }
 }

@@ -257,7 +257,7 @@ mod tests {
 
     #[test]
     fn small_referenced_class_rescued_by_indirect_support() {
-        let mut dict = Dictionary::new();
+        let dict = Dictionary::new();
         let mut triples = Vec::new();
         let p_ref = dict.encode_iri("http://e/ref");
         let p_a = dict.encode_iri("http://e/a");
@@ -290,7 +290,7 @@ mod tests {
 
     #[test]
     fn fully_regular_data_has_full_coverage() {
-        let mut dict = Dictionary::new();
+        let dict = Dictionary::new();
         let p1 = dict.encode_iri("http://e/p1");
         let p2 = dict.encode_iri("http://e/p2");
         let mut triples = Vec::new();

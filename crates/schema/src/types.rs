@@ -357,7 +357,7 @@ mod tests {
         let year = Oid::iri(11);
         let author = Oid::iri(12);
         let other = Oid::iri(13);
-        let mut dict = sordf_model::Dictionary::new();
+        let dict = sordf_model::Dictionary::new();
         let t_hello = dict
             .encode_value(&sordf_model::Value::str("hello"))
             .unwrap();

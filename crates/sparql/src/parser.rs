@@ -627,7 +627,7 @@ mod tests {
     use super::*;
 
     fn dict_with_iris(iris: &[&str]) -> Dictionary {
-        let mut d = Dictionary::new();
+        let d = Dictionary::new();
         for i in iris {
             d.encode_iri(i);
         }
@@ -671,7 +671,7 @@ mod tests {
 
     #[test]
     fn prefixes_and_a() {
-        let mut dict = Dictionary::new();
+        let dict = Dictionary::new();
         dict.encode_iri(vocab::RDF_TYPE);
         dict.encode_iri("http://lod2.eu/schemas/rdfh#lineitem");
         let q = parse_sparql(

@@ -18,7 +18,7 @@
 
 use crate::baseline::BaselineStore;
 use crate::reorg::ClusterSpec;
-use sordf_columnar::{BufferPool, Column, DiskManager};
+use sordf_columnar::{BufferPool, Column, ColumnEncoding, DiskManager};
 use sordf_model::{Oid, Triple};
 use sordf_schema::{ClassId, EmergentSchema, TripleHome};
 
@@ -137,6 +137,8 @@ pub struct ClusteredStore {
     pub irregular: BaselineStore,
     /// Triples stored in segments (columns + side tables).
     pub n_regular: usize,
+    /// The page-encoding scheme the segments were built with.
+    encoding: ColumnEncoding,
     /// Leases the *segment* pages (the irregular store leases its own):
     /// freed when the last clone drops. Shared across clones so the extent
     /// is freed exactly once.
@@ -162,6 +164,46 @@ impl ClusteredStore {
     pub fn n_triples(&self) -> usize {
         self.n_regular + self.irregular.len()
     }
+
+    /// The page-encoding scheme this store was built with.
+    pub fn encoding(&self) -> ColumnEncoding {
+        self.encoding
+    }
+
+    /// Bytes a scan of the segment columns must touch (encoded size),
+    /// excluding the irregular store (accounted separately).
+    pub fn segment_used_bytes(&self) -> usize {
+        let mut n = 0;
+        for seg in &self.segments {
+            if let SubjectIds::Sparse { subjects } = &seg.subjects {
+                n += subjects.used_bytes();
+            }
+            n += seg.columns.iter().map(|c| c.used_bytes()).sum::<usize>();
+            n += seg
+                .multi
+                .iter()
+                .map(|m| m.s.used_bytes() + m.o.used_bytes())
+                .sum::<usize>();
+        }
+        n
+    }
+
+    /// Bytes the segments would occupy without page compression.
+    pub fn segment_plain_bytes(&self) -> usize {
+        let mut n = 0;
+        for seg in &self.segments {
+            if let SubjectIds::Sparse { subjects } = &seg.subjects {
+                n += subjects.plain_bytes();
+            }
+            n += seg.columns.iter().map(|c| c.plain_bytes()).sum::<usize>();
+            n += seg
+                .multi
+                .iter()
+                .map(|m| m.s.plain_bytes() + m.o.plain_bytes())
+                .sum::<usize>();
+        }
+        n
+    }
 }
 
 /// Build a clustered store from SPO-sorted triples.
@@ -179,6 +221,25 @@ pub fn build_clustered(
     schema: &mut EmergentSchema,
     spec: &ClusterSpec,
     dense: bool,
+) -> ClusteredStore {
+    build_clustered_with(
+        disk,
+        triples_spo,
+        schema,
+        spec,
+        dense,
+        ColumnEncoding::default(),
+    )
+}
+
+/// [`build_clustered`] with an explicit page-encoding scheme.
+pub fn build_clustered_with(
+    disk: &std::sync::Arc<DiskManager>,
+    triples_spo: &[Triple],
+    schema: &mut EmergentSchema,
+    spec: &ClusterSpec,
+    dense: bool,
+    encoding: ColumnEncoding,
 ) -> ClusteredStore {
     debug_assert!(
         triples_spo
@@ -272,12 +333,12 @@ pub fn build_clustered(
             SubjectIds::Dense { base }
         } else {
             SubjectIds::Sparse {
-                subjects: Column::from_slice(disk, subs),
+                subjects: Column::from_slice_with(disk, subs, encoding),
             }
         };
         let mut columns = Vec::with_capacity(class.columns.len());
         for (coli, data) in col_data[ci].iter().enumerate() {
-            let col = Column::from_slice(disk, data);
+            let col = Column::from_slice_with(disk, data, encoding);
             // Refresh schema stats from the physical column.
             let stats = &mut class.columns[coli].stats;
             stats.n_nonnull = (col.len() - col.n_nulls()) as u64;
@@ -288,10 +349,16 @@ pub fn build_clustered(
         let mut multi = Vec::with_capacity(class.multi_props.len());
         for (mi, pairs) in multi_data[ci].iter_mut().enumerate() {
             pairs.sort_unstable();
-            let s_col =
-                Column::from_slice(disk, &pairs.iter().map(|&(s, _)| s).collect::<Vec<_>>());
-            let o_col =
-                Column::from_slice(disk, &pairs.iter().map(|&(_, o)| o).collect::<Vec<_>>());
+            let s_col = Column::from_slice_with(
+                disk,
+                &pairs.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+                encoding,
+            );
+            let o_col = Column::from_slice_with(
+                disk,
+                &pairs.iter().map(|&(_, o)| o).collect::<Vec<_>>(),
+                encoding,
+            );
             let stats = &mut class.multi_props[mi].stats;
             stats.n_nonnull = pairs.len() as u64;
             stats.min = o_col.zonemap().global_min();
@@ -316,7 +383,7 @@ pub fn build_clustered(
         });
     }
 
-    let irregular_store = BaselineStore::build(disk, &irregular);
+    let irregular_store = BaselineStore::build_with(disk, &irregular, encoding);
     let mut pages = Vec::new();
     for seg in &segments {
         if let SubjectIds::Sparse { subjects } = &seg.subjects {
@@ -334,6 +401,7 @@ pub fn build_clustered(
         segments,
         irregular: irregular_store,
         n_regular,
+        encoding,
         _lease: std::sync::Arc::new(sordf_columnar::PageLease::new(
             std::sync::Arc::clone(disk),
             pages,

@@ -307,6 +307,14 @@ impl DeltaStore {
         self.floor.max(self.base_seq)
     }
 
+    /// Approximate resident bytes of the pending writes: run triples plus
+    /// sequenced tombstones (allocator slack not counted).
+    pub fn approx_bytes(&self) -> u64 {
+        let triple = std::mem::size_of::<Triple>() as u64;
+        self.n_inserted() as u64 * triple
+            + self.tombstones.len() as u64 * (triple + std::mem::size_of::<u64>() as u64)
+    }
+
     /// Merge all insert runs into one SPO-sorted run carrying the current
     /// sequence, physically dropping triples already killed by a later
     /// tombstone (tombstone seq in `(run_seq, current]`). Tombstones are

@@ -4,23 +4,23 @@
 //! store consists of — the dictionary, the base triples and whichever store
 //! layouts have been built over them. It is immutable once published, with
 //! one carefully-scoped exception: the dictionary keeps growing *within* a
-//! generation (inserts intern new terms, strictly append-only, behind the
-//! generation's own `RwLock`), which never invalidates an OID a reader
-//! already holds.
+//! generation (inserts intern new terms, strictly append-only, through the
+//! dictionary's own internal pool locks), which never invalidates an OID a
+//! reader already holds.
 //!
 //! Queries pin a [`GenerationHandle`] (an `Arc` clone) plus a delta view at
 //! query start and never look back at shared mutable state: a concurrent
 //! reorganization builds a *new* `StoreGeneration` — with its own,
 //! renumbered dictionary — and swaps the handle; in-flight queries keep the
-//! old generation alive until they drop their pins. Readers therefore never
-//! block on a rebuild; the only reader-visible locking is the dictionary
-//! read lock, contended only by interning writers for the duration of one
-//! batch.
+//! old generation alive until they drop their pins. Readers never block on
+//! a rebuild, and since the dictionary interns through `&self` (lock-free
+//! reads, short internal writer locks per pool), a pinned dictionary never
+//! blocks interning writers either — pins are plain `Arc` clones.
 
 use std::ops::Deref;
 use std::sync::Arc;
 
-use parking_lot::{RwLock, RwLockReadGuard};
+use sordf_columnar::ColumnEncoding;
 use sordf_model::{Dictionary, Triple};
 use sordf_schema::EmergentSchema;
 
@@ -34,9 +34,10 @@ use crate::triple_set::TripleSet;
 #[derive(Debug, Clone)]
 pub struct StoreGeneration {
     /// The dictionary this generation's OIDs are numbered by. Append-only
-    /// within the generation (interning takes the write lock); replaced
-    /// wholesale — never renumbered in place — by a generation swap.
-    pub dict: Arc<RwLock<Dictionary>>,
+    /// within the generation (interning goes through the dictionary's
+    /// internal pool locks, `&self`); replaced wholesale — never renumbered
+    /// in place — by a generation swap.
+    pub dict: Arc<Dictionary>,
     /// Base triples (parse order), encoded under `dict`'s numbering.
     pub triples: Arc<Vec<Triple>>,
     /// Exhaustive permutation indexes (ParseOrder scheme), if built.
@@ -54,6 +55,9 @@ pub struct StoreGeneration {
     /// String-pool size at the last string sort: interning past this
     /// watermark breaks string-OID value order until the next swap.
     pub strings_sorted_len: usize,
+    /// Page-encoding scheme every layout of this generation is built with;
+    /// part of the physical identity a plan cache must key on.
+    pub encoding: ColumnEncoding,
 }
 
 /// The shared handle queries clone at query start and a swap replaces
@@ -63,8 +67,17 @@ pub type GenerationHandle = Arc<StoreGeneration>;
 impl StoreGeneration {
     /// A staging generation: dictionary + triples, nothing built yet.
     pub fn staging(dict: Dictionary, triples: Vec<Triple>) -> StoreGeneration {
+        StoreGeneration::staging_with(dict, triples, ColumnEncoding::default())
+    }
+
+    /// [`StoreGeneration::staging`] with an explicit page-encoding scheme.
+    pub fn staging_with(
+        dict: Dictionary,
+        triples: Vec<Triple>,
+        encoding: ColumnEncoding,
+    ) -> StoreGeneration {
         StoreGeneration {
-            dict: Arc::new(RwLock::new(dict)),
+            dict: Arc::new(dict),
             triples: Arc::new(triples),
             baseline: None,
             schema: None,
@@ -73,6 +86,7 @@ impl StoreGeneration {
             spec: ClusterSpec::none(),
             reorg_report: None,
             strings_sorted_len: 0,
+            encoding,
         }
     }
 
@@ -81,11 +95,11 @@ impl StoreGeneration {
         self.baseline.is_some() || self.cs_parse_order.is_some() || self.clustered.is_some()
     }
 
-    /// Pin this generation's dictionary for reading (shared with other
-    /// readers; interning writers wait for the pin to drop).
-    // lock-order: acquires(dict)
+    /// Pin this generation's dictionary: an `Arc` clone that keeps the
+    /// dictionary alive for the pin's lifetime. Pins are free — they hold
+    /// no lock, so they never block (or are blocked by) interning writers.
     pub fn pin_dict(&self) -> DictPin {
-        DictPin::read(Arc::clone(&self.dict))
+        DictPin::new(Arc::clone(&self.dict))
     }
 
     /// Materialize the logical triple set this generation + `view` describe:
@@ -93,9 +107,8 @@ impl StoreGeneration {
     /// tombstones filtered out and its visible inserts appended. This is
     /// the input a background rebuild works from — fully owned, so the
     /// rebuild touches no shared state while it runs.
-    // lock-order: acquires(dict)
     pub fn fold_into_triple_set(&self, view: Option<&DeltaView>) -> TripleSet {
-        let dict = self.dict.read().clone();
+        let dict = self.dict.as_ref().clone();
         let triples = match view {
             None => self.triples.as_ref().clone(),
             Some(v) => {
@@ -119,17 +132,14 @@ impl StoreGeneration {
     /// `assert!`) on violation. Debug/stress builds call this after every
     /// build and swap — it is deliberately cheap enough (no per-triple work
     /// beyond one count) to run there unconditionally.
-    // lock-order: acquires(dict)
     pub fn debug_validate(&self) {
-        let dict = self.dict.read();
         assert!(
-            self.strings_sorted_len <= dict.n_strings(),
+            self.strings_sorted_len <= self.dict.n_strings(),
             "strings_sorted_len {} exceeds string pool size {} — the sort \
              watermark may only lag the (append-only) pool, never lead it",
             self.strings_sorted_len,
-            dict.n_strings()
+            self.dict.n_strings()
         );
-        drop(dict);
         for (store, label) in [
             (
                 self.cs_parse_order.as_ref().map(|(c, _)| c),
@@ -165,33 +175,21 @@ impl StoreGeneration {
     }
 }
 
-/// An owned read guard on a generation's dictionary: keeps the dictionary
-/// `Arc` alive and holds its read lock for the guard's lifetime, so a query
-/// can carry one pinned `&Dictionary` through parsing and execution without
-/// borrowing from the database's internal state.
-#[must_use = "dropping a DictPin releases the dictionary read lock; bind it for the query's lifetime"]
+/// An owned pin on a generation's dictionary: an `Arc` clone that keeps
+/// the dictionary alive for the pin's lifetime, so a query can carry one
+/// pinned `&Dictionary` through parsing and execution without borrowing
+/// from the database's internal state. Holds no lock — the dictionary's
+/// interning is interior-mutable, so pinned readers and interning writers
+/// proceed independently.
+#[must_use = "bind the DictPin for the query's lifetime; it keeps the pinned dictionary alive"]
 pub struct DictPin {
-    // SAFETY invariant: `guard` borrows the `RwLock` inside `_dict`'s heap
-    // allocation, which `_dict` keeps alive for as long as this struct
-    // exists. Field order matters — `guard` is declared first so it drops
-    // (releasing the lock) before the `Arc`.
-    guard: RwLockReadGuard<'static, Dictionary>,
-    _dict: Arc<RwLock<Dictionary>>,
+    dict: Arc<Dictionary>,
 }
 
 impl DictPin {
-    /// Acquire a read pin on `dict`.
-    // lock-order: acquires(dict)
-    pub fn read(dict: Arc<RwLock<Dictionary>>) -> DictPin {
-        let guard = dict.read();
-        // SAFETY: the guard's 'static lifetime is a lie we immediately
-        // contain: the referent lives inside `dict`'s allocation, `_dict`
-        // holds that allocation for the guard's whole lifetime, and the
-        // declaration order above drops the guard first. The guard never
-        // escapes this struct with the forged lifetime.
-        let guard: RwLockReadGuard<'static, Dictionary> =
-            unsafe { std::mem::transmute::<RwLockReadGuard<'_, Dictionary>, _>(guard) };
-        DictPin { guard, _dict: dict }
+    /// Pin `dict`.
+    pub fn new(dict: Arc<Dictionary>) -> DictPin {
+        DictPin { dict }
     }
 }
 
@@ -199,7 +197,7 @@ impl Deref for DictPin {
     type Target = Dictionary;
 
     fn deref(&self) -> &Dictionary {
-        &self.guard
+        &self.dict
     }
 }
 
@@ -238,18 +236,22 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_pins_share_the_lock() {
+    fn concurrent_pins_and_interning_coexist() {
         let gen = sample_generation();
         let a = gen.pin_dict();
         let b = gen.pin_dict();
         assert_eq!(a.n_iris(), b.n_iris());
+        // A held pin does not block interning — the pool grows in place and
+        // both pins observe the new entry.
+        let fresh = gen.dict.encode_iri("http://e/fresh");
+        assert_eq!(a.iri_oid("http://e/fresh"), Some(fresh));
     }
 
     #[test]
     fn fold_applies_tombstones_and_inserts() {
         let gen = sample_generation();
-        let p = gen.dict.read().iri_oid("http://e/p").unwrap();
-        let s0 = gen.dict.read().iri_oid("http://e/s0").unwrap();
+        let p = gen.dict.iri_oid("http://e/p").unwrap();
+        let s0 = gen.dict.iri_oid("http://e/s0").unwrap();
         let mut delta = crate::delta::DeltaStore::new();
         let extra = Triple::new(s0, p, Oid::from_int(99).unwrap());
         let _ = delta.insert_run(vec![extra]);

@@ -37,11 +37,13 @@ pub mod triple_set;
 pub mod wal;
 
 pub use baseline::BaselineStore;
-pub use clustered::{build_clustered, ClassSegment, ClusteredStore, MultiTable};
+pub use clustered::{
+    build_clustered, build_clustered_with, ClassSegment, ClusteredStore, MultiTable,
+};
 pub use delta::{DeltaStore, DeltaView, DeltaWrite, Snapshot};
 pub use generation::{DictPin, GenerationHandle, StoreGeneration};
 pub use manifest::{LayoutFlags, Manifest, StoreSnapshot};
 pub use perm::{Order, PermIndex};
 pub use reorg::{reorganize, ClusterSpec, ReorgReport};
 pub use triple_set::{encode_term_skolemized, encode_triple_skolemized, TripleSet};
-pub use wal::{SyncPolicy, WalRecord, WalWriter};
+pub use wal::{SyncPolicy, WalFormat, WalRecord, WalWriter};

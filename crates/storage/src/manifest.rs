@@ -22,7 +22,7 @@
 //! deterministically — OID numbering may differ from the pre-crash store
 //! (exactly as it would after a reorganization), logical content does not.
 
-use sordf_columnar::crash_point;
+use sordf_columnar::{crash_point, ColumnEncoding};
 use sordf_model::{ntriples, TermTriple};
 use sordf_schema::SchemaConfig;
 use std::fs::{self, File, OpenOptions};
@@ -185,6 +185,9 @@ pub struct LayoutFlags {
     pub cs_parse_order: bool,
     pub clustered: bool,
     pub schema: bool,
+    /// Bit 4: the layouts were built with [`ColumnEncoding::Plain`] (unset =
+    /// the compressed default, so pre-existing snapshots recover compressed).
+    pub plain_encoding: bool,
 }
 
 impl LayoutFlags {
@@ -193,6 +196,7 @@ impl LayoutFlags {
             | (self.cs_parse_order as u8) << 1
             | (self.clustered as u8) << 2
             | (self.schema as u8) << 3
+            | (self.plain_encoding as u8) << 4
     }
 
     fn from_byte(b: u8) -> LayoutFlags {
@@ -201,7 +205,22 @@ impl LayoutFlags {
             cs_parse_order: b & 2 != 0,
             clustered: b & 4 != 0,
             schema: b & 8 != 0,
+            plain_encoding: b & 16 != 0,
         }
+    }
+
+    /// The page-encoding scheme recorded in these flags.
+    pub fn encoding(self) -> ColumnEncoding {
+        if self.plain_encoding {
+            ColumnEncoding::Plain
+        } else {
+            ColumnEncoding::Compressed
+        }
+    }
+
+    /// Record a page-encoding scheme in these flags.
+    pub fn record_encoding(&mut self, encoding: ColumnEncoding) {
+        self.plain_encoding = encoding == ColumnEncoding::Plain;
     }
 }
 
@@ -449,6 +468,7 @@ mod tests {
                 cs_parse_order: false,
                 clustered: true,
                 schema: true,
+                plain_encoding: true,
             },
             schema_cfg: SchemaConfig {
                 min_support: 5,

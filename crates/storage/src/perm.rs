@@ -7,7 +7,7 @@
 //! `range2_between` supports range predicates on the second key — the
 //! access pattern of a `POS` scan with an object range restriction.
 
-use sordf_columnar::{BufferPool, Column, DiskManager};
+use sordf_columnar::{BufferPool, Column, ColumnEncoding, DiskManager};
 use sordf_model::{Oid, Triple};
 use std::ops::Range;
 
@@ -71,12 +71,22 @@ pub struct PermIndex {
 impl PermIndex {
     /// Build from triples; sorts a scratch copy internally.
     pub fn build(disk: &DiskManager, triples: &[Triple], order: Order) -> PermIndex {
+        PermIndex::build_with(disk, triples, order, ColumnEncoding::default())
+    }
+
+    /// [`PermIndex::build`] with an explicit page-encoding scheme.
+    pub fn build_with(
+        disk: &DiskManager,
+        triples: &[Triple],
+        order: Order,
+        encoding: ColumnEncoding,
+    ) -> PermIndex {
         let mut keys: Vec<(Oid, Oid, Oid)> = triples.iter().map(|t| order.key(t)).collect();
         keys.sort_unstable();
         let mut builders = [
-            sordf_columnar::ColumnBuilder::new(disk),
-            sordf_columnar::ColumnBuilder::new(disk),
-            sordf_columnar::ColumnBuilder::new(disk),
+            sordf_columnar::ColumnBuilder::new_with(disk, encoding),
+            sordf_columnar::ColumnBuilder::new_with(disk, encoding),
+            sordf_columnar::ColumnBuilder::new_with(disk, encoding),
         ];
         for &(a, b, c) in &keys {
             builders[0].push(a.raw());
@@ -102,6 +112,16 @@ impl PermIndex {
     /// The i-th key column (0 = sort-major).
     pub fn col(&self, i: usize) -> &Column {
         &self.cols[i]
+    }
+
+    /// Bytes a full scan of this projection must touch (encoded size).
+    pub fn used_bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.used_bytes()).sum()
+    }
+
+    /// Bytes the projection would occupy without page compression.
+    pub fn plain_bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.plain_bytes()).sum()
     }
 
     /// Rows where key0 == `a`.

@@ -38,7 +38,7 @@ impl TripleSet {
     /// (new IRIs/strings are interned; the triple itself lands in a delta
     /// run, not in the base set).
     pub fn encode(&mut self, t: &TermTriple) -> Result<Triple, ModelError> {
-        encode_triple_skolemized(&mut self.dict, t)
+        encode_triple_skolemized(&self.dict, t)
     }
 
     /// Load an N-Triples document.
@@ -82,10 +82,7 @@ impl TripleSet {
 /// IRIs the same way [`TripleSet::add`] does — the write path of a live
 /// generation interns against the generation's dictionary directly, without
 /// owning a `TripleSet`.
-pub fn encode_term_skolemized(
-    dict: &mut Dictionary,
-    t: &Term,
-) -> Result<sordf_model::Oid, ModelError> {
+pub fn encode_term_skolemized(dict: &Dictionary, t: &Term) -> Result<sordf_model::Oid, ModelError> {
     match t {
         Term::Blank(label) => Ok(dict.encode_iri(&Term::skolem_blank_iri(label))),
         other => dict.encode_term(other),
@@ -94,10 +91,7 @@ pub fn encode_term_skolemized(
 
 /// Encode one term triple against a bare dictionary (see
 /// [`encode_term_skolemized`]).
-pub fn encode_triple_skolemized(
-    dict: &mut Dictionary,
-    t: &TermTriple,
-) -> Result<Triple, ModelError> {
+pub fn encode_triple_skolemized(dict: &Dictionary, t: &TermTriple) -> Result<Triple, ModelError> {
     let s = encode_term_skolemized(dict, &t.s)?;
     let p = encode_term_skolemized(dict, &t.p)?;
     let o = encode_term_skolemized(dict, &t.o)?;

@@ -14,8 +14,21 @@
 //! ```text
 //! [magic "SORDFWAL"][version u32 LE][reserved u32]
 //! frame*: [len u32 LE][crc32 u32 LE][payload: len bytes]
-//! payload: [seq u64 LE][kind u8][N-Triples UTF-8 text]
+//! payload: [seq u64 LE][kind u8][body]
 //! ```
+//!
+//! The record body comes in two self-describing encodings, selected per
+//! record by the kind byte's high bit ([`WalFormat`]):
+//!
+//! * **Text** (high bit clear): the batch as N-Triples UTF-8 text — the v1
+//!   format, trivially inspectable with a pager.
+//! * **Binary** (high bit set): a varint-framed per-record term table
+//!   (each distinct term once, tagged by type) followed by the triples as
+//!   varint indexes into it. Repetitive batches shrink several-fold and
+//!   replay skips text parsing entirely.
+//!
+//! Recovery auto-detects the encoding record by record, so one log may
+//! freely mix both (e.g. after [`WalWriter::set_format`] mid-run).
 //!
 //! The CRC (IEEE 802.3, same polynomial as gzip) covers the payload only;
 //! `len` is sanity-bounded before allocation so a corrupt length can't ask
@@ -34,13 +47,15 @@
 //! a consistent prefix).
 
 use sordf_columnar::crash_point;
-use sordf_model::{ntriples, TermTriple};
+use sordf_model::{ntriples, FxHashMap, Literal, Term, TermTriple, Value};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const MAGIC: &[u8; 8] = b"SORDFWAL";
+/// High bit of the kind byte: the record body is [`WalFormat::Binary`].
+const BINARY_KIND: u8 = 0x80;
 const VERSION: u32 = 1;
 const HEADER_LEN: u64 = 16;
 /// Sanity bound on one frame's payload (a batch of N-Triples text).
@@ -85,6 +100,226 @@ pub enum SyncPolicy {
     IntervalMs(u64),
     /// Never fsync explicitly; the OS flushes eventually.
     Never,
+}
+
+/// On-disk encoding of a WAL record's body. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalFormat {
+    /// N-Triples text: human-readable, the v1 format.
+    #[default]
+    Text,
+    /// Varint-framed binary: a per-record distinct-term table plus the
+    /// triples as varint indexes into it — smaller and faster to replay.
+    Binary,
+}
+
+// ---- the binary record body ------------------------------------------------
+//
+// [n_terms varint] term* [n_triples varint] (s p o varint-index)*
+// term: [tag u8][body]
+//   0 Iri / 1 Blank / 2 Str:       varint len + UTF-8 bytes
+//   3 Str with lang:               varint len + bytes, varint len + bytes
+//   4 Int / 5 Decimal / 6 Date / 7 DateTime: zigzag varint
+//   8 Bool:                        one byte
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Bounds- and width-checked varint read; `None` on truncation or overflow.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    let len = read_varint(bytes, pos)? as usize;
+    let end = pos.checked_add(len)?;
+    let s = bytes.get(*pos..end)?;
+    *pos = end;
+    String::from_utf8(s.to_vec()).ok()
+}
+
+fn write_term(out: &mut Vec<u8>, t: &Term) {
+    match t {
+        Term::Iri(iri) => {
+            out.push(0);
+            write_str(out, iri);
+        }
+        Term::Blank(label) => {
+            out.push(1);
+            write_str(out, label);
+        }
+        Term::Literal(Literal { value }) => match value {
+            Value::Str {
+                lexical,
+                lang: None,
+            } => {
+                out.push(2);
+                write_str(out, lexical);
+            }
+            Value::Str {
+                lexical,
+                lang: Some(lang),
+            } => {
+                out.push(3);
+                write_str(out, lexical);
+                write_str(out, lang);
+            }
+            Value::Int(v) => {
+                out.push(4);
+                write_varint(out, zigzag(*v));
+            }
+            Value::Decimal(v) => {
+                out.push(5);
+                write_varint(out, zigzag(*v));
+            }
+            Value::Date(v) => {
+                out.push(6);
+                write_varint(out, zigzag(*v));
+            }
+            Value::DateTime(v) => {
+                out.push(7);
+                write_varint(out, zigzag(*v));
+            }
+            Value::Bool(b) => {
+                out.push(8);
+                out.push(u8::from(*b));
+            }
+        },
+    }
+}
+
+fn read_term(bytes: &[u8], pos: &mut usize) -> Option<Term> {
+    let &tag = bytes.get(*pos)?;
+    *pos += 1;
+    Some(match tag {
+        0 => Term::Iri(read_str(bytes, pos)?),
+        1 => Term::Blank(read_str(bytes, pos)?),
+        2 => Term::Literal(Literal::new(Value::Str {
+            lexical: read_str(bytes, pos)?,
+            lang: None,
+        })),
+        3 => Term::Literal(Literal::new(Value::Str {
+            lexical: read_str(bytes, pos)?,
+            lang: Some(read_str(bytes, pos)?),
+        })),
+        4 => Term::Literal(Literal::new(Value::Int(unzigzag(read_varint(bytes, pos)?)))),
+        5 => Term::Literal(Literal::new(Value::Decimal(unzigzag(read_varint(
+            bytes, pos,
+        )?)))),
+        6 => Term::Literal(Literal::new(Value::Date(unzigzag(read_varint(
+            bytes, pos,
+        )?)))),
+        7 => Term::Literal(Literal::new(Value::DateTime(unzigzag(read_varint(
+            bytes, pos,
+        )?)))),
+        8 => {
+            let &b = bytes.get(*pos)?;
+            *pos += 1;
+            if b > 1 {
+                return None;
+            }
+            Term::Literal(Literal::new(Value::Bool(b == 1)))
+        }
+        _ => return None,
+    })
+}
+
+/// Serialize a batch as the binary record body.
+fn encode_binary(out: &mut Vec<u8>, triples: &[TermTriple]) {
+    let mut index: FxHashMap<&Term, u64> = FxHashMap::default();
+    let mut table: Vec<&Term> = Vec::new();
+    let mut ids = Vec::with_capacity(triples.len() * 3);
+    for t in triples {
+        for term in [&t.s, &t.p, &t.o] {
+            let next = table.len() as u64;
+            let id = *index.entry(term).or_insert_with(|| {
+                table.push(term);
+                next
+            });
+            ids.push(id);
+        }
+    }
+    write_varint(out, table.len() as u64);
+    for term in table {
+        write_term(out, term);
+    }
+    write_varint(out, triples.len() as u64);
+    for id in ids {
+        write_varint(out, id);
+    }
+}
+
+/// Parse a binary record body; `None` on any malformation (the caller
+/// treats it as a torn frame).
+fn decode_binary(bytes: &[u8]) -> Option<Vec<TermTriple>> {
+    let mut pos = 0usize;
+    let n_terms = read_varint(bytes, &mut pos)? as usize;
+    // Each term takes at least 2 bytes: the table can't outnumber the body.
+    if n_terms > bytes.len() {
+        return None;
+    }
+    let mut table = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        table.push(read_term(bytes, &mut pos)?);
+    }
+    let n_triples = read_varint(bytes, &mut pos)? as usize;
+    if n_triples > bytes.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n_triples);
+    for _ in 0..n_triples {
+        let mut spo = [0usize; 3];
+        for slot in &mut spo {
+            let id = read_varint(bytes, &mut pos)? as usize;
+            if id >= table.len() {
+                return None;
+            }
+            *slot = id;
+        }
+        out.push(TermTriple::new(
+            table[spo[0]].clone(),
+            table[spo[1]].clone(),
+            table[spo[2]].clone(),
+        ));
+    }
+    if pos != bytes.len() {
+        return None; // trailing garbage: not a frame we wrote
+    }
+    Some(out)
 }
 
 /// One logged write batch, in term (not OID) space.
@@ -139,12 +374,20 @@ pub struct WalWriter {
     /// Unsynced appends are pending.
     dirty: bool,
     last_sync: Instant,
+    /// Body encoding for *subsequent* appends (recovery auto-detects per
+    /// record, so a log may mix formats).
+    format: WalFormat,
 }
 
 impl WalWriter {
     /// Create (truncate) a fresh log at `path` and fsync its header, so a
     /// crash right after creation recovers an empty log, not a missing one.
     pub fn create(path: &Path) -> io::Result<WalWriter> {
+        WalWriter::create_with(path, WalFormat::default())
+    }
+
+    /// [`WalWriter::create`] with an explicit body encoding for appends.
+    pub fn create_with(path: &Path, format: WalFormat) -> io::Result<WalWriter> {
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -163,6 +406,7 @@ impl WalWriter {
             end: HEADER_LEN,
             dirty: false,
             last_sync: Instant::now(),
+            format,
         })
     }
 
@@ -236,13 +480,21 @@ impl WalWriter {
                 buf[0], buf[1], buf[2], buf[3], buf[4], buf[5], buf[6], buf[7],
             ]);
             let kind = buf[8];
-            let Ok(text) = std::str::from_utf8(&buf[9..]) else {
-                break;
+            let triples = if kind & BINARY_KIND != 0 {
+                match decode_binary(&buf[9..]) {
+                    Some(t) => t,
+                    None => break,
+                }
+            } else {
+                let Ok(text) = std::str::from_utf8(&buf[9..]) else {
+                    break;
+                };
+                match ntriples::parse_document(text) {
+                    Ok(t) => t,
+                    Err(_) => break,
+                }
             };
-            let Ok(triples) = ntriples::parse_document(text) else {
-                break;
-            };
-            let Some(record) = WalRecord::from_kind(kind, triples) else {
+            let Some(record) = WalRecord::from_kind(kind & !BINARY_KIND, triples) else {
                 break;
             };
             good_end += 8 + len as u64;
@@ -260,9 +512,22 @@ impl WalWriter {
                 end: good_end,
                 dirty: false,
                 last_sync: Instant::now(),
+                format: WalFormat::default(),
             },
             records,
         ))
+    }
+
+    /// The body encoding of subsequent appends.
+    pub fn format(&self) -> WalFormat {
+        self.format
+    }
+
+    /// Switch the body encoding for subsequent appends. Takes effect
+    /// immediately; already-written records are untouched (recovery
+    /// auto-detects per record).
+    pub fn set_format(&mut self, format: WalFormat) {
+        self.format = format;
     }
 
     /// The log's path.
@@ -282,8 +547,16 @@ impl WalWriter {
     pub fn append(&mut self, seq: u64, record: &WalRecord) -> io::Result<u64> {
         let mut payload = Vec::with_capacity(64 * record.triples().len() + 9);
         payload.extend_from_slice(&seq.to_le_bytes());
-        payload.push(record.kind());
-        ntriples::write_document(&mut payload, record.triples())?;
+        match self.format {
+            WalFormat::Text => {
+                payload.push(record.kind());
+                ntriples::write_document(&mut payload, record.triples())?;
+            }
+            WalFormat::Binary => {
+                payload.push(record.kind() | BINARY_KIND);
+                encode_binary(&mut payload, record.triples());
+            }
+        }
         let len = u32::try_from(payload.len())
             .ok()
             .filter(|&l| l <= MAX_FRAME_LEN)
@@ -480,6 +753,127 @@ mod tests {
         assert_eq!(wal.lsn(), HEADER_LEN);
         wal.append(1, &WalRecord::Insert(vec![tt(9)])).unwrap();
         wal.sync().unwrap();
+    }
+
+    #[test]
+    fn binary_roundtrip_all_term_types() {
+        let path = temp_path("binary");
+        let _c = Cleanup(path.clone());
+        let exotic = vec![
+            TermTriple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/p"),
+                Term::Literal(Literal::new(Value::Str {
+                    lexical: "bonjour \"le\" monde\n".into(),
+                    lang: Some("fr".into()),
+                })),
+            ),
+            TermTriple::new(
+                Term::blank("b0"),
+                Term::iri("http://e/p"),
+                Term::str("plain"),
+            ),
+            TermTriple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/q"),
+                Term::int(-42),
+            ),
+            TermTriple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/q"),
+                Term::literal(Value::Decimal(-13_370_000)),
+            ),
+            TermTriple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/q"),
+                Term::literal(Value::Date(-719_162)),
+            ),
+            TermTriple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/q"),
+                Term::literal(Value::DateTime(1_234_567_890)),
+            ),
+            TermTriple::new(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/q"),
+                Term::literal(Value::Bool(true)),
+            ),
+        ];
+        let mut wal = WalWriter::create_with(&path, WalFormat::Binary).unwrap();
+        assert_eq!(wal.format(), WalFormat::Binary);
+        wal.append(1, &WalRecord::Insert(exotic.clone())).unwrap();
+        wal.append(2, &WalRecord::Delete(vec![exotic[0].clone()]))
+            .unwrap();
+        wal.append(3, &WalRecord::Load(vec![exotic[1].clone()]))
+            .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, records) = WalWriter::open_recover(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].2, WalRecord::Insert(exotic.clone()));
+        assert_eq!(records[1].2, WalRecord::Delete(vec![exotic[0].clone()]));
+        assert_eq!(records[2].2, WalRecord::Load(vec![exotic[1].clone()]));
+    }
+
+    #[test]
+    fn mixed_format_log_recovers() {
+        let path = temp_path("mixed");
+        let _c = Cleanup(path.clone());
+        let mut wal = WalWriter::create(&path).unwrap();
+        wal.append(1, &WalRecord::Insert(vec![tt(0)])).unwrap();
+        wal.set_format(WalFormat::Binary);
+        wal.append(2, &WalRecord::Insert(vec![tt(1)])).unwrap();
+        wal.set_format(WalFormat::Text);
+        wal.append(3, &WalRecord::Insert(vec![tt(2)])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, records) = WalWriter::open_recover(&path).unwrap();
+        assert_eq!(records.len(), 3, "formats interleave freely");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.2, WalRecord::Insert(vec![tt(i as u64)]));
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_for_repetitive_batches() {
+        // The term table pays off whenever subjects/predicates repeat —
+        // the shape of every real batch.
+        let batch: Vec<TermTriple> = (0..64).map(tt).collect();
+        let text_path = temp_path("size-text");
+        let bin_path = temp_path("size-bin");
+        let _c1 = Cleanup(text_path.clone());
+        let _c2 = Cleanup(bin_path.clone());
+        let mut text = WalWriter::create(&text_path).unwrap();
+        let mut bin = WalWriter::create_with(&bin_path, WalFormat::Binary).unwrap();
+        let text_end = text.append(1, &WalRecord::Insert(batch.clone())).unwrap();
+        let bin_end = bin.append(1, &WalRecord::Insert(batch)).unwrap();
+        assert!(
+            bin_end * 2 < text_end,
+            "binary ({bin_end}) should be well under half of text ({text_end})"
+        );
+    }
+
+    #[test]
+    fn corrupt_binary_body_is_a_tear() {
+        let path = temp_path("binary-corrupt");
+        let _c = Cleanup(path.clone());
+        let mut wal = WalWriter::create_with(&path, WalFormat::Binary).unwrap();
+        let end1 = wal.append(1, &WalRecord::Insert(vec![tt(0)])).unwrap();
+        wal.append(2, &WalRecord::Insert(vec![tt(1)])).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Corrupt the second record's body *and* fix up its CRC, so only
+        // the binary parser can reject it (a bad term-table index).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let frame = end1 as usize;
+        let len = u32::from_le_bytes(bytes[frame..frame + 4].try_into().unwrap()) as usize;
+        bytes[frame + 8 + len - 1] = 0x7F; // last varint index -> out of range
+        let crc = crc32(&bytes[frame + 8..frame + 8 + len]);
+        bytes[frame + 4..frame + 8].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let (wal, records) = WalWriter::open_recover(&path).unwrap();
+        assert_eq!(records.len(), 1, "malformed binary body ends recovery");
+        assert_eq!(wal.lsn(), end1);
     }
 
     #[test]

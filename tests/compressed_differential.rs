@@ -1,0 +1,142 @@
+//! Scan-on-compressed correctness: every RDF-H catalog query must return a
+//! byte-identical canonical `ResultSet` whether the store's pages are
+//! frame-of-reference compressed (the default) or plain, across the
+//! sequential, parallel, and rowwise-oracle executors and both plan schemes.
+
+use sordf::{ColumnEncoding, Database, ExecConfig, Generation, ParallelConfig, PlanScheme};
+use sordf_rdfh::{generate, query, RdfhConfig, ALL_QUERIES};
+
+struct Rig {
+    plain: Database,
+    compressed: Database,
+}
+
+fn clustered_rig() -> Rig {
+    let data = generate(&RdfhConfig::new(0.001));
+    let plain = Database::in_temp_dir().unwrap();
+    plain.set_encoding(ColumnEncoding::Plain);
+    plain.load_terms(&data.triples).unwrap();
+    plain.self_organize().unwrap();
+    assert_eq!(plain.encoding(), ColumnEncoding::Plain);
+    let compressed = Database::in_temp_dir().unwrap();
+    compressed.load_terms(&data.triples).unwrap();
+    compressed.self_organize().unwrap();
+    assert_eq!(compressed.encoding(), ColumnEncoding::Compressed);
+    Rig { plain, compressed }
+}
+
+/// Seq / parallel / rowwise × both plan schemes, on one database.
+fn run_all_executors(db: &Database, sparql: &str, qname: &str) -> Vec<Vec<String>> {
+    let par = ParallelConfig::default();
+    let mut out = Vec::new();
+    for scheme in [PlanScheme::Default, PlanScheme::RdfScanJoin] {
+        let exec = ExecConfig {
+            scheme,
+            ..Default::default()
+        };
+        let seq = db
+            .query_with(sparql, Generation::Clustered, exec)
+            .unwrap_or_else(|e| panic!("{qname} seq {scheme:?}: {e}"));
+        out.push(seq.canonical(&db.dict()));
+        let parallel = db
+            .query_traced_parallel(sparql, Generation::Clustered, exec, &par)
+            .unwrap_or_else(|e| panic!("{qname} parallel {scheme:?}: {e}"));
+        out.push(parallel.results.canonical(&db.dict()));
+        let rowwise = db
+            .query_with(
+                sparql,
+                Generation::Clustered,
+                ExecConfig {
+                    rowwise: true,
+                    ..exec
+                },
+            )
+            .unwrap_or_else(|e| panic!("{qname} rowwise {scheme:?}: {e}"));
+        out.push(rowwise.canonical(&db.dict()));
+    }
+    out
+}
+
+#[test]
+fn all_queries_identical_compressed_vs_plain() {
+    let rig = clustered_rig();
+    for qid in ALL_QUERIES {
+        let sparql = query(qid);
+        let plain = run_all_executors(&rig.plain, sparql, qid.name());
+        let compressed = run_all_executors(&rig.compressed, sparql, qid.name());
+        assert_eq!(
+            plain.len(),
+            compressed.len(),
+            "{} executor matrix mismatch",
+            qid.name()
+        );
+        for (i, (p, c)) in plain.iter().zip(&compressed).enumerate() {
+            assert_eq!(
+                p,
+                c,
+                "{} config {i}: compressed differs from plain",
+                qid.name()
+            );
+        }
+        // All executors agree with each other too, not just pairwise.
+        assert!(
+            plain.iter().all(|r| r == &plain[0]),
+            "{} executors disagree on the plain store",
+            qid.name()
+        );
+        assert!(!plain[0].is_empty(), "{} returned nothing", qid.name());
+    }
+}
+
+#[test]
+fn baseline_and_cs_generations_identical_compressed_vs_plain() {
+    let data = generate(&RdfhConfig::new(0.001));
+    let mk = |enc: ColumnEncoding| {
+        let db = Database::in_temp_dir().unwrap();
+        db.set_encoding(enc);
+        db.load_terms(&data.triples).unwrap();
+        db.build_baseline().unwrap();
+        db.build_cs_tables().unwrap();
+        assert_eq!(db.encoding(), enc);
+        db
+    };
+    let plain = mk(ColumnEncoding::Plain);
+    let compressed = mk(ColumnEncoding::Compressed);
+    for qid in ALL_QUERIES {
+        let sparql = query(qid);
+        for (generation, scheme) in [
+            (Generation::Baseline, PlanScheme::Default),
+            (Generation::CsParseOrder, PlanScheme::RdfScanJoin),
+        ] {
+            let exec = ExecConfig {
+                scheme,
+                ..Default::default()
+            };
+            let p = plain.query_with(sparql, generation, exec).unwrap();
+            let c = compressed.query_with(sparql, generation, exec).unwrap();
+            assert_eq!(
+                p.canonical(&plain.dict()),
+                c.canonical(&compressed.dict()),
+                "{} {generation:?} differs",
+                qid.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reencode_in_place_flips_scheme_and_answers() {
+    // A store built plain re-encodes to compressed via reorganize_now and
+    // keeps answering identically (the upgrade path for existing stores).
+    let data = generate(&RdfhConfig::new(0.001));
+    let db = Database::in_temp_dir().unwrap();
+    db.set_encoding(ColumnEncoding::Plain);
+    db.load_terms(&data.triples).unwrap();
+    db.self_organize().unwrap();
+    let q = query(sordf_rdfh::QueryId::Q6);
+    let before = db.query(q).unwrap().canonical(&db.dict());
+    db.set_encoding(ColumnEncoding::Compressed);
+    db.reorganize_now().unwrap();
+    assert_eq!(db.encoding(), ColumnEncoding::Compressed);
+    assert_eq!(db.query(q).unwrap().canonical(&db.dict()), before);
+}

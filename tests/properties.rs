@@ -69,7 +69,7 @@ proptest! {
 
     #[test]
     fn dictionary_roundtrips_terms(terms in proptest::collection::vec(arb_term(), 1..30)) {
-        let mut dict = Dictionary::new();
+        let dict = Dictionary::new();
         let oids: Vec<Oid> = terms.iter().map(|t| dict.encode_term(t).unwrap()).collect();
         for (t, o) in terms.iter().zip(&oids) {
             prop_assert_eq!(&dict.decode(*o).unwrap(), t);

@@ -26,7 +26,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::mpsc;
 use std::time::Duration;
 
-use sordf::{Database, SyncPolicy};
+use sordf::{Database, SyncPolicy, WalFormat};
 use sordf_model::{Term, TermTriple};
 
 const MARKER: &str = "http://ex/recovery/marker";
@@ -34,6 +34,9 @@ const N_BATCHES: usize = 60;
 /// Triples per batch besides the marker.
 const FILLERS: usize = 5;
 const CHILD_ENV: &str = "SORDF_RECOVERY_CHILD";
+/// Set to `binary` to make the child write [`WalFormat::Binary`] records;
+/// recovery itself is format-agnostic (it auto-detects per record).
+const FORMAT_ENV: &str = "SORDF_WAL_FORMAT";
 
 fn base_data() -> Vec<TermTriple> {
     let mut triples = Vec::new();
@@ -118,6 +121,10 @@ fn child_writer_process() {
     };
     let dir = PathBuf::from(dir);
     let db = Database::open(&dir).expect("child open");
+    if std::env::var(FORMAT_ENV).as_deref() == Ok("binary") {
+        db.set_wal_format(WalFormat::Binary);
+        assert_eq!(db.wal_format(), Some(WalFormat::Binary));
+    }
     if db.schema().is_none() {
         if db.n_triples() == 0 {
             db.load_terms(&base_data()).expect("child base load");
@@ -149,7 +156,11 @@ enum Event {
     Eof,
 }
 
-fn spawn_child(dir: &Path, crash_point: Option<&str>) -> (Child, mpsc::Receiver<Event>) {
+fn spawn_child(
+    dir: &Path,
+    crash_point: Option<&str>,
+    format: Option<&str>,
+) -> (Child, mpsc::Receiver<Event>) {
     let exe = std::env::current_exe().expect("current_exe");
     let mut cmd = Command::new(exe);
     cmd.arg("child_writer_process")
@@ -158,6 +169,10 @@ fn spawn_child(dir: &Path, crash_point: Option<&str>) -> (Child, mpsc::Receiver<
         .env(CHILD_ENV, dir)
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
+    match format {
+        Some(f) => cmd.env(FORMAT_ENV, f),
+        None => cmd.env_remove(FORMAT_ENV),
+    };
     match crash_point {
         Some(label) => cmd
             .env("SORDF_CRASH_POINT", label)
@@ -209,23 +224,45 @@ impl Drop for Cleanup {
 /// completion (and thus termination) is guaranteed.
 #[test]
 fn crash_loop_loses_no_acknowledged_write() {
-    let dir = temp_dir("loop");
+    crash_loop("loop", None);
+}
+
+/// The same crash loop with the child writing [`WalFormat::Binary`]
+/// records — the varint term-table framing must uphold the identical
+/// durability contract (and mixed-format logs arise naturally here, since
+/// recovery-created WALs start in text until the child switches back).
+#[test]
+fn crash_loop_loses_no_acknowledged_write_binary_wal() {
+    crash_loop("loop-bin", Some("binary"));
+}
+
+fn crash_loop(tag: &str, format: Option<&str>) {
+    let dir = temp_dir(tag);
     let _c = Cleanup(dir.clone());
     let mut max_ack: i64 = -1;
     let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15;
     let mut kills = 0u32;
     let mut completions = 0u32;
+    // Adaptive kill window: a completion means the kill landed too late
+    // (shrink it), a mid-run kill means it landed (grow it back toward a
+    // completion) — so the schedule brackets the child's actual runtime at
+    // any build speed. A fixed ramp cannot: release children finish in
+    // single-digit milliseconds, debug children in hundreds.
+    let mut window_us: u64 = 20_000;
     for iter in 0u64.. {
-        assert!(iter < 150, "crash loop made no progress ({kills} kills)");
+        assert!(
+            iter < 150,
+            "crash loop made no progress ({kills} kills, {completions} completions)"
+        );
         if kills >= 5 && completions >= 1 {
             break;
         }
-        let (mut child, rx) = spawn_child(&dir, None);
+        let (mut child, rx) = spawn_child(&dir, None, format);
         lcg = lcg
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
-        let delay = 5 + (lcg >> 33) % 50 + 2 * iter;
-        std::thread::sleep(Duration::from_millis(delay));
+        let delay = window_us / 2 + (lcg >> 33) % window_us.max(1);
+        std::thread::sleep(Duration::from_micros(delay));
         child.kill().expect("kill child");
         child.wait().expect("reap child");
         let mut done = false;
@@ -243,6 +280,7 @@ fn crash_loop_loses_no_acknowledged_write() {
         if done {
             assert_eq!(k, N_BATCHES, "DONE printed but batches missing");
             completions += 1;
+            window_us = (window_us / 3).max(500);
             // Fresh cycle: wipe so the next writer starts from zero (a
             // resumed writer has ever less work and outruns the kill).
             std::fs::remove_dir_all(&dir).expect("wipe between cycles");
@@ -251,6 +289,7 @@ fn crash_loop_loses_no_acknowledged_write() {
             // The next spawn resumes from k; keep the floor monotone.
             max_ack = max_ack.max(k as i64 - 1);
             kills += 1;
+            window_us = window_us.saturating_mul(3) / 2;
         }
     }
     assert!(
@@ -266,10 +305,13 @@ fn crash_loop_loses_no_acknowledged_write() {
 #[cfg(feature = "crash_points")]
 #[test]
 fn every_crash_point_recovers() {
-    for &label in sordf::CRASH_POINTS {
+    for (i, &label) in sordf::CRASH_POINTS.iter().enumerate() {
+        // Alternate WAL formats across the labels: both encodings meet
+        // every fault boundary without doubling the run.
+        let format = if i % 2 == 0 { None } else { Some("binary") };
         let dir = temp_dir(&label.replace('.', "-"));
         let _c = Cleanup(dir.clone());
-        let (mut child, rx) = spawn_child(&dir, Some(label));
+        let (mut child, rx) = spawn_child(&dir, Some(label), format);
         let status = child.wait().expect("reap child");
         let mut max_ack: i64 = -1;
         while let Ok(ev) = rx.recv_timeout(Duration::from_secs(60)) {
@@ -288,7 +330,7 @@ fn every_crash_point_recovers() {
             verify_prefix(&db, max_ack);
         }
         // A clean rerun must finish the job from wherever the abort left it.
-        let (mut child, rx) = spawn_child(&dir, None);
+        let (mut child, rx) = spawn_child(&dir, None, format);
         let status = child.wait().expect("reap clean child");
         assert!(status.success(), "clean rerun after {label} failed");
         drop(rx);
