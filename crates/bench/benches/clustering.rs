@@ -3,7 +3,7 @@
 //! shipdate sub-ordering turns it into a contiguous range scan).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf::{ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_bench::build_rig;
 
 fn bench_clustering(c: &mut Criterion) {
@@ -30,7 +30,8 @@ SELECT ?li ?price WHERE {
         };
         let db = rig.db(generation);
         group.bench_with_input(BenchmarkId::from_parameter(label), q, |b, q| {
-            b.iter(|| db.query_with(q, generation, exec).expect("query"))
+            let req = QueryRequest::sparql(q).generation(generation).config(exec);
+            b.iter(|| db.execute(&req).expect("query"))
         });
     }
     group.finish();

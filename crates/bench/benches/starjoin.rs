@@ -2,7 +2,7 @@
 //! vs RDFscan/RDFjoin, as star width grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf::{ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_bench::build_rig;
 
 fn bench_starjoin(c: &mut Criterion) {
@@ -36,10 +36,10 @@ fn bench_starjoin(c: &mut Criterion) {
             };
             let db = rig.db(Generation::Clustered);
             group.bench_with_input(BenchmarkId::new(label, width), &q, |b, q| {
-                b.iter(|| {
-                    db.query_with(q, Generation::Clustered, exec)
-                        .expect("query")
-                })
+                let req = QueryRequest::sparql(q)
+                    .generation(Generation::Clustered)
+                    .config(exec);
+                b.iter(|| db.execute(&req).expect("query"))
             });
         }
     }

@@ -3,6 +3,7 @@
 //! and page counts; Criterion gives statistically robust hot numbers).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sordf::QueryRequest;
 use sordf_bench::{build_rig, Rig, TABLE1_CONFIGS};
 use sordf_rdfh::{query, QueryId};
 
@@ -28,10 +29,10 @@ fn bench_table1(c: &mut Criterion) {
                 BenchmarkId::from_parameter(cfg.label.trim()),
                 &exec,
                 |b, exec| {
-                    b.iter(|| {
-                        db.query_with(query(qid), cfg.generation, *exec)
-                            .expect("query")
-                    })
+                    let req = QueryRequest::sparql(query(qid))
+                        .generation(cfg.generation)
+                        .config(*exec);
+                    b.iter(|| db.execute(&req).expect("query"))
                 },
             );
         }

@@ -2,7 +2,7 @@
 //! range of growing width on the clustered lineitem segment).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf::{ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_bench::build_rig;
 
 fn bench_zonemap(c: &mut Criterion) {
@@ -32,10 +32,10 @@ SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
             };
             let db = rig.db(Generation::Clustered);
             group.bench_with_input(BenchmarkId::new(label, months), &q, |b, q| {
-                b.iter(|| {
-                    db.query_with(q, Generation::Clustered, exec)
-                        .expect("query")
-                })
+                let req = QueryRequest::sparql(q)
+                    .generation(Generation::Clustered)
+                    .config(exec);
+                b.iter(|| db.execute(&req).expect("query"))
             });
         }
     }

@@ -17,7 +17,7 @@
 //! Usage:
 //!   bench_memory [--sf F] [--out PATH] [--smoke]
 
-use sordf::ColumnEncoding;
+use sordf::{ColumnEncoding, QueryRequest};
 use sordf_bench::cli::time_loop;
 use sordf_bench::cli::{render_object, BenchArgs, BenchJson};
 use sordf_bench::scenarios::{self, Scenario};
@@ -62,12 +62,13 @@ fn footprint(rig: &Rig) -> Footprint {
 
 fn qps(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> f64 {
     let db = rig.db(sc.generation);
+    let req = QueryRequest::sparql(&sc.query)
+        .generation(sc.generation)
+        .config(sc.exec);
     // Warm the pool and code paths; steady-state throughput is the metric.
-    db.query_with(&sc.query, sc.generation, sc.exec)
-        .expect("warmup");
+    db.execute(&req).expect("warmup");
     time_loop(min_secs, min_iters, || {
-        db.query_with(&sc.query, sc.generation, sc.exec)
-            .expect("query");
+        db.execute(&req).expect("query");
     })
 }
 

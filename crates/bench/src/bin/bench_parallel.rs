@@ -22,7 +22,7 @@
 //! Usage:
 //!   bench_parallel [--sf F] [--out PATH] [--baseline PATH] [--smoke]
 
-use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme};
+use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme, QueryRequest};
 use sordf_bench::cli::{extract_scenario_field, render_object, time_loop, BenchArgs, BenchJson};
 use sordf_bench::{build_rig, Rig};
 use std::fmt::Write as _;
@@ -135,10 +135,11 @@ fn concurrent_clients_qps(
             .map(|_| {
                 let (stop, total) = (&stop, &total);
                 s.spawn(move || {
+                    let req = QueryRequest::sparql(&sc.query)
+                        .generation(sc.generation)
+                        .config(sc.exec);
                     while !stop.load(Ordering::Relaxed) {
-                        let _ = db
-                            .query_traced(&sc.query, sc.generation, sc.exec)
-                            .expect("query");
+                        let _ = db.execute(&req).expect("query");
                         // Published per query: the controller's stop
                         // condition watches this count.
                         total.fetch_add(1, Ordering::Relaxed);
@@ -167,12 +168,13 @@ fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Samp
     let par2 = ParallelConfig::with_workers(2);
     let par4 = ParallelConfig::with_workers(4);
 
+    let seq_req = QueryRequest::sparql(&sc.query)
+        .generation(sc.generation)
+        .config(sc.exec);
     // Warm the pool + differential sanity: parallel must be byte-identical.
-    let warm = db
-        .query_traced(&sc.query, sc.generation, sc.exec)
-        .expect("warmup");
+    let warm = db.execute(&seq_req).expect("warmup");
     let par_check = db
-        .query_traced_parallel(&sc.query, sc.generation, sc.exec, &par4)
+        .execute(&seq_req.clone().parallel(par4))
         .expect("parallel warmup");
     assert_eq!(
         warm.results.canonical(&db.dict()),
@@ -182,20 +184,16 @@ fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Samp
     );
     let result_rows = warm.results.len();
 
+    let par2_req = seq_req.clone().parallel(par2);
+    let par4_req = seq_req.clone().parallel(par4);
     let seq_qps = time_loop(min_secs, min_iters, || {
-        let _ = db
-            .query_traced(&sc.query, sc.generation, sc.exec)
-            .expect("query");
+        let _ = db.execute(&seq_req).expect("query");
     });
     let par2_qps = time_loop(min_secs, min_iters, || {
-        let _ = db
-            .query_traced_parallel(&sc.query, sc.generation, sc.exec, &par2)
-            .expect("query");
+        let _ = db.execute(&par2_req).expect("query");
     });
     let par4_qps = time_loop(min_secs, min_iters, || {
-        let _ = db
-            .query_traced_parallel(&sc.query, sc.generation, sc.exec, &par4)
-            .expect("query");
+        let _ = db.execute(&par4_req).expect("query");
     });
     let clients4_qps = concurrent_clients_qps(db, sc, 4, min_secs, min_iters);
 

@@ -1,0 +1,260 @@
+//! Closed-loop HTTP serving benchmark: N client threads, each with one
+//! keep-alive connection, each sending the next request only after reading
+//! the previous response. Reports per-request latency percentiles
+//! (p50/p95/p99) and aggregate throughput for several client counts, plus a
+//! correctness differential: every benchmarked query's TSV response is
+//! compared row-for-row against direct library execution before timing, and
+//! the (required-zero) diff count is recorded in the artifact.
+//!
+//! Usage:
+//!   bench_server [--sf F] [--out PATH] [--smoke]
+
+use sordf::{Database, QueryRequest};
+use sordf_bench::cli::{render_object, BenchArgs, BenchJson};
+use sordf_rdfh::{generate, RdfhConfig};
+use sordf_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NS: &str = "http://lod2.eu/schemas/rdfh#";
+
+fn queries() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "customers",
+            format!("PREFIX rdfh: <{NS}>\nSELECT ?n WHERE {{ ?c rdfh:customer_name ?n }}"),
+        ),
+        (
+            "q6_revenue",
+            format!(
+                r#"PREFIX rdfh: <{NS}>
+SELECT (SUM(?price * ?disc) AS ?rev) WHERE {{
+  ?li rdfh:lineitem_shipdate ?d .
+  ?li rdfh:lineitem_extendedprice ?price .
+  ?li rdfh:lineitem_discount ?disc .
+  FILTER(?d >= "1994-01-01"^^xsd:date && ?d < "1995-01-01"^^xsd:date)
+}}"#
+            ),
+        ),
+    ]
+}
+
+// ---- minimal blocking HTTP client -------------------------------------------
+
+fn urlencode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b' ' => out.push('+'),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// One request/response exchange on a persistent connection; returns the
+/// (status, body).
+fn exchange(stream: &mut TcpStream, target: &str) -> (u16, String) {
+    let head = format!(
+        "GET {target} HTTP/1.1\r\nHost: bench\r\nAccept: text/tab-separated-values\r\n\r\n"
+    );
+    stream.write_all(head.as_bytes()).expect("request write");
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk).expect("response read");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head_text = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let status: u16 = head_text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_len: usize = head_text
+        .lines()
+        .find_map(|l| {
+            let (n, v) = l.split_once(':')?;
+            n.eq_ignore_ascii_case("content-length")
+                .then(|| v.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_len {
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk).expect("response read");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    (
+        status,
+        String::from_utf8_lossy(&buf[body_start..body_start + content_len]).into_owned(),
+    )
+}
+
+/// Render the reference answer the way the TSV endpoint does.
+fn reference_tsv(db: &Database, sparql: &str) -> String {
+    let resp = db
+        .execute(&QueryRequest::sparql(sparql))
+        .expect("reference query");
+    let mut out = resp.results.columns.join("\t");
+    out.push('\n');
+    for row in resp.results.render(&resp.pin) {
+        out.push_str(&row.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+struct LoopResult {
+    requests: u64,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Run the closed loop at `n_clients` for at least `min_secs` /
+/// `min_iters` requests per client; every response is checked against its
+/// query's reference TSV (a mismatch panics the client thread).
+fn closed_loop(
+    addr: &str,
+    targets: &[(String, String)], // (urlencoded target, expected body)
+    n_clients: usize,
+    min_secs: f64,
+    min_iters: u64,
+) -> LoopResult {
+    // ordering: Relaxed — benchmark stop flag, no data published through it.
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|ci| {
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    let mut samples = Vec::new();
+                    let mut i = ci; // stagger query mix across clients
+                    while !stop.load(Ordering::Relaxed) || samples.len() < min_iters as usize {
+                        let (target, expected) = &targets[i % targets.len()];
+                        i += 1;
+                        let q0 = Instant::now();
+                        let (status, body) = exchange(&mut stream, target);
+                        samples.push(q0.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(status, 200, "{body}");
+                        assert_eq!(&body, expected, "response diverged from library");
+                    }
+                    samples
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(min_secs));
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let requests = latencies.len() as u64;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    LoopResult {
+        requests,
+        qps: requests as f64 / elapsed,
+        p50_ms: percentile(&latencies, 50.0),
+        p95_ms: percentile(&latencies, 95.0),
+        p99_ms: percentile(&latencies, 99.0),
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse("BENCH_server.json");
+    let client_counts: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4] };
+
+    let data = generate(&RdfhConfig::new(args.sf));
+    let db = Database::in_temp_dir().expect("temp db");
+    db.load_terms(&data.triples).expect("load");
+    db.self_organize().expect("organize");
+    let n_triples = db.n_triples();
+    let db = Arc::new(db);
+
+    let max_clients = client_counts.iter().copied().max().unwrap_or(1);
+    let server = Server::bind(
+        Arc::clone(&db),
+        ServerConfig {
+            workers: max_clients + 2,
+            max_in_flight: max_clients + 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+
+    // Correctness differential: the wire answer must equal the library
+    // answer byte-for-byte, per query, before anything is timed.
+    let mut diffs = 0u64;
+    let targets: Vec<(String, String)> = queries()
+        .iter()
+        .map(|(name, q)| {
+            let expected = reference_tsv(&db, q);
+            let target = format!("/query?query={}", urlencode(q));
+            let (status, body) =
+                exchange(&mut TcpStream::connect(&addr).expect("connect"), &target);
+            if status != 200 || body != expected {
+                eprintln!("DIFF on {name}: status {status}");
+                diffs += 1;
+            }
+            (target, expected)
+        })
+        .collect();
+    assert_eq!(diffs, 0, "HTTP responses diverged from direct execution");
+
+    let mut results: Vec<(String, LoopResult)> = Vec::new();
+    for &n in client_counts {
+        let r = closed_loop(&addr, &targets, n, args.min_secs, args.min_iters);
+        println!(
+            "clients={n:<2} requests={:<6} qps={:<8.1} p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+            r.requests, r.qps, r.p50_ms, r.p95_ms, r.p99_ms
+        );
+        results.push((format!("clients{n}"), r));
+    }
+
+    let mut j = BenchJson::new("server", args.sf);
+    j.int("n_triples", n_triples as u64);
+    j.int("diffs", diffs);
+    j.raw(
+        "closed_loop",
+        render_object(results.iter().map(|(name, r)| {
+            (
+                name.as_str(),
+                format!(
+                    "{{ \"requests\": {}, \"qps\": {:.2}, \"p50_ms\": {:.3}, \
+                     \"p95_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+                    r.requests, r.qps, r.p50_ms, r.p95_ms, r.p99_ms
+                ),
+            )
+        })),
+    );
+    j.write(&args.out_path);
+
+    server.shutdown();
+}

@@ -37,7 +37,8 @@
 //!   bench_updates [--sf F] [--out PATH] [--smoke]
 
 use sordf::{
-    Database, ExecConfig, Generation, ParallelConfig, PlanScheme, ReorgPolicy, SyncPolicy,
+    Database, ExecConfig, Generation, ParallelConfig, PlanScheme, QueryRequest, ReorgPolicy,
+    SyncPolicy,
 };
 use sordf_bench::cli::{render_object, time_loop, BenchArgs, BenchJson};
 use sordf_model::TermTriple;
@@ -103,13 +104,17 @@ fn measure_level(
     };
     let star = star_query(4);
     let q6 = q6_query();
+    let star_req = QueryRequest::sparql(&star)
+        .generation(Generation::Clustered)
+        .config(exec);
+    let q6_req = QueryRequest::sparql(&q6)
+        .generation(Generation::Clustered)
+        .config(exec);
     let starjoin4_qps = time_loop(min_secs, min_iters, || {
-        let _ = db
-            .query_with(&star, Generation::Clustered, exec)
-            .expect("star");
+        let _ = db.execute(&star_req).expect("star");
     });
     let q6_qps = time_loop(min_secs, min_iters, || {
-        let _ = db.query_with(&q6, Generation::Clustered, exec).expect("q6");
+        let _ = db.execute(&q6_req).expect("q6");
     });
     Level {
         label,
@@ -133,20 +138,22 @@ fn assert_differential(db: &Database, base: &[TermTriple], delta: &[TermTriple],
     };
     let par = ParallelConfig::with_workers(4);
     for q in [star_query(4), q6_query()] {
+        let req = QueryRequest::sparql(&q)
+            .generation(Generation::Clustered)
+            .config(exec);
         let want = reference
-            .query_with(&q, Generation::Clustered, exec)
+            .execute(&req)
             .expect("reference")
+            .results
             .canonical(&reference.dict());
-        let seq = db
-            .query_with(&q, Generation::Clustered, exec)
-            .expect("live");
+        let seq = db.execute(&req).expect("live").results;
         assert_eq!(
             seq.canonical(&db.dict()),
             want,
             "{what}: live store diverges from bulk load"
         );
         let parallel = db
-            .query_traced_parallel(&q, Generation::Clustered, exec, &par)
+            .execute(&req.clone().parallel(par))
             .expect("live parallel");
         assert_eq!(
             parallel.results.canonical(&db.dict()),
@@ -196,7 +203,11 @@ fn concurrent_reorg_scenario(db: &Database, pool: &[TermTriple]) -> ConcurrentRe
         }
         let t = Instant::now();
         let _ = db
-            .query_with(&star, Generation::Clustered, exec)
+            .execute(
+                &QueryRequest::sparql(&star)
+                    .generation(Generation::Clustered)
+                    .config(exec),
+            )
             .expect("query during reorg");
         query_lat.push(t.elapsed().as_secs_f64() * 1e3);
         if handle.is_finished() {

@@ -16,6 +16,7 @@
 //! trajectory across PRs (`BENCH_baseline.json` holds the pre-vectorization
 //! numbers).
 
+use sordf::QueryRequest;
 use sordf_bench::cli::{extract_scenario_field, render_object, BenchArgs, BenchJson};
 use sordf_bench::scenarios::{self, Scenario};
 use sordf_bench::{build_rig, Rig};
@@ -34,10 +35,12 @@ struct Sample {
 
 fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Sample {
     let db = rig.db(sc.generation);
+    let req = QueryRequest::sparql(&sc.query)
+        .generation(sc.generation)
+        .config(sc.exec)
+        .traced(true);
     // Warm the pool and code paths; steady-state throughput is the metric.
-    let warm = db
-        .query_traced(&sc.query, sc.generation, sc.exec)
-        .expect("warmup");
+    let warm = db.execute(&req).expect("warmup");
     let result_rows = warm.results.len();
 
     let mut iters = 0u64;
@@ -45,11 +48,10 @@ fn run_scenario(rig: &Rig, sc: &Scenario, min_secs: f64, min_iters: u64) -> Samp
     let mut pool_gets = 0u64;
     let t0 = Instant::now();
     loop {
-        let traced = db
-            .query_traced(&sc.query, sc.generation, sc.exec)
-            .expect("query");
-        rows_scanned += traced.stats.rows_scanned;
-        pool_gets += traced.pool.hits + traced.pool.misses;
+        let traced = db.execute(&req).expect("query");
+        let (stats, pool) = (traced.stats.expect("traced"), traced.pool.expect("traced"));
+        rows_scanned += stats.rows_scanned;
+        pool_gets += pool.hits + pool.misses;
         iters += 1;
         if iters >= min_iters && t0.elapsed().as_secs_f64() >= min_secs {
             break;

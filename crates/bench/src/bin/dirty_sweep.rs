@@ -7,7 +7,7 @@
 //! Default and RDFscan plans on a star query, reporting coverage and the
 //! remaining speedup.
 
-use sordf::{Database, ExecConfig, Generation, PlanScheme};
+use sordf::{Database, ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_datagen::{dirty, DirtyConfig};
 use std::time::Instant;
 
@@ -43,9 +43,12 @@ fn main() {
                 zonemaps: true,
                 ..Default::default()
             };
-            let _ = db.query_with(q, Generation::Clustered, exec).unwrap(); // warm
+            let req = QueryRequest::sparql(q)
+                .generation(Generation::Clustered)
+                .config(exec);
+            let _ = db.execute(&req).unwrap(); // warm
             let t0 = Instant::now();
-            let rs = db.query_with(q, Generation::Clustered, exec).unwrap();
+            let rs = db.execute(&req).unwrap().results;
             times[i] = t0.elapsed().as_secs_f64() * 1e3;
             rows[i] = rs.len();
         }

@@ -7,7 +7,7 @@
 //! selective one-class scan (pages touched, cold time) on ParseOrder vs
 //! Clustered storage.
 
-use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf::{ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_bench::{build_rig, page_latency_from_env, sf_from_env};
 
 fn main() {
@@ -65,12 +65,19 @@ SELECT ?li ?price WHERE {
         db.drop_cache();
         db.set_read_latency_ns(page_ns);
         let t0 = std::time::Instant::now();
-        let traced = db.query_traced(q, generation, exec).expect("query");
+        let traced = db
+            .execute(
+                &QueryRequest::sparql(q)
+                    .generation(generation)
+                    .config(exec)
+                    .traced(true),
+            )
+            .expect("query");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         db.set_read_latency_ns(0);
         println!(
             "  {label:<30} cold {ms:>9.2} ms  pages {:>6}  rows {:>6}",
-            traced.pool.misses,
+            traced.pool.expect("traced").misses,
             traced.results.len()
         );
     }

@@ -7,7 +7,7 @@
 //! reports the actual operator counts from the executed plans, plus
 //! runtimes, on RDF-H data.
 
-use sordf::{ExecConfig, Generation, PlanScheme};
+use sordf::{ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_bench::{build_rig, sf_from_env};
 
 fn main() {
@@ -59,16 +59,22 @@ SELECT ?o1 ?o2 ?o3 WHERE {
             let db = rig.db(Generation::Clustered);
             let t0 = std::time::Instant::now();
             let traced = db
-                .query_traced(q, Generation::Clustered, exec)
+                .execute(
+                    &QueryRequest::sparql(q)
+                        .generation(Generation::Clustered)
+                        .config(exec)
+                        .traced(true),
+                )
                 .expect("query");
             let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let stats = traced.stats.expect("traced");
             println!(
                 "  {label:<16} merge-joins {:>3}  hash-joins {:>2}  rdfscans {:>2}  rdfjoins {:>2}  scans {:>3}  {:>9.2} ms  rows {:>7}",
-                traced.stats.merge_joins,
-                traced.stats.hash_joins,
-                traced.stats.rdf_scans,
-                traced.stats.rdf_joins,
-                traced.stats.property_scans,
+                stats.merge_joins,
+                stats.hash_joins,
+                stats.rdf_scans,
+                stats.rdf_joins,
+                stats.property_scans,
                 ms,
                 traced.results.len()
             );

@@ -16,7 +16,7 @@
 
 pub mod cli;
 
-use sordf::{Database, ExecConfig, Generation, PlanScheme};
+use sordf::{Database, ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_rdfh::{generate, RdfhConfig};
 use std::time::Instant;
 
@@ -253,32 +253,31 @@ pub fn measure(rig: &Rig, cfg: &Config, sparql: &str, page_ns: u64) -> Measureme
         ..Default::default()
     };
 
+    let req = QueryRequest::sparql(sparql)
+        .generation(cfg.generation)
+        .config(exec)
+        .traced(true);
+
     // Warm up process-level state (code paths, allocator) so the cold
     // measurement reflects page reads, not first-run artifacts.
-    let _ = db
-        .query_traced(sparql, cfg.generation, exec)
-        .expect("warmup");
+    let _ = db.execute(&req).expect("warmup");
 
     db.drop_cache();
     db.set_read_latency_ns(page_ns);
     let t0 = Instant::now();
-    let cold = db
-        .query_traced(sparql, cfg.generation, exec)
-        .expect("query");
+    let cold = db.execute(&req).expect("query");
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
     db.set_read_latency_ns(0);
 
     let t1 = Instant::now();
-    let hot = db
-        .query_traced(sparql, cfg.generation, exec)
-        .expect("query");
+    let hot = db.execute(&req).expect("query");
     let hot_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     Measurement {
         cold_ms,
         hot_ms,
-        cold_page_reads: cold.pool.misses,
-        joins: hot.stats.total_joins(),
+        cold_page_reads: cold.pool.expect("traced").misses,
+        joins: hot.stats.expect("traced").total_joins(),
         n_rows: hot.results.len(),
     }
 }

@@ -92,7 +92,7 @@ use std::path::{Path, PathBuf};
 // guards only the stop flag and handles poisoning inline.
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sordf_columnar::crash_point;
@@ -101,7 +101,7 @@ use sordf_columnar::{BufferPool, DiskManager, PoolStats};
 use sordf_engine::agg::ResultSet;
 use sordf_engine::context::StatsSnapshot;
 pub use sordf_engine::planner::{PlanInfo, StepInfo};
-pub use sordf_engine::{ExecConfig, ParallelConfig, PlanScheme};
+pub use sordf_engine::{CancellationToken, ExecConfig, ParallelConfig, PlanScheme, StopReason};
 use sordf_engine::{ExecContext, PhysicalPlan, StorageRef};
 use sordf_model::{
     ntriples, Dictionary, FxHashMap, FxHashSet, ModelError, Oid, Term, TermTriple, Triple,
@@ -147,6 +147,37 @@ pub enum Error {
     /// The execution engine failed mid-query (e.g. a page read kept failing
     /// after retries). The query is lost; the database stays usable.
     Exec(String),
+    /// The request's deadline passed mid-query ([`QueryRequest::timeout`] or
+    /// a token deadline). The engine stopped within one page of work; the
+    /// database stays usable.
+    Timeout,
+    /// The request's [`CancellationToken`] was cancelled (client disconnect,
+    /// explicit revoke). The engine stopped within one page of work.
+    Cancelled,
+    /// Admission control rejected the request before execution: too many
+    /// queries already in flight, or the server is draining for shutdown.
+    /// Retry after backing off.
+    Overloaded(String),
+}
+
+impl Error {
+    /// A stable machine-readable code for this error, independent of the
+    /// human-readable message. API front ends key on these: the HTTP server
+    /// maps `parse_error`/`sql_error`/`invalid_state` to 400, `timeout` to
+    /// 408, `cancelled` to 499, `overloaded` to 503 and the rest to 500.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Io(_) => "io_error",
+            Error::Model(_) => "data_error",
+            Error::Sparql(_) => "parse_error",
+            Error::Sql(_) => "sql_error",
+            Error::State(_) => "invalid_state",
+            Error::Exec(_) => "exec_error",
+            Error::Timeout => "timeout",
+            Error::Cancelled => "cancelled",
+            Error::Overloaded(_) => "overloaded",
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -158,6 +189,9 @@ impl std::fmt::Display for Error {
             Error::Sql(e) => write!(f, "SQL error: {e}"),
             Error::State(e) => write!(f, "invalid state: {e}"),
             Error::Exec(e) => write!(f, "execution failed: {e}"),
+            Error::Timeout => write!(f, "query timed out"),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Overloaded(e) => write!(f, "server overloaded: {e}"),
         }
     }
 }
@@ -198,6 +232,183 @@ pub struct Traced {
     pub results: ResultSet,
     pub stats: StatsSnapshot,
     pub pool: PoolStats,
+}
+
+/// The query language of a [`QueryRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLang {
+    /// The supported SPARQL subset (see `sordf_sparql`).
+    Sparql,
+    /// The emergent-schema SQL view (requires [`Database::self_organize`]).
+    Sql,
+}
+
+/// One fully-specified query, the single argument of [`Database::execute`].
+///
+/// A builder over everything the seven historical `query_*` variants spread
+/// across their signatures: language, generation pin, engine configuration,
+/// morsel parallelism, snapshot, trace, plus the request-lifecycle knobs the
+/// old API had no room for — a deadline ([`timeout`](Self::timeout)) and a
+/// [`CancellationToken`] ([`cancel`](Self::cancel)). Everything is optional
+/// except the query text:
+///
+/// ```
+/// use sordf::{Database, QueryRequest};
+/// use std::time::Duration;
+///
+/// let mut db = Database::in_temp_dir().unwrap();
+/// db.load_ntriples("<http://ex/s> <http://ex/p> <http://ex/o> .").unwrap();
+/// db.self_organize().unwrap();
+/// let resp = db
+///     .execute(&QueryRequest::sparql("SELECT ?s WHERE { ?s <http://ex/p> ?o . }")
+///         .timeout(Duration::from_secs(5))
+///         .traced(true))
+///     .unwrap();
+/// assert_eq!(resp.results.len(), 1);
+/// assert!(resp.stats.unwrap().rows_scanned >= 1);
+/// ```
+///
+/// When both a token and a timeout are given, the effective deadline is the
+/// earlier of the two and cancelling the caller's token still stops the
+/// query. A tripped token fails the request with [`Error::Cancelled`] /
+/// [`Error::Timeout`] *before* execution starts, so queueing time counts
+/// against the deadline.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    text: String,
+    lang: QueryLang,
+    generation: Option<Generation>,
+    config: Option<ExecConfig>,
+    parallel: Option<ParallelConfig>,
+    snapshot: Option<Snapshot>,
+    timeout: Option<Duration>,
+    cancel: Option<CancellationToken>,
+    trace: bool,
+}
+
+impl QueryRequest {
+    fn new(text: impl Into<String>, lang: QueryLang) -> QueryRequest {
+        QueryRequest {
+            text: text.into(),
+            lang,
+            generation: None,
+            config: None,
+            parallel: None,
+            snapshot: None,
+            timeout: None,
+            cancel: None,
+            trace: false,
+        }
+    }
+
+    /// A SPARQL request with every option defaulted: newest generation,
+    /// database-default [`ExecConfig`], sequential, current data, no
+    /// deadline, no trace.
+    pub fn sparql(text: impl Into<String>) -> QueryRequest {
+        QueryRequest::new(text, QueryLang::Sparql)
+    }
+
+    /// A SQL request against the emergent relational view (requires
+    /// [`Database::self_organize`] first). Same defaults as
+    /// [`sparql`](Self::sparql); [`generation`](Self::generation) is
+    /// ignored — SQL always reads the clustered generation.
+    pub fn sql(text: impl Into<String>) -> QueryRequest {
+        QueryRequest::new(text, QueryLang::Sql)
+    }
+
+    /// Pin the storage generation (default: newest built).
+    pub fn generation(mut self, generation: Generation) -> QueryRequest {
+        self.generation = Some(generation);
+        self
+    }
+
+    /// Override the database's default engine configuration.
+    pub fn config(mut self, config: ExecConfig) -> QueryRequest {
+        self.config = Some(config);
+        self
+    }
+
+    /// Execute with morsel-parallel operators (see [`sordf_engine::parallel`]).
+    /// Non-aggregate results are byte-identical to the sequential path;
+    /// SUM/AVG aggregates may differ in the last ulp (canonical forms agree).
+    pub fn parallel(mut self, parallel: ParallelConfig) -> QueryRequest {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Pin the visible data to a write [`Snapshot`] (see
+    /// [`Database::snapshot`]); later writes are invisible.
+    pub fn snapshot(mut self, snapshot: Snapshot) -> QueryRequest {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Fail with [`Error::Timeout`] once this much time has passed —
+    /// measured from [`Database::execute`] entry, enforced cooperatively at
+    /// page granularity inside the engine.
+    pub fn timeout(mut self, timeout: Duration) -> QueryRequest {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attach a cancellation token; [`CancellationToken::cancel`] from any
+    /// thread fails the query with [`Error::Cancelled`] within one page of
+    /// work.
+    pub fn cancel(mut self, cancel: CancellationToken) -> QueryRequest {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Collect operator and buffer-pool statistics into
+    /// [`QueryResponse::stats`] / [`QueryResponse::pool`].
+    pub fn traced(mut self, trace: bool) -> QueryRequest {
+        self.trace = trace;
+        self
+    }
+
+    /// The query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The query language.
+    pub fn lang(&self) -> QueryLang {
+        self.lang
+    }
+
+    /// The token execution actually polls: the caller's token, the timeout,
+    /// or their combination (earliest deadline wins, cancellation shared).
+    fn effective_token(&self) -> Option<CancellationToken> {
+        let deadline = self.timeout.and_then(|t| Instant::now().checked_add(t));
+        match (&self.cancel, deadline) {
+            (None, None) => None,
+            (Some(t), None) => Some(t.clone()),
+            (None, Some(d)) => Some(CancellationToken::with_deadline(Some(d))),
+            (Some(t), Some(d)) => Some(t.with_deadline_floor(d)),
+        }
+    }
+}
+
+/// What [`Database::execute`] returns.
+///
+/// # Decoding results
+///
+/// `results` holds OIDs valid under the dictionary the query executed
+/// against, and a concurrent reorganization installs a *renumbered*
+/// dictionary — so results must be decoded through the [`DictPin`] carried
+/// here (`resp.results.canonical(&resp.pin)`), never through a fresh
+/// [`Database::dict`] taken after the query returns. The pin also keeps that
+/// dictionary generation alive for as long as you hold the response.
+#[derive(Debug)]
+pub struct QueryResponse {
+    pub results: ResultSet,
+    /// Read pin on the dictionary the query executed under — the only
+    /// correct way to decode `results` (see the type-level docs).
+    pub pin: DictPin,
+    /// Operator statistics, when the request was [`QueryRequest::traced`].
+    pub stats: Option<StatsSnapshot>,
+    /// Buffer-pool activity attributable to this query, when traced.
+    pub pool: Option<PoolStats>,
 }
 
 /// Thresholds that drive adaptive reorganization ([`Database::maybe_reorganize`]).
@@ -528,6 +739,45 @@ impl DbInner {
             delta,
             epoch,
         }
+    }
+
+    /// [`pin`](Self::pin), plus a clone of the incremental assigner's
+    /// routing table (delta-new subject → class). The SQL compiler uses it
+    /// to widen each table's segment restriction so pending inserts stay
+    /// visible; both are captured under one state-lock acquisition so the
+    /// routing is consistent with the pinned delta view.
+    // lock-order: acquires(db_state, dict)
+    fn pin_with_routing(&self, snap: Option<Snapshot>) -> (Pin, FxHashMap<Oid, ClassId>) {
+        let (gen, delta, epoch, routed) = {
+            let st = self.state.lock();
+            let delta = match snap {
+                Some(s) if s.seq() != st.delta.seq() => {
+                    let v = st.delta.view_at(s);
+                    if v.is_empty() {
+                        None
+                    } else {
+                        Some(Arc::new(v))
+                    }
+                }
+                _ => st.delta.current_view_arc(),
+            };
+            let routed = st
+                .write
+                .as_ref()
+                .map(|w| w.pending_class.clone())
+                .unwrap_or_default();
+            (Arc::clone(&st.gen), delta, st.epoch, routed)
+        };
+        let dict = gen.pin_dict();
+        (
+            Pin {
+                gen,
+                dict,
+                delta,
+                epoch,
+            },
+            routed,
+        )
     }
 
     /// Fetch a cached plan for `key` (stamped `epoch`), or optimize via
@@ -1042,8 +1292,7 @@ impl Database {
     /// default configuration).
     pub fn query_snapshot(&self, sparql: &str, snap: Snapshot) -> Result<ResultSet, Error> {
         Ok(self
-            .query_traced_impl(sparql, None, self.config, None, Some(snap))?
-            .0
+            .execute(&QueryRequest::sparql(sparql).snapshot(snap))?
             .results)
     }
 
@@ -1181,6 +1430,8 @@ impl Database {
     /// a full background rebuild + swap (the same protocol as
     /// [`Database::reorganize_async`]). Stop it deterministically with
     /// [`Database::stop_auto_reorg`]; dropping the database stops it too.
+    // lock-order: acquires(db_state) — the spawned tick closure's compaction
+    // branch takes the state lock.
     pub fn start_auto_reorg(
         &mut self,
         policy: ReorgPolicy,
@@ -1405,34 +1656,88 @@ impl Database {
     }
 
     /// Run a SPARQL query against the newest generation with the default
-    /// configuration.
+    /// configuration. Shorthand for
+    /// `execute(&QueryRequest::sparql(sparql))`.
     pub fn query(&self, sparql: &str) -> Result<ResultSet, Error> {
-        Ok(self
-            .query_traced_impl(sparql, None, self.config, None, None)?
-            .0
-            .results)
+        Ok(self.execute(&QueryRequest::sparql(sparql))?.results)
+    }
+
+    /// Execute one [`QueryRequest`] — the single entry point every other
+    /// query method (and the HTTP server) funnels through.
+    ///
+    /// Checks the request's token *before* touching any state (so time spent
+    /// queueing counts against the deadline), pins the generation + delta
+    /// snapshot, runs the engine with the token threaded into the execution
+    /// context, and maps a mid-query interrupt to [`Error::Cancelled`] /
+    /// [`Error::Timeout`] rather than a stringly [`Error::Exec`]. See
+    /// [`QueryResponse`] for the result-decoding rule under concurrent
+    /// reorganization.
+    pub fn execute(&self, req: &QueryRequest) -> Result<QueryResponse, Error> {
+        let cancel = req.effective_token();
+        if let Some(t) = &cancel {
+            match t.stop_reason() {
+                Some(StopReason::Cancelled) => return Err(Error::Cancelled),
+                Some(StopReason::TimedOut) => return Err(Error::Timeout),
+                None => {}
+            }
+        }
+        let config = req.config.unwrap_or(self.config);
+        match req.lang {
+            QueryLang::Sparql => {
+                let (traced, pin) = self.query_traced_impl(
+                    &req.text,
+                    req.generation,
+                    config,
+                    req.parallel.as_ref(),
+                    req.snapshot,
+                    cancel,
+                )?;
+                Ok(QueryResponse {
+                    results: traced.results,
+                    pin,
+                    stats: req.trace.then_some(traced.stats),
+                    pool: req.trace.then_some(traced.pool),
+                })
+            }
+            QueryLang::Sql => self.execute_sql(req, config, cancel),
+        }
     }
 
     /// Run a SPARQL query pinned to a generation + configuration.
+    #[deprecated(since = "0.1.0", note = "use Database::execute with a QueryRequest")]
     pub fn query_with(
         &self,
         sparql: &str,
         generation: Generation,
         config: ExecConfig,
     ) -> Result<ResultSet, Error> {
-        Ok(self.query_traced(sparql, generation, config)?.results)
+        Ok(self
+            .execute(
+                &QueryRequest::sparql(sparql)
+                    .generation(generation)
+                    .config(config),
+            )?
+            .results)
     }
 
     /// Run a SPARQL query and return operator/pool statistics with it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Database::execute with a traced QueryRequest"
+    )]
     pub fn query_traced(
         &self,
         sparql: &str,
         generation: Generation,
         config: ExecConfig,
     ) -> Result<Traced, Error> {
-        Ok(self
-            .query_traced_impl(sparql, Some(generation), config, None, None)?
-            .0)
+        let resp = self.execute(
+            &QueryRequest::sparql(sparql)
+                .generation(generation)
+                .config(config)
+                .traced(true),
+        )?;
+        Ok(traced_of(resp))
     }
 
     /// Run a SPARQL query with morsel-parallel operators (see
@@ -1443,19 +1748,26 @@ impl Database {
     /// partials through the compensated accumulator and may differ from
     /// the sequential value in the last ulp (canonical/rendered forms
     /// agree — do not compare raw aggregate `f64`s bitwise).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Database::execute with a parallel QueryRequest"
+    )]
     pub fn query_parallel(
         &self,
         sparql: &str,
         parallel: &ParallelConfig,
     ) -> Result<ResultSet, Error> {
         Ok(self
-            .query_traced_impl(sparql, None, self.config, Some(parallel), None)?
-            .0
+            .execute(&QueryRequest::sparql(sparql).parallel(*parallel))?
             .results)
     }
 
     /// [`Database::query_parallel`] pinned to a generation + configuration,
     /// returning operator/pool statistics with the results.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Database::execute with a traced QueryRequest"
+    )]
     pub fn query_traced_parallel(
         &self,
         sparql: &str,
@@ -1463,12 +1775,17 @@ impl Database {
         config: ExecConfig,
         parallel: &ParallelConfig,
     ) -> Result<Traced, Error> {
-        Ok(self
-            .query_traced_impl(sparql, Some(generation), config, Some(parallel), None)?
-            .0)
+        let resp = self.execute(
+            &QueryRequest::sparql(sparql)
+                .generation(generation)
+                .config(config)
+                .parallel(*parallel)
+                .traced(true),
+        )?;
+        Ok(traced_of(resp))
     }
 
-    /// The shared query path. `generation: None` = newest built in the
+    /// The shared SPARQL path. `generation: None` = newest built in the
     /// pinned generation (evaluated against the *pin*, so a concurrent swap
     /// cannot split the choice from the data it runs on).
     fn query_traced_impl(
@@ -1478,6 +1795,7 @@ impl Database {
         config: ExecConfig,
         parallel: Option<&ParallelConfig>,
         snap: Option<Snapshot>,
+        cancel: Option<CancellationToken>,
     ) -> Result<(Traced, DictPin), Error> {
         let pin = self.inner.pin(snap);
         let generation = match generation {
@@ -1487,12 +1805,15 @@ impl Database {
         let query = sordf_sparql::parse_sparql(sparql, &pin.dict)?;
         let storage = storage_for(&pin.gen, generation)?;
         let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, config)
-            .with_delta(pin.delta.clone());
+            .with_delta(pin.delta.clone())
+            .with_cancel(cancel);
         let pool_before = self.inner.pool.stats();
         let key = plan_cache_key(&query, generation, config, pin.gen.encoding);
         // Query-boundary fault isolation: an engine panic (e.g. a page read
         // that keeps failing after the pool's retries) fails this query, not
-        // the process — the next query sees intact immutable storage.
+        // the process — the next query sees intact immutable storage. A
+        // cancellation/deadline interrupt rides the same unwind and is
+        // downcast back to its typed error here.
         let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let (q, lp) = sordf_engine::prepare(&query);
             let pp = self
@@ -1503,7 +1824,7 @@ impl Database {
                 Some(par) => sordf_engine::execute_physical_parallel(&cx, &q, &lp, &pp, par),
             }
         }))
-        .map_err(|payload| Error::Exec(panic_message(payload)))?;
+        .map_err(interrupt_or_exec)?;
         let traced = Traced {
             results,
             stats: cx.stats.snapshot(),
@@ -1518,7 +1839,8 @@ impl Database {
     /// reorganization this is the only way to decode correctly: a swap
     /// installs a *renumbered* dictionary, so results must be rendered with
     /// the pinned one — `results.canonical(&pin)` — never with a fresh
-    /// [`Database::dict`] taken after the query.
+    /// [`Database::dict`] taken after the query. ([`Database::execute`]
+    /// returns the same pin on every [`QueryResponse`].)
     pub fn query_pinned(
         &self,
         sparql: &str,
@@ -1526,9 +1848,14 @@ impl Database {
         config: ExecConfig,
         parallel: Option<&ParallelConfig>,
     ) -> Result<(ResultSet, DictPin), Error> {
-        let (traced, dict) =
-            self.query_traced_impl(sparql, Some(generation), config, parallel, None)?;
-        Ok((traced.results, dict))
+        let mut req = QueryRequest::sparql(sparql)
+            .generation(generation)
+            .config(config);
+        if let Some(par) = parallel {
+            req = req.parallel(*par);
+        }
+        let resp = self.execute(&req)?;
+        Ok((resp.results, resp.pin))
     }
 
     /// Explain the plan a SPARQL query would get: star order, the physical
@@ -1619,22 +1946,54 @@ impl Database {
     }
 
     /// Run a SQL query against the emergent relational schema (requires
-    /// [`Database::self_organize`] first).
+    /// [`Database::self_organize`] first). Shorthand for
+    /// `execute(&QueryRequest::sql(sql))`.
     pub fn sql(&self, sql: &str) -> Result<ResultSet, Error> {
-        let pin = self.inner.pin(None);
+        Ok(self.execute(&QueryRequest::sql(sql))?.results)
+    }
+
+    /// The SQL half of [`Database::execute`]: compile against the emergent
+    /// schema, run with the same fault-isolation + interrupt boundary as the
+    /// SPARQL path.
+    fn execute_sql(
+        &self,
+        req: &QueryRequest,
+        config: ExecConfig,
+        cancel: Option<CancellationToken>,
+    ) -> Result<QueryResponse, Error> {
+        let (pin, routed) = self.inner.pin_with_routing(req.snapshot);
         let (Some(store), Some(schema)) = (&pin.gen.clustered, &pin.gen.schema) else {
             return Err(Error::State(
                 "SQL view requires self_organize() first".into(),
             ));
         };
-        let query = sordf_sql::compile_sql(sql, schema, store, &pin.dict).map_err(Error::Sql)?;
+        let query = sordf_sql::compile_sql(&req.text, schema, store, &pin.dict, &routed)
+            .map_err(Error::Sql)?;
         let storage = StorageRef::Clustered { store, schema };
-        // Deletes of base rows are respected through the delta view; rows
-        // inserted since the last reorganization join the SQL view when a
-        // reorganization clusters them into their class segment.
-        let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, self.config)
-            .with_delta(pin.delta.clone());
-        Ok(sordf_engine::execute(&cx, &query))
+        // Deletes of base rows are respected through the delta view, and
+        // rows inserted since the last reorganization are admitted through
+        // the routing table captured with the pin: the compiler widens each
+        // table's segment restriction to include its class's delta-routed
+        // subjects, whose triples the delta merge already surfaces.
+        // (At a historical snapshot, routed-but-later subjects contribute
+        // nothing — their triples are absent from that delta view.)
+        let cx = ExecContext::new(&self.inner.pool, &pin.dict, storage, config)
+            .with_delta(pin.delta.clone())
+            .with_cancel(cancel);
+        let pool_before = self.inner.pool.stats();
+        let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sordf_engine::execute(&cx, &query)
+        }))
+        .map_err(interrupt_or_exec)?;
+        let stats = cx.stats.snapshot();
+        let pool = self.inner.pool.stats().since(&pool_before);
+        drop(cx);
+        Ok(QueryResponse {
+            results,
+            pin: pin.dict,
+            stats: req.trace.then_some(stats),
+            pool: req.trace.then_some(pool),
+        })
     }
 }
 
@@ -1722,6 +2081,18 @@ fn plan_cache_key(
             }
             Expr::Not(a) => {
                 out.push_str("(not ");
+                expr(out, a);
+                out.push(')');
+            }
+            Expr::InSet(a, set) => {
+                // Content-hash the set: only the SQL path builds InSet and
+                // SQL queries are not plan-cached today, but a stale hit
+                // would be silently wrong if they ever were.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for o in set.iter() {
+                    h = (h ^ o.raw()).wrapping_mul(0x0100_0000_01b3);
+                }
+                let _ = write!(out, "(in{}#{h:016x} ", set.len());
                 expr(out, a);
                 out.push(')');
             }
@@ -2718,6 +3089,30 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Classify a payload caught at the query boundary: a cancellation/deadline
+/// interrupt (see [`sordf_engine::cancel`]) maps to its typed error; any
+/// other panic is a genuine engine fault and stays a stringly `Exec`.
+fn interrupt_or_exec(payload: Box<dyn std::any::Any + Send>) -> Error {
+    match sordf_engine::cancel::interrupted(payload.as_ref()) {
+        Some(StopReason::Cancelled) => Error::Cancelled,
+        Some(StopReason::TimedOut) => Error::Timeout,
+        None => Error::Exec(panic_message(payload)),
+    }
+}
+
+/// Repackage a traced [`QueryResponse`] into the legacy [`Traced`] shape
+/// (the deprecated `query_traced*` wrappers return it).
+fn traced_of(resp: QueryResponse) -> Traced {
+    Traced {
+        results: resp.results,
+        // sordf-lint: allow(L3) — infallible: every caller sets traced(true),
+        // which guarantees both fields are populated.
+        stats: resp.stats.expect("traced request always carries stats"),
+        // sordf-lint: allow(L3) — infallible: see above.
+        pool: resp.pool.expect("traced request always carries pool stats"),
+    }
+}
+
 /// Compile-time thread-safety audit: one `Database` serves concurrent
 /// queries *and writes* from many threads (shared pool, per-query pins),
 /// and the background-reorg machinery crosses threads.
@@ -2764,16 +3159,19 @@ mod tests {
         let db = sample_db();
         db.build_baseline().unwrap();
         let rs = db
-            .query_with(
-                "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }",
-                Generation::Baseline,
-                ExecConfig {
+            .execute(
+                &QueryRequest::sparql(
+                    "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . FILTER(?q = 3) }",
+                )
+                .generation(Generation::Baseline)
+                .config(ExecConfig {
                     scheme: PlanScheme::Default,
                     zonemaps: false,
                     ..Default::default()
-                },
+                }),
             )
-            .unwrap();
+            .unwrap()
+            .results;
         assert_eq!(rs.len(), 5);
 
         db.self_organize().unwrap();
@@ -2791,15 +3189,51 @@ mod tests {
         db.self_organize().unwrap();
         let q = "SELECT ?s WHERE { ?s <http://ex/qty> ?q . FILTER(?q < 5) }";
         db.drop_cache();
-        let cold = db
-            .query_traced(q, Generation::Clustered, ExecConfig::default())
-            .unwrap();
-        let hot = db
-            .query_traced(q, Generation::Clustered, ExecConfig::default())
-            .unwrap();
-        assert!(cold.pool.misses > 0, "cold run must read pages");
-        assert_eq!(hot.pool.misses, 0, "hot run must be fully cached");
+        let req = QueryRequest::sparql(q)
+            .generation(Generation::Clustered)
+            .traced(true);
+        let cold = db.execute(&req).unwrap();
+        let hot = db.execute(&req).unwrap();
+        assert!(cold.pool.unwrap().misses > 0, "cold run must read pages");
+        assert_eq!(hot.pool.unwrap().misses, 0, "hot run must be fully cached");
         assert_eq!(cold.results.len(), hot.results.len());
+    }
+
+    #[test]
+    fn execute_maps_tripped_tokens_to_typed_errors() {
+        let db = sample_db();
+        db.self_organize().unwrap();
+        let q = "SELECT ?s ?q WHERE { ?s <http://ex/qty> ?q . }";
+        // An already-expired deadline fails before any execution work.
+        let err = db
+            .execute(&QueryRequest::sparql(q).timeout(Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, Error::Timeout), "{err}");
+        assert_eq!(err.code(), "timeout");
+        // Explicit cancellation wins, even with an expired deadline attached.
+        let token = CancellationToken::new();
+        token.cancel();
+        let err = db
+            .execute(
+                &QueryRequest::sparql(q)
+                    .cancel(token)
+                    .timeout(Duration::ZERO),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Cancelled), "{err}");
+        assert_eq!(err.code(), "cancelled");
+        // An untripped token leaves the query unharmed, and tracing works
+        // through the same entry point.
+        let resp = db
+            .execute(
+                &QueryRequest::sparql(q)
+                    .cancel(CancellationToken::new())
+                    .timeout(Duration::from_secs(3600))
+                    .traced(true),
+            )
+            .unwrap();
+        assert_eq!(resp.results.len(), 50);
+        assert!(resp.stats.unwrap().rows_scanned >= 50);
     }
 
     #[test]
@@ -3016,15 +3450,13 @@ mod tests {
 
         // Parallel execution sees the identical merged store.
         let par = db
-            .query_parallel(
-                q,
-                &ParallelConfig {
-                    workers: 2,
-                    min_morsel_pages: 1,
-                    min_morsel_rows: 1,
-                },
-            )
-            .unwrap();
+            .execute(&QueryRequest::sparql(q).parallel(ParallelConfig {
+                workers: 2,
+                min_morsel_pages: 1,
+                min_morsel_rows: 1,
+            }))
+            .unwrap()
+            .results;
         assert_eq!(
             par.canonical(&db.dict()),
             db.query(q).unwrap().canonical(&db.dict())
@@ -3189,7 +3621,10 @@ mod tests {
             Generation::CsParseOrder,
             Generation::Clustered,
         ] {
-            let rs = db.query_with(q, generation, ExecConfig::default()).unwrap();
+            let rs = db
+                .execute(&QueryRequest::sparql(q).generation(generation))
+                .unwrap()
+                .results;
             assert_eq!(rs.len(), 6, "{generation:?} must survive the reorg");
         }
     }
@@ -3399,16 +3834,17 @@ mod tests {
         let q = r#"SELECT ?s ?d WHERE { ?s <http://ex/qty> ?q . ?s <http://ex/sold> ?d .
             FILTER(?d <= "1996-01-10"^^<http://www.w3.org/2001/XMLSchema#date>) }"#;
         let reference = db
-            .query_with(
-                q,
-                Generation::Clustered,
-                ExecConfig {
-                    scheme: PlanScheme::Default,
-                    zonemaps: true,
-                    ..Default::default()
-                },
+            .execute(
+                &QueryRequest::sparql(q)
+                    .generation(Generation::Clustered)
+                    .config(ExecConfig {
+                        scheme: PlanScheme::Default,
+                        zonemaps: true,
+                        ..Default::default()
+                    }),
             )
             .unwrap()
+            .results
             .canonical(&db.dict());
         for zonemaps in [true, false] {
             let exec = ExecConfig {
@@ -3417,8 +3853,13 @@ mod tests {
                 ..Default::default()
             };
             let got = db
-                .query_with(q, Generation::Clustered, exec)
+                .execute(
+                    &QueryRequest::sparql(q)
+                        .generation(Generation::Clustered)
+                        .config(exec),
+                )
                 .unwrap()
+                .results
                 .canonical(&db.dict());
             assert_eq!(got, reference, "zonemaps={zonemaps}");
             assert!(
@@ -3428,15 +3869,13 @@ mod tests {
         }
         // The morsel-parallel path shares the prepared scan.
         let par = db
-            .query_parallel(
-                q,
-                &ParallelConfig {
-                    workers: 2,
-                    min_morsel_pages: 1,
-                    min_morsel_rows: 1,
-                },
-            )
-            .unwrap();
+            .execute(&QueryRequest::sparql(q).parallel(ParallelConfig {
+                workers: 2,
+                min_morsel_pages: 1,
+                min_morsel_rows: 1,
+            }))
+            .unwrap()
+            .results;
         assert_eq!(par.canonical(&db.dict()), reference);
     }
 

@@ -1,5 +1,6 @@
 //! Execution context: storage handles, configuration, runtime counters.
 
+use crate::cancel::CancellationToken;
 use sordf_columnar::BufferPool;
 use sordf_model::Dictionary;
 use sordf_schema::EmergentSchema;
@@ -86,6 +87,11 @@ pub struct ExecStats {
     pub rows_scanned: AtomicU64,
     pub rows_emitted: AtomicU64,
     pub zonemap_pages_skipped: AtomicU64,
+    /// Pages actually scanned (pinned) by the chunked scan kernels — the
+    /// complement of `zonemap_pages_skipped`, and the work measure the
+    /// cancellation differential tests bound: a cancelled query's page count
+    /// must stop growing within one poll interval.
+    pub pages_scanned: AtomicU64,
 }
 
 impl ExecStats {
@@ -119,6 +125,7 @@ impl ExecStats {
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.rows_emitted.store(0, Ordering::Relaxed);
         self.zonemap_pages_skipped.store(0, Ordering::Relaxed);
+        self.pages_scanned.store(0, Ordering::Relaxed);
     }
 
     /// A plain-old-data copy of the counters.
@@ -134,6 +141,7 @@ impl ExecStats {
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             rows_emitted: self.rows_emitted.load(Ordering::Relaxed),
             zonemap_pages_skipped: self.zonemap_pages_skipped.load(Ordering::Relaxed),
+            pages_scanned: self.pages_scanned.load(Ordering::Relaxed),
         }
     }
 }
@@ -149,6 +157,7 @@ pub struct StatsSnapshot {
     pub rows_scanned: u64,
     pub rows_emitted: u64,
     pub zonemap_pages_skipped: u64,
+    pub pages_scanned: u64,
 }
 
 impl StatsSnapshot {
@@ -173,6 +182,10 @@ pub struct ExecContext<'a> {
     /// base-resident value (the merged-source contract shared by the
     /// sequential, parallel and rowwise operators).
     delta: Option<Arc<DeltaView>>,
+    /// Cooperative interrupt for this query, polled by the operators at
+    /// bounded-work boundaries (see [`crate::cancel`]). `None` (the
+    /// embedded-library default) makes every poll a no-op branch.
+    cancel: Option<CancellationToken>,
     pub config: ExecConfig,
     pub stats: ExecStats,
 }
@@ -205,6 +218,7 @@ impl<'a> ExecContext<'a> {
             dict,
             storage,
             delta: None,
+            cancel: None,
             config,
             stats: ExecStats::default(),
         }
@@ -222,6 +236,29 @@ impl<'a> ExecContext<'a> {
     #[inline]
     pub fn delta(&self) -> Option<&DeltaView> {
         self.delta.as_deref()
+    }
+
+    /// Attach a cancellation token; operators will poll it at bounded-work
+    /// boundaries and unwind to the query boundary when it trips.
+    pub fn with_cancel(mut self, cancel: Option<CancellationToken>) -> ExecContext<'a> {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    #[inline]
+    pub fn cancel_token(&self) -> Option<&CancellationToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Poll the cancellation token (no-op without one). Raises the
+    /// [`crate::cancel::QueryInterrupted`] sentinel panic when tripped —
+    /// call only from operator code below the facade's query boundary.
+    #[inline]
+    pub fn check_cancelled(&self) {
+        if let Some(t) = &self.cancel {
+            t.check();
+        }
     }
 
     /// Are string OIDs ordered by value? True after clustering (the string

@@ -7,6 +7,7 @@
 
 use crate::table::VarId;
 use sordf_model::{Dictionary, Oid, TypeTag};
+use std::sync::Arc;
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,10 @@ pub enum Expr {
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
     Not(Box<Expr>),
+    /// Set membership over a **sorted** OID list (binary search per row).
+    /// The SQL compiler uses this to admit delta-routed subjects past a
+    /// class segment's dense-range restriction.
+    InSet(Box<Expr>, Arc<Vec<Oid>>),
 }
 
 /// Runtime value of an expression.
@@ -121,7 +126,7 @@ impl Expr {
                 l.vars(out);
                 r.vars(out);
             }
-            Expr::Not(e) => e.vars(out),
+            Expr::Not(e) | Expr::InSet(e, _) => e.vars(out),
         }
     }
 
@@ -192,6 +197,10 @@ impl Expr {
                 EvalValue::Bool(l.eval(lookup, dict).as_bool() || r.eval(lookup, dict).as_bool())
             }
             Expr::Not(e) => EvalValue::Bool(!e.eval(lookup, dict).as_bool()),
+            Expr::InSet(e, set) => match e.eval(lookup, dict) {
+                EvalValue::Oid(o) => EvalValue::Bool(set.binary_search(&o).is_ok()),
+                _ => EvalValue::Bool(false),
+            },
         }
     }
 }

@@ -18,6 +18,7 @@
 //! cardinality estimation next to the classic independence assumption.
 
 pub mod agg;
+pub mod cancel;
 pub mod cardest;
 pub mod context;
 pub mod expr;
@@ -32,6 +33,7 @@ pub mod scan;
 pub mod star;
 pub mod table;
 
+pub use cancel::{CancellationToken, QueryInterrupted, StopReason};
 pub use context::{ExecConfig, ExecContext, ExecStats, PlanScheme, StorageRef};
 pub use expr::{AggFunc, CmpOp, Expr};
 pub use optimizer::{optimize, optimize_with_order};

@@ -118,9 +118,27 @@ fn split_range(r: Range<usize>, max_chunks: usize, min_len: usize) -> Vec<Range<
 /// every worker checks before pulling, so a failing query stops after the
 /// in-flight morsels instead of draining the whole queue for a result that
 /// will be discarded.
-fn run_tasks<'s, T: Send + 's>(workers: usize, tasks: &[Task<'s, T>]) -> Vec<T> {
+///
+/// Cancellation rides the same machinery: `cancel` (when present) is polled
+/// before each claimed task — the morsel boundary — and a tripped token
+/// panics with the interrupt sentinel inside the per-task `catch_unwind`,
+/// so the failure flag stops every worker and the sentinel is re-raised on
+/// the caller for the facade to classify.
+fn run_tasks<'s, T: Send + 's>(
+    cancel: Option<&crate::cancel::CancellationToken>,
+    workers: usize,
+    tasks: &[Task<'s, T>],
+) -> Vec<T> {
     if workers <= 1 || tasks.len() <= 1 {
-        return tasks.iter().map(|t| t()).collect();
+        return tasks
+            .iter()
+            .map(|t| {
+                if let Some(c) = cancel {
+                    c.check();
+                }
+                t()
+            })
+            .collect();
     }
     type TaskResult<T> = Result<T, Box<dyn std::any::Any + Send>>;
     // ordering: Relaxed throughout this function — `next` needs only
@@ -140,7 +158,12 @@ fn run_tasks<'s, T: Send + 's>(workers: usize, tasks: &[Task<'s, T>]) -> Vec<T> 
                 if i >= tasks.len() {
                     break;
                 }
-                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tasks[i]()));
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if let Some(c) = cancel {
+                        c.check();
+                    }
+                    tasks[i]()
+                }));
                 if out.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -259,7 +282,7 @@ fn eval_star_default_parallel(
             task
         })
         .collect();
-    let streams = run_tasks(par.workers, &tasks);
+    let streams = run_tasks(cx.cancel_token(), par.workers, &tasks);
     join_star_streams(cx, star, filters, streams)
 }
 
@@ -357,7 +380,7 @@ fn eval_star_rdfscan_parallel(
             task
         })
         .collect();
-    let mut partials = run_tasks(par.workers, &tasks).into_iter();
+    let mut partials = run_tasks(cx.cancel_token(), par.workers, &tasks).into_iter();
     // sordf-lint: allow(L3) — morsels[0] is Morsel::Irregular by
     // construction above and run_tasks returns one result per task.
     let irregular = partials.next().expect("irregular task present");
@@ -416,7 +439,7 @@ pub(crate) fn finalize_parallel(
             task
         })
         .collect();
-    let mut partials = run_tasks(par.workers, &tasks).into_iter();
+    let mut partials = run_tasks(cx.cancel_token(), par.workers, &tasks).into_iter();
     // sordf-lint: allow(L3) — split_range on a non-empty row range yields
     // at least one span, so there is always a first partial.
     let mut states = partials.next().expect("non-empty table has one partial");
@@ -472,7 +495,33 @@ mod tests {
                 t
             })
             .collect();
-        assert_eq!(run_tasks(4, &tasks), (0..32).collect::<Vec<_>>());
-        assert_eq!(run_tasks(1, &tasks), (0..32).collect::<Vec<_>>());
+        assert_eq!(run_tasks(None, 4, &tasks), (0..32).collect::<Vec<_>>());
+        assert_eq!(run_tasks(None, 1, &tasks), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_tasks_stops_on_cancelled_token() {
+        use crate::cancel::{interrupted, CancellationToken, StopReason};
+        let token = CancellationToken::new();
+        token.cancel();
+        let ran = std::sync::atomic::AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn Fn() -> usize + Send + Sync>> = (0..64usize)
+            .map(|i| {
+                let ran = &ran;
+                let t: Box<dyn Fn() -> usize + Send + Sync> = Box::new(move || {
+                    // ordering: Relaxed — test-only counter, read after join.
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    i
+                });
+                t
+            })
+            .collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_tasks(Some(&token), 4, &tasks)
+        }))
+        .unwrap_err();
+        assert_eq!(interrupted(err.as_ref()), Some(StopReason::Cancelled));
+        // ordering: Relaxed — see above.
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no task body ran");
     }
 }

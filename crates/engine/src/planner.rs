@@ -127,6 +127,9 @@ pub fn execute_physical(
     let mut result: Option<Table> = None;
 
     for step in &pp.steps {
+        // Per-step cancellation poll: joins between stars can dominate a
+        // query even when every scan underneath already polls per page.
+        cx.check_cancelled();
         let star = &lp.stars[step.star];
         let star_table = match (&result, &step.join) {
             (None, _) => eval(cx, star, step.access, &filter_refs, None, None),

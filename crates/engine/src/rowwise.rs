@@ -119,6 +119,9 @@ pub fn scan_property_rowwise(
     s_range: SRange,
     source: Source,
 ) -> Vec<(Oid, Oid)> {
+    // Per-scan cancellation poll: the rowwise executor is the differential
+    // oracle, but timeout tests drive it too.
+    cx.check_cancelled();
     ExecStats::bump(&cx.stats.property_scans, 1);
     let mut out = match (&cx.storage, source) {
         (StorageRef::Baseline(store), _) => scan_baseline_rw(cx, store, p, restrict, s_range),
@@ -302,6 +305,7 @@ pub fn eval_star_rowwise(
     candidates: Option<&[Oid]>,
     s_range: SRange,
 ) -> Table {
+    cx.check_cancelled();
     match access {
         crate::plan::StarAccess::PropMerge => {
             eval_star_default_rowwise(cx, star, filters, candidates, s_range, Source::Full)

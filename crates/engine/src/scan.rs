@@ -90,6 +90,7 @@ pub fn scan_property(
     s_range: SRange,
     source: Source,
 ) -> Vec<(Oid, Oid)> {
+    cx.check_cancelled();
     ExecStats::bump(&cx.stats.property_scans, 1);
     let mut out = match (&cx.storage, source) {
         (StorageRef::Baseline(store), _) => scan_baseline(cx, store, p, restrict, s_range),
@@ -271,6 +272,9 @@ fn scan_segment_column(
         pool,
         rows,
         |_, st| {
+            // Runs once per page before it is pinned: the per-chunk
+            // cancellation poll of the sequential scan path.
+            cx.check_cancelled();
             if st.n_nonnull == 0 {
                 // Only NULL sentinels here; nothing can be emitted.
                 return false;
@@ -279,6 +283,7 @@ fn scan_segment_column(
                 ExecStats::bump(&cx.stats.zonemap_pages_skipped, 1);
                 return false;
             }
+            ExecStats::bump(&cx.stats.pages_scanned, 1);
             true
         },
         |chunk| match &seg.subjects {

@@ -746,6 +746,8 @@ pub(crate) fn scan_row_range(
     if rows.is_empty() {
         return out;
     }
+    // Per-morsel cancellation poll (morsels bound this range's size).
+    cx.check_cancelled();
     // Gather each column once, aligned with this range's `rows`.
     let gathered: Vec<Option<Vec<u64>>> = accesses
         .iter()
@@ -1019,6 +1021,9 @@ pub(crate) fn scan_chunk_pages(
     let mut value_lists: Vec<Vec<Oid>> = vec![Vec::new(); star.props.len()];
 
     'pages: for p in first_page..=last_page {
+        // Per-page cancellation poll — the bounded-work boundary of the
+        // RDFscan kernel.
+        cx.check_cancelled();
         // Pre-pin pruning: zone-map misses and (on the pure path) pages
         // where a required column is entirely NULL.
         for &(ci, lo, hi) in prune_cols {
@@ -1053,6 +1058,7 @@ pub(crate) fn scan_chunk_pages(
         let chunk_start = range.start.max(p * VALS_PER_PAGE);
         let chunk_len = range.end.min((p + 1) * VALS_PER_PAGE) - chunk_start;
         rows_scanned += chunk_len as u64;
+        ExecStats::bump(&cx.stats.pages_scanned, 1);
         let subj_chunk = match &seg.subjects {
             SubjectIds::Dense { .. } => None,
             SubjectIds::Sparse { subjects } => Some(subjects.pin_page_in(pool, p, range.clone())),

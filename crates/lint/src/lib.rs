@@ -26,6 +26,7 @@
 //! | L6 | atomic-ordering audit: every `Ordering::Relaxed`/`Acquire`/… needs an `// ordering:` justification comment in its function |
 //! | L7 | durable-write discipline: in the WAL/manifest/page-file write paths an I/O `Result` must not be silently discarded (`let _ = …` or a trailing `.ok();`) |
 //! | L8 | page-layout confinement: raw page-word access (`.data[..]` indexing, `for_get`/`for_decode_range`/`for_partition_point`/`compress::choose` calls) is an error outside `compress.rs`/`column.rs` — everything else reads through `Chunk` and the column accessors |
+//! | L9 | no blocking I/O under the state lock: a function that declares or performs a `db_state` acquisition must not call the blocking socket primitives (`read_request`/`write_response`/`accept`/`TcpStream::connect`) — one slow peer would stall every writer |
 
 pub mod lexer;
 
@@ -69,6 +70,7 @@ pub struct Scope {
     pub l6: bool,
     pub l7: bool,
     pub l8: bool,
+    pub l9: bool,
 }
 
 impl Scope {
@@ -82,6 +84,7 @@ impl Scope {
             l6: true,
             l7: true,
             l8: true,
+            l9: true,
         }
     }
 }
@@ -108,10 +111,11 @@ pub fn classify(rel: &str) -> Option<Scope> {
         s.l5 = true;
         s.l6 = true;
     }
-    for c in ["core", "storage", "columnar", "engine"] {
+    for c in ["core", "storage", "columnar", "engine", "server"] {
         if rel.starts_with(&format!("crates/{c}/src/")) {
             s.l2 = true;
             s.l3 = true;
+            s.l9 = true;
         }
     }
     // The durable write paths additionally get the discarded-io::Result
@@ -249,6 +253,7 @@ pub fn lint_sources(files: &[(String, String)], force_scope: Option<Scope>) -> V
     }
     check_l1(&data, &fns, &mut diags);
     check_l2(&data, &fns, &mut diags);
+    check_l9(&data, &fns, &mut diags);
 
     // Apply allows last so every rule shares the same suppression logic.
     diags.retain(|d| {
@@ -300,11 +305,11 @@ fn parse_allows(comments: &[Comment], path: &str, diags: &mut Vec<Diagnostic>) -
             && rules.iter().all(|r| {
                 matches!(
                     r.as_str(),
-                    "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8"
+                    "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "L9"
                 )
             });
         if !valid {
-            malformed(diags, "unknown rule id (expected L1..L8)");
+            malformed(diags, "unknown rule id (expected L1..L9)");
             continue;
         }
         let reason = after
@@ -334,10 +339,20 @@ fn parse_allows(comments: &[Comment], path: &str, diags: &mut Vec<Diagnostic>) -
 
 fn attach_lock_order_annotation(f: &mut FnInfo, fd: &FileData, diags: &mut Vec<Diagnostic>) {
     // The annotation lives in a comment directly above the function (doc
-    // comments and attributes may sit between).
+    // comments and attributes may sit between, but not another item: a `}`
+    // or `;` between comment and signature means the comment annotates the
+    // *previous* item, not this one).
     let lo = f.sig_line.saturating_sub(12);
     for c in &fd.lexed.comments {
         if c.line < lo || c.line > f.sig_line {
+            continue;
+        }
+        let crosses_item = fd.lexed.tokens.iter().any(|t| {
+            t.line > c.line
+                && t.line < f.sig_line
+                && matches!(t.tok, Tok::Punct('}') | Tok::Punct(';'))
+        });
+        if crosses_item {
             continue;
         }
         let Some(pos) = c.text.find("lock-order:") else {
@@ -1274,6 +1289,54 @@ fn check_l8(fd: &FileData, diags: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Blocking socket primitives: the HTTP layer's request/response entry
+/// points plus the listener/connect calls. None of these names collide with
+/// the file-I/O vocabulary L7 watches, so a hit is unambiguously wire I/O.
+const L9_BLOCKING_CALLS: [&str; 3] = ["read_request", "write_response", "accept"];
+
+fn check_l9(data: &[FileData], fns: &[FnInfo], diags: &mut Vec<Diagnostic>) {
+    for f in fns {
+        let fd = &data[f.file];
+        if !fd.scope.l9 || f.is_test {
+            continue;
+        }
+        // Holding (or documented as holding) the outermost lock is the
+        // hazard; lower-ranked locks are leaves held for bounded work.
+        let holds_state = f.declared.as_ref().is_some_and(|d| d.contains(&0))
+            || f.acquired.iter().any(|&(l, _)| l == 0);
+        if !holds_state {
+            continue;
+        }
+        let toks = &fd.lexed.tokens;
+        for i in f.body.clone() {
+            let Tok::Ident(name) = &toks[i].tok else {
+                continue;
+            };
+            if !is_punct(toks, i + 1, '(') {
+                continue;
+            }
+            let qualified_connect = name == "connect"
+                && i >= 3
+                && is_punct(toks, i - 1, ':')
+                && is_punct(toks, i - 2, ':')
+                && ident(toks, i - 3) == Some("TcpStream");
+            if L9_BLOCKING_CALLS.contains(&name.as_str()) || qualified_connect {
+                diags.push(Diagnostic {
+                    file: fd.path.clone(),
+                    line: toks[i].line,
+                    rule: "L9",
+                    msg: format!(
+                        "blocking socket call `{name}` inside `{}`, which holds the db_state \
+                         lock — one slow peer would stall every writer; move the wire I/O \
+                         outside the lock, or add `// sordf-lint: allow(L9) — <reason>`",
+                        f.display_name()
+                    ),
+                });
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // filesystem front end
 // ---------------------------------------------------------------------------
@@ -1442,6 +1505,28 @@ fn fine(c: &Column) -> u64 { c.value(0) }
         assert!(!classify("crates/columnar/src/compress.rs").unwrap().l8);
         assert!(!classify("crates/columnar/src/column.rs").unwrap().l8);
         assert!(classify("crates/engine/src/exec.rs").unwrap().l8);
+    }
+
+    #[test]
+    fn l9_no_blocking_socket_io_under_state_lock() {
+        let src = "\
+// lock-order: acquires(db_state)
+fn bad(srv: &Server) {
+    let _st = srv.state.lock();
+    let (mut s, _) = srv.listener.accept().map_err(drop);
+    write_response(&mut s, &resp).map_err(drop);
+}
+fn fine(srv: &Server) {
+    let (_s, _) = srv.listener.accept().map_err(drop);
+}
+";
+        let d = run(src);
+        let l9: Vec<u32> = d
+            .iter()
+            .filter(|d| d.rule == "L9")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(l9, vec![4, 5], "{d:?}");
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! L9 fixture: blocking socket I/O while the db state lock is held (or
+//! declared held) — the wire I/O must happen outside the lock. An allow
+//! with a reason suppresses; a state-free handler is clean.
+
+struct Gateway;
+
+impl Gateway {
+    // lock-order: acquires(db_state)
+    fn serve_under_lock(&self) {
+        let _st = self.state.lock();
+        let (mut s, _) = self.listener.accept().map_err(drop);
+        write_response(&mut s, &resp).map_err(drop);
+    }
+
+    // lock-order: acquires(db_state)
+    fn allowed(&self) {
+        let _st = self.state.lock();
+        // sordf-lint: allow(L9) — status snapshot writes < 1 KiB to a pipe.
+        write_response(&mut self.pipe, &resp).map_err(drop);
+    }
+
+    fn lock_free_handler(&self) {
+        let (mut s, _) = self.listener.accept().map_err(drop);
+        write_response(&mut s, &resp).map_err(drop);
+    }
+}

@@ -101,6 +101,17 @@ fn l8_flags_raw_page_layout_access() {
 }
 
 #[test]
+fn l9_flags_blocking_socket_io_under_state_lock() {
+    let diags = lint_fixture("bad_l9.rs");
+    assert_eq!(lines(&diags, "L9"), vec![11, 12], "{diags:#?}");
+    assert_eq!(
+        diags.len(),
+        2,
+        "the allowed and lock-free handlers are clean: {diags:#?}"
+    );
+}
+
+#[test]
 fn clean_fixture_produces_no_diagnostics() {
     let diags = lint_fixture("clean.rs");
     assert!(diags.is_empty(), "{diags:#?}");
@@ -127,6 +138,11 @@ fn classify_scopes_rules_by_tree_location() {
     assert!(!core.l7, "L7 is reserved for the durable write-path files");
     let wal = classify("crates/storage/src/wal.rs").expect("wal is in scope");
     assert!(wal.l7 && wal.l2 && wal.l3);
+    // The HTTP front end holds requests, locks, and sockets in one place:
+    // it gets the lock-graph, panic-path, and blocking-I/O rules.
+    let server = classify("crates/server/src/lib.rs").expect("server is in scope");
+    assert!(server.l2 && server.l3 && server.l9);
+    assert!(!classify("crates/bench/src/bin/bench_server.rs").unwrap().l9);
     // Bench binaries keep the API-hygiene rules but not the panic/lock-graph
     // rules reserved for the concurrent store itself.
     let bench = classify("crates/bench/src/bin/bench_parallel.rs").expect("bench is in scope");

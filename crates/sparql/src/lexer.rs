@@ -59,6 +59,13 @@ pub struct LexError {
 
 /// Tokenize a SPARQL document.
 pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    Ok(tokenize_spanned(src)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Tokenize a SPARQL document, keeping each token's starting byte offset
+/// (`Eof` is positioned at `src.len()`). The offsets drive caret-annotated
+/// parse errors (see [`crate::parser::ParseError::render_caret`]).
+pub fn tokenize_spanned(src: &str) -> Result<Vec<(Token, usize)>, LexError> {
     let b = src.as_bytes();
     let mut i = 0usize;
     let mut out = Vec::new();
@@ -80,25 +87,25 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 if let Some(end) = src[i + 1..].find(|ch: char| ch == '>' || ch.is_whitespace()) {
                     let end_pos = i + 1 + end;
                     if b.get(end_pos) == Some(&b'>') && !src[i + 1..end_pos].is_empty() {
-                        out.push(Token::IriRef(src[i + 1..end_pos].to_string()));
+                        out.push((Token::IriRef(src[i + 1..end_pos].to_string()), i));
                         i = end_pos + 1;
                         continue;
                     }
                 }
                 if b.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Le);
+                    out.push((Token::Le, i));
                     i += 2;
                 } else {
-                    out.push(Token::Lt);
+                    out.push((Token::Lt, i));
                     i += 1;
                 }
             }
             b'>' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Ge);
+                    out.push((Token::Ge, i));
                     i += 2;
                 } else {
-                    out.push(Token::Gt);
+                    out.push((Token::Gt, i));
                     i += 1;
                 }
             }
@@ -111,7 +118,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 if j == start {
                     return Err(err(i, "empty variable name"));
                 }
-                out.push(Token::Var(src[start..j].to_string()));
+                out.push((Token::Var(src[start..j].to_string()), i));
                 i = j;
             }
             b'"' => {
@@ -154,69 +161,69 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     lang = Some(src[start..k].to_string());
                     j = k;
                 }
-                out.push(Token::Str(s, lang));
+                out.push((Token::Str(s, lang), i));
                 i = j;
             }
             b'^' => {
                 if b.get(i + 1) == Some(&b'^') {
-                    out.push(Token::DtMarker);
+                    out.push((Token::DtMarker, i));
                     i += 2;
                 } else {
                     return Err(err(i, "lone '^'"));
                 }
             }
             b'{' => {
-                out.push(Token::LBrace);
+                out.push((Token::LBrace, i));
                 i += 1;
             }
             b'}' => {
-                out.push(Token::RBrace);
+                out.push((Token::RBrace, i));
                 i += 1;
             }
             b'(' => {
-                out.push(Token::LParen);
+                out.push((Token::LParen, i));
                 i += 1;
             }
             b')' => {
-                out.push(Token::RParen);
+                out.push((Token::RParen, i));
                 i += 1;
             }
             b';' => {
-                out.push(Token::Semicolon);
+                out.push((Token::Semicolon, i));
                 i += 1;
             }
             b',' => {
-                out.push(Token::Comma);
+                out.push((Token::Comma, i));
                 i += 1;
             }
             b'*' => {
-                out.push(Token::Star);
+                out.push((Token::Star, i));
                 i += 1;
             }
             b'+' => {
-                out.push(Token::Plus);
+                out.push((Token::Plus, i));
                 i += 1;
             }
             b'/' => {
-                out.push(Token::Slash);
+                out.push((Token::Slash, i));
                 i += 1;
             }
             b'=' => {
-                out.push(Token::Eq);
+                out.push((Token::Eq, i));
                 i += 1;
             }
             b'!' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    out.push(Token::Ne);
+                    out.push((Token::Ne, i));
                     i += 2;
                 } else {
-                    out.push(Token::Bang);
+                    out.push((Token::Bang, i));
                     i += 1;
                 }
             }
             b'&' => {
                 if b.get(i + 1) == Some(&b'&') {
-                    out.push(Token::AndAnd);
+                    out.push((Token::AndAnd, i));
                     i += 2;
                 } else {
                     return Err(err(i, "lone '&'"));
@@ -224,7 +231,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'|' => {
                 if b.get(i + 1) == Some(&b'|') {
-                    out.push(Token::OrOr);
+                    out.push((Token::OrOr, i));
                     i += 2;
                 } else {
                     return Err(err(i, "lone '|'"));
@@ -234,22 +241,22 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 // Number or minus operator.
                 if b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                     let (tok, next) = lex_number(src, i)?;
-                    out.push(tok);
+                    out.push((tok, i));
                     i = next;
                 } else {
-                    out.push(Token::Minus);
+                    out.push((Token::Minus, i));
                     i += 1;
                 }
             }
             b'0'..=b'9' => {
                 let (tok, next) = lex_number(src, i)?;
-                out.push(tok);
+                out.push((tok, i));
                 i = next;
             }
             b'.' => {
                 // Dot terminates patterns; numbers starting with '.' are rare
                 // in SPARQL and unsupported.
-                out.push(Token::Dot);
+                out.push((Token::Dot, i));
                 i += 1;
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
@@ -269,10 +276,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     {
                         k += 1;
                     }
-                    out.push(Token::PName(prefix, src[lstart..k].to_string()));
+                    out.push((Token::PName(prefix, src[lstart..k].to_string()), i));
                     i = k;
                 } else {
-                    out.push(Token::Word(src[start..j].to_string()));
+                    out.push((Token::Word(src[start..j].to_string()), i));
                     i = j;
                 }
             }
@@ -284,13 +291,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 {
                     k += 1;
                 }
-                out.push(Token::PName(String::new(), src[lstart..k].to_string()));
+                out.push((Token::PName(String::new(), src[lstart..k].to_string()), i));
                 i = k;
             }
             _ => return Err(err(i, &format!("unexpected character {:?}", c as char))),
         }
     }
-    out.push(Token::Eof);
+    out.push((Token::Eof, src.len()));
     Ok(out)
 }
 
@@ -395,5 +402,23 @@ mod tests {
     fn errors_carry_position() {
         let e = tokenize("SELECT @").unwrap_err();
         assert_eq!(e.pos, 7);
+    }
+
+    #[test]
+    fn spanned_tokens_carry_start_offsets() {
+        let src = "SELECT ?a WHERE { ?b <http://e/p> ?a . }";
+        let toks = tokenize_spanned(src).unwrap();
+        for (tok, pos) in &toks {
+            match tok {
+                Token::Word(w) => assert!(src[*pos..].starts_with(w.as_str())),
+                Token::Var(v) => assert!(src[*pos..].starts_with(&format!("?{v}"))),
+                Token::IriRef(iri) => assert!(src[*pos..].starts_with(&format!("<{iri}>"))),
+                Token::Dot => assert!(src[*pos..].starts_with('.')),
+                Token::LBrace => assert!(src[*pos..].starts_with('{')),
+                Token::RBrace => assert!(src[*pos..].starts_with('}')),
+                Token::Eof => assert_eq!(*pos, src.len()),
+                other => panic!("unexpected token {other:?}"),
+            }
+        }
     }
 }

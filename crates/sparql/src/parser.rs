@@ -1,18 +1,84 @@
 //! Recursive-descent SPARQL parser.
 
-use crate::lexer::{tokenize, LexError, Token};
+use crate::lexer::{tokenize_spanned, LexError, Token};
 use sordf_engine::expr::ArithOp;
 use sordf_engine::query::OrderKey;
 use sordf_engine::{AggFunc, CmpOp, Expr, Query, SelectItem, TriplePattern, VarOrOid};
 use sordf_model::{vocab, Dictionary, FxHashMap, Oid, Term, Value};
 
-/// Parse failure with a human-readable message.
+/// Parse failure with a human-readable message and, when the offending
+/// token is known, its byte offset into the query text — the hook protocol
+/// front ends use to point at the error (see [`ParseError::render_caret`]).
 #[derive(Debug, Clone, PartialEq)]
-pub struct ParseError(pub String);
+pub struct ParseError {
+    msg: String,
+    pos: Option<usize>,
+}
+
+impl ParseError {
+    /// An error with no usable source position.
+    pub fn new(msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            pos: None,
+        }
+    }
+
+    /// An error anchored at byte offset `pos` of the query text.
+    pub fn at(pos: usize, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            pos: Some(pos),
+        }
+    }
+
+    /// The bare message (no position decoration).
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
+    /// Byte offset of the offending token, when known.
+    pub fn position(&self) -> Option<usize> {
+        self.pos
+    }
+
+    /// Render the error against its source text with a caret under the
+    /// offending token:
+    ///
+    /// ```text
+    /// SPARQL parse error at line 1, column 22: expected predicate IRI ...
+    ///   SELECT ?s WHERE { ?s 42 ?o }
+    ///                        ^
+    /// ```
+    ///
+    /// Falls back to the plain message when the error carries no position
+    /// or the position does not land inside `src`.
+    pub fn render_caret(&self, src: &str) -> String {
+        let Some(pos) = self.pos.map(|p| p.min(src.len())) else {
+            return format!("SPARQL parse error: {}", self.msg);
+        };
+        let line_start = src[..pos].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = src[pos..].find('\n').map_or(src.len(), |i| pos + i);
+        let line_no = src[..pos].matches('\n').count() + 1;
+        let col = src[line_start..pos].chars().count() + 1;
+        let caret_pad: String = src[line_start..pos]
+            .chars()
+            .map(|c| if c == '\t' { '\t' } else { ' ' })
+            .collect();
+        format!(
+            "SPARQL parse error at line {line_no}, column {col}: {}\n  {}\n  {caret_pad}^",
+            self.msg,
+            &src[line_start..line_end],
+        )
+    }
+}
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SPARQL parse error: {}", self.0)
+        match self.pos {
+            Some(p) => write!(f, "SPARQL parse error at byte {p}: {}", self.msg),
+            None => write!(f, "SPARQL parse error: {}", self.msg),
+        }
     }
 }
 
@@ -20,14 +86,14 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError(format!("at byte {}: {}", e.pos, e.msg))
+        ParseError::at(e.pos, e.msg)
     }
 }
 
 /// Parse a SPARQL query against a dictionary (used to resolve constants;
 /// never mutated — unknown terms become impossible OIDs).
 pub fn parse_sparql(src: &str, dict: &Dictionary) -> Result<Query, ParseError> {
-    let tokens = tokenize(src)?;
+    let tokens = tokenize_spanned(src)?;
     let mut p = Parser {
         tokens,
         pos: 0,
@@ -49,7 +115,8 @@ pub fn parse_sparql(src: &str, dict: &Dictionary) -> Result<Query, ParseError> {
 }
 
 struct Parser<'d> {
-    tokens: Vec<Token>,
+    /// `(token, starting byte offset)` — offsets anchor parse errors.
+    tokens: Vec<(Token, usize)>,
     pos: usize,
     dict: &'d Dictionary,
     prefixes: FxHashMap<String, String>,
@@ -60,11 +127,16 @@ struct Parser<'d> {
 
 impl<'d> Parser<'d> {
     fn peek(&self) -> &Token {
-        &self.tokens[self.pos]
+        &self.tokens[self.pos].0
+    }
+
+    /// Byte offset of the token `peek` would return.
+    fn peek_pos(&self) -> usize {
+        self.tokens[self.pos].1
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos].clone();
+        let t = self.tokens[self.pos].0.clone();
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -72,7 +144,10 @@ impl<'d> Parser<'d> {
     }
 
     fn err<T>(&self, msg: &str) -> Result<T, ParseError> {
-        Err(ParseError(format!("{msg} (at token {:?})", self.peek())))
+        Err(ParseError::at(
+            self.peek_pos(),
+            format!("{msg} (at token {:?})", self.peek()),
+        ))
     }
 
     fn is_word(&self, kw: &str) -> bool {
@@ -332,14 +407,17 @@ impl<'d> Parser<'d> {
 
     /// Any constant RDF term: IRI, prefixed name, or literal.
     fn parse_const_term(&mut self) -> Result<Oid, ParseError> {
+        let pos = self.peek_pos();
         match self.bump() {
             Token::IriRef(iri) => Ok(self.resolve_iri(&iri)),
             Token::PName(prefix, local) => {
                 let iri = self.expand_pname(&prefix, &local)?;
                 Ok(self.resolve_iri(&iri))
             }
-            Token::Int(v) => Oid::from_int(v).map_err(|e| ParseError(e.to_string())),
-            Token::Dec(u) => Oid::from_decimal_unscaled(u).map_err(|e| ParseError(e.to_string())),
+            Token::Int(v) => Oid::from_int(v).map_err(|e| ParseError::at(pos, e.to_string())),
+            Token::Dec(u) => {
+                Oid::from_decimal_unscaled(u).map_err(|e| ParseError::at(pos, e.to_string()))
+            }
             Token::Str(s, lang) => {
                 if *self.peek() == Token::DtMarker {
                     self.bump();
@@ -348,35 +426,39 @@ impl<'d> Parser<'d> {
                         Token::PName(prefix, local) => self.expand_pname(&prefix, &local)?,
                         _ => return self.err("expected datatype IRI"),
                     };
-                    self.typed_literal(&s, &dt)
+                    self.typed_literal(pos, &s, &dt)
                 } else {
                     Ok(self.resolve_str(&s, lang.as_deref()))
                 }
             }
             Token::Word(w) if w.eq_ignore_ascii_case("true") => Ok(Oid::from_bool(true)),
             Token::Word(w) if w.eq_ignore_ascii_case("false") => Ok(Oid::from_bool(false)),
-            other => Err(ParseError(format!("expected RDF term, found {other:?}"))),
+            other => Err(ParseError::at(
+                pos,
+                format!("expected RDF term, found {other:?}"),
+            )),
         }
     }
 
-    fn typed_literal(&self, lexical: &str, datatype: &str) -> Result<Oid, ParseError> {
-        let bad = |what: &str| ParseError(format!("bad {what} literal: {lexical:?}"));
+    fn typed_literal(&self, pos: usize, lexical: &str, datatype: &str) -> Result<Oid, ParseError> {
+        let bad = |what: &str| ParseError::at(pos, format!("bad {what} literal: {lexical:?}"));
+        let oid_err = |e: sordf_model::ModelError| ParseError::at(pos, e.to_string());
         match datatype {
             vocab::XSD_INTEGER | "http://www.w3.org/2001/XMLSchema#int" => {
                 let v: i64 = lexical.parse().map_err(|_| bad("integer"))?;
-                Oid::from_int(v).map_err(|e| ParseError(e.to_string()))
+                Oid::from_int(v).map_err(oid_err)
             }
             vocab::XSD_DECIMAL | vocab::XSD_DOUBLE => {
                 let u = sordf_model::term::parse_decimal(lexical).ok_or(bad("decimal"))?;
-                Oid::from_decimal_unscaled(u).map_err(|e| ParseError(e.to_string()))
+                Oid::from_decimal_unscaled(u).map_err(oid_err)
             }
             vocab::XSD_DATE => {
                 let d = sordf_model::date::parse_date(lexical).map_err(|_| bad("date"))?;
-                Oid::from_date_days(d).map_err(|e| ParseError(e.to_string()))
+                Oid::from_date_days(d).map_err(oid_err)
             }
             vocab::XSD_DATETIME => {
                 let t = sordf_model::date::parse_datetime(lexical).map_err(|_| bad("dateTime"))?;
-                Oid::from_datetime_secs(t).map_err(|e| ParseError(e.to_string()))
+                Oid::from_datetime_secs(t).map_err(oid_err)
             }
             vocab::XSD_BOOLEAN => match lexical {
                 "true" | "1" => Ok(Oid::from_bool(true)),
@@ -391,7 +473,7 @@ impl<'d> Parser<'d> {
         let base = self
             .prefixes
             .get(prefix)
-            .ok_or_else(|| ParseError(format!("undeclared prefix '{prefix}:'")))?;
+            .ok_or_else(|| ParseError::new(format!("undeclared prefix '{prefix}:'")))?;
         Ok(format!("{base}{local}"))
     }
 
@@ -605,7 +687,7 @@ impl<'d> Parser<'d> {
                 return Ok(i);
             }
         }
-        Err(ParseError(format!(
+        Err(ParseError::new(format!(
             "ORDER BY variable ?{name} is not in the SELECT list"
         )))
     }
@@ -760,6 +842,38 @@ mod tests {
         ] {
             assert!(parse_sparql(bad, &dict).is_err(), "should reject {bad}");
         }
+    }
+
+    #[test]
+    fn errors_carry_token_position() {
+        let dict = Dictionary::new();
+        let src = "SELECT ?s WHERE { ?s 42 ?o }";
+        let e = parse_sparql(src, &dict).unwrap_err();
+        // The bad predicate `42` starts at byte 21.
+        assert_eq!(e.position(), Some(21));
+        assert!(e.message().contains("expected predicate IRI"), "{e}");
+    }
+
+    #[test]
+    fn render_caret_points_at_offending_token() {
+        let dict = Dictionary::new();
+        let src = "SELECT ?s WHERE {\n  ?s 42 ?o\n}";
+        let e = parse_sparql(src, &dict).unwrap_err();
+        let rendered = e.render_caret(src);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].contains("line 2, column 6"), "{rendered}");
+        assert_eq!(lines[1], "    ?s 42 ?o");
+        assert_eq!(lines[2], "       ^");
+        // No position (or a foreign source) degrades gracefully.
+        assert!(ParseError::new("x").render_caret(src).contains("x"));
+    }
+
+    #[test]
+    fn lex_errors_render_with_position() {
+        let dict = Dictionary::new();
+        let e = parse_sparql("SELECT @", &dict).unwrap_err();
+        assert_eq!(e.position(), Some(7));
+        assert!(e.render_caret("SELECT @").contains("^"));
     }
 
     #[test]

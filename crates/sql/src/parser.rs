@@ -7,15 +7,24 @@ use sordf_engine::{AggFunc, CmpOp, Expr, Query, SelectItem, TriplePattern, VarOr
 use sordf_model::{Dictionary, FxHashMap, Oid, Term, Value};
 use sordf_schema::{ClassId, EmergentSchema};
 use sordf_storage::ClusteredStore;
+use std::sync::Arc;
 
 /// Compile a SQL query over the emergent schema into an engine query.
 /// Requires a *dense* clustered store (table scans are restricted to class
 /// segments via subject-OID ranges).
+///
+/// `routed` maps delta-new subjects (inserted since the last reorganization)
+/// to the class the incremental assigner routed them to. Their OIDs lie
+/// outside every class segment's dense range, so without it pending inserts
+/// would be invisible to the SQL view until the next reorganization; each
+/// table's segment restriction is widened to admit exactly its own routed
+/// subjects.
 pub fn compile_sql(
     sql: &str,
     schema: &EmergentSchema,
     store: &ClusteredStore,
     dict: &Dictionary,
+    routed: &FxHashMap<Oid, ClassId>,
 ) -> Result<Query, String> {
     let tokens = tokenize(sql)?;
     let mut c = Compiler {
@@ -24,6 +33,7 @@ pub fn compile_sql(
         schema,
         store,
         dict,
+        routed,
         query: Query::default(),
         tables: Vec::new(),
         col_vars: FxHashMap::default(),
@@ -52,6 +62,8 @@ struct Compiler<'a> {
     schema: &'a EmergentSchema,
     store: &'a ClusteredStore,
     dict: &'a Dictionary,
+    /// Delta-new subject → routed class (see [`compile_sql`]).
+    routed: &'a FxHashMap<Oid, ClassId>,
     query: Query,
     tables: Vec<TableRef>,
     /// (table idx, predicate) -> bound object variable.
@@ -289,19 +301,42 @@ impl<'a> Compiler<'a> {
 
     /// Restrict every table's subject variable to its class segment's dense
     /// OID range, so same-named predicates of other classes cannot leak in.
+    /// Subjects inserted since the last reorganization live *outside* every
+    /// dense range; the ones routed to this table's class are admitted
+    /// through an explicit membership disjunct so pending inserts stay
+    /// visible to the SQL view.
     fn add_segment_restrictions(&mut self) {
         for t in &self.tables {
             let seg = self.store.segment(t.class);
+            let mut extra: Vec<Oid> = self
+                .routed
+                .iter()
+                .filter(|(_, &c)| c == t.class)
+                .map(|(&s, _)| s)
+                .collect();
+            extra.sort_unstable();
             if let Some(range) = seg.dense_range() {
-                if range.is_empty() {
+                if range.is_empty() && extra.is_empty() {
                     continue;
                 }
                 let lo = Oid::iri(range.start);
-                let hi = Oid::iri(range.end - 1);
-                self.query.filters.push(Expr::and(
+                let hi = Oid::iri(range.end.saturating_sub(1));
+                let in_range = Expr::and(
                     Expr::cmp(Expr::Var(t.subject_var), CmpOp::Ge, Expr::Const(lo)),
                     Expr::cmp(Expr::Var(t.subject_var), CmpOp::Le, Expr::Const(hi)),
-                ));
+                );
+                let filter = if extra.is_empty() {
+                    in_range
+                } else {
+                    Expr::Or(
+                        Box::new(in_range),
+                        Box::new(Expr::InSet(
+                            Box::new(Expr::Var(t.subject_var)),
+                            Arc::new(extra),
+                        )),
+                    )
+                };
+                self.query.filters.push(filter);
             }
         }
     }

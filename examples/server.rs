@@ -1,0 +1,101 @@
+//! Serve a database over HTTP and drive it with a few requests: query
+//! round-trips (JSON and TSV), a deliberately broken query (400 with a
+//! caret), an over-tight deadline (408), a live insert through `/update`,
+//! and a `/status` read — all against the embedded `sordf_server`.
+//!
+//! Run with: `cargo run --release --example server`
+
+use sordf::Database;
+use sordf_rdfh::{generate, RdfhConfig};
+use sordf_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn send(addr: &str, request: &str) -> std::io::Result<String> {
+    let mut s = TcpStream::connect(addr)?;
+    s.write_all(request.as_bytes())?;
+    // `Connection: close` in every request below: read to EOF.
+    let mut out = String::new();
+    s.read_to_string(&mut out)?;
+    Ok(out)
+}
+
+fn get(addr: &str, target: &str, accept: &str) -> std::io::Result<String> {
+    send(
+        addr,
+        &format!(
+            "GET {target} HTTP/1.1\r\nHost: x\r\nAccept: {accept}\r\nConnection: close\r\n\r\n"
+        ),
+    )
+}
+
+fn first_line(resp: &str) -> &str {
+    resp.lines().next().unwrap_or("")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = generate(&RdfhConfig::new(0.002));
+    let db = Database::in_temp_dir()?;
+    db.load_terms(&data.triples)?;
+    db.self_organize()?;
+
+    let server = Server::bind(
+        Arc::new(db),
+        ServerConfig {
+            workers: 4,
+            max_in_flight: 8,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr()?.to_string();
+    println!("serving on http://{addr}\n");
+
+    // A query, urlencoded into the SPARQL-protocol GET form.
+    let q = "PREFIX+rdfh%3A+%3Chttp%3A%2F%2Flod2.eu%2Fschemas%2Frdfh%23%3E%0A\
+             SELECT+%3Fn+WHERE+%7B+%3Fc+rdfh%3Acustomer_mktsegment+%3Fn+%7D";
+
+    let json = get(&addr, &format!("/query?query={q}"), "application/json")?;
+    println!("JSON:   {}", first_line(&json));
+
+    let tsv = get(
+        &addr,
+        &format!("/query?query={q}"),
+        "text/tab-separated-values",
+    )?;
+    println!(
+        "TSV:    {} ({} rows)",
+        first_line(&tsv),
+        tsv.lines()
+            .skip_while(|l| !l.is_empty())
+            .count()
+            .saturating_sub(2)
+    );
+
+    // Parse errors come back as 400 with a caret pointing at the problem.
+    let bad = get(&addr, "/query?query=SELECT+%3Fx+WHERE+%7B+broken", "*/*")?;
+    println!("broken: {}", first_line(&bad));
+
+    // A deadline the query cannot meet comes back as 408.
+    let rushed = get(&addr, &format!("/query?query={q}&timeout_ms=0"), "*/*")?;
+    println!("rushed: {}", first_line(&rushed));
+
+    // Writes go through POST /update as N-Triples.
+    let nt = "<http://lod2.eu/schemas/rdfh#customer77777> \
+              <http://lod2.eu/schemas/rdfh#customer_name> \"Customer#77777\" .\n";
+    let ins = send(
+        &addr,
+        &format!(
+            "POST /update?action=insert HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{nt}",
+            nt.len()
+        ),
+    )?;
+    println!("insert: {}", first_line(&ins));
+
+    let status = get(&addr, "/status", "application/json")?;
+    println!("status: {}", first_line(&status));
+
+    server.shutdown();
+    println!("\ndrained and shut down cleanly");
+    Ok(())
+}

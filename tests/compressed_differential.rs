@@ -3,7 +3,9 @@
 //! frame-of-reference compressed (the default) or plain, across the
 //! sequential, parallel, and rowwise-oracle executors and both plan schemes.
 
-use sordf::{ColumnEncoding, Database, ExecConfig, Generation, ParallelConfig, PlanScheme};
+use sordf::{
+    ColumnEncoding, Database, ExecConfig, Generation, ParallelConfig, PlanScheme, QueryRequest,
+};
 use sordf_rdfh::{generate, query, RdfhConfig, ALL_QUERIES};
 
 struct Rig {
@@ -34,24 +36,25 @@ fn run_all_executors(db: &Database, sparql: &str, qname: &str) -> Vec<Vec<String
             scheme,
             ..Default::default()
         };
+        let req = QueryRequest::sparql(sparql)
+            .generation(Generation::Clustered)
+            .config(exec);
         let seq = db
-            .query_with(sparql, Generation::Clustered, exec)
-            .unwrap_or_else(|e| panic!("{qname} seq {scheme:?}: {e}"));
+            .execute(&req)
+            .unwrap_or_else(|e| panic!("{qname} seq {scheme:?}: {e}"))
+            .results;
         out.push(seq.canonical(&db.dict()));
         let parallel = db
-            .query_traced_parallel(sparql, Generation::Clustered, exec, &par)
+            .execute(&req.clone().parallel(par))
             .unwrap_or_else(|e| panic!("{qname} parallel {scheme:?}: {e}"));
         out.push(parallel.results.canonical(&db.dict()));
         let rowwise = db
-            .query_with(
-                sparql,
-                Generation::Clustered,
-                ExecConfig {
-                    rowwise: true,
-                    ..exec
-                },
-            )
-            .unwrap_or_else(|e| panic!("{qname} rowwise {scheme:?}: {e}"));
+            .execute(&req.clone().config(ExecConfig {
+                rowwise: true,
+                ..exec
+            }))
+            .unwrap_or_else(|e| panic!("{qname} rowwise {scheme:?}: {e}"))
+            .results;
         out.push(rowwise.canonical(&db.dict()));
     }
     out
@@ -112,8 +115,11 @@ fn baseline_and_cs_generations_identical_compressed_vs_plain() {
                 scheme,
                 ..Default::default()
             };
-            let p = plain.query_with(sparql, generation, exec).unwrap();
-            let c = compressed.query_with(sparql, generation, exec).unwrap();
+            let req = QueryRequest::sparql(sparql)
+                .generation(generation)
+                .config(exec);
+            let p = plain.execute(&req).unwrap().results;
+            let c = compressed.execute(&req).unwrap().results;
             assert_eq!(
                 p.canonical(&plain.dict()),
                 c.canonical(&compressed.dict()),

@@ -5,7 +5,7 @@
 //! storage generations. This is the "many queries, many cores, one pool"
 //! serving scenario of the ROADMAP north star.
 
-use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme};
+use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme, QueryRequest};
 use sordf_rdfh::{generate, query, RdfhConfig, ALL_QUERIES};
 
 struct Rig {
@@ -76,9 +76,14 @@ fn star_join_suite_is_stable_under_4_threads_and_parallel_operators() {
             ALL_QUERIES
                 .iter()
                 .map(|&qid| {
-                    db.query_with(query(qid), *generation, *exec)
-                        .unwrap()
-                        .canonical(&db.dict())
+                    db.execute(
+                        &QueryRequest::sparql(query(qid))
+                            .generation(*generation)
+                            .config(*exec),
+                    )
+                    .unwrap()
+                    .results
+                    .canonical(&db.dict())
                 })
                 .collect()
         })
@@ -98,9 +103,13 @@ fn star_join_suite_is_stable_under_4_threads_and_parallel_operators() {
                     let qi = (thread + step) % ALL_QUERIES.len();
                     let qid = ALL_QUERIES[qi];
                     for (ci, (name, db, generation, exec)) in configs.iter().enumerate() {
+                        let req = QueryRequest::sparql(query(qid))
+                            .generation(*generation)
+                            .config(*exec);
                         let seq = db
-                            .query_with(query(qid), *generation, *exec)
-                            .unwrap_or_else(|e| panic!("{name}/{}: {e}", qid.name()));
+                            .execute(&req)
+                            .unwrap_or_else(|e| panic!("{name}/{}: {e}", qid.name()))
+                            .results;
                         assert_eq!(
                             seq.canonical(&db.dict()),
                             reference[ci][qi],
@@ -114,7 +123,7 @@ fn star_join_suite_is_stable_under_4_threads_and_parallel_operators() {
                                 min_morsel_rows: 64,
                             };
                             let rs = db
-                                .query_traced_parallel(query(qid), *generation, *exec, &par)
+                                .execute(&req.clone().parallel(par))
                                 .unwrap_or_else(|e| panic!("{name}/{}: {e}", qid.name()))
                                 .results;
                             assert_eq!(
@@ -150,11 +159,12 @@ fn parallel_query_facade_defaults_work() {
     let rs_seq = rig.clustered.query(query(sordf_rdfh::QueryId::Q6)).unwrap();
     let rs_par = rig
         .clustered
-        .query_parallel(
-            query(sordf_rdfh::QueryId::Q6),
-            &ParallelConfig::with_workers(4),
+        .execute(
+            &QueryRequest::sparql(query(sordf_rdfh::QueryId::Q6))
+                .parallel(ParallelConfig::with_workers(4)),
         )
-        .unwrap();
+        .unwrap()
+        .results;
     assert_eq!(
         rs_seq.canonical(&rig.clustered.dict()),
         rs_par.canonical(&rig.clustered.dict())

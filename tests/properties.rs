@@ -8,7 +8,7 @@
 //!   plan schemes and storage generations on random graphs.
 
 use proptest::prelude::*;
-use sordf::{Database, ExecConfig, Generation, PlanScheme};
+use sordf::{Database, ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_model::{ntriples, Dictionary, Oid, Term, TermTriple, Value};
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -138,7 +138,10 @@ proptest! {
         let mut reference: Option<Vec<String>> = None;
         for (db, generation, scheme, zm) in runs {
             let exec = ExecConfig { scheme, zonemaps: zm, ..Default::default() };
-            let rs = db.query_with(q, generation, exec).unwrap();
+            let rs = db
+                .execute(&QueryRequest::sparql(q).generation(generation).config(exec))
+                .unwrap()
+                .results;
             let canon = rs.canonical(&db.dict());
             match &reference {
                 None => reference = Some(canon),

@@ -1,7 +1,7 @@
 //! The Table-I correctness backbone: every RDF-H catalog query returns the
 //! same answer under all six plan/storage configurations.
 
-use sordf::{Database, ExecConfig, Generation, PlanScheme};
+use sordf::{Database, ExecConfig, Generation, PlanScheme, QueryRequest};
 use sordf_rdfh::{generate, query, RdfhConfig, ALL_QUERIES};
 
 struct Rig {
@@ -74,8 +74,13 @@ fn all_catalog_queries_agree_across_configs() {
                 ..Default::default()
             };
             let rs = db
-                .query_with(query(qid), *generation, exec)
-                .unwrap_or_else(|e| panic!("{} config {i}: {e}", qid.name()));
+                .execute(
+                    &QueryRequest::sparql(query(qid))
+                        .generation(*generation)
+                        .config(exec),
+                )
+                .unwrap_or_else(|e| panic!("{} config {i}: {e}", qid.name()))
+                .results;
             let canon = rs.canonical(&db.dict());
             match &reference {
                 None => reference = Some(canon),
@@ -109,19 +114,21 @@ fn rdfscan_answers_q6_without_joins() {
     let rig = rig();
     let traced = rig
         .clustered
-        .query_traced(
-            query(sordf_rdfh::QueryId::Q6),
-            Generation::Clustered,
-            ExecConfig {
-                scheme: PlanScheme::RdfScanJoin,
-                zonemaps: true,
-                ..Default::default()
-            },
+        .execute(
+            &QueryRequest::sparql(query(sordf_rdfh::QueryId::Q6))
+                .generation(Generation::Clustered)
+                .config(ExecConfig {
+                    scheme: PlanScheme::RdfScanJoin,
+                    zonemaps: true,
+                    ..Default::default()
+                })
+                .traced(true),
         )
         .unwrap();
-    assert_eq!(traced.stats.merge_joins, 0);
-    assert_eq!(traced.stats.hash_joins, 0);
-    assert!(traced.stats.rdf_scans >= 1);
+    let stats = traced.stats.expect("traced");
+    assert_eq!(stats.merge_joins, 0);
+    assert_eq!(stats.hash_joins, 0);
+    assert!(stats.rdf_scans >= 1);
 }
 
 #[test]

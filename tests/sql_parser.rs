@@ -135,9 +135,8 @@ fn sql_requires_self_organization() {
         .unwrap();
     db.build_baseline().unwrap();
     assert!(db.sql("SELECT p FROM t").is_err());
-    let _ = db.query_with(
-        "SELECT ?o WHERE { <http://e/a> <http://e/p> ?o . }",
-        Generation::Baseline,
-        sordf::ExecConfig::default(),
+    let _ = db.execute(
+        &sordf::QueryRequest::sparql("SELECT ?o WHERE { <http://e/a> <http://e/p> ?o . }")
+            .generation(Generation::Baseline),
     );
 }

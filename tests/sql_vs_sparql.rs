@@ -2,6 +2,7 @@
 //! self-organized store must agree.
 
 use sordf::Database;
+use sordf_model::{Term, TermTriple};
 use sordf_rdfh::{generate, RdfhConfig};
 
 fn rdfh_db() -> Database {
@@ -65,6 +66,73 @@ fn sql_segment_restriction_prevents_class_leaks() {
     let schema = db.schema().unwrap();
     let n_cust = schema.class_by_name("customer").unwrap().n_subjects as usize;
     assert_eq!(customers.len(), n_cust);
+}
+
+#[test]
+fn sql_view_sees_pending_inserts() {
+    // A subject inserted after self_organize() lives in the delta, outside
+    // every class segment's dense OID range. The incremental assigner routes
+    // it to `customer` (full property-set match), and the SQL compiler must
+    // widen the segment restriction so the row is visible *before* the next
+    // reorganization — while still excluding unrouted (irregular) subjects.
+    let db = rdfh_db();
+    let n_before = db.sql("SELECT customer_name FROM customer").unwrap().len();
+
+    let ns = "http://lod2.eu/schemas/rdfh#";
+    let subj = Term::iri(format!("{ns}customer999999"));
+    let pred = |p: &str| Term::iri(format!("{ns}{p}"));
+    db.insert_terms(&[
+        TermTriple::new(
+            subj.clone(),
+            Term::iri(sordf_model::vocab::RDF_TYPE),
+            Term::iri(format!("{ns}customer")),
+        ),
+        TermTriple::new(
+            subj.clone(),
+            pred("customer_name"),
+            Term::str("Customer#999999"),
+        ),
+        TermTriple::new(
+            subj.clone(),
+            pred("customer_mktsegment"),
+            Term::str("BUILDING"),
+        ),
+        TermTriple::new(
+            subj.clone(),
+            pred("customer_nationkey"),
+            Term::iri(format!("{ns}nation0")),
+        ),
+        TermTriple::new(
+            subj.clone(),
+            pred("customer_acctbal"),
+            Term::decimal_f64(1.5),
+        ),
+    ])
+    .unwrap();
+    // An irregular subject (no class matches) must stay outside the view.
+    db.insert_terms(&[TermTriple::new(
+        Term::iri(format!("{ns}mystery1")),
+        pred("mystery_prop"),
+        Term::str("x"),
+    )])
+    .unwrap();
+
+    let rows = db.sql("SELECT customer_name FROM customer").unwrap();
+    assert_eq!(rows.len(), n_before + 1, "routed insert joins the SQL view");
+    let hit = db
+        .sql("SELECT customer_mktsegment FROM customer WHERE customer_name = 'Customer#999999'")
+        .unwrap();
+    assert_eq!(hit.render(&db.dict()), vec![vec!["BUILDING".to_string()]]);
+
+    // SQL and SPARQL still agree over the live (base + delta) data.
+    let sparql = db
+        .query(
+            r#"PREFIX rdfh: <http://lod2.eu/schemas/rdfh#>
+               SELECT (COUNT(*) AS ?n) WHERE { ?c rdfh:customer_name ?x }"#,
+        )
+        .unwrap();
+    let n: usize = sparql.render(&db.dict())[0][0].parse().unwrap();
+    assert_eq!(n, rows.len(), "SPARQL and SQL see the same customers");
 }
 
 #[test]

@@ -16,7 +16,9 @@
 //! `maybe_reorganize` must fire, reduce the irregular-triple ratio, and
 //! change no answer.
 
-use sordf::{Database, ExecConfig, Generation, ParallelConfig, PlanScheme, ReorgPolicy};
+use sordf::{
+    Database, ExecConfig, Generation, ParallelConfig, PlanScheme, QueryRequest, ReorgPolicy,
+};
 use sordf_model::TermTriple;
 use sordf_rdfh::{generate, query, RdfhConfig, ALL_QUERIES};
 use std::collections::HashSet;
@@ -88,14 +90,16 @@ fn answers(db: &Database, exec: ExecConfig, parallel: bool) -> Vec<Vec<String>> 
     ALL_QUERIES
         .iter()
         .map(|qid| {
-            let rs = if parallel {
-                db.query_traced_parallel(query(*qid), Generation::Clustered, exec, &par_config())
-                    .unwrap_or_else(|e| panic!("{} parallel: {e}", qid.name()))
-                    .results
-            } else {
-                db.query_with(query(*qid), Generation::Clustered, exec)
-                    .unwrap_or_else(|e| panic!("{}: {e}", qid.name()))
-            };
+            let mut req = QueryRequest::sparql(query(*qid))
+                .generation(Generation::Clustered)
+                .config(exec);
+            if parallel {
+                req = req.parallel(par_config());
+            }
+            let rs = db
+                .execute(&req)
+                .unwrap_or_else(|e| panic!("{}: {e}", qid.name()))
+                .results;
             rs.canonical(&db.dict())
         })
         .collect()
